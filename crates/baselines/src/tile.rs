@@ -1,0 +1,242 @@
+//! The tiling-mode checker: "in the tiling mode, operations are
+//! evaluated in tiles, and multi-CPU support is enabled" (§VI).
+//!
+//! The flattened layout is cut into a `grid × grid` array of tiles.
+//! Each tile checks the geometry intersecting the tile inflated by the
+//! rule's interaction distance (the halo). Every violation is found by
+//! at least one tile (the tile around the closest-approach point sees
+//! both partners), and violations are value objects, so exact
+//! canonicalization removes cross-tile duplicates — the combined result
+//! equals the flat checker's.
+
+use odrc::rules::RuleKind;
+use odrc::{canonicalize, RuleDeck, Violation};
+use odrc_db::Layout;
+use odrc_geometry::{Coord, Polygon, Rect};
+use odrc_infra::Profiler;
+
+use crate::common::{flat_enclosure, flat_intra, flat_space};
+use crate::{BaselineReport, Checker};
+
+/// The tiling checker.
+#[derive(Debug, Clone, Copy)]
+pub struct TilingChecker {
+    grid: usize,
+    threads: usize,
+}
+
+impl Default for TilingChecker {
+    fn default() -> Self {
+        TilingChecker::new(4, 4)
+    }
+}
+
+impl TilingChecker {
+    /// Creates a checker with a `grid × grid` tile array processed by
+    /// `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` or `threads` is zero.
+    pub fn new(grid: usize, threads: usize) -> Self {
+        assert!(grid > 0, "tile grid must be positive");
+        assert!(threads > 0, "thread count must be positive");
+        TilingChecker { grid, threads }
+    }
+
+    /// Tile rectangles covering `bounds`.
+    fn tiles(&self, bounds: Rect) -> Vec<Rect> {
+        let g = self.grid as i64;
+        let w = bounds.width().max(1);
+        let h = bounds.height().max(1);
+        let mut tiles = Vec::with_capacity(self.grid * self.grid);
+        for ty in 0..g {
+            for tx in 0..g {
+                let x0 = bounds.lo().x as i64 + w * tx / g;
+                let x1 = bounds.lo().x as i64 + w * (tx + 1) / g;
+                let y0 = bounds.lo().y as i64 + h * ty / g;
+                let y1 = bounds.lo().y as i64 + h * (ty + 1) / g;
+                tiles.push(Rect::from_coords(
+                    x0 as Coord,
+                    y0 as Coord,
+                    x1 as Coord,
+                    y1 as Coord,
+                ));
+            }
+        }
+        tiles
+    }
+}
+
+impl Checker for TilingChecker {
+    fn name(&self) -> &str {
+        "klayout-tile"
+    }
+
+    fn check(&self, layout: &Layout, deck: &RuleDeck) -> BaselineReport {
+        let mut profile = Profiler::new();
+        let mut violations: Vec<Violation> = Vec::new();
+
+        for rule in deck.rules() {
+            match &rule.kind {
+                RuleKind::Space {
+                    layer,
+                    min,
+                    min_projection,
+                } => {
+                    let spec = odrc::checks::SpaceSpec {
+                        min: *min,
+                        min_projection: *min_projection,
+                    };
+                    let polys = profile.time("flatten", || layout.flatten_layer_polygons(*layer));
+                    let found = profile.time("check", || {
+                        let Some(bounds) = bounds_of(polys.iter()) else {
+                            return Vec::new();
+                        };
+                        let halo = *min as Coord;
+                        let tiles = self.tiles(bounds);
+                        run_tiles(self.threads, &tiles, |tile| {
+                            let window = tile.inflate(halo);
+                            let tile_polys: Vec<Polygon> = polys
+                                .iter()
+                                .filter(|p| p.mbr().overlaps(window))
+                                .cloned()
+                                .collect();
+                            let mut out = Vec::new();
+                            flat_space(&tile_polys, &rule.name, spec, &mut out);
+                            out
+                        })
+                    });
+                    violations.extend(found);
+                }
+                RuleKind::OverlapArea {
+                    inner,
+                    outer,
+                    min_area,
+                } => {
+                    let (pi, po) = profile.time("flatten", || {
+                        (
+                            layout.flatten_layer_polygons(*inner),
+                            layout.flatten_layer_polygons(*outer),
+                        )
+                    });
+                    profile.time("check", || {
+                        crate::common::flat_overlap(&pi, &po, &rule.name, *min_area, &mut violations)
+                    });
+                }
+                RuleKind::Enclosure { inner, outer, min } => {
+                    let pi = profile.time("flatten", || layout.flatten_layer_polygons(*inner));
+                    let po = profile.time("flatten", || layout.flatten_layer_polygons(*outer));
+                    let found = profile.time("check", || {
+                        let Some(bounds) = bounds_of(pi.iter().chain(po.iter())) else {
+                            return Vec::new();
+                        };
+                        // An inner shape must be evaluated by a tile
+                        // whose window fully contains it (otherwise its
+                        // candidate set would be incomplete and the
+                        // margin underestimated), so the inner-inclusion
+                        // halo grows by the largest inner dimension.
+                        let max_dim: Coord = pi
+                            .iter()
+                            .map(|p| p.mbr().width().max(p.mbr().height()) as Coord)
+                            .max()
+                            .unwrap_or(0);
+                        let m = *min as Coord;
+                        let tiles = self.tiles(bounds);
+                        run_tiles(self.threads, &tiles, |tile| {
+                            let win_in = tile.inflate(max_dim.max(1));
+                            let ti: Vec<Polygon> = pi
+                                .iter()
+                                .filter(|p| win_in.contains_rect(p.mbr()))
+                                .cloned()
+                                .collect();
+                            if ti.is_empty() {
+                                return Vec::new();
+                            }
+                            let win_out = win_in.inflate(m);
+                            let to: Vec<Polygon> = po
+                                .iter()
+                                .filter(|p| p.mbr().overlaps(win_out))
+                                .cloned()
+                                .collect();
+                            let mut out = Vec::new();
+                            flat_enclosure(&ti, &to, &rule.name, *min, &mut out);
+                            out
+                        })
+                    });
+                    violations.extend(found);
+                }
+                _ => {
+                    // Intra rules: tiling buys nothing semantically
+                    // (KLayout applies tiling to region operations);
+                    // run them flat.
+                    profile.time("check", || flat_intra(layout, rule, &mut violations));
+                }
+            }
+        }
+        BaselineReport {
+            violations: canonicalize(violations),
+            profile,
+            skipped: Vec::new(),
+        }
+    }
+}
+
+fn bounds_of<'a>(polys: impl Iterator<Item = &'a Polygon>) -> Option<Rect> {
+    polys.map(|p| p.mbr()).reduce(|a, b| a.hull(b))
+}
+
+/// Processes tiles on `threads` scoped workers and concatenates the
+/// per-tile results.
+fn run_tiles(
+    threads: usize,
+    tiles: &[Rect],
+    work: impl Fn(&Rect) -> Vec<Violation> + Sync,
+) -> Vec<Violation> {
+    let chunk = tiles.len().div_ceil(threads.max(1)).max(1);
+    let mut all: Vec<Violation> = Vec::new();
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = tiles
+            .chunks(chunk)
+            .map(|ts| scope.spawn(move || ts.iter().flat_map(work).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("tile worker panicked"));
+        }
+    });
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_cover_bounds() {
+        let c = TilingChecker::new(3, 2);
+        let bounds = Rect::from_coords(0, 0, 100, 90);
+        let tiles = c.tiles(bounds);
+        assert_eq!(tiles.len(), 9);
+        let area: i64 = tiles.iter().map(|t| t.area()).sum();
+        assert_eq!(area, bounds.area());
+        // Tiles are pairwise interior-disjoint.
+        for i in 0..tiles.len() {
+            for j in i + 1..tiles.len() {
+                assert!(!tiles[i].overlaps_open(tiles[j]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile grid")]
+    fn zero_grid_panics() {
+        let _ = TilingChecker::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_panics() {
+        let _ = TilingChecker::new(2, 0);
+    }
+}

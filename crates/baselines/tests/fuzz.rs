@@ -1,0 +1,172 @@
+//! Property-based cross-engine fuzzing: random hierarchical layouts
+//! must produce identical violation sets in every checker.
+//!
+//! This is the strongest correctness lever in the workspace: the
+//! engines traverse the layout in completely different orders
+//! (hierarchical + memoized vs flat vs tiled vs device kernels), so any
+//! disagreement exposes a real semantic bug.
+
+use odrc::{rule, Engine, RuleDeck};
+use odrc_baselines::{Checker, DeepChecker, FlatChecker, TilingChecker, XCheck};
+use odrc_db::Layout;
+use odrc_gdsii::{Element, Library, RefElement, Structure};
+use odrc_geometry::Point;
+use odrc_xpu::Device;
+use proptest::prelude::*;
+
+/// A random rectangle element on the given layer.
+fn rect_el(layer: i16, x: i32, y: i32, w: i32, h: i32) -> Element {
+    Element::boundary(
+        layer,
+        vec![
+            Point::new(x, y),
+            Point::new(x, y + h),
+            Point::new(x + w, y + h),
+            Point::new(x + w, y),
+        ],
+    )
+}
+
+#[derive(Debug, Clone)]
+struct FuzzSpec {
+    /// Rects in each of two leaf cells: (layer 1|2, x, y, w, h).
+    cell_a: Vec<(i16, i32, i32, i32, i32)>,
+    cell_b: Vec<(i16, i32, i32, i32, i32)>,
+    /// Placements in TOP: (which cell, x, y, rotation quarter-turns,
+    /// mirror).
+    placements: Vec<(bool, i32, i32, i32, bool)>,
+    /// Loose rects in TOP.
+    top_rects: Vec<(i16, i32, i32, i32, i32)>,
+}
+
+fn arb_rects(n: usize) -> impl Strategy<Value = Vec<(i16, i32, i32, i32, i32)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![Just(1i16), Just(2i16)],
+            -80i32..80,
+            -80i32..80,
+            4i32..60,
+            4i32..60,
+        ),
+        0..n,
+    )
+}
+
+fn arb_spec() -> impl Strategy<Value = FuzzSpec> {
+    (
+        arb_rects(5),
+        arb_rects(5),
+        proptest::collection::vec(
+            (
+                proptest::bool::ANY,
+                -300i32..300,
+                -300i32..300,
+                0i32..4,
+                proptest::bool::ANY,
+            ),
+            0..6,
+        ),
+        arb_rects(6),
+    )
+        .prop_map(|(cell_a, cell_b, placements, top_rects)| FuzzSpec {
+            cell_a,
+            cell_b,
+            placements,
+            top_rects,
+        })
+}
+
+fn build_layout(spec: &FuzzSpec) -> Layout {
+    let mut lib = Library::new("fuzz");
+    let mut a = Structure::new("A");
+    for &(l, x, y, w, h) in &spec.cell_a {
+        a.elements.push(rect_el(l, x, y, w, h));
+    }
+    let mut b = Structure::new("B");
+    for &(l, x, y, w, h) in &spec.cell_b {
+        b.elements.push(rect_el(l, x, y, w, h));
+    }
+    // B also nests A, making the hierarchy two levels deep.
+    b.elements.push(Element::sref("A", Point::new(200, 200)));
+    lib.structures.push(a);
+    lib.structures.push(b);
+
+    let mut top = Structure::new("TOP");
+    for &(which_b, x, y, rot, mirror) in &spec.placements {
+        let mut r = RefElement::sref(if which_b { "B" } else { "A" }, Point::new(x, y));
+        r.angle_deg = f64::from(rot) * 90.0;
+        r.mirror_x = mirror;
+        top.elements.push(Element::Ref(r));
+    }
+    for &(l, x, y, w, h) in &spec.top_rects {
+        top.elements.push(rect_el(l, x, y, w, h));
+    }
+    lib.structures.push(top);
+    Layout::from_library(&lib).expect("fuzz layouts are structurally valid")
+}
+
+fn deck() -> RuleDeck {
+    RuleDeck::new(vec![
+        rule().layer(1).width().greater_than(10).named("F1.W"),
+        rule().layer(1).space().greater_than(12).named("F1.S"),
+        rule().layer(2).space().greater_than(9).named("F2.S"),
+        rule().layer(1).space().when_projection_at_least(20).greater_than(25).named("F1.SP"),
+        rule().layer(1).area().greater_than(400).named("F1.A"),
+        rule().layer(2).enclosed_by(1).greater_than(3).named("F2.EN"),
+        rule().layer(2).overlapping(1).area_at_least(50).named("F2.OVL"),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn all_engines_agree_on_random_layouts(spec in arb_spec()) {
+        let layout = build_layout(&spec);
+        let d = deck();
+        let reference = Engine::sequential().check(&layout, &d);
+        let par = Engine::parallel_on(Device::new(2)).check(&layout, &d);
+        prop_assert_eq!(&reference.violations, &par.violations, "parallel");
+        let flat = FlatChecker::new().check(&layout, &d);
+        prop_assert_eq!(&reference.violations, &flat.violations, "flat");
+        let deep = DeepChecker::new().check(&layout, &d);
+        prop_assert_eq!(&reference.violations, &deep.violations, "deep");
+        let tile = TilingChecker::new(3, 2).check(&layout, &d);
+        prop_assert_eq!(&reference.violations, &tile.violations, "tile");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn xcheck_agrees_on_its_supported_rules(spec in arb_spec()) {
+        let layout = build_layout(&spec);
+        // Width/space/enclosure only (no area, no overlap).
+        let d = RuleDeck::new(vec![
+            rule().layer(1).width().greater_than(10).named("F1.W"),
+            rule().layer(1).space().greater_than(12).named("F1.S"),
+            rule().layer(2).enclosed_by(1).greater_than(3).named("F2.EN"),
+        ]);
+        let reference = Engine::sequential().check(&layout, &d);
+        let x = XCheck::new(Device::new(2)).check(&layout, &d);
+        prop_assert_eq!(&reference.violations, &x.violations);
+    }
+}
+
+/// Overlapping same-layer polygons are legal input; engines must not
+/// disagree or panic on them.
+#[test]
+fn overlapping_polygons_handled() {
+    let spec = FuzzSpec {
+        cell_a: vec![(1, 0, 0, 40, 40), (1, 20, 20, 40, 40)],
+        cell_b: vec![(1, 0, 0, 30, 30), (1, 0, 0, 30, 30)], // exact duplicates
+        placements: vec![(false, 0, 0, 0, false), (true, 100, 0, 1, true)],
+        top_rects: vec![(1, 50, 50, 40, 40), (1, 55, 55, 10, 10)], // nested
+    };
+    let layout = build_layout(&spec);
+    let d = deck();
+    let reference = Engine::sequential().check(&layout, &d);
+    let par = Engine::parallel_on(Device::new(2)).check(&layout, &d);
+    assert_eq!(reference.violations, par.violations);
+    let flat = FlatChecker::new().check(&layout, &d);
+    assert_eq!(reference.violations, flat.violations);
+}

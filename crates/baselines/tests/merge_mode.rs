@@ -1,0 +1,118 @@
+//! Semantics of the merged-region flat checker vs the as-drawn one.
+
+use odrc::{rule, Engine, RuleDeck, ViolationKind};
+use odrc_baselines::{Checker, FlatChecker};
+use odrc_db::Layout;
+use odrc_gdsii::{Element, Library, Structure};
+use odrc_geometry::Point;
+use odrc_layoutgen::{generate_layout, tech, DesignSpec};
+
+fn rect_el(layer: i16, x0: i32, y0: i32, x1: i32, y1: i32) -> Element {
+    Element::boundary(
+        layer,
+        vec![
+            Point::new(x0, y0),
+            Point::new(x0, y1),
+            Point::new(x1, y1),
+            Point::new(x1, y0),
+        ],
+    )
+}
+
+fn layout_of(elements: Vec<Element>) -> Layout {
+    let mut lib = Library::new("m");
+    let mut top = Structure::new("TOP");
+    top.elements = elements;
+    lib.structures.push(top);
+    Layout::from_library(&lib).unwrap()
+}
+
+#[test]
+fn split_wire_passes_area_only_when_merged() {
+    // A wire drawn as two abutting halves, each below the area minimum,
+    // together above it.
+    let layout = layout_of(vec![
+        rect_el(1, 0, 0, 30, 10),  // 300
+        rect_el(1, 30, 0, 60, 10), // 300; merged: 600
+    ]);
+    let deck = RuleDeck::new(vec![rule().layer(1).area().greater_than(500).named("A")]);
+
+    let drawn = FlatChecker::new().check(&layout, &deck);
+    assert_eq!(drawn.violations.len(), 2, "each drawn half fails");
+
+    let merged = FlatChecker::with_merge().check(&layout, &deck);
+    assert_eq!(merged.violations.len(), 0, "the merged component passes");
+}
+
+#[test]
+fn merged_component_below_minimum_still_fails() {
+    let layout = layout_of(vec![
+        rect_el(1, 0, 0, 10, 10),
+        rect_el(1, 10, 0, 20, 10), // merged: 200 < 500
+        rect_el(1, 100, 0, 130, 30), // 900: passes either way
+    ]);
+    let deck = RuleDeck::new(vec![rule().layer(1).area().greater_than(500).named("A")]);
+    let merged = FlatChecker::with_merge().check(&layout, &deck);
+    assert_eq!(merged.violations.len(), 1);
+    assert_eq!(merged.violations[0].measured, 200);
+    assert_eq!(merged.violations[0].kind, ViolationKind::Area);
+}
+
+#[test]
+fn merged_spacing_ignores_overlap_fragments() {
+    // Two overlapping fragments plus a genuinely close neighbor.
+    let layout = layout_of(vec![
+        rect_el(1, 0, 0, 50, 20),
+        rect_el(1, 40, 0, 100, 20), // overlaps the first
+        rect_el(1, 112, 0, 160, 20), // 12 from the merged blob
+    ]);
+    let deck = RuleDeck::new(vec![rule().layer(1).space().greater_than(18).named("S")]);
+    let merged = FlatChecker::with_merge().check(&layout, &deck);
+    assert_eq!(merged.violations.len(), 1);
+    assert_eq!(merged.violations[0].measured, 144);
+    // The as-drawn checker reports the same pair (overlapping fragments
+    // create no facing pairs), so both agree here.
+    let drawn = FlatChecker::new().check(&layout, &deck);
+    assert_eq!(drawn.violations.len(), 1);
+}
+
+#[test]
+fn merged_enclosure_accepts_jointly_covering_metal() {
+    // A via covered only by the union of two abutting metal rects: the
+    // as-drawn checker (single-candidate margins) rejects it, the
+    // merged checker accepts it.
+    let layout = layout_of(vec![
+        rect_el(1, 45, 40, 55, 50),  // 10x10 via at the joint
+        rect_el(2, 0, 30, 50, 60),   // left metal
+        rect_el(2, 50, 30, 100, 60), // right metal, abutting at x=50
+    ]);
+    let deck = RuleDeck::new(vec![rule().layer(1).enclosed_by(2).greater_than(4).named("EN")]);
+    let drawn = FlatChecker::new().check(&layout, &deck);
+    assert_eq!(drawn.violations.len(), 1, "no single drawn rect encloses the via");
+    let merged = FlatChecker::with_merge().check(&layout, &deck);
+    assert_eq!(merged.violations.len(), 0, "the merged metal encloses it");
+}
+
+#[test]
+fn merge_mode_matches_plain_on_disjoint_designs() {
+    // Generated designs have disjoint same-layer geometry, so merged
+    // spacing/area semantics coincide with as-drawn semantics.
+    let mut spec = DesignSpec::tiny(61);
+    spec.violation_rate = 0.15;
+    let layout = generate_layout(&spec);
+    let deck = RuleDeck::new(vec![
+        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
+        rule().layer(tech::M3).space().greater_than(tech::M3_SPACE).named("M3.S.1"),
+    ]);
+    let plain = FlatChecker::new().check(&layout, &deck);
+    let merged = FlatChecker::with_merge().check(&layout, &deck);
+    let engine = Engine::sequential().check(&layout, &deck);
+    assert_eq!(plain.violations, engine.violations);
+    assert_eq!(merged.violations, plain.violations);
+}
+
+#[test]
+fn names_differ() {
+    assert_eq!(FlatChecker::new().name(), "klayout-flat");
+    assert_eq!(FlatChecker::with_merge().name(), "klayout-flat-merged");
+}

@@ -1,0 +1,48 @@
+//! Criterion benches for Table II's inter-polygon checks (spacing and
+//! enclosure) on the two smallest designs.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odrc::{Engine, RuleDeck};
+use odrc_baselines::{Checker, DeepChecker, FlatChecker, TilingChecker, XCheck};
+use odrc_bench::{enclosure_rules, load_designs, space_rules};
+use odrc_xpu::Device;
+
+fn bench_inter(c: &mut Criterion) {
+    let designs = load_designs(Some("uart,ibex"));
+    let mut rules = space_rules();
+    rules.extend(enclosure_rules());
+    let mut group = c.benchmark_group("inter");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    for d in &designs {
+        for r in &rules {
+            let deck: &RuleDeck = &r.deck;
+            let id = |who: &str| BenchmarkId::new(who, format!("{}-{}", d.name, r.name));
+            group.bench_with_input(id("odrc-seq"), deck, |b, deck| {
+                b.iter(|| Engine::sequential().check(&d.layout, deck));
+            });
+            group.bench_with_input(id("odrc-par"), deck, |b, deck| {
+                b.iter(|| Engine::parallel_on(Device::new(2)).check(&d.layout, deck));
+            });
+            group.bench_with_input(id("klayout-flat"), deck, |b, deck| {
+                b.iter(|| FlatChecker::new().check(&d.layout, deck));
+            });
+            group.bench_with_input(id("klayout-deep"), deck, |b, deck| {
+                b.iter(|| DeepChecker::new().check(&d.layout, deck));
+            });
+            group.bench_with_input(id("klayout-tile"), deck, |b, deck| {
+                b.iter(|| TilingChecker::default().check(&d.layout, deck));
+            });
+            group.bench_with_input(id("x-check"), deck, |b, deck| {
+                b.iter(|| XCheck::new(Device::new(2)).check(&d.layout, deck));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inter);
+criterion_main!(benches);

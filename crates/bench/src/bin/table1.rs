@@ -1,0 +1,22 @@
+//! Regenerates **Table I**: runtime comparisons for intra-polygon
+//! design rule checks (width and area rules) across the six benchmark
+//! designs, for KLayout flat/deep/tile, X-Check, and OpenDRC
+//! sequential/parallel.
+//!
+//! Expected shape (paper §VI): both OpenDRC modes run equally fast and
+//! beat the flat/deep baselines by a wide margin thanks to hierarchical
+//! reuse; X-Check cannot run the area rule (empty column).
+
+use odrc_bench::{intra_rules, load_designs, parse_args, print_table, Contender};
+
+fn main() {
+    let (filter, repeat) = parse_args();
+    let designs = load_designs(filter.as_deref());
+    print_table(
+        "Table I: intra-polygon checks (seconds)",
+        &designs,
+        &intra_rules(),
+        &Contender::ALL,
+        repeat,
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table II**: runtime comparisons for inter-polygon
+//! design rule checks — same-layer spacing (M1.S.1, M2.S.1, M3.S.1) and
+//! inter-layer enclosure (V1.M1.EN.1, V2.M2.EN.1, V2.M3.EN.1) — across
+//! the six benchmark designs.
+//!
+//! Expected shape (paper §VI): inter-polygon checks carry the heavy
+//! workload, so the parallel mode pulls ahead of the sequential mode
+//! and X-Check, and all of them beat the flat/deep baselines; the
+//! M3-heavy jpeg design is the hardest spacing case for the
+//! unpartitioned checkers.
+
+use odrc_bench::{enclosure_rules, load_designs, parse_args, print_table, space_rules, Contender};
+
+fn main() {
+    let (filter, repeat) = parse_args();
+    let designs = load_designs(filter.as_deref());
+    print_table(
+        "Table II (left): spacing checks (seconds)",
+        &designs,
+        &space_rules(),
+        &Contender::ALL,
+        repeat,
+    );
+    print_table(
+        "Table II (right): enclosure checks (seconds)",
+        &designs,
+        &enclosure_rules(),
+        &Contender::ALL,
+        repeat,
+    );
+}

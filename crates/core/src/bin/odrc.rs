@@ -1,0 +1,173 @@
+//! The `odrc` command-line checker.
+//!
+//! ```text
+//! odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N]
+//! ```
+//!
+//! Reads a GDSII layout and a plain-text rule deck (see
+//! [`odrc::parse_deck`] for the format), runs the checks, prints the
+//! violations and the phase breakdown, and exits non-zero when
+//! violations were found.
+
+use std::process::ExitCode;
+
+use odrc::{parse_deck, Engine};
+use odrc_db::Layout;
+
+struct Args {
+    layout: String,
+    rules: String,
+    parallel: bool,
+    max_print: usize,
+    report: Option<String>,
+    markers: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N] [--report out.csv] [--markers out.gds]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut layout = None;
+    let mut rules = None;
+    let mut parallel = false;
+    let mut max_print = 20usize;
+    let mut report = None;
+    let mut markers = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rules" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                rules = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--parallel" => {
+                parallel = true;
+                i += 1;
+            }
+            "--report" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                report = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--markers" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                markers = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--max-print" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                max_print = argv[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            other if layout.is_none() && !other.starts_with('-') => {
+                layout = Some(other.to_owned());
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(layout), Some(rules)) = (layout, rules) else {
+        usage()
+    };
+    Args {
+        layout,
+        rules,
+        parallel,
+        max_print,
+        report,
+        markers,
+    }
+}
+
+/// Writes the violations as CSV: rule, kind, x0, y0, x1, y1, measured.
+fn write_report(path: &str, violations: &[odrc::Violation]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "rule,kind,x0,y0,x1,y1,measured")?;
+    for v in violations {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{}",
+            v.rule,
+            v.kind,
+            v.location.lo().x,
+            v.location.lo().y,
+            v.location.hi().x,
+            v.location.hi().y,
+            v.measured
+        )?;
+    }
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
+    let deck_text = std::fs::read_to_string(&args.rules)?;
+    let deck = parse_deck(&deck_text)?;
+    eprintln!("loaded {} rules from {}", deck.rules().len(), args.rules);
+
+    let lib = odrc_gdsii::read_file(&args.layout)?;
+    let layout = Layout::from_library(&lib)?;
+    eprintln!("loaded '{}':\n{}", lib.name, layout.stats());
+
+    let engine = if args.parallel {
+        Engine::parallel()
+    } else {
+        Engine::sequential()
+    };
+    let report = engine.check(&layout, &deck);
+
+    for rule in deck.rules() {
+        let n = report.violations_of(&rule.name).count();
+        println!("{:<20} {:>8}", rule.name, n);
+    }
+    println!("{:<20} {:>8}", "total", report.violations.len());
+    for v in report.violations.iter().take(args.max_print) {
+        println!("  {v}");
+    }
+    if report.violations.len() > args.max_print {
+        println!("  ... and {} more", report.violations.len() - args.max_print);
+    }
+    if let Some(path) = &args.report {
+        write_report(path, &report.violations)?;
+        eprintln!("wrote {} violations to {path}", report.violations.len());
+    }
+    if let Some(path) = &args.markers {
+        // Markers on a layer beyond the BEOL stack, KLayout-style.
+        let lib = odrc::markers::marker_library(&report.violations, 10_000);
+        odrc_gdsii::write_file(&lib, path)?;
+        eprintln!("wrote marker GDSII to {path}");
+    }
+    eprintln!("\n{}", report.profile);
+    eprintln!(
+        "checks computed: {}, reused: {}, rows: {}",
+        report.stats.checks_computed, report.stats.checks_reused, report.stats.rows
+    );
+    Ok(report.violations.len())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match run(&args) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Edge-pair distance predicates (§IV-D "Check Procedures").
+//!
+//! Polygon vertices are stored in clockwise order "so that positional
+//! relations of edges are determined accordingly": every edge knows on
+//! which side its interior lies ([`Edge::interior_sign`]). A *width*
+//! check looks for a facing pair with the interior between the edges; a
+//! *space* check looks for a facing pair with the exterior between.
+//!
+//! Both predicates operate on squared distances; no square root is ever
+//! taken.
+
+use odrc_geometry::Edge;
+
+/// How two parallel edges face each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeRelation {
+    /// Interior between the edges (width-style pair).
+    InteriorFacing,
+    /// Exterior between the edges (space-style pair).
+    ExteriorFacing,
+    /// Not a facing pair (perpendicular, same side, or collinear).
+    None,
+}
+
+/// Classifies a pair of axis-aligned edges.
+///
+/// The classification is orientation-based only; it does not look at
+/// distances.
+pub fn relation(a: Edge, b: Edge) -> EdgeRelation {
+    if !a.is_parallel(b) {
+        return EdgeRelation::None;
+    }
+    let (lo, hi) = if a.track() < b.track() {
+        (a, b)
+    } else if b.track() < a.track() {
+        (b, a)
+    } else {
+        return EdgeRelation::None; // collinear
+    };
+    match (lo.interior_sign(), hi.interior_sign()) {
+        (1, -1) => EdgeRelation::InteriorFacing,
+        (-1, 1) => EdgeRelation::ExteriorFacing,
+        _ => EdgeRelation::None,
+    }
+}
+
+/// Width predicate: returns the squared distance if the pair violates a
+/// minimum width of `min` (i.e. is interior-facing with overlapping
+/// projections and squared distance below `min²`).
+///
+/// Pairs with disjoint projections do not constitute a width: the
+/// interior between them is measured by some other facing pair.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_geometry::{Edge, Point};
+/// use odrc::checks::width_pair;
+///
+/// // A 10-wide vertical bar: left edge goes up, right edge goes down.
+/// let left = Edge::new(Point::new(0, 0), Point::new(0, 50));
+/// let right = Edge::new(Point::new(10, 50), Point::new(10, 0));
+/// assert_eq!(width_pair(left, right, 18), Some(100)); // 10² < 18²
+/// assert_eq!(width_pair(left, right, 10), None); // 10 >= 10 passes
+/// ```
+pub fn width_pair(a: Edge, b: Edge, min: i64) -> Option<i64> {
+    if relation(a, b) != EdgeRelation::InteriorFacing {
+        return None;
+    }
+    if a.projection_overlap(b) == 0 {
+        return None;
+    }
+    let d2 = a.distance_sq(b);
+    (d2 < min * min).then_some(d2)
+}
+
+/// Space predicate: returns the squared distance if the pair violates a
+/// minimum spacing of `min` (exterior-facing, squared distance in
+/// `(0, min²)` for corner pairs or `[0, min²)` for projecting pairs).
+///
+/// Unlike width, spacing also applies to pairs with disjoint
+/// projections (corner-to-corner spacing), as long as the edges face
+/// each other across the exterior.
+///
+/// ```
+/// use odrc_geometry::{Edge, Point};
+/// use odrc::checks::space_pair;
+///
+/// // Two bars 12 apart: right edge of the left bar faces left edge of
+/// // the right bar across empty space.
+/// let a = Edge::new(Point::new(10, 50), Point::new(10, 0));  // interior -x
+/// let b = Edge::new(Point::new(22, 0), Point::new(22, 50));  // interior +x
+/// assert_eq!(space_pair(a, b, 18), Some(144));
+/// assert_eq!(space_pair(a, b, 12), None);
+/// ```
+pub fn space_pair(a: Edge, b: Edge, min: i64) -> Option<i64> {
+    space_pair_spec(a, b, SpaceSpec::simple(min))
+}
+
+/// Parameters of a (possibly conditional) spacing rule.
+///
+/// Modern rule decks make spacing requirements conditional on the
+/// *projection length* between the edges ("different spacing
+/// constraints given different projection lengths", §II of the paper):
+/// a large spacing only applies to long parallel runs. A
+/// `min_projection` of zero makes the rule unconditional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceSpec {
+    /// Minimum spacing in dbu (violation when strictly below).
+    pub min: i64,
+    /// The rule only applies to pairs whose projection overlap is at
+    /// least this long; `0` applies it to every facing pair, including
+    /// corner-to-corner.
+    pub min_projection: i64,
+}
+
+impl SpaceSpec {
+    /// An unconditional spacing rule.
+    pub fn simple(min: i64) -> SpaceSpec {
+        SpaceSpec {
+            min,
+            min_projection: 0,
+        }
+    }
+}
+
+/// Space predicate with full rule parameters; see [`space_pair`].
+///
+/// ```
+/// use odrc_geometry::{Edge, Point};
+/// use odrc::checks::edge::{space_pair_spec, SpaceSpec};
+///
+/// let a = Edge::new(Point::new(10, 50), Point::new(10, 0));
+/// let b = Edge::new(Point::new(22, 0), Point::new(22, 50));
+/// // Overlap is 50: the conditional rule applies.
+/// let spec = SpaceSpec { min: 18, min_projection: 40 };
+/// assert_eq!(space_pair_spec(a, b, spec), Some(144));
+/// // Requiring a longer run exempts the pair.
+/// let spec = SpaceSpec { min: 18, min_projection: 60 };
+/// assert_eq!(space_pair_spec(a, b, spec), None);
+/// ```
+pub fn space_pair_spec(a: Edge, b: Edge, spec: SpaceSpec) -> Option<i64> {
+    if relation(a, b) != EdgeRelation::ExteriorFacing {
+        return None;
+    }
+    if spec.min_projection > 0 && a.projection_overlap(b) < spec.min_projection {
+        return None;
+    }
+    let d2 = a.distance_sq(b);
+    (d2 < spec.min * spec.min).then_some(d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrc_geometry::{Point, Polygon, Rect};
+
+    fn e(x0: i32, y0: i32, x1: i32, y1: i32) -> Edge {
+        Edge::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn relation_classification() {
+        // Clockwise square edges.
+        let sq = Polygon::rect(Rect::from_coords(0, 0, 10, 10));
+        let edges: Vec<Edge> = sq.edges().collect();
+        // Left (up) and right (down) edges: interior between.
+        let left = edges.iter().find(|e| e.track() == 0 && e.orientation() == odrc_geometry::Orientation::Vertical).copied().unwrap();
+        let right = edges.iter().find(|e| e.track() == 10 && e.orientation() == odrc_geometry::Orientation::Vertical).copied().unwrap();
+        assert_eq!(relation(left, right), EdgeRelation::InteriorFacing);
+        assert_eq!(relation(right, left), EdgeRelation::InteriorFacing);
+
+        // Two squares side by side: facing across exterior.
+        let sq2 = Polygon::rect(Rect::from_coords(20, 0, 30, 10));
+        let left2 = sq2
+            .edges()
+            .find(|e| e.track() == 20 && e.orientation() == odrc_geometry::Orientation::Vertical)
+            .unwrap();
+        assert_eq!(relation(right, left2), EdgeRelation::ExteriorFacing);
+
+        // Perpendicular edges: no relation.
+        let top = edges.iter().find(|e| e.orientation() == odrc_geometry::Orientation::Horizontal).copied().unwrap();
+        assert_eq!(relation(left, top), EdgeRelation::None);
+
+        // Same-side edges (both interiors pointing the same way).
+        let left3 = e(40, 0, 40, 10); // up, interior +x
+        let left4 = e(50, 0, 50, 10); // up, interior +x
+        assert_eq!(relation(left3, left4), EdgeRelation::None);
+
+        // Collinear edges.
+        assert_eq!(relation(e(0, 0, 0, 5), e(0, 10, 0, 20)), EdgeRelation::None);
+    }
+
+    #[test]
+    fn width_requires_projection_overlap() {
+        let a = e(0, 0, 0, 10); // up, interior +x
+        let b = e(5, 30, 5, 20); // down, interior -x, disjoint y
+        assert_eq!(width_pair(a, b, 100), None);
+        let b2 = e(5, 10, 5, 2); // overlapping projection
+        assert_eq!(width_pair(a, b2, 100), Some(25));
+    }
+
+    #[test]
+    fn width_boundary_is_strict() {
+        let a = e(0, 0, 0, 10);
+        let b = e(18, 10, 18, 0);
+        assert_eq!(width_pair(a, b, 18), None); // exactly min passes
+        assert_eq!(width_pair(a, b, 19), Some(324));
+    }
+
+    #[test]
+    fn space_catches_corner_pairs() {
+        // Diagonal corner gap of (3, 4) => 25.
+        let a = e(10, 10, 10, 0); // right edge of left-bottom polygon
+        let b = e(13, 14, 13, 30); // left edge of right-top polygon
+        assert_eq!(space_pair(a, b, 6), Some(25));
+        assert_eq!(space_pair(a, b, 5), None); // 25 >= 25
+    }
+
+    #[test]
+    fn space_horizontal_pairs() {
+        // Bottom polygon's top edge faces top polygon's bottom edge.
+        let top_of_lower = e(0, 10, 10, 10); // right, interior -y
+        let bottom_of_upper = e(10, 25, 0, 25); // left, interior +y
+        assert_eq!(space_pair(top_of_lower, bottom_of_upper, 20), Some(225));
+        assert_eq!(space_pair(top_of_lower, bottom_of_upper, 15), None);
+    }
+
+    #[test]
+    fn space_ignores_interior_facing() {
+        let a = e(0, 0, 0, 10); // up, interior +x
+        let b = e(5, 10, 5, 0); // down, interior -x => interior between
+        assert_eq!(space_pair(a, b, 100), None);
+        assert!(width_pair(a, b, 100).is_some());
+    }
+
+    #[test]
+    fn width_ignores_exterior_facing() {
+        let a = e(0, 10, 0, 0); // down, interior -x
+        let b = e(5, 0, 5, 10); // up, interior +x => exterior between
+        assert_eq!(width_pair(a, b, 100), None);
+        assert!(space_pair(a, b, 100).is_some());
+    }
+
+    #[test]
+    fn predicates_are_symmetric() {
+        let a = e(10, 10, 10, 0);
+        let b = e(22, 0, 22, 50);
+        assert_eq!(space_pair(a, b, 18), space_pair(b, a, 18));
+        let c = e(0, 0, 0, 10);
+        let d = e(5, 10, 5, 0);
+        assert_eq!(width_pair(c, d, 100), width_pair(d, c, 100));
+    }
+}

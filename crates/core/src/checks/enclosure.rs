@@ -1,0 +1,199 @@
+//! Enclosure checks (inter-layer distance rules).
+//!
+//! An enclosure rule requires shapes of an inner layer (typically vias)
+//! to lie inside the outer layer's geometry with a minimum margin on
+//! every side — "the minimum enclosure is to avoid layer misalignment
+//! errors" (§II of the paper).
+
+use odrc_geometry::{Orientation, Polygon, Rect};
+
+/// Returns `true` if the closed rectangle `r` lies entirely inside the
+/// rectilinear polygon `poly`.
+///
+/// The test combines corner containment with a crossing test: no
+/// polygon edge may pass strictly through the rectangle's interior
+/// (corners inside alone would miss a notch cutting through the middle).
+pub fn rect_inside_polygon(r: Rect, poly: &Polygon) -> bool {
+    if !poly.mbr().contains_rect(r) {
+        return false;
+    }
+    for corner in r.corners() {
+        if !poly.contains(corner) {
+            return false;
+        }
+    }
+    for e in poly.edges() {
+        match e.orientation() {
+            Orientation::Vertical => {
+                if r.lo().x < e.track()
+                    && e.track() < r.hi().x
+                    && e.span().overlaps_open(r.y_range())
+                {
+                    return false;
+                }
+            }
+            Orientation::Horizontal => {
+                if r.lo().y < e.track()
+                    && e.track() < r.hi().y
+                    && e.span().overlaps_open(r.x_range())
+                {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Computes the enclosure margin of `inner` within the candidate
+/// `outers`, clamped to `[-min, min]`.
+///
+/// The margin of one candidate is the largest `m` such that the inner
+/// MBR inflated by `m` still lies inside the candidate; the overall
+/// margin is the best across candidates (a via needs *one* sufficient
+/// landing). The binary search is over at most `log₂(2·min)` steps, and
+/// values outside `[-min, min]` are clamped — the check only needs to
+/// know whether the margin reaches `min`.
+///
+/// Returns the clamped margin; the rule is violated when the result is
+/// strictly below `min`.
+///
+/// # Examples
+///
+/// ```
+/// use odrc::checks::enclosure_margin;
+/// use odrc_geometry::{Polygon, Rect};
+///
+/// let via = Rect::from_coords(10, 10, 20, 20);
+/// let metal = Polygon::rect(Rect::from_coords(0, 5, 40, 25));
+/// // Margins: left 10, right 20, bottom 5, top 5 -> 5.
+/// assert_eq!(enclosure_margin(via, &[&metal], 8), 5);
+/// assert_eq!(enclosure_margin(via, &[&metal], 4), 4); // clamped: passes
+/// ```
+pub fn enclosure_margin(inner: Rect, outers: &[&Polygon], min: i64) -> i64 {
+    let min = min.max(1);
+    let mut best = -min;
+    for outer in outers {
+        // Binary search the largest workable inflation in [-min, min].
+        let (mut lo, mut hi) = (-min, min);
+        // Quick reject: even deflated by min, not inside.
+        if !inside_with_margin(inner, outer, lo) {
+            continue;
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo + 1) / 2;
+            if inside_with_margin(inner, outer, mid) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        best = best.max(lo);
+        if best >= min {
+            break;
+        }
+    }
+    best
+}
+
+fn inside_with_margin(inner: Rect, outer: &Polygon, margin: i64) -> bool {
+    let m = margin as i32;
+    // Negative margins deflate; an over-deflated rect collapses and is
+    // trivially inside if its center region is.
+    let half_w = (inner.width() / 2) as i32;
+    let half_h = (inner.height() / 2) as i32;
+    let m = m.max(-half_w.min(half_h));
+    let r = inner.inflate(m);
+    rect_inside_polygon(r, outer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrc_geometry::Point;
+
+    fn rect(x0: i32, y0: i32, x1: i32, y1: i32) -> Rect {
+        Rect::from_coords(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn rect_inside_simple() {
+        let outer = Polygon::rect(rect(0, 0, 100, 100));
+        assert!(rect_inside_polygon(rect(10, 10, 20, 20), &outer));
+        assert!(rect_inside_polygon(rect(0, 0, 100, 100), &outer)); // exact
+        assert!(!rect_inside_polygon(rect(-1, 10, 20, 20), &outer));
+        assert!(!rect_inside_polygon(rect(90, 90, 110, 95), &outer));
+    }
+
+    #[test]
+    fn rect_inside_l_shape_notch() {
+        // L-shape: the notch is the upper-right quadrant.
+        let l = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(0, 100),
+            Point::new(50, 100),
+            Point::new(50, 50),
+            Point::new(100, 50),
+            Point::new(100, 0),
+        ])
+        .unwrap();
+        assert!(rect_inside_polygon(rect(10, 10, 40, 90), &l));
+        assert!(rect_inside_polygon(rect(10, 10, 90, 40), &l));
+        // Crosses into the notch.
+        assert!(!rect_inside_polygon(rect(40, 40, 60, 60), &l));
+        // Entirely inside the notch (outside the polygon); all corners
+        // outside.
+        assert!(!rect_inside_polygon(rect(60, 60, 90, 90), &l));
+        // Spans the notch horizontally: corners at y<=50 inside, but the
+        // rect pokes above.
+        assert!(!rect_inside_polygon(rect(10, 40, 90, 60), &l));
+    }
+
+    #[test]
+    fn margin_centered_via() {
+        let via = rect(45, 45, 55, 55);
+        let metal = Polygon::rect(rect(0, 0, 100, 100));
+        assert_eq!(enclosure_margin(via, &[&metal], 10), 10); // clamped
+        assert_eq!(enclosure_margin(via, &[&metal], 60), 45);
+    }
+
+    #[test]
+    fn margin_off_center() {
+        let via = rect(2, 45, 12, 55);
+        let metal = Polygon::rect(rect(0, 0, 100, 100));
+        assert_eq!(enclosure_margin(via, &[&metal], 10), 2);
+    }
+
+    #[test]
+    fn margin_poking_out_is_negative() {
+        let via = rect(-5, 45, 5, 55);
+        let metal = Polygon::rect(rect(0, 0, 100, 100));
+        let m = enclosure_margin(via, &[&metal], 10);
+        assert!(m < 0, "margin {m}");
+    }
+
+    #[test]
+    fn margin_no_candidates() {
+        let via = rect(0, 0, 10, 10);
+        assert_eq!(enclosure_margin(via, &[], 8), -8);
+    }
+
+    #[test]
+    fn best_candidate_wins() {
+        let via = rect(20, 20, 30, 30);
+        let narrow = Polygon::rect(rect(18, 0, 32, 100)); // margin 2
+        let wide = Polygon::rect(rect(0, 0, 100, 100)); // margin 20 (clamp)
+        assert_eq!(enclosure_margin(via, &[&narrow], 8), 2);
+        assert_eq!(enclosure_margin(via, &[&narrow, &wide], 8), 8);
+    }
+
+    #[test]
+    fn via_on_wire_matches_generator_geometry() {
+        // The generator's clean V1: 10x10 via centered on an 18-wide M1
+        // bar -> margin 4 in x, large in y.
+        let bar = Polygon::rect(rect(-9, 0, 9, 210));
+        let via = rect(-5, 100, 5, 110);
+        assert_eq!(enclosure_margin(via, &[&bar], 4), 4); // passes == min
+        assert_eq!(enclosure_margin(via, &[&bar], 5), 4); // fails < 5
+    }
+}

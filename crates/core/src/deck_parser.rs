@@ -1,0 +1,304 @@
+//! A plain-text rule deck format for the command-line checker.
+//!
+//! The paper's engine is configured through its C++ API (Listing 1);
+//! for standalone use this module adds a minimal deck file format, one
+//! rule per line:
+//!
+//! ```text
+//! # ASAP7-like BEOL deck
+//! width     layer=19 min=18            name=M1.W.1
+//! space     layer=20 min=20
+//! space     layer=20 min=40 projection=100   # conditional
+//! area      layer=19 min=1400
+//! enclosure inner=30 outer=19 min=4
+//! overlap   inner=30 outer=20 min_area=100
+//! rectilinear
+//! rectilinear layer=19
+//! ```
+//!
+//! Lines are `kind key=value ...`; `#` starts a comment; `name=` is
+//! optional everywhere. User predicates (`ensures`) are code, not
+//! configuration, and are not expressible in files.
+
+use std::fmt;
+
+use crate::rules::{rule, Rule, RuleDeck};
+
+/// Error parsing a deck file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDeckError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseDeckErrorKind,
+}
+
+/// The failure cases of the deck parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDeckErrorKind {
+    /// The line's first token is not a rule kind.
+    UnknownRuleKind(String),
+    /// A required `key=` is missing.
+    MissingKey(&'static str),
+    /// A `key=value` token does not parse.
+    BadValue {
+        /// The key.
+        key: String,
+        /// The offending value text.
+        value: String,
+    },
+    /// A token is not of `key=value` form or the key is not recognized.
+    UnknownKey(String),
+}
+
+impl fmt::Display for ParseDeckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseDeckErrorKind::UnknownRuleKind(k) => write!(f, "unknown rule kind '{k}'"),
+            ParseDeckErrorKind::MissingKey(k) => write!(f, "missing required key '{k}'"),
+            ParseDeckErrorKind::BadValue { key, value } => {
+                write!(f, "invalid value '{value}' for key '{key}'")
+            }
+            ParseDeckErrorKind::UnknownKey(t) => write!(f, "unrecognized token '{t}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDeckError {}
+
+struct LineArgs<'a> {
+    line_no: usize,
+    pairs: Vec<(&'a str, &'a str)>,
+    name: Option<&'a str>,
+}
+
+impl<'a> LineArgs<'a> {
+    fn parse(line_no: usize, tokens: &[&'a str]) -> Result<Self, ParseDeckError> {
+        let mut pairs = Vec::new();
+        let mut name = None;
+        for t in tokens {
+            let Some((key, value)) = t.split_once('=') else {
+                return Err(ParseDeckError {
+                    line: line_no,
+                    kind: ParseDeckErrorKind::UnknownKey((*t).to_owned()),
+                });
+            };
+            if key == "name" {
+                name = Some(value);
+            } else {
+                pairs.push((key, value));
+            }
+        }
+        Ok(LineArgs {
+            line_no,
+            pairs,
+            name,
+        })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &'static str) -> Result<T, ParseDeckError> {
+        let (_, value) = self
+            .pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .ok_or(ParseDeckError {
+                line: self.line_no,
+                kind: ParseDeckErrorKind::MissingKey(key),
+            })?;
+        value.parse().map_err(|_| ParseDeckError {
+            line: self.line_no,
+            kind: ParseDeckErrorKind::BadValue {
+                key: key.to_owned(),
+                value: (*value).to_owned(),
+            },
+        })
+    }
+
+    fn get_opt<T: std::str::FromStr>(&self, key: &'static str) -> Result<Option<T>, ParseDeckError> {
+        match self.pairs.iter().find(|(k, _)| *k == key) {
+            None => Ok(None),
+            Some((_, value)) => value.parse().map(Some).map_err(|_| ParseDeckError {
+                line: self.line_no,
+                kind: ParseDeckErrorKind::BadValue {
+                    key: key.to_owned(),
+                    value: (*value).to_owned(),
+                },
+            }),
+        }
+    }
+
+    fn check_known(&self, allowed: &[&str]) -> Result<(), ParseDeckError> {
+        for (k, _) in &self.pairs {
+            if !allowed.contains(k) {
+                return Err(ParseDeckError {
+                    line: self.line_no,
+                    kind: ParseDeckErrorKind::UnknownKey((*k).to_owned()),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a deck file.
+///
+/// # Errors
+///
+/// Returns [`ParseDeckError`] with the 1-based line number of the first
+/// malformed line.
+///
+/// # Examples
+///
+/// ```
+/// let deck = odrc::parse_deck("
+///     width layer=19 min=18 name=M1.W.1
+///     space layer=20 min=20
+/// ")?;
+/// assert_eq!(deck.rules().len(), 2);
+/// assert_eq!(deck.rules()[0].name, "M1.W.1");
+/// # Ok::<(), odrc::ParseDeckError>(())
+/// ```
+pub fn parse_deck(text: &str) -> Result<RuleDeck, ParseDeckError> {
+    let mut rules: Vec<Rule> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let (kind, rest) = tokens.split_first().expect("non-empty line");
+        let args = LineArgs::parse(line_no, rest)?;
+        let mut r = match *kind {
+            "width" => {
+                args.check_known(&["layer", "min"])?;
+                rule().layer(args.get("layer")?).width().greater_than(args.get("min")?)
+            }
+            "space" => {
+                args.check_known(&["layer", "min", "projection"])?;
+                let sel = rule().layer(args.get("layer")?).space();
+                let sel = match args.get_opt::<i64>("projection")? {
+                    Some(p) => sel.when_projection_at_least(p),
+                    None => sel,
+                };
+                sel.greater_than(args.get("min")?)
+            }
+            "area" => {
+                args.check_known(&["layer", "min"])?;
+                rule().layer(args.get("layer")?).area().greater_than(args.get("min")?)
+            }
+            "enclosure" => {
+                args.check_known(&["inner", "outer", "min"])?;
+                rule()
+                    .layer(args.get("inner")?)
+                    .enclosed_by(args.get("outer")?)
+                    .greater_than(args.get("min")?)
+            }
+            "overlap" => {
+                args.check_known(&["inner", "outer", "min_area"])?;
+                rule()
+                    .layer(args.get("inner")?)
+                    .overlapping(args.get("outer")?)
+                    .area_at_least(args.get("min_area")?)
+            }
+            "rectilinear" => {
+                args.check_known(&["layer"])?;
+                match args.get_opt::<i16>("layer")? {
+                    Some(l) => rule().layer(l).polygons().is_rectilinear(),
+                    None => rule().polygons().is_rectilinear(),
+                }
+            }
+            other => {
+                return Err(ParseDeckError {
+                    line: line_no,
+                    kind: ParseDeckErrorKind::UnknownRuleKind(other.to_owned()),
+                })
+            }
+        };
+        if let Some(name) = args.name {
+            r = r.named(name);
+        }
+        rules.push(r);
+    }
+    Ok(RuleDeck::new(rules))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleKind;
+
+    #[test]
+    fn full_deck_parses() {
+        let deck = parse_deck(
+            "# comment-only line
+             width layer=19 min=18 name=M1.W.1
+             space layer=20 min=20
+             space layer=20 min=40 projection=100 name=M2.S.P
+             area layer=19 min=1400
+             enclosure inner=30 outer=19 min=4
+             overlap inner=30 outer=20 min_area=100
+             rectilinear
+             rectilinear layer=19  # trailing comment
+            ",
+        )
+        .unwrap();
+        assert_eq!(deck.rules().len(), 8);
+        assert_eq!(deck.rules()[0].name, "M1.W.1");
+        assert!(matches!(
+            deck.rules()[2].kind,
+            RuleKind::Space {
+                min: 40,
+                min_projection: 100,
+                ..
+            }
+        ));
+        assert!(matches!(
+            deck.rules()[5].kind,
+            RuleKind::OverlapArea { min_area: 100, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_text_is_empty_deck() {
+        assert!(parse_deck("").unwrap().rules().is_empty());
+        assert!(parse_deck("\n  # nothing\n").unwrap().rules().is_empty());
+    }
+
+    #[test]
+    fn unknown_kind_reports_line() {
+        let err = parse_deck("width layer=1 min=2\nshrink layer=1").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseDeckErrorKind::UnknownRuleKind(_)));
+    }
+
+    #[test]
+    fn missing_key_reported() {
+        let err = parse_deck("width layer=1").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.kind, ParseDeckErrorKind::MissingKey("min"));
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        let err = parse_deck("width layer=abc min=5").unwrap_err();
+        assert!(matches!(err.kind, ParseDeckErrorKind::BadValue { .. }));
+    }
+
+    #[test]
+    fn unknown_key_reported() {
+        let err = parse_deck("width layer=1 min=5 bogus=2").unwrap_err();
+        assert!(matches!(err.kind, ParseDeckErrorKind::UnknownKey(_)));
+        let err = parse_deck("width layer=1 min=5 naked").unwrap_err();
+        assert!(matches!(err.kind, ParseDeckErrorKind::UnknownKey(_)));
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let err = parse_deck("space layer=1").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("line 1"));
+        assert!(text.contains("min"));
+    }
+}

@@ -1,0 +1,260 @@
+//! The engine controller (the paper's "application layer", §V-A).
+
+use odrc_db::Layout;
+use odrc_infra::Profiler;
+use odrc_xpu::Device;
+
+use crate::rules::{Rule, RuleDeck, RuleKind};
+use crate::sequential::{self, RunContext};
+use crate::violation::{canonicalize, Violation};
+use crate::parallel;
+
+/// Execution mode of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The cell-level sweep pipeline on the CPU (§IV-D).
+    Sequential,
+    /// Row-by-row edge kernels on the device (§IV-E).
+    Parallel,
+}
+
+/// Which structure discovers candidate object pairs in the sequential
+/// mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PairIndex {
+    /// The top-down sweepline with an interval tree (§IV-D) — the
+    /// paper's choice and the default.
+    #[default]
+    Sweepline,
+    /// An STR-packed R-tree queried per object — the bounding-volume
+    /// alternative the paper cites (§I), kept for the ablation.
+    RTree,
+}
+
+/// Tuning knobs, including the ablation switches DESIGN.md calls out.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Enable hierarchical check-result reuse (§IV-C). Disabling it
+    /// re-checks every instance — the pruning ablation.
+    pub pruning: bool,
+    /// Enable the adaptive row-based partition (§IV-B). Disabling it
+    /// processes the whole layout as one row — the partition ablation.
+    pub partition: bool,
+    /// Row edge count at or below which the parallel mode uses the
+    /// brute-force executor instead of the sweepline executor (§IV-E).
+    pub sweep_threshold: usize,
+    /// Candidate-pair discovery structure for the sequential mode.
+    pub pair_index: PairIndex,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            pruning: true,
+            partition: true,
+            sweep_threshold: 512,
+            pair_index: PairIndex::default(),
+        }
+    }
+}
+
+/// Work accounting for a check run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Checks actually executed (cell-level units for intra rules,
+    /// emitted records for device space kernels).
+    pub checks_computed: usize,
+    /// Checks answered from the hierarchy memo instead of running
+    /// (§IV-C).
+    pub checks_reused: usize,
+    /// Candidate object pairs produced by the sweepline.
+    pub candidate_pairs: usize,
+    /// Rows produced by the adaptive partition, summed over rules.
+    pub rows: usize,
+}
+
+/// The result of [`Engine::check`].
+#[derive(Debug)]
+pub struct CheckReport {
+    /// All violations, canonicalized (sorted, deduplicated).
+    pub violations: Vec<Violation>,
+    /// Wall-clock per pipeline phase (drives the Fig. 4 breakdown).
+    pub profile: Profiler,
+    /// Work accounting.
+    pub stats: EngineStats,
+}
+
+impl CheckReport {
+    /// Violations of one rule.
+    pub fn violations_of<'a>(&'a self, rule: &'a str) -> impl Iterator<Item = &'a Violation> + 'a {
+        self.violations.iter().filter(move |v| v.rule == rule)
+    }
+}
+
+/// The OpenDRC engine.
+///
+/// # Examples
+///
+/// ```
+/// use odrc::{rules::rule, Engine, RuleDeck};
+/// use odrc_layoutgen::{generate_layout, tech, DesignSpec};
+///
+/// let layout = generate_layout(&DesignSpec::tiny(1));
+/// let deck = RuleDeck::new(vec![
+///     rule().layer(tech::M2).width().greater_than(tech::M2_WIDTH).named("M2.W.1"),
+///     rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
+/// ]);
+/// let report = Engine::sequential().check(&layout, &deck);
+/// assert!(report.violations.iter().all(|v| v.rule.starts_with("M2")));
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    mode: Mode,
+    options: EngineOptions,
+    device: Device,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::sequential()
+    }
+}
+
+impl Engine {
+    /// A sequential-mode engine.
+    pub fn sequential() -> Engine {
+        Engine {
+            mode: Mode::Sequential,
+            options: EngineOptions::default(),
+            device: Device::new(1),
+        }
+    }
+
+    /// A parallel-mode engine on a default-sized device.
+    pub fn parallel() -> Engine {
+        Engine::parallel_on(Device::default())
+    }
+
+    /// A parallel-mode engine on a specific device.
+    pub fn parallel_on(device: Device) -> Engine {
+        Engine {
+            mode: Mode::Parallel,
+            options: EngineOptions::default(),
+            device,
+        }
+    }
+
+    /// Overrides the tuning options.
+    #[must_use]
+    pub fn with_options(mut self, options: EngineOptions) -> Engine {
+        self.options = options;
+        self
+    }
+
+    /// The engine's mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The engine's device (meaningful in parallel mode).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Runs every rule of the deck against the layout.
+    ///
+    /// Both modes produce the same canonical violation set; the
+    /// integration tests assert this equivalence on every generated
+    /// design.
+    pub fn check(&self, layout: &Layout, deck: &RuleDeck) -> CheckReport {
+        let mut profiler = Profiler::new();
+        let mut stats = EngineStats::default();
+        let mut violations = Vec::new();
+        {
+            let mut ctx = RunContext::new(layout, &self.options, &mut profiler, &mut stats);
+            match self.mode {
+                Mode::Sequential => {
+                    for rule in deck.rules() {
+                        self.run_sequential(&mut ctx, rule, &mut violations);
+                    }
+                }
+                Mode::Parallel => {
+                    let stream = self.device.stream();
+                    for rule in deck.rules() {
+                        self.run_parallel(&mut ctx, &stream, rule, &mut violations);
+                    }
+                    stream.synchronize();
+                }
+            }
+        }
+        CheckReport {
+            violations: canonicalize(violations),
+            profile: profiler,
+            stats,
+        }
+    }
+
+    fn run_sequential(&self, ctx: &mut RunContext<'_>, rule: &Rule, out: &mut Vec<Violation>) {
+        match &rule.kind {
+            RuleKind::Space {
+                layer,
+                min,
+                min_projection,
+            } => {
+                let spec = crate::checks::SpaceSpec {
+                    min: *min,
+                    min_projection: *min_projection,
+                };
+                sequential::check_space_rule(ctx, &rule.name, *layer, spec, out);
+            }
+            RuleKind::Enclosure { inner, outer, min } => {
+                sequential::check_enclosure_rule(ctx, &rule.name, *inner, *outer, *min, out);
+            }
+            RuleKind::OverlapArea {
+                inner,
+                outer,
+                min_area,
+            } => {
+                sequential::check_overlap_rule(ctx, &rule.name, *inner, *outer, *min_area, out);
+            }
+            _ => sequential::check_intra_rule(ctx, rule, out),
+        }
+    }
+
+    fn run_parallel(
+        &self,
+        ctx: &mut RunContext<'_>,
+        stream: &odrc_xpu::Stream,
+        rule: &Rule,
+        out: &mut Vec<Violation>,
+    ) {
+        match &rule.kind {
+            RuleKind::Space {
+                layer,
+                min,
+                min_projection,
+            } => {
+                let spec = crate::checks::SpaceSpec {
+                    min: *min,
+                    min_projection: *min_projection,
+                };
+                parallel::check_space_rule_parallel(ctx, stream, &rule.name, *layer, spec, out);
+            }
+            RuleKind::Enclosure { inner, outer, min } => {
+                parallel::check_enclosure_rule_parallel(
+                    ctx, stream, &rule.name, *inner, *outer, *min, out,
+                );
+            }
+            RuleKind::OverlapArea {
+                inner,
+                outer,
+                min_area,
+            } => {
+                parallel::check_overlap_rule_parallel(
+                    ctx, stream, &rule.name, *inner, *outer, *min_area, out,
+                );
+            }
+            _ => parallel::check_intra_rule_parallel(ctx, stream, rule, out),
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Violation marker export.
+//!
+//! Physical verification tools conventionally emit violations as
+//! marker shapes on a dedicated layer of a GDSII file, so layout
+//! editors can overlay them on the design. [`marker_library`] converts
+//! a report into such a library: one rectangle per violation on the
+//! marker layer, carrying the rule name as GDSII property 1 and the
+//! measured value as property 2.
+
+use odrc_db::Layer;
+use odrc_gdsii::{BoundaryElement, Element, Library, Structure};
+use odrc_geometry::Rect;
+
+use crate::violation::Violation;
+
+/// Builds a GDSII library containing one marker rectangle per
+/// violation.
+///
+/// Zero-width or zero-height violation boxes (a degenerate hull of two
+/// collinear-adjacent edges) are inflated by one dbu so every marker is
+/// a drawable rectangle.
+///
+/// # Examples
+///
+/// ```
+/// use odrc::markers::marker_library;
+/// use odrc::{Violation, ViolationKind};
+/// use odrc_geometry::Rect;
+///
+/// let violations = vec![Violation {
+///     rule: "M2.S.1".to_owned(),
+///     kind: ViolationKind::Space,
+///     location: Rect::from_coords(0, 0, 10, 20),
+///     measured: 144,
+/// }];
+/// let lib = marker_library(&violations, 1000);
+/// assert_eq!(lib.structures[0].elements.len(), 1);
+/// let bytes = odrc_gdsii::write(&lib)?;
+/// assert!(!bytes.is_empty());
+/// # Ok::<(), odrc_gdsii::WriteError>(())
+/// ```
+pub fn marker_library(violations: &[Violation], marker_layer: Layer) -> Library {
+    let mut lib = Library::new("odrc-markers");
+    let mut top = Structure::new("DRC_MARKERS");
+    for v in violations {
+        let loc = fatten(v.location);
+        top.elements.push(Element::Boundary(BoundaryElement {
+            layer: marker_layer,
+            datatype: 0,
+            points: loc.corners().to_vec(),
+            properties: vec![
+                (1, v.rule.clone()),
+                (2, format!("{}:{}", v.kind, v.measured)),
+            ],
+        }));
+    }
+    lib.structures.push(top);
+    lib
+}
+
+fn fatten(r: Rect) -> Rect {
+    let lo = r.lo();
+    let mut hi = r.hi();
+    if lo.x == hi.x {
+        hi.x += 1;
+    }
+    if lo.y == hi.y {
+        hi.y += 1;
+    }
+    Rect::new(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::violation::ViolationKind;
+
+    fn v(x0: i32, y0: i32, x1: i32, y1: i32) -> Violation {
+        Violation {
+            rule: "R".to_owned(),
+            kind: ViolationKind::Space,
+            location: Rect::from_coords(x0, y0, x1, y1),
+            measured: 7,
+        }
+    }
+
+    #[test]
+    fn empty_report_empty_markers() {
+        let lib = marker_library(&[], 1000);
+        assert_eq!(lib.structures.len(), 1);
+        assert!(lib.structures[0].elements.is_empty());
+    }
+
+    #[test]
+    fn markers_roundtrip_through_gdsii() {
+        let lib = marker_library(&[v(0, 0, 10, 20), v(50, 50, 60, 55)], 999);
+        let back = odrc_gdsii::read(&odrc_gdsii::write(&lib).unwrap()).unwrap();
+        assert_eq!(back, lib);
+        let Element::Boundary(b) = &back.structures[0].elements[0] else {
+            panic!("expected boundary");
+        };
+        assert_eq!(b.layer, 999);
+        assert_eq!(b.properties[0], (1, "R".to_owned()));
+        assert_eq!(b.properties[1], (2, "space:7".to_owned()));
+    }
+
+    #[test]
+    fn degenerate_markers_fattened() {
+        // A zero-height hull (two collinear horizontal edge fragments).
+        let lib = marker_library(&[v(0, 5, 10, 5)], 1000);
+        let Element::Boundary(b) = &lib.structures[0].elements[0] else {
+            panic!("expected boundary");
+        };
+        let poly = odrc_geometry::Polygon::new(b.points.clone()).unwrap();
+        assert!(poly.area() > 0);
+    }
+
+    #[test]
+    fn markers_import_into_layout() {
+        let lib = marker_library(&[v(0, 0, 10, 20)], 1000);
+        let layout = odrc_db::Layout::from_library(&lib).unwrap();
+        assert_eq!(layout.layer_polygons(1000).len(), 1);
+    }
+}

@@ -1,0 +1,495 @@
+//! The parallel (device) mode (§IV-E of the paper).
+//!
+//! "After layout partitioning, OpenDRC performs parallel design rule
+//! checks in a row-by-row manner, as cells belonging to different rows
+//! will not produce any violation. Before checking, OpenDRC packs the
+//! edges of relevant polygons into a flattened array, which is
+//! transferred from the host memory to the device memory. Depending on
+//! the complexity of each polygon or polygon pair, OpenDRC selects
+//! either a brute-force executor or a sweepline executor."
+//!
+//! Small rows run the **brute-force executor**: one kernel, one thread
+//! per edge, plain `for` loops over the remaining edges. Large rows run
+//! the **sweepline executor**: edges are sorted by track; a first
+//! kernel determines each edge's check range and counts its violations,
+//! an exclusive scan sizes the output, and a second kernel emits the
+//! records — the two-kernel-launch structure the paper chose "for
+//! efficient kernel code optimization (viz. for loops versus while
+//! loops)".
+//!
+//! Host-side packing of the next row overlaps with device work through
+//! the asynchronous stream (§V-C).
+
+use odrc_db::Layer;
+use odrc_geometry::{Edge, Point, Rect};
+use odrc_xpu::{scan::exclusive_scan, Device, LaunchConfig, Pending, Stream};
+
+use crate::checks::edge::{space_pair_spec, SpaceSpec};
+use crate::checks::enclosure_margin;
+use crate::rules::{Rule, RuleKind};
+use crate::scene::LayerScene;
+use crate::sequential::{partition_scene, RunContext};
+use crate::violation::{Violation, ViolationKind};
+
+/// A packed edge: `[x0, y0, x1, y1]`, the device-side representation.
+type PackedEdge = [i32; 4];
+
+fn unpack(e: PackedEdge) -> Edge {
+    Edge::new(Point::new(e[0], e[1]), Point::new(e[2], e[3]))
+}
+
+fn pack(e: Edge) -> PackedEdge {
+    [e.from.x, e.from.y, e.to.x, e.to.y]
+}
+
+/// For each sorted edge, the index of the first edge with a different
+/// track. Collinear (equal-track) edges can never form a facing pair,
+/// so kernels start each edge's scan at its run end — without this,
+/// layouts with many edges on one track (e.g. all cell-bar bottoms of a
+/// row) degrade to quadratic scans over the run.
+fn track_run_ends(edges: &[PackedEdge]) -> Vec<u32> {
+    let n = edges.len();
+    let mut run_end = vec![n as u32; n];
+    let mut i = n;
+    let mut cur_end = n as u32;
+    let mut cur_track = None;
+    while i > 0 {
+        i -= 1;
+        let t = unpack(edges[i]).track();
+        if cur_track != Some(t) {
+            cur_end = (i + 1) as u32;
+            cur_track = Some(t);
+        }
+        run_end[i] = cur_end;
+    }
+    run_end
+}
+
+/// A violation record produced by device kernels: edge indices into the
+/// row's packed array plus the squared distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PairRecord {
+    a: u32,
+    b: u32,
+    d2: i64,
+}
+
+/// One row's worth of packed edges plus its in-flight device results.
+struct RowJob {
+    edges: Vec<PackedEdge>,
+    /// Same-track run table for the sweepline executor.
+    run_ends: Option<Vec<u32>>,
+    brute: Option<Pending<Vec<Vec<(u32, i64)>>>>,
+    counts: Option<Pending<Vec<usize>>>,
+}
+
+struct RowEmit {
+    edges: Vec<PackedEdge>,
+    records: Pending<Vec<PairRecord>>,
+}
+
+/// Runs a same-layer spacing rule on the device, row by row.
+pub(crate) fn check_space_rule_parallel(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    rule_name: &str,
+    layer: Layer,
+    spec: SpaceSpec,
+    out: &mut Vec<Violation>,
+) {
+    let min = spec.min;
+    let layout = ctx.layout;
+    let scene = ctx
+        .profiler
+        .time("scene", || LayerScene::build(layout, layer));
+    let (_, partition) = partition_scene(&scene, min, ctx.options.partition, ctx.profiler);
+    ctx.stats.rows += partition.len();
+    let threshold = ctx.options.sweep_threshold;
+
+    // Phase 1: pack each row and enqueue its first device phase. The
+    // stream runs asynchronously, so packing row i+1 overlaps with the
+    // device processing of row i (§V-C).
+    let mut jobs: Vec<RowJob> = Vec::new();
+    for row in &partition {
+        let edges = ctx.profiler.time("pack", || {
+            let mut edges: Vec<PackedEdge> = Vec::new();
+            for &m in &row.members {
+                for poly in scene.object_polygons(&scene.objects[m]) {
+                    edges.extend(poly.edges().map(pack));
+                }
+            }
+            // The sweepline executor requires track-sorted edges; the
+            // brute executor does not care, so sorting unconditionally
+            // keeps one packing path. Large rows sort on the device.
+            odrc_xpu::sort::parallel_sort_by_key(stream.device(), &mut edges, |&e| {
+                (unpack(e).track(), e)
+            });
+            edges
+        });
+        if edges.is_empty() {
+            jobs.push(RowJob {
+                edges,
+                run_ends: None,
+                brute: None,
+                counts: None,
+            });
+            continue;
+        }
+        let n = edges.len();
+        let dev_edges = stream.upload(edges.clone());
+        if n <= threshold {
+            // Brute-force executor: one launch, plain for loops.
+            let out_buf = stream.alloc::<Vec<(u32, i64)>>(n);
+            let edges_for_kernel = dev_edges.clone();
+            stream.launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
+                let edges = edges_for_kernel.read();
+                let i = tctx.global_id();
+                let ei = unpack(edges[i]);
+                for (j, &pe) in edges.iter().enumerate().skip(i + 1) {
+                    if let Some(d2) = space_pair_spec(ei, unpack(pe), spec) {
+                        slot.push((j as u32, d2));
+                    }
+                }
+            });
+            jobs.push(RowJob {
+                edges,
+                run_ends: None,
+                brute: Some(stream.download(&out_buf)),
+                counts: None,
+            });
+        } else {
+            // Sweepline executor, kernel 1: per-edge check range and
+            // violation count (while loops over the sorted tracks).
+            let run_ends = track_run_ends(&edges);
+            let dev_runs = stream.upload(run_ends.clone());
+            let counts_buf = stream.alloc::<usize>(n);
+            let edges_for_kernel = dev_edges.clone();
+            let runs_for_kernel = dev_runs.clone();
+            stream.launch_map(
+                LaunchConfig::for_threads(n),
+                &counts_buf,
+                move |tctx, slot| {
+                    let edges = edges_for_kernel.read();
+                    let runs = runs_for_kernel.read();
+                    let i = tctx.global_id();
+                    let ei = unpack(edges[i]);
+                    let mut count = 0usize;
+                    let mut j = runs[i] as usize;
+                    while j < edges.len() {
+                        let ej = unpack(edges[j]);
+                        if i64::from(ej.track()) - i64::from(ei.track()) > min {
+                            break;
+                        }
+                        if space_pair_spec(ei, ej, spec).is_some() {
+                            count += 1;
+                        }
+                        j += 1;
+                    }
+                    *slot = count;
+                },
+            );
+            jobs.push(RowJob {
+                edges,
+                run_ends: Some(run_ends),
+                brute: None,
+                counts: Some(stream.download(&counts_buf)),
+            });
+        }
+    }
+
+    // Phase 2: for sweepline rows, scan the counts on the device and
+    // enqueue the emit kernel; brute rows resolve directly.
+    let device = stream.device().clone();
+    let mut emits: Vec<RowEmit> = Vec::new();
+    let mut hits: Vec<Violation> = Vec::new();
+    for job in jobs {
+        if let Some(pending) = job.brute {
+            let per_edge = ctx.profiler.time("kernel-wait", || pending.wait());
+            ctx.profiler.time("convert", || {
+                for (i, pairs) in per_edge.iter().enumerate() {
+                    for &(j, d2) in pairs {
+                        hits.push(make_violation(rule_name, &job.edges, i as u32, j, d2));
+                    }
+                }
+            });
+        } else if let Some(pending) = job.counts {
+            let counts = ctx.profiler.time("kernel-wait", || pending.wait());
+            let offsets = ctx.profiler.time("scan", || exclusive_scan(&device, &counts));
+            let total = *offsets.last().expect("scan returns n+1 entries");
+            let n = job.edges.len();
+            let dev_edges = stream.upload(job.edges.clone());
+            let dev_runs = stream.upload(job.run_ends.clone().expect("sweep rows carry run ends"));
+            let out_buf = stream.alloc::<PairRecord>(total);
+            // Kernel 2: emit each edge's violations into its range.
+            stream.launch_scatter(
+                LaunchConfig::for_threads(n),
+                &out_buf,
+                offsets,
+                move |tctx, slice| {
+                    let edges = dev_edges.read();
+                    let runs = dev_runs.read();
+                    let i = tctx.global_id();
+                    let ei = unpack(edges[i]);
+                    let mut k = 0usize;
+                    let mut j = runs[i] as usize;
+                    while j < edges.len() {
+                        let ej = unpack(edges[j]);
+                        if i64::from(ej.track()) - i64::from(ei.track()) > min {
+                            break;
+                        }
+                        if let Some(d2) = space_pair_spec(ei, ej, spec) {
+                            slice[k] = PairRecord {
+                                a: i as u32,
+                                b: j as u32,
+                                d2,
+                            };
+                            k += 1;
+                        }
+                        j += 1;
+                    }
+                },
+            );
+            emits.push(RowEmit {
+                edges: job.edges,
+                records: stream.download(&out_buf),
+            });
+        }
+    }
+
+    // Phase 3: collect emit results.
+    for emit in emits {
+        let records = ctx.profiler.time("kernel-wait", || emit.records.wait());
+        ctx.profiler.time("convert", || {
+            for r in records {
+                hits.push(make_violation(rule_name, &emit.edges, r.a, r.b, r.d2));
+            }
+        });
+    }
+    ctx.stats.checks_computed += hits.len();
+    out.extend(hits);
+}
+
+fn make_violation(rule: &str, edges: &[PackedEdge], a: u32, b: u32, d2: i64) -> Violation {
+    let ea = unpack(edges[a as usize]);
+    let eb = unpack(edges[b as usize]);
+    Violation {
+        rule: rule.to_owned(),
+        kind: ViolationKind::Space,
+        location: ea.mbr().hull(eb.mbr()),
+        measured: d2,
+    }
+}
+
+/// Runs an intra-polygon width or area rule with its per-polygon work
+/// executed by a device kernel; memoization and instantiation stay on
+/// the host, so the result set matches the sequential mode exactly.
+pub(crate) fn check_intra_rule_parallel(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    rule: &Rule,
+    out: &mut Vec<Violation>,
+) {
+    use crate::checks::poly::LocalViolation;
+
+    let (layer, is_width, min) = match rule.kind {
+        RuleKind::Width { layer, min } => (layer, true, min),
+        RuleKind::Area { layer, min } => (layer, false, min),
+        _ => {
+            // Rectilinear / user predicates run on the host in both
+            // modes (user closures are host code).
+            return crate::sequential::check_intra_rule(ctx, rule, out);
+        }
+    };
+
+    // Pack the unique polygons of the layer (one entry per definition,
+    // not per instance — the memoized work unit of §IV-C).
+    let targets: Vec<(odrc_db::CellId, usize)> =
+        ctx.layout.layer_polygons(layer).to_vec();
+    if targets.is_empty() {
+        return;
+    }
+    let polys: Vec<odrc_geometry::Polygon> = targets
+        .iter()
+        .map(|&(c, pi)| ctx.layout.cell(c).polygons()[pi].polygon.clone())
+        .collect();
+    let n = polys.len();
+    let dev_polys = ctx.profiler.time("pack", || stream.upload(polys));
+    let out_buf = stream.alloc::<Vec<LocalViolation>>(n);
+    let kernel_polys = dev_polys.clone();
+    stream.launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
+        let polys = kernel_polys.read();
+        let poly = &polys[tctx.global_id()];
+        if is_width {
+            crate::checks::poly::width_violations(poly, min, slot);
+        } else {
+            let area = poly.area();
+            if area < min {
+                slot.push(LocalViolation {
+                    kind: ViolationKind::Area,
+                    location: poly.mbr(),
+                    measured: area,
+                });
+            }
+        }
+    });
+    let per_poly = ctx
+        .profiler
+        .time("kernel-wait", || stream.download(&out_buf).wait());
+    ctx.stats.checks_computed += n;
+
+    // Host side: replay each cell's local violations through all its
+    // instances.
+    let instances = ctx.instances().clone();
+    ctx.profiler.time("convert", || {
+        for (idx, (cell, _)) in targets.iter().enumerate() {
+            let Some(transforms) = instances.get(cell) else {
+                continue;
+            };
+            ctx.stats.checks_reused += transforms.len().saturating_sub(1);
+            for t in transforms {
+                for v in &per_poly[idx] {
+                    let vi = v.instantiate(t);
+                    out.push(Violation {
+                        rule: rule.name.clone(),
+                        kind: vi.kind,
+                        location: vi.location,
+                        measured: vi.measured,
+                    });
+                }
+            }
+        }
+    });
+}
+
+/// Runs an enclosure rule with per-via margin computation on the
+/// device. Candidate gathering (the hierarchical layer query) stays on
+/// the host.
+pub(crate) fn check_enclosure_rule_parallel(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    rule_name: &str,
+    inner: Layer,
+    outer: Layer,
+    min: i64,
+    out: &mut Vec<Violation>,
+) {
+    // Host: flat inner shapes plus their outer candidates, gathered by
+    // the same hierarchical bipartite sweep as the sequential mode.
+    let work: Vec<(odrc_geometry::Polygon, Vec<odrc_geometry::Polygon>)> =
+        crate::sequential::enclosure_work(ctx, inner, outer, min);
+    if work.is_empty() {
+        return;
+    }
+    let n = work.len();
+    ctx.stats.checks_computed += n;
+    let rects: Vec<Rect> = work.iter().map(|(p, _)| p.mbr()).collect();
+    let dev_work = stream.upload(work);
+    let margins = stream.alloc::<i64>(n);
+    let kernel_work = dev_work.clone();
+    stream.launch_map(LaunchConfig::for_threads(n), &margins, move |tctx, slot| {
+        let work = kernel_work.read();
+        let (poly, candidates) = &work[tctx.global_id()];
+        let refs: Vec<&odrc_geometry::Polygon> = candidates.iter().collect();
+        *slot = enclosure_margin(poly.mbr(), &refs, min);
+    });
+    let margins = ctx
+        .profiler
+        .time("kernel-wait", || stream.download(&margins).wait());
+    ctx.profiler.time("convert", || {
+        for (rect, margin) in rects.into_iter().zip(margins) {
+            if margin < min {
+                out.push(Violation {
+                    rule: rule_name.to_owned(),
+                    kind: ViolationKind::Enclosure,
+                    location: rect,
+                    measured: margin,
+                });
+            }
+        }
+    });
+}
+
+/// Runs a minimum-overlap-area rule with the boolean work on the
+/// device: one thread per inner shape intersects it with its outer
+/// candidates.
+pub(crate) fn check_overlap_rule_parallel(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    rule_name: &str,
+    inner: Layer,
+    outer: Layer,
+    min_area: i64,
+    out: &mut Vec<Violation>,
+) {
+    use odrc_infra::Region;
+    let work: Vec<(odrc_geometry::Polygon, Vec<odrc_geometry::Polygon>)> =
+        crate::sequential::enclosure_work(ctx, inner, outer, 0);
+    if work.is_empty() {
+        return;
+    }
+    let n = work.len();
+    ctx.stats.checks_computed += n;
+    let rects: Vec<Rect> = work.iter().map(|(p, _)| p.mbr()).collect();
+    let dev_work = stream.upload(work);
+    let areas = stream.alloc::<i64>(n);
+    let kernel_work = dev_work.clone();
+    stream.launch_map(LaunchConfig::for_threads(n), &areas, move |tctx, slot| {
+        let work = kernel_work.read();
+        let (poly, candidates) = &work[tctx.global_id()];
+        let inner_region = Region::from_polygons([poly]);
+        let outer_region = Region::from_polygons(candidates.iter());
+        *slot = inner_region.intersection(&outer_region).area();
+    });
+    let areas = ctx
+        .profiler
+        .time("kernel-wait", || stream.download(&areas).wait());
+    ctx.profiler.time("convert", || {
+        for (rect, shared) in rects.into_iter().zip(areas) {
+            if shared < min_area {
+                out.push(Violation {
+                    rule: rule_name.to_owned(),
+                    kind: ViolationKind::OverlapArea,
+                    location: rect,
+                    measured: shared,
+                });
+            }
+        }
+    });
+}
+
+/// Device-accelerated helper used by tests and benches: all-pairs
+/// spacing over a flat edge list (no hierarchy, no partition), brute
+/// force. Returns canonical violations.
+pub fn flat_space_brute(
+    device: &Device,
+    edges: &[Edge],
+    rule_name: &str,
+    min: i64,
+) -> Vec<Violation> {
+    let stream = device.stream();
+    let packed: Vec<PackedEdge> = edges.iter().map(|&e| pack(e)).collect();
+    let n = packed.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dev = stream.upload(packed.clone());
+    let out_buf = stream.alloc::<Vec<(u32, i64)>>(n);
+    stream.launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
+        let edges = dev.read();
+        let i = tctx.global_id();
+        let ei = unpack(edges[i]);
+        for (j, &pe) in edges.iter().enumerate().skip(i + 1) {
+            if let Some(d2) = space_pair_spec(ei, unpack(pe), SpaceSpec::simple(min)) {
+                slot.push((j as u32, d2));
+            }
+        }
+    });
+    let per_edge = stream.download(&out_buf).wait();
+    let mut out = Vec::new();
+    for (i, pairs) in per_edge.iter().enumerate() {
+        for &(j, d2) in pairs {
+            out.push(make_violation(rule_name, &packed, i as u32, j, d2));
+        }
+    }
+    crate::violation::canonicalize(out)
+}

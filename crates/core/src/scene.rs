@@ -1,0 +1,290 @@
+//! Per-layer object scenes.
+//!
+//! Inter-polygon checks operate on *objects*: the direct placements
+//! under the top cell plus the top cell's own polygons. A
+//! [`LayerScene`] gathers, for one layer, each object's layer MBR (for
+//! partitioning and pair pruning) and a per-cell cache of flattened
+//! subtree polygons in cell-local coordinates — computed once per cell
+//! definition no matter how many times the cell is placed, which is the
+//! database half of the hierarchical reuse of §IV-C.
+
+use std::collections::HashMap;
+
+use odrc_db::{CellId, Layer, Layout};
+use odrc_geometry::{Polygon, Rect, Transform};
+
+/// What a scene object refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SceneSource {
+    /// A placement of a cell under the top cell.
+    Cell {
+        /// The placed cell.
+        cell: CellId,
+        /// Its transform into top coordinates.
+        transform: Transform,
+    },
+    /// A polygon drawn directly in the top cell.
+    TopPolygon {
+        /// Index into the scene's top-polygon list.
+        index: usize,
+    },
+}
+
+/// One object of the scene with its layer MBR in top coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SceneObject {
+    /// Layer MBR in top coordinates.
+    pub mbr: Rect,
+    /// The referenced geometry.
+    pub source: SceneSource,
+}
+
+/// All objects of one layer, with cached per-cell flat geometry.
+#[derive(Debug)]
+pub struct LayerScene {
+    /// The layer this scene describes.
+    pub layer: Layer,
+    /// Objects in construction order (placements, then top polygons).
+    pub objects: Vec<SceneObject>,
+    /// Flattened subtree polygons per placed cell, local coordinates.
+    local: HashMap<CellId, Vec<Polygon>>,
+    /// The top cell's own polygons on this layer.
+    top_polys: Vec<Polygon>,
+}
+
+impl LayerScene {
+    /// Builds the scene for `layer`.
+    pub fn build(layout: &Layout, layer: Layer) -> LayerScene {
+        let mut local: HashMap<CellId, Vec<Polygon>> = HashMap::new();
+        let mut objects = Vec::new();
+        for placement in layout.top_placements() {
+            let cell = layout.cell(placement.cell);
+            let Some(local_mbr) = cell.layer_mbr(layer) else {
+                continue;
+            };
+            local.entry(placement.cell).or_insert_with(|| {
+                let mut flat = Vec::new();
+                layout.collect_layer_polygons(
+                    placement.cell,
+                    Transform::IDENTITY,
+                    layer,
+                    &mut flat,
+                );
+                flat.into_iter().map(|f| f.polygon).collect()
+            });
+            objects.push(SceneObject {
+                mbr: placement.transform.apply_rect(local_mbr),
+                source: SceneSource::Cell {
+                    cell: placement.cell,
+                    transform: placement.transform,
+                },
+            });
+        }
+        let top_cell = layout.cell(layout.top());
+        let mut top_polys = Vec::new();
+        for p in top_cell.polygons_on(layer) {
+            objects.push(SceneObject {
+                mbr: p.polygon.mbr(),
+                source: SceneSource::TopPolygon {
+                    index: top_polys.len(),
+                },
+            });
+            top_polys.push(p.polygon.clone());
+        }
+        LayerScene {
+            layer,
+            objects,
+            local,
+            top_polys,
+        }
+    }
+
+    /// The flattened local polygons of a placed cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` was not placed in this scene.
+    pub fn local_polygons(&self, cell: CellId) -> &[Polygon] {
+        self.local
+            .get(&cell)
+            .expect("cell placed in this scene")
+            .as_slice()
+    }
+
+    /// The unique placed cells of the scene.
+    pub fn placed_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.local.keys().copied()
+    }
+
+    /// A top polygon by index.
+    pub fn top_polygon(&self, index: usize) -> &Polygon {
+        &self.top_polys[index]
+    }
+
+    /// All polygons of one object, in top coordinates.
+    pub fn object_polygons(&self, obj: &SceneObject) -> Vec<Polygon> {
+        match obj.source {
+            SceneSource::Cell { cell, transform } => self
+                .local_polygons(cell)
+                .iter()
+                .map(|p| transform.apply_polygon(p))
+                .collect(),
+            SceneSource::TopPolygon { index } => vec![self.top_polys[index].clone()],
+        }
+    }
+
+    /// The polygons of one object whose top-coordinate MBR overlaps
+    /// `window`. Transformation of a polygon happens only when its MBR
+    /// passes the window filter, so border checks between two large
+    /// placements touch only the border geometry.
+    pub fn object_polygons_in(&self, obj: &SceneObject, window: Rect) -> Vec<Polygon> {
+        match obj.source {
+            SceneSource::Cell { cell, transform } => self
+                .local_polygons(cell)
+                .iter()
+                .filter(|p| transform.apply_rect(p.mbr()).overlaps(window))
+                .map(|p| transform.apply_polygon(p))
+                .collect(),
+            SceneSource::TopPolygon { index } => {
+                let p = &self.top_polys[index];
+                if p.mbr().overlaps(window) {
+                    vec![p.clone()]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Total flat polygon count of the scene (hierarchy expanded).
+    pub fn flat_polygon_count(&self) -> usize {
+        self.objects
+            .iter()
+            .map(|o| match o.source {
+                SceneSource::Cell { cell, .. } => self.local_polygons(cell).len(),
+                SceneSource::TopPolygon { .. } => 1,
+            })
+            .sum()
+    }
+}
+
+/// Enumerates, for every cell, the transforms of all its instantiations
+/// in top coordinates (the top cell itself has the identity transform).
+///
+/// Hierarchical intra-polygon checks compute violations once per cell
+/// and replay them through these transforms (§IV-C).
+pub fn instance_transforms(layout: &Layout) -> HashMap<CellId, Vec<Transform>> {
+    let mut map: HashMap<CellId, Vec<Transform>> = HashMap::new();
+    fn rec(
+        layout: &Layout,
+        cell: CellId,
+        t: Transform,
+        map: &mut HashMap<CellId, Vec<Transform>>,
+    ) {
+        map.entry(cell).or_default().push(t);
+        for r in layout.cell(cell).refs() {
+            rec(layout, r.cell, r.transform.then(&t), map);
+        }
+    }
+    rec(layout, layout.top(), Transform::IDENTITY, &mut map);
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrc_gdsii::{Element, Library, Structure};
+    use odrc_geometry::Point;
+
+    fn p(x: i32, y: i32) -> Point {
+        Point::new(x, y)
+    }
+
+    fn demo_layout() -> Layout {
+        let mut lib = Library::new("t");
+        let mut unit = Structure::new("UNIT");
+        unit.elements.push(Element::boundary(
+            1,
+            vec![p(0, 0), p(0, 10), p(10, 10), p(10, 0)],
+        ));
+        unit.elements.push(Element::boundary(
+            2,
+            vec![p(20, 0), p(20, 4), p(24, 4), p(24, 0)],
+        ));
+        lib.structures.push(unit);
+        let mut top = Structure::new("TOP");
+        top.elements.push(Element::sref("UNIT", p(0, 0)));
+        top.elements.push(Element::sref("UNIT", p(100, 0)));
+        top.elements.push(Element::boundary(
+            1,
+            vec![p(0, 50), p(0, 54), p(40, 54), p(40, 50)],
+        ));
+        lib.structures.push(top);
+        Layout::from_library(&lib).unwrap()
+    }
+
+    #[test]
+    fn scene_objects_cover_placements_and_top_polys() {
+        let layout = demo_layout();
+        let scene = LayerScene::build(&layout, 1);
+        assert_eq!(scene.objects.len(), 3); // two placements + one top poly
+        assert_eq!(scene.flat_polygon_count(), 3);
+        let scene2 = LayerScene::build(&layout, 2);
+        assert_eq!(scene2.objects.len(), 2); // placements only
+        let scene9 = LayerScene::build(&layout, 9);
+        assert!(scene9.objects.is_empty());
+    }
+
+    #[test]
+    fn local_cache_shared_between_instances() {
+        let layout = demo_layout();
+        let scene = LayerScene::build(&layout, 1);
+        assert_eq!(scene.placed_cells().count(), 1); // UNIT cached once
+        let unit = layout.cell_by_name("UNIT").unwrap();
+        assert_eq!(scene.local_polygons(unit).len(), 1);
+    }
+
+    #[test]
+    fn object_polygons_transformed() {
+        let layout = demo_layout();
+        let scene = LayerScene::build(&layout, 1);
+        let second = &scene.objects[1];
+        let polys = scene.object_polygons(second);
+        assert_eq!(polys.len(), 1);
+        assert_eq!(polys[0].mbr(), Rect::from_coords(100, 0, 110, 10));
+    }
+
+    #[test]
+    fn windowed_polygons_filter() {
+        let layout = demo_layout();
+        let scene = LayerScene::build(&layout, 1);
+        let obj = &scene.objects[0];
+        assert_eq!(
+            scene
+                .object_polygons_in(obj, Rect::from_coords(-5, -5, 2, 2))
+                .len(),
+            1
+        );
+        assert!(scene
+            .object_polygons_in(obj, Rect::from_coords(50, 50, 60, 60))
+            .is_empty());
+        // Top polygon object.
+        let top_obj = &scene.objects[2];
+        assert_eq!(
+            scene
+                .object_polygons_in(top_obj, Rect::from_coords(0, 50, 5, 52))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn instance_transforms_counts() {
+        let layout = demo_layout();
+        let map = instance_transforms(&layout);
+        let unit = layout.cell_by_name("UNIT").unwrap();
+        assert_eq!(map[&unit].len(), 2);
+        assert_eq!(map[&layout.top()].len(), 1);
+        assert_eq!(map[&layout.top()][0], Transform::IDENTITY);
+    }
+}

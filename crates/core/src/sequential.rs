@@ -1,0 +1,465 @@
+//! The sequential (CPU) mode (§IV-D of the paper).
+//!
+//! "The sequential mode of OpenDRC first detects potential violations
+//! between objects by querying overlapping MBRs of polygons or cells,
+//! and then performs edge-based checks among those object pairs."
+//!
+//! The pipeline per inter-polygon rule:
+//!
+//! 1. **partition** — adaptive row partition of the layer's objects
+//!    (§IV-B), with extents inflated by half the rule distance so rows
+//!    cannot interact;
+//! 2. **sweepline** — per row, the top-down sweepline over inflated
+//!    object MBRs reports candidate object pairs (§IV-D, Fig. 3);
+//! 3. **edge-check** — intra-object violations come from the per-cell
+//!    memo (computed once per cell definition, §IV-C) and candidate
+//!    pairs get windowed edge-to-edge checks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use odrc_db::{CellId, Layer, Layout};
+use odrc_geometry::{Coord, Rect};
+use odrc_infra::partition::{partition_rows, Row, RowPartition};
+use odrc_infra::sweep::sweep_overlaps;
+use odrc_infra::Profiler;
+
+use crate::checks::poly::{
+    notch_space_violations, polygon_violations, space_violations_between, LocalViolation,
+    PolyRuleSpec,
+};
+use crate::checks::{enclosure_margin, SpaceSpec};
+use crate::engine::{EngineOptions, EngineStats};
+use crate::rules::{Rule, RuleKind};
+use crate::scene::{instance_transforms, LayerScene, SceneObject, SceneSource};
+use crate::violation::{Violation, ViolationKind};
+
+/// Shared state across the rules of one `check()` run.
+pub(crate) struct RunContext<'a> {
+    pub layout: &'a Layout,
+    pub options: &'a EngineOptions,
+    pub profiler: &'a mut Profiler,
+    pub stats: &'a mut EngineStats,
+    /// Lazily computed instance transforms for intra-polygon reuse.
+    pub instances: Option<HashMap<CellId, Vec<odrc_geometry::Transform>>>,
+}
+
+impl<'a> RunContext<'a> {
+    pub fn new(
+        layout: &'a Layout,
+        options: &'a EngineOptions,
+        profiler: &'a mut Profiler,
+        stats: &'a mut EngineStats,
+    ) -> Self {
+        RunContext {
+            layout,
+            options,
+            profiler,
+            stats,
+            instances: None,
+        }
+    }
+
+    pub fn instances(&mut self) -> &HashMap<CellId, Vec<odrc_geometry::Transform>> {
+        if self.instances.is_none() {
+            self.instances = Some(instance_transforms(self.layout));
+        }
+        self.instances.as_ref().expect("just computed")
+    }
+}
+
+/// Builds the poly-rule spec for an intra-polygon rule.
+fn poly_spec(rule: &Rule) -> PolyRuleSpec {
+    match &rule.kind {
+        RuleKind::Width { min, .. } => PolyRuleSpec::Width(*min),
+        RuleKind::Area { min, .. } => PolyRuleSpec::Area(*min),
+        RuleKind::Rectilinear { .. } => PolyRuleSpec::Rectilinear,
+        RuleKind::Ensures { predicate, .. } => PolyRuleSpec::Ensures(predicate.clone()),
+        _ => unreachable!("not an intra-polygon rule"),
+    }
+}
+
+/// The `(cell, polygon indices)` groups an intra rule must visit.
+fn intra_targets(layout: &Layout, layer: Option<Layer>) -> Vec<(CellId, Vec<usize>)> {
+    match layer {
+        Some(l) => {
+            let mut grouped: HashMap<CellId, Vec<usize>> = HashMap::new();
+            for &(cell, pi) in layout.layer_polygons(l) {
+                grouped.entry(cell).or_default().push(pi);
+            }
+            let mut v: Vec<_> = grouped.into_iter().collect();
+            v.sort_by_key(|(c, _)| *c);
+            v
+        }
+        None => layout
+            .cell_ids()
+            .map(|cell| {
+                let n = layout.cell(cell).polygons().len();
+                (cell, (0..n).collect::<Vec<_>>())
+            })
+            .filter(|(_, ps)| !ps.is_empty())
+            .collect(),
+    }
+}
+
+/// Runs an intra-polygon rule (width, area, rectilinear, ensures) with
+/// per-cell memoization (§IV-C).
+pub(crate) fn check_intra_rule(ctx: &mut RunContext<'_>, rule: &Rule, out: &mut Vec<Violation>) {
+    let layer = match rule.kind {
+        RuleKind::Width { layer, .. } | RuleKind::Area { layer, .. } => Some(layer),
+        RuleKind::Rectilinear { layer } | RuleKind::Ensures { layer, .. } => layer,
+        _ => unreachable!("not an intra-polygon rule"),
+    };
+    let spec = poly_spec(rule);
+    let targets = intra_targets(ctx.layout, layer);
+    let layout = ctx.layout;
+    let pruning = ctx.options.pruning;
+
+    // Compute local violations per cell (once, under pruning).
+    let mut per_cell: Vec<(CellId, Vec<LocalViolation>)> = Vec::new();
+    ctx.profiler.time("edge-check", || {
+        for (cell, polys) in &targets {
+            let c = layout.cell(*cell);
+            let mut local = Vec::new();
+            for &pi in polys {
+                polygon_violations(&c.polygons()[pi], &spec, &mut local);
+            }
+            per_cell.push((*cell, local));
+        }
+    });
+
+    // Instantiate through every placement of the cell.
+    let instances = ctx.instances().clone();
+    let mut computed = 0usize;
+    let mut reused = 0usize;
+    for (cell, local) in &per_cell {
+        let Some(transforms) = instances.get(cell) else {
+            continue; // defined but never instantiated
+        };
+        let polys = targets
+            .iter()
+            .find(|(c, _)| c == cell)
+            .map(|(_, p)| p.len())
+            .unwrap_or(0);
+        if pruning {
+            computed += polys;
+            reused += polys * transforms.len().saturating_sub(1);
+        } else {
+            // Ablation: pretend each instance is checked independently.
+            computed += polys * transforms.len();
+            // Actually recompute to make the cost real.
+            if transforms.len() > 1 {
+                let c = layout.cell(*cell);
+                ctx.profiler.time("edge-check", || {
+                    for _ in 1..transforms.len() {
+                        let mut scratch = Vec::new();
+                        for p in c.polygons() {
+                            if layer.map(|l| p.layer == l).unwrap_or(true) {
+                                polygon_violations(p, &spec, &mut scratch);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        for t in transforms {
+            for v in local {
+                let vi = v.instantiate(t);
+                out.push(Violation {
+                    rule: rule.name.clone(),
+                    kind: vi.kind,
+                    location: vi.location,
+                    measured: vi.measured,
+                });
+            }
+        }
+    }
+    ctx.stats.checks_computed += computed;
+    ctx.stats.checks_reused += reused;
+}
+
+/// Builds the row partition over a scene's objects.
+pub(crate) fn partition_scene(
+    scene: &LayerScene,
+    min: i64,
+    enabled: bool,
+    profiler: &mut Profiler,
+) -> (Vec<Rect>, RowPartition) {
+    let mbrs: Vec<Rect> = scene.objects.iter().map(|o| o.mbr).collect();
+    let half = ((min + 1) / 2) as Coord;
+    let partition = profiler.time("partition", || {
+        if enabled {
+            partition_rows(&mbrs, half)
+        } else {
+            // Ablation: a single row holding everything.
+            let members: Vec<usize> = (0..mbrs.len()).collect();
+            if members.is_empty() {
+                partition_rows(&[], half)
+            } else {
+                let all = mbrs
+                    .iter()
+                    .copied()
+                    .reduce(|a, b| a.hull(b))
+                    .expect("non-empty");
+                let row = Row {
+                    y: all.y_range(),
+                    members,
+                };
+                RowPartition::from_rows(vec![row])
+            }
+        }
+    });
+    (mbrs, partition)
+}
+
+/// Runs a same-layer spacing rule sequentially.
+pub(crate) fn check_space_rule(
+    ctx: &mut RunContext<'_>,
+    rule_name: &str,
+    layer: Layer,
+    spec: SpaceSpec,
+    out: &mut Vec<Violation>,
+) {
+    let min = spec.min;
+    let layout = ctx.layout;
+    let scene = ctx
+        .profiler
+        .time("scene", || LayerScene::build(layout, layer));
+    let (mbrs, partition) =
+        partition_scene(&scene, min, ctx.options.partition, ctx.profiler);
+    ctx.stats.rows += partition.len();
+
+    let half = ((min + 1) / 2) as Coord;
+    let mut memo: HashMap<CellId, Arc<Vec<LocalViolation>>> = HashMap::new();
+    let mut local_hits: Vec<LocalViolation> = Vec::new();
+
+    for row in &partition {
+        // Sweepline over the row's inflated object MBRs.
+        let members = &row.members;
+        let inflated: Vec<Rect> = members.iter().map(|&m| mbrs[m].inflate(half)).collect();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        match ctx.options.pair_index {
+            crate::engine::PairIndex::Sweepline => ctx.profiler.time("sweepline", || {
+                sweep_overlaps(&inflated, |a, b| pairs.push((members[a], members[b])));
+            }),
+            crate::engine::PairIndex::RTree => ctx.profiler.time("sweepline", || {
+                let tree = odrc_infra::RTree::bulk_load(&inflated);
+                for (a, &ra) in inflated.iter().enumerate() {
+                    tree.query_into(ra, &mut |b| {
+                        if a < b {
+                            pairs.push((members[a], members[b]));
+                        }
+                    });
+                }
+            }),
+        }
+        ctx.stats.candidate_pairs += pairs.len();
+
+        // Intra-object checks, memoized per cell definition.
+        ctx.profiler.time("edge-check", || {
+            for &m in members {
+                let obj = &scene.objects[m];
+                match obj.source {
+                    SceneSource::Cell { cell, transform } => {
+                        let arc = if ctx.options.pruning {
+                            if let Some(hit) = memo.get(&cell) {
+                                ctx.stats.checks_reused += 1;
+                                Arc::clone(hit)
+                            } else {
+                                ctx.stats.checks_computed += 1;
+                                let arc =
+                                    Arc::new(cell_internal_space(&scene, cell, spec, half));
+                                memo.insert(cell, Arc::clone(&arc));
+                                arc
+                            }
+                        } else {
+                            ctx.stats.checks_computed += 1;
+                            Arc::new(cell_internal_space(&scene, cell, spec, half))
+                        };
+                        local_hits.extend(arc.iter().map(|v| v.instantiate(&transform)));
+                    }
+                    SceneSource::TopPolygon { index } => {
+                        notch_space_violations(scene.top_polygon(index), spec, &mut local_hits);
+                    }
+                }
+            }
+
+            // Cross-object checks over candidate pairs.
+            for &(a, b) in &pairs {
+                cross_space(&scene, &scene.objects[a], &scene.objects[b], spec, &mut local_hits);
+            }
+        });
+    }
+
+    out.extend(local_hits.into_iter().map(|v| Violation {
+        rule: rule_name.to_owned(),
+        kind: v.kind,
+        location: v.location,
+        measured: v.measured,
+    }));
+}
+
+/// Spacing violations inside one cell's flattened subtree, in local
+/// coordinates (this is the per-cell result §IV-C reuses).
+pub(crate) fn cell_internal_space(
+    scene: &LayerScene,
+    cell: CellId,
+    spec: SpaceSpec,
+    half: Coord,
+) -> Vec<LocalViolation> {
+    let polys = scene.local_polygons(cell);
+    let mut out = Vec::new();
+    for p in polys {
+        notch_space_violations(p, spec, &mut out);
+    }
+    let inflated: Vec<Rect> = polys.iter().map(|p| p.mbr().inflate(half)).collect();
+    sweep_overlaps(&inflated, |a, b| {
+        if polys[a].mbr().gap(polys[b].mbr()) < spec.min {
+            space_violations_between(&polys[a], &polys[b], spec, &mut out);
+        }
+    });
+    out
+}
+
+/// Edge checks between the near-border polygons of two objects.
+fn cross_space(
+    scene: &LayerScene,
+    a: &SceneObject,
+    b: &SceneObject,
+    spec: SpaceSpec,
+    out: &mut Vec<LocalViolation>,
+) {
+    let m = spec.min as Coord;
+    let Some(window) = a.mbr.inflate(m).intersection(b.mbr.inflate(m)) else {
+        return;
+    };
+    let pa = scene.object_polygons_in(a, window);
+    if pa.is_empty() {
+        return;
+    }
+    let pb = scene.object_polygons_in(b, window);
+    for qa in &pa {
+        for qb in &pb {
+            if qa.mbr().gap(qb.mbr()) < spec.min {
+                space_violations_between(qa, qb, spec, out);
+            }
+        }
+    }
+}
+
+/// Gathers the enclosure work list: every flat inner shape's MBR paired
+/// with its candidate outer polygons.
+///
+/// Candidate discovery is hierarchical and output-sensitive: a single
+/// sweepline runs over the inner MBRs (inflated by the rule margin) and
+/// the *object-level* layer MBRs of the outer scene; only objects whose
+/// layer MBR overlaps an inner shape get their geometry instantiated,
+/// and only the polygons inside the inner shape's window.
+pub(crate) fn enclosure_work(
+    ctx: &mut RunContext<'_>,
+    inner: Layer,
+    outer: Layer,
+    min: i64,
+) -> Vec<(odrc_geometry::Polygon, Vec<odrc_geometry::Polygon>)> {
+    let layout = ctx.layout;
+    let inner_scene = ctx
+        .profiler
+        .time("scene", || LayerScene::build(layout, inner));
+    let outer_scene = ctx
+        .profiler
+        .time("scene", || LayerScene::build(layout, outer));
+    let m = min as Coord;
+    let mut inner_polys: Vec<odrc_geometry::Polygon> = Vec::new();
+    for obj in &inner_scene.objects {
+        inner_polys.extend(inner_scene.object_polygons(obj));
+    }
+    let n_inner = inner_polys.len();
+    // Combined array: inflated inner MBRs, then outer object MBRs.
+    let mut rects: Vec<Rect> = inner_polys.iter().map(|p| p.mbr().inflate(m)).collect();
+    rects.extend(outer_scene.objects.iter().map(|o| o.mbr));
+    let mut object_hits: Vec<Vec<usize>> = vec![Vec::new(); n_inner];
+    ctx.profiler.time("sweepline", || {
+        sweep_overlaps(&rects, |a, b| {
+            let (lo, hi) = (a.min(b), a.max(b));
+            if lo < n_inner && hi >= n_inner {
+                object_hits[lo].push(hi - n_inner);
+            }
+        });
+    });
+    inner_polys
+        .into_iter()
+        .zip(object_hits)
+        .map(|(poly, objs)| {
+            let window = poly.mbr().inflate(m);
+            let mut candidates = Vec::new();
+            for oi in objs {
+                candidates
+                    .extend(outer_scene.object_polygons_in(&outer_scene.objects[oi], window));
+            }
+            (poly, candidates)
+        })
+        .collect()
+}
+
+/// Runs an enclosure rule sequentially: every flat inner shape must be
+/// enclosed by some outer-layer polygon with the minimum margin.
+pub(crate) fn check_enclosure_rule(
+    ctx: &mut RunContext<'_>,
+    rule_name: &str,
+    inner: Layer,
+    outer: Layer,
+    min: i64,
+    out: &mut Vec<Violation>,
+) {
+    let work = enclosure_work(ctx, inner, outer, min);
+    ctx.stats.checks_computed += work.len();
+    let mut results = Vec::new();
+    ctx.profiler.time("enclosure-check", || {
+        for (poly, candidates) in &work {
+            let refs: Vec<&odrc_geometry::Polygon> = candidates.iter().collect();
+            let margin = enclosure_margin(poly.mbr(), &refs, min);
+            if margin < min {
+                results.push(Violation {
+                    rule: rule_name.to_owned(),
+                    kind: ViolationKind::Enclosure,
+                    location: poly.mbr(),
+                    measured: margin,
+                });
+            }
+        }
+    });
+    out.extend(results);
+}
+
+/// Runs a minimum-overlap-area rule sequentially: the boolean AND of
+/// every inner shape with the outer layer's geometry must reach the
+/// minimum area ("minimum overlapping area constraints", §II).
+pub(crate) fn check_overlap_rule(
+    ctx: &mut RunContext<'_>,
+    rule_name: &str,
+    inner: Layer,
+    outer: Layer,
+    min_area: i64,
+    out: &mut Vec<Violation>,
+) {
+    use odrc_infra::Region;
+    let work = enclosure_work(ctx, inner, outer, 0);
+    ctx.stats.checks_computed += work.len();
+    let mut results = Vec::new();
+    ctx.profiler.time("overlap-check", || {
+        for (poly, candidates) in &work {
+            let inner_region = Region::from_polygons([poly]);
+            let outer_region = Region::from_polygons(candidates.iter());
+            let shared = inner_region.intersection(&outer_region).area();
+            if shared < min_area {
+                results.push(Violation {
+                    rule: rule_name.to_owned(),
+                    kind: ViolationKind::OverlapArea,
+                    location: poly.mbr(),
+                    measured: shared,
+                });
+            }
+        }
+    });
+    out.extend(results);
+}

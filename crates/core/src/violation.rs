@@ -1,0 +1,125 @@
+//! Design rule violations.
+
+use std::fmt;
+
+use odrc_geometry::Rect;
+use serde::{Deserialize, Serialize};
+
+/// The family of rule a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// Interior distance between facing edges below the minimum.
+    Width,
+    /// Exterior distance between facing edges below the minimum.
+    Space,
+    /// Polygon area below the minimum.
+    Area,
+    /// Inner-layer shape not enclosed by the outer layer with margin.
+    Enclosure,
+    /// Overlap area with the other layer below the minimum.
+    OverlapArea,
+    /// Shape is not rectilinear.
+    Rectilinear,
+    /// A user-supplied `ensures` predicate failed.
+    Ensures,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::Width => "width",
+            ViolationKind::Space => "space",
+            ViolationKind::Area => "area",
+            ViolationKind::Enclosure => "enclosure",
+            ViolationKind::OverlapArea => "overlap-area",
+            ViolationKind::Rectilinear => "rectilinear",
+            ViolationKind::Ensures => "ensures",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One design rule violation.
+///
+/// Violations are value objects with a canonical total order, so the
+/// result sets of different engines (sequential, parallel, baselines)
+/// can be compared for exact equality — which the test suite does.
+///
+/// The meaning of [`Violation::measured`] depends on the kind:
+///
+/// * `Width` / `Space` — the **squared** Euclidean distance between the
+///   offending edges, in dbu² (the engine never takes square roots;
+///   rules are compared in squared space),
+/// * `Area` — the polygon area in dbu²,
+/// * `Enclosure` — the worst (smallest) margin in dbu, negative when
+///   the inner shape pokes out of the outer layer entirely,
+/// * `Rectilinear` / `Ensures` — zero.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Violation {
+    /// Name of the violated rule (e.g. `"M2.S.1"`).
+    pub rule: String,
+    /// Rule family.
+    pub kind: ViolationKind,
+    /// Bounding box of the offense in top-level coordinates: the hull
+    /// of the offending edge pair, or the polygon MBR for per-polygon
+    /// rules.
+    pub location: Rect,
+    /// Measured value (see type-level docs for units per kind).
+    pub measured: i64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}) at {}: measured {}",
+            self.rule, self.kind, self.location, self.measured
+        )
+    }
+}
+
+/// Sorts and deduplicates violations into canonical order.
+///
+/// Engines may discover the same offense through different traversals
+/// (e.g. a notch found from both sides); canonicalization makes result
+/// sets comparable.
+pub fn canonicalize(mut violations: Vec<Violation>) -> Vec<Violation> {
+    violations.sort_unstable();
+    violations.dedup();
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &str, x: i32) -> Violation {
+        Violation {
+            rule: rule.to_owned(),
+            kind: ViolationKind::Space,
+            location: Rect::from_coords(x, 0, x + 5, 5),
+            measured: 100,
+        }
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        let out = canonicalize(vec![v("b", 10), v("a", 5), v("b", 10), v("a", 0)]);
+        assert_eq!(out.len(), 3);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = v("M2.S.1", 3).to_string();
+        assert!(s.contains("M2.S.1"));
+        assert!(s.contains("space"));
+        assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ViolationKind::Width.to_string(), "width");
+        assert_eq!(ViolationKind::Enclosure.to_string(), "enclosure");
+    }
+}

@@ -1,0 +1,71 @@
+//! The text deck format must drive the engine identically to the
+//! programmatic DSL.
+
+use odrc::{parse_deck, rule, Engine, RuleDeck};
+use odrc_layoutgen::{generate_layout, tech, DesignSpec};
+
+#[test]
+fn text_deck_equals_programmatic_deck() {
+    let layout = generate_layout(&DesignSpec::tiny(88));
+    let text = format!(
+        "
+        width layer={m1} min={m1w} name=M1.W.1
+        space layer={m2} min={m2s} name=M2.S.1
+        area  layer={m1} min={m1a} name=M1.A.1
+        enclosure inner={v1} outer={m2} min={enc} name=V1.M2.EN.1
+        overlap inner={v1} outer={m2} min_area=100 name=V1.M2.OVL.1
+        ",
+        m1 = tech::M1,
+        m2 = tech::M2,
+        v1 = tech::V1,
+        m1w = tech::M1_WIDTH,
+        m2s = tech::M2_SPACE,
+        m1a = tech::M1_AREA,
+        enc = tech::V1_M2_ENCLOSURE,
+    );
+    let parsed = parse_deck(&text).expect("valid deck");
+    let programmatic = RuleDeck::new(vec![
+        rule().layer(tech::M1).width().greater_than(tech::M1_WIDTH).named("M1.W.1"),
+        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
+        rule().layer(tech::M1).area().greater_than(tech::M1_AREA).named("M1.A.1"),
+        rule().layer(tech::V1).enclosed_by(tech::M2).greater_than(tech::V1_M2_ENCLOSURE).named("V1.M2.EN.1"),
+        rule().layer(tech::V1).overlapping(tech::M2).area_at_least(100).named("V1.M2.OVL.1"),
+    ]);
+    let a = Engine::sequential().check(&layout, &parsed);
+    let b = Engine::sequential().check(&layout, &programmatic);
+    assert_eq!(a.violations, b.violations);
+    assert!(!a.violations.is_empty());
+}
+
+#[test]
+fn conditional_space_from_text() {
+    let layout = generate_layout(&DesignSpec::tiny(89));
+    let text = format!(
+        "space layer={} min=40 projection=200 name=COND",
+        tech::M2
+    );
+    let parsed = parse_deck(&text).expect("valid deck");
+    let programmatic = RuleDeck::new(vec![
+        rule().layer(tech::M2).space().when_projection_at_least(200).greater_than(40).named("COND"),
+    ]);
+    let a = Engine::sequential().check(&layout, &parsed);
+    let b = Engine::sequential().check(&layout, &programmatic);
+    assert_eq!(a.violations, b.violations);
+}
+
+#[test]
+fn markers_roundtrip_report() {
+    use odrc::markers::marker_library;
+    let layout = generate_layout(&DesignSpec::tiny(90));
+    let deck = parse_deck(&format!(
+        "width layer={} min={} name=M1.W.1",
+        tech::M1,
+        tech::M1_WIDTH
+    ))
+    .expect("valid deck");
+    let report = Engine::sequential().check(&layout, &deck);
+    let markers = marker_library(&report.violations, 10_000);
+    let bytes = odrc_gdsii::write(&markers).expect("serialize markers");
+    let back = odrc_gdsii::read(&bytes).expect("parse markers");
+    assert_eq!(back.structures[0].elements.len(), report.violations.len());
+}

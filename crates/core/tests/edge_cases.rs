@@ -1,0 +1,159 @@
+//! Engine edge cases: degenerate layouts, deep hierarchies, absent
+//! layers, extreme coordinates.
+
+use odrc::{rule, Engine, RuleDeck};
+use odrc_db::Layout;
+use odrc_gdsii::{Element, Library, RefElement, Structure};
+use odrc_geometry::Point;
+use odrc_xpu::Device;
+
+fn rect_el(layer: i16, x0: i32, y0: i32, x1: i32, y1: i32) -> Element {
+    Element::boundary(
+        layer,
+        vec![
+            Point::new(x0, y0),
+            Point::new(x0, y1),
+            Point::new(x1, y1),
+            Point::new(x1, y0),
+        ],
+    )
+}
+
+fn deck() -> RuleDeck {
+    RuleDeck::new(vec![
+        rule().layer(1).width().greater_than(10).named("W"),
+        rule().layer(1).space().greater_than(12).named("S"),
+        rule().layer(1).area().greater_than(100).named("A"),
+        rule().layer(2).enclosed_by(1).greater_than(3).named("EN"),
+    ])
+}
+
+#[test]
+fn empty_top_cell() {
+    let mut lib = Library::new("e");
+    lib.structures.push(Structure::new("TOP"));
+    let layout = Layout::from_library(&lib).unwrap();
+    for engine in [Engine::sequential(), Engine::parallel_on(Device::new(2))] {
+        let r = engine.check(&layout, &deck());
+        assert!(r.violations.is_empty());
+    }
+}
+
+#[test]
+fn empty_rule_deck() {
+    let mut lib = Library::new("e");
+    let mut top = Structure::new("TOP");
+    top.elements.push(rect_el(1, 0, 0, 5, 5));
+    lib.structures.push(top);
+    let layout = Layout::from_library(&lib).unwrap();
+    let r = Engine::sequential().check(&layout, &RuleDeck::default());
+    assert!(r.violations.is_empty());
+    assert_eq!(r.stats.checks_computed, 0);
+}
+
+#[test]
+fn top_polygons_only_no_placements() {
+    let mut lib = Library::new("e");
+    let mut top = Structure::new("TOP");
+    top.elements.push(rect_el(1, 0, 0, 8, 50)); // width 8 < 10, area 400
+    top.elements.push(rect_el(1, 15, 0, 40, 50)); // 7 from the first
+    lib.structures.push(top);
+    let layout = Layout::from_library(&lib).unwrap();
+    let seq = Engine::sequential().check(&layout, &deck());
+    let par = Engine::parallel_on(Device::new(2)).check(&layout, &deck());
+    assert_eq!(seq.violations, par.violations);
+    assert_eq!(seq.violations_of("W").count(), 1);
+    assert_eq!(seq.violations_of("S").count(), 1);
+}
+
+#[test]
+fn six_level_hierarchy_with_transforms() {
+    // L0 holds the geometry; L{k+1} places two L{k}s with alternating
+    // rotations and mirrors -> 32 leaf instances.
+    let mut lib = Library::new("deep");
+    let mut leaf = Structure::new("L0");
+    leaf.elements.push(rect_el(1, 0, 0, 8, 30)); // width violation
+    lib.structures.push(leaf);
+    for k in 1..=5 {
+        let mut s = Structure::new(format!("L{k}"));
+        let mut a = RefElement::sref(format!("L{}", k - 1), Point::new(0, 0));
+        a.angle_deg = f64::from(k % 4) * 90.0;
+        let mut b = RefElement::sref(format!("L{}", k - 1), Point::new(1000 * k as i32, 500));
+        b.mirror_x = k % 2 == 0;
+        s.elements.push(Element::Ref(a));
+        s.elements.push(Element::Ref(b));
+        lib.structures.push(s);
+    }
+    let layout = Layout::from_library(&lib).unwrap();
+    let only_width = RuleDeck::new(vec![rule().layer(1).width().greater_than(10).named("W")]);
+    let seq = Engine::sequential().check(&layout, &only_width);
+    assert_eq!(seq.violations.len(), 32, "one violation per leaf instance");
+    // The check ran once; 31 instances reused it.
+    assert_eq!(seq.stats.checks_computed, 1);
+    assert_eq!(seq.stats.checks_reused, 31);
+    let par = Engine::parallel_on(Device::new(2)).check(&layout, &only_width);
+    assert_eq!(seq.violations, par.violations);
+}
+
+#[test]
+fn enclosure_against_absent_layer_flags_everything() {
+    let mut lib = Library::new("e");
+    let mut top = Structure::new("TOP");
+    top.elements.push(rect_el(2, 0, 0, 10, 10));
+    top.elements.push(rect_el(2, 50, 0, 60, 10));
+    lib.structures.push(top);
+    let layout = Layout::from_library(&lib).unwrap();
+    // Layer 1 does not exist: every layer-2 shape is unenclosed.
+    let d = RuleDeck::new(vec![rule().layer(2).enclosed_by(1).greater_than(3).named("EN")]);
+    let seq = Engine::sequential().check(&layout, &d);
+    assert_eq!(seq.violations.len(), 2);
+    assert!(seq.violations.iter().all(|v| v.measured == -3));
+    let par = Engine::parallel_on(Device::new(2)).check(&layout, &d);
+    assert_eq!(seq.violations, par.violations);
+}
+
+#[test]
+fn far_flung_coordinates() {
+    // Geometry spread across a quarter-billion-dbu die; distances and
+    // areas stay exact.
+    let m = 250_000_000;
+    let mut lib = Library::new("far");
+    let mut top = Structure::new("TOP");
+    top.elements.push(rect_el(1, -m, -m, -m + 20, -m + 2000));
+    top.elements.push(rect_el(1, m - 20, m - 2000, m, m));
+    top.elements.push(rect_el(1, -m + 28, -m, -m + 48, -m + 2000)); // 8 from the first
+    lib.structures.push(top);
+    let layout = Layout::from_library(&lib).unwrap();
+    let d = RuleDeck::new(vec![rule().layer(1).space().greater_than(12).named("S")]);
+    let seq = Engine::sequential().check(&layout, &d);
+    assert_eq!(seq.violations.len(), 1);
+    assert_eq!(seq.violations[0].measured, 64);
+    let par = Engine::parallel_on(Device::new(2)).check(&layout, &d);
+    assert_eq!(seq.violations, par.violations);
+}
+
+#[test]
+fn shared_cell_under_two_parents() {
+    // The same leaf under two different parents: memoized once, all
+    // four instances reported.
+    let mut lib = Library::new("dag");
+    let mut leaf = Structure::new("LEAF");
+    leaf.elements.push(rect_el(1, 0, 0, 8, 40));
+    lib.structures.push(leaf);
+    for (name, dx) in [("P1", 0), ("P2", 5000)] {
+        let mut p = Structure::new(name);
+        p.elements.push(Element::sref("LEAF", Point::new(dx, 0)));
+        p.elements.push(Element::sref("LEAF", Point::new(dx + 100, 0)));
+        lib.structures.push(p);
+    }
+    let mut top = Structure::new("TOP");
+    top.elements.push(Element::sref("P1", Point::new(0, 0)));
+    top.elements.push(Element::sref("P2", Point::new(0, 10000)));
+    lib.structures.push(top);
+    let layout = Layout::from_library(&lib).unwrap();
+    let d = RuleDeck::new(vec![rule().layer(1).width().greater_than(10).named("W")]);
+    let r = Engine::sequential().check(&layout, &d);
+    assert_eq!(r.violations.len(), 4);
+    assert_eq!(r.stats.checks_computed, 1);
+    assert_eq!(r.stats.checks_reused, 3);
+}

@@ -1,0 +1,112 @@
+//! Cross-query consistency of the layout database.
+
+use odrc_db::Layout;
+use odrc_gdsii::{Element, Library, RefElement, Structure};
+use odrc_geometry::{Point, Rect};
+use proptest::prelude::*;
+
+fn rect_el(layer: i16, x: i32, y: i32, w: i32, h: i32) -> Element {
+    Element::boundary(
+        layer,
+        vec![
+            Point::new(x, y),
+            Point::new(x, y + h),
+            Point::new(x + w, y + h),
+            Point::new(x + w, y),
+        ],
+    )
+}
+
+fn arb_library() -> impl Strategy<Value = Library> {
+    let rects = proptest::collection::vec(
+        (1i16..4, -60i32..60, -60i32..60, 1i32..40, 1i32..40),
+        0..6,
+    );
+    (rects.clone(), rects, proptest::collection::vec(
+        (proptest::bool::ANY, -200i32..200, -200i32..200, 0i32..4),
+        0..5,
+    ))
+        .prop_map(|(ra, rb, places)| {
+            let mut lib = Library::new("consistency");
+            let mut a = Structure::new("A");
+            for (l, x, y, w, h) in ra {
+                a.elements.push(rect_el(l, x, y, w, h));
+            }
+            let mut b = Structure::new("B");
+            for (l, x, y, w, h) in rb {
+                b.elements.push(rect_el(l, x, y, w, h));
+            }
+            b.elements.push(Element::sref("A", Point::new(150, 150)));
+            lib.structures.push(a);
+            lib.structures.push(b);
+            let mut top = Structure::new("TOP");
+            for (which_b, x, y, rot) in places {
+                let mut r = RefElement::sref(if which_b { "B" } else { "A" }, Point::new(x, y));
+                r.angle_deg = f64::from(rot) * 90.0;
+                top.elements.push(Element::Ref(r));
+            }
+            top.elements.push(rect_el(1, 0, 0, 10, 10));
+            lib.structures.push(top);
+            lib
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn instance_count_matches_flatten(lib in arb_library()) {
+        let layout = Layout::from_library(&lib).expect("valid library");
+        for layer in layout.layers() {
+            prop_assert_eq!(
+                layout.instance_count(layer),
+                layout.flatten_layer(layer).len(),
+                "layer {}", layer
+            );
+        }
+    }
+
+    #[test]
+    fn window_query_matches_flatten_filter(lib in arb_library()) {
+        let layout = Layout::from_library(&lib).expect("valid library");
+        let window = Rect::from_coords(-100, -100, 120, 120);
+        for layer in layout.layers() {
+            let mut queried = Vec::new();
+            layout.layer_query(layer, window, |f| queried.push(f.polygon));
+            let mut filtered: Vec<_> = layout
+                .flatten_layer(layer)
+                .into_iter()
+                .map(|f| f.polygon)
+                .filter(|p| p.mbr().overlaps(window))
+                .collect();
+            queried.sort_by_key(|p| p.mbr());
+            filtered.sort_by_key(|p| p.mbr());
+            prop_assert_eq!(queried, filtered, "layer {}", layer);
+        }
+    }
+
+    #[test]
+    fn layer_mbr_bounds_all_instances(lib in arb_library()) {
+        let layout = Layout::from_library(&lib).expect("valid library");
+        let top = layout.cell(layout.top());
+        for layer in layout.layers() {
+            let flat = layout.flatten_layer(layer);
+            let hull = flat
+                .iter()
+                .map(|f| f.polygon.mbr())
+                .reduce(|a, b| a.hull(b));
+            prop_assert_eq!(top.layer_mbr(layer), hull, "layer {}", layer);
+        }
+    }
+
+    #[test]
+    fn gdsii_roundtrip_preserves_layout_queries(lib in arb_library()) {
+        let bytes = odrc_gdsii::write(&lib).expect("serialize");
+        let back = odrc_gdsii::read(&bytes).expect("parse");
+        let l1 = Layout::from_library(&lib).expect("valid");
+        let l2 = Layout::from_library(&back).expect("valid");
+        prop_assert_eq!(l1.layers(), l2.layers());
+        for layer in l1.layers() {
+            prop_assert_eq!(l1.flatten_layer(layer), l2.flatten_layer(layer));
+        }
+    }
+}

@@ -1,0 +1,760 @@
+//! GDSII stream parser.
+
+use std::fmt;
+use std::path::Path;
+
+use odrc_geometry::Point;
+
+use crate::model::{
+    ArrayParams, BoundaryElement, Element, Library, PathElement, RefElement, Structure,
+    TextElement, Units,
+};
+use crate::record::{real8_to_f64, RecordType};
+
+/// Error produced while parsing a GDSII stream.
+///
+/// Every variant carries the byte offset of the offending record so
+/// corrupt files can be diagnosed with a hex dump.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The stream ended inside a record.
+    UnexpectedEof {
+        /// Offset where more bytes were required.
+        offset: usize,
+    },
+    /// A record header declared an impossible length.
+    BadRecordLength {
+        /// Offset of the record header.
+        offset: usize,
+        /// The declared total length.
+        len: u16,
+    },
+    /// A record type byte is not part of the format.
+    UnknownRecordType {
+        /// Offset of the record header.
+        offset: usize,
+        /// The unknown type byte.
+        code: u8,
+    },
+    /// A known record carried the wrong payload size for its type.
+    BadPayloadLength {
+        /// Offset of the record header.
+        offset: usize,
+        /// The record type.
+        record: RecordType,
+        /// Actual payload size in bytes.
+        len: usize,
+    },
+    /// A record appeared where the grammar does not allow it.
+    UnexpectedRecord {
+        /// Offset of the record header.
+        offset: usize,
+        /// The record type found.
+        record: RecordType,
+        /// What the parser was doing.
+        context: &'static str,
+    },
+    /// The stream ended before the grammar was complete.
+    MissingRecord {
+        /// What the parser was expecting.
+        context: &'static str,
+    },
+    /// An `AREF` lattice vector does not divide evenly by its count.
+    NonIntegerArrayPitch {
+        /// Offset of the `XY` record.
+        offset: usize,
+    },
+    /// `COLROW` holds non-positive counts.
+    BadColrow {
+        /// Offset of the record.
+        offset: usize,
+        /// Declared column count.
+        cols: i16,
+        /// Declared row count.
+        rows: i16,
+    },
+    /// A string payload is not valid ASCII/UTF-8.
+    BadString {
+        /// Offset of the record.
+        offset: usize,
+    },
+    /// Underlying I/O failure (file input only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of stream at byte {offset}")
+            }
+            ReadError::BadRecordLength { offset, len } => {
+                write!(f, "record at byte {offset} declares invalid length {len}")
+            }
+            ReadError::UnknownRecordType { offset, code } => {
+                write!(f, "unknown record type {code:#04x} at byte {offset}")
+            }
+            ReadError::BadPayloadLength {
+                offset,
+                record,
+                len,
+            } => write!(
+                f,
+                "record {record} at byte {offset} has invalid payload length {len}"
+            ),
+            ReadError::UnexpectedRecord {
+                offset,
+                record,
+                context,
+            } => write!(f, "unexpected {record} at byte {offset} while {context}"),
+            ReadError::MissingRecord { context } => {
+                write!(f, "stream ended while {context}")
+            }
+            ReadError::NonIntegerArrayPitch { offset } => {
+                write!(f, "AREF at byte {offset} has a non-integer lattice pitch")
+            }
+            ReadError::BadColrow { offset, cols, rows } => {
+                write!(f, "AREF at byte {offset} has invalid COLROW {cols}x{rows}")
+            }
+            ReadError::BadString { offset } => {
+                write!(f, "string record at byte {offset} is not valid text")
+            }
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// One raw record: offset, type, payload.
+#[derive(Debug, Clone, Copy)]
+struct RawRecord<'a> {
+    offset: usize,
+    rtype: RecordType,
+    data: &'a [u8],
+}
+
+impl<'a> RawRecord<'a> {
+    fn i16s(&self) -> Result<Vec<i16>, ReadError> {
+        if self.data.len() % 2 != 0 {
+            return Err(self.bad_len());
+        }
+        Ok(self
+            .data
+            .chunks_exact(2)
+            .map(|c| i16::from_be_bytes([c[0], c[1]]))
+            .collect())
+    }
+
+    fn single_i16(&self) -> Result<i16, ReadError> {
+        if self.data.len() != 2 {
+            return Err(self.bad_len());
+        }
+        Ok(i16::from_be_bytes([self.data[0], self.data[1]]))
+    }
+
+    fn single_i32(&self) -> Result<i32, ReadError> {
+        if self.data.len() != 4 {
+            return Err(self.bad_len());
+        }
+        Ok(i32::from_be_bytes([
+            self.data[0],
+            self.data[1],
+            self.data[2],
+            self.data[3],
+        ]))
+    }
+
+    fn reals(&self) -> Result<Vec<f64>, ReadError> {
+        if self.data.len() % 8 != 0 {
+            return Err(self.bad_len());
+        }
+        Ok(self
+            .data
+            .chunks_exact(8)
+            .map(|c| real8_to_f64(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+
+    fn string(&self) -> Result<String, ReadError> {
+        let trimmed: &[u8] = match self.data.iter().rposition(|&b| b != 0) {
+            Some(last) => &self.data[..=last],
+            None => &[],
+        };
+        String::from_utf8(trimmed.to_vec()).map_err(|_| ReadError::BadString {
+            offset: self.offset,
+        })
+    }
+
+    fn points(&self) -> Result<Vec<Point>, ReadError> {
+        if self.data.len() % 8 != 0 {
+            return Err(self.bad_len());
+        }
+        Ok(self
+            .data
+            .chunks_exact(8)
+            .map(|c| {
+                Point::new(
+                    i32::from_be_bytes([c[0], c[1], c[2], c[3]]),
+                    i32::from_be_bytes([c[4], c[5], c[6], c[7]]),
+                )
+            })
+            .collect())
+    }
+
+    fn bad_len(&self) -> ReadError {
+        ReadError::BadPayloadLength {
+            offset: self.offset,
+            record: self.rtype,
+            len: self.data.len(),
+        }
+    }
+
+    fn unexpected(&self, context: &'static str) -> ReadError {
+        ReadError::UnexpectedRecord {
+            offset: self.offset,
+            record: self.rtype,
+            context,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    peeked: Option<RawRecord<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Parser {
+            bytes,
+            offset: 0,
+            peeked: None,
+        }
+    }
+
+    /// Reads the next raw record, or `None` at a clean end of stream.
+    fn next(&mut self) -> Result<Option<RawRecord<'a>>, ReadError> {
+        if let Some(r) = self.peeked.take() {
+            return Ok(Some(r));
+        }
+        // Tolerate trailing NUL padding after ENDLIB (tape blocks).
+        if self.bytes[self.offset..].iter().all(|&b| b == 0) {
+            return Ok(None);
+        }
+        if self.offset + 4 > self.bytes.len() {
+            return Err(ReadError::UnexpectedEof {
+                offset: self.offset,
+            });
+        }
+        let start = self.offset;
+        let len = u16::from_be_bytes([self.bytes[start], self.bytes[start + 1]]);
+        if len < 4 || len % 2 != 0 {
+            return Err(ReadError::BadRecordLength { offset: start, len });
+        }
+        let end = start + usize::from(len);
+        if end > self.bytes.len() {
+            return Err(ReadError::UnexpectedEof { offset: start });
+        }
+        let code = self.bytes[start + 2];
+        let rtype = RecordType::from_code(code)
+            .ok_or(ReadError::UnknownRecordType {
+                offset: start,
+                code,
+            })?;
+        self.offset = end;
+        Ok(Some(RawRecord {
+            offset: start,
+            rtype,
+            data: &self.bytes[start + 4..end],
+        }))
+    }
+
+    fn next_required(&mut self, context: &'static str) -> Result<RawRecord<'a>, ReadError> {
+        self.next()?.ok_or(ReadError::MissingRecord { context })
+    }
+
+    fn expect(&mut self, rtype: RecordType, context: &'static str) -> Result<RawRecord<'a>, ReadError> {
+        let rec = self.next_required(context)?;
+        if rec.rtype != rtype {
+            return Err(rec.unexpected(context));
+        }
+        Ok(rec)
+    }
+
+}
+
+/// Parses a GDSII stream from bytes.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] with the byte offset of the first malformed
+/// record for truncated, corrupted, or grammatically invalid streams.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_gdsii::{read, write, Library};
+/// let lib = Library::new("roundtrip");
+/// let back = read(&write(&lib)?)?;
+/// assert_eq!(back.name, "roundtrip");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn read(bytes: &[u8]) -> Result<Library, ReadError> {
+    let mut p = Parser::new(bytes);
+    p.expect(RecordType::Header, "reading stream header")?;
+    p.expect(RecordType::BgnLib, "reading library begin")?;
+    let name = p
+        .expect(RecordType::LibName, "reading library name")?
+        .string()?;
+    let units_rec = p.expect(RecordType::Units, "reading units")?;
+    let reals = units_rec.reals()?;
+    if reals.len() != 2 {
+        return Err(units_rec.bad_len());
+    }
+    let mut lib = Library {
+        name,
+        units: Units {
+            user_per_dbu: reals[0],
+            meters_per_dbu: reals[1],
+        },
+        structures: Vec::new(),
+    };
+
+    loop {
+        let rec = p.next_required("reading structures")?;
+        match rec.rtype {
+            RecordType::BgnStr => {
+                lib.structures.push(parse_structure(&mut p)?);
+            }
+            RecordType::EndLib => break,
+            _ => return Err(rec.unexpected("reading structures")),
+        }
+    }
+    Ok(lib)
+}
+
+/// Parses a GDSII file from disk.
+///
+/// # Errors
+///
+/// Propagates [`read`] errors and file I/O errors.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Library, ReadError> {
+    let bytes = std::fs::read(path)?;
+    read(&bytes)
+}
+
+fn parse_structure(p: &mut Parser<'_>) -> Result<Structure, ReadError> {
+    let name = p
+        .expect(RecordType::StrName, "reading structure name")?
+        .string()?;
+    let mut st = Structure::new(name);
+    loop {
+        let rec = p.next_required("reading structure elements")?;
+        match rec.rtype {
+            RecordType::EndStr => break,
+            RecordType::Boundary => st.elements.push(parse_boundary(p)?),
+            RecordType::Path => st.elements.push(parse_path(p)?),
+            RecordType::Sref => st.elements.push(parse_ref(p, false, rec.offset)?),
+            RecordType::Aref => st.elements.push(parse_ref(p, true, rec.offset)?),
+            RecordType::Text => st.elements.push(parse_text(p)?),
+            _ => return Err(rec.unexpected("reading structure elements")),
+        }
+    }
+    Ok(st)
+}
+
+/// Consumes optional `ELFLAGS` / `PLEX` records, which this engine
+/// ignores.
+fn skip_optional_flags<'a>(p: &mut Parser<'a>) -> Result<RawRecord<'a>, ReadError> {
+    loop {
+        let rec = p.next_required("reading element body")?;
+        match rec.rtype {
+            RecordType::ElFlags | RecordType::Plex => continue,
+            _ => return Ok(rec),
+        }
+    }
+}
+
+/// Parses trailing `PROPATTR`/`PROPVALUE` pairs up to `ENDEL`.
+fn parse_properties(p: &mut Parser<'_>) -> Result<Vec<(i16, String)>, ReadError> {
+    let mut props = Vec::new();
+    loop {
+        let rec = p.next_required("reading element properties")?;
+        match rec.rtype {
+            RecordType::EndEl => return Ok(props),
+            RecordType::PropAttr => {
+                let attr = rec.single_i16()?;
+                let value = p
+                    .expect(RecordType::PropValue, "reading property value")?
+                    .string()?;
+                props.push((attr, value));
+            }
+            _ => return Err(rec.unexpected("reading element properties")),
+        }
+    }
+}
+
+fn parse_boundary(p: &mut Parser<'_>) -> Result<Element, ReadError> {
+    let rec = skip_optional_flags(p)?;
+    if rec.rtype != RecordType::Layer {
+        return Err(rec.unexpected("reading boundary layer"));
+    }
+    let layer = rec.single_i16()?;
+    let datatype = p
+        .expect(RecordType::Datatype, "reading boundary datatype")?
+        .single_i16()?;
+    let xy = p.expect(RecordType::Xy, "reading boundary coordinates")?;
+    let mut points = xy.points()?;
+    if points.len() < 4 {
+        return Err(xy.bad_len());
+    }
+    // Drop the repeated closing vertex.
+    if points.len() >= 2 && points.first() == points.last() {
+        points.pop();
+    }
+    let properties = parse_properties(p)?;
+    Ok(Element::Boundary(BoundaryElement {
+        layer,
+        datatype,
+        points,
+        properties,
+    }))
+}
+
+fn parse_path(p: &mut Parser<'_>) -> Result<Element, ReadError> {
+    let rec = skip_optional_flags(p)?;
+    if rec.rtype != RecordType::Layer {
+        return Err(rec.unexpected("reading path layer"));
+    }
+    let layer = rec.single_i16()?;
+    let datatype = p
+        .expect(RecordType::Datatype, "reading path datatype")?
+        .single_i16()?;
+    let mut path_type = 0i16;
+    let mut width = 0i32;
+    let xy = loop {
+        let rec = p.next_required("reading path body")?;
+        match rec.rtype {
+            RecordType::PathType => path_type = rec.single_i16()?,
+            RecordType::Width => width = rec.single_i32()?,
+            RecordType::Xy => break rec,
+            _ => return Err(rec.unexpected("reading path body")),
+        }
+    };
+    let points = xy.points()?;
+    if points.len() < 2 {
+        return Err(xy.bad_len());
+    }
+    let properties = parse_properties(p)?;
+    Ok(Element::Path(PathElement {
+        layer,
+        datatype,
+        path_type,
+        width,
+        points,
+        properties,
+    }))
+}
+
+fn parse_text(p: &mut Parser<'_>) -> Result<Element, ReadError> {
+    let rec = skip_optional_flags(p)?;
+    if rec.rtype != RecordType::Layer {
+        return Err(rec.unexpected("reading text layer"));
+    }
+    let layer = rec.single_i16()?;
+    let texttype = p
+        .expect(RecordType::TextType, "reading text type")?
+        .single_i16()?;
+    // Optional presentation/strans records may precede the position.
+    let xy = loop {
+        let rec = p.next_required("reading text body")?;
+        match rec.rtype {
+            RecordType::Presentation | RecordType::Strans => continue,
+            RecordType::Mag | RecordType::Angle => continue,
+            RecordType::Xy => break rec,
+            _ => return Err(rec.unexpected("reading text body")),
+        }
+    };
+    let points = xy.points()?;
+    if points.len() != 1 {
+        return Err(xy.bad_len());
+    }
+    let string = p
+        .expect(RecordType::String, "reading text string")?
+        .string()?;
+    // Consume up to ENDEL (texts may carry properties too; discard).
+    let _ = parse_properties(p)?;
+    Ok(Element::Text(TextElement {
+        layer,
+        texttype,
+        position: points[0],
+        string,
+    }))
+}
+
+fn parse_ref(p: &mut Parser<'_>, is_array: bool, start_offset: usize) -> Result<Element, ReadError> {
+    let rec = skip_optional_flags(p)?;
+    if rec.rtype != RecordType::Sname {
+        return Err(rec.unexpected("reading reference name"));
+    }
+    let sname = rec.string()?;
+    let mut mirror_x = false;
+    let mut mag = 1.0f64;
+    let mut angle_deg = 0.0f64;
+    let mut colrow: Option<(i16, i16)> = None;
+    let xy = loop {
+        let rec = p.next_required("reading reference body")?;
+        match rec.rtype {
+            RecordType::Strans => {
+                let flags = rec.single_i16()? as u16;
+                mirror_x = flags & 0x8000 != 0;
+            }
+            RecordType::Mag => {
+                let reals = rec.reals()?;
+                if reals.len() != 1 {
+                    return Err(rec.bad_len());
+                }
+                mag = reals[0];
+            }
+            RecordType::Angle => {
+                let reals = rec.reals()?;
+                if reals.len() != 1 {
+                    return Err(rec.bad_len());
+                }
+                angle_deg = reals[0];
+            }
+            RecordType::Colrow => {
+                let v = rec.i16s()?;
+                if v.len() != 2 {
+                    return Err(rec.bad_len());
+                }
+                colrow = Some((v[0], v[1]));
+            }
+            RecordType::Xy => break rec,
+            _ => return Err(rec.unexpected("reading reference body")),
+        }
+    };
+    let points = xy.points()?;
+    let array = if is_array {
+        let (cols, rows) = colrow.ok_or(ReadError::MissingRecord {
+            context: "reading AREF COLROW",
+        })?;
+        if cols <= 0 || rows <= 0 {
+            return Err(ReadError::BadColrow {
+                offset: start_offset,
+                cols,
+                rows,
+            });
+        }
+        if points.len() != 3 {
+            return Err(xy.bad_len());
+        }
+        let origin = points[0];
+        let col_span = points[1] - origin;
+        let row_span = points[2] - origin;
+        let div = |v: Point, n: i32| -> Result<Point, ReadError> {
+            if v.x % n != 0 || v.y % n != 0 {
+                return Err(ReadError::NonIntegerArrayPitch { offset: xy.offset });
+            }
+            Ok(Point::new(v.x / n, v.y / n))
+        };
+        Some(ArrayParams {
+            cols: cols as u16,
+            rows: rows as u16,
+            col_step: div(col_span, i32::from(cols))?,
+            row_step: div(row_span, i32::from(rows))?,
+        })
+    } else {
+        if points.len() != 1 {
+            return Err(xy.bad_len());
+        }
+        None
+    };
+    let origin = points[0];
+    let _ = parse_properties(p)?;
+    Ok(Element::Ref(RefElement {
+        sname,
+        origin,
+        mirror_x,
+        angle_deg,
+        mag,
+        array,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ArrayParams, Library, Structure};
+    use crate::write::write;
+
+    fn p2(x: i32, y: i32) -> Point {
+        Point::new(x, y)
+    }
+
+    fn sample_library() -> Library {
+        let mut lib = Library::new("sample");
+        let mut inv = Structure::new("INV");
+        inv.elements.push(Element::Boundary(BoundaryElement {
+            layer: 1,
+            datatype: 0,
+            points: vec![p2(0, 0), p2(0, 50), p2(30, 50), p2(30, 0)],
+            properties: vec![(1, "poly0".to_owned())],
+        }));
+        inv.elements.push(Element::Path(PathElement {
+            layer: 2,
+            datatype: 0,
+            path_type: 2,
+            width: 10,
+            points: vec![p2(0, 25), p2(100, 25)],
+            properties: vec![],
+        }));
+        inv.elements.push(Element::Text(TextElement {
+            layer: 63,
+            texttype: 0,
+            position: p2(5, 5),
+            string: "label".to_owned(),
+        }));
+        lib.structures.push(inv);
+
+        let mut top = Structure::new("TOP");
+        let mut r = RefElement::sref("INV", p2(1000, 0));
+        r.mirror_x = true;
+        r.angle_deg = 90.0;
+        top.elements.push(Element::Ref(r));
+        let mut ar = RefElement::sref("INV", p2(0, 0));
+        ar.array = Some(ArrayParams {
+            cols: 4,
+            rows: 2,
+            col_step: p2(200, 0),
+            row_step: p2(0, 300),
+        });
+        top.elements.push(Element::Ref(ar));
+        lib.structures.push(top);
+        lib
+    }
+
+    #[test]
+    fn roundtrip_full_library() {
+        let lib = sample_library();
+        let bytes = write(&lib).unwrap();
+        let back = read(&bytes).unwrap();
+        assert_eq!(back, lib);
+    }
+
+    #[test]
+    fn truncated_stream_reports_offset() {
+        let bytes = write(&sample_library()).unwrap();
+        let err = read(&bytes[..bytes.len() - 10]).unwrap_err();
+        match err {
+            ReadError::UnexpectedEof { .. } | ReadError::MissingRecord { .. } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_errors_cleanly() {
+        let bytes = write(&sample_library()).unwrap();
+        for cut in (0..bytes.len() - 1).step_by(7) {
+            // Never panics; always a structured error.
+            let _ = read(&bytes[..cut]).unwrap_err();
+        }
+    }
+
+    #[test]
+    fn corrupt_record_type_detected() {
+        let mut bytes = write(&sample_library()).unwrap();
+        bytes[2] = 0xEE; // clobber HEADER's record type
+        match read(&bytes).unwrap_err() {
+            ReadError::UnknownRecordType { offset: 0, code: 0xEE } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_record_length_detected() {
+        let mut bytes = write(&sample_library()).unwrap();
+        bytes[0] = 0;
+        bytes[1] = 3; // odd length < 4
+        match read(&bytes).unwrap_err() {
+            ReadError::BadRecordLength { offset: 0, len: 3 } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grammar_violation_detected() {
+        // ENDLIB directly after UNITS is fine (empty library); but a
+        // LAYER record at library level is not.
+        let mut lib_bytes = write(&Library::new("x")).unwrap();
+        // Splice a LAYER record before the trailing ENDLIB.
+        let endlib = lib_bytes.split_off(lib_bytes.len() - 4);
+        lib_bytes.extend_from_slice(&[0x00, 0x06, 0x0D, 0x02, 0x00, 0x01]);
+        lib_bytes.extend_from_slice(&endlib);
+        match read(&lib_bytes).unwrap_err() {
+            ReadError::UnexpectedRecord {
+                record: RecordType::Layer,
+                ..
+            } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_padding_tolerated() {
+        let mut bytes = write(&sample_library()).unwrap();
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(read(&bytes).is_ok());
+    }
+
+    #[test]
+    fn aref_pitch_division() {
+        let lib = {
+            let mut lib = Library::new("a");
+            lib.structures.push(Structure::new("LEAF"));
+            let mut top = Structure::new("TOP");
+            let mut r = RefElement::sref("LEAF", p2(10, 10));
+            r.array = Some(ArrayParams {
+                cols: 3,
+                rows: 5,
+                col_step: p2(7, 0),
+                row_step: p2(0, 11),
+            });
+            top.elements.push(Element::Ref(r));
+            lib.structures.push(top);
+            lib
+        };
+        let back = read(&write(&lib).unwrap()).unwrap();
+        assert_eq!(back, lib);
+    }
+
+    #[test]
+    fn boundary_without_closure_still_reads() {
+        // Hand-build a boundary whose XY does not repeat the first point;
+        // some tools emit this. The parser keeps all points.
+        let mut lib = Library::new("l");
+        let mut s = Structure::new("S");
+        s.elements.push(Element::boundary(
+            1,
+            vec![p2(0, 0), p2(0, 4), p2(4, 4), p2(4, 0)],
+        ));
+        lib.structures.push(s);
+        let back = read(&write(&lib).unwrap()).unwrap();
+        assert_eq!(back, lib);
+    }
+}

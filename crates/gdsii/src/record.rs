@@ -1,0 +1,290 @@
+//! The GDSII record codec.
+//!
+//! A GDSII stream is a sequence of records. Each record starts with a
+//! 4-byte header: a big-endian `u16` total record length (including the
+//! header), a record-type byte, and a data-type byte. The payload
+//! follows, in one of five encodings: no data, 2-byte integers, 4-byte
+//! integers, 8-byte excess-64 base-16 reals, or ASCII strings (padded to
+//! even length with a NUL).
+
+use std::fmt;
+
+/// GDSII record types used by this engine (subset of the full standard
+/// sufficient for mask layouts; unknown types are skipped or rejected by
+/// the reader depending on whether they can affect geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RecordType {
+    /// Stream format version.
+    Header = 0x00,
+    /// Begin library (modification timestamps).
+    BgnLib = 0x01,
+    /// Library name.
+    LibName = 0x02,
+    /// Database units.
+    Units = 0x03,
+    /// End of library.
+    EndLib = 0x04,
+    /// Begin structure (timestamps).
+    BgnStr = 0x05,
+    /// Structure name.
+    StrName = 0x06,
+    /// End of structure.
+    EndStr = 0x07,
+    /// Begin boundary element.
+    Boundary = 0x08,
+    /// Begin path element.
+    Path = 0x09,
+    /// Begin structure reference element.
+    Sref = 0x0A,
+    /// Begin array reference element.
+    Aref = 0x0B,
+    /// Begin text element.
+    Text = 0x0C,
+    /// Layer number.
+    Layer = 0x0D,
+    /// Data type number.
+    Datatype = 0x0E,
+    /// Path width.
+    Width = 0x0F,
+    /// Coordinate list.
+    Xy = 0x10,
+    /// End of element.
+    EndEl = 0x11,
+    /// Referenced structure name.
+    Sname = 0x12,
+    /// Array columns and rows.
+    Colrow = 0x13,
+    /// Text type number.
+    TextType = 0x16,
+    /// Text presentation flags.
+    Presentation = 0x17,
+    /// Text string.
+    String = 0x19,
+    /// Transform flags (bit 15: mirror about x before rotation).
+    Strans = 0x1A,
+    /// Magnification.
+    Mag = 0x1B,
+    /// Rotation angle in degrees, counter-clockwise.
+    Angle = 0x1C,
+    /// Path end-cap style.
+    PathType = 0x21,
+    /// Element flags (ignored).
+    ElFlags = 0x26,
+    /// Plex number (ignored).
+    Plex = 0x2F,
+    /// Property attribute number.
+    PropAttr = 0x2B,
+    /// Property value string.
+    PropValue = 0x2C,
+}
+
+impl RecordType {
+    /// Decodes a record-type byte.
+    pub fn from_code(code: u8) -> Option<RecordType> {
+        use RecordType::*;
+        Some(match code {
+            0x00 => Header,
+            0x01 => BgnLib,
+            0x02 => LibName,
+            0x03 => Units,
+            0x04 => EndLib,
+            0x05 => BgnStr,
+            0x06 => StrName,
+            0x07 => EndStr,
+            0x08 => Boundary,
+            0x09 => Path,
+            0x0A => Sref,
+            0x0B => Aref,
+            0x0C => Text,
+            0x0D => Layer,
+            0x0E => Datatype,
+            0x0F => Width,
+            0x10 => Xy,
+            0x11 => EndEl,
+            0x12 => Sname,
+            0x13 => Colrow,
+            0x16 => TextType,
+            0x17 => Presentation,
+            0x19 => String,
+            0x1A => Strans,
+            0x1B => Mag,
+            0x1C => Angle,
+            0x21 => PathType,
+            0x26 => ElFlags,
+            0x2F => Plex,
+            0x2B => PropAttr,
+            0x2C => PropValue,
+            _ => return None,
+        })
+    }
+
+    /// The record-type byte.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The data-type byte this record carries in a conforming stream.
+    pub fn data_type(self) -> DataType {
+        use RecordType::*;
+        match self {
+            EndLib | EndStr | Boundary | Path | Sref | Aref | Text | EndEl => DataType::None,
+            Header | BgnLib | BgnStr | Layer | Datatype | Colrow | TextType | Presentation
+            | Strans | PathType | PropAttr => DataType::Int16,
+            Width | Xy | Plex | ElFlags => DataType::Int32,
+            Units | Mag | Angle => DataType::Real64,
+            LibName | StrName | Sname | String | PropValue => DataType::Ascii,
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Payload encoding of a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// No payload.
+    None,
+    /// Big-endian 2-byte signed integers.
+    Int16,
+    /// Big-endian 4-byte signed integers.
+    Int32,
+    /// 8-byte excess-64 base-16 reals.
+    Real64,
+    /// ASCII, NUL-padded to even length.
+    Ascii,
+}
+
+impl DataType {
+    /// The data-type byte written to the stream.
+    pub fn code(self) -> u8 {
+        match self {
+            DataType::None => 0x00,
+            DataType::Int16 => 0x02,
+            DataType::Int32 => 0x03,
+            DataType::Real64 => 0x05,
+            DataType::Ascii => 0x06,
+        }
+    }
+}
+
+/// Encodes an `f64` into the GDSII 8-byte real format: a sign bit, a
+/// 7-bit excess-64 base-16 exponent, and a 56-bit mantissa interpreted
+/// as a fraction in `[1/16, 1)` (for normalized non-zero values).
+///
+/// ```
+/// use odrc_gdsii::record::{real8_from_f64, real8_to_f64};
+/// let bytes = real8_from_f64(1e-9);
+/// assert!((real8_to_f64(bytes) - 1e-9).abs() < 1e-24);
+/// ```
+pub fn real8_from_f64(value: f64) -> [u8; 8] {
+    if value == 0.0 {
+        return [0; 8];
+    }
+    let sign = value < 0.0;
+    let mut mantissa = value.abs();
+    // Normalize mantissa into [1/16, 1) by choosing a base-16 exponent.
+    let mut exponent: i32 = 0;
+    while mantissa >= 1.0 {
+        mantissa /= 16.0;
+        exponent += 1;
+    }
+    while mantissa < 1.0 / 16.0 {
+        mantissa *= 16.0;
+        exponent -= 1;
+    }
+    let biased = (exponent + 64) as u64;
+    debug_assert!(biased < 128, "GDSII real exponent out of range for {value}");
+    // 56-bit mantissa.
+    let mant_bits = (mantissa * 2f64.powi(56)).round() as u64;
+    // Rounding can push the mantissa to 2^56 exactly; renormalize.
+    let (mant_bits, biased) = if mant_bits >> 56 != 0 {
+        (mant_bits >> 4, biased + 1)
+    } else {
+        (mant_bits, biased)
+    };
+    let word = ((sign as u64) << 63) | (biased << 56) | (mant_bits & ((1 << 56) - 1));
+    word.to_be_bytes()
+}
+
+/// Decodes a GDSII 8-byte real into an `f64`.
+pub fn real8_to_f64(bytes: [u8; 8]) -> f64 {
+    let word = u64::from_be_bytes(bytes);
+    if word & !(1 << 63) == 0 {
+        return 0.0;
+    }
+    let sign = if word >> 63 == 1 { -1.0 } else { 1.0 };
+    let exponent = ((word >> 56) & 0x7F) as i32 - 64;
+    let mantissa = (word & ((1 << 56) - 1)) as f64 / 2f64.powi(56);
+    sign * mantissa * 16f64.powi(exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn record_type_roundtrip() {
+        for code in 0u8..=0x3F {
+            if let Some(rt) = RecordType::from_code(code) {
+                assert_eq!(rt.code(), code);
+            }
+        }
+        assert_eq!(RecordType::from_code(0xEE), None);
+    }
+
+    #[test]
+    fn data_type_codes_match_standard() {
+        assert_eq!(RecordType::Header.data_type().code(), 0x02);
+        assert_eq!(RecordType::Xy.data_type().code(), 0x03);
+        assert_eq!(RecordType::Units.data_type().code(), 0x05);
+        assert_eq!(RecordType::LibName.data_type().code(), 0x06);
+        assert_eq!(RecordType::EndLib.data_type().code(), 0x00);
+    }
+
+    #[test]
+    fn real8_zero() {
+        assert_eq!(real8_from_f64(0.0), [0; 8]);
+        assert_eq!(real8_to_f64([0; 8]), 0.0);
+    }
+
+    #[test]
+    fn real8_known_values() {
+        // 1.0 = 0x4110000000000000 in GDSII real format.
+        assert_eq!(real8_from_f64(1.0), [0x41, 0x10, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(real8_to_f64([0x41, 0x10, 0, 0, 0, 0, 0, 0]), 1.0);
+        // -2.0.
+        assert_eq!(real8_from_f64(-2.0), [0xC1, 0x20, 0, 0, 0, 0, 0, 0]);
+        // 1e-3 (typical user-unit) and 1e-9 (typical meters-per-dbu)
+        // round-trip within double precision.
+        for v in [1e-3, 1e-9, 0.5, 90.0, 180.0, 270.0] {
+            let rt = real8_to_f64(real8_from_f64(v));
+            assert!((rt - v).abs() <= v.abs() * 1e-15, "{v} -> {rt}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn real8_roundtrip(v in -1e12f64..1e12) {
+            let rt = real8_to_f64(real8_from_f64(v));
+            // 56-bit mantissa with base-16 normalization keeps ~16-17
+            // significant decimal digits minus up to 3 bits of slack.
+            let tol = v.abs().max(1e-300) * 1e-13;
+            prop_assert!((rt - v).abs() <= tol, "{} -> {}", v, rt);
+        }
+
+        #[test]
+        fn real8_sign_symmetry(v in 1e-9f64..1e9) {
+            let pos = real8_from_f64(v);
+            let neg = real8_from_f64(-v);
+            prop_assert_eq!(pos[0] | 0x80, neg[0]);
+            prop_assert_eq!(&pos[1..], &neg[1..]);
+        }
+    }
+}

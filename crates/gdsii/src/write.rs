@@ -1,0 +1,311 @@
+//! GDSII stream writer.
+
+use std::fmt;
+use std::path::Path;
+
+use bytes::{BufMut, BytesMut};
+use odrc_geometry::Point;
+
+use crate::model::{Element, Library};
+use crate::record::{real8_from_f64, DataType, RecordType};
+
+/// Error produced while serializing a library.
+#[derive(Debug)]
+pub enum WriteError {
+    /// A name or string exceeds the format's record capacity.
+    StringTooLong {
+        /// Length of the offending string in bytes.
+        len: usize,
+    },
+    /// An `XY` list exceeds the format's record capacity.
+    TooManyPoints {
+        /// Number of points in the offending list.
+        count: usize,
+    },
+    /// Underlying I/O failure (file output only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteError::StringTooLong { len } => {
+                write!(f, "string of {len} bytes exceeds GDSII record capacity")
+            }
+            WriteError::TooManyPoints { count } => {
+                write!(f, "coordinate list of {count} points exceeds GDSII record capacity")
+            }
+            WriteError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WriteError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WriteError {
+    fn from(e: std::io::Error) -> Self {
+        WriteError::Io(e)
+    }
+}
+
+/// Serializes a library to GDSII stream bytes.
+///
+/// # Errors
+///
+/// Returns [`WriteError`] if a string or coordinate list exceeds the
+/// 16-bit record length limit of the format.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_gdsii::{write, Library};
+/// let bytes = write(&Library::new("empty"))?;
+/// assert_eq!(&bytes[2..4], &[0x00, 0x02]); // HEADER record
+/// # Ok::<(), odrc_gdsii::WriteError>(())
+/// ```
+pub fn write(lib: &Library) -> Result<Vec<u8>, WriteError> {
+    let mut w = Writer::default();
+    w.record_i16(RecordType::Header, &[600]);
+    w.record_i16(RecordType::BgnLib, &[0; 12]);
+    w.record_str(RecordType::LibName, &lib.name)?;
+    w.record_real(
+        RecordType::Units,
+        &[lib.units.user_per_dbu, lib.units.meters_per_dbu],
+    );
+    for s in &lib.structures {
+        w.record_i16(RecordType::BgnStr, &[0; 12]);
+        w.record_str(RecordType::StrName, &s.name)?;
+        for e in &s.elements {
+            w.element(e)?;
+        }
+        w.record_none(RecordType::EndStr);
+    }
+    w.record_none(RecordType::EndLib);
+    Ok(w.buf.to_vec())
+}
+
+/// Serializes a library directly to a file.
+///
+/// # Errors
+///
+/// Propagates [`write()`] errors and file I/O errors.
+pub fn write_file(lib: &Library, path: impl AsRef<Path>) -> Result<(), WriteError> {
+    let bytes = write(lib)?;
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+#[derive(Default)]
+struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    fn header(&mut self, rt: RecordType, payload_len: usize) {
+        let total = payload_len + 4;
+        debug_assert!(total <= usize::from(u16::MAX));
+        self.buf.put_u16(total as u16);
+        self.buf.put_u8(rt.code());
+        self.buf.put_u8(rt.data_type().code());
+    }
+
+    fn record_none(&mut self, rt: RecordType) {
+        debug_assert_eq!(rt.data_type(), DataType::None);
+        self.header(rt, 0);
+    }
+
+    fn record_i16(&mut self, rt: RecordType, values: &[i16]) {
+        debug_assert_eq!(rt.data_type(), DataType::Int16);
+        self.header(rt, values.len() * 2);
+        for &v in values {
+            self.buf.put_i16(v);
+        }
+    }
+
+    fn record_real(&mut self, rt: RecordType, values: &[f64]) {
+        debug_assert_eq!(rt.data_type(), DataType::Real64);
+        self.header(rt, values.len() * 8);
+        for &v in values {
+            self.buf.put_slice(&real8_from_f64(v));
+        }
+    }
+
+    fn record_str(&mut self, rt: RecordType, s: &str) -> Result<(), WriteError> {
+        debug_assert_eq!(rt.data_type(), DataType::Ascii);
+        let mut bytes = s.as_bytes().to_vec();
+        if bytes.len() % 2 == 1 {
+            bytes.push(0);
+        }
+        if bytes.len() + 4 > usize::from(u16::MAX) {
+            return Err(WriteError::StringTooLong { len: s.len() });
+        }
+        self.header(rt, bytes.len());
+        self.buf.put_slice(&bytes);
+        Ok(())
+    }
+
+    fn record_xy(&mut self, points: &[Point]) -> Result<(), WriteError> {
+        let payload = points.len() * 8;
+        if payload + 4 > usize::from(u16::MAX) {
+            return Err(WriteError::TooManyPoints {
+                count: points.len(),
+            });
+        }
+        self.header(RecordType::Xy, payload);
+        for p in points {
+            self.buf.put_i32(p.x);
+            self.buf.put_i32(p.y);
+        }
+        Ok(())
+    }
+
+    fn strans(&mut self, mirror_x: bool, mag: f64, angle_deg: f64) {
+        if mirror_x || mag != 1.0 || angle_deg != 0.0 {
+            let flags: i16 = if mirror_x { i16::MIN } else { 0 }; // bit 15
+            self.record_i16(RecordType::Strans, &[flags]);
+            if mag != 1.0 {
+                self.record_real(RecordType::Mag, &[mag]);
+            }
+            if angle_deg != 0.0 {
+                self.record_real(RecordType::Angle, &[angle_deg]);
+            }
+        }
+    }
+
+    fn properties(&mut self, props: &[(i16, String)]) -> Result<(), WriteError> {
+        for (attr, value) in props {
+            self.record_i16(RecordType::PropAttr, &[*attr]);
+            self.record_str(RecordType::PropValue, value)?;
+        }
+        Ok(())
+    }
+
+    fn element(&mut self, e: &Element) -> Result<(), WriteError> {
+        match e {
+            Element::Boundary(b) => {
+                self.record_none(RecordType::Boundary);
+                self.record_i16(RecordType::Layer, &[b.layer]);
+                self.record_i16(RecordType::Datatype, &[b.datatype]);
+                // GDSII repeats the first point to close the boundary.
+                let mut pts = b.points.clone();
+                if let Some(&first) = pts.first() {
+                    pts.push(first);
+                }
+                self.record_xy(&pts)?;
+                self.properties(&b.properties)?;
+            }
+            Element::Path(p) => {
+                self.record_none(RecordType::Path);
+                self.record_i16(RecordType::Layer, &[p.layer]);
+                self.record_i16(RecordType::Datatype, &[p.datatype]);
+                if p.path_type != 0 {
+                    self.record_i16(RecordType::PathType, &[p.path_type]);
+                }
+                if p.width != 0 {
+                    self.header(RecordType::Width, 4);
+                    self.buf.put_i32(p.width);
+                }
+                self.record_xy(&p.points)?;
+                self.properties(&p.properties)?;
+            }
+            Element::Text(t) => {
+                self.record_none(RecordType::Text);
+                self.record_i16(RecordType::Layer, &[t.layer]);
+                self.record_i16(RecordType::TextType, &[t.texttype]);
+                self.record_xy(std::slice::from_ref(&t.position))?;
+                self.record_str(RecordType::String, &t.string)?;
+            }
+            Element::Ref(r) => match r.array {
+                None => {
+                    self.record_none(RecordType::Sref);
+                    self.record_str(RecordType::Sname, &r.sname)?;
+                    self.strans(r.mirror_x, r.mag, r.angle_deg);
+                    self.record_xy(std::slice::from_ref(&r.origin))?;
+                }
+                Some(a) => {
+                    self.record_none(RecordType::Aref);
+                    self.record_str(RecordType::Sname, &r.sname)?;
+                    self.strans(r.mirror_x, r.mag, r.angle_deg);
+                    self.record_i16(RecordType::Colrow, &[a.cols as i16, a.rows as i16]);
+                    let col_ref = Point::new(
+                        r.origin.x + a.col_step.x * i32::from(a.cols),
+                        r.origin.y + a.col_step.y * i32::from(a.cols),
+                    );
+                    let row_ref = Point::new(
+                        r.origin.x + a.row_step.x * i32::from(a.rows),
+                        r.origin.y + a.row_step.y * i32::from(a.rows),
+                    );
+                    self.record_xy(&[r.origin, col_ref, row_ref])?;
+                }
+            },
+        }
+        self.record_none(RecordType::EndEl);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Structure;
+
+    #[test]
+    fn empty_library_layout() {
+        let bytes = write(&Library::new("lib")).unwrap();
+        // HEADER(6+4=... ) starts with length 6, type 0x00, dtype 0x02.
+        assert_eq!(&bytes[..4], &[0x00, 0x06, 0x00, 0x02]);
+        // Stream ends with ENDLIB (length 4, type 0x04, dtype 0x00).
+        assert_eq!(&bytes[bytes.len() - 4..], &[0x00, 0x04, 0x04, 0x00]);
+    }
+
+    #[test]
+    fn odd_length_names_padded() {
+        let mut lib = Library::new("abc"); // 3 bytes -> padded to 4
+        lib.structures.push(Structure::new("X"));
+        let bytes = write(&lib).unwrap();
+        // Every record length must be even.
+        let mut off = 0;
+        while off < bytes.len() {
+            let len = u16::from_be_bytes([bytes[off], bytes[off + 1]]) as usize;
+            assert!(len % 2 == 0 && len >= 4);
+            off += len;
+        }
+        assert_eq!(off, bytes.len());
+    }
+
+    #[test]
+    fn boundary_closes_polygon() {
+        let mut lib = Library::new("l");
+        let mut s = Structure::new("S");
+        s.elements.push(Element::boundary(
+            5,
+            vec![
+                Point::new(0, 0),
+                Point::new(0, 10),
+                Point::new(10, 10),
+                Point::new(10, 0),
+            ],
+        ));
+        lib.structures.push(s);
+        let bytes = write(&lib).unwrap();
+        // Find the XY record (type 0x10): its payload must hold 5 points.
+        let mut off = 0;
+        let mut found = false;
+        while off < bytes.len() {
+            let len = u16::from_be_bytes([bytes[off], bytes[off + 1]]) as usize;
+            if bytes[off + 2] == 0x10 {
+                assert_eq!(len - 4, 5 * 8);
+                found = true;
+            }
+            off += len;
+        }
+        assert!(found);
+    }
+}

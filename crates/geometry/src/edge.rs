@@ -1,0 +1,371 @@
+//! Directed polygon edges.
+//!
+//! OpenDRC stores polygon vertices in clockwise order "so that positional
+//! relations of edges are determined accordingly" (§IV-D of the paper).
+//! With the clockwise convention (y pointing up), the polygon interior
+//! lies to the *right* of an edge's direction of travel:
+//!
+//! * an upward vertical edge has its interior on the `+x` side,
+//! * a downward vertical edge has its interior on the `-x` side,
+//! * a rightward horizontal edge has its interior on the `-y` side,
+//! * a leftward horizontal edge has its interior on the `+y` side.
+//!
+//! Width checks look for facing edges with the interior *between* them;
+//! spacing checks look for facing edges with the exterior between them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Coord, Interval, Point, Rect, WideCoord};
+
+/// Axis of an axis-aligned edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Orientation {
+    /// The edge runs along the x-axis.
+    Horizontal,
+    /// The edge runs along the y-axis.
+    Vertical,
+}
+
+/// Direction of travel of an axis-aligned edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeDir {
+    /// Travel towards `+y`.
+    Up,
+    /// Travel towards `-y`.
+    Down,
+    /// Travel towards `-x`.
+    Left,
+    /// Travel towards `+x`.
+    Right,
+}
+
+impl EdgeDir {
+    /// The axis this direction runs along.
+    #[inline]
+    pub fn orientation(self) -> Orientation {
+        match self {
+            EdgeDir::Up | EdgeDir::Down => Orientation::Vertical,
+            EdgeDir::Left | EdgeDir::Right => Orientation::Horizontal,
+        }
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn reversed(self) -> EdgeDir {
+        match self {
+            EdgeDir::Up => EdgeDir::Down,
+            EdgeDir::Down => EdgeDir::Up,
+            EdgeDir::Left => EdgeDir::Right,
+            EdgeDir::Right => EdgeDir::Left,
+        }
+    }
+}
+
+/// A directed, axis-aligned polygon edge from [`Edge::from`] to
+/// [`Edge::to`].
+///
+/// # Examples
+///
+/// ```
+/// use odrc_geometry::{Edge, EdgeDir, Point};
+///
+/// let e = Edge::new(Point::new(0, 0), Point::new(0, 10));
+/// assert_eq!(e.dir(), EdgeDir::Up);
+/// // Clockwise polygons keep their interior to the right of travel,
+/// // so this edge's interior is on the +x side.
+/// assert_eq!(e.interior_sign(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Start vertex.
+    pub from: Point,
+    /// End vertex.
+    pub to: Point,
+}
+
+impl Edge {
+    /// Creates an axis-aligned edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints coincide or the edge is not axis-aligned.
+    /// Rectilinear layouts are the supported domain of the engine
+    /// (general shapes are future work in the paper's roadmap); the
+    /// [`Polygon`](crate::Polygon) constructor validates this before
+    /// edges are ever produced.
+    #[inline]
+    pub fn new(from: Point, to: Point) -> Self {
+        assert!(from != to, "degenerate edge at {from}");
+        assert!(
+            from.x == to.x || from.y == to.y,
+            "edge {from} -> {to} is not axis-aligned"
+        );
+        Edge { from, to }
+    }
+
+    /// Direction of travel.
+    #[inline]
+    pub fn dir(self) -> EdgeDir {
+        if self.from.x == self.to.x {
+            if self.to.y > self.from.y {
+                EdgeDir::Up
+            } else {
+                EdgeDir::Down
+            }
+        } else if self.to.x > self.from.x {
+            EdgeDir::Right
+        } else {
+            EdgeDir::Left
+        }
+    }
+
+    /// The axis the edge runs along.
+    #[inline]
+    pub fn orientation(self) -> Orientation {
+        self.dir().orientation()
+    }
+
+    /// Edge length in database units.
+    #[inline]
+    pub fn len(self) -> WideCoord {
+        self.from.manhattan(self.to)
+    }
+
+    /// The coordinate that is constant along the edge (`x` for vertical
+    /// edges, `y` for horizontal ones).
+    #[inline]
+    pub fn track(self) -> Coord {
+        match self.orientation() {
+            Orientation::Vertical => self.from.x,
+            Orientation::Horizontal => self.from.y,
+        }
+    }
+
+    /// The extent of the edge along its running axis, as a closed
+    /// interval (endpoints sorted).
+    #[inline]
+    pub fn span(self) -> Interval {
+        match self.orientation() {
+            Orientation::Vertical => Interval::spanning(self.from.y, self.to.y),
+            Orientation::Horizontal => Interval::spanning(self.from.x, self.to.x),
+        }
+    }
+
+    /// The sign of the interior side along the axis *perpendicular* to
+    /// the edge, under the clockwise-polygon convention: `+1` means the
+    /// interior lies towards increasing perpendicular coordinate.
+    #[inline]
+    pub fn interior_sign(self) -> i32 {
+        match self.dir() {
+            EdgeDir::Up => 1,     // interior at +x
+            EdgeDir::Down => -1,  // interior at -x
+            EdgeDir::Right => -1, // interior at -y
+            EdgeDir::Left => 1,   // interior at +y
+        }
+    }
+
+    /// The edge with direction reversed.
+    #[inline]
+    pub fn reversed(self) -> Edge {
+        Edge {
+            from: self.to,
+            to: self.from,
+        }
+    }
+
+    /// Minimum bounding rectangle (degenerate: zero width or height).
+    #[inline]
+    pub fn mbr(self) -> Rect {
+        Rect::spanning(self.from, self.to)
+    }
+
+    /// Exact squared Euclidean distance to another axis-aligned edge.
+    ///
+    /// An axis-aligned segment coincides with its (degenerate) bounding
+    /// box, so the distance between two such segments is the distance
+    /// between their boxes: the per-axis gaps combined by Pythagoras.
+    /// The result is `0` when the segments touch or cross.
+    ///
+    /// ```
+    /// use odrc_geometry::{Edge, Point};
+    /// let a = Edge::new(Point::new(0, 0), Point::new(0, 10));
+    /// let b = Edge::new(Point::new(3, 14), Point::new(9, 14));
+    /// assert_eq!(a.distance_sq(b), 3 * 3 + 4 * 4);
+    /// ```
+    #[inline]
+    pub fn distance_sq(self, other: Edge) -> WideCoord {
+        let a = self.mbr();
+        let b = other.mbr();
+        let gx = axis_gap(a.x_range(), b.x_range());
+        let gy = axis_gap(a.y_range(), b.y_range());
+        gx.saturating_mul(gx).saturating_add(gy.saturating_mul(gy))
+    }
+
+    /// Returns `true` if both edges run along the same axis.
+    #[inline]
+    pub fn is_parallel(self, other: Edge) -> bool {
+        self.orientation() == other.orientation()
+    }
+
+    /// Projection overlap length between two parallel edges, `0` when
+    /// the edges are perpendicular or their projections are disjoint.
+    ///
+    /// Conditional spacing rules keyed on projection length use this.
+    #[inline]
+    pub fn projection_overlap(self, other: Edge) -> WideCoord {
+        if !self.is_parallel(other) {
+            return 0;
+        }
+        self.span().overlap_len(other.span())
+    }
+}
+
+#[inline]
+fn axis_gap(a: Interval, b: Interval) -> WideCoord {
+    if a.overlaps(b) {
+        0
+    } else if a.hi() < b.lo() {
+        WideCoord::from(b.lo()) - WideCoord::from(a.hi())
+    } else {
+        WideCoord::from(a.lo()) - WideCoord::from(b.hi())
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.from, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn e(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Edge {
+        Edge::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_length_edge_panics() {
+        let _ = e(1, 1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not axis-aligned")]
+    fn diagonal_edge_panics() {
+        let _ = e(0, 0, 3, 4);
+    }
+
+    #[test]
+    fn directions() {
+        assert_eq!(e(0, 0, 0, 5).dir(), EdgeDir::Up);
+        assert_eq!(e(0, 5, 0, 0).dir(), EdgeDir::Down);
+        assert_eq!(e(0, 0, 5, 0).dir(), EdgeDir::Right);
+        assert_eq!(e(5, 0, 0, 0).dir(), EdgeDir::Left);
+        assert_eq!(EdgeDir::Up.reversed(), EdgeDir::Down);
+        assert_eq!(EdgeDir::Left.reversed(), EdgeDir::Right);
+        assert_eq!(EdgeDir::Up.orientation(), Orientation::Vertical);
+        assert_eq!(EdgeDir::Right.orientation(), Orientation::Horizontal);
+    }
+
+    #[test]
+    fn interior_sides_clockwise_square() {
+        // Clockwise square: up the left side, right along the top, ...
+        let left = e(0, 0, 0, 10);
+        let top = e(0, 10, 10, 10);
+        let right = e(10, 10, 10, 0);
+        let bottom = e(10, 0, 0, 0);
+        assert_eq!(left.interior_sign(), 1); // interior at +x
+        assert_eq!(top.interior_sign(), -1); // interior at -y
+        assert_eq!(right.interior_sign(), -1); // interior at -x
+        assert_eq!(bottom.interior_sign(), 1); // interior at +y
+    }
+
+    #[test]
+    fn track_and_span() {
+        let v = e(7, 2, 7, 9);
+        assert_eq!(v.track(), 7);
+        assert_eq!(v.span(), Interval::new(2, 9));
+        let h = e(9, 3, 1, 3);
+        assert_eq!(h.track(), 3);
+        assert_eq!(h.span(), Interval::new(1, 9));
+        assert_eq!(h.len(), 8);
+    }
+
+    #[test]
+    fn distance_cases() {
+        let a = e(0, 0, 0, 10);
+        // Parallel, overlapping projection: pure horizontal gap.
+        assert_eq!(a.distance_sq(e(6, 2, 6, 8)), 36);
+        // Parallel, disjoint projection: corner-to-corner.
+        assert_eq!(a.distance_sq(e(3, 14, 3, 20)), 9 + 16);
+        // Perpendicular, touching: zero.
+        assert_eq!(a.distance_sq(e(0, 10, 5, 10)), 0);
+        // Crossing: zero.
+        assert_eq!(e(-5, 5, 5, 5).distance_sq(a), 0);
+    }
+
+    #[test]
+    fn projection_overlap_parallel_only() {
+        let a = e(0, 0, 0, 10);
+        assert_eq!(a.projection_overlap(e(4, 5, 4, 30)), 5);
+        assert_eq!(a.projection_overlap(e(4, 20, 4, 30)), 0);
+        assert_eq!(a.projection_overlap(e(0, 10, 5, 10)), 0); // perpendicular
+    }
+
+    #[test]
+    fn reversal_flips_interior() {
+        let a = e(0, 0, 0, 10);
+        assert_eq!(a.reversed().dir(), EdgeDir::Down);
+        assert_eq!(a.interior_sign(), -a.reversed().interior_sign());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(e(0, 0, 0, 1).to_string(), "(0, 0) -> (0, 1)");
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(
+            x0 in -50i32..50, y0 in -50i32..50, l0 in 1i32..20, v0 in proptest::bool::ANY,
+            x1 in -50i32..50, y1 in -50i32..50, l1 in 1i32..20, v1 in proptest::bool::ANY,
+        ) {
+            let a = if v0 { e(x0, y0, x0, y0 + l0) } else { e(x0, y0, x0 + l0, y0) };
+            let b = if v1 { e(x1, y1, x1, y1 + l1) } else { e(x1, y1, x1 + l1, y1) };
+            prop_assert_eq!(a.distance_sq(b), b.distance_sq(a));
+            prop_assert_eq!(a.distance_sq(b), a.reversed().distance_sq(b));
+            prop_assert!(a.distance_sq(b) >= 0);
+        }
+
+        #[test]
+        fn distance_matches_brute_force_over_lattice(
+            x0 in -12i32..12, y0 in -12i32..12, l0 in 1i32..6, v0 in proptest::bool::ANY,
+            x1 in -12i32..12, y1 in -12i32..12, l1 in 1i32..6, v1 in proptest::bool::ANY,
+        ) {
+            let a = if v0 { e(x0, y0, x0, y0 + l0) } else { e(x0, y0, x0 + l0, y0) };
+            let b = if v1 { e(x1, y1, x1, y1 + l1) } else { e(x1, y1, x1 + l1, y1) };
+            // Integer lattice points of an axis-aligned segment include the
+            // closest pair, because per-axis clamping lands on integers.
+            let pts = |s: Edge| -> Vec<Point> {
+                let d = match s.dir() {
+                    EdgeDir::Up => Point::new(0, 1),
+                    EdgeDir::Down => Point::new(0, -1),
+                    EdgeDir::Right => Point::new(1, 0),
+                    EdgeDir::Left => Point::new(-1, 0),
+                };
+                (0..=s.len()).map(|i| {
+                    Point::new(s.from.x + d.x * i as i32, s.from.y + d.y * i as i32)
+                }).collect()
+            };
+            let brute = pts(a).iter().flat_map(|p| {
+                pts(b).into_iter().map(move |q| p.distance_sq(q))
+            }).min().unwrap();
+            prop_assert_eq!(a.distance_sq(b), brute);
+        }
+    }
+}

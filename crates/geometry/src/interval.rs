@@ -1,0 +1,240 @@
+//! Closed 1-D integer intervals.
+//!
+//! Intervals are the currency of the sweepline algorithms (§IV-D of the
+//! paper) and of the adaptive row-based partitioner (§IV-B), where the
+//! vertical extents of cells are merged into non-overlapping rows.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Coord;
+
+/// A closed interval `[lo, hi]` with `lo <= hi`.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_geometry::Interval;
+///
+/// let a = Interval::new(0, 10);
+/// let b = Interval::new(5, 20);
+/// assert!(a.overlaps(b));
+/// assert_eq!(a.intersection(b), Some(Interval::new(5, 10)));
+/// assert_eq!(a.hull(b), Interval::new(0, 20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    lo: Coord,
+    hi: Coord,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn new(lo: Coord, hi: Coord) -> Self {
+        assert!(lo <= hi, "interval lo ({lo}) must not exceed hi ({hi})");
+        Interval { lo, hi }
+    }
+
+    /// Creates the interval spanning `a` and `b` regardless of their order.
+    #[inline]
+    pub fn spanning(a: Coord, b: Coord) -> Self {
+        if a <= b {
+            Interval { lo: a, hi: b }
+        } else {
+            Interval { lo: b, hi: a }
+        }
+    }
+
+    /// Creates a degenerate single-point interval `[v, v]`.
+    #[inline]
+    pub const fn point(v: Coord) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub const fn lo(self) -> Coord {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub const fn hi(self) -> Coord {
+        self.hi
+    }
+
+    /// Length `hi - lo` widened to `i64`.
+    #[inline]
+    pub fn len(self) -> i64 {
+        i64::from(self.hi) - i64::from(self.lo)
+    }
+
+    /// Returns `true` for degenerate (single point) intervals.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Returns `true` if `v` lies within the closed interval.
+    #[inline]
+    pub fn contains(self, v: Coord) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Returns `true` if the closed intervals share at least one point.
+    #[inline]
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Returns `true` if the *open* interiors intersect (shared endpoints
+    /// do not count). Useful for strict-overlap semantics in tiling.
+    #[inline]
+    pub fn overlaps_open(self, other: Interval) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// Intersection with `other`, or `None` if disjoint.
+    #[inline]
+    pub fn intersection(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Smallest interval containing both `self` and `other`.
+    #[inline]
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Interval grown by `amount` on both sides.
+    ///
+    /// Inflating by the minimum rule distance turns "MBRs do not overlap"
+    /// into "no violation is possible" (§IV-C of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grown interval would be empty (negative `amount`
+    /// larger than half the length) or overflow `i32`.
+    #[inline]
+    pub fn inflate(self, amount: Coord) -> Interval {
+        Interval::new(self.lo - amount, self.hi + amount)
+    }
+
+    /// Length of the overlap between `self` and `other` (projection
+    /// length), or 0 if disjoint.
+    ///
+    /// Conditional spacing rules ("different constraints given different
+    /// projection lengths") are driven by this quantity.
+    #[inline]
+    pub fn overlap_len(self, other: Interval) -> i64 {
+        match self.intersection(other) {
+            Some(i) => i.len(),
+            None => 0,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn reversed_endpoints_panic() {
+        let _ = Interval::new(3, 1);
+    }
+
+    #[test]
+    fn spanning_reorders() {
+        assert_eq!(Interval::spanning(5, -1), Interval::new(-1, 5));
+        assert_eq!(Interval::spanning(-1, 5), Interval::new(-1, 5));
+    }
+
+    #[test]
+    fn overlap_closed_vs_open() {
+        let a = Interval::new(0, 5);
+        let b = Interval::new(5, 9);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps_open(b));
+        let c = Interval::new(6, 9);
+        assert!(!a.overlaps(c));
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(4, 20);
+        assert_eq!(a.intersection(b), Some(Interval::new(4, 10)));
+        assert_eq!(a.hull(b), Interval::new(0, 20));
+        assert_eq!(a.intersection(Interval::new(11, 12)), None);
+    }
+
+    #[test]
+    fn inflate_both_sides() {
+        assert_eq!(Interval::new(2, 4).inflate(3), Interval::new(-1, 7));
+    }
+
+    #[test]
+    fn overlap_len_matches_projection() {
+        let a = Interval::new(0, 10);
+        assert_eq!(a.overlap_len(Interval::new(5, 30)), 5);
+        assert_eq!(a.overlap_len(Interval::new(20, 30)), 0);
+        assert_eq!(a.overlap_len(Interval::new(10, 30)), 0); // touch only
+    }
+
+    #[test]
+    fn point_interval() {
+        let p = Interval::point(7);
+        assert!(p.is_empty());
+        assert!(p.contains(7));
+        assert_eq!(p.len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_is_symmetric(a in -1000i32..1000, b in -1000i32..1000,
+                                c in -1000i32..1000, d in -1000i32..1000) {
+            let x = Interval::spanning(a, b);
+            let y = Interval::spanning(c, d);
+            prop_assert_eq!(x.overlaps(y), y.overlaps(x));
+            prop_assert_eq!(x.intersection(y), y.intersection(x));
+            prop_assert_eq!(x.hull(y), y.hull(x));
+        }
+
+        #[test]
+        fn intersection_iff_overlap(a in -1000i32..1000, b in -1000i32..1000,
+                                    c in -1000i32..1000, d in -1000i32..1000) {
+            let x = Interval::spanning(a, b);
+            let y = Interval::spanning(c, d);
+            prop_assert_eq!(x.overlaps(y), x.intersection(y).is_some());
+        }
+
+        #[test]
+        fn hull_contains_both(a in -1000i32..1000, b in -1000i32..1000,
+                              c in -1000i32..1000, d in -1000i32..1000) {
+            let x = Interval::spanning(a, b);
+            let y = Interval::spanning(c, d);
+            let h = x.hull(y);
+            prop_assert!(h.contains(x.lo()) && h.contains(x.hi()));
+            prop_assert!(h.contains(y.lo()) && h.contains(y.hi()));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! 2-D integer points and vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Coord, WideCoord};
+
+/// A 2-D point (or vector) in database units.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_geometry::Point;
+///
+/// let a = Point::new(3, 4);
+/// let b = Point::new(1, 1);
+/// assert_eq!(a + b, Point::new(4, 5));
+/// assert_eq!(a - b, Point::new(2, 3));
+/// assert_eq!(a.manhattan(b), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in database units.
+    pub x: Coord,
+    /// Vertical coordinate in database units.
+    pub y: Coord,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`, widened to avoid overflow.
+    ///
+    /// ```
+    /// use odrc_geometry::Point;
+    /// assert_eq!(Point::new(0, 0).manhattan(Point::new(-2, 5)), 7);
+    /// ```
+    #[inline]
+    pub fn manhattan(self, other: Point) -> WideCoord {
+        (WideCoord::from(self.x) - WideCoord::from(other.x)).abs()
+            + (WideCoord::from(self.y) - WideCoord::from(other.y)).abs()
+    }
+
+    /// Squared Euclidean distance to `other` in `i64`.
+    ///
+    /// Distance rules compare squared distances against squared rule
+    /// values so that no floating point enters the checker. The result
+    /// saturates at `i64::MAX` for pathologically distant points (a
+    /// full-range coordinate span squared exceeds 64 bits); saturation
+    /// never affects a rule comparison, which involves small distances.
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> WideCoord {
+        let dx = WideCoord::from(self.x) - WideCoord::from(other.x);
+        let dy = WideCoord::from(self.y) - WideCoord::from(other.y);
+        dx.saturating_mul(dx).saturating_add(dy.saturating_mul(dy))
+    }
+
+    /// Cross product of vectors `self` and `other` (z-component), in `i64`.
+    ///
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Point) -> WideCoord {
+        WideCoord::from(self.x) * WideCoord::from(other.y)
+            - WideCoord::from(self.y) * WideCoord::from(other.x)
+    }
+
+    /// Dot product in `i64`.
+    #[inline]
+    pub fn dot(self, other: Point) -> WideCoord {
+        WideCoord::from(self.x) * WideCoord::from(other.x)
+            + WideCoord::from(self.y) * WideCoord::from(other.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    #[inline]
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (Coord, Coord) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(2, -3);
+        let b = Point::new(-5, 7);
+        assert_eq!(a + b, Point::new(-3, 4));
+        assert_eq!(a - b, Point::new(7, -10));
+        assert_eq!(-a, Point::new(-2, 3));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn distances_do_not_overflow() {
+        let a = Point::new(Coord::MIN, Coord::MIN);
+        let b = Point::new(Coord::MAX, Coord::MAX);
+        // 2 * (2^32 - 1) fits in i64.
+        assert_eq!(a.manhattan(b), 2 * (WideCoord::from(u32::MAX)));
+        assert!(a.distance_sq(b) > 0);
+    }
+
+    #[test]
+    fn cross_sign_orientation() {
+        // +x cross +y is counter-clockwise => positive.
+        assert!(Point::new(1, 0).cross(Point::new(0, 1)) > 0);
+        assert!(Point::new(0, 1).cross(Point::new(1, 0)) < 0);
+        assert_eq!(Point::new(2, 2).cross(Point::new(4, 4)), 0);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(Point::new(1, 0).dot(Point::new(0, 1)), 0);
+        assert_eq!(Point::new(3, 4).dot(Point::new(3, 4)), 25);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let p: Point = (7, 8).into();
+        assert_eq!(p, Point::new(7, 8));
+        let t: (Coord, Coord) = p.into();
+        assert_eq!(t, (7, 8));
+        assert_eq!(p.to_string(), "(7, 8)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Point::new(1, 5) < Point::new(2, 0));
+        assert!(Point::new(1, 2) < Point::new(1, 3));
+    }
+}

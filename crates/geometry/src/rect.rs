@@ -1,0 +1,368 @@
+//! Axis-aligned rectangles (minimum bounding rectangles).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Coord, Interval, Point, WideCoord};
+
+/// An axis-aligned rectangle, stored as its lower-left and upper-right
+/// corners with `lo.x <= hi.x` and `lo.y <= hi.y`.
+///
+/// Rectangles serve as the minimum bounding rectangles ("MBRs") that
+/// augment the layout hierarchy tree (§IV-A of the paper) and as the
+/// sweepline events of the overlap query (§IV-D).
+///
+/// # Examples
+///
+/// ```
+/// use odrc_geometry::{Point, Rect};
+///
+/// let a = Rect::new(Point::new(0, 0), Point::new(10, 10));
+/// let b = Rect::new(Point::new(5, 5), Point::new(20, 8));
+/// assert!(a.overlaps(b));
+/// assert_eq!(a.intersection(b), Some(Rect::new(Point::new(5, 5), Point::new(10, 8))));
+/// assert_eq!(a.area(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left and upper-right corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo.x > hi.x` or `lo.y > hi.y`.
+    #[inline]
+    pub fn new(lo: Point, hi: Point) -> Self {
+        assert!(
+            lo.x <= hi.x && lo.y <= hi.y,
+            "rect corners out of order: lo={lo}, hi={hi}"
+        );
+        Rect { lo, hi }
+    }
+
+    /// Creates a rectangle from any two opposite corners.
+    #[inline]
+    pub fn spanning(a: Point, b: Point) -> Self {
+        Rect {
+            lo: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle from coordinate extremes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0 > x1` or `y0 > y1`.
+    #[inline]
+    pub fn from_coords(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Self {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    /// The degenerate rectangle covering only `p`.
+    #[inline]
+    pub fn point(p: Point) -> Self {
+        Rect { lo: p, hi: p }
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub const fn lo(self) -> Point {
+        self.lo
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub const fn hi(self) -> Point {
+        self.hi
+    }
+
+    /// Horizontal extent as a closed interval.
+    #[inline]
+    pub fn x_range(self) -> Interval {
+        Interval::new(self.lo.x, self.hi.x)
+    }
+
+    /// Vertical extent as a closed interval.
+    #[inline]
+    pub fn y_range(self) -> Interval {
+        Interval::new(self.lo.y, self.hi.y)
+    }
+
+    /// Width (`hi.x - lo.x`) widened to `i64`.
+    #[inline]
+    pub fn width(self) -> WideCoord {
+        WideCoord::from(self.hi.x) - WideCoord::from(self.lo.x)
+    }
+
+    /// Height (`hi.y - lo.y`) widened to `i64`.
+    #[inline]
+    pub fn height(self) -> WideCoord {
+        WideCoord::from(self.hi.y) - WideCoord::from(self.lo.y)
+    }
+
+    /// Area in square database units.
+    #[inline]
+    pub fn area(self) -> WideCoord {
+        self.width() * self.height()
+    }
+
+    /// Returns `true` for zero-area rectangles.
+    #[inline]
+    pub fn is_degenerate(self) -> bool {
+        self.lo.x == self.hi.x || self.lo.y == self.hi.y
+    }
+
+    /// Returns `true` if `p` lies inside the closed rectangle.
+    #[inline]
+    pub fn contains(self, p: Point) -> bool {
+        self.x_range().contains(p.x) && self.y_range().contains(p.y)
+    }
+
+    /// Returns `true` if `other` lies entirely within `self`.
+    #[inline]
+    pub fn contains_rect(self, other: Rect) -> bool {
+        self.contains(other.lo) && self.contains(other.hi)
+    }
+
+    /// Returns `true` if the closed rectangles share at least one point.
+    #[inline]
+    pub fn overlaps(self, other: Rect) -> bool {
+        self.x_range().overlaps(other.x_range()) && self.y_range().overlaps(other.y_range())
+    }
+
+    /// Returns `true` if the open interiors intersect.
+    #[inline]
+    pub fn overlaps_open(self, other: Rect) -> bool {
+        self.x_range().overlaps_open(other.x_range())
+            && self.y_range().overlaps_open(other.y_range())
+    }
+
+    /// Intersection with `other`, or `None` if disjoint.
+    #[inline]
+    pub fn intersection(self, other: Rect) -> Option<Rect> {
+        let x = self.x_range().intersection(other.x_range())?;
+        let y = self.y_range().intersection(other.y_range())?;
+        Some(Rect::from_coords(x.lo(), y.lo(), x.hi(), y.hi()))
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    #[inline]
+    pub fn hull(self, other: Rect) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x.min(other.lo.x), self.lo.y.min(other.lo.y)),
+            hi: Point::new(self.hi.x.max(other.hi.x), self.hi.y.max(other.hi.y)),
+        }
+    }
+
+    /// Rectangle grown by `amount` on all four sides.
+    ///
+    /// Enlarging MBRs by the minimum rule distance ensures that
+    /// non-overlapping MBRs indeed indicate no violation (§IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative `amount` would invert the rectangle.
+    #[inline]
+    pub fn inflate(self, amount: Coord) -> Rect {
+        Rect::new(
+            Point::new(self.lo.x - amount, self.lo.y - amount),
+            Point::new(self.hi.x + amount, self.hi.y + amount),
+        )
+    }
+
+    /// Rectangle translated by the vector `delta`.
+    #[inline]
+    pub fn translate(self, delta: Point) -> Rect {
+        Rect {
+            lo: self.lo + delta,
+            hi: self.hi + delta,
+        }
+    }
+
+    /// Minimum axis-aligned gap between two *disjoint* rectangles: the
+    /// larger of the horizontal and vertical separations, 0 if they
+    /// overlap or touch in both axes.
+    ///
+    /// For rectilinear geometry this is the Chebyshev-style separation
+    /// used to prune pair checks: if `gap >= rule`, the Euclidean
+    /// distance between any two contained points is also `>= rule`.
+    #[inline]
+    pub fn gap(self, other: Rect) -> WideCoord {
+        let dx = gap_1d(self.x_range(), other.x_range());
+        let dy = gap_1d(self.y_range(), other.y_range());
+        dx.max(dy)
+    }
+
+    /// Smallest rectangle containing every point of `iter`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn bounding<I: IntoIterator<Item = Point>>(iter: I) -> Option<Rect> {
+        let mut it = iter.into_iter();
+        let first = it.next()?;
+        let mut r = Rect::point(first);
+        for p in it {
+            r.lo.x = r.lo.x.min(p.x);
+            r.lo.y = r.lo.y.min(p.y);
+            r.hi.x = r.hi.x.max(p.x);
+            r.hi.y = r.hi.y.max(p.y);
+        }
+        Some(r)
+    }
+
+    /// The four corners in clockwise order starting from the lower-left.
+    #[inline]
+    pub fn corners(self) -> [Point; 4] {
+        [
+            self.lo,
+            Point::new(self.lo.x, self.hi.y),
+            self.hi,
+            Point::new(self.hi.x, self.lo.y),
+        ]
+    }
+}
+
+#[inline]
+fn gap_1d(a: Interval, b: Interval) -> WideCoord {
+    if a.overlaps(b) {
+        0
+    } else if a.hi() < b.lo() {
+        WideCoord::from(b.lo()) - WideCoord::from(a.hi())
+    } else {
+        WideCoord::from(a.lo()) - WideCoord::from(b.hi())
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} - {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Rect {
+        Rect::from_coords(x0, y0, x1, y1)
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn inverted_corners_panic() {
+        let _ = Rect::new(Point::new(1, 1), Point::new(0, 0));
+    }
+
+    #[test]
+    fn spanning_normalizes() {
+        assert_eq!(Rect::spanning(Point::new(5, 1), Point::new(0, 9)), r(0, 1, 5, 9));
+    }
+
+    #[test]
+    fn geometry_queries() {
+        let a = r(0, 0, 10, 10);
+        assert_eq!(a.width(), 10);
+        assert_eq!(a.height(), 10);
+        assert_eq!(a.area(), 100);
+        assert!(a.contains(Point::new(10, 10)));
+        assert!(!a.contains(Point::new(11, 10)));
+        assert!(a.contains_rect(r(2, 2, 8, 8)));
+        assert!(!a.contains_rect(r(2, 2, 11, 8)));
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let a = r(0, 0, 10, 10);
+        assert!(a.overlaps(r(10, 10, 20, 20))); // corner touch
+        assert!(!a.overlaps_open(r(10, 10, 20, 20)));
+        assert!(!a.overlaps(r(11, 0, 20, 10)));
+    }
+
+    #[test]
+    fn intersection_hull() {
+        let a = r(0, 0, 10, 10);
+        let b = r(5, -5, 20, 5);
+        assert_eq!(a.intersection(b), Some(r(5, 0, 10, 5)));
+        assert_eq!(a.hull(b), r(0, -5, 20, 10));
+        assert_eq!(a.intersection(r(20, 20, 30, 30)), None);
+    }
+
+    #[test]
+    fn inflate_and_translate() {
+        assert_eq!(r(0, 0, 4, 4).inflate(2), r(-2, -2, 6, 6));
+        assert_eq!(r(0, 0, 4, 4).translate(Point::new(10, -1)), r(10, -1, 14, 3));
+    }
+
+    #[test]
+    fn gap_between_rects() {
+        let a = r(0, 0, 10, 10);
+        assert_eq!(a.gap(r(15, 0, 20, 10)), 5);
+        assert_eq!(a.gap(r(0, 22, 10, 30)), 12);
+        assert_eq!(a.gap(r(13, 14, 20, 20)), 4); // diagonal: max(3, 4)
+        assert_eq!(a.gap(r(5, 5, 6, 6)), 0);
+    }
+
+    #[test]
+    fn bounding_points() {
+        let pts = [Point::new(3, 7), Point::new(-1, 2), Point::new(5, 0)];
+        assert_eq!(Rect::bounding(pts), Some(r(-1, 0, 5, 7)));
+        assert_eq!(Rect::bounding(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn corners_clockwise() {
+        let c = r(0, 0, 2, 3).corners();
+        assert_eq!(
+            c,
+            [
+                Point::new(0, 0),
+                Point::new(0, 3),
+                Point::new(2, 3),
+                Point::new(2, 0)
+            ]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_matches_intersection(
+            ax in -100i32..100, ay in -100i32..100, aw in 0i32..50, ah in 0i32..50,
+            bx in -100i32..100, by in -100i32..100, bw in 0i32..50, bh in 0i32..50,
+        ) {
+            let a = r(ax, ay, ax + aw, ay + ah);
+            let b = r(bx, by, bx + bw, by + bh);
+            prop_assert_eq!(a.overlaps(b), a.intersection(b).is_some());
+            prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+        }
+
+        #[test]
+        fn gap_zero_iff_overlap(
+            ax in -100i32..100, ay in -100i32..100, aw in 0i32..50, ah in 0i32..50,
+            bx in -100i32..100, by in -100i32..100, bw in 0i32..50, bh in 0i32..50,
+        ) {
+            let a = r(ax, ay, ax + aw, ay + ah);
+            let b = r(bx, by, bx + bw, by + bh);
+            prop_assert_eq!(a.gap(b) == 0, a.overlaps(b));
+        }
+
+        #[test]
+        fn hull_contains_intersection(
+            ax in -100i32..100, ay in -100i32..100, aw in 0i32..50, ah in 0i32..50,
+            bx in -100i32..100, by in -100i32..100, bw in 0i32..50, bh in 0i32..50,
+        ) {
+            let a = r(ax, ay, ax + aw, ay + ah);
+            let b = r(bx, by, bx + bw, by + bh);
+            let h = a.hull(b);
+            prop_assert!(h.contains_rect(a) && h.contains_rect(b));
+            if let Some(i) = a.intersection(b) {
+                prop_assert!(a.contains_rect(i) && b.contains_rect(i));
+            }
+        }
+    }
+}

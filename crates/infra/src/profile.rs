@@ -1,0 +1,175 @@
+//! Phase timers for runtime breakdowns.
+//!
+//! The paper's Fig. 4 decomposes the sequential space-check runtime into
+//! adaptive partition (~15%), sweepline + interval tree (~35%), and
+//! edge-to-edge checks (~40-50%). [`Profiler`] accumulates named phase
+//! durations so the bench harness can print the same breakdown.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock time per named phase.
+///
+/// Phases may be entered repeatedly; durations accumulate. Phase order
+/// in reports follows first use.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_infra::Profiler;
+///
+/// let mut prof = Profiler::new();
+/// let sum: u64 = prof.time("compute", || (0..1000u64).sum());
+/// assert_eq!(sum, 499_500);
+/// assert_eq!(prof.phases().len(), 1);
+/// assert!(prof.total() >= prof.phase("compute").unwrap());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    phases: Vec<(String, Duration)>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Runs `f`, charging its wall-clock time to `phase`.
+    pub fn time<R>(&mut self, phase: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// Adds an externally measured duration to `phase`.
+    pub fn add(&mut self, phase: &str, d: Duration) {
+        if let Some((_, total)) = self.phases.iter_mut().find(|(name, _)| name == phase) {
+            *total += d;
+        } else {
+            self.phases.push((phase.to_owned(), d));
+        }
+    }
+
+    /// The accumulated duration of one phase, if it was ever entered.
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+    }
+
+    /// All phases in first-use order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Sum of all phase durations.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Phase shares of the total, as fractions in `[0, 1]`.
+    ///
+    /// Returns an empty vector when nothing was timed (or the total is
+    /// zero), so callers never divide by zero.
+    pub fn breakdown(&self) -> Vec<(String, f64)> {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        self.phases
+            .iter()
+            .map(|(n, d)| (n.clone(), d.as_secs_f64() / total))
+            .collect()
+    }
+
+    /// Merges another profiler's phases into this one.
+    pub fn merge(&mut self, other: &Profiler) {
+        for (name, d) in &other.phases {
+            self.add(name, *d);
+        }
+    }
+}
+
+impl fmt::Display for Profiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().as_secs_f64();
+        for (name, d) in &self.phases {
+            let pct = if total > 0.0 {
+                100.0 * d.as_secs_f64() / total
+            } else {
+                0.0
+            };
+            writeln!(f, "{name:>24}: {:>10.3} ms ({pct:>5.1}%)", d.as_secs_f64() * 1e3)?;
+        }
+        writeln!(f, "{:>24}: {:>10.3} ms", "total", total * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_phases_in_order() {
+        let mut p = Profiler::new();
+        p.add("b", Duration::from_millis(10));
+        p.add("a", Duration::from_millis(30));
+        p.add("b", Duration::from_millis(20));
+        assert_eq!(p.phase("b"), Some(Duration::from_millis(30)));
+        assert_eq!(p.phase("a"), Some(Duration::from_millis(30)));
+        assert_eq!(p.phase("missing"), None);
+        assert_eq!(p.total(), Duration::from_millis(60));
+        assert_eq!(p.phases()[0].0, "b"); // first-use order
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let mut p = Profiler::new();
+        p.add("x", Duration::from_millis(25));
+        p.add("y", Duration::from_millis(75));
+        let b = p.breakdown();
+        let sum: f64 = b.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((b[1].1 - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_empty() {
+        assert!(Profiler::new().breakdown().is_empty());
+        assert_eq!(Profiler::new().total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_returns_closure_result() {
+        let mut p = Profiler::new();
+        let v = p.time("phase", || 42);
+        assert_eq!(v, 42);
+        assert!(p.phase("phase").is_some());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Profiler::new();
+        a.add("x", Duration::from_millis(5));
+        let mut b = Profiler::new();
+        b.add("x", Duration::from_millis(7));
+        b.add("y", Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.phase("x"), Some(Duration::from_millis(12)));
+        assert_eq!(a.phase("y"), Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn display_renders_every_phase() {
+        let mut p = Profiler::new();
+        p.add("partition", Duration::from_millis(15));
+        p.add("sweepline", Duration::from_millis(35));
+        let text = p.to_string();
+        assert!(text.contains("partition"));
+        assert!(text.contains("sweepline"));
+        assert!(text.contains("total"));
+    }
+}

@@ -1,0 +1,250 @@
+//! A region quadtree over rectangles.
+//!
+//! The paper cites "binary space partitioning data structures like
+//! \[the\] quad-tree and kd-tree" among the layout data-structure
+//! foundations
+//! (§I). This quadtree stores each rectangle in the smallest quadrant
+//! node that fully contains it; window queries descend only the
+//! quadrants the window touches.
+//!
+//! Like the [R-tree](crate::rtree::RTree), it serves unstructured
+//! rectangle sets and the query-structure ablation; the engine's hot
+//! paths use the layout hierarchy and the sweepline instead.
+
+use odrc_geometry::{Coord, Rect};
+
+const MAX_ENTRIES: usize = 8;
+const MAX_DEPTH: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Node {
+    bounds: Rect,
+    /// Entries that do not fit entirely inside one child quadrant (or
+    /// any entry while the node is a leaf).
+    entries: Vec<(Rect, usize)>,
+    children: Option<Box<[Node; 4]>>,
+    depth: usize,
+}
+
+impl Node {
+    fn new(bounds: Rect, depth: usize) -> Node {
+        Node {
+            bounds,
+            entries: Vec::new(),
+            children: None,
+            depth,
+        }
+    }
+
+    fn quadrants(&self) -> [Rect; 4] {
+        let lo = self.bounds.lo();
+        let hi = self.bounds.hi();
+        let mx = lo.x + ((hi.x - lo.x) / 2);
+        let my = lo.y + ((hi.y - lo.y) / 2);
+        [
+            Rect::from_coords(lo.x, lo.y, mx, my),
+            Rect::from_coords(mx, lo.y, hi.x, my),
+            Rect::from_coords(lo.x, my, mx, hi.y),
+            Rect::from_coords(mx, my, hi.x, hi.y),
+        ]
+    }
+
+    fn insert(&mut self, rect: Rect, id: usize) {
+        if self.children.is_none() {
+            self.entries.push((rect, id));
+            if self.entries.len() > MAX_ENTRIES && self.depth < MAX_DEPTH {
+                self.split();
+            }
+            return;
+        }
+        self.place(rect, id);
+    }
+
+    fn split(&mut self) {
+        let quads = self.quadrants();
+        self.children = Some(Box::new([
+            Node::new(quads[0], self.depth + 1),
+            Node::new(quads[1], self.depth + 1),
+            Node::new(quads[2], self.depth + 1),
+            Node::new(quads[3], self.depth + 1),
+        ]));
+        let entries = std::mem::take(&mut self.entries);
+        for (r, id) in entries {
+            self.place(r, id);
+        }
+    }
+
+    /// With children present: push into the unique containing child,
+    /// or keep here if the entry straddles quadrants.
+    fn place(&mut self, rect: Rect, id: usize) {
+        let children = self.children.as_mut().expect("split node");
+        for child in children.iter_mut() {
+            if child.bounds.contains_rect(rect) {
+                child.insert(rect, id);
+                return;
+            }
+        }
+        self.entries.push((rect, id));
+    }
+
+    fn query(&self, window: Rect, visit: &mut impl FnMut(usize)) {
+        if !self.bounds.overlaps(window) {
+            return;
+        }
+        for (r, id) in &self.entries {
+            if r.overlaps(window) {
+                visit(*id);
+            }
+        }
+        if let Some(children) = &self.children {
+            for c in children.iter() {
+                c.query(window, visit);
+            }
+        }
+    }
+}
+
+/// A point-region quadtree over a fixed universe of rectangles.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_geometry::Rect;
+/// use odrc_infra::quadtree::QuadTree;
+///
+/// let rects: Vec<Rect> = (0..64)
+///     .map(|i| Rect::from_coords(i * 10, 0, i * 10 + 6, 6))
+///     .collect();
+/// let tree = QuadTree::build(&rects);
+/// assert_eq!(tree.query(Rect::from_coords(0, 0, 25, 6)).len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    root: Option<Node>,
+    len: usize,
+}
+
+impl QuadTree {
+    /// Builds the tree over the given rectangles (the universe is their
+    /// hull).
+    pub fn build(rects: &[Rect]) -> QuadTree {
+        let Some(bounds) = rects.iter().copied().reduce(|a, b| a.hull(b)) else {
+            return QuadTree { root: None, len: 0 };
+        };
+        let mut root = Node::new(bounds, 0);
+        for (i, &r) in rects.iter().enumerate() {
+            root.insert(r, i);
+        }
+        QuadTree {
+            root: Some(root),
+            len: rects.len(),
+        }
+    }
+
+    /// Number of indexed rectangles.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree indexes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Indices of all rectangles overlapping `window` (closed
+    /// semantics), ascending.
+    pub fn query(&self, window: Rect) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            root.query(window, &mut |i| out.push(i));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Maximum depth of the tree (0 for empty, 1 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(n: &Node) -> usize {
+            1 + n
+                .children
+                .as_ref()
+                .map(|cs| cs.iter().map(rec).max().unwrap_or(0))
+                .unwrap_or(0)
+        }
+        self.root.as_ref().map(rec).unwrap_or(0)
+    }
+}
+
+/// Smallest power-of-two style midpoint helper kept for clarity of the
+/// quadrant math in tests.
+#[allow(dead_code)]
+fn mid(a: Coord, b: Coord) -> Coord {
+    a + (b - a) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(x0: i32, y0: i32, x1: i32, y1: i32) -> Rect {
+        Rect::from_coords(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn empty() {
+        let t = QuadTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.depth(), 0);
+        assert!(t.query(r(0, 0, 10, 10)).is_empty());
+    }
+
+    #[test]
+    fn single() {
+        let t = QuadTree::build(&[r(3, 3, 7, 7)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.query(r(0, 0, 10, 10)), vec![0]);
+        assert_eq!(t.query(r(7, 7, 9, 9)), vec![0]); // touch
+        assert!(t.query(r(8, 8, 9, 9)).is_empty());
+    }
+
+    #[test]
+    fn splits_under_load() {
+        let rects: Vec<Rect> = (0..200)
+            .map(|i| r((i % 20) * 10, (i / 20) * 10, (i % 20) * 10 + 4, (i / 20) * 10 + 4))
+            .collect();
+        let t = QuadTree::build(&rects);
+        assert!(t.depth() > 1, "tree should have split");
+        assert_eq!(t.query(r(-10, -10, 500, 500)).len(), 200);
+    }
+
+    #[test]
+    fn straddling_entries_stay_at_parent() {
+        // One rect covering everything plus many small ones.
+        let mut rects = vec![r(0, 0, 1000, 1000)];
+        rects.extend((0..50).map(|i| r(i * 20, 0, i * 20 + 5, 5)));
+        let t = QuadTree::build(&rects);
+        let hits = t.query(r(500, 500, 510, 510));
+        assert_eq!(hits, vec![0]); // only the big one
+    }
+
+    proptest! {
+        #[test]
+        fn query_matches_brute_force(
+            specs in proptest::collection::vec(
+                (-200i32..200, -200i32..200, 0i32..80, 0i32..80), 0..120),
+            wx in -250i32..250, wy in -250i32..250, ww in 0i32..120, wh in 0i32..120,
+        ) {
+            let rects: Vec<Rect> = specs.iter()
+                .map(|&(x, y, w, h)| r(x, y, x + w, y + h))
+                .collect();
+            let t = QuadTree::build(&rects);
+            let window = r(wx, wy, wx + ww, wy + wh);
+            let brute: Vec<usize> = rects.iter().enumerate()
+                .filter(|(_, rc)| rc.overlaps(window))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(t.query(window), brute);
+        }
+    }
+}

@@ -1,0 +1,560 @@
+//! Boolean operations on rectilinear regions.
+//!
+//! Boolean mask operations are one of the algorithmic foundations of
+//! design rule checking (§I of the paper cites them alongside rectangle
+//! intersection and range queries), and rules on derived layers — "the
+//! NOT CUT result between layers, minimum overlapping area constraints"
+//! (§II) — need them at check time.
+//!
+//! A [`Region`] is a set of points of the plane with rectilinear
+//! boundary, stored as disjoint rectangles. Boolean operations run a
+//! vertical-slab scanline: the unique x-coordinates of all vertical
+//! edges cut the plane into slabs; within one slab each operand's
+//! coverage is constant in x, so the combined predicate is evaluated on
+//! the y-axis profile and emitted as rectangles, which are then
+//! coalesced across slabs.
+
+use odrc_geometry::{Coord, Orientation, Point, Polygon, Rect, WideCoord};
+
+/// A boolean combination of two regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoolOp {
+    /// Points in either operand.
+    Or,
+    /// Points in both operands.
+    And,
+    /// Points in the first but not the second (the "NOT CUT" result).
+    AndNot,
+    /// Points in exactly one operand.
+    Xor,
+}
+
+impl BoolOp {
+    #[inline]
+    fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            BoolOp::Or => a || b,
+            BoolOp::And => a && b,
+            BoolOp::AndNot => a && !b,
+            BoolOp::Xor => a ^ b,
+        }
+    }
+}
+
+/// A rectilinear point set stored as disjoint rectangles.
+///
+/// Rectangles use *half-open* semantics internally (a rectangle covers
+/// `[lo.x, hi.x) × [lo.y, hi.y)` of the unit-cell grid), which makes
+/// "abutting" unambiguous: two rects sharing an edge cover adjacent,
+/// non-overlapping cells and their union is seamless.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_geometry::Rect;
+/// use odrc_infra::region::Region;
+///
+/// let a = Region::from_rects([Rect::from_coords(0, 0, 10, 10)]);
+/// let b = Region::from_rects([Rect::from_coords(5, 0, 15, 10)]);
+/// assert_eq!(a.union(&b).area(), 150);
+/// assert_eq!(a.intersection(&b).area(), 50);
+/// assert_eq!(a.difference(&b).area(), 50);
+/// assert_eq!(a.xor(&b).area(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Region {
+    /// Disjoint rectangles, normalized by the scanline (sorted by
+    /// (x, y), maximal vertical runs coalesced horizontally).
+    rects: Vec<Rect>,
+}
+
+impl Region {
+    /// The empty region.
+    pub fn new() -> Region {
+        Region::default()
+    }
+
+    /// Builds a region from rectangles (overlaps and degenerates are
+    /// normalized away).
+    pub fn from_rects(rects: impl IntoIterator<Item = Rect>) -> Region {
+        let edges: Vec<VEdge> = rects
+            .into_iter()
+            .filter(|r| !r.is_degenerate())
+            .flat_map(|r| {
+                [
+                    VEdge {
+                        x: r.lo().x,
+                        y0: r.lo().y,
+                        y1: r.hi().y,
+                        delta: 1,
+                    },
+                    VEdge {
+                        x: r.hi().x,
+                        y0: r.lo().y,
+                        y1: r.hi().y,
+                        delta: -1,
+                    },
+                ]
+            })
+            .collect();
+        scanline(&edges, &[], BoolOp::Or)
+    }
+
+    /// Builds a region from rectilinear polygons.
+    pub fn from_polygons<'a>(polys: impl IntoIterator<Item = &'a Polygon>) -> Region {
+        let mut edges = Vec::new();
+        for p in polys {
+            collect_vertical_edges(p, &mut edges);
+        }
+        scanline(&edges, &[], BoolOp::Or)
+    }
+
+    /// The normalized rectangle decomposition.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Returns `true` for the empty region.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Total area in square dbu.
+    pub fn area(&self) -> WideCoord {
+        self.rects.iter().map(|r| r.area()).sum()
+    }
+
+    /// Bounding rectangle, `None` if empty.
+    pub fn mbr(&self) -> Option<Rect> {
+        self.rects.iter().copied().reduce(|a, b| a.hull(b))
+    }
+
+    /// Returns `true` if the unit cell with lower-left corner `p` is
+    /// covered (half-open semantics).
+    pub fn covers_cell(&self, p: Point) -> bool {
+        self.rects
+            .iter()
+            .any(|r| r.lo().x <= p.x && p.x < r.hi().x && r.lo().y <= p.y && p.y < r.hi().y)
+    }
+
+    /// The boolean combination of two regions.
+    pub fn combine(&self, other: &Region, op: BoolOp) -> Region {
+        let a: Vec<VEdge> = region_edges(self);
+        let b: Vec<VEdge> = region_edges(other);
+        scanline(&a, &b, op)
+    }
+
+    /// Union.
+    pub fn union(&self, other: &Region) -> Region {
+        self.combine(other, BoolOp::Or)
+    }
+
+    /// Intersection.
+    pub fn intersection(&self, other: &Region) -> Region {
+        self.combine(other, BoolOp::And)
+    }
+
+    /// Difference (`self` NOT `other`).
+    pub fn difference(&self, other: &Region) -> Region {
+        self.combine(other, BoolOp::AndNot)
+    }
+
+    /// Symmetric difference.
+    pub fn xor(&self, other: &Region) -> Region {
+        self.combine(other, BoolOp::Xor)
+    }
+
+    /// Splits the region into connected components (rectangles touching
+    /// along an edge are connected; corner contact is not).
+    pub fn components(&self) -> Vec<Region> {
+        let n = self.rects.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                let (a, b) = (self.rects[i], self.rects[j]);
+                // Edge adjacency under half-open semantics: closed
+                // overlap in one axis with positive overlap in the other.
+                let x_touch = a.x_range().overlaps(b.x_range());
+                let y_touch = a.y_range().overlaps(b.y_range());
+                let x_open = a.x_range().overlaps_open(b.x_range());
+                let y_open = a.y_range().overlaps_open(b.y_range());
+                if (x_touch && y_open) || (y_touch && x_open) {
+                    let (ra, rb) = (find(&mut parent, i), find(&mut parent, j));
+                    if ra != rb {
+                        parent[ra] = rb;
+                    }
+                }
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<Rect>> = Default::default();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(self.rects[i]);
+        }
+        groups
+            .into_values()
+            .map(|rects| Region { rects })
+            .collect()
+    }
+}
+
+/// A vertical boundary edge with coverage delta (`+1` entering the
+/// interior to its right, `-1` leaving).
+#[derive(Debug, Clone, Copy)]
+struct VEdge {
+    x: Coord,
+    y0: Coord,
+    y1: Coord,
+    delta: i32,
+}
+
+fn region_edges(r: &Region) -> Vec<VEdge> {
+    r.rects
+        .iter()
+        .flat_map(|r| {
+            [
+                VEdge {
+                    x: r.lo().x,
+                    y0: r.lo().y,
+                    y1: r.hi().y,
+                    delta: 1,
+                },
+                VEdge {
+                    x: r.hi().x,
+                    y0: r.lo().y,
+                    y1: r.hi().y,
+                    delta: -1,
+                },
+            ]
+        })
+        .collect()
+}
+
+/// Extracts vertical edges of a clockwise rectilinear polygon: an
+/// upward edge is a left boundary (+1), a downward edge a right
+/// boundary (-1).
+fn collect_vertical_edges(p: &Polygon, out: &mut Vec<VEdge>) {
+    for e in p.edges() {
+        if e.orientation() != Orientation::Vertical {
+            continue;
+        }
+        let span = e.span();
+        let delta = if e.interior_sign() > 0 { 1 } else { -1 };
+        out.push(VEdge {
+            x: e.track(),
+            y0: span.lo(),
+            y1: span.hi(),
+            delta,
+        });
+    }
+}
+
+/// The slab scanline over two operand edge sets.
+fn scanline(a: &[VEdge], b: &[VEdge], op: BoolOp) -> Region {
+    // Unique event xs across both operands.
+    let mut xs: Vec<Coord> = a.iter().chain(b.iter()).map(|e| e.x).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    if xs.is_empty() {
+        return Region::new();
+    }
+    // Unique y breakpoints.
+    let mut ys: Vec<Coord> = a
+        .iter()
+        .chain(b.iter())
+        .flat_map(|e| [e.y0, e.y1])
+        .collect();
+    ys.sort_unstable();
+    ys.dedup();
+    let y_index = |y: Coord| ys.binary_search(&y).expect("collected above");
+
+    // Coverage counters per y-cell (between consecutive breakpoints).
+    let cells = ys.len().saturating_sub(1);
+    let mut cov_a = vec![0i32; cells];
+    let mut cov_b = vec![0i32; cells];
+
+    // Sort edges by x for incremental application.
+    let mut ea: Vec<&VEdge> = a.iter().collect();
+    let mut eb: Vec<&VEdge> = b.iter().collect();
+    ea.sort_unstable_by_key(|e| e.x);
+    eb.sort_unstable_by_key(|e| e.x);
+    let (mut ia, mut ib) = (0usize, 0usize);
+
+    // Open rectangles carried across slabs: (y0 index, y1 index) -> x
+    // where the run began.
+    let mut open: std::collections::BTreeMap<(usize, usize), Coord> = Default::default();
+    let mut out: Vec<Rect> = Vec::new();
+
+    for (k, &x) in xs.iter().enumerate() {
+        // Apply all edges at this x.
+        while ia < ea.len() && ea[ia].x == x {
+            let e = ea[ia];
+            for c in cov_a[y_index(e.y0)..y_index(e.y1)].iter_mut() {
+                *c += e.delta;
+            }
+            ia += 1;
+        }
+        while ib < eb.len() && eb[ib].x == x {
+            let e = eb[ib];
+            for c in cov_b[y_index(e.y0)..y_index(e.y1)].iter_mut() {
+                *c += e.delta;
+            }
+            ib += 1;
+        }
+        // Predicate intervals for the slab starting at x.
+        let mut intervals: Vec<(usize, usize)> = Vec::new();
+        if k + 1 < xs.len() {
+            let mut run: Option<usize> = None;
+            for ci in 0..cells {
+                let covered = op.eval(cov_a[ci] > 0, cov_b[ci] > 0);
+                match (covered, run) {
+                    (true, None) => run = Some(ci),
+                    (false, Some(start)) => {
+                        intervals.push((start, ci));
+                        run = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(start) = run {
+                intervals.push((start, cells));
+            }
+        }
+        // Close open runs that do not continue; open new ones.
+        let mut next_open: std::collections::BTreeMap<(usize, usize), Coord> = Default::default();
+        for &iv in &intervals {
+            match open.remove(&iv) {
+                Some(started) => {
+                    next_open.insert(iv, started);
+                }
+                None => {
+                    next_open.insert(iv, x);
+                }
+            }
+        }
+        for ((y0i, y1i), started) in open {
+            out.push(Rect::from_coords(started, ys[y0i], x, ys[y1i]));
+        }
+        open = next_open;
+    }
+    debug_assert!(open.is_empty(), "scanline left open rectangles");
+    out.sort_unstable();
+    Region { rects: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Rect {
+        Rect::from_coords(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn empty_region() {
+        let e = Region::new();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0);
+        assert_eq!(e.mbr(), None);
+        assert!(e.union(&e).is_empty());
+    }
+
+    #[test]
+    fn single_rect_identity() {
+        let a = Region::from_rects([r(0, 0, 10, 20)]);
+        assert_eq!(a.area(), 200);
+        assert_eq!(a.rects(), &[r(0, 0, 10, 20)]);
+        assert_eq!(a.mbr(), Some(r(0, 0, 10, 20)));
+    }
+
+    #[test]
+    fn degenerate_rects_dropped() {
+        let a = Region::from_rects([r(0, 0, 0, 10), r(5, 5, 9, 5)]);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn overlapping_rects_normalize() {
+        let a = Region::from_rects([r(0, 0, 10, 10), r(5, 0, 15, 10)]);
+        assert_eq!(a.area(), 150);
+        // Same y-profile coalesces into one rectangle.
+        assert_eq!(a.rects(), &[r(0, 0, 15, 10)]);
+    }
+
+    #[test]
+    fn abutting_rects_fuse() {
+        let a = Region::from_rects([r(0, 0, 10, 10), r(10, 0, 20, 10)]);
+        assert_eq!(a.rects(), &[r(0, 0, 20, 10)]);
+        let b = Region::from_rects([r(0, 0, 10, 10), r(0, 10, 10, 20)]);
+        assert_eq!(b.rects(), &[r(0, 0, 10, 20)]);
+    }
+
+    #[test]
+    fn boolean_ops_known_values() {
+        let a = Region::from_rects([r(0, 0, 10, 10)]);
+        let b = Region::from_rects([r(5, 5, 15, 15)]);
+        assert_eq!(a.union(&b).area(), 175);
+        assert_eq!(a.intersection(&b).area(), 25);
+        assert_eq!(a.intersection(&b).rects(), &[r(5, 5, 10, 10)]);
+        assert_eq!(a.difference(&b).area(), 75);
+        assert_eq!(b.difference(&a).area(), 75);
+        assert_eq!(a.xor(&b).area(), 150);
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let a = Region::from_rects([r(0, 0, 10, 10)]);
+        let b = Region::from_rects([r(20, 20, 30, 30)]);
+        assert!(a.intersection(&b).is_empty());
+        assert_eq!(a.union(&b).area(), 200);
+    }
+
+    #[test]
+    fn polygon_region_l_shape() {
+        let l = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(0, 30),
+            Point::new(10, 30),
+            Point::new(10, 10),
+            Point::new(30, 10),
+            Point::new(30, 0),
+        ])
+        .unwrap();
+        let region = Region::from_polygons([&l]);
+        assert_eq!(region.area(), l.area());
+        // Not-cut against a blocking layer.
+        let cut = Region::from_rects([r(0, 0, 30, 5)]);
+        let kept = region.difference(&cut);
+        assert_eq!(kept.area(), l.area() - 150);
+    }
+
+    #[test]
+    fn components_split_and_touch() {
+        let reg = Region::from_rects([r(0, 0, 10, 10), r(10, 0, 20, 10), r(50, 50, 60, 60)]);
+        // First two fuse at from_rects time; still 2 components.
+        let comps = reg.components();
+        assert_eq!(comps.len(), 2);
+        let mut areas: Vec<i64> = comps.iter().map(|c| c.area()).collect();
+        areas.sort_unstable();
+        assert_eq!(areas, vec![100, 200]);
+    }
+
+    #[test]
+    fn corner_contact_is_not_connected() {
+        // from_rects would coalesce only edge-adjacent same-profile
+        // rects; diagonal corner contact stays two components.
+        let reg = Region::from_rects([r(0, 0, 10, 10), r(10, 10, 20, 20)]);
+        assert_eq!(reg.components().len(), 2);
+    }
+
+    #[test]
+    fn covers_cell_half_open() {
+        let a = Region::from_rects([r(0, 0, 10, 10)]);
+        assert!(a.covers_cell(Point::new(0, 0)));
+        assert!(a.covers_cell(Point::new(9, 9)));
+        assert!(!a.covers_cell(Point::new(10, 0)));
+        assert!(!a.covers_cell(Point::new(0, 10)));
+    }
+
+    fn arb_rects(max: usize) -> impl Strategy<Value = Vec<Rect>> {
+        proptest::collection::vec(
+            (-30i32..30, -30i32..30, 1i32..20, 1i32..20)
+                .prop_map(|(x, y, w, h)| r(x, y, x + w, y + h)),
+            0..max,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ops_match_cellwise_evaluation(ra in arb_rects(8), rb in arb_rects(8)) {
+            let a = Region::from_rects(ra.clone());
+            let b = Region::from_rects(rb.clone());
+            let in_set = |rs: &[Rect], p: Point| {
+                rs.iter().any(|r| r.lo().x <= p.x && p.x < r.hi().x
+                               && r.lo().y <= p.y && p.y < r.hi().y)
+            };
+            for op in [BoolOp::Or, BoolOp::And, BoolOp::AndNot, BoolOp::Xor] {
+                let c = a.combine(&b, op);
+                // Sample the lattice: each covered cell must match the
+                // pointwise predicate.
+                for x in -35i32..55 {
+                    for y in -35i32..55 {
+                        let p = Point::new(x, y);
+                        let expect = op.eval(in_set(&ra, p), in_set(&rb, p));
+                        prop_assert_eq!(c.covers_cell(p), expect,
+                            "op {:?} at {}", op, p);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn union_area_bounds(ra in arb_rects(6), rb in arb_rects(6)) {
+            let a = Region::from_rects(ra);
+            let b = Region::from_rects(rb);
+            let u = a.union(&b);
+            prop_assert!(u.area() <= a.area() + b.area());
+            prop_assert!(u.area() >= a.area().max(b.area()));
+            // Inclusion-exclusion.
+            prop_assert_eq!(u.area() + a.intersection(&b).area(), a.area() + b.area());
+        }
+
+        #[test]
+        fn polygon_region_preserves_area(heights in proptest::collection::vec(1i32..15, 2..7)) {
+            // A histogram polygon: its region decomposition must have
+            // exactly the Shoelace area.
+            let mut hs: Vec<i32> = Vec::new();
+            for h in heights {
+                match hs.last() {
+                    Some(&prev) if prev == h => hs.push(h + 1),
+                    _ => hs.push(h),
+                }
+            }
+            let mut verts = vec![Point::new(0, 0)];
+            let mut x = 0;
+            for (i, h) in hs.iter().enumerate() {
+                verts.push(Point::new(x, *h));
+                x += 4;
+                verts.push(Point::new(x, *h));
+                if i + 1 == hs.len() {
+                    verts.push(Point::new(x, 0));
+                }
+            }
+            let poly = Polygon::new(verts).unwrap();
+            let region = Region::from_polygons([&poly]);
+            prop_assert_eq!(region.area(), poly.area());
+            // And every covered cell is inside the polygon.
+            let mbr = poly.mbr();
+            for cx in mbr.lo().x..mbr.hi().x {
+                for cy in mbr.lo().y..mbr.hi().y {
+                    let p = Point::new(cx, cy);
+                    let cell_inside = poly.contains(p)
+                        && poly.contains(Point::new(cx + 1, cy))
+                        && poly.contains(Point::new(cx, cy + 1))
+                        && poly.contains(Point::new(cx + 1, cy + 1));
+                    prop_assert_eq!(region.covers_cell(p), cell_inside, "at {}", p);
+                }
+            }
+        }
+
+        #[test]
+        fn output_rects_are_disjoint(ra in arb_rects(8)) {
+            let a = Region::from_rects(ra);
+            let rects = a.rects();
+            for i in 0..rects.len() {
+                for j in i + 1..rects.len() {
+                    prop_assert!(!rects[i].overlaps_open(rects[j]));
+                }
+            }
+        }
+    }
+}

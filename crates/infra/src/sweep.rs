@@ -1,0 +1,179 @@
+//! The MBR overlap sweepline of §IV-D (Fig. 3).
+//!
+//! > "The sweepline algorithm moves a conceptual line across the plane
+//! > from top to bottom, which scans through the top and bottom sides of
+//! > all MBRs in descending y. When the top side of an MBR `m` is
+//! > encountered, the corresponding horizontal interval is inserted into
+//! > the interval tree, and a query to the interval tree reports all the
+//! > MBRs overlapping with `m`. When the bottom side of `m` is
+//! > encountered, the horizontal interval is removed from the interval
+//! > tree."
+
+use odrc_geometry::{Coord, Rect};
+
+use crate::IntervalTree;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// Top side: insert the MBR's x-interval. Processed before removals
+    /// at the same y so that rectangles touching edge-to-edge are
+    /// reported (closed-rectangle overlap semantics).
+    Insert,
+    /// Bottom side: remove the x-interval.
+    Remove,
+}
+
+/// Reports every unordered pair of overlapping rectangles via `report`,
+/// with the first index smaller than the second.
+///
+/// Touching rectangles count as overlapping, matching the closed MBR
+/// semantics used by the check pruning (rule-inflated MBRs that touch
+/// can still harbour a violation).
+///
+/// # Examples
+///
+/// ```
+/// use odrc_geometry::Rect;
+/// use odrc_infra::sweep::sweep_overlap_pairs;
+///
+/// let rects = [
+///     Rect::from_coords(0, 0, 10, 10),
+///     Rect::from_coords(5, 5, 20, 20),
+///     Rect::from_coords(100, 100, 110, 110),
+/// ];
+/// assert_eq!(sweep_overlap_pairs(&rects), vec![(0, 1)]);
+/// ```
+pub fn sweep_overlaps<F: FnMut(usize, usize)>(rects: &[Rect], mut report: F) {
+    // Event list: (y, kind, rect index), descending y, inserts first.
+    let mut events: Vec<(Coord, EventKind, usize)> = Vec::with_capacity(rects.len() * 2);
+    let mut domain: Vec<Coord> = Vec::with_capacity(rects.len() * 2);
+    for (i, r) in rects.iter().enumerate() {
+        events.push((r.hi().y, EventKind::Insert, i));
+        events.push((r.lo().y, EventKind::Remove, i));
+        domain.push(r.lo().x);
+        domain.push(r.hi().x);
+    }
+    events.sort_unstable_by(|a, b| {
+        b.0.cmp(&a.0).then_with(|| {
+            // Inserts before removes at equal y.
+            let rank = |k: EventKind| match k {
+                EventKind::Insert => 0,
+                EventKind::Remove => 1,
+            };
+            rank(a.1).cmp(&rank(b.1))
+        })
+    });
+
+    let mut tree: IntervalTree<usize> = IntervalTree::with_domain(domain);
+    for (_, kind, i) in events {
+        let x = rects[i].x_range();
+        match kind {
+            EventKind::Insert => {
+                tree.query_into(x, &mut |&j| {
+                    let (a, b) = if i < j { (i, j) } else { (j, i) };
+                    report(a, b);
+                });
+                tree.insert(x, i);
+            }
+            EventKind::Remove => {
+                tree.remove(x, &i);
+            }
+        }
+    }
+}
+
+/// Convenience wrapper collecting the overlap pairs into a vector,
+/// sorted lexicographically.
+pub fn sweep_overlap_pairs(rects: &[Rect]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    sweep_overlaps(rects, |a, b| pairs.push((a, b)));
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Reference `O(n²)` overlap enumeration used by tests and ablation
+/// benches.
+pub fn brute_force_overlap_pairs(rects: &[Rect]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for i in 0..rects.len() {
+        for j in i + 1..rects.len() {
+            if rects[i].overlaps(rects[j]) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Rect {
+        Rect::from_coords(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(sweep_overlap_pairs(&[]).is_empty());
+        assert!(sweep_overlap_pairs(&[r(0, 0, 5, 5)]).is_empty());
+    }
+
+    #[test]
+    fn disjoint_rects_report_nothing() {
+        let rects = [r(0, 0, 5, 5), r(10, 0, 15, 5), r(0, 10, 5, 15)];
+        assert!(sweep_overlap_pairs(&rects).is_empty());
+    }
+
+    #[test]
+    fn overlapping_pair_reported_once() {
+        let rects = [r(0, 0, 10, 10), r(5, 5, 15, 15)];
+        assert_eq!(sweep_overlap_pairs(&rects), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn touching_edges_count() {
+        // Horizontal touch.
+        assert_eq!(sweep_overlap_pairs(&[r(0, 0, 5, 5), r(5, 0, 10, 5)]), vec![(0, 1)]);
+        // Vertical touch (same sweep y for bottom of one, top of other).
+        assert_eq!(sweep_overlap_pairs(&[r(0, 0, 5, 5), r(0, 5, 5, 10)]), vec![(0, 1)]);
+        // Corner touch.
+        assert_eq!(sweep_overlap_pairs(&[r(0, 0, 5, 5), r(5, 5, 10, 10)]), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn nested_rects_overlap() {
+        let rects = [r(0, 0, 100, 100), r(10, 10, 20, 20), r(30, 30, 40, 40)];
+        assert_eq!(sweep_overlap_pairs(&rects), vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn identical_rects() {
+        let rects = [r(0, 0, 5, 5), r(0, 0, 5, 5), r(0, 0, 5, 5)];
+        assert_eq!(
+            sweep_overlap_pairs(&rects),
+            vec![(0, 1), (0, 2), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn chain_of_overlaps() {
+        let rects = [r(0, 0, 10, 4), r(8, 0, 18, 4), r(16, 0, 26, 4)];
+        assert_eq!(sweep_overlap_pairs(&rects), vec![(0, 1), (1, 2)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn matches_brute_force(
+            specs in proptest::collection::vec(
+                (-100i32..100, -100i32..100, 0i32..40, 0i32..40), 0..80),
+        ) {
+            let rects: Vec<Rect> = specs.iter()
+                .map(|&(x, y, w, h)| r(x, y, x + w, y + h))
+                .collect();
+            prop_assert_eq!(sweep_overlap_pairs(&rects), brute_force_overlap_pairs(&rects));
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The synthetic standard-cell library.
+//!
+//! Cells follow the shape of an ASAP7-style library: a fixed row height,
+//! widths in whole placement sites, and M1 geometry (vertical bars with
+//! occasional L-extensions) inset from the row boundary. Pin positions
+//! (bar centers) are exported so the router can land V1 vias on them.
+
+use odrc_gdsii::{Element, Structure};
+use odrc_geometry::{Point, Rect};
+
+use crate::tech;
+
+/// A cell template: its structure definition plus placement metadata.
+#[derive(Debug, Clone)]
+pub struct CellKind {
+    /// Structure name.
+    pub name: String,
+    /// Width in placement sites.
+    pub sites: i32,
+    /// X-coordinates of pin centers (cell-local), for via landing.
+    pub pin_xs: Vec<i32>,
+    /// The GDSII structure.
+    pub structure: Structure,
+    /// Number of M1 polygons that violate the width rule (for test
+    /// accounting; non-zero only for the deliberately bad variants).
+    pub bad_width_polygons: usize,
+    /// Number of M1 polygons that violate the area rule.
+    pub bad_area_polygons: usize,
+}
+
+fn rect_points(r: Rect) -> Vec<Point> {
+    r.corners().to_vec()
+}
+
+/// Builds one cell: `sites` M1 bars, with an L-foot on bars selected by
+/// `l_mask` (bit per site).
+fn build_cell(name: &str, sites: i32, l_mask: u32) -> CellKind {
+    let mut structure = Structure::new(name);
+    let mut pin_xs = Vec::new();
+    let y_lo = tech::CELL_INSET;
+    let y_hi = tech::ROW_HEIGHT - tech::CELL_INSET;
+    let half_bar = tech::M1_BAR_WIDTH / 2;
+    for s in 0..sites {
+        let xc = s * tech::SITE_WIDTH + tech::SITE_WIDTH / 2;
+        pin_xs.push(xc);
+        if l_mask & (1 << s) != 0 {
+            // L-shaped bar: vertical bar plus a foot extending right.
+            // Foot length 18 keeps >= 18 spacing to the next bar.
+            let foot = 18;
+            structure.elements.push(Element::boundary(
+                tech::M1,
+                vec![
+                    Point::new(xc - half_bar, y_lo),
+                    Point::new(xc - half_bar, y_hi),
+                    Point::new(xc + half_bar, y_hi),
+                    Point::new(xc + half_bar, y_lo + tech::M1_BAR_WIDTH),
+                    Point::new(xc + half_bar + foot, y_lo + tech::M1_BAR_WIDTH),
+                    Point::new(xc + half_bar + foot, y_lo),
+                ],
+            ));
+        } else if s % 2 == 1 {
+            // Split bar: two segments with an 18-dbu gap, like the
+            // interrupted diffusion contacts of a real cell. The split
+            // points keep every M2 routing track (60/108/156/204 within
+            // the row) fully via-landable on both segments.
+            structure.elements.push(Element::boundary(
+                tech::M1,
+                rect_points(Rect::from_coords(xc - half_bar, y_lo, xc + half_bar, y_lo + 96)),
+            ));
+            structure.elements.push(Element::boundary(
+                tech::M1,
+                rect_points(Rect::from_coords(xc - half_bar, y_lo + 114, xc + half_bar, y_hi)),
+            ));
+        } else {
+            structure.elements.push(Element::boundary(
+                tech::M1,
+                rect_points(Rect::from_coords(xc - half_bar, y_lo, xc + half_bar, y_hi)),
+            ));
+        }
+    }
+    CellKind {
+        name: name.to_owned(),
+        sites,
+        pin_xs,
+        structure,
+        bad_width_polygons: 0,
+        bad_area_polygons: 0,
+    }
+}
+
+/// A cell with one deliberately narrow M1 bar (width-rule violation).
+fn build_bad_width_cell() -> CellKind {
+    let mut kind = build_cell("INVBADW", 2, 0);
+    let xc = 2 * tech::SITE_WIDTH + tech::SITE_WIDTH / 2;
+    // A 12-wide bar: 12 < M1_WIDTH (18).
+    kind.structure.elements.push(Element::boundary(
+        tech::M1,
+        rect_points(Rect::from_coords(
+            xc - 6,
+            tech::CELL_INSET,
+            xc + 6,
+            tech::ROW_HEIGHT - tech::CELL_INSET,
+        )),
+    ));
+    kind.name = "INVBADW".to_owned();
+    kind.sites = 3;
+    kind.bad_width_polygons = 1;
+    kind
+}
+
+/// A cell with one tiny M1 island (area-rule violation: 20x20 = 400 <
+/// the 1400 minimum, while its width 20 passes the width rule).
+fn build_bad_area_cell() -> CellKind {
+    let mut kind = build_cell("FILLTINY", 1, 0);
+    let xc = tech::SITE_WIDTH + tech::SITE_WIDTH / 2;
+    kind.structure.elements.push(Element::boundary(
+        tech::M1,
+        rect_points(Rect::from_coords(xc - 10, 120, xc + 10, 140)),
+    ));
+    kind.name = "FILLTINY".to_owned();
+    kind.sites = 2;
+    kind.bad_area_polygons = 1;
+    kind
+}
+
+/// Builds the full cell library.
+///
+/// The first [`CLEAN_KINDS`] entries are rule-clean; the last two are
+/// the deliberate width/area violators used for violation injection.
+pub fn library() -> Vec<CellKind> {
+    vec![
+        build_cell("FILL1", 1, 0),
+        build_cell("INVX1", 2, 0b01),
+        build_cell("BUFX2", 3, 0b010),
+        build_cell("NAND2", 4, 0b0101),
+        build_cell("NOR2", 4, 0b1010),
+        build_cell("AOI21", 5, 0b00100),
+        build_cell("DFFX1", 8, 0b0100_0010),
+        build_bad_width_cell(),
+        build_bad_area_cell(),
+    ]
+}
+
+/// Number of rule-clean cell kinds at the front of [`library`].
+pub const CLEAN_KINDS: usize = 7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrc_gdsii::Element;
+
+    #[test]
+    fn library_shape() {
+        let lib = library();
+        assert_eq!(lib.len(), CLEAN_KINDS + 2);
+        for kind in &lib {
+            assert!(kind.sites >= 1);
+            assert_eq!(kind.pin_xs.len() as i32, i32::min(kind.sites, kind.pin_xs.len() as i32));
+            assert!(!kind.structure.elements.is_empty());
+        }
+    }
+
+    #[test]
+    fn clean_cells_meet_spacing_and_width() {
+        for kind in library().iter().take(CLEAN_KINDS) {
+            let mut bars: Vec<Rect> = Vec::new();
+            for e in &kind.structure.elements {
+                let Element::Boundary(b) = e else { continue };
+                let poly = odrc_geometry::Polygon::new(b.points.clone()).unwrap();
+                bars.push(poly.mbr());
+            }
+            // Pairwise gaps respect the M1 spacing rule.
+            for i in 0..bars.len() {
+                for j in i + 1..bars.len() {
+                    assert!(
+                        bars[i].gap(bars[j]) >= tech::M1_SPACE,
+                        "{}: bars {i} and {j} too close",
+                        kind.name
+                    );
+                }
+            }
+            // Geometry stays inside the inset band.
+            for b in &bars {
+                assert!(b.lo().y >= tech::CELL_INSET);
+                assert!(b.hi().y <= tech::ROW_HEIGHT - tech::CELL_INSET);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_cells_flagged() {
+        let lib = library();
+        let badw = lib.iter().find(|k| k.name == "INVBADW").unwrap();
+        assert_eq!(badw.bad_width_polygons, 1);
+        let bada = lib.iter().find(|k| k.name == "FILLTINY").unwrap();
+        assert_eq!(bada.bad_area_polygons, 1);
+    }
+
+    #[test]
+    fn pins_are_on_bars() {
+        for kind in library().iter().take(CLEAN_KINDS) {
+            for &x in &kind.pin_xs {
+                let covered = kind.structure.elements.iter().any(|e| {
+                    let Element::Boundary(b) = e else { return false };
+                    let poly = odrc_geometry::Polygon::new(b.points.clone()).unwrap();
+                    let mbr = poly.mbr();
+                    mbr.lo().x <= x && x <= mbr.hi().x
+                });
+                assert!(covered, "{}: pin at {x} not on any bar", kind.name);
+            }
+        }
+    }
+
+    #[test]
+    fn split_bars_keep_via_tracks_landable() {
+        // M2 tracks sit at 60/108/156/204 within the row; a via of size
+        // V1_SIZE with M1 enclosure must fit on some segment at every
+        // track for every pin column.
+        for kind in library().iter().take(CLEAN_KINDS) {
+            for &x in &kind.pin_xs {
+                for track in [60, 108, 156, 204] {
+                    let need_lo = track - tech::V1_SIZE / 2 - tech::V1_M1_ENCLOSURE as i32;
+                    let need_hi = track + tech::V1_SIZE / 2 + tech::V1_M1_ENCLOSURE as i32;
+                    let landable = kind.structure.elements.iter().any(|e| {
+                        let Element::Boundary(b) = e else { return false };
+                        let poly = odrc_geometry::Polygon::new(b.points.clone()).unwrap();
+                        let mbr = poly.mbr();
+                        mbr.lo().x <= x
+                            && x <= mbr.hi().x
+                            && mbr.lo().y <= need_lo
+                            && need_hi <= mbr.hi().y
+                    });
+                    assert!(landable, "{}: track {track} at pin {x} not landable", kind.name);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! The benchmark layout generator.
+//!
+//! Emulates the structure of an OpenROAD-placed, ASAP7-style design
+//! (§VI of the paper): standard cells in abutting rows (odd rows
+//! flipped), horizontal M2 routing on tracks within each row, vertical
+//! M3 routing spanning the die, and V1/V2 vias landing on pins and wire
+//! crossings. A configurable fraction of deliberate rule violations is
+//! injected so checkers have non-trivial output to agree on.
+
+use odrc_db::Layout;
+use odrc_gdsii::model::ArrayParams;
+use odrc_gdsii::{BoundaryElement, Element, Library, RefElement, Structure};
+use odrc_geometry::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cells::{self, CellKind};
+use crate::tech;
+
+/// Parameters of one synthetic design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpec {
+    /// Design name (also the GDSII library and top-structure name).
+    pub name: String,
+    /// Number of placement rows.
+    pub rows: usize,
+    /// Row width in placement sites.
+    pub sites_per_row: i32,
+    /// Horizontal M2 wires per row.
+    pub m2_wires_per_row: usize,
+    /// Vertical M3 wires across the die.
+    pub m3_wires: usize,
+    /// Fraction of objects receiving a deliberate rule violation.
+    pub violation_rate: f64,
+    /// RNG seed (generation is fully deterministic).
+    pub seed: u64,
+}
+
+impl DesignSpec {
+    /// The six benchmark designs of the paper's evaluation, scaled to
+    /// laptop-size while keeping their relative character (uart tiny,
+    /// ethmac largest, jpeg M3-heavy).
+    pub fn paper(name: &str) -> Option<DesignSpec> {
+        let (rows, sites, m2, m3) = match name {
+            "uart" => (16, 300, 20, 12),
+            "ibex" => (32, 600, 30, 24),
+            "sha3" => (64, 1000, 40, 40),
+            "aes" => (72, 1200, 45, 48),
+            "jpeg" => (80, 1400, 50, 400),
+            "ethmac" => (112, 1600, 60, 64),
+            _ => return None,
+        };
+        Some(DesignSpec {
+            name: name.to_owned(),
+            rows,
+            sites_per_row: sites,
+            m2_wires_per_row: m2,
+            m3_wires: m3,
+            violation_rate: 0.02,
+            seed: 0xD5C0_0000 ^ name.bytes().fold(0u64, |a, b| a.wrapping_mul(31) + u64::from(b)),
+        })
+    }
+
+    /// All six paper designs, in the tables' order.
+    pub fn all_paper() -> Vec<DesignSpec> {
+        ["aes", "ethmac", "ibex", "jpeg", "sha3", "uart"]
+            .iter()
+            .map(|n| DesignSpec::paper(n).expect("known design"))
+            .collect()
+    }
+
+    /// A tiny design for unit and integration tests.
+    pub fn tiny(seed: u64) -> DesignSpec {
+        DesignSpec {
+            name: format!("tiny{seed}"),
+            rows: 4,
+            sites_per_row: 60,
+            m2_wires_per_row: 4,
+            m3_wires: 4,
+            violation_rate: 0.1,
+            seed,
+        }
+    }
+}
+
+/// Counts of violations injected by the generator, by rule family.
+/// Checkers must find *at least* these (random geometry can interact to
+/// produce more).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionStats {
+    /// Narrow M1 bars (via bad cell instances) and narrow M2 wires.
+    pub width: usize,
+    /// Too-close M2 or M3 wire pairs.
+    pub space: usize,
+    /// Under-size M1 islands (via bad cell instances).
+    pub area: usize,
+    /// Off-center vias breaking an enclosure rule.
+    pub enclosure: usize,
+}
+
+/// A generated design: the GDSII library plus injection accounting.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The GDSII library (top structure named after the design).
+    pub library: Library,
+    /// Injected violation counts.
+    pub stats: InjectionStats,
+}
+
+/// Generates a design.
+///
+/// The output is a real GDSII hierarchy: cell definitions referenced by
+/// `SREF` (odd rows mirrored about x, exercising transforms) plus one
+/// `AREF` row of filler cells, with routing drawn as top-level
+/// boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_layoutgen::{generate, DesignSpec};
+///
+/// let design = generate(&DesignSpec::tiny(7));
+/// assert!(design.library.structures.len() > 2);
+/// let bytes = odrc_gdsii::write(&design.library)?;
+/// assert_eq!(odrc_gdsii::read(&bytes)?, design.library);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn generate(spec: &DesignSpec) -> Generated {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let kinds = cells::library();
+    let mut lib = Library::new(spec.name.clone());
+    for kind in &kinds {
+        lib.structures.push(kind.structure.clone());
+    }
+    let mut top = Structure::new(spec.name.to_uppercase());
+    let mut stats = InjectionStats::default();
+
+    let die_w = spec.sites_per_row * tech::SITE_WIDTH;
+    let die_h = spec.rows as i32 * tech::ROW_HEIGHT;
+
+    // --- Placement -------------------------------------------------
+    // placements[row] = (kind index, origin x) for via landing.
+    let mut placements: Vec<Vec<(usize, i32)>> = vec![Vec::new(); spec.rows];
+    for row in 0..spec.rows {
+        let row_y = row as i32 * tech::ROW_HEIGHT;
+        let mirrored = row % 2 == 1;
+        let mut site = 0i32;
+        while site < spec.sites_per_row {
+            // Pick a cell kind; rarely one of the bad variants.
+            let kind_idx = if rng.gen_bool(spec.violation_rate / 4.0) {
+                cells::CLEAN_KINDS // INVBADW carries one bad bar
+            } else if rng.gen_bool(spec.violation_rate / 4.0) {
+                cells::CLEAN_KINDS + 1 // FILLTINY carries one tiny island
+            } else {
+                rng.gen_range(0..cells::CLEAN_KINDS)
+            };
+            let kind = &kinds[kind_idx];
+            if site + kind.sites > spec.sites_per_row {
+                break;
+            }
+            // Account injections only for cells that are really placed.
+            stats.width += kind.bad_width_polygons;
+            stats.area += kind.bad_area_polygons;
+            let x = site * tech::SITE_WIDTH;
+            let mut r = RefElement::sref(kind.name.clone(), Point::new(x, row_y));
+            if mirrored {
+                // Flip about x, then shift so the cell occupies the row.
+                r.mirror_x = true;
+                r.origin = Point::new(x, row_y + tech::ROW_HEIGHT);
+            }
+            top.elements.push(Element::Ref(r));
+            placements[row].push((kind_idx, x));
+            site += kind.sites;
+            // Occasional placement gap.
+            if rng.gen_bool(0.2) {
+                site += rng.gen_range(1..3);
+            }
+        }
+    }
+
+    // One AREF strip of filler cells above the top row, exercising
+    // array references.
+    let fill_cols = (spec.sites_per_row / 4).max(1) as u16;
+    top.elements.push(Element::Ref(RefElement {
+        sname: "FILL1".to_owned(),
+        origin: Point::new(0, die_h),
+        mirror_x: false,
+        angle_deg: 0.0,
+        mag: 1.0,
+        array: Some(ArrayParams {
+            cols: fill_cols,
+            rows: 1,
+            col_step: Point::new(4 * tech::SITE_WIDTH, 0),
+            row_step: Point::new(0, tech::ROW_HEIGHT),
+        }),
+    }));
+
+    // --- M2 routing (horizontal, within each row band) --------------
+    let mut net = 0usize;
+    // wires[row] = (track index, x0, x1, y_center)
+    let mut m2_wires: Vec<Vec<(i32, i32, i32)>> = vec![Vec::new(); spec.rows];
+    let tracks = 4i32;
+    for row in 0..spec.rows {
+        let row_y = row as i32 * tech::ROW_HEIGHT;
+        let mut made = 0usize;
+        'tracks: for t in 0..tracks {
+            let y_c = row_y + 60 + t * tech::M2_PITCH;
+            let mut cursor = 40 + rng.gen_range(0..200);
+            while cursor < die_w - 400 {
+                if made >= spec.m2_wires_per_row {
+                    break 'tracks;
+                }
+                let len = rng.gen_range(300..1500).min(die_w - 40 - cursor);
+                let (x0, x1) = (cursor, cursor + len);
+                let half = tech::M2_WIRE_WIDTH / 2;
+                // Occasionally inject a violation instead of a clean wire.
+                let kind = rng.gen_range(0..100);
+                if (kind as f64) < spec.violation_rate * 100.0 / 2.0 && t == tracks - 1 {
+                    // Spacing violation: a parallel stub 10 dbu above.
+                    let stub_y = y_c + tech::M2_WIRE_WIDTH + 10;
+                    push_named_rect(
+                        &mut top,
+                        tech::M2,
+                        Rect::from_coords(x0, y_c - half, x1, y_c + half),
+                        &format!("net{net}"),
+                    );
+                    push_named_rect(
+                        &mut top,
+                        tech::M2,
+                        Rect::from_coords(x0 + 50, stub_y - half, x0 + 450, stub_y + half),
+                        &format!("net{net}x"),
+                    );
+                    stats.space += 1;
+                } else if (kind as f64) < spec.violation_rate * 100.0 {
+                    // Width violation: a 12-wide wire (12 < 20).
+                    push_named_rect(
+                        &mut top,
+                        tech::M2,
+                        Rect::from_coords(x0, y_c - 6, x1, y_c + 6),
+                        &format!("net{net}"),
+                    );
+                    stats.width += 1;
+                } else {
+                    push_named_rect(
+                        &mut top,
+                        tech::M2,
+                        Rect::from_coords(x0, y_c - half, x1, y_c + half),
+                        &format!("net{net}"),
+                    );
+                }
+                m2_wires[row].push((x0, x1, y_c));
+                net += 1;
+                made += 1;
+                cursor = x1 + rng.gen_range(60..400);
+            }
+        }
+    }
+
+    // --- V1 vias (M1 pin <-> M2 wire) --------------------------------
+    for row in 0..spec.rows {
+        for &(x0, x1, y_c) in &m2_wires[row] {
+            // Land on up to two pins under the wire span.
+            let mut landed = 0;
+            for &(kind_idx, cell_x) in &placements[row] {
+                if landed >= 2 {
+                    break;
+                }
+                let kind: &CellKind = &kinds[kind_idx];
+                for &pin in &kind.pin_xs {
+                    let px = cell_x + pin;
+                    if px - 40 < x0 || px + 40 > x1 {
+                        continue;
+                    }
+                    let half = tech::V1_SIZE / 2;
+                    let (cx, cy, inject) = if rng.gen_bool(spec.violation_rate) {
+                        // Enclosure violation: shift off the wire center.
+                        (px, y_c + 8, true)
+                    } else {
+                        (px, y_c, false)
+                    };
+                    push_rect(
+                        &mut top,
+                        tech::V1,
+                        Rect::from_coords(cx - half, cy - half, cx + half, cy + half),
+                    );
+                    if inject {
+                        stats.enclosure += 1;
+                    }
+                    landed += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- M3 routing (vertical, spanning the die) ---------------------
+    // (x center, y0, y1) of each main bus wire, for via legality.
+    let mut m3_wires_placed: Vec<(i32, i32, i32)> = Vec::new();
+    let max_tracks = ((die_w - 200) / tech::M3_PITCH).max(1);
+    for k in 0..spec.m3_wires {
+        let track = (k as i32) % max_tracks;
+        let x_c = 100 + track * tech::M3_PITCH;
+        let half = tech::M3_WIRE_WIDTH / 2;
+        let (y0, y1) = (
+            rng.gen_range(0..die_h / 4),
+            rng.gen_range(3 * die_h / 4..die_h),
+        );
+        if rng.gen_bool(spec.violation_rate / 2.0) && track + 1 < max_tracks {
+            // Spacing violation: a stub 12 dbu to the right.
+            let stub_x = x_c + tech::M3_WIRE_WIDTH + 12;
+            push_named_rect(
+                &mut top,
+                tech::M3,
+                Rect::from_coords(x_c - half, y0, x_c + half, y1),
+                &format!("bus{k}"),
+            );
+            push_named_rect(
+                &mut top,
+                tech::M3,
+                Rect::from_coords(stub_x - half, y0 + 100, stub_x + half, y0 + 700),
+                &format!("bus{k}x"),
+            );
+            stats.space += 1;
+        } else {
+            push_named_rect(
+                &mut top,
+                tech::M3,
+                Rect::from_coords(x_c - half, y0, x_c + half, y1),
+                &format!("bus{k}"),
+            );
+        }
+        m3_wires_placed.push((x_c, y0, y1));
+    }
+
+    // --- V2 vias (M2 wire <-> M3 wire crossings) ----------------------
+    for row in 0..spec.rows {
+        for &(x0, x1, y_c) in &m2_wires[row] {
+            for &(x_c, m3_y0, m3_y1) in &m3_wires_placed {
+                if x_c - 40 < x0 || x_c + 40 > x1 {
+                    continue;
+                }
+                // The via must land where the M3 wire actually runs,
+                // with room for the enclosure margin.
+                if y_c - 20 < m3_y0 || y_c + 20 > m3_y1 {
+                    continue;
+                }
+                if !rng.gen_bool(0.3) {
+                    continue;
+                }
+                let half = tech::V2_SIZE / 2;
+                let (cx, inject) = if rng.gen_bool(spec.violation_rate) {
+                    (x_c + 11, true) // pokes out of the M3 wire
+                } else {
+                    (x_c, false)
+                };
+                push_rect(
+                    &mut top,
+                    tech::V2,
+                    Rect::from_coords(cx - half, y_c - half, cx + half, y_c + half),
+                );
+                if inject {
+                    stats.enclosure += 1;
+                }
+                break;
+            }
+        }
+    }
+
+    // Drop cell definitions the design never references, so the top
+    // structure is unambiguous.
+    let referenced: std::collections::HashSet<&str> = top
+        .elements
+        .iter()
+        .filter_map(|e| match e {
+            Element::Ref(r) => Some(r.sname.as_str()),
+            _ => None,
+        })
+        .collect();
+    lib.structures.retain(|s| referenced.contains(s.name.as_str()));
+    lib.structures.push(top);
+    Generated {
+        library: lib,
+        stats,
+    }
+}
+
+/// Generates a design and imports it into the layout database.
+///
+/// # Panics
+///
+/// Panics if the generated library fails to import — generation is
+/// deterministic and always produces a valid hierarchy, so a failure
+/// here is a bug in the generator.
+pub fn generate_layout(spec: &DesignSpec) -> Layout {
+    let generated = generate(spec);
+    Layout::from_library(&generated.library).expect("generated library is valid")
+}
+
+fn push_rect(top: &mut Structure, layer: odrc_db::Layer, r: Rect) {
+    top.elements.push(Element::boundary(layer, r.corners().to_vec()));
+}
+
+fn push_named_rect(top: &mut Structure, layer: odrc_db::Layer, r: Rect, name: &str) {
+    top.elements.push(Element::Boundary(BoundaryElement {
+        layer,
+        datatype: 0,
+        points: r.corners().to_vec(),
+        properties: vec![(1, name.to_owned())],
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DesignSpec::tiny(11);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.library, b.library);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&DesignSpec::tiny(1));
+        let b = generate(&DesignSpec::tiny(2));
+        assert_ne!(a.library, b.library);
+    }
+
+    #[test]
+    fn roundtrips_through_gdsii() {
+        let design = generate(&DesignSpec::tiny(3));
+        let bytes = odrc_gdsii::write(&design.library).unwrap();
+        let back = odrc_gdsii::read(&bytes).unwrap();
+        assert_eq!(back, design.library);
+    }
+
+    #[test]
+    fn imports_into_layout() {
+        let layout = generate_layout(&DesignSpec::tiny(4));
+        let layers = layout.layers();
+        for l in [tech::M1, tech::M2, tech::M3, tech::V1, tech::V2] {
+            assert!(layers.contains(&l), "layer {l} missing");
+        }
+        // Hierarchy: placements exist under top.
+        assert!(!layout.top_placements().is_empty());
+        // M1 lives only inside cells, never at top level.
+        let top = layout.cell(layout.top());
+        assert!(top.polygons_on(tech::M1).next().is_none());
+        assert!(top.polygons_on(tech::M2).next().is_some());
+    }
+
+    #[test]
+    fn paper_designs_scale_ordering() {
+        let uart = DesignSpec::paper("uart").unwrap();
+        let ethmac = DesignSpec::paper("ethmac").unwrap();
+        let jpeg = DesignSpec::paper("jpeg").unwrap();
+        assert!(uart.rows < ethmac.rows);
+        assert!(jpeg.m3_wires > ethmac.m3_wires, "jpeg is the M3-heavy design");
+        assert!(DesignSpec::paper("unknown").is_none());
+        assert_eq!(DesignSpec::all_paper().len(), 6);
+    }
+
+    #[test]
+    fn violations_injected_when_requested() {
+        let mut spec = DesignSpec::tiny(5);
+        spec.violation_rate = 0.3;
+        let design = generate(&spec);
+        let s = design.stats;
+        assert!(s.width + s.space + s.area + s.enclosure > 0);
+    }
+
+    #[test]
+    fn clean_design_has_no_injections() {
+        let mut spec = DesignSpec::tiny(6);
+        spec.violation_rate = 0.0;
+        let design = generate(&spec);
+        assert_eq!(design.stats, InjectionStats::default());
+    }
+
+    #[test]
+    fn rows_are_m1_independent() {
+        // The in-cell inset must keep M1 extents of adjacent rows apart.
+        let layout = generate_layout(&DesignSpec::tiny(8));
+        let polys = layout.flatten_layer(tech::M1);
+        let row_of = |y: i32| y / tech::ROW_HEIGHT;
+        for f in &polys {
+            let mbr = f.polygon.mbr();
+            assert_eq!(
+                row_of(mbr.lo().y),
+                row_of(mbr.hi().y),
+                "M1 polygon crosses a row boundary: {mbr}"
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The ASAP7-like technology used by the synthetic benchmarks.
+//!
+//! Layer numbers, design-rule values, and placement geometry are chosen
+//! to mirror the structure of the ASAP7 BEOL stack the paper checks
+//! (layers M1, M2, M3, V1, V2; §VI) at a 1 dbu = 1 nm scale. The M1
+//! width value of 18 matches the example rule of the paper's Listing 1
+//! (`db.layer(19).width().greater_than(18)`).
+
+use odrc_db::Layer;
+
+/// First metal layer (vertical in-cell bars, pins).
+pub const M1: Layer = 19;
+/// Second metal layer (horizontal routing).
+pub const M2: Layer = 20;
+/// Third metal layer (vertical routing).
+pub const M3: Layer = 21;
+/// Via layer between M1 and M2.
+pub const V1: Layer = 30;
+/// Via layer between M2 and M3.
+pub const V2: Layer = 31;
+
+/// Placement site width in dbu.
+pub const SITE_WIDTH: i32 = 54;
+/// Standard-cell row height in dbu.
+pub const ROW_HEIGHT: i32 = 270;
+/// Vertical inset of in-cell geometry from the row boundary, which is
+/// what keeps abutting placement rows independent for the adaptive row
+/// partition (their per-layer MBRs do not touch).
+pub const CELL_INSET: i32 = 30;
+
+/// Minimum M1 width.
+pub const M1_WIDTH: i64 = 18;
+/// Minimum M1 spacing.
+pub const M1_SPACE: i64 = 18;
+/// Minimum M1 polygon area (dbu²).
+pub const M1_AREA: i64 = 1400;
+/// Minimum M2 width.
+pub const M2_WIDTH: i64 = 20;
+/// Minimum M2 spacing.
+pub const M2_SPACE: i64 = 20;
+/// Minimum M2 polygon area (dbu²).
+pub const M2_AREA: i64 = 1800;
+/// Minimum M3 width.
+pub const M3_WIDTH: i64 = 24;
+/// Minimum M3 spacing.
+pub const M3_SPACE: i64 = 24;
+/// Minimum M3 polygon area (dbu²).
+pub const M3_AREA: i64 = 2400;
+/// V1 via edge length.
+pub const V1_SIZE: i32 = 10;
+/// Required enclosure of V1 by M1.
+pub const V1_M1_ENCLOSURE: i64 = 4;
+/// Required enclosure of V1 by M2.
+pub const V1_M2_ENCLOSURE: i64 = 5;
+/// V2 via edge length.
+pub const V2_SIZE: i32 = 10;
+/// Required enclosure of V2 by M2.
+pub const V2_M2_ENCLOSURE: i64 = 5;
+/// Required enclosure of V2 by M3.
+pub const V2_M3_ENCLOSURE: i64 = 7;
+
+/// M1 bar width drawn inside cells (comfortably above [`M1_WIDTH`]).
+pub const M1_BAR_WIDTH: i32 = 18;
+/// M2 wire width drawn by the router.
+pub const M2_WIRE_WIDTH: i32 = 20;
+/// M2 routing track pitch (width + spacing with margin).
+pub const M2_PITCH: i32 = 48;
+/// M3 wire width drawn by the router.
+pub const M3_WIRE_WIDTH: i32 = 24;
+/// M3 routing track pitch.
+pub const M3_PITCH: i32 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_numbers_distinct() {
+        let layers = [M1, M2, M3, V1, V2];
+        for i in 0..layers.len() {
+            for j in i + 1..layers.len() {
+                assert_ne!(layers[i], layers[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn drawn_geometry_meets_rules() {
+        // Clean generated geometry must satisfy the rule deck.
+        assert!(i64::from(M1_BAR_WIDTH) >= M1_WIDTH);
+        assert!(i64::from(M2_WIRE_WIDTH) >= M2_WIDTH);
+        assert!(i64::from(M3_WIRE_WIDTH) >= M3_WIDTH);
+        assert!(i64::from(M2_PITCH - M2_WIRE_WIDTH) >= M2_SPACE);
+        assert!(i64::from(M3_PITCH - M3_WIRE_WIDTH) >= M3_SPACE);
+        // Vias centered in their landing metal meet the enclosures.
+        assert!(i64::from((M1_BAR_WIDTH - V1_SIZE) / 2) >= V1_M1_ENCLOSURE);
+        assert!(i64::from((M2_WIRE_WIDTH - V1_SIZE) / 2) >= V1_M2_ENCLOSURE);
+        assert!(i64::from((M2_WIRE_WIDTH - V2_SIZE) / 2) >= V2_M2_ENCLOSURE);
+        assert!(i64::from((M3_WIRE_WIDTH - V2_SIZE) / 2) >= V2_M3_ENCLOSURE);
+        // In-cell inset keeps abutting rows independent beyond any rule.
+        assert!(i64::from(2 * CELL_INSET) > M1_SPACE);
+    }
+}

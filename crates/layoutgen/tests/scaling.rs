@@ -1,0 +1,52 @@
+//! The benchmark designs must preserve the paper's relative character:
+//! uart smallest, ethmac largest, jpeg M3-heavy.
+
+use odrc_layoutgen::{generate_layout, tech, DesignSpec};
+
+#[test]
+fn design_sizes_follow_paper_ordering() {
+    let count = |name: &str| {
+        let layout = generate_layout(&DesignSpec::paper(name).expect("known design"));
+        layout.instance_count(tech::M1)
+    };
+    let uart = count("uart");
+    let ibex = count("ibex");
+    let ethmac = count("ethmac");
+    assert!(uart < ibex, "uart {uart} !< ibex {ibex}");
+    assert!(ibex < ethmac, "ibex {ibex} !< ethmac {ethmac}");
+}
+
+#[test]
+fn jpeg_is_m3_heavy() {
+    let m3 = |name: &str| {
+        let layout = generate_layout(&DesignSpec::paper(name).expect("known design"));
+        layout.instance_count(tech::M3)
+    };
+    let jpeg = m3("jpeg");
+    let ethmac = m3("ethmac");
+    assert!(
+        jpeg > 2 * ethmac,
+        "jpeg ({jpeg}) must carry far more M3 than ethmac ({ethmac})"
+    );
+}
+
+#[test]
+fn designs_have_hierarchy_worth_reusing() {
+    // Thousands of placements over nine cell kinds: the reuse ratio the
+    // paper's §IV-C exploits.
+    let layout = generate_layout(&DesignSpec::paper("uart").expect("known design"));
+    let stats = layout.stats();
+    assert!(stats.top_placements > 500, "{} placements", stats.top_placements);
+    assert!(stats.cells <= 10, "{} cell kinds", stats.cells);
+    let m1 = stats
+        .per_layer
+        .iter()
+        .find(|l| l.layer == tech::M1)
+        .expect("M1 present");
+    assert!(
+        m1.instantiated_polygons > 20 * m1.defined_polygons,
+        "expansion ratio {} / {}",
+        m1.instantiated_polygons,
+        m1.defined_polygons
+    );
+}

@@ -1,0 +1,175 @@
+//! Device-resident memory.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A device-resident buffer of `T`.
+///
+/// Like CUDA device memory, a `DeviceBuffer` lives on the device and is
+/// populated through explicit copies ([`Stream::upload`],
+/// [`Stream::download`]) or by kernels. The handle is cheap to clone;
+/// all clones alias the same memory.
+///
+/// Reads from kernels use [`DeviceBuffer::read`]; writes happen through
+/// the structured launch primitives on [`Device`], which hand each SPMD
+/// thread a disjoint slot or range — this is what makes the simulated
+/// kernels data-race-free by construction.
+///
+/// [`Stream::upload`]: crate::Stream::upload
+/// [`Stream::download`]: crate::Stream::download
+/// [`Device`]: crate::Device
+pub struct DeviceBuffer<T> {
+    data: Arc<RwLock<Vec<T>>>,
+}
+
+impl<T> Clone for DeviceBuffer<T> {
+    fn clone(&self) -> Self {
+        DeviceBuffer {
+            data: Arc::clone(&self.data),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DeviceBuffer(len = {})", self.len())
+    }
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Allocates a zero-initialized (default-initialized) buffer.
+    pub fn alloc(len: usize) -> Self
+    where
+        T: Default + Clone,
+    {
+        DeviceBuffer {
+            data: Arc::new(RwLock::new(vec![T::default(); len])),
+        }
+    }
+
+    /// Wraps host data into a device buffer (a synchronous upload).
+    pub fn from_vec(data: Vec<T>) -> Self {
+        DeviceBuffer {
+            data: Arc::new(RwLock::new(data)),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.read().len()
+    }
+
+    /// Returns `true` for zero-length buffers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read access for kernels and host-side inspection.
+    ///
+    /// # Panics
+    ///
+    /// Deadlocks (or panics under `parking_lot` deadlock detection) if
+    /// called from a kernel writing the same buffer; a kernel must not
+    /// read its own output.
+    pub fn read(&self) -> RwLockReadGuard<'_, Vec<T>> {
+        self.data.read()
+    }
+
+    /// Copies the contents back to host memory.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.data.read().clone()
+    }
+
+    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, Vec<T>> {
+        self.data.write()
+    }
+
+    /// Replaces the entire contents (used by stream-ordered copies).
+    pub(crate) fn replace(&self, data: Vec<T>) {
+        *self.data.write() = data;
+    }
+}
+
+/// A value that becomes available when the producing stream reaches the
+/// corresponding operation — the result handle of an asynchronous
+/// download.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_xpu::Device;
+///
+/// let device = Device::new(2);
+/// let stream = device.stream();
+/// let buf = stream.upload(vec![1u32, 2, 3]);
+/// let pending = stream.download(&buf);
+/// assert_eq!(pending.wait(), vec![1, 2, 3]);
+/// ```
+#[derive(Debug)]
+pub struct Pending<T> {
+    rx: mpsc::Receiver<T>,
+}
+
+impl<T> Pending<T> {
+    pub(crate) fn new(rx: mpsc::Receiver<T>) -> Self {
+        Pending { rx }
+    }
+
+    /// Blocks until the value is produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producing stream was dropped before executing the
+    /// operation (a disconnected channel).
+    pub fn wait(self) -> T {
+        self.rx
+            .recv()
+            .expect("producing stream dropped before completing the operation")
+    }
+
+    /// Non-blocking poll; returns the value if it is ready.
+    pub fn try_wait(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_default_initialized() {
+        let b: DeviceBuffer<i32> = DeviceBuffer::alloc(5);
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert_eq!(b.to_vec(), vec![0; 5]);
+    }
+
+    #[test]
+    fn clones_alias() {
+        let a = DeviceBuffer::from_vec(vec![1, 2, 3]);
+        let b = a.clone();
+        a.replace(vec![9, 9]);
+        assert_eq!(b.to_vec(), vec![9, 9]);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn read_guard_indexing() {
+        let a = DeviceBuffer::from_vec(vec![10, 20, 30]);
+        assert_eq!(a.read()[1], 20);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b: DeviceBuffer<u8> = DeviceBuffer::alloc(0);
+        assert!(b.is_empty());
+        assert!(b.to_vec().is_empty());
+    }
+}

@@ -1,0 +1,438 @@
+//! The simulated SPMD device.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::buffer::DeviceBuffer;
+use crate::stream::Stream;
+
+/// Per-thread identity inside a kernel launch, mirroring CUDA's
+/// `blockIdx` / `threadIdx` / `blockDim` / `gridDim` built-ins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCtx {
+    /// Index of this thread's block within the grid.
+    pub block_idx: usize,
+    /// Index of this thread within its block.
+    pub thread_idx: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    /// Blocks in the grid.
+    pub grid_dim: usize,
+}
+
+impl ThreadCtx {
+    /// The flattened global thread id
+    /// (`blockIdx.x * blockDim.x + threadIdx.x`).
+    #[inline]
+    pub fn global_id(&self) -> usize {
+        self.block_idx * self.block_dim + self.thread_idx
+    }
+
+    /// Total threads in the launch.
+    #[inline]
+    pub fn total_threads(&self) -> usize {
+        self.block_dim * self.grid_dim
+    }
+}
+
+/// A kernel launch configuration: grid and block dimensions.
+///
+/// Launches are 1-D; the engine's edge kernels never need 2-D/3-D
+/// shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Blocks in the grid.
+    pub grid_dim: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+}
+
+impl LaunchConfig {
+    /// The default CUDA-style block size.
+    pub const DEFAULT_BLOCK: usize = 256;
+
+    /// A config with at least `n` threads using the default block size
+    /// (the usual `(n + B - 1) / B` grid computation).
+    pub fn for_threads(n: usize) -> Self {
+        Self::for_threads_with_block(n, Self::DEFAULT_BLOCK)
+    }
+
+    /// A config with at least `n` threads and the given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_dim` is zero.
+    pub fn for_threads_with_block(n: usize, block_dim: usize) -> Self {
+        assert!(block_dim > 0, "block dimension must be positive");
+        LaunchConfig {
+            grid_dim: n.div_ceil(block_dim).max(1),
+            block_dim,
+        }
+    }
+
+    /// Total threads launched.
+    #[inline]
+    pub fn total_threads(&self) -> usize {
+        self.grid_dim * self.block_dim
+    }
+}
+
+/// Cumulative device statistics, useful for asserting that work really
+/// executed on the device (e.g. that copies were hidden behind compute).
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    kernels_launched: AtomicU64,
+    threads_executed: AtomicU64,
+    bytes_h2d: AtomicU64,
+    bytes_d2h: AtomicU64,
+}
+
+impl DeviceStats {
+    /// Number of kernel launches so far.
+    pub fn kernels_launched(&self) -> u64 {
+        self.kernels_launched.load(Ordering::Relaxed)
+    }
+
+    /// Number of SPMD threads executed so far.
+    pub fn threads_executed(&self) -> u64 {
+        self.threads_executed.load(Ordering::Relaxed)
+    }
+
+    /// Bytes copied host → device.
+    pub fn bytes_h2d(&self) -> u64 {
+        self.bytes_h2d.load(Ordering::Relaxed)
+    }
+
+    /// Bytes copied device → host.
+    pub fn bytes_d2h(&self) -> u64 {
+        self.bytes_d2h.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_launch(&self, threads: usize) {
+        self.kernels_launched.fetch_add(1, Ordering::Relaxed);
+        self.threads_executed
+            .fetch_add(threads as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_h2d(&self, bytes: usize) {
+        self.bytes_h2d.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_d2h(&self, bytes: usize) {
+        self.bytes_d2h.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+struct DeviceInner {
+    workers: usize,
+    stats: DeviceStats,
+}
+
+/// The simulated SPMD device.
+///
+/// A `Device` is cheap to clone (it is a handle). Kernels launched on it
+/// execute their threads in parallel across `workers` OS threads, in
+/// SPMD style: every thread runs the same closure with its own
+/// [`ThreadCtx`].
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Clone)]
+pub struct Device {
+    inner: Arc<DeviceInner>,
+}
+
+impl fmt::Debug for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Device")
+            .field("workers", &self.inner.workers)
+            .field("kernels_launched", &self.stats().kernels_launched())
+            .finish()
+    }
+}
+
+impl Default for Device {
+    /// A device sized to the host's available parallelism.
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Device::new(workers)
+    }
+}
+
+impl Device {
+    /// Creates a device with the given number of worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "device needs at least one worker");
+        Device {
+            inner: Arc::new(DeviceInner {
+                workers,
+                stats: DeviceStats::default(),
+            }),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.inner.stats
+    }
+
+    /// Creates a new asynchronous command [`Stream`] on this device
+    /// ("When OpenDRC starts, it creates CUDA stream objects that are
+    /// responsible for asynchronous operations", §V-C).
+    pub fn stream(&self) -> Stream {
+        Stream::new(self.clone())
+    }
+
+    /// Synchronously launches a kernel where thread `i` receives
+    /// exclusive access to `out[i]`.
+    ///
+    /// The number of useful threads is `out.len()`; surplus threads in
+    /// the launch config (block-size round-up) are masked out, exactly
+    /// like the `if (tid < n) return;` guard of CUDA kernels.
+    ///
+    /// Most callers go through [`Stream::launch_map`], which enqueues
+    /// the launch asynchronously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config provides fewer threads than `out.len()`, or
+    /// if the kernel reads its own output buffer (lock recursion).
+    pub fn launch_map_blocking<T, F>(&self, cfg: LaunchConfig, out: &DeviceBuffer<T>, kernel: F)
+    where
+        T: Send + Sync,
+        F: Fn(ThreadCtx, &mut T) + Send + Sync,
+    {
+        let mut guard = out.write();
+        let slots: &mut [T] = &mut guard;
+        assert!(
+            cfg.total_threads() >= slots.len(),
+            "launch config provides {} threads for {} outputs",
+            cfg.total_threads(),
+            slots.len()
+        );
+        self.inner.stats.record_launch(slots.len());
+        let block_dim = cfg.block_dim;
+        let grid_dim = cfg.grid_dim;
+        let kernel = &kernel;
+        self.dispatch_slices(slots, |range, chunk: &mut [T]| {
+            for (offset, slot) in range.zip(chunk.iter_mut()) {
+                let ctx = ThreadCtx {
+                    block_idx: offset / block_dim,
+                    thread_idx: offset % block_dim,
+                    block_dim,
+                    grid_dim,
+                };
+                kernel(ctx, slot);
+            }
+        });
+    }
+
+    /// Synchronously launches a *scatter* kernel where thread `i`
+    /// receives exclusive access to the slice
+    /// `out[offsets[i]..offsets[i + 1]]`.
+    ///
+    /// This is the output pattern of the second phase of the parallel
+    /// sweepline (§IV-E): a prefix-sum of per-thread counts determines
+    /// each thread's private output range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is not monotonically non-decreasing, if its
+    /// last entry exceeds `out.len()`, or if the config provides fewer
+    /// threads than `offsets.len() - 1`.
+    pub fn launch_scatter_blocking<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        offsets: &[usize],
+        kernel: F,
+    ) where
+        T: Send + Sync,
+        F: Fn(ThreadCtx, &mut [T]) + Send + Sync,
+    {
+        let n_threads = offsets.len().saturating_sub(1);
+        assert!(
+            cfg.total_threads() >= n_threads,
+            "launch config provides {} threads for {} ranges",
+            cfg.total_threads(),
+            n_threads
+        );
+        let mut guard = out.write();
+        let mut rest: &mut [T] = &mut guard;
+        let total = rest.len();
+        assert!(
+            offsets.last().copied().unwrap_or(0) <= total,
+            "offsets end past the output buffer"
+        );
+        // Slice the output into per-thread disjoint ranges up front; the
+        // split is sequential but O(n_threads) and cheap.
+        let mut slices: Vec<&mut [T]> = Vec::with_capacity(n_threads);
+        let mut consumed = 0usize;
+        for w in offsets.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            assert!(lo <= hi, "offsets must be non-decreasing");
+            let (skip, tail) = rest.split_at_mut(lo - consumed);
+            debug_assert!(skip.is_empty() || lo > consumed);
+            let (mine, tail) = tail.split_at_mut(hi - lo);
+            slices.push(mine);
+            rest = tail;
+            consumed = hi;
+        }
+        self.inner.stats.record_launch(n_threads);
+        let block_dim = cfg.block_dim;
+        let grid_dim = cfg.grid_dim;
+        let kernel = &kernel;
+        self.dispatch_slices(&mut slices, |range, chunk: &mut [&mut [T]]| {
+            for (offset, slice) in range.zip(chunk.iter_mut()) {
+                let ctx = ThreadCtx {
+                    block_idx: offset / block_dim,
+                    thread_idx: offset % block_dim,
+                    block_dim,
+                    grid_dim,
+                };
+                kernel(ctx, slice);
+            }
+        });
+    }
+
+    /// Runs `body(start_index, chunk)` for contiguous chunks of `work`
+    /// distributed over the worker pool.
+    pub(crate) fn dispatch_slices<T, F>(&self, work: &mut [T], body: F)
+    where
+        T: Send,
+        F: Fn(std::ops::Range<usize>, &mut [T]) + Send + Sync,
+    {
+        let n = work.len();
+        if n == 0 {
+            return;
+        }
+        let workers = self.inner.workers.min(n);
+        let chunk_size = n.div_ceil(workers);
+        if workers == 1 {
+            body(0..n, work);
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut start = 0usize;
+            let body = &body;
+            for chunk in work.chunks_mut(chunk_size) {
+                let range = start..start + chunk.len();
+                start += chunk.len();
+                scope.spawn(move || body(range, chunk));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_config_round_up() {
+        let cfg = LaunchConfig::for_threads(1000);
+        assert_eq!(cfg.block_dim, 256);
+        assert_eq!(cfg.grid_dim, 4);
+        assert_eq!(cfg.total_threads(), 1024);
+        let one = LaunchConfig::for_threads(0);
+        assert_eq!(one.grid_dim, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block dimension")]
+    fn zero_block_panics() {
+        let _ = LaunchConfig::for_threads_with_block(10, 0);
+    }
+
+    #[test]
+    fn thread_ctx_global_id() {
+        let ctx = ThreadCtx {
+            block_idx: 3,
+            thread_idx: 17,
+            block_dim: 256,
+            grid_dim: 8,
+        };
+        assert_eq!(ctx.global_id(), 3 * 256 + 17);
+        assert_eq!(ctx.total_threads(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = Device::new(0);
+    }
+
+    #[test]
+    fn launch_map_validates_thread_count() {
+        let d = Device::new(2);
+        let buf = crate::buffer::DeviceBuffer::from_vec(vec![0u8; 10]);
+        let cfg = LaunchConfig {
+            grid_dim: 1,
+            block_dim: 4, // 4 threads for 10 outputs
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.launch_map_blocking(cfg, &buf, |_, _| {});
+        }));
+        assert!(result.is_err(), "undersized launch must panic");
+    }
+
+    #[test]
+    fn launch_scatter_validates_offsets() {
+        let d = Device::new(2);
+        let buf = crate::buffer::DeviceBuffer::from_vec(vec![0u8; 4]);
+        // Non-monotonic offsets.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.launch_scatter_blocking(LaunchConfig::for_threads(2), &buf, &[0, 3, 1], |_, _| {});
+        }));
+        assert!(result.is_err());
+        // Offsets past the buffer end.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.launch_scatter_blocking(LaunchConfig::for_threads(2), &buf, &[0, 2, 9], |_, _| {});
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn launch_scatter_empty_ranges_ok() {
+        let d = Device::new(2);
+        let buf = crate::buffer::DeviceBuffer::from_vec(vec![0u32; 3]);
+        // Threads 0 and 2 own nothing; thread 1 owns everything.
+        d.launch_scatter_blocking(
+            LaunchConfig::for_threads(3),
+            &buf,
+            &[0, 0, 3, 3],
+            |ctx, slice| {
+                for s in slice.iter_mut() {
+                    *s = ctx.global_id() as u32 + 1;
+                }
+            },
+        );
+        assert_eq!(buf.to_vec(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let d = Device::new(2);
+        let s = d.stream();
+        let buf = s.alloc::<u64>(100);
+        s.launch_map(LaunchConfig::for_threads(100), &buf, |ctx, out| {
+            *out = ctx.global_id() as u64;
+        });
+        s.synchronize();
+        assert_eq!(d.stats().kernels_launched(), 1);
+        assert_eq!(d.stats().threads_executed(), 100);
+    }
+}

@@ -1,0 +1,117 @@
+//! Execution policies: the Rust rendition of the paper's Listing 2.
+//!
+//! In the C++ original, the `sweepline` functor takes an *executor*
+//! that is either `odrc::execution::sequenced_policy` (run on the CPU,
+//! inline) or a wrapper over a `cudaStream_t` (append to the stream),
+//! and dispatches between the two bodies with a `constexpr if` on type
+//! traits. In Rust the same compile-time dispatch is a generic function
+//! over the [`ExecutionPolicy`] trait: each impl is monomorphized
+//! separately, so there is no runtime branching either.
+
+use crate::device::Device;
+use crate::stream::Stream;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::SequencedPolicy {}
+    impl Sealed for super::StreamPolicy<'_> {}
+}
+
+/// Where a generic algorithm should run.
+///
+/// This trait is sealed: the engine defines exactly the two execution
+/// environments of the paper (sequential CPU, asynchronous device
+/// stream).
+pub trait ExecutionPolicy: sealed::Sealed {
+    /// `true` for device-backed policies; generic algorithms can use
+    /// this the way the C++ code uses `constexpr if` on executor type
+    /// traits (the value is a compile-time constant after
+    /// monomorphization).
+    const IS_DEVICE: bool;
+
+    /// The device behind this policy, if any.
+    fn device(&self) -> Option<&Device>;
+
+    /// The stream behind this policy, if any.
+    fn stream(&self) -> Option<&Stream>;
+}
+
+/// Run inline on the calling CPU thread
+/// (`odrc::execution::sequenced_policy`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequencedPolicy;
+
+impl ExecutionPolicy for SequencedPolicy {
+    const IS_DEVICE: bool = false;
+
+    fn device(&self) -> Option<&Device> {
+        None
+    }
+
+    fn stream(&self) -> Option<&Stream> {
+        None
+    }
+}
+
+/// Append operations to a device stream (the `cudaStream_t` wrapper).
+#[derive(Debug)]
+pub struct StreamPolicy<'a> {
+    stream: &'a Stream,
+}
+
+impl<'a> StreamPolicy<'a> {
+    /// Wraps a stream as an execution policy.
+    pub fn new(stream: &'a Stream) -> Self {
+        StreamPolicy { stream }
+    }
+}
+
+impl ExecutionPolicy for StreamPolicy<'_> {
+    const IS_DEVICE: bool = true;
+
+    fn device(&self) -> Option<&Device> {
+        Some(self.stream.device())
+    }
+
+    fn stream(&self) -> Option<&Stream> {
+        Some(self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequenced_policy_has_no_device() {
+        let p = SequencedPolicy;
+        assert!(!SequencedPolicy::IS_DEVICE);
+        assert!(p.device().is_none());
+        assert!(p.stream().is_none());
+    }
+
+    #[test]
+    fn stream_policy_exposes_device() {
+        let device = Device::new(2);
+        let stream = device.stream();
+        let p = StreamPolicy::new(&stream);
+        assert!(StreamPolicy::IS_DEVICE);
+        assert_eq!(p.device().unwrap().workers(), 2);
+        assert!(p.stream().is_some());
+    }
+
+    #[test]
+    fn generic_dispatch_is_static() {
+        fn run<E: ExecutionPolicy>(_exec: &E) -> &'static str {
+            if E::IS_DEVICE {
+                "device"
+            } else {
+                "cpu"
+            }
+        }
+        let device = Device::new(1);
+        let stream = device.stream();
+        assert_eq!(run(&SequencedPolicy), "cpu");
+        assert_eq!(run(&StreamPolicy::new(&stream)), "device");
+    }
+}

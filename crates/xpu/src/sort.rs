@@ -1,0 +1,139 @@
+//! Device-side parallel sorting.
+//!
+//! X-Check sorts its edge arrays on the GPU before the sweep; the
+//! engine's sweepline executor needs track-sorted edges too. This is
+//! the classic parallel merge sort: per-worker chunks are sorted
+//! concurrently, then merged in `log₂(workers)` parallel rounds.
+
+use crate::device::Device;
+
+/// Sorts `data` by `key` using the device's worker pool.
+///
+/// Stable ordering is not guaranteed for equal keys (like
+/// `sort_unstable_by_key`). Arrays smaller than one cache-friendly
+/// chunk are sorted inline without spawning workers.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_xpu::{sort::parallel_sort_by_key, Device};
+///
+/// let device = Device::new(4);
+/// let mut v: Vec<i32> = (0..1000).rev().collect();
+/// parallel_sort_by_key(&device, &mut v, |&x| x);
+/// assert!(v.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+pub fn parallel_sort_by_key<T, K, F>(device: &Device, data: &mut [T], key: F)
+where
+    T: Send + Sync + Copy,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = data.len();
+    let workers = device.workers();
+    if n < 2 {
+        return;
+    }
+    if workers == 1 || n < 4096 {
+        data.sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+        return;
+    }
+    device.stats().record_launch(n);
+
+    // Phase 1: sort chunks in parallel.
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let key = &key;
+        for part in data.chunks_mut(chunk) {
+            scope.spawn(move || part.sort_unstable_by(|a, b| key(a).cmp(&key(b))));
+        }
+    });
+
+    // Phase 2: pairwise merges until one run remains.
+    let mut run = chunk;
+    let mut src: Vec<T> = data.to_vec();
+    let mut dst: Vec<T> = data.to_vec();
+    while run < n {
+        device.stats().record_launch(n);
+        std::thread::scope(|scope| {
+            let key = &key;
+            let mut src_rest: &[T] = &src;
+            let mut dst_rest: &mut [T] = &mut dst;
+            while !src_rest.is_empty() {
+                let take = (2 * run).min(src_rest.len());
+                let (s, s_tail) = src_rest.split_at(take);
+                let (d, d_tail) = dst_rest.split_at_mut(take);
+                src_rest = s_tail;
+                dst_rest = d_tail;
+                let mid = run.min(s.len());
+                scope.spawn(move || merge_into(&s[..mid], &s[mid..], d, key));
+            }
+        });
+        std::mem::swap(&mut src, &mut dst);
+        run *= 2;
+    }
+    data.copy_from_slice(&src);
+}
+
+fn merge_into<T: Copy, K: Ord>(a: &[T], b: &[T], out: &mut [T], key: &impl Fn(&T) -> K) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = j >= b.len() || (i < a.len() && key(&a[i]) <= key(&b[j]));
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_single() {
+        let d = Device::new(3);
+        let mut v: Vec<u32> = vec![];
+        parallel_sort_by_key(&d, &mut v, |&x| x);
+        assert!(v.is_empty());
+        let mut v = vec![5u32];
+        parallel_sort_by_key(&d, &mut v, |&x| x);
+        assert_eq!(v, vec![5]);
+    }
+
+    #[test]
+    fn sorts_reverse_large() {
+        let d = Device::new(4);
+        let mut v: Vec<i64> = (0..10_000).rev().collect();
+        parallel_sort_by_key(&d, &mut v, |&x| x);
+        assert_eq!(v, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sorts_by_custom_key() {
+        let d = Device::new(2);
+        let mut v: Vec<(i32, i32)> = (0..5000).map(|i| (i % 7, i)).collect();
+        parallel_sort_by_key(&d, &mut v, |&(k, _)| k);
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(v.len(), 5000);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std_sort(
+            mut v in proptest::collection::vec(any::<i32>(), 0..12_000),
+            workers in 1usize..7,
+        ) {
+            let d = Device::new(workers);
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            parallel_sort_by_key(&d, &mut v, |&x| x);
+            prop_assert_eq!(v, expected);
+        }
+    }
+}

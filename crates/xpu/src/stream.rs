@@ -1,0 +1,355 @@
+//! Asynchronous command streams and events.
+//!
+//! OpenDRC "utilizes asynchronous operations and \[a\] Stream Ordered
+//! Memory Allocator to hide communication or computation latencies"
+//! (§V-C). A [`Stream`] executes its operations in enqueue order on a
+//! dedicated thread, so host code returns immediately from `upload` /
+//! `launch_map` / `download` calls and overlaps its own work (e.g.
+//! packing the next row's edges) with device work — the paper's
+//! CPU/GPU latency-hiding pattern.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::buffer::{DeviceBuffer, Pending};
+use crate::device::{Device, LaunchConfig, ThreadCtx};
+
+type Job = Box<dyn FnOnce(&Device) + Send>;
+
+/// A cross-stream synchronization point, mirroring `cudaEvent_t`.
+///
+/// Record the event on one stream, wait on it from another (or from the
+/// host). The event is triggered when the recording stream reaches it.
+#[derive(Clone, Debug, Default)]
+pub struct Event {
+    state: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Event {
+    /// Creates an untriggered event.
+    pub fn new() -> Self {
+        Event::default()
+    }
+
+    /// Blocks the calling thread until the event triggers.
+    pub fn wait(&self) {
+        let (lock, cvar) = &*self.state;
+        let mut done = lock.lock();
+        while !*done {
+            cvar.wait(&mut done);
+        }
+    }
+
+    /// Returns `true` if the event has triggered.
+    pub fn is_set(&self) -> bool {
+        *self.state.0.lock()
+    }
+
+    fn set(&self) {
+        let (lock, cvar) = &*self.state;
+        *lock.lock() = true;
+        cvar.notify_all();
+    }
+}
+
+/// An ordered asynchronous command queue on a [`Device`].
+///
+/// Operations enqueue and return immediately; they execute in order on
+/// the stream's worker thread. [`Stream::synchronize`] blocks until the
+/// queue drains. Dropping the stream waits for completion (the
+/// destructor never drops queued work).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct Stream {
+    device: Device,
+    tx: Option<mpsc::Sender<Job>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Stream {
+    pub(crate) fn new(device: Device) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let worker_device = device.clone();
+        let worker = std::thread::Builder::new()
+            .name("xpu-stream".to_owned())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job(&worker_device);
+                }
+            })
+            .expect("spawn stream worker");
+        Stream {
+            device,
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// The device this stream executes on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    fn submit(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("stream channel open until drop")
+            .send(job)
+            .expect("stream worker alive until drop");
+    }
+
+    /// Stream-ordered allocation: the buffer handle is returned
+    /// immediately, but the allocation (default-initialization) happens
+    /// in stream order, like `cudaMallocAsync`.
+    pub fn alloc<T>(&self, len: usize) -> DeviceBuffer<T>
+    where
+        T: Default + Clone + Send + Sync + 'static,
+    {
+        let buf: DeviceBuffer<T> = DeviceBuffer::from_vec(Vec::new());
+        let handle = buf.clone();
+        self.submit(Box::new(move |_| {
+            handle.replace(vec![T::default(); len]);
+        }));
+        buf
+    }
+
+    /// Asynchronous host → device copy; the host vector is moved into
+    /// the operation (no use-after-free by construction).
+    pub fn upload<T>(&self, data: Vec<T>) -> DeviceBuffer<T>
+    where
+        T: Send + Sync + 'static,
+    {
+        let buf: DeviceBuffer<T> = DeviceBuffer::from_vec(Vec::new());
+        let handle = buf.clone();
+        self.submit(Box::new(move |device| {
+            device
+                .stats()
+                .record_h2d(data.len() * std::mem::size_of::<T>());
+            handle.replace(data);
+        }));
+        buf
+    }
+
+    /// Asynchronous device → host copy; the returned [`Pending`]
+    /// resolves when the stream reaches this operation.
+    pub fn download<T>(&self, buf: &DeviceBuffer<T>) -> Pending<Vec<T>>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let handle = buf.clone();
+        self.submit(Box::new(move |device| {
+            let data = handle.to_vec();
+            device
+                .stats()
+                .record_d2h(data.len() * std::mem::size_of::<T>());
+            let _ = tx.send(data);
+        }));
+        Pending::new(rx)
+    }
+
+    /// Enqueues a kernel launch where thread `i` owns `out[i]`
+    /// (see [`Device::launch_map_blocking`]).
+    pub fn launch_map<T, F>(&self, cfg: LaunchConfig, out: &DeviceBuffer<T>, kernel: F)
+    where
+        T: Send + Sync + 'static,
+        F: Fn(ThreadCtx, &mut T) + Send + Sync + 'static,
+    {
+        let out = out.clone();
+        self.submit(Box::new(move |device| {
+            device.launch_map_blocking(cfg, &out, kernel);
+        }));
+    }
+
+    /// Enqueues a scatter kernel launch where thread `i` owns
+    /// `out[offsets[i]..offsets[i + 1]]`
+    /// (see [`Device::launch_scatter_blocking`]).
+    pub fn launch_scatter<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        offsets: Vec<usize>,
+        kernel: F,
+    ) where
+        T: Send + Sync + 'static,
+        F: Fn(ThreadCtx, &mut [T]) + Send + Sync + 'static,
+    {
+        let out = out.clone();
+        self.submit(Box::new(move |device| {
+            device.launch_scatter_blocking(cfg, &out, &offsets, kernel);
+        }));
+    }
+
+    /// Enqueues an arbitrary device-side operation (used by the scan
+    /// primitives and by tests).
+    pub fn enqueue<F>(&self, op: F)
+    where
+        F: FnOnce(&Device) + Send + 'static,
+    {
+        self.submit(Box::new(op));
+    }
+
+    /// Records `event` in stream order: it triggers once all previously
+    /// enqueued operations have completed.
+    pub fn record_event(&self, event: &Event) {
+        let event = event.clone();
+        self.submit(Box::new(move |_| event.set()));
+    }
+
+    /// Makes this stream wait (in stream order) for `event`.
+    pub fn wait_event(&self, event: &Event) {
+        let event = event.clone();
+        self.submit(Box::new(move |_| event.wait()));
+    }
+
+    /// Blocks until every previously enqueued operation has completed,
+    /// mirroring `cudaStreamSynchronize`.
+    pub fn synchronize(&self) {
+        let event = Event::new();
+        self.record_event(&event);
+        event.wait();
+    }
+}
+
+impl Drop for Stream {
+    fn drop(&mut self) {
+        // Close the channel, then join: queued work always completes.
+        self.tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn operations_execute_in_order() {
+        let device = Device::new(2);
+        let stream = device.stream();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..10 {
+            let log = Arc::clone(&log);
+            stream.enqueue(move |_| log.lock().push(i));
+        }
+        stream.synchronize();
+        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let device = Device::new(2);
+        let stream = device.stream();
+        let buf = stream.upload(vec![5u8, 6, 7]);
+        assert_eq!(stream.download(&buf).wait(), vec![5, 6, 7]);
+        assert_eq!(device.stats().bytes_h2d(), 3);
+        assert_eq!(device.stats().bytes_d2h(), 3);
+    }
+
+    #[test]
+    fn alloc_is_stream_ordered() {
+        let device = Device::new(2);
+        let stream = device.stream();
+        let buf = stream.alloc::<u32>(16);
+        // The handle exists immediately, but length materializes in order.
+        stream.synchronize();
+        assert_eq!(buf.len(), 16);
+    }
+
+    #[test]
+    fn kernel_launch_computes() {
+        let device = Device::new(3);
+        let stream = device.stream();
+        let input = stream.upload((0..257i64).collect::<Vec<_>>());
+        let out = stream.alloc::<i64>(257);
+        stream.launch_map(LaunchConfig::for_threads(257), &out, move |ctx, slot| {
+            *slot = input.read()[ctx.global_id()] * 2;
+        });
+        let result = stream.download(&out).wait();
+        assert_eq!(result[0], 0);
+        assert_eq!(result[256], 512);
+    }
+
+    #[test]
+    fn scatter_launch_writes_ranges() {
+        let device = Device::new(2);
+        let stream = device.stream();
+        let out = stream.alloc::<usize>(6);
+        // Thread 0 owns [0..1), thread 1 owns [1..4), thread 2 owns [4..6).
+        stream.launch_scatter(
+            LaunchConfig::for_threads(3),
+            &out,
+            vec![0, 1, 4, 6],
+            |ctx, slice| {
+                for s in slice.iter_mut() {
+                    *s = ctx.global_id() + 1;
+                }
+            },
+        );
+        assert_eq!(stream.download(&out).wait(), vec![1, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn events_cross_streams() {
+        let device = Device::new(2);
+        let producer = device.stream();
+        let consumer = device.stream();
+        let flag = Arc::new(AtomicUsize::new(0));
+        let event = Event::new();
+
+        let f1 = Arc::clone(&flag);
+        producer.enqueue(move |_| {
+            std::thread::sleep(Duration::from_millis(20));
+            f1.store(1, Ordering::SeqCst);
+        });
+        producer.record_event(&event);
+
+        let f2 = Arc::clone(&flag);
+        let observed = Arc::new(AtomicUsize::new(99));
+        let obs = Arc::clone(&observed);
+        consumer.wait_event(&event);
+        consumer.enqueue(move |_| {
+            obs.store(f2.load(Ordering::SeqCst), Ordering::SeqCst);
+        });
+        consumer.synchronize();
+        assert_eq!(observed.load(Ordering::SeqCst), 1);
+        assert!(event.is_set());
+    }
+
+    #[test]
+    fn async_ops_overlap_host_work() {
+        // The stream call returns before the work completes.
+        let device = Device::new(2);
+        let stream = device.stream();
+        let started = std::time::Instant::now();
+        stream.enqueue(|_| std::thread::sleep(Duration::from_millis(50)));
+        let enqueue_latency = started.elapsed();
+        assert!(enqueue_latency < Duration::from_millis(40));
+        stream.synchronize();
+        assert!(started.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn drop_completes_queued_work() {
+        let device = Device::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let stream = device.stream();
+            let d = Arc::clone(&done);
+            stream.enqueue(move |_| {
+                std::thread::sleep(Duration::from_millis(10));
+                d.store(1, Ordering::SeqCst);
+            });
+        } // drop joins
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

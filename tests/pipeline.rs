@@ -1,0 +1,107 @@
+//! End-to-end workspace integration: generator → GDSII stream → parser
+//! → layout database → every checker, asserting cross-engine agreement
+//! and detection of injected violations.
+
+use odrc::{rule, Engine, RuleDeck, ViolationKind};
+use odrc_baselines::{Checker, DeepChecker, FlatChecker, TilingChecker, XCheck};
+use odrc_db::Layout;
+use odrc_layoutgen::{generate, tech, DesignSpec};
+use odrc_xpu::Device;
+
+fn full_deck() -> RuleDeck {
+    RuleDeck::new(vec![
+        rule().layer(tech::M1).width().greater_than(tech::M1_WIDTH).named("M1.W.1"),
+        rule().layer(tech::M2).width().greater_than(tech::M2_WIDTH).named("M2.W.1"),
+        rule().layer(tech::M3).width().greater_than(tech::M3_WIDTH).named("M3.W.1"),
+        rule().layer(tech::M1).area().greater_than(tech::M1_AREA).named("M1.A.1"),
+        rule().layer(tech::M1).space().greater_than(tech::M1_SPACE).named("M1.S.1"),
+        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
+        rule().layer(tech::M3).space().greater_than(tech::M3_SPACE).named("M3.S.1"),
+        rule().layer(tech::V1).enclosed_by(tech::M1).greater_than(tech::V1_M1_ENCLOSURE).named("V1.M1.EN.1"),
+        rule().layer(tech::V1).enclosed_by(tech::M2).greater_than(tech::V1_M2_ENCLOSURE).named("V1.M2.EN.1"),
+        rule().layer(tech::V2).enclosed_by(tech::M2).greater_than(tech::V2_M2_ENCLOSURE).named("V2.M2.EN.1"),
+        rule().layer(tech::V2).enclosed_by(tech::M3).greater_than(tech::V2_M3_ENCLOSURE).named("V2.M3.EN.1"),
+    ])
+}
+
+/// The full pipeline including a binary GDSII round-trip.
+#[test]
+fn six_checkers_agree_end_to_end() {
+    let design = generate(&DesignSpec::tiny(777));
+    // Round-trip through the stream format: what the engines check is
+    // exactly what a file on disk would contain.
+    let bytes = odrc_gdsii::write(&design.library).expect("serialize");
+    let lib = odrc_gdsii::read(&bytes).expect("parse");
+    assert_eq!(lib, design.library);
+    let layout = Layout::from_library(&lib).expect("import");
+
+    let deck = full_deck();
+    let reference = Engine::sequential().check(&layout, &deck);
+    assert!(
+        !reference.violations.is_empty(),
+        "tiny design with default injection should violate something"
+    );
+
+    let parallel = Engine::parallel_on(Device::new(2)).check(&layout, &deck);
+    assert_eq!(reference.violations, parallel.violations, "parallel mode");
+
+    let checkers: Vec<Box<dyn Checker>> = vec![
+        Box::new(FlatChecker::new()),
+        Box::new(DeepChecker::new()),
+        Box::new(TilingChecker::new(5, 2)),
+    ];
+    for c in &checkers {
+        let r = c.check(&layout, &deck);
+        assert_eq!(reference.violations, r.violations, "{}", c.name());
+    }
+
+    // X-Check skips the area rule; compare modulo that rule.
+    let x = XCheck::new(Device::new(2)).check(&layout, &deck);
+    assert_eq!(x.skipped, vec!["M1.A.1".to_owned()]);
+    let non_area: Vec<_> = reference
+        .violations
+        .iter()
+        .filter(|v| v.kind != ViolationKind::Area)
+        .cloned()
+        .collect();
+    assert_eq!(non_area, x.violations, "x-check modulo area");
+}
+
+#[test]
+fn paper_design_smoke_uart() {
+    // The smallest paper design runs the full deck through both modes.
+    let spec = DesignSpec::paper("uart").expect("uart exists");
+    let layout = odrc_layoutgen::generate_layout(&spec);
+    let deck = full_deck();
+    let seq = Engine::sequential().check(&layout, &deck);
+    let par = Engine::parallel_on(Device::new(2)).check(&layout, &deck);
+    assert_eq!(seq.violations, par.violations);
+    // Injection rate 2% on a real-sized design must produce findings.
+    assert!(seq.violations.len() > 10, "found {}", seq.violations.len());
+    // Hierarchy reuse must be substantial: thousands of placements,
+    // nine cell definitions.
+    assert!(seq.stats.checks_reused > seq.stats.checks_computed);
+}
+
+#[test]
+fn injected_counts_are_lower_bounds() {
+    let mut spec = DesignSpec::tiny(4242);
+    spec.violation_rate = 0.3;
+    let design = generate(&spec);
+    let layout = Layout::from_library(&design.library).expect("import");
+    let report = Engine::sequential().check(&layout, &full_deck());
+    let count = |k: ViolationKind| report.violations.iter().filter(|v| v.kind == k).count();
+    assert!(count(ViolationKind::Width) >= design.stats.width);
+    assert!(count(ViolationKind::Space) >= design.stats.space);
+    assert!(count(ViolationKind::Area) >= design.stats.area);
+    assert!(count(ViolationKind::Enclosure) >= design.stats.enclosure);
+}
+
+#[test]
+fn clean_paper_design_is_clean() {
+    let mut spec = DesignSpec::paper("uart").expect("uart exists");
+    spec.violation_rate = 0.0;
+    let layout = odrc_layoutgen::generate_layout(&spec);
+    let report = Engine::sequential().check(&layout, &full_deck());
+    assert_eq!(report.violations, vec![], "clean design must pass the full deck");
+}
