@@ -1,0 +1,17 @@
+#!/bin/sh
+# Local CI gate: formatting, lints, and the tier-1 suite (ROADMAP.md).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== ci.sh: all green"

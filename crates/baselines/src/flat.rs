@@ -108,7 +108,13 @@ impl Checker for FlatChecker {
                         )
                     });
                     profile.time("check", || {
-                        crate::common::flat_overlap(&pi, &po, &rule.name, *min_area, &mut violations)
+                        crate::common::flat_overlap(
+                            &pi,
+                            &po,
+                            &rule.name,
+                            *min_area,
+                            &mut violations,
+                        )
                     });
                 }
                 RuleKind::Enclosure { inner, outer, min } => {
@@ -188,7 +194,13 @@ impl Checker for DeepChecker {
                         )
                     });
                     profile.time("check", || {
-                        crate::common::flat_overlap(&pi, &po, &rule.name, *min_area, &mut violations)
+                        crate::common::flat_overlap(
+                            &pi,
+                            &po,
+                            &rule.name,
+                            *min_area,
+                            &mut violations,
+                        )
                     });
                 }
                 RuleKind::Enclosure { inner, outer, min } => {

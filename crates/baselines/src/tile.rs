@@ -121,7 +121,13 @@ impl Checker for TilingChecker {
                         )
                     });
                     profile.time("check", || {
-                        crate::common::flat_overlap(&pi, &po, &rule.name, *min_area, &mut violations)
+                        crate::common::flat_overlap(
+                            &pi,
+                            &po,
+                            &rule.name,
+                            *min_area,
+                            &mut violations,
+                        )
                     });
                 }
                 RuleKind::Enclosure { inner, outer, min } => {

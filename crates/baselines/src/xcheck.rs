@@ -73,6 +73,7 @@ impl XCheck {
 
     /// Flat two-phase edge sweep: count kernel, device scan, emit
     /// kernel.
+    #[allow(clippy::too_many_arguments)]
     fn edge_sweep(
         &self,
         stream: &Stream,
@@ -96,34 +97,38 @@ impl XCheck {
         let counts_buf = stream.alloc::<usize>(n);
         let k1_edges = dev_edges.clone();
         let k1_runs = dev_runs.clone();
-        stream.launch_map(LaunchConfig::for_threads(n), &counts_buf, move |ctx, slot| {
-            let edges = k1_edges.read();
-            let runs = k1_runs.read();
-            let i = ctx.global_id();
-            let ei = unpack(edges[i]);
-            let mut count = 0;
-            let mut j = runs[i] as usize;
-            while j < edges.len() {
-                let ej = unpack(edges[j]);
-                if i64::from(ej.track()) - i64::from(ei.track()) > min {
-                    break;
-                }
-                let hit = if is_width {
-                    if edges[i].1 == edges[j].1 {
-                        width_pair(ei, ej, min)
-                    } else {
-                        None
+        stream.launch_map(
+            LaunchConfig::for_threads(n),
+            &counts_buf,
+            move |ctx, slot| {
+                let edges = k1_edges.read();
+                let runs = k1_runs.read();
+                let i = ctx.global_id();
+                let ei = unpack(edges[i]);
+                let mut count = 0;
+                let mut j = runs[i] as usize;
+                while j < edges.len() {
+                    let ej = unpack(edges[j]);
+                    if i64::from(ej.track()) - i64::from(ei.track()) > min {
+                        break;
                     }
-                } else {
-                    space_pair_spec(ei, ej, spec)
-                };
-                if hit.is_some() {
-                    count += 1;
+                    let hit = if is_width {
+                        if edges[i].1 == edges[j].1 {
+                            width_pair(ei, ej, min)
+                        } else {
+                            None
+                        }
+                    } else {
+                        space_pair_spec(ei, ej, spec)
+                    };
+                    if hit.is_some() {
+                        count += 1;
+                    }
+                    j += 1;
                 }
-                j += 1;
-            }
-            *slot = count;
-        });
+                *slot = count;
+            },
+        );
         let counts = profile.time("kernel", || stream.download(&counts_buf).wait());
         let offsets = profile.time("scan", || exclusive_scan(&self.device, &counts));
         let total = *offsets.last().expect("scan output");
@@ -247,8 +252,7 @@ impl Checker for XCheck {
                     // kernels on the device.
                     let m = *min as i32;
                     let work: Vec<(Rect, Vec<Polygon>)> = profile.time("pack", || {
-                        let mut rects: Vec<Rect> =
-                            pi.iter().map(|p| p.mbr().inflate(m)).collect();
+                        let mut rects: Vec<Rect> = pi.iter().map(|p| p.mbr().inflate(m)).collect();
                         rects.extend(po.iter().map(|p| p.mbr()));
                         let mut cands: Vec<Vec<usize>> = vec![Vec::new(); pi.len()];
                         sweep_overlaps(&rects, |a, b| {
@@ -273,16 +277,12 @@ impl Checker for XCheck {
                     let margins = stream.alloc::<i64>(n);
                     let min_v = *min;
                     let kernel_work = dev_work.clone();
-                    stream.launch_map(
-                        LaunchConfig::for_threads(n),
-                        &margins,
-                        move |ctx, slot| {
-                            let work = kernel_work.read();
-                            let (rect, cands) = &work[ctx.global_id()];
-                            let refs: Vec<&Polygon> = cands.iter().collect();
-                            *slot = enclosure_margin(*rect, &refs, min_v);
-                        },
-                    );
+                    stream.launch_map(LaunchConfig::for_threads(n), &margins, move |ctx, slot| {
+                        let work = kernel_work.read();
+                        let (rect, cands) = &work[ctx.global_id()];
+                        let refs: Vec<&Polygon> = cands.iter().collect();
+                        *slot = enclosure_margin(*rect, &refs, min_v);
+                    });
                     let margins = profile.time("kernel", || stream.download(&margins).wait());
                     for (rect, margin) in rects.into_iter().zip(margins) {
                         if margin < *min {

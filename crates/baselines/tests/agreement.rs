@@ -8,20 +8,50 @@ use odrc_xpu::Device;
 
 fn deck() -> RuleDeck {
     RuleDeck::new(vec![
-        rule().layer(tech::M1).width().greater_than(tech::M1_WIDTH).named("M1.W.1"),
-        rule().layer(tech::M2).width().greater_than(tech::M2_WIDTH).named("M2.W.1"),
-        rule().layer(tech::M1).space().greater_than(tech::M1_SPACE).named("M1.S.1"),
-        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
-        rule().layer(tech::M3).space().greater_than(tech::M3_SPACE).named("M3.S.1"),
-        rule().layer(tech::V1).enclosed_by(tech::M2).greater_than(tech::V1_M2_ENCLOSURE).named("V1.M2.EN.1"),
-        rule().layer(tech::V2).enclosed_by(tech::M3).greater_than(tech::V2_M3_ENCLOSURE).named("V2.M3.EN.1"),
+        rule()
+            .layer(tech::M1)
+            .width()
+            .greater_than(tech::M1_WIDTH)
+            .named("M1.W.1"),
+        rule()
+            .layer(tech::M2)
+            .width()
+            .greater_than(tech::M2_WIDTH)
+            .named("M2.W.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.1"),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
+        rule()
+            .layer(tech::M3)
+            .space()
+            .greater_than(tech::M3_SPACE)
+            .named("M3.S.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V1_M2_ENCLOSURE)
+            .named("V1.M2.EN.1"),
+        rule()
+            .layer(tech::V2)
+            .enclosed_by(tech::M3)
+            .greater_than(tech::V2_M3_ENCLOSURE)
+            .named("V2.M3.EN.1"),
     ])
 }
 
 fn area_deck() -> RuleDeck {
-    RuleDeck::new(vec![
-        rule().layer(tech::M1).area().greater_than(tech::M1_AREA).named("M1.A.1"),
-    ])
+    RuleDeck::new(vec![rule()
+        .layer(tech::M1)
+        .area()
+        .greater_than(tech::M1_AREA)
+        .named("M1.A.1")])
 }
 
 #[test]
@@ -80,8 +110,16 @@ fn xcheck_skips_area_rules() {
 fn overlap_area_baselines_agree() {
     let layout = generate_layout(&DesignSpec::tiny(28));
     let deck = RuleDeck::new(vec![
-        rule().layer(tech::V1).overlapping(tech::M2).area_at_least(100).named("V1.M2.OVL.1"),
-        rule().layer(tech::V2).overlapping(tech::M3).area_at_least(100).named("V2.M3.OVL.1"),
+        rule()
+            .layer(tech::V1)
+            .overlapping(tech::M2)
+            .area_at_least(100)
+            .named("V1.M2.OVL.1"),
+        rule()
+            .layer(tech::V2)
+            .overlapping(tech::M3)
+            .area_at_least(100)
+            .named("V2.M3.OVL.1"),
     ]);
     let reference = Engine::sequential().check(&layout, &deck);
     for checker in [
@@ -103,7 +141,11 @@ fn baselines_handle_empty_layers() {
     let ghost = RuleDeck::new(vec![
         rule().layer(99).space().greater_than(10).named("GHOST.S.1"),
         rule().layer(99).width().greater_than(10).named("GHOST.W.1"),
-        rule().layer(99).enclosed_by(98).greater_than(2).named("GHOST.EN.1"),
+        rule()
+            .layer(99)
+            .enclosed_by(98)
+            .greater_than(2)
+            .named("GHOST.EN.1"),
     ]);
     let all = checkers();
     for checker in &all {

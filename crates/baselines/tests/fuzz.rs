@@ -110,10 +110,23 @@ fn deck() -> RuleDeck {
         rule().layer(1).width().greater_than(10).named("F1.W"),
         rule().layer(1).space().greater_than(12).named("F1.S"),
         rule().layer(2).space().greater_than(9).named("F2.S"),
-        rule().layer(1).space().when_projection_at_least(20).greater_than(25).named("F1.SP"),
+        rule()
+            .layer(1)
+            .space()
+            .when_projection_at_least(20)
+            .greater_than(25)
+            .named("F1.SP"),
         rule().layer(1).area().greater_than(400).named("F1.A"),
-        rule().layer(2).enclosed_by(1).greater_than(3).named("F2.EN"),
-        rule().layer(2).overlapping(1).area_at_least(50).named("F2.OVL"),
+        rule()
+            .layer(2)
+            .enclosed_by(1)
+            .greater_than(3)
+            .named("F2.EN"),
+        rule()
+            .layer(2)
+            .overlapping(1)
+            .area_at_least(50)
+            .named("F2.OVL"),
     ])
 }
 

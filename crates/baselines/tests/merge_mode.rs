@@ -48,7 +48,7 @@ fn split_wire_passes_area_only_when_merged() {
 fn merged_component_below_minimum_still_fails() {
     let layout = layout_of(vec![
         rect_el(1, 0, 0, 10, 10),
-        rect_el(1, 10, 0, 20, 10), // merged: 200 < 500
+        rect_el(1, 10, 0, 20, 10),   // merged: 200 < 500
         rect_el(1, 100, 0, 130, 30), // 900: passes either way
     ]);
     let deck = RuleDeck::new(vec![rule().layer(1).area().greater_than(500).named("A")]);
@@ -63,7 +63,7 @@ fn merged_spacing_ignores_overlap_fragments() {
     // Two overlapping fragments plus a genuinely close neighbor.
     let layout = layout_of(vec![
         rect_el(1, 0, 0, 50, 20),
-        rect_el(1, 40, 0, 100, 20), // overlaps the first
+        rect_el(1, 40, 0, 100, 20),  // overlaps the first
         rect_el(1, 112, 0, 160, 20), // 12 from the merged blob
     ]);
     let deck = RuleDeck::new(vec![rule().layer(1).space().greater_than(18).named("S")]);
@@ -86,9 +86,17 @@ fn merged_enclosure_accepts_jointly_covering_metal() {
         rect_el(2, 0, 30, 50, 60),   // left metal
         rect_el(2, 50, 30, 100, 60), // right metal, abutting at x=50
     ]);
-    let deck = RuleDeck::new(vec![rule().layer(1).enclosed_by(2).greater_than(4).named("EN")]);
+    let deck = RuleDeck::new(vec![rule()
+        .layer(1)
+        .enclosed_by(2)
+        .greater_than(4)
+        .named("EN")]);
     let drawn = FlatChecker::new().check(&layout, &deck);
-    assert_eq!(drawn.violations.len(), 1, "no single drawn rect encloses the via");
+    assert_eq!(
+        drawn.violations.len(),
+        1,
+        "no single drawn rect encloses the via"
+    );
     let merged = FlatChecker::with_merge().check(&layout, &deck);
     assert_eq!(merged.violations.len(), 0, "the merged metal encloses it");
 }
@@ -101,8 +109,16 @@ fn merge_mode_matches_plain_on_disjoint_designs() {
     spec.violation_rate = 0.15;
     let layout = generate_layout(&spec);
     let deck = RuleDeck::new(vec![
-        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
-        rule().layer(tech::M3).space().greater_than(tech::M3_SPACE).named("M3.S.1"),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
+        rule()
+            .layer(tech::M3)
+            .space()
+            .greater_than(tech::M3_SPACE)
+            .named("M3.S.1"),
     ]);
     let plain = FlatChecker::new().check(&layout, &deck);
     let merged = FlatChecker::with_merge().check(&layout, &deck);

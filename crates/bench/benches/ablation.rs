@@ -1,7 +1,6 @@
 //! Criterion benches for the ablations: interval merging variants,
 //! overlap reporting variants, and engine options.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odrc::{Engine, EngineOptions};
 use odrc_bench::{load_designs, no_partition, no_pruning, space_rules};
@@ -10,6 +9,7 @@ use odrc_infra::merge::{merge_pigeonhole, merge_sorted};
 use odrc_infra::sweep::{brute_force_overlap_pairs, sweep_overlap_pairs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 fn bench_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("merge");

@@ -1,12 +1,12 @@
 //! Criterion benches for Table II's inter-polygon checks (spacing and
 //! enclosure) on the two smallest designs.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odrc::{Engine, RuleDeck};
 use odrc_baselines::{Checker, DeepChecker, FlatChecker, TilingChecker, XCheck};
 use odrc_bench::{enclosure_rules, load_designs, space_rules};
 use odrc_xpu::Device;
+use std::time::Duration;
 
 fn bench_inter(c: &mut Criterion) {
     let designs = load_designs(Some("uart,ibex"));

@@ -5,12 +5,12 @@
 //! six designs; these benches give statistically robust numbers on the
 //! small designs.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odrc::{Engine, RuleDeck};
 use odrc_baselines::{Checker, DeepChecker, FlatChecker, TilingChecker, XCheck};
 use odrc_bench::{intra_rules, load_designs};
 use odrc_xpu::Device;
+use std::time::Duration;
 
 fn bench_intra(c: &mut Criterion) {
     let designs = load_designs(Some("uart,ibex"));

@@ -13,9 +13,9 @@ use std::time::Instant;
 
 use odrc::{Engine, EngineOptions};
 use odrc_bench::{load_designs, no_partition, no_pruning, parse_args, space_rules};
+use odrc_geometry::Rect;
 use odrc_infra::merge::{merge_pigeonhole, merge_sorted};
 use odrc_infra::sweep::{brute_force_overlap_pairs, sweep_overlap_pairs};
-use odrc_geometry::Rect;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,9 +31,17 @@ fn main() {
     // (a) Interval merging: k intervals over a domain of N unique
     // coordinates, k >> N as in row partitioning.
     println!("\n=== Ablation (a): interval merging, k intervals over N-coordinate domain ===");
-    println!("{:>10} {:>8} {:>14} {:>14}", "k", "N", "pigeonhole(s)", "sorted(s)");
+    println!(
+        "{:>10} {:>8} {:>14} {:>14}",
+        "k", "N", "pigeonhole(s)", "sorted(s)"
+    );
     let mut rng = StdRng::seed_from_u64(7);
-    for &(k, n) in &[(10_000usize, 64usize), (100_000, 64), (1_000_000, 64), (1_000_000, 4096)] {
+    for &(k, n) in &[
+        (10_000usize, 64usize),
+        (100_000, 64),
+        (1_000_000, 64),
+        (1_000_000, 4096),
+    ] {
         let intervals: Vec<(usize, usize)> = (0..k)
             .map(|_| {
                 let a = rng.gen_range(0..n);
@@ -49,7 +57,10 @@ fn main() {
 
     // (e) Overlap reporting: sweepline vs quadratic.
     println!("\n=== Ablation (e): MBR overlap reporting ===");
-    println!("{:>10} {:>14} {:>14} {:>10}", "rects", "sweepline(s)", "quadratic(s)", "pairs");
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "rects", "sweepline(s)", "quadratic(s)", "pairs"
+    );
     for &n in &[500usize, 2000, 8000] {
         let rects: Vec<Rect> = (0..n)
             .map(|_| {
@@ -108,7 +119,10 @@ fn main() {
     {
         use odrc_baselines::{Checker, FlatChecker};
         println!("\n=== Ablation (f): flat baseline, as-drawn vs merged regions ===");
-        println!("{:<10} {:<10} {:>12} {:>12}", "design", "rule", "as-drawn(s)", "merged(s)");
+        println!(
+            "{:<10} {:<10} {:>12} {:>12}",
+            "design", "rule", "as-drawn(s)", "merged(s)"
+        );
         let designs = odrc_bench::load_designs(Some("uart,ibex"));
         for d in &designs {
             for r in &space_rules() {
@@ -118,7 +132,10 @@ fn main() {
                     a.violations, b.violations,
                     "disjoint layouts: merge must not change results"
                 );
-                println!("{:<10} {:<10} {t_plain:>12.4} {t_merged:>12.4}", d.name, r.name);
+                println!(
+                    "{:<10} {:<10} {t_plain:>12.4} {t_merged:>12.4}",
+                    d.name, r.name
+                );
             }
         }
     }
@@ -126,7 +143,10 @@ fn main() {
     // (h) Pair-discovery structure inside the sequential engine.
     {
         println!("\n=== Ablation (h): sequential pair discovery, sweepline vs R-tree ===");
-        println!("{:<10} {:<10} {:>14} {:>12}", "design", "rule", "sweepline(s)", "rtree(s)");
+        println!(
+            "{:<10} {:<10} {:>14} {:>12}",
+            "design", "rule", "sweepline(s)", "rtree(s)"
+        );
         let designs = odrc_bench::load_designs(Some("ibex,aes"));
         for d in &designs {
             for r in &space_rules() {
@@ -182,7 +202,10 @@ fn main() {
                     .check(&d.layout, &r.deck)
             });
             for other in [&a, &b, &c, &e] {
-                assert_eq!(base.violations, other.violations, "ablation changed results");
+                assert_eq!(
+                    base.violations, other.violations,
+                    "ablation changed results"
+                );
             }
             println!(
                 "{:<10} {:<10} {:>10.4} {:>12.4} {:>12.4} {:>11.4} {:>11.4}",

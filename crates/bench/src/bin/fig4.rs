@@ -52,9 +52,10 @@ fn main() {
     }
 
     // Also verify once that the deck composition doesn't change shares.
-    let combined: RuleDeck = space_rules().into_iter().flat_map(|r| {
-        r.deck.rules().to_vec()
-    }).collect();
+    let combined: RuleDeck = space_rules()
+        .into_iter()
+        .flat_map(|r| r.deck.rules().to_vec())
+        .collect();
     if let Some(d) = designs.first() {
         let report = Engine::sequential().check(&d.layout, &combined);
         println!("\ncombined spacing deck on {}:\n{}", d.name, report.profile);
@@ -64,7 +65,10 @@ fn main() {
         // complicated" under asynchronous operations); the simulated
         // device makes it straightforward, so print it too.
         let par = Engine::parallel().check(&d.layout, &combined);
-        println!("parallel mode on {} (async phases):\n{}", d.name, par.profile);
+        println!(
+            "parallel mode on {} (async phases):\n{}",
+            d.name, par.profile
+        );
         let device = odrc_xpu::Device::default();
         let r = Engine::parallel_on(device.clone()).check(&d.layout, &combined);
         println!(

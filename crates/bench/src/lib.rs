@@ -92,19 +92,40 @@ fn named(name: &str, r: odrc::Rule) -> NamedRule {
 /// Table I rules: intra-polygon width and area checks.
 pub fn intra_rules() -> Vec<NamedRule> {
     vec![
-        named("M1.W.1", rule().layer(tech::M1).width().greater_than(tech::M1_WIDTH)),
-        named("M2.W.1", rule().layer(tech::M2).width().greater_than(tech::M2_WIDTH)),
-        named("M3.W.1", rule().layer(tech::M3).width().greater_than(tech::M3_WIDTH)),
-        named("M1.A.1", rule().layer(tech::M1).area().greater_than(tech::M1_AREA)),
+        named(
+            "M1.W.1",
+            rule().layer(tech::M1).width().greater_than(tech::M1_WIDTH),
+        ),
+        named(
+            "M2.W.1",
+            rule().layer(tech::M2).width().greater_than(tech::M2_WIDTH),
+        ),
+        named(
+            "M3.W.1",
+            rule().layer(tech::M3).width().greater_than(tech::M3_WIDTH),
+        ),
+        named(
+            "M1.A.1",
+            rule().layer(tech::M1).area().greater_than(tech::M1_AREA),
+        ),
     ]
 }
 
 /// Table II spacing rules.
 pub fn space_rules() -> Vec<NamedRule> {
     vec![
-        named("M1.S.1", rule().layer(tech::M1).space().greater_than(tech::M1_SPACE)),
-        named("M2.S.1", rule().layer(tech::M2).space().greater_than(tech::M2_SPACE)),
-        named("M3.S.1", rule().layer(tech::M3).space().greater_than(tech::M3_SPACE)),
+        named(
+            "M1.S.1",
+            rule().layer(tech::M1).space().greater_than(tech::M1_SPACE),
+        ),
+        named(
+            "M2.S.1",
+            rule().layer(tech::M2).space().greater_than(tech::M2_SPACE),
+        ),
+        named(
+            "M3.S.1",
+            rule().layer(tech::M3).space().greater_than(tech::M3_SPACE),
+        ),
     ]
 }
 
@@ -113,15 +134,24 @@ pub fn enclosure_rules() -> Vec<NamedRule> {
     vec![
         named(
             "V1.M1.EN.1",
-            rule().layer(tech::V1).enclosed_by(tech::M1).greater_than(tech::V1_M1_ENCLOSURE),
+            rule()
+                .layer(tech::V1)
+                .enclosed_by(tech::M1)
+                .greater_than(tech::V1_M1_ENCLOSURE),
         ),
         named(
             "V2.M2.EN.1",
-            rule().layer(tech::V2).enclosed_by(tech::M2).greater_than(tech::V2_M2_ENCLOSURE),
+            rule()
+                .layer(tech::V2)
+                .enclosed_by(tech::M2)
+                .greater_than(tech::V2_M2_ENCLOSURE),
         ),
         named(
             "V2.M3.EN.1",
-            rule().layer(tech::V2).enclosed_by(tech::M3).greater_than(tech::V2_M3_ENCLOSURE),
+            rule()
+                .layer(tech::V2)
+                .enclosed_by(tech::M3)
+                .greater_than(tech::V2_M3_ENCLOSURE),
         ),
     ]
 }

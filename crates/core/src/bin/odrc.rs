@@ -2,43 +2,63 @@
 //!
 //! ```text
 //! odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N]
+//!      [--cache <dir>] [--stats-json <file>] [--report out.csv]
+//!      [--markers out.gds]
+//! odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel]
+//!      [--cache <dir>] [--max-print N]
 //! ```
 //!
-//! Reads a GDSII layout and a plain-text rule deck (see
-//! [`odrc::parse_deck`] for the format), runs the checks, prints the
-//! violations and the phase breakdown, and exits non-zero when
-//! violations were found.
+//! The default mode reads a GDSII layout and a plain-text rule deck
+//! (see [`odrc::parse_deck`] for the format), runs the checks, prints
+//! the violations and the phase breakdown, and exits non-zero when
+//! violations were found. `--cache <dir>` keeps the per-cell result
+//! memo in `<dir>/odrc-cache.bin` across runs, so a warm invocation
+//! skips every cell whose content did not change.
+//!
+//! `odrc diff` checks `old.gds`, delta-checks `new.gds` against it,
+//! and prints the violations the edit added and removed. It exits 0
+//! when the edit added no violations, non-zero otherwise.
 
+use std::path::Path;
 use std::process::ExitCode;
 
-use odrc::{parse_deck, Engine};
+use odrc::{parse_deck, CheckReport, Engine, ResultCache, RuleDeck, CACHE_FILE};
 use odrc_db::Layout;
 
 struct Args {
     layout: String,
+    old_layout: Option<String>,
     rules: String,
     parallel: bool,
     max_print: usize,
     report: Option<String>,
     markers: Option<String>,
+    cache: Option<String>,
+    stats_json: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N] [--report out.csv] [--markers out.gds]"
+        "usage: odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N] \
+         [--cache dir] [--stats-json out.json] [--report out.csv] [--markers out.gds]\n\
+         \u{20}      odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel] \
+         [--cache dir] [--max-print N]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut layout = None;
+    let mut positional: Vec<String> = Vec::new();
     let mut rules = None;
     let mut parallel = false;
     let mut max_print = 20usize;
     let mut report = None;
     let mut markers = None;
+    let mut cache = None;
+    let mut stats_json = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
+    let diff_mode = argv.first().is_some_and(|a| a == "diff");
+    let mut i = usize::from(diff_mode);
     while i < argv.len() {
         match argv[i].as_str() {
             "--rules" => {
@@ -66,6 +86,20 @@ fn parse_args() -> Args {
                 markers = Some(argv[i + 1].clone());
                 i += 2;
             }
+            "--cache" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                cache = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--stats-json" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                stats_json = Some(argv[i + 1].clone());
+                i += 2;
+            }
             "--max-print" => {
                 if i + 1 >= argv.len() {
                     usage();
@@ -74,23 +108,32 @@ fn parse_args() -> Args {
                 i += 2;
             }
             "--help" | "-h" => usage(),
-            other if layout.is_none() && !other.starts_with('-') => {
-                layout = Some(other.to_owned());
+            other if !other.starts_with('-') => {
+                positional.push(other.to_owned());
                 i += 1;
             }
             _ => usage(),
         }
     }
-    let (Some(layout), Some(rules)) = (layout, rules) else {
-        usage()
+    let Some(rules) = rules else { usage() };
+    let (layout, old_layout) = match (diff_mode, positional.len()) {
+        (false, 1) => (positional.pop().unwrap(), None),
+        (true, 2) => {
+            let new = positional.pop().unwrap();
+            (new, positional.pop())
+        }
+        _ => usage(),
     };
     Args {
         layout,
+        old_layout,
         rules,
         parallel,
         max_print,
         report,
         markers,
+        cache,
+        stats_json,
     }
 }
 
@@ -115,33 +158,118 @@ fn write_report(path: &str, violations: &[odrc::Violation]) -> std::io::Result<(
     Ok(())
 }
 
-fn run(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
-    let deck_text = std::fs::read_to_string(&args.rules)?;
-    let deck = parse_deck(&deck_text)?;
-    eprintln!("loaded {} rules from {}", deck.rules().len(), args.rules);
+/// Writes the run summary as JSON (hand-rolled — the image has no
+/// serde; phase names come from our own profiler, so they never need
+/// escaping beyond what `escape_json` covers).
+fn write_stats_json(path: &str, report: &CheckReport) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"violations\": {},", report.violations.len())?;
+    writeln!(
+        f,
+        "  \"checks_computed\": {},",
+        report.stats.checks_computed
+    )?;
+    writeln!(f, "  \"checks_reused\": {},", report.stats.checks_reused)?;
+    writeln!(
+        f,
+        "  \"candidate_pairs\": {},",
+        report.stats.candidate_pairs
+    )?;
+    writeln!(f, "  \"rows\": {},", report.stats.rows)?;
+    writeln!(
+        f,
+        "  \"total_ms\": {:.3},",
+        report.profile.total().as_secs_f64() * 1e3
+    )?;
+    writeln!(f, "  \"phases_ms\": {{")?;
+    let phases = report.profile.phases();
+    for (i, (name, d)) in phases.iter().enumerate() {
+        writeln!(
+            f,
+            "    \"{}\": {:.3}{}",
+            escape_json(name),
+            d.as_secs_f64() * 1e3,
+            if i + 1 < phases.len() { "," } else { "" }
+        )?;
+    }
+    writeln!(f, "  }}")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
 
-    let lib = odrc_gdsii::read_file(&args.layout)?;
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn load_layout(path: &str) -> Result<Layout, Box<dyn std::error::Error>> {
+    let lib = odrc_gdsii::read_file(path)?;
     let layout = Layout::from_library(&lib)?;
-    eprintln!("loaded '{}':\n{}", lib.name, layout.stats());
+    eprintln!("loaded '{}' from {path}:\n{}", lib.name, layout.stats());
+    Ok(layout)
+}
 
-    let engine = if args.parallel {
-        Engine::parallel()
-    } else {
-        Engine::sequential()
-    };
-    let report = engine.check(&layout, &deck);
+fn load_cache(dir: &str) -> Result<ResultCache, Box<dyn std::error::Error>> {
+    let cache = ResultCache::load(&Path::new(dir).join(CACHE_FILE))?;
+    if !cache.is_empty() {
+        eprintln!("loaded {} cached results from {dir}", cache.len());
+    }
+    Ok(cache)
+}
 
+fn save_cache(dir: &str, cache: &ResultCache) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    cache.save(&Path::new(dir).join(CACHE_FILE))?;
+    eprintln!("saved {} cached results to {dir}", cache.len());
+    Ok(())
+}
+
+fn print_summary(report: &CheckReport, deck: &RuleDeck, max_print: usize) {
     for rule in deck.rules() {
         let n = report.violations_of(&rule.name).count();
         println!("{:<20} {:>8}", rule.name, n);
     }
     println!("{:<20} {:>8}", "total", report.violations.len());
-    for v in report.violations.iter().take(args.max_print) {
+    for v in report.violations.iter().take(max_print) {
         println!("  {v}");
     }
-    if report.violations.len() > args.max_print {
-        println!("  ... and {} more", report.violations.len() - args.max_print);
+    if report.violations.len() > max_print {
+        println!("  ... and {} more", report.violations.len() - max_print);
     }
+}
+
+fn print_stats(stats: &odrc::EngineStats) {
+    eprintln!(
+        "checks computed: {}, reused: {}, candidate pairs: {}, rows: {}",
+        stats.checks_computed, stats.checks_reused, stats.candidate_pairs, stats.rows
+    );
+}
+
+/// The default mode: check one layout. Returns the violation count.
+fn run_check(
+    args: &Args,
+    engine: &Engine,
+    deck: &RuleDeck,
+) -> Result<usize, Box<dyn std::error::Error>> {
+    let layout = load_layout(&args.layout)?;
+    let report = match &args.cache {
+        Some(dir) => {
+            let mut cache = load_cache(dir)?;
+            let report = engine.check_with_cache(&layout, deck, &mut cache);
+            save_cache(dir, &cache)?;
+            report
+        }
+        None => engine.check(&layout, deck),
+    };
+    print_summary(&report, deck, args.max_print);
     if let Some(path) = &args.report {
         write_report(path, &report.violations)?;
         eprintln!("wrote {} violations to {path}", report.violations.len());
@@ -152,12 +280,90 @@ fn run(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
         odrc_gdsii::write_file(&lib, path)?;
         eprintln!("wrote marker GDSII to {path}");
     }
+    if let Some(path) = &args.stats_json {
+        write_stats_json(path, &report)?;
+        eprintln!("wrote stats to {path}");
+    }
     eprintln!("\n{}", report.profile);
-    eprintln!(
-        "checks computed: {}, reused: {}, rows: {}",
-        report.stats.checks_computed, report.stats.checks_reused, report.stats.rows
-    );
+    print_stats(&report.stats);
     Ok(report.violations.len())
+}
+
+/// The diff mode: check `old`, delta-check `new` against it, print
+/// what the edit changed. Returns the number of *added* violations.
+fn run_diff(
+    args: &Args,
+    engine: &Engine,
+    deck: &RuleDeck,
+) -> Result<usize, Box<dyn std::error::Error>> {
+    let old_path = args
+        .old_layout
+        .as_deref()
+        .expect("diff mode has two layouts");
+    let old = load_layout(old_path)?;
+    let new = load_layout(&args.layout)?;
+
+    let mut cache = match &args.cache {
+        Some(dir) => load_cache(dir)?,
+        None => ResultCache::new(),
+    };
+    let base = engine.check_with_cache(&old, deck, &mut cache);
+    let report = engine.check_delta_with_cache(&old, &base.violations, &new, deck, &mut cache);
+    if let Some(dir) = &args.cache {
+        save_cache(dir, &cache)?;
+    }
+
+    println!(
+        "baseline {}: {} violations",
+        old_path,
+        base.violations.len()
+    );
+    println!(
+        "delta    {}: +{} -{} ({} unchanged, {} dirty rects)",
+        args.layout,
+        report.delta.added.len(),
+        report.delta.removed.len(),
+        report.delta.unchanged_count,
+        report.dirty.len()
+    );
+    for v in report.delta.added.iter().take(args.max_print) {
+        println!("  + {v}");
+    }
+    if report.delta.added.len() > args.max_print {
+        println!(
+            "  ... and {} more",
+            report.delta.added.len() - args.max_print
+        );
+    }
+    for v in report.delta.removed.iter().take(args.max_print) {
+        println!("  - {v}");
+    }
+    if report.delta.removed.len() > args.max_print {
+        println!(
+            "  ... and {} more",
+            report.delta.removed.len() - args.max_print
+        );
+    }
+    eprintln!("\n{}", report.profile);
+    print_stats(&report.stats);
+    Ok(report.delta.added.len())
+}
+
+fn run(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
+    let deck_text = std::fs::read_to_string(&args.rules)?;
+    let deck = parse_deck(&deck_text)?;
+    eprintln!("loaded {} rules from {}", deck.rules().len(), args.rules);
+
+    let engine = if args.parallel {
+        Engine::parallel()
+    } else {
+        Engine::sequential()
+    };
+    if args.old_layout.is_some() {
+        run_diff(args, &engine, &deck)
+    } else {
+        run_check(args, &engine, &deck)
+    }
 }
 
 fn main() -> ExitCode {

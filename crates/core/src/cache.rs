@@ -1,0 +1,426 @@
+//! A persistent check-result cache: the §IV-C memo rekeyed by content.
+//!
+//! The in-run memo of the sequential pipeline keys per-cell results by
+//! [`CellId`], which is only meaningful inside one loaded layout. To
+//! make results survive edits and process restarts, this cache rekeys
+//! them by `(rule signature, structural content hash)`:
+//!
+//! * the **rule signature** is a stable hash of the rule's name and
+//!   parameters (rules wrapping user closures have no signature and are
+//!   never cached);
+//! * the **content hash** is the cell's structural hash from
+//!   [`odrc_db`]: the subtree hash for results that cover a cell's
+//!   flattened subtree (per-cell spacing), the local hash for results
+//!   that depend only on the cell's own polygons (intra-polygon rules).
+//!
+//! An edit changes exactly the hashes of the edited cell and its
+//! ancestor chain, so every other cell keeps its cached verdicts. The
+//! cache serializes to a sidecar file with a hand-rolled little-endian
+//! format (the workspace is built offline and carries no serde), so a
+//! later process — or `odrc --cache` on the command line — starts warm.
+//!
+//! [`CellId`]: odrc_db::CellId
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use odrc_db::Layout;
+use odrc_geometry::Rect;
+
+use crate::checks::poly::LocalViolation;
+use crate::rules::{Rule, RuleKind};
+use crate::violation::ViolationKind;
+
+/// File magic of the sidecar format (`save`/`load`).
+const MAGIC: &[u8; 8] = b"ODRCCAC1";
+
+/// The sidecar file name a cache directory holds.
+pub const CACHE_FILE: &str = "odrc-cache.bin";
+
+/// Streaming 64-bit FNV-1a over a fixed little-endian encoding, used
+/// for rule signatures (stable across processes, unlike the std
+/// hasher).
+struct Sig(u64);
+
+impl Sig {
+    fn new() -> Sig {
+        Sig(0xcbf29ce484222325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) -> &mut Sig {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        self
+    }
+
+    fn i64(&mut self, v: i64) -> &mut Sig {
+        self.bytes(&v.to_le_bytes())
+    }
+}
+
+/// The stable signature of a rule, or `None` for rules that cannot be
+/// cached (user predicates are host closures with no stable identity).
+pub fn rule_signature(rule: &Rule) -> Option<u64> {
+    let mut s = Sig::new();
+    s.bytes(rule.name.as_bytes());
+    match &rule.kind {
+        RuleKind::Width { layer, min } => {
+            s.i64(1).i64(i64::from(*layer)).i64(*min);
+        }
+        RuleKind::Space {
+            layer,
+            min,
+            min_projection,
+        } => {
+            s.i64(2)
+                .i64(i64::from(*layer))
+                .i64(*min)
+                .i64(*min_projection);
+        }
+        RuleKind::Area { layer, min } => {
+            s.i64(3).i64(i64::from(*layer)).i64(*min);
+        }
+        RuleKind::Enclosure { inner, outer, min } => {
+            s.i64(4)
+                .i64(i64::from(*inner))
+                .i64(i64::from(*outer))
+                .i64(*min);
+        }
+        RuleKind::OverlapArea {
+            inner,
+            outer,
+            min_area,
+        } => {
+            s.i64(5)
+                .i64(i64::from(*inner))
+                .i64(i64::from(*outer))
+                .i64(*min_area);
+        }
+        RuleKind::Rectilinear { layer } => {
+            s.i64(6).i64(layer.map(i64::from).unwrap_or(i64::MIN));
+        }
+        RuleKind::Ensures { .. } => return None,
+    }
+    Some(s.0)
+}
+
+fn kind_to_u8(kind: ViolationKind) -> u8 {
+    match kind {
+        ViolationKind::Width => 0,
+        ViolationKind::Space => 1,
+        ViolationKind::Area => 2,
+        ViolationKind::Enclosure => 3,
+        ViolationKind::OverlapArea => 4,
+        ViolationKind::Rectilinear => 5,
+        ViolationKind::Ensures => 6,
+    }
+}
+
+fn kind_from_u8(v: u8) -> Option<ViolationKind> {
+    Some(match v {
+        0 => ViolationKind::Width,
+        1 => ViolationKind::Space,
+        2 => ViolationKind::Area,
+        3 => ViolationKind::Enclosure,
+        4 => ViolationKind::OverlapArea,
+        5 => ViolationKind::Rectilinear,
+        6 => ViolationKind::Ensures,
+        _ => return None,
+    })
+}
+
+/// Per-cell check results keyed by `(rule signature, content hash)`.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: HashMap<(u64, u64), Arc<Vec<LocalViolation>>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Looks up the cached result for a rule/content pair, counting the
+    /// hit or miss.
+    pub fn get(&mut self, rule_sig: u64, content: u64) -> Option<Arc<Vec<LocalViolation>>> {
+        match self.map.get(&(rule_sig, content)) {
+            Some(arc) => {
+                self.hits += 1;
+                Some(Arc::clone(arc))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result.
+    pub fn insert(&mut self, rule_sig: u64, content: u64, result: Arc<Vec<LocalViolation>>) {
+        self.map.insert((rule_sig, content), result);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookup hits since construction or load.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookup misses since construction or load.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Serializes the cache to a sidecar file.
+    ///
+    /// Entries are written in sorted key order, so identical caches
+    /// produce byte-identical files.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut keys: Vec<&(u64, u64)> = self.map.keys().collect();
+        keys.sort();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+        for key in keys {
+            let entries = &self.map[key];
+            buf.extend_from_slice(&key.0.to_le_bytes());
+            buf.extend_from_slice(&key.1.to_le_bytes());
+            buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for v in entries.iter() {
+                buf.push(kind_to_u8(v.kind));
+                for c in [
+                    v.location.lo().x,
+                    v.location.lo().y,
+                    v.location.hi().x,
+                    v.location.hi().y,
+                ] {
+                    buf.extend_from_slice(&c.to_le_bytes());
+                }
+                buf.extend_from_slice(&v.measured.to_le_bytes());
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&buf)
+    }
+
+    /// Loads a cache from a sidecar file; a missing file yields an
+    /// empty cache, a malformed one an [`io::ErrorKind::InvalidData`]
+    /// error.
+    pub fn load(path: &Path) -> io::Result<ResultCache> {
+        let mut buf = Vec::new();
+        match std::fs::File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut buf)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ResultCache::new()),
+            Err(e) => return Err(e),
+        }
+        let mut r = ByteReader { buf: &buf, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(bad_data());
+        }
+        let count = r.u64()?;
+        let mut map = HashMap::new();
+        for _ in 0..count {
+            let sig = r.u64()?;
+            let content = r.u64()?;
+            let n = r.u32()?;
+            let mut entries = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let kind = kind_from_u8(r.u8()?).ok_or_else(bad_data)?;
+                let (x0, y0) = (r.i32()?, r.i32()?);
+                let (x1, y1) = (r.i32()?, r.i32()?);
+                let measured = r.i64()?;
+                entries.push(LocalViolation {
+                    kind,
+                    location: Rect::from_coords(x0, y0, x1, y1),
+                    measured,
+                });
+            }
+            map.insert((sig, content), Arc::new(entries));
+        }
+        if r.pos != buf.len() {
+            return Err(bad_data());
+        }
+        Ok(ResultCache {
+            map,
+            hits: 0,
+            misses: 0,
+        })
+    }
+}
+
+fn bad_data() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, "malformed odrc cache file")
+}
+
+/// A bounds-checked cursor over the loaded sidecar bytes.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(bad_data)?;
+        let slice = self.buf.get(self.pos..end).ok_or_else(bad_data)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn i32(&mut self) -> io::Result<i32> {
+        Ok(i32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// The content keys of one layout: every cell's structural hashes,
+/// computed once per check run. Hashing is linear in the layout's
+/// geometry, so callers that check repeatedly (edit sessions) compute
+/// the keys once per layout state and pass them to the `*_keyed` engine
+/// entry points instead of re-hashing on every run.
+#[derive(Debug, Clone)]
+pub struct CacheKeys {
+    /// Subtree hashes by cell index (key for flattened-subtree
+    /// results).
+    pub subtree: Vec<u64>,
+    /// Local hashes by cell index (key for own-polygon results).
+    pub local: Vec<u64>,
+}
+
+impl CacheKeys {
+    /// Hashes every cell of the layout (subtree and local).
+    pub fn compute(layout: &Layout) -> CacheKeys {
+        CacheKeys {
+            subtree: layout.subtree_hashes(),
+            local: layout
+                .cell_ids()
+                .map(|c| layout.local_content_hash(c))
+                .collect(),
+        }
+    }
+}
+
+/// A cache plus the current layout's content keys, threaded through the
+/// run context.
+pub(crate) struct CacheHandle<'a> {
+    pub cache: &'a mut ResultCache,
+    pub keys: &'a CacheKeys,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::rule;
+
+    fn lv(x: i32, measured: i64) -> LocalViolation {
+        LocalViolation {
+            kind: ViolationKind::Space,
+            location: Rect::from_coords(x, 0, x + 4, 4),
+            measured,
+        }
+    }
+
+    #[test]
+    fn signatures_distinguish_rules() {
+        let a = rule_signature(&rule().layer(1).space().greater_than(10)).unwrap();
+        let b = rule_signature(&rule().layer(1).space().greater_than(12)).unwrap();
+        let c = rule_signature(&rule().layer(2).space().greater_than(10)).unwrap();
+        let w = rule_signature(&rule().layer(1).width().greater_than(10)).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, w);
+        // Same rule built twice hashes identically.
+        assert_eq!(
+            a,
+            rule_signature(&rule().layer(1).space().greater_than(10)).unwrap()
+        );
+        // User predicates are not cacheable.
+        assert!(rule_signature(&rule().polygons().ensures("x", |_| true)).is_none());
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let mut cache = ResultCache::new();
+        assert!(cache.get(1, 2).is_none());
+        cache.insert(1, 2, Arc::new(vec![lv(0, 9)]));
+        let hit = cache.get(1, 2).unwrap();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("odrc-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.bin");
+        let mut cache = ResultCache::new();
+        cache.insert(7, 9, Arc::new(vec![lv(0, 25), lv(10, 36)]));
+        cache.insert(7, 11, Arc::new(Vec::new()));
+        cache.insert(8, 9, Arc::new(vec![lv(-5, 1)]));
+        cache.save(&path).unwrap();
+
+        let mut loaded = ResultCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(*loaded.get(7, 9).unwrap(), vec![lv(0, 25), lv(10, 36)]);
+        assert!(loaded.get(7, 11).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_empty() {
+        let cache = ResultCache::load(Path::new("/nonexistent/odrc-cache-missing.bin")).unwrap();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("odrc-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.bin");
+        std::fs::write(&path, b"not a cache").unwrap();
+        assert!(ResultCache::load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -165,8 +165,16 @@ mod tests {
         let sq = Polygon::rect(Rect::from_coords(0, 0, 10, 10));
         let edges: Vec<Edge> = sq.edges().collect();
         // Left (up) and right (down) edges: interior between.
-        let left = edges.iter().find(|e| e.track() == 0 && e.orientation() == odrc_geometry::Orientation::Vertical).copied().unwrap();
-        let right = edges.iter().find(|e| e.track() == 10 && e.orientation() == odrc_geometry::Orientation::Vertical).copied().unwrap();
+        let left = edges
+            .iter()
+            .find(|e| e.track() == 0 && e.orientation() == odrc_geometry::Orientation::Vertical)
+            .copied()
+            .unwrap();
+        let right = edges
+            .iter()
+            .find(|e| e.track() == 10 && e.orientation() == odrc_geometry::Orientation::Vertical)
+            .copied()
+            .unwrap();
         assert_eq!(relation(left, right), EdgeRelation::InteriorFacing);
         assert_eq!(relation(right, left), EdgeRelation::InteriorFacing);
 
@@ -179,7 +187,11 @@ mod tests {
         assert_eq!(relation(right, left2), EdgeRelation::ExteriorFacing);
 
         // Perpendicular edges: no relation.
-        let top = edges.iter().find(|e| e.orientation() == odrc_geometry::Orientation::Horizontal).copied().unwrap();
+        let top = edges
+            .iter()
+            .find(|e| e.orientation() == odrc_geometry::Orientation::Horizontal)
+            .copied()
+            .unwrap();
         assert_eq!(relation(left, top), EdgeRelation::None);
 
         // Same-side edges (both interiors pointing the same way).

@@ -230,7 +230,11 @@ mod tests {
     fn ensures_rule_runs_predicate() {
         let pred: EnsureFn = Arc::new(|info: PolygonInfo<'_>| info.name.is_some());
         let mut out = Vec::new();
-        polygon_violations(&lp(rect(0, 0, 5, 5)), &PolyRuleSpec::Ensures(pred.clone()), &mut out);
+        polygon_violations(
+            &lp(rect(0, 0, 5, 5)),
+            &PolyRuleSpec::Ensures(pred.clone()),
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].kind, ViolationKind::Ensures);
 

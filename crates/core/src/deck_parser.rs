@@ -115,7 +115,10 @@ impl<'a> LineArgs<'a> {
         })
     }
 
-    fn get_opt<T: std::str::FromStr>(&self, key: &'static str) -> Result<Option<T>, ParseDeckError> {
+    fn get_opt<T: std::str::FromStr>(
+        &self,
+        key: &'static str,
+    ) -> Result<Option<T>, ParseDeckError> {
         match self.pairs.iter().find(|(k, _)| *k == key) {
             None => Ok(None),
             Some((_, value)) => value.parse().map(Some).map_err(|_| ParseDeckError {
@@ -173,7 +176,10 @@ pub fn parse_deck(text: &str) -> Result<RuleDeck, ParseDeckError> {
         let mut r = match *kind {
             "width" => {
                 args.check_known(&["layer", "min"])?;
-                rule().layer(args.get("layer")?).width().greater_than(args.get("min")?)
+                rule()
+                    .layer(args.get("layer")?)
+                    .width()
+                    .greater_than(args.get("min")?)
             }
             "space" => {
                 args.check_known(&["layer", "min", "projection"])?;
@@ -186,7 +192,10 @@ pub fn parse_deck(text: &str) -> Result<RuleDeck, ParseDeckError> {
             }
             "area" => {
                 args.check_known(&["layer", "min"])?;
-                rule().layer(args.get("layer")?).area().greater_than(args.get("min")?)
+                rule()
+                    .layer(args.get("layer")?)
+                    .area()
+                    .greater_than(args.get("min")?)
             }
             "enclosure" => {
                 args.check_known(&["inner", "outer", "min"])?;
@@ -300,5 +309,40 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("line 1"));
         assert!(text.contains("min"));
+    }
+
+    /// One malformed line per selector kind, each prefixed by a valid
+    /// line so the reported line number is meaningful.
+    #[test]
+    fn every_selector_rejects_malformed_lines_with_line_numbers() {
+        let cases: &[(&str, ParseDeckErrorKind)] = &[
+            ("width layer=1", ParseDeckErrorKind::MissingKey("min")),
+            (
+                "space layer=1 min=oops",
+                ParseDeckErrorKind::BadValue {
+                    key: "min".to_owned(),
+                    value: "oops".to_owned(),
+                },
+            ),
+            ("area min=100", ParseDeckErrorKind::MissingKey("layer")),
+            (
+                "enclosure inner=30 min=4",
+                ParseDeckErrorKind::MissingKey("outer"),
+            ),
+            (
+                "overlap inner=30 outer=20 min=5",
+                ParseDeckErrorKind::UnknownKey("min".to_owned()),
+            ),
+            (
+                "rectilinear layer=1 min=2",
+                ParseDeckErrorKind::UnknownKey("min".to_owned()),
+            ),
+        ];
+        for (bad, kind) in cases {
+            let text = format!("width layer=1 min=2\n{bad}\n");
+            let err = parse_deck(&text).unwrap_err();
+            assert_eq!(err.line, 2, "line number for {bad:?}");
+            assert_eq!(&err.kind, kind, "error kind for {bad:?}");
+        }
     }
 }

@@ -4,10 +4,11 @@ use odrc_db::Layout;
 use odrc_infra::Profiler;
 use odrc_xpu::Device;
 
+use crate::cache::{CacheHandle, CacheKeys, ResultCache};
+use crate::parallel;
 use crate::rules::{Rule, RuleDeck, RuleKind};
 use crate::sequential::{self, RunContext};
 use crate::violation::{canonicalize, Violation};
-use crate::parallel;
 
 /// Execution mode of the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,9 +110,9 @@ impl CheckReport {
 /// ```
 #[derive(Debug)]
 pub struct Engine {
-    mode: Mode,
-    options: EngineOptions,
-    device: Device,
+    pub(crate) mode: Mode,
+    pub(crate) options: EngineOptions,
+    pub(crate) device: Device,
 }
 
 impl Default for Engine {
@@ -167,11 +168,50 @@ impl Engine {
     /// integration tests assert this equivalence on every generated
     /// design.
     pub fn check(&self, layout: &Layout, deck: &RuleDeck) -> CheckReport {
+        self.check_impl(layout, deck, None)
+    }
+
+    /// Like [`Engine::check`], but backed by a persistent result cache:
+    /// per-cell results keyed by structural content hashes (§IV-C,
+    /// rekeyed so the memo survives edits and processes). The cache is
+    /// consulted and updated in place; hits count as `checks_reused`.
+    pub fn check_with_cache(
+        &self,
+        layout: &Layout,
+        deck: &RuleDeck,
+        cache: &mut ResultCache,
+    ) -> CheckReport {
+        let keys = CacheKeys::compute(layout);
+        self.check_impl(layout, deck, Some((cache, &keys)))
+    }
+
+    /// [`Engine::check_with_cache`] with precomputed content keys —
+    /// for callers (edit sessions) that already hashed the layout.
+    /// `keys` must be [`CacheKeys::compute`] of this exact `layout`.
+    pub fn check_with_cache_keyed(
+        &self,
+        layout: &Layout,
+        keys: &CacheKeys,
+        deck: &RuleDeck,
+        cache: &mut ResultCache,
+    ) -> CheckReport {
+        self.check_impl(layout, deck, Some((cache, keys)))
+    }
+
+    pub(crate) fn check_impl(
+        &self,
+        layout: &Layout,
+        deck: &RuleDeck,
+        cache: Option<(&mut ResultCache, &CacheKeys)>,
+    ) -> CheckReport {
         let mut profiler = Profiler::new();
         let mut stats = EngineStats::default();
         let mut violations = Vec::new();
         {
             let mut ctx = RunContext::new(layout, &self.options, &mut profiler, &mut stats);
+            if let Some((cache, keys)) = cache {
+                ctx = ctx.with_cache(CacheHandle { cache, keys });
+            }
             match self.mode {
                 Mode::Sequential => {
                     for rule in deck.rules() {
@@ -205,17 +245,20 @@ impl Engine {
                     min: *min,
                     min_projection: *min_projection,
                 };
-                sequential::check_space_rule(ctx, &rule.name, *layer, spec, out);
+                let sig = crate::cache::rule_signature(rule);
+                sequential::check_space_rule(ctx, &rule.name, *layer, spec, sig, out);
             }
             RuleKind::Enclosure { inner, outer, min } => {
-                sequential::check_enclosure_rule(ctx, &rule.name, *inner, *outer, *min, out);
+                sequential::check_enclosure_rule(ctx, &rule.name, *inner, *outer, *min, None, out);
             }
             RuleKind::OverlapArea {
                 inner,
                 outer,
                 min_area,
             } => {
-                sequential::check_overlap_rule(ctx, &rule.name, *inner, *outer, *min_area, out);
+                sequential::check_overlap_rule(
+                    ctx, &rule.name, *inner, *outer, *min_area, None, out,
+                );
             }
             _ => sequential::check_intra_rule(ctx, rule, out),
         }
@@ -242,7 +285,7 @@ impl Engine {
             }
             RuleKind::Enclosure { inner, outer, min } => {
                 parallel::check_enclosure_rule_parallel(
-                    ctx, stream, &rule.name, *inner, *outer, *min, out,
+                    ctx, stream, &rule.name, *inner, *outer, *min, None, out,
                 );
             }
             RuleKind::OverlapArea {
@@ -251,7 +294,7 @@ impl Engine {
                 min_area,
             } => {
                 parallel::check_overlap_rule_parallel(
-                    ctx, stream, &rule.name, *inner, *outer, *min_area, out,
+                    ctx, stream, &rule.name, *inner, *outer, *min_area, None, out,
                 );
             }
             _ => parallel::check_intra_rule_parallel(ctx, stream, rule, out),

@@ -44,8 +44,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cache;
 pub mod checks;
 pub mod deck_parser;
+pub mod delta;
 pub mod engine;
 pub mod exec;
 pub mod markers;
@@ -55,7 +57,9 @@ pub mod scene;
 pub mod sequential;
 pub mod violation;
 
+pub use cache::{rule_signature, CacheKeys, ResultCache, CACHE_FILE};
 pub use deck_parser::{parse_deck, ParseDeckError, ParseDeckErrorKind};
+pub use delta::{dirty_rects, DeltaReport};
 pub use engine::{CheckReport, Engine, EngineOptions, EngineStats, Mode, PairIndex};
 pub use rules::{rule, Rule, RuleDeck, RuleKind};
 pub use violation::{canonicalize, Violation, ViolationKind};

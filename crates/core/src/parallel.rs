@@ -27,7 +27,7 @@ use odrc_xpu::{scan::exclusive_scan, Device, LaunchConfig, Pending, Stream};
 use crate::checks::edge::{space_pair_spec, SpaceSpec};
 use crate::checks::enclosure_margin;
 use crate::rules::{Rule, RuleKind};
-use crate::scene::LayerScene;
+use crate::scene::{DirtyWindow, LayerScene};
 use crate::sequential::{partition_scene, RunContext};
 use crate::violation::{Violation, ViolationKind};
 
@@ -74,12 +74,15 @@ struct PairRecord {
     d2: i64,
 }
 
+/// Per-edge brute-force hits: `(other edge index, measured)` lists.
+type BruteHits = Vec<Vec<(u32, i64)>>;
+
 /// One row's worth of packed edges plus its in-flight device results.
 struct RowJob {
     edges: Vec<PackedEdge>,
     /// Same-track run table for the sweepline executor.
     run_ends: Option<Vec<u32>>,
-    brute: Option<Pending<Vec<Vec<(u32, i64)>>>>,
+    brute: Option<Pending<BruteHits>>,
     counts: Option<Pending<Vec<usize>>>,
 }
 
@@ -97,12 +100,24 @@ pub(crate) fn check_space_rule_parallel(
     spec: SpaceSpec,
     out: &mut Vec<Violation>,
 ) {
-    let min = spec.min;
     let layout = ctx.layout;
     let scene = ctx
         .profiler
         .time("scene", || LayerScene::build(layout, layer));
-    let (_, partition) = partition_scene(&scene, min, ctx.options.partition, ctx.profiler);
+    check_space_scene_parallel(ctx, stream, rule_name, &scene, spec, out);
+}
+
+/// Device-mode spacing over an already-built (possibly windowed) scene.
+pub(crate) fn check_space_scene_parallel(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    rule_name: &str,
+    scene: &LayerScene,
+    spec: SpaceSpec,
+    out: &mut Vec<Violation>,
+) {
+    let min = spec.min;
+    let (_, partition) = partition_scene(scene, min, ctx.options.partition, ctx.profiler);
     ctx.stats.rows += partition.len();
     let threshold = ctx.options.sweep_threshold;
 
@@ -214,7 +229,9 @@ pub(crate) fn check_space_rule_parallel(
             });
         } else if let Some(pending) = job.counts {
             let counts = ctx.profiler.time("kernel-wait", || pending.wait());
-            let offsets = ctx.profiler.time("scan", || exclusive_scan(&device, &counts));
+            let offsets = ctx
+                .profiler
+                .time("scan", || exclusive_scan(&device, &counts));
             let total = *offsets.last().expect("scan returns n+1 entries");
             let n = job.edges.len();
             let dev_edges = stream.upload(job.edges.clone());
@@ -303,8 +320,7 @@ pub(crate) fn check_intra_rule_parallel(
 
     // Pack the unique polygons of the layer (one entry per definition,
     // not per instance — the memoized work unit of §IV-C).
-    let targets: Vec<(odrc_db::CellId, usize)> =
-        ctx.layout.layer_polygons(layer).to_vec();
+    let targets: Vec<(odrc_db::CellId, usize)> = ctx.layout.layer_polygons(layer).to_vec();
     if targets.is_empty() {
         return;
     }
@@ -364,6 +380,7 @@ pub(crate) fn check_intra_rule_parallel(
 /// Runs an enclosure rule with per-via margin computation on the
 /// device. Candidate gathering (the hierarchical layer query) stays on
 /// the host.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn check_enclosure_rule_parallel(
     ctx: &mut RunContext<'_>,
     stream: &Stream,
@@ -371,12 +388,13 @@ pub(crate) fn check_enclosure_rule_parallel(
     inner: Layer,
     outer: Layer,
     min: i64,
+    window: Option<DirtyWindow<'_>>,
     out: &mut Vec<Violation>,
 ) {
     // Host: flat inner shapes plus their outer candidates, gathered by
     // the same hierarchical bipartite sweep as the sequential mode.
     let work: Vec<(odrc_geometry::Polygon, Vec<odrc_geometry::Polygon>)> =
-        crate::sequential::enclosure_work(ctx, inner, outer, min);
+        crate::sequential::enclosure_work(ctx, inner, outer, min, window);
     if work.is_empty() {
         return;
     }
@@ -412,6 +430,7 @@ pub(crate) fn check_enclosure_rule_parallel(
 /// Runs a minimum-overlap-area rule with the boolean work on the
 /// device: one thread per inner shape intersects it with its outer
 /// candidates.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn check_overlap_rule_parallel(
     ctx: &mut RunContext<'_>,
     stream: &Stream,
@@ -419,11 +438,12 @@ pub(crate) fn check_overlap_rule_parallel(
     inner: Layer,
     outer: Layer,
     min_area: i64,
+    window: Option<DirtyWindow<'_>>,
     out: &mut Vec<Violation>,
 ) {
     use odrc_infra::Region;
     let work: Vec<(odrc_geometry::Polygon, Vec<odrc_geometry::Polygon>)> =
-        crate::sequential::enclosure_work(ctx, inner, outer, 0);
+        crate::sequential::enclosure_work(ctx, inner, outer, 0, window);
     if work.is_empty() {
         return;
     }

@@ -130,7 +130,10 @@ impl fmt::Debug for RuleKind {
                 min_projection,
             } => {
                 if *min_projection > 0 {
-                    write!(f, "Space(layer {layer} >= {min} when projection >= {min_projection})")
+                    write!(
+                        f,
+                        "Space(layer {layer} >= {min} when projection >= {min_projection})"
+                    )
                 } else {
                     write!(f, "Space(layer {layer} >= {min})")
                 }
@@ -385,14 +388,8 @@ impl MetricSelector {
     /// `greater_than` predicate.
     pub fn greater_than(self, min: i64) -> Rule {
         let (name, kind) = match self.build {
-            MetricKind::Width(layer) => (
-                format!("L{layer}.W.1"),
-                RuleKind::Width { layer, min },
-            ),
-            MetricKind::Area(layer) => (
-                format!("L{layer}.A.1"),
-                RuleKind::Area { layer, min },
-            ),
+            MetricKind::Width(layer) => (format!("L{layer}.W.1"), RuleKind::Width { layer, min }),
+            MetricKind::Area(layer) => (format!("L{layer}.A.1"), RuleKind::Area { layer, min }),
             MetricKind::Enclosure { inner, outer } => (
                 format!("L{inner}.L{outer}.EN.1"),
                 RuleKind::Enclosure { inner, outer, min },
@@ -504,7 +501,12 @@ mod tests {
             "L30.L19.EN.1"
         );
         assert_eq!(
-            rule().layer(19).width().greater_than(18).named("M1.W.1").name,
+            rule()
+                .layer(19)
+                .width()
+                .greater_than(18)
+                .named("M1.W.1")
+                .name,
             "M1.W.1"
         );
     }

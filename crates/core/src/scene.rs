@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use odrc_db::{CellId, Layer, Layout};
-use odrc_geometry::{Polygon, Rect, Transform};
+use odrc_geometry::{Coord, Polygon, Rect, Transform};
 
 /// What a scene object refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,27 +52,67 @@ pub struct LayerScene {
     top_polys: Vec<Polygon>,
 }
 
+/// The halo of a delta re-check: the dirty rects of an edit plus the
+/// rule's interaction margin.
+///
+/// [`DirtyWindow::hits`] is the *one* overlap predicate of the delta
+/// scheme: the delta checker drops an old violation exactly when it
+/// hits the window, and keeps a re-discovered violation exactly when it
+/// hits the window — using a single predicate on both sides is what
+/// makes the splice exact.
+#[derive(Debug, Clone, Copy)]
+pub struct DirtyWindow<'a> {
+    /// MBRs of the geometry that differs between the two layouts (both
+    /// the old and the new extents).
+    pub rects: &'a [Rect],
+    /// The rule's interaction distance, clamped to coordinate range.
+    pub margin: Coord,
+}
+
+impl DirtyWindow<'_> {
+    /// Whether a violation location overlaps any inflated dirty rect.
+    pub fn hits(&self, location: Rect) -> bool {
+        self.rects
+            .iter()
+            .any(|d| d.inflate(self.margin).overlaps(location))
+    }
+}
+
 impl LayerScene {
     /// Builds the scene for `layer`.
     pub fn build(layout: &Layout, layer: Layer) -> LayerScene {
-        let mut local: HashMap<CellId, Vec<Polygon>> = HashMap::new();
-        let mut objects = Vec::new();
+        LayerScene::build_near(layout, layer, None)
+    }
+
+    /// Builds the scene for `layer`, restricted to the objects that can
+    /// participate in a violation overlapping `window` (when given).
+    ///
+    /// The filter is a two-ring construction around the dirty rects:
+    ///
+    /// * **seeds** — objects whose layer MBR overlaps a dirty rect
+    ///   inflated by twice the margin: every violation location
+    ///   overlapping the window is within the margin of one
+    ///   participant's edge, so that participant's MBR lands in this
+    ///   ring;
+    /// * **neighbours** — objects whose MBR overlaps a seed's MBR
+    ///   inflated by the margin: the second participant of a pairwise
+    ///   violation is within the margin of the first.
+    ///
+    /// Cells whose placements are all filtered out are never flattened,
+    /// which is where a small edit on a large layout saves its work.
+    pub fn build_near(
+        layout: &Layout,
+        layer: Layer,
+        window: Option<DirtyWindow<'_>>,
+    ) -> LayerScene {
+        // Pass 1: object MBRs only, no flattening.
+        let mut protos: Vec<SceneObject> = Vec::new();
         for placement in layout.top_placements() {
             let cell = layout.cell(placement.cell);
             let Some(local_mbr) = cell.layer_mbr(layer) else {
                 continue;
             };
-            local.entry(placement.cell).or_insert_with(|| {
-                let mut flat = Vec::new();
-                layout.collect_layer_polygons(
-                    placement.cell,
-                    Transform::IDENTITY,
-                    layer,
-                    &mut flat,
-                );
-                flat.into_iter().map(|f| f.polygon).collect()
-            });
-            objects.push(SceneObject {
+            protos.push(SceneObject {
                 mbr: placement.transform.apply_rect(local_mbr),
                 source: SceneSource::Cell {
                     cell: placement.cell,
@@ -81,15 +121,71 @@ impl LayerScene {
             });
         }
         let top_cell = layout.cell(layout.top());
-        let mut top_polys = Vec::new();
-        for p in top_cell.polygons_on(layer) {
-            objects.push(SceneObject {
-                mbr: p.polygon.mbr(),
-                source: SceneSource::TopPolygon {
-                    index: top_polys.len(),
-                },
+        let top_candidates: Vec<&Polygon> =
+            top_cell.polygons_on(layer).map(|p| &p.polygon).collect();
+        for p in &top_candidates {
+            protos.push(SceneObject {
+                mbr: p.mbr(),
+                source: SceneSource::TopPolygon { index: 0 }, // assigned below
             });
-            top_polys.push(p.polygon.clone());
+        }
+
+        let keep: Vec<bool> = match window {
+            None => vec![true; protos.len()],
+            Some(w) => {
+                let seed_margin = w.margin.saturating_mul(2).saturating_add(2);
+                let seeded: Vec<Rect> = w.rects.iter().map(|d| d.inflate(seed_margin)).collect();
+                let seeds: Vec<bool> = protos
+                    .iter()
+                    .map(|o| seeded.iter().any(|s| s.overlaps(o.mbr)))
+                    .collect();
+                let rings: Vec<Rect> = protos
+                    .iter()
+                    .zip(&seeds)
+                    .filter(|(_, s)| **s)
+                    .map(|(o, _)| o.mbr.inflate(w.margin.saturating_add(1)))
+                    .collect();
+                protos
+                    .iter()
+                    .zip(&seeds)
+                    .map(|(o, s)| *s || rings.iter().any(|r| r.overlaps(o.mbr)))
+                    .collect()
+            }
+        };
+
+        // Pass 2: flatten the surviving objects.
+        let mut local: HashMap<CellId, Vec<Polygon>> = HashMap::new();
+        let mut objects = Vec::new();
+        let mut top_polys = Vec::new();
+        let mut next_top = 0usize;
+        for (proto, kept) in protos.into_iter().zip(keep) {
+            match proto.source {
+                SceneSource::Cell { cell, .. } => {
+                    if !kept {
+                        continue;
+                    }
+                    local.entry(cell).or_insert_with(|| {
+                        let mut flat = Vec::new();
+                        layout.collect_layer_polygons(cell, Transform::IDENTITY, layer, &mut flat);
+                        flat.into_iter().map(|f| f.polygon).collect()
+                    });
+                    objects.push(proto);
+                }
+                SceneSource::TopPolygon { .. } => {
+                    let poly = top_candidates[next_top];
+                    next_top += 1;
+                    if !kept {
+                        continue;
+                    }
+                    objects.push(SceneObject {
+                        mbr: proto.mbr,
+                        source: SceneSource::TopPolygon {
+                            index: top_polys.len(),
+                        },
+                    });
+                    top_polys.push(poly.clone());
+                }
+            }
         }
         LayerScene {
             layer,
@@ -175,12 +271,7 @@ impl LayerScene {
 /// and replay them through these transforms (§IV-C).
 pub fn instance_transforms(layout: &Layout) -> HashMap<CellId, Vec<Transform>> {
     let mut map: HashMap<CellId, Vec<Transform>> = HashMap::new();
-    fn rec(
-        layout: &Layout,
-        cell: CellId,
-        t: Transform,
-        map: &mut HashMap<CellId, Vec<Transform>>,
-    ) {
+    fn rec(layout: &Layout, cell: CellId, t: Transform, map: &mut HashMap<CellId, Vec<Transform>>) {
         map.entry(cell).or_default().push(t);
         for r in layout.cell(cell).refs() {
             rec(layout, r.cell, r.transform.then(&t), map);

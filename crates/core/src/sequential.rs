@@ -24,6 +24,7 @@ use odrc_infra::partition::{partition_rows, Row, RowPartition};
 use odrc_infra::sweep::sweep_overlaps;
 use odrc_infra::Profiler;
 
+use crate::cache::CacheHandle;
 use crate::checks::poly::{
     notch_space_violations, polygon_violations, space_violations_between, LocalViolation,
     PolyRuleSpec,
@@ -31,7 +32,7 @@ use crate::checks::poly::{
 use crate::checks::{enclosure_margin, SpaceSpec};
 use crate::engine::{EngineOptions, EngineStats};
 use crate::rules::{Rule, RuleKind};
-use crate::scene::{instance_transforms, LayerScene, SceneObject, SceneSource};
+use crate::scene::{instance_transforms, DirtyWindow, LayerScene, SceneObject, SceneSource};
 use crate::violation::{Violation, ViolationKind};
 
 /// Shared state across the rules of one `check()` run.
@@ -42,6 +43,9 @@ pub(crate) struct RunContext<'a> {
     pub stats: &'a mut EngineStats,
     /// Lazily computed instance transforms for intra-polygon reuse.
     pub instances: Option<HashMap<CellId, Vec<odrc_geometry::Transform>>>,
+    /// Persistent result cache plus the layout's content keys, when the
+    /// caller opted into cross-run reuse.
+    pub cache: Option<CacheHandle<'a>>,
 }
 
 impl<'a> RunContext<'a> {
@@ -57,7 +61,14 @@ impl<'a> RunContext<'a> {
             profiler,
             stats,
             instances: None,
+            cache: None,
         }
+    }
+
+    /// Attaches a persistent cache handle.
+    pub fn with_cache(mut self, cache: CacheHandle<'a>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     pub fn instances(&mut self) -> &HashMap<CellId, Vec<odrc_geometry::Transform>> {
@@ -114,17 +125,37 @@ pub(crate) fn check_intra_rule(ctx: &mut RunContext<'_>, rule: &Rule, out: &mut 
     let targets = intra_targets(ctx.layout, layer);
     let layout = ctx.layout;
     let pruning = ctx.options.pruning;
+    // Persistent reuse is keyed by the cell's *local* content hash:
+    // intra-polygon verdicts depend only on the cell's own geometry.
+    let sig = if pruning {
+        crate::cache::rule_signature(rule)
+    } else {
+        None
+    };
 
-    // Compute local violations per cell (once, under pruning).
-    let mut per_cell: Vec<(CellId, Vec<LocalViolation>)> = Vec::new();
+    // Compute local violations per cell (once, under pruning), serving
+    // them from the persistent cache when the content is known.
+    let mut per_cell: Vec<(CellId, Arc<Vec<LocalViolation>>, bool)> = Vec::new();
     ctx.profiler.time("edge-check", || {
         for (cell, polys) in &targets {
+            if let (Some(sig), Some(handle)) = (sig, ctx.cache.as_mut()) {
+                let key = handle.keys.local[cell.index()];
+                if let Some(hit) = handle.cache.get(sig, key) {
+                    per_cell.push((*cell, hit, true));
+                    continue;
+                }
+            }
             let c = layout.cell(*cell);
             let mut local = Vec::new();
             for &pi in polys {
                 polygon_violations(&c.polygons()[pi], &spec, &mut local);
             }
-            per_cell.push((*cell, local));
+            let arc = Arc::new(local);
+            if let (Some(sig), Some(handle)) = (sig, ctx.cache.as_mut()) {
+                let key = handle.keys.local[cell.index()];
+                handle.cache.insert(sig, key, Arc::clone(&arc));
+            }
+            per_cell.push((*cell, arc, false));
         }
     });
 
@@ -132,7 +163,7 @@ pub(crate) fn check_intra_rule(ctx: &mut RunContext<'_>, rule: &Rule, out: &mut 
     let instances = ctx.instances().clone();
     let mut computed = 0usize;
     let mut reused = 0usize;
-    for (cell, local) in &per_cell {
+    for (cell, local, from_cache) in &per_cell {
         let Some(transforms) = instances.get(cell) else {
             continue; // defined but never instantiated
         };
@@ -142,7 +173,11 @@ pub(crate) fn check_intra_rule(ctx: &mut RunContext<'_>, rule: &Rule, out: &mut 
             .map(|(_, p)| p.len())
             .unwrap_or(0);
         if pruning {
-            computed += polys;
+            if *from_cache {
+                reused += polys;
+            } else {
+                computed += polys;
+            }
             reused += polys * transforms.len().saturating_sub(1);
         } else {
             // Ablation: pretend each instance is checked independently.
@@ -163,7 +198,7 @@ pub(crate) fn check_intra_rule(ctx: &mut RunContext<'_>, rule: &Rule, out: &mut 
             }
         }
         for t in transforms {
-            for v in local {
+            for v in local.iter() {
                 let vi = v.instantiate(t);
                 out.push(Violation {
                     rule: rule.name.clone(),
@@ -218,15 +253,28 @@ pub(crate) fn check_space_rule(
     rule_name: &str,
     layer: Layer,
     spec: SpaceSpec,
+    sig: Option<u64>,
     out: &mut Vec<Violation>,
 ) {
-    let min = spec.min;
     let layout = ctx.layout;
     let scene = ctx
         .profiler
         .time("scene", || LayerScene::build(layout, layer));
-    let (mbrs, partition) =
-        partition_scene(&scene, min, ctx.options.partition, ctx.profiler);
+    check_space_scene(ctx, rule_name, &scene, spec, sig, out);
+}
+
+/// The spacing pipeline over an already-built (possibly windowed)
+/// scene: partition, sweepline, memoized per-cell checks, pair checks.
+pub(crate) fn check_space_scene(
+    ctx: &mut RunContext<'_>,
+    rule_name: &str,
+    scene: &LayerScene,
+    spec: SpaceSpec,
+    sig: Option<u64>,
+    out: &mut Vec<Violation>,
+) {
+    let min = spec.min;
+    let (mbrs, partition) = partition_scene(scene, min, ctx.options.partition, ctx.profiler);
     ctx.stats.rows += partition.len();
 
     let half = ((min + 1) / 2) as Coord;
@@ -266,15 +314,36 @@ pub(crate) fn check_space_rule(
                                 ctx.stats.checks_reused += 1;
                                 Arc::clone(hit)
                             } else {
-                                ctx.stats.checks_computed += 1;
-                                let arc =
-                                    Arc::new(cell_internal_space(&scene, cell, spec, half));
+                                // Cross-run reuse: the flattened-subtree
+                                // verdict is keyed by the subtree hash.
+                                let mut hit = None;
+                                if let (Some(sig), Some(handle)) = (sig, ctx.cache.as_mut()) {
+                                    let key = handle.keys.subtree[cell.index()];
+                                    hit = handle.cache.get(sig, key);
+                                }
+                                let arc = match hit {
+                                    Some(arc) => {
+                                        ctx.stats.checks_reused += 1;
+                                        arc
+                                    }
+                                    None => {
+                                        ctx.stats.checks_computed += 1;
+                                        let arc =
+                                            Arc::new(cell_internal_space(scene, cell, spec, half));
+                                        if let (Some(sig), Some(handle)) = (sig, ctx.cache.as_mut())
+                                        {
+                                            let key = handle.keys.subtree[cell.index()];
+                                            handle.cache.insert(sig, key, Arc::clone(&arc));
+                                        }
+                                        arc
+                                    }
+                                };
                                 memo.insert(cell, Arc::clone(&arc));
                                 arc
                             }
                         } else {
                             ctx.stats.checks_computed += 1;
-                            Arc::new(cell_internal_space(&scene, cell, spec, half))
+                            Arc::new(cell_internal_space(scene, cell, spec, half))
                         };
                         local_hits.extend(arc.iter().map(|v| v.instantiate(&transform)));
                     }
@@ -286,7 +355,13 @@ pub(crate) fn check_space_rule(
 
             // Cross-object checks over candidate pairs.
             for &(a, b) in &pairs {
-                cross_space(&scene, &scene.objects[a], &scene.objects[b], spec, &mut local_hits);
+                cross_space(
+                    scene,
+                    &scene.objects[a],
+                    &scene.objects[b],
+                    spec,
+                    &mut local_hits,
+                );
             }
         });
     }
@@ -360,11 +435,16 @@ pub(crate) fn enclosure_work(
     inner: Layer,
     outer: Layer,
     min: i64,
+    window: Option<DirtyWindow<'_>>,
 ) -> Vec<(odrc_geometry::Polygon, Vec<odrc_geometry::Polygon>)> {
     let layout = ctx.layout;
+    // Under a delta window only the inner shapes near the dirt are
+    // re-measured; the outer scene stays complete so every retained
+    // inner shape sees its full candidate set and measures its exact
+    // margin.
     let inner_scene = ctx
         .profiler
-        .time("scene", || LayerScene::build(layout, inner));
+        .time("scene", || LayerScene::build_near(layout, inner, window));
     let outer_scene = ctx
         .profiler
         .time("scene", || LayerScene::build(layout, outer));
@@ -372,6 +452,9 @@ pub(crate) fn enclosure_work(
     let mut inner_polys: Vec<odrc_geometry::Polygon> = Vec::new();
     for obj in &inner_scene.objects {
         inner_polys.extend(inner_scene.object_polygons(obj));
+    }
+    if let Some(w) = window {
+        inner_polys.retain(|p| w.hits(p.mbr()));
     }
     let n_inner = inner_polys.len();
     // Combined array: inflated inner MBRs, then outer object MBRs.
@@ -393,8 +476,7 @@ pub(crate) fn enclosure_work(
             let window = poly.mbr().inflate(m);
             let mut candidates = Vec::new();
             for oi in objs {
-                candidates
-                    .extend(outer_scene.object_polygons_in(&outer_scene.objects[oi], window));
+                candidates.extend(outer_scene.object_polygons_in(&outer_scene.objects[oi], window));
             }
             (poly, candidates)
         })
@@ -409,9 +491,10 @@ pub(crate) fn check_enclosure_rule(
     inner: Layer,
     outer: Layer,
     min: i64,
+    window: Option<DirtyWindow<'_>>,
     out: &mut Vec<Violation>,
 ) {
-    let work = enclosure_work(ctx, inner, outer, min);
+    let work = enclosure_work(ctx, inner, outer, min, window);
     ctx.stats.checks_computed += work.len();
     let mut results = Vec::new();
     ctx.profiler.time("enclosure-check", || {
@@ -440,10 +523,11 @@ pub(crate) fn check_overlap_rule(
     inner: Layer,
     outer: Layer,
     min_area: i64,
+    window: Option<DirtyWindow<'_>>,
     out: &mut Vec<Violation>,
 ) {
     use odrc_infra::Region;
-    let work = enclosure_work(ctx, inner, outer, 0);
+    let work = enclosure_work(ctx, inner, outer, 0, window);
     ctx.stats.checks_computed += work.len();
     let mut results = Vec::new();
     ctx.profiler.time("overlap-check", || {

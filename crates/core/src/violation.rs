@@ -3,10 +3,9 @@
 use std::fmt;
 
 use odrc_geometry::Rect;
-use serde::{Deserialize, Serialize};
 
 /// The family of rule a violation belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ViolationKind {
     /// Interior distance between facing edges below the minimum.
     Width,
@@ -54,7 +53,7 @@ impl fmt::Display for ViolationKind {
 /// * `Enclosure` — the worst (smallest) margin in dbu, negative when
 ///   the inner shape pokes out of the outer layer entirely,
 /// * `Rectilinear` / `Ensures` — zero.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Violation {
     /// Name of the violated rule (e.g. `"M2.S.1"`).
     pub rule: String,

@@ -25,11 +25,31 @@ fn text_deck_equals_programmatic_deck() {
     );
     let parsed = parse_deck(&text).expect("valid deck");
     let programmatic = RuleDeck::new(vec![
-        rule().layer(tech::M1).width().greater_than(tech::M1_WIDTH).named("M1.W.1"),
-        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
-        rule().layer(tech::M1).area().greater_than(tech::M1_AREA).named("M1.A.1"),
-        rule().layer(tech::V1).enclosed_by(tech::M2).greater_than(tech::V1_M2_ENCLOSURE).named("V1.M2.EN.1"),
-        rule().layer(tech::V1).overlapping(tech::M2).area_at_least(100).named("V1.M2.OVL.1"),
+        rule()
+            .layer(tech::M1)
+            .width()
+            .greater_than(tech::M1_WIDTH)
+            .named("M1.W.1"),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
+        rule()
+            .layer(tech::M1)
+            .area()
+            .greater_than(tech::M1_AREA)
+            .named("M1.A.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V1_M2_ENCLOSURE)
+            .named("V1.M2.EN.1"),
+        rule()
+            .layer(tech::V1)
+            .overlapping(tech::M2)
+            .area_at_least(100)
+            .named("V1.M2.OVL.1"),
     ]);
     let a = Engine::sequential().check(&layout, &parsed);
     let b = Engine::sequential().check(&layout, &programmatic);
@@ -40,14 +60,14 @@ fn text_deck_equals_programmatic_deck() {
 #[test]
 fn conditional_space_from_text() {
     let layout = generate_layout(&DesignSpec::tiny(89));
-    let text = format!(
-        "space layer={} min=40 projection=200 name=COND",
-        tech::M2
-    );
+    let text = format!("space layer={} min=40 projection=200 name=COND", tech::M2);
     let parsed = parse_deck(&text).expect("valid deck");
-    let programmatic = RuleDeck::new(vec![
-        rule().layer(tech::M2).space().when_projection_at_least(200).greater_than(40).named("COND"),
-    ]);
+    let programmatic = RuleDeck::new(vec![rule()
+        .layer(tech::M2)
+        .space()
+        .when_projection_at_least(200)
+        .greater_than(40)
+        .named("COND")]);
     let a = Engine::sequential().check(&layout, &parsed);
     let b = Engine::sequential().check(&layout, &programmatic);
     assert_eq!(a.violations, b.violations);

@@ -78,7 +78,7 @@ fn six_level_hierarchy_with_transforms() {
         let mut s = Structure::new(format!("L{k}"));
         let mut a = RefElement::sref(format!("L{}", k - 1), Point::new(0, 0));
         a.angle_deg = f64::from(k % 4) * 90.0;
-        let mut b = RefElement::sref(format!("L{}", k - 1), Point::new(1000 * k as i32, 500));
+        let mut b = RefElement::sref(format!("L{}", k - 1), Point::new(1000 * k, 500));
         b.mirror_x = k % 2 == 0;
         s.elements.push(Element::Ref(a));
         s.elements.push(Element::Ref(b));
@@ -104,7 +104,11 @@ fn enclosure_against_absent_layer_flags_everything() {
     lib.structures.push(top);
     let layout = Layout::from_library(&lib).unwrap();
     // Layer 1 does not exist: every layer-2 shape is unenclosed.
-    let d = RuleDeck::new(vec![rule().layer(2).enclosed_by(1).greater_than(3).named("EN")]);
+    let d = RuleDeck::new(vec![rule()
+        .layer(2)
+        .enclosed_by(1)
+        .greater_than(3)
+        .named("EN")]);
     let seq = Engine::sequential().check(&layout, &d);
     assert_eq!(seq.violations.len(), 2);
     assert!(seq.violations.iter().all(|v| v.measured == -3));
@@ -121,7 +125,8 @@ fn far_flung_coordinates() {
     let mut top = Structure::new("TOP");
     top.elements.push(rect_el(1, -m, -m, -m + 20, -m + 2000));
     top.elements.push(rect_el(1, m - 20, m - 2000, m, m));
-    top.elements.push(rect_el(1, -m + 28, -m, -m + 48, -m + 2000)); // 8 from the first
+    top.elements
+        .push(rect_el(1, -m + 28, -m, -m + 48, -m + 2000)); // 8 from the first
     lib.structures.push(top);
     let layout = Layout::from_library(&lib).unwrap();
     let d = RuleDeck::new(vec![rule().layer(1).space().greater_than(12).named("S")]);
@@ -143,7 +148,8 @@ fn shared_cell_under_two_parents() {
     for (name, dx) in [("P1", 0), ("P2", 5000)] {
         let mut p = Structure::new(name);
         p.elements.push(Element::sref("LEAF", Point::new(dx, 0)));
-        p.elements.push(Element::sref("LEAF", Point::new(dx + 100, 0)));
+        p.elements
+            .push(Element::sref("LEAF", Point::new(dx + 100, 0)));
         lib.structures.push(p);
     }
     let mut top = Structure::new("TOP");

@@ -10,17 +10,61 @@ use odrc_xpu::Device;
 /// BEOL layers.
 fn full_deck() -> RuleDeck {
     RuleDeck::new(vec![
-        rule().layer(tech::M1).width().greater_than(tech::M1_WIDTH).named("M1.W.1"),
-        rule().layer(tech::M2).width().greater_than(tech::M2_WIDTH).named("M2.W.1"),
-        rule().layer(tech::M3).width().greater_than(tech::M3_WIDTH).named("M3.W.1"),
-        rule().layer(tech::M1).area().greater_than(tech::M1_AREA).named("M1.A.1"),
-        rule().layer(tech::M1).space().greater_than(tech::M1_SPACE).named("M1.S.1"),
-        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
-        rule().layer(tech::M3).space().greater_than(tech::M3_SPACE).named("M3.S.1"),
-        rule().layer(tech::V1).enclosed_by(tech::M1).greater_than(tech::V1_M1_ENCLOSURE).named("V1.M1.EN.1"),
-        rule().layer(tech::V1).enclosed_by(tech::M2).greater_than(tech::V1_M2_ENCLOSURE).named("V1.M2.EN.1"),
-        rule().layer(tech::V2).enclosed_by(tech::M2).greater_than(tech::V2_M2_ENCLOSURE).named("V2.M2.EN.1"),
-        rule().layer(tech::V2).enclosed_by(tech::M3).greater_than(tech::V2_M3_ENCLOSURE).named("V2.M3.EN.1"),
+        rule()
+            .layer(tech::M1)
+            .width()
+            .greater_than(tech::M1_WIDTH)
+            .named("M1.W.1"),
+        rule()
+            .layer(tech::M2)
+            .width()
+            .greater_than(tech::M2_WIDTH)
+            .named("M2.W.1"),
+        rule()
+            .layer(tech::M3)
+            .width()
+            .greater_than(tech::M3_WIDTH)
+            .named("M3.W.1"),
+        rule()
+            .layer(tech::M1)
+            .area()
+            .greater_than(tech::M1_AREA)
+            .named("M1.A.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.1"),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
+        rule()
+            .layer(tech::M3)
+            .space()
+            .greater_than(tech::M3_SPACE)
+            .named("M3.S.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M1)
+            .greater_than(tech::V1_M1_ENCLOSURE)
+            .named("V1.M1.EN.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V1_M2_ENCLOSURE)
+            .named("V1.M2.EN.1"),
+        rule()
+            .layer(tech::V2)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V2_M2_ENCLOSURE)
+            .named("V2.M2.EN.1"),
+        rule()
+            .layer(tech::V2)
+            .enclosed_by(tech::M3)
+            .greater_than(tech::V2_M3_ENCLOSURE)
+            .named("V2.M3.EN.1"),
         rule().polygons().is_rectilinear(),
     ])
 }
@@ -48,9 +92,17 @@ fn injected_violations_are_found() {
 
     let count = |k: ViolationKind| report.violations.iter().filter(|v| v.kind == k).count();
     let s = design.stats;
-    assert!(s.width + s.space + s.area + s.enclosure > 0, "nothing injected");
+    assert!(
+        s.width + s.space + s.area + s.enclosure > 0,
+        "nothing injected"
+    );
     if s.width > 0 {
-        assert!(count(ViolationKind::Width) >= s.width, "width: found {} < injected {}", count(ViolationKind::Width), s.width);
+        assert!(
+            count(ViolationKind::Width) >= s.width,
+            "width: found {} < injected {}",
+            count(ViolationKind::Width),
+            s.width
+        );
     }
     if s.space > 0 {
         assert!(count(ViolationKind::Space) >= s.space);
@@ -74,7 +126,10 @@ fn sequential_and_parallel_agree() {
             seq.violations, par.violations,
             "seed {seed}: sequential and parallel modes disagree"
         );
-        assert!(!seq.violations.is_empty(), "seed {seed}: expected some violations");
+        assert!(
+            !seq.violations.is_empty(),
+            "seed {seed}: expected some violations"
+        );
     }
 }
 
@@ -108,7 +163,9 @@ fn ablations_do_not_change_results() {
             partition,
             ..EngineOptions::default()
         };
-        let r = Engine::sequential().with_options(opts).check(&layout, &deck);
+        let r = Engine::sequential()
+            .with_options(opts)
+            .check(&layout, &deck);
         assert_eq!(
             base.violations, r.violations,
             "pruning={pruning} partition={partition}"
@@ -127,7 +184,10 @@ fn pruning_reuses_checks() {
             ..EngineOptions::default()
         })
         .check(&layout, &deck);
-    assert!(with.stats.checks_reused > 0, "hierarchy should enable reuse");
+    assert!(
+        with.stats.checks_reused > 0,
+        "hierarchy should enable reuse"
+    );
     assert_eq!(without.stats.checks_reused, 0);
     assert!(
         without.stats.checks_computed > with.stats.checks_computed,
@@ -140,9 +200,11 @@ fn pruning_reuses_checks() {
 #[test]
 fn partition_produces_rows() {
     let layout = generate_layout(&DesignSpec::tiny(11));
-    let deck = RuleDeck::new(vec![
-        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
-    ]);
+    let deck = RuleDeck::new(vec![rule()
+        .layer(tech::M2)
+        .space()
+        .greater_than(tech::M2_SPACE)
+        .named("M2.S.1")]);
     let report = Engine::sequential().check(&layout, &deck);
     // M2 stays within row bands: expect one partition row per placement
     // row.
@@ -159,9 +221,11 @@ fn partition_produces_rows() {
 #[test]
 fn profile_has_paper_phases() {
     let layout = generate_layout(&DesignSpec::tiny(12));
-    let deck = RuleDeck::new(vec![
-        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
-    ]);
+    let deck = RuleDeck::new(vec![rule()
+        .layer(tech::M2)
+        .space()
+        .greater_than(tech::M2_SPACE)
+        .named("M2.S.1")]);
     let report = Engine::sequential().check(&layout, &deck);
     for phase in ["partition", "sweepline", "edge-check"] {
         assert!(
@@ -176,8 +240,14 @@ fn ensures_rule_flags_unnamed_polygons() {
     let layout = generate_layout(&DesignSpec::tiny(13));
     // Vias are unnamed; wires are named.
     let deck = RuleDeck::new(vec![
-        rule().layer(tech::M2).polygons().ensures("named", |p| p.name.is_some()),
-        rule().layer(tech::V1).polygons().ensures("named", |p| p.name.is_some()),
+        rule()
+            .layer(tech::M2)
+            .polygons()
+            .ensures("named", |p| p.name.is_some()),
+        rule()
+            .layer(tech::V1)
+            .polygons()
+            .ensures("named", |p| p.name.is_some()),
     ]);
     let report = Engine::sequential().check(&layout, &deck);
     let m2_unnamed = report
@@ -230,9 +300,11 @@ fn conditional_spacing_by_projection() {
 
     // Conditional: 40-spacing only for runs of at least 100 — flags
     // only the long pair.
-    let cond = RuleDeck::new(vec![
-        rule().layer(1).space().when_projection_at_least(100).greater_than(40),
-    ]);
+    let cond = RuleDeck::new(vec![rule()
+        .layer(1)
+        .space()
+        .when_projection_at_least(100)
+        .greater_than(40)]);
     let r = Engine::sequential().check(&layout, &cond);
     assert_eq!(r.violations.len(), 1);
     assert_eq!(r.violations[0].location.lo().x, 20);
@@ -246,8 +318,16 @@ fn conditional_spacing_by_projection() {
 fn conditional_spacing_engines_agree_on_designs() {
     let layout = generate_layout(&DesignSpec::tiny(33));
     let deck = RuleDeck::new(vec![
-        rule().layer(tech::M2).space().when_projection_at_least(200).greater_than(40),
-        rule().layer(tech::M3).space().when_projection_at_least(100).greater_than(48),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .when_projection_at_least(200)
+            .greater_than(40),
+        rule()
+            .layer(tech::M3)
+            .space()
+            .when_projection_at_least(100)
+            .greater_than(48),
     ]);
     let seq = Engine::sequential().check(&layout, &deck);
     let par = Engine::parallel_on(Device::new(2)).check(&layout, &deck);
@@ -303,11 +383,17 @@ fn overlap_area_on_generated_vias() {
     let mut spec = DesignSpec::tiny(55);
     spec.violation_rate = 0.0;
     let layout = generate_layout(&spec);
-    let deck = RuleDeck::new(vec![
-        rule().layer(tech::V1).overlapping(tech::M2).area_at_least(100).named("V1.M2.OVL.1"),
-    ]);
+    let deck = RuleDeck::new(vec![rule()
+        .layer(tech::V1)
+        .overlapping(tech::M2)
+        .area_at_least(100)
+        .named("V1.M2.OVL.1")]);
     let report = Engine::sequential().check(&layout, &deck);
-    assert_eq!(report.violations, vec![], "clean vias fully overlap their wires");
+    assert_eq!(
+        report.violations,
+        vec![],
+        "clean vias fully overlap their wires"
+    );
 
     // With injections, off-center vias lose overlap area.
     let mut spec = DesignSpec::tiny(55);

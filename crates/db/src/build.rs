@@ -4,9 +4,9 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use odrc_gdsii::{Element, Library, PathElement, TransformError};
-use odrc_geometry::{Polygon, PolygonError, Rect};
 #[cfg(test)]
 use odrc_geometry::Point;
+use odrc_geometry::{Polygon, PolygonError, Rect};
 
 use crate::{Cell, CellId, CellRef, Layer, LayerPolygon, Layout};
 
@@ -68,7 +68,10 @@ impl fmt::Display for DbError {
                 write!(f, "structure '{name}' is defined more than once")
             }
             DbError::UnknownStructure { referrer, name } => {
-                write!(f, "structure '{referrer}' references unknown structure '{name}'")
+                write!(
+                    f,
+                    "structure '{referrer}' references unknown structure '{name}'"
+                )
             }
             DbError::CircularReference { name } => {
                 write!(f, "structure '{name}' participates in a reference cycle")
@@ -201,10 +204,11 @@ impl Layout {
                                 },
                             });
                         }
-                        refs.extend(transforms.into_iter().map(|transform| CellRef {
-                            cell,
-                            transform,
-                        }));
+                        refs.extend(
+                            transforms
+                                .into_iter()
+                                .map(|transform| CellRef { cell, transform }),
+                        );
                     }
                 }
             }
@@ -249,10 +253,7 @@ impl Layout {
                     .and_modify(|r| *r = r.hull(m))
                     .or_insert(m);
             }
-            let mbr = layer_mbr
-                .values()
-                .copied()
-                .reduce(|a, b| a.hull(b));
+            let mbr = layer_mbr.values().copied().reduce(|a, b| a.hull(b));
             cells[ci].layer_mbr = layer_mbr;
             cells[ci].mbr = mbr;
         }
@@ -280,9 +281,7 @@ impl Layout {
         let top = (0..cells.len())
             .filter(|&i| !referenced[i])
             .max_by(|&a, &b| {
-                subtree_size[a]
-                    .cmp(&subtree_size[b])
-                    .then(b.cmp(&a)) // prefer earlier stream order on ties
+                subtree_size[a].cmp(&subtree_size[b]).then(b.cmp(&a)) // prefer earlier stream order on ties
             })
             .map(|i| CellId(i as u32))
             .ok_or(DbError::NoTopStructure)?;
@@ -299,7 +298,7 @@ impl Layout {
         }
         let mut layer_cells: BTreeMap<Layer, Vec<CellId>> = BTreeMap::new();
         for (ci, c) in cells.iter().enumerate() {
-            for (&l, _) in &c.layer_mbr {
+            for &l in c.layer_mbr.keys() {
                 layer_cells.entry(l).or_default().push(CellId(ci as u32));
             }
         }
@@ -311,10 +310,27 @@ impl Layout {
             layer_cells,
         })
     }
+
+    /// Imports a GDSII library with an explicitly chosen top structure
+    /// instead of the largest-unreferenced-subtree heuristic.
+    ///
+    /// Used when rebuilding an edited layout, where the design root is
+    /// known and must not drift as edits change subtree sizes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Layout::from_library`], plus
+    /// [`DbError::NoTopStructure`] if `top` names no structure.
+    pub fn from_library_with_top(lib: &Library, top: &str) -> Result<Layout, DbError> {
+        let mut layout = Layout::from_library(lib)?;
+        let id = layout.cell_by_name(top).ok_or(DbError::NoTopStructure)?;
+        layout.top = id;
+        Ok(layout)
+    }
 }
 
 /// Children-before-parents order over the reference DAG.
-fn topo_order(cells: &[Cell]) -> Result<Vec<usize>, DbError> {
+pub(crate) fn topo_order(cells: &[Cell]) -> Result<Vec<usize>, DbError> {
     #[derive(Clone, Copy, PartialEq)]
     enum Mark {
         White,
@@ -472,7 +488,10 @@ mod tests {
     fn invalid_polygon_reported_with_location() {
         let mut lib = Library::new("x");
         let mut s = Structure::new("BAD");
-        s.elements.push(Element::boundary(1, vec![p(0, 0), p(5, 5), p(5, 0), p(0, 5)]));
+        s.elements.push(Element::boundary(
+            1,
+            vec![p(0, 0), p(5, 5), p(5, 0), p(0, 5)],
+        ));
         lib.structures.push(s);
         match Layout::from_library(&lib) {
             Err(DbError::InvalidPolygon { cell, index, .. }) => {
@@ -557,8 +576,14 @@ mod tests {
         let layout = Layout::from_library(&lib).unwrap();
         let cell = layout.cell(layout.top());
         assert_eq!(cell.polygons().len(), 2);
-        assert_eq!(cell.polygons()[0].polygon.mbr(), Rect::from_coords(0, -2, 20, 2));
-        assert_eq!(cell.polygons()[1].polygon.mbr(), Rect::from_coords(18, 0, 22, 30));
+        assert_eq!(
+            cell.polygons()[0].polygon.mbr(),
+            Rect::from_coords(0, -2, 20, 2)
+        );
+        assert_eq!(
+            cell.polygons()[1].polygon.mbr(),
+            Rect::from_coords(18, 0, 22, 30)
+        );
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! In-place layout edits that keep the derived structures consistent.
+//!
+//! Supports the incremental checking workflow: instead of re-importing
+//! a whole GDSII stream after every fix, callers mutate the loaded
+//! [`Layout`] through these operations and the per-layer MBR hierarchy
+//! (§IV-A), the element-level inverted indices, and the per-layer
+//! hierarchy membership are all repaired in place. Cost is proportional
+//! to the edited cell plus its ancestor chain, not to the layout.
+//!
+//! Every operation leaves the layout indistinguishable from a fresh
+//! [`Layout::from_library`] of the same content;
+//! [`Layout::consistency_errors`] checks exactly that and is shared by
+//! the unit tests here and the incremental engine's property tests.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use odrc_geometry::{Rect, Transform};
+
+use crate::build::topo_order;
+use crate::{CellId, CellRef, Layer, LayerPolygon, Layout};
+
+/// Error applying an edit operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// A cell id does not belong to this layout.
+    InvalidCell {
+        /// The offending id's index.
+        index: usize,
+    },
+    /// A polygon or reference index is out of bounds.
+    InvalidIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of entries actually present.
+        len: usize,
+    },
+    /// The edit would make the reference graph cyclic.
+    WouldCycle {
+        /// Name of the cell whose subtree would contain itself.
+        name: String,
+    },
+    /// The placement transform is not an isometry (`mag != 1`), which
+    /// would invalidate hierarchical check-result reuse (§IV-C).
+    NonIsometry,
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::InvalidCell { index } => write!(f, "cell id {index} is out of range"),
+            EditError::InvalidIndex { index, len } => {
+                write!(f, "index {index} out of bounds (len {len})")
+            }
+            EditError::WouldCycle { name } => {
+                write!(f, "edit would create a reference cycle through '{name}'")
+            }
+            EditError::NonIsometry => write!(f, "placement transform is not an isometry"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl Layout {
+    fn check_cell(&self, id: CellId) -> Result<(), EditError> {
+        if id.index() < self.cells.len() {
+            Ok(())
+        } else {
+            Err(EditError::InvalidCell { index: id.index() })
+        }
+    }
+
+    /// Whether `target` is reachable from `from` through references.
+    fn reaches(&self, from: CellId, target: CellId) -> bool {
+        if from == target {
+            return true;
+        }
+        let mut seen = vec![false; self.cells.len()];
+        let mut stack = vec![from.index()];
+        seen[from.index()] = true;
+        while let Some(ci) = stack.pop() {
+            for r in &self.cells[ci].refs {
+                let child = r.cell.index();
+                if child == target.index() {
+                    return true;
+                }
+                if !seen[child] {
+                    seen[child] = true;
+                    stack.push(child);
+                }
+            }
+        }
+        false
+    }
+
+    /// Appends a reference to `child` inside `parent`; returns its
+    /// index in the parent's reference list.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown ids, non-isometric transforms, and edits that
+    /// would close a reference cycle.
+    pub fn add_ref(
+        &mut self,
+        parent: CellId,
+        child: CellId,
+        transform: Transform,
+    ) -> Result<usize, EditError> {
+        self.check_cell(parent)?;
+        self.check_cell(child)?;
+        if !transform.is_isometry() {
+            return Err(EditError::NonIsometry);
+        }
+        if self.reaches(child, parent) {
+            return Err(EditError::WouldCycle {
+                name: self.cells[parent.index()].name.clone(),
+            });
+        }
+        self.cells[parent.index()].refs.push(CellRef {
+            cell: child,
+            transform,
+        });
+        self.refresh_mbrs_from(parent);
+        Ok(self.cells[parent.index()].refs.len() - 1)
+    }
+
+    /// Removes and returns the `index`-th reference of `parent`.
+    /// Later references shift down, as in [`Vec::remove`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown ids and out-of-range indices.
+    pub fn remove_ref(&mut self, parent: CellId, index: usize) -> Result<CellRef, EditError> {
+        self.check_cell(parent)?;
+        let refs = &mut self.cells[parent.index()].refs;
+        if index >= refs.len() {
+            return Err(EditError::InvalidIndex {
+                index,
+                len: refs.len(),
+            });
+        }
+        let removed = refs.remove(index);
+        self.refresh_mbrs_from(parent);
+        Ok(removed)
+    }
+
+    /// Re-places the `index`-th reference of `parent`; returns the
+    /// previous transform.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown ids, out-of-range indices, and non-isometric
+    /// transforms.
+    pub fn move_ref(
+        &mut self,
+        parent: CellId,
+        index: usize,
+        transform: Transform,
+    ) -> Result<Transform, EditError> {
+        self.check_cell(parent)?;
+        if !transform.is_isometry() {
+            return Err(EditError::NonIsometry);
+        }
+        let refs = &mut self.cells[parent.index()].refs;
+        if index >= refs.len() {
+            return Err(EditError::InvalidIndex {
+                index,
+                len: refs.len(),
+            });
+        }
+        let old = std::mem::replace(&mut refs[index].transform, transform);
+        self.refresh_mbrs_from(parent);
+        Ok(old)
+    }
+
+    /// Appends a leaf polygon to `cell`; returns its index in the
+    /// cell's polygon list.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown ids.
+    pub fn add_polygon(&mut self, cell: CellId, polygon: LayerPolygon) -> Result<usize, EditError> {
+        self.check_cell(cell)?;
+        let layer = polygon.layer;
+        self.cells[cell.index()].polygons.push(polygon);
+        self.refresh_inverted_for(cell, [layer].into_iter().collect());
+        self.refresh_mbrs_from(cell);
+        Ok(self.cells[cell.index()].polygons.len() - 1)
+    }
+
+    /// Removes and returns the `index`-th leaf polygon of `cell`.
+    /// Later polygons shift down, as in [`Vec::remove`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown ids and out-of-range indices.
+    pub fn remove_polygon(
+        &mut self,
+        cell: CellId,
+        index: usize,
+    ) -> Result<LayerPolygon, EditError> {
+        self.check_cell(cell)?;
+        let polys = &mut self.cells[cell.index()].polygons;
+        if index >= polys.len() {
+            return Err(EditError::InvalidIndex {
+                index,
+                len: polys.len(),
+            });
+        }
+        let removed = polys.remove(index);
+        // Indices after `index` shifted, so every layer the cell still
+        // holds needs its inverted entries rebuilt, plus the removed one.
+        let mut layers: BTreeSet<Layer> = self.cells[cell.index()]
+            .polygons
+            .iter()
+            .map(|p| p.layer)
+            .collect();
+        layers.insert(removed.layer);
+        self.refresh_inverted_for(cell, layers);
+        self.refresh_mbrs_from(cell);
+        Ok(removed)
+    }
+
+    /// Replaces the `index`-th leaf polygon of `cell`; returns the
+    /// previous polygon.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown ids and out-of-range indices.
+    pub fn replace_polygon(
+        &mut self,
+        cell: CellId,
+        index: usize,
+        polygon: LayerPolygon,
+    ) -> Result<LayerPolygon, EditError> {
+        self.check_cell(cell)?;
+        let polys = &mut self.cells[cell.index()].polygons;
+        if index >= polys.len() {
+            return Err(EditError::InvalidIndex {
+                index,
+                len: polys.len(),
+            });
+        }
+        let new_layer = polygon.layer;
+        let old = std::mem::replace(&mut polys[index], polygon);
+        self.refresh_inverted_for(cell, [old.layer, new_layer].into_iter().collect());
+        self.refresh_mbrs_from(cell);
+        Ok(old)
+    }
+
+    /// Replaces the whole definition (geometry and references) of
+    /// `cell`; returns the previous definition.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown ids (including inside `refs`), non-isometric
+    /// transforms, and definitions that would close a reference cycle.
+    pub fn swap_cell_definition(
+        &mut self,
+        cell: CellId,
+        polygons: Vec<LayerPolygon>,
+        refs: Vec<CellRef>,
+    ) -> Result<(Vec<LayerPolygon>, Vec<CellRef>), EditError> {
+        self.check_cell(cell)?;
+        for r in &refs {
+            self.check_cell(r.cell)?;
+            if !r.transform.is_isometry() {
+                return Err(EditError::NonIsometry);
+            }
+            if self.reaches(r.cell, cell) {
+                return Err(EditError::WouldCycle {
+                    name: self.cells[cell.index()].name.clone(),
+                });
+            }
+        }
+        let mut layers: BTreeSet<Layer> = polygons.iter().map(|p| p.layer).collect();
+        let c = &mut self.cells[cell.index()];
+        layers.extend(c.polygons.iter().map(|p| p.layer));
+        let old_polys = std::mem::replace(&mut c.polygons, polygons);
+        let old_refs = std::mem::replace(&mut c.refs, refs);
+        self.refresh_inverted_for(cell, layers);
+        self.refresh_mbrs_from(cell);
+        Ok((old_polys, old_refs))
+    }
+
+    /// Rebuilds the inverted-index entries of `cell` for `layers`,
+    /// preserving the global `(cell, index)` ordering a fresh build
+    /// produces.
+    fn refresh_inverted_for(&mut self, cell: CellId, layers: BTreeSet<Layer>) {
+        for layer in layers {
+            let entries: Vec<(CellId, usize)> = self.cells[cell.index()]
+                .polygons
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.layer == layer)
+                .map(|(pi, _)| (cell, pi))
+                .collect();
+            let vec = self.inverted.entry(layer).or_default();
+            vec.retain(|&(c, _)| c != cell);
+            let pos = vec.partition_point(|&(c, _)| c < cell);
+            vec.splice(pos..pos, entries);
+            if vec.is_empty() {
+                self.inverted.remove(&layer);
+            }
+        }
+    }
+
+    /// Recomputes per-layer MBRs for `start` and every ancestor
+    /// (children before parents), and syncs the per-layer hierarchy
+    /// membership for cells whose layer set changed.
+    fn refresh_mbrs_from(&mut self, start: CellId) {
+        // Reverse reachability: which cells place `start` (transitively).
+        let n = self.cells.len();
+        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, c) in self.cells.iter().enumerate() {
+            for r in &c.refs {
+                parents[r.cell.index()].push(ci);
+            }
+        }
+        let mut affected = vec![false; n];
+        let mut queue = vec![start.index()];
+        affected[start.index()] = true;
+        while let Some(ci) = queue.pop() {
+            for &p in &parents[ci] {
+                if !affected[p] {
+                    affected[p] = true;
+                    queue.push(p);
+                }
+            }
+        }
+
+        let order = topo_order(&self.cells).expect("edited layout DAG stays acyclic");
+        for ci in order.into_iter().filter(|&ci| affected[ci]) {
+            let mut layer_mbr: std::collections::BTreeMap<Layer, Rect> =
+                std::collections::BTreeMap::new();
+            for p in &self.cells[ci].polygons {
+                let mbr = p.polygon.mbr();
+                layer_mbr
+                    .entry(p.layer)
+                    .and_modify(|r| *r = r.hull(mbr))
+                    .or_insert(mbr);
+            }
+            let child_boxes: Vec<(Layer, Rect)> = self.cells[ci]
+                .refs
+                .iter()
+                .flat_map(|r| {
+                    let child = &self.cells[r.cell.index()];
+                    child
+                        .layer_mbr
+                        .iter()
+                        .map(|(&l, &m)| (l, r.transform.apply_rect(m)))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            for (l, m) in child_boxes {
+                layer_mbr
+                    .entry(l)
+                    .and_modify(|r| *r = r.hull(m))
+                    .or_insert(m);
+            }
+            let mbr = layer_mbr.values().copied().reduce(|a, b| a.hull(b));
+
+            // Sync per-layer hierarchy membership on layer-set changes.
+            let id = CellId(ci as u32);
+            let old: BTreeSet<Layer> = self.cells[ci].layer_mbr.keys().copied().collect();
+            let new: BTreeSet<Layer> = layer_mbr.keys().copied().collect();
+            for &gone in old.difference(&new) {
+                if let Some(v) = self.layer_cells.get_mut(&gone) {
+                    v.retain(|&c| c != id);
+                    if v.is_empty() {
+                        self.layer_cells.remove(&gone);
+                    }
+                }
+            }
+            for &added in new.difference(&old) {
+                let v = self.layer_cells.entry(added).or_default();
+                let pos = v.partition_point(|&c| c < id);
+                v.insert(pos, id);
+            }
+
+            self.cells[ci].layer_mbr = layer_mbr;
+            self.cells[ci].mbr = mbr;
+        }
+    }
+
+    /// Compares every derived structure against a from-scratch rebuild
+    /// (export to GDSII, re-import, same top) and describes any
+    /// mismatch. Empty means the layout is exactly what
+    /// [`Layout::from_library`] would have produced.
+    ///
+    /// Shared by the `db` mutation tests and the incremental engine's
+    /// property tests.
+    pub fn consistency_errors(&self) -> Vec<String> {
+        let lib = self.to_library("consistency-check");
+        let top_name = self.cell(self.top).name().to_owned();
+        let fresh = match Layout::from_library_with_top(&lib, &top_name) {
+            Ok(l) => l,
+            Err(e) => return vec![format!("rebuild failed: {e}")],
+        };
+        let mut errors = Vec::new();
+        if self.cells.len() != fresh.cells.len() {
+            errors.push(format!(
+                "cell count {} != rebuilt {}",
+                self.cells.len(),
+                fresh.cells.len()
+            ));
+            return errors;
+        }
+        if self.top != fresh.top {
+            errors.push(format!("top {:?} != rebuilt {:?}", self.top, fresh.top));
+        }
+        for (i, (a, b)) in self.cells.iter().zip(&fresh.cells).enumerate() {
+            if a.name != b.name {
+                errors.push(format!("cell {i}: name '{}' != '{}'", a.name, b.name));
+            }
+            if a.polygons != b.polygons {
+                errors.push(format!("cell {i} ('{}'): polygons differ", a.name));
+            }
+            if a.refs != b.refs {
+                errors.push(format!("cell {i} ('{}'): refs differ", a.name));
+            }
+            if a.layer_mbr != b.layer_mbr {
+                errors.push(format!(
+                    "cell {i} ('{}'): layer MBRs {:?} != rebuilt {:?}",
+                    a.name, a.layer_mbr, b.layer_mbr
+                ));
+            }
+            if a.mbr != b.mbr {
+                errors.push(format!(
+                    "cell {i} ('{}'): mbr {:?} != rebuilt {:?}",
+                    a.name, a.mbr, b.mbr
+                ));
+            }
+        }
+        if self.inverted != fresh.inverted {
+            errors.push(format!(
+                "inverted index differs: {:?} != rebuilt {:?}",
+                self.inverted, fresh.inverted
+            ));
+        }
+        if self.layer_cells != fresh.layer_cells {
+            errors.push(format!(
+                "layer membership differs: {:?} != rebuilt {:?}",
+                self.layer_cells, fresh.layer_cells
+            ));
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrc_gdsii::{Element, Library, Structure};
+    use odrc_geometry::{Point, Polygon};
+
+    fn rect_poly(x0: i32, y0: i32, x1: i32, y1: i32) -> Polygon {
+        Polygon::rect(Rect::from_coords(x0, y0, x1, y1))
+    }
+
+    fn lp(layer: Layer, x0: i32, y0: i32, x1: i32, y1: i32) -> LayerPolygon {
+        LayerPolygon {
+            layer,
+            datatype: 0,
+            polygon: rect_poly(x0, y0, x1, y1),
+            name: None,
+        }
+    }
+
+    /// TOP places UNIT twice; UNIT holds one layer-1 square.
+    fn base_layout() -> Layout {
+        let mut lib = Library::new("t");
+        let mut cell = Structure::new("UNIT");
+        cell.elements.push(Element::boundary(
+            1,
+            vec![
+                Point::new(0, 0),
+                Point::new(0, 10),
+                Point::new(10, 10),
+                Point::new(10, 0),
+            ],
+        ));
+        lib.structures.push(cell);
+        let mut top = Structure::new("TOP");
+        top.elements.push(Element::sref("UNIT", Point::new(0, 0)));
+        top.elements.push(Element::sref("UNIT", Point::new(50, 20)));
+        lib.structures.push(top);
+        Layout::from_library(&lib).unwrap()
+    }
+
+    fn assert_consistent(layout: &Layout) {
+        let errors = layout.consistency_errors();
+        assert!(errors.is_empty(), "{}", errors.join("\n"));
+    }
+
+    #[test]
+    fn add_and_remove_ref_keep_indices() {
+        let mut layout = base_layout();
+        let unit = layout.cell_by_name("UNIT").unwrap();
+        let top = layout.top();
+        let idx = layout
+            .add_ref(top, unit, Transform::translation(Point::new(200, 0)))
+            .unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(
+            layout.cell(top).layer_mbr(1),
+            Some(Rect::from_coords(0, 0, 210, 30))
+        );
+        assert_consistent(&layout);
+
+        let removed = layout.remove_ref(top, idx).unwrap();
+        assert_eq!(removed.transform.translate(), Point::new(200, 0));
+        assert_eq!(
+            layout.cell(top).layer_mbr(1),
+            Some(Rect::from_coords(0, 0, 60, 30))
+        );
+        assert_consistent(&layout);
+
+        // Removing the remaining refs drops the layer entirely.
+        layout.remove_ref(top, 1).unwrap();
+        layout.remove_ref(top, 0).unwrap();
+        assert_eq!(layout.cell(top).layer_mbr(1), None);
+        assert!(!layout.cells_with_layer(1).contains(&top));
+        assert_consistent(&layout);
+    }
+
+    #[test]
+    fn move_ref_updates_ancestor_mbrs() {
+        let mut layout = base_layout();
+        let top = layout.top();
+        let old = layout
+            .move_ref(top, 1, Transform::translation(Point::new(500, 500)))
+            .unwrap();
+        assert_eq!(old.translate(), Point::new(50, 20));
+        assert_eq!(
+            layout.cell(top).layer_mbr(1),
+            Some(Rect::from_coords(0, 0, 510, 510))
+        );
+        assert_consistent(&layout);
+    }
+
+    #[test]
+    fn polygon_edits_keep_inverted_index() {
+        let mut layout = base_layout();
+        let unit = layout.cell_by_name("UNIT").unwrap();
+        layout.add_polygon(unit, lp(2, 0, 0, 4, 4)).unwrap();
+        layout.add_polygon(unit, lp(1, 20, 0, 24, 4)).unwrap();
+        assert_eq!(layout.layer_polygons(1), &[(unit, 0), (unit, 2)]);
+        assert_eq!(layout.layer_polygons(2), &[(unit, 1)]);
+        assert_consistent(&layout);
+
+        // Removing polygon 0 shifts the others' indices down.
+        let removed = layout.remove_polygon(unit, 0).unwrap();
+        assert_eq!(removed.layer, 1);
+        assert_eq!(layout.layer_polygons(1), &[(unit, 1)]);
+        assert_eq!(layout.layer_polygons(2), &[(unit, 0)]);
+        assert_consistent(&layout);
+
+        // Replacing can move a polygon across layers.
+        layout.replace_polygon(unit, 0, lp(3, 0, 0, 4, 4)).unwrap();
+        assert!(layout.layer_polygons(2).is_empty());
+        assert_eq!(layout.layer_polygons(3), &[(unit, 0)]);
+        assert_consistent(&layout);
+    }
+
+    #[test]
+    fn swap_cell_definition_rewrites_cell() {
+        let mut layout = base_layout();
+        let unit = layout.cell_by_name("UNIT").unwrap();
+        let (old_polys, old_refs) = layout
+            .swap_cell_definition(unit, vec![lp(7, 0, 0, 8, 8), lp(1, 0, 0, 2, 2)], vec![])
+            .unwrap();
+        assert_eq!(old_polys.len(), 1);
+        assert!(old_refs.is_empty());
+        assert_eq!(layout.layer_polygons(7), &[(unit, 0)]);
+        assert_eq!(
+            layout.cell(layout.top()).layer_mbr(7),
+            Some(Rect::from_coords(0, 0, 58, 28))
+        );
+        assert_consistent(&layout);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut layout = base_layout();
+        let unit = layout.cell_by_name("UNIT").unwrap();
+        let top = layout.top();
+        assert!(matches!(
+            layout.add_ref(unit, top, Transform::default()),
+            Err(EditError::WouldCycle { .. })
+        ));
+        assert!(matches!(
+            layout.add_ref(unit, unit, Transform::default()),
+            Err(EditError::WouldCycle { .. })
+        ));
+        assert_consistent(&layout);
+    }
+
+    #[test]
+    fn bad_indices_rejected() {
+        let mut layout = base_layout();
+        let top = layout.top();
+        assert!(matches!(
+            layout.remove_ref(top, 99),
+            Err(EditError::InvalidIndex { len: 2, .. })
+        ));
+        assert!(matches!(
+            layout.remove_polygon(top, 0),
+            Err(EditError::InvalidIndex { len: 0, .. })
+        ));
+        assert!(matches!(
+            layout.add_ref(CellId(99), top, Transform::default()),
+            Err(EditError::InvalidCell { index: 99 })
+        ));
+    }
+}

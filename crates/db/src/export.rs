@@ -1,0 +1,96 @@
+//! Export of a [`Layout`] back into a GDSII [`Library`].
+//!
+//! The inverse of [`Layout::from_library`], up to the lossy steps of
+//! the import (paths become boundary rectangles, arrays are expanded
+//! into individual `SREF`s, text elements are dropped). Re-importing
+//! the exported library reproduces the same cells, geometry, and
+//! indices, which is what the edit-layer consistency checks rely on.
+
+use odrc_gdsii::{BoundaryElement, Element, Library, RefElement, Structure};
+
+use crate::Layout;
+
+impl Layout {
+    /// Serializes the layout into a GDSII library named `name`.
+    ///
+    /// Structures are emitted in cell-id order, so a round trip through
+    /// [`Layout::from_library`] assigns every cell the same id.
+    pub fn to_library(&self, name: &str) -> Library {
+        let mut lib = Library::new(name);
+        for cell in &self.cells {
+            let mut s = Structure::new(cell.name());
+            for p in cell.polygons() {
+                let mut properties = Vec::new();
+                if let Some(n) = &p.name {
+                    properties.push((1i16, n.clone()));
+                }
+                s.elements.push(Element::Boundary(BoundaryElement {
+                    layer: p.layer,
+                    datatype: p.datatype,
+                    points: p.polygon.vertices().to_vec(),
+                    properties,
+                }));
+            }
+            for r in cell.refs() {
+                let t = &r.transform;
+                let mut el = RefElement::sref(self.cell(r.cell).name(), t.translate());
+                el.mirror_x = t.mirror_x();
+                el.angle_deg = f64::from(t.rotation().quarter_turns()) * 90.0;
+                el.mag = f64::from(t.mag());
+                s.elements.push(Element::Ref(el));
+            }
+            lib.structures.push(s);
+        }
+        lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrc_geometry::Point;
+
+    #[test]
+    fn roundtrip_preserves_cells_and_indices() {
+        let mut lib = Library::new("t");
+        let mut unit = Structure::new("UNIT");
+        unit.elements.push(Element::boundary(
+            1,
+            vec![
+                Point::new(0, 0),
+                Point::new(0, 10),
+                Point::new(10, 10),
+                Point::new(10, 0),
+            ],
+        ));
+        lib.structures.push(unit);
+        let mut top = Structure::new("TOP");
+        let mut r = RefElement::sref("UNIT", Point::new(50, 20));
+        r.angle_deg = 90.0;
+        r.mirror_x = true;
+        top.elements.push(Element::Ref(r));
+        top.elements.push(Element::sref("UNIT", Point::new(0, 0)));
+        lib.structures.push(top);
+
+        let layout = Layout::from_library(&lib).unwrap();
+        let exported = layout.to_library("t");
+        let again = Layout::from_library(&exported).unwrap();
+
+        assert_eq!(layout.cell_count(), again.cell_count());
+        assert_eq!(layout.top(), again.top());
+        for (a, b) in layout.cells().iter().zip(again.cells()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.polygons(), b.polygons());
+            assert_eq!(a.refs(), b.refs());
+            assert_eq!(a.mbr(), b.mbr());
+        }
+        assert_eq!(layout.layers(), again.layers());
+        for layer in layout.layers() {
+            assert_eq!(layout.layer_polygons(layer), again.layer_polygons(layer));
+            assert_eq!(
+                layout.cells_with_layer(layer),
+                again.cells_with_layer(layer)
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Structural content hashes for check-result reuse across processes.
+//!
+//! The in-memory §IV-C memo keys cached per-cell verdicts by [`CellId`],
+//! which is only meaningful within one loaded layout. To persist results
+//! across edits and across processes, cells are rekeyed by *content*: a
+//! cell's subtree hash covers its own geometry plus the subtree hashes
+//! and placement transforms of its children. An edit therefore changes
+//! exactly the hashes of the edited cell and its ancestor chain — every
+//! other cell keeps its key and its cached results stay valid.
+//!
+//! The hash is 64-bit FNV-1a over a fixed little-endian encoding, so it
+//! is stable across processes and platforms (unlike
+//! `std::collections::hash_map::DefaultHasher`, which is randomly
+//! seeded per process).
+
+use crate::{CellId, Layout};
+
+/// Streaming 64-bit FNV-1a.
+#[derive(Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        self
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    pub(crate) fn i32(&mut self, v: i32) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Layout {
+    /// The content hash of one cell's own geometry (not its children):
+    /// layers, datatypes, vertices, and object names, in definition
+    /// order. Cell names are deliberately excluded so identical
+    /// geometry hashes identically regardless of naming.
+    pub fn local_content_hash(&self, cell: CellId) -> u64 {
+        let mut h = Fnv::new();
+        let c = self.cell(cell);
+        h.u64(c.polygons().len() as u64);
+        for p in c.polygons() {
+            h.i32(i32::from(p.layer)).i32(i32::from(p.datatype));
+            h.u64(p.polygon.vertices().len() as u64);
+            for v in p.polygon.vertices() {
+                h.i32(v.x).i32(v.y);
+            }
+            match &p.name {
+                Some(n) => {
+                    h.u64(n.len() as u64 + 1).bytes(n.as_bytes());
+                }
+                None => {
+                    h.u64(0);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Subtree content hashes for every cell, indexed by
+    /// [`CellId::index`]: own geometry plus each child's subtree hash
+    /// and placement transform, in reference order.
+    pub fn subtree_hashes(&self) -> Vec<u64> {
+        let order = crate::build::topo_order(self.cells()).expect("layout DAG is acyclic");
+        let mut hashes = vec![0u64; self.cell_count()];
+        for ci in order {
+            let id = CellId(ci as u32);
+            let mut h = Fnv::new();
+            h.u64(self.local_content_hash(id));
+            let c = self.cell(id);
+            h.u64(c.refs().len() as u64);
+            for r in c.refs() {
+                h.u64(hashes[r.cell.index()]);
+                let t = &r.transform;
+                h.i32(i32::from(t.mirror_x()))
+                    .i32(i32::from(t.rotation().quarter_turns()))
+                    .i32(t.mag())
+                    .i32(t.translate().x)
+                    .i32(t.translate().y);
+            }
+            hashes[ci] = h.finish();
+        }
+        hashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odrc_gdsii::{Element, Library, Structure};
+    use odrc_geometry::Point;
+
+    fn square_lib(unit_layer: i16) -> Library {
+        let mut lib = Library::new("t");
+        let mut cell = Structure::new("UNIT");
+        cell.elements.push(Element::boundary(
+            unit_layer,
+            vec![
+                Point::new(0, 0),
+                Point::new(0, 10),
+                Point::new(10, 10),
+                Point::new(10, 0),
+            ],
+        ));
+        lib.structures.push(cell);
+        let mut top = Structure::new("TOP");
+        top.elements.push(Element::sref("UNIT", Point::new(0, 0)));
+        top.elements.push(Element::sref("UNIT", Point::new(50, 20)));
+        lib.structures.push(top);
+        lib
+    }
+
+    #[test]
+    fn hashes_are_deterministic_and_content_sensitive() {
+        let a = Layout::from_library(&square_lib(1)).unwrap();
+        let b = Layout::from_library(&square_lib(1)).unwrap();
+        assert_eq!(a.subtree_hashes(), b.subtree_hashes());
+
+        let c = Layout::from_library(&square_lib(2)).unwrap();
+        let (ha, hc) = (a.subtree_hashes(), c.subtree_hashes());
+        let unit = a.cell_by_name("UNIT").unwrap().index();
+        let top = a.top().index();
+        // Changing the leaf changes the leaf AND its ancestor.
+        assert_ne!(ha[unit], hc[unit]);
+        assert_ne!(ha[top], hc[top]);
+    }
+
+    #[test]
+    fn cell_rename_does_not_change_hash() {
+        let a = Layout::from_library(&square_lib(1)).unwrap();
+        let mut lib = square_lib(1);
+        lib.structures[0].name = "RENAMED".into();
+        if let Element::Ref(r) = &mut lib.structures[1].elements[0] {
+            r.sname = "RENAMED".into();
+        }
+        if let Element::Ref(r) = &mut lib.structures[1].elements[1] {
+            r.sname = "RENAMED".into();
+        }
+        let b = Layout::from_library(&lib).unwrap();
+        assert_eq!(a.subtree_hashes(), b.subtree_hashes());
+    }
+
+    #[test]
+    fn transform_changes_parent_hash_only() {
+        let a = Layout::from_library(&square_lib(1)).unwrap();
+        let mut lib = square_lib(1);
+        if let Element::Ref(r) = &mut lib.structures[1].elements[1] {
+            r.origin = Point::new(51, 20);
+        }
+        let b = Layout::from_library(&lib).unwrap();
+        let unit = a.cell_by_name("UNIT").unwrap().index();
+        let top = a.top().index();
+        let (ha, hb) = (a.subtree_hashes(), b.subtree_hashes());
+        assert_eq!(ha[unit], hb[unit]);
+        assert_ne!(ha[top], hb[top]);
+    }
+}

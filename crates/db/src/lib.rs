@@ -40,9 +40,13 @@
 //! ```
 
 mod build;
+mod edit;
+mod export;
+mod hash;
 mod query;
 
 pub use build::DbError;
+pub use edit::EditError;
 
 use std::collections::BTreeMap;
 
@@ -57,6 +61,14 @@ impl CellId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds an id from a raw index. The id is only meaningful for a
+    /// layout with at least `index + 1` cells; the edit API validates
+    /// ids before use.
+    #[inline]
+    pub fn from_index(index: usize) -> CellId {
+        CellId(index as u32)
     }
 }
 

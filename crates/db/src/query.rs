@@ -202,7 +202,9 @@ mod tests {
 
         // Window covering everything returns all instances.
         let mut hits = Vec::new();
-        l.layer_query(1, Rect::from_coords(-1000, -1000, 1000, 1000), |f| hits.push(f));
+        l.layer_query(1, Rect::from_coords(-1000, -1000, 1000, 1000), |f| {
+            hits.push(f)
+        });
         assert_eq!(hits.len(), 4);
     }
 
@@ -210,7 +212,9 @@ mod tests {
     fn query_on_absent_layer_is_empty() {
         let l = layout();
         let mut hits = Vec::new();
-        l.layer_query(42, Rect::from_coords(-1000, -1000, 1000, 1000), |f| hits.push(f));
+        l.layer_query(42, Rect::from_coords(-1000, -1000, 1000, 1000), |f| {
+            hits.push(f)
+        });
         assert!(hits.is_empty());
     }
 

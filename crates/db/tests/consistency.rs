@@ -18,14 +18,16 @@ fn rect_el(layer: i16, x: i32, y: i32, w: i32, h: i32) -> Element {
 }
 
 fn arb_library() -> impl Strategy<Value = Library> {
-    let rects = proptest::collection::vec(
-        (1i16..4, -60i32..60, -60i32..60, 1i32..40, 1i32..40),
-        0..6,
-    );
-    (rects.clone(), rects, proptest::collection::vec(
-        (proptest::bool::ANY, -200i32..200, -200i32..200, 0i32..4),
-        0..5,
-    ))
+    let rects =
+        proptest::collection::vec((1i16..4, -60i32..60, -60i32..60, 1i32..40, 1i32..40), 0..6);
+    (
+        rects.clone(),
+        rects,
+        proptest::collection::vec(
+            (proptest::bool::ANY, -200i32..200, -200i32..200, 0i32..4),
+            0..5,
+        ),
+    )
         .prop_map(|(ra, rb, places)| {
             let mut lib = Library::new("consistency");
             let mut a = Structure::new("A");

@@ -1,0 +1,309 @@
+//! Mutation invariants: after every edit operation the per-layer MBR
+//! hierarchy, inverted indices, and layer membership must equal those
+//! of a freshly built `Layout::from_library` on the same content
+//! (checked via the shared `consistency_errors` helper).
+
+use odrc_db::{CellId, CellRef, LayerPolygon, Layout};
+use odrc_gdsii::{Element, Library, Structure};
+use odrc_geometry::{Point, Polygon, Rect, Rotation, Transform};
+use proptest::prelude::*;
+
+/// A randomized edit op over a small hierarchical layout. Targets are
+/// raw numbers reduced modulo the live cell/entry counts at apply time,
+/// so every generated op is applicable.
+#[derive(Debug, Clone)]
+enum Op {
+    AddRef {
+        parent: usize,
+        child: usize,
+        dx: i32,
+        dy: i32,
+        rot: i32,
+        mirror: bool,
+    },
+    RemoveRef {
+        parent: usize,
+        index: usize,
+    },
+    MoveRef {
+        parent: usize,
+        index: usize,
+        dx: i32,
+        dy: i32,
+    },
+    AddPolygon {
+        cell: usize,
+        layer: u8,
+        x: i32,
+        y: i32,
+        w: i32,
+        h: i32,
+    },
+    RemovePolygon {
+        cell: usize,
+        index: usize,
+    },
+    ReplacePolygon {
+        cell: usize,
+        index: usize,
+        layer: u8,
+        x: i32,
+        y: i32,
+        w: i32,
+        h: i32,
+    },
+    SwapDefinition {
+        cell: usize,
+        layer: u8,
+        x: i32,
+        y: i32,
+        w: i32,
+        h: i32,
+        keep_refs: bool,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            0usize..8,
+            0usize..8,
+            -200i32..200,
+            -200i32..200,
+            0i32..4,
+            proptest::bool::ANY
+        )
+            .prop_map(|(parent, child, dx, dy, rot, mirror)| Op::AddRef {
+                parent,
+                child,
+                dx,
+                dy,
+                rot,
+                mirror
+            }),
+        (0usize..8, 0usize..8).prop_map(|(parent, index)| Op::RemoveRef { parent, index }),
+        (0usize..8, 0usize..8, -200i32..200, -200i32..200).prop_map(|(parent, index, dx, dy)| {
+            Op::MoveRef {
+                parent,
+                index,
+                dx,
+                dy,
+            }
+        }),
+        (
+            0usize..8,
+            1u8..4,
+            -100i32..100,
+            -100i32..100,
+            1i32..40,
+            1i32..40
+        )
+            .prop_map(|(cell, layer, x, y, w, h)| Op::AddPolygon {
+                cell,
+                layer,
+                x,
+                y,
+                w,
+                h
+            }),
+        (0usize..8, 0usize..8).prop_map(|(cell, index)| Op::RemovePolygon { cell, index }),
+        (
+            0usize..8,
+            0usize..8,
+            1u8..4,
+            -100i32..100,
+            -100i32..100,
+            1i32..40,
+            1i32..40
+        )
+            .prop_map(|(cell, index, layer, x, y, w, h)| Op::ReplacePolygon {
+                cell,
+                index,
+                layer,
+                x,
+                y,
+                w,
+                h
+            }),
+        (
+            0usize..8,
+            1u8..4,
+            -100i32..100,
+            -100i32..100,
+            1i32..40,
+            1i32..40,
+            proptest::bool::ANY
+        )
+            .prop_map(|(cell, layer, x, y, w, h, keep_refs)| Op::SwapDefinition {
+                cell,
+                layer,
+                x,
+                y,
+                w,
+                h,
+                keep_refs
+            }),
+    ]
+}
+
+fn rect_poly(layer: u8, x: i32, y: i32, w: i32, h: i32) -> LayerPolygon {
+    LayerPolygon {
+        layer: i16::from(layer),
+        datatype: 0,
+        polygon: Polygon::rect(Rect::from_coords(x, y, x + w, y + h)),
+        name: None,
+    }
+}
+
+/// Three-level base design: TOP -> {MID, LEAF...}, MID -> LEAF.
+fn base_layout() -> Layout {
+    let mut lib = Library::new("mutation");
+    let mut leaf = Structure::new("LEAF");
+    leaf.elements.push(Element::boundary(
+        1,
+        vec![
+            Point::new(0, 0),
+            Point::new(0, 10),
+            Point::new(10, 10),
+            Point::new(10, 0),
+        ],
+    ));
+    lib.structures.push(leaf);
+    let mut mid = Structure::new("MID");
+    mid.elements.push(Element::sref("LEAF", Point::new(5, 5)));
+    mid.elements.push(Element::boundary(
+        2,
+        vec![
+            Point::new(0, 0),
+            Point::new(0, 30),
+            Point::new(30, 30),
+            Point::new(30, 0),
+        ],
+    ));
+    lib.structures.push(mid);
+    let mut top = Structure::new("TOP");
+    top.elements.push(Element::sref("MID", Point::new(0, 0)));
+    top.elements.push(Element::sref("LEAF", Point::new(100, 0)));
+    lib.structures.push(top);
+    Layout::from_library(&lib).unwrap()
+}
+
+/// Applies an op, mapping raw targets onto live entries. Returns
+/// whether the layout was actually mutated.
+fn apply_op(layout: &mut Layout, op: &Op) -> bool {
+    let ncells = layout.cell_count();
+    let cell_at = |i: usize| CellId::from_index(i % ncells);
+    match *op {
+        Op::AddRef {
+            parent,
+            child,
+            dx,
+            dy,
+            rot,
+            mirror,
+        } => {
+            let t = Transform::new(
+                mirror,
+                Rotation::from_quarter_turns(rot),
+                1,
+                Point::new(dx, dy),
+            );
+            // Cycles are a rejected input, not a mutation.
+            layout.add_ref(cell_at(parent), cell_at(child), t).is_ok()
+        }
+        Op::RemoveRef { parent, index } => {
+            let p = cell_at(parent);
+            let n = layout.cell(p).refs().len();
+            n > 0 && layout.remove_ref(p, index % n).is_ok()
+        }
+        Op::MoveRef {
+            parent,
+            index,
+            dx,
+            dy,
+        } => {
+            let p = cell_at(parent);
+            let n = layout.cell(p).refs().len();
+            n > 0
+                && layout
+                    .move_ref(p, index % n, Transform::translation(Point::new(dx, dy)))
+                    .is_ok()
+        }
+        Op::AddPolygon {
+            cell,
+            layer,
+            x,
+            y,
+            w,
+            h,
+        } => layout
+            .add_polygon(cell_at(cell), rect_poly(layer, x, y, w, h))
+            .is_ok(),
+        Op::RemovePolygon { cell, index } => {
+            let c = cell_at(cell);
+            let n = layout.cell(c).polygons().len();
+            n > 0 && layout.remove_polygon(c, index % n).is_ok()
+        }
+        Op::ReplacePolygon {
+            cell,
+            index,
+            layer,
+            x,
+            y,
+            w,
+            h,
+        } => {
+            let c = cell_at(cell);
+            let n = layout.cell(c).polygons().len();
+            n > 0
+                && layout
+                    .replace_polygon(c, index % n, rect_poly(layer, x, y, w, h))
+                    .is_ok()
+        }
+        Op::SwapDefinition {
+            cell,
+            layer,
+            x,
+            y,
+            w,
+            h,
+            keep_refs,
+        } => {
+            let c = cell_at(cell);
+            let refs: Vec<CellRef> = if keep_refs {
+                layout.cell(c).refs().to_vec()
+            } else {
+                Vec::new()
+            };
+            layout
+                .swap_cell_definition(c, vec![rect_poly(layer, x, y, w, h)], refs)
+                .is_ok()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn every_edit_matches_fresh_rebuild(
+        ops in proptest::collection::vec(arb_op(), 1..12),
+    ) {
+        let mut layout = base_layout();
+        for op in &ops {
+            apply_op(&mut layout, op);
+            let errors = layout.consistency_errors();
+            prop_assert!(
+                errors.is_empty(),
+                "after {:?}:\n{}",
+                op,
+                errors.join("\n")
+            );
+        }
+    }
+}
+
+#[test]
+fn base_layout_is_consistent() {
+    let layout = base_layout();
+    assert!(layout.consistency_errors().is_empty());
+}

@@ -3,14 +3,13 @@
 use std::fmt;
 
 use odrc_geometry::{Point, Rotation, Transform};
-use serde::{Deserialize, Serialize};
 
 /// Database units of a library.
 ///
 /// GDSII stores two reals: the size of a database unit in *user units*
 /// and in *meters*. The common convention (and this engine's default)
 /// is 1 dbu = 1 nm with user units of 1 µm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Units {
     /// Database unit in user units (e.g. `1e-3` for nm within µm).
     pub user_per_dbu: f64,
@@ -33,7 +32,7 @@ impl Default for Units {
 /// rectilinearity) happens when the library is imported into the layout
 /// database, not at parse time, so malformed input can still be
 /// inspected.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BoundaryElement {
     /// Layer number.
     pub layer: i16,
@@ -47,7 +46,7 @@ pub struct BoundaryElement {
 }
 
 /// A wire element (`PATH`): a centerline with a width.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathElement {
     /// Layer number.
     pub layer: i16,
@@ -65,7 +64,7 @@ pub struct PathElement {
 }
 
 /// A text label element (`TEXT`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TextElement {
     /// Layer number.
     pub layer: i16,
@@ -78,7 +77,7 @@ pub struct TextElement {
 }
 
 /// A structure reference (`SREF`) or array reference (`AREF`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RefElement {
     /// Name of the referenced structure.
     pub sname: String,
@@ -96,7 +95,7 @@ pub struct RefElement {
 }
 
 /// `AREF` array parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArrayParams {
     /// Number of columns (>= 1).
     pub cols: u16,
@@ -211,7 +210,7 @@ impl RefElement {
 }
 
 /// A structure element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Element {
     /// Polygon.
     Boundary(BoundaryElement),
@@ -241,7 +240,7 @@ impl Element {
 }
 
 /// A structure (cell): a named list of elements (§IV-A).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Structure {
     /// Structure name (unique within the library).
     pub name: String,
@@ -263,7 +262,7 @@ impl Structure {
 ///
 /// The *top* structures (not referenced by any other) are the layout
 /// roots; [`Library::top_structures`] finds them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Library {
     /// Library name.
     pub name: String,
@@ -394,7 +393,10 @@ mod tests {
     fn element_count_sums_structures() {
         let mut lib = Library::new("lib");
         let mut s = Structure::new("A");
-        s.elements.push(Element::boundary(1, vec![p(0, 0), p(0, 1), p(1, 1), p(1, 0)]));
+        s.elements.push(Element::boundary(
+            1,
+            vec![p(0, 0), p(0, 1), p(1, 1), p(1, 0)],
+        ));
         s.elements.push(Element::sref("B", p(0, 0)));
         lib.structures.push(s);
         lib.structures.push(Structure::new("B"));

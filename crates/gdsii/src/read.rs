@@ -149,7 +149,7 @@ struct RawRecord<'a> {
 
 impl<'a> RawRecord<'a> {
     fn i16s(&self) -> Result<Vec<i16>, ReadError> {
-        if self.data.len() % 2 != 0 {
+        if !self.data.len().is_multiple_of(2) {
             return Err(self.bad_len());
         }
         Ok(self
@@ -179,7 +179,7 @@ impl<'a> RawRecord<'a> {
     }
 
     fn reals(&self) -> Result<Vec<f64>, ReadError> {
-        if self.data.len() % 8 != 0 {
+        if !self.data.len().is_multiple_of(8) {
             return Err(self.bad_len());
         }
         Ok(self
@@ -200,7 +200,7 @@ impl<'a> RawRecord<'a> {
     }
 
     fn points(&self) -> Result<Vec<Point>, ReadError> {
-        if self.data.len() % 8 != 0 {
+        if !self.data.len().is_multiple_of(8) {
             return Err(self.bad_len());
         }
         Ok(self
@@ -263,7 +263,7 @@ impl<'a> Parser<'a> {
         }
         let start = self.offset;
         let len = u16::from_be_bytes([self.bytes[start], self.bytes[start + 1]]);
-        if len < 4 || len % 2 != 0 {
+        if len < 4 || !len.is_multiple_of(2) {
             return Err(ReadError::BadRecordLength { offset: start, len });
         }
         let end = start + usize::from(len);
@@ -271,11 +271,10 @@ impl<'a> Parser<'a> {
             return Err(ReadError::UnexpectedEof { offset: start });
         }
         let code = self.bytes[start + 2];
-        let rtype = RecordType::from_code(code)
-            .ok_or(ReadError::UnknownRecordType {
-                offset: start,
-                code,
-            })?;
+        let rtype = RecordType::from_code(code).ok_or(ReadError::UnknownRecordType {
+            offset: start,
+            code,
+        })?;
         self.offset = end;
         Ok(Some(RawRecord {
             offset: start,
@@ -288,14 +287,17 @@ impl<'a> Parser<'a> {
         self.next()?.ok_or(ReadError::MissingRecord { context })
     }
 
-    fn expect(&mut self, rtype: RecordType, context: &'static str) -> Result<RawRecord<'a>, ReadError> {
+    fn expect(
+        &mut self,
+        rtype: RecordType,
+        context: &'static str,
+    ) -> Result<RawRecord<'a>, ReadError> {
         let rec = self.next_required(context)?;
         if rec.rtype != rtype {
             return Err(rec.unexpected(context));
         }
         Ok(rec)
     }
-
 }
 
 /// Parses a GDSII stream from bytes.
@@ -507,7 +509,11 @@ fn parse_text(p: &mut Parser<'_>) -> Result<Element, ReadError> {
     }))
 }
 
-fn parse_ref(p: &mut Parser<'_>, is_array: bool, start_offset: usize) -> Result<Element, ReadError> {
+fn parse_ref(
+    p: &mut Parser<'_>,
+    is_array: bool,
+    start_offset: usize,
+) -> Result<Element, ReadError> {
     let rec = skip_optional_flags(p)?;
     if rec.rtype != RecordType::Sname {
         return Err(rec.unexpected("reading reference name"));
@@ -681,7 +687,10 @@ mod tests {
         let mut bytes = write(&sample_library()).unwrap();
         bytes[2] = 0xEE; // clobber HEADER's record type
         match read(&bytes).unwrap_err() {
-            ReadError::UnknownRecordType { offset: 0, code: 0xEE } => {}
+            ReadError::UnknownRecordType {
+                offset: 0,
+                code: 0xEE,
+            } => {}
             other => panic!("unexpected error {other:?}"),
         }
     }

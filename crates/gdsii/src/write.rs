@@ -33,7 +33,10 @@ impl fmt::Display for WriteError {
                 write!(f, "string of {len} bytes exceeds GDSII record capacity")
             }
             WriteError::TooManyPoints { count } => {
-                write!(f, "coordinate list of {count} points exceeds GDSII record capacity")
+                write!(
+                    f,
+                    "coordinate list of {count} points exceeds GDSII record capacity"
+                )
             }
             WriteError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -274,7 +277,7 @@ mod tests {
         let mut off = 0;
         while off < bytes.len() {
             let len = u16::from_be_bytes([bytes[off], bytes[off + 1]]) as usize;
-            assert!(len % 2 == 0 && len >= 4);
+            assert!(len.is_multiple_of(2) && len >= 4);
             off += len;
         }
         assert_eq!(off, bytes.len());

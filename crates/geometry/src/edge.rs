@@ -15,12 +15,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Coord, Interval, Point, Rect, WideCoord};
 
 /// Axis of an axis-aligned edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Orientation {
     /// The edge runs along the x-axis.
     Horizontal,
@@ -29,7 +27,7 @@ pub enum Orientation {
 }
 
 /// Direction of travel of an axis-aligned edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeDir {
     /// Travel towards `+y`.
     Up,
@@ -77,7 +75,7 @@ impl EdgeDir {
 /// // so this edge's interior is on the +x side.
 /// assert_eq!(e.interior_sign(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Edge {
     /// Start vertex.
     pub from: Point,
@@ -127,7 +125,9 @@ impl Edge {
         self.dir().orientation()
     }
 
-    /// Edge length in database units.
+    /// Edge length in database units (a geometric measure, not a
+    /// container size — zero-length edges are meaningful).
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub fn len(self) -> WideCoord {
         self.from.manhattan(self.to)

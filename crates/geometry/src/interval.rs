@@ -6,8 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::Coord;
 
 /// A closed interval `[lo, hi]` with `lo <= hi`.
@@ -23,7 +21,7 @@ use crate::Coord;
 /// assert_eq!(a.intersection(b), Some(Interval::new(5, 10)));
 /// assert_eq!(a.hull(b), Interval::new(0, 20));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Interval {
     lo: Coord,
     hi: Coord,

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Coord, WideCoord};
 
 /// A 2-D point (or vector) in database units.
@@ -20,7 +18,7 @@ use crate::{Coord, WideCoord};
 /// assert_eq!(a - b, Point::new(2, 3));
 /// assert_eq!(a.manhattan(b), 5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Point {
     /// Horizontal coordinate in database units.
     pub x: Coord,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Edge, Point, Rect, WideCoord};
 
 /// Error produced when validating polygon vertices.
@@ -38,7 +36,10 @@ impl fmt::Display for PolygonError {
                 write!(f, "polygon edge starting at vertex {index} has zero length")
             }
             PolygonError::NotRectilinear { index } => {
-                write!(f, "polygon edge starting at vertex {index} is not axis-aligned")
+                write!(
+                    f,
+                    "polygon edge starting at vertex {index} is not axis-aligned"
+                )
             }
             PolygonError::ZeroArea => write!(f, "polygon encloses zero area"),
         }
@@ -73,7 +74,7 @@ impl std::error::Error for PolygonError {}
 /// assert_eq!(poly.edges().count(), 6);
 /// # Ok::<(), odrc_geometry::PolygonError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Polygon {
     vertices: Vec<Point>,
 }
@@ -138,7 +139,10 @@ impl Polygon {
     ///
     /// Panics if `r` is degenerate (zero width or height).
     pub fn rect(r: Rect) -> Self {
-        assert!(!r.is_degenerate(), "cannot build a polygon from degenerate rect {r}");
+        assert!(
+            !r.is_degenerate(),
+            "cannot build a polygon from degenerate rect {r}"
+        );
         Polygon::new(r.corners().to_vec()).expect("rect corners form a valid polygon")
     }
 
@@ -205,8 +209,7 @@ impl Polygon {
 
     /// Minimum bounding rectangle.
     pub fn mbr(&self) -> Rect {
-        Rect::bounding(self.vertices.iter().copied())
-            .expect("polygon has at least four vertices")
+        Rect::bounding(self.vertices.iter().copied()).expect("polygon has at least four vertices")
     }
 
     /// Returns `true` if `p` lies inside the polygon or on its boundary.
@@ -383,15 +386,8 @@ mod tests {
 
     #[test]
     fn collinear_vertices_merged() {
-        let with_extra = Polygon::new(vec![
-            p(0, 0),
-            p(0, 2),
-            p(0, 5),
-            p(5, 5),
-            p(5, 0),
-            p(2, 0),
-        ])
-        .unwrap();
+        let with_extra =
+            Polygon::new(vec![p(0, 0), p(0, 2), p(0, 5), p(5, 5), p(5, 0), p(2, 0)]).unwrap();
         let plain = Polygon::new(vec![p(0, 0), p(0, 5), p(5, 5), p(5, 0)]).unwrap();
         assert_eq!(with_extra, plain);
     }
@@ -451,29 +447,28 @@ mod tests {
         // Build from a random set of x/y cut coordinates forming a
         // histogram-like shape above a baseline.
         (2usize..8, 1i32..20).prop_flat_map(|(cols, _)| {
-            proptest::collection::vec(1i32..20, cols)
-                .prop_map(move |raw| {
-                    // Force consecutive heights to differ so no vertical
-                    // step degenerates to a zero-length edge.
-                    let mut heights: Vec<i32> = Vec::with_capacity(raw.len());
-                    for h in raw {
-                        match heights.last() {
-                            Some(&prev) if prev == h => heights.push(h + 1),
-                            _ => heights.push(h),
-                        }
+            proptest::collection::vec(1i32..20, cols).prop_map(move |raw| {
+                // Force consecutive heights to differ so no vertical
+                // step degenerates to a zero-length edge.
+                let mut heights: Vec<i32> = Vec::with_capacity(raw.len());
+                for h in raw {
+                    match heights.last() {
+                        Some(&prev) if prev == h => heights.push(h + 1),
+                        _ => heights.push(h),
                     }
-                    let mut verts = vec![Point::new(0, 0)];
-                    let mut x = 0;
-                    for (i, h) in heights.iter().enumerate() {
-                        verts.push(Point::new(x, *h));
-                        x += 5;
-                        verts.push(Point::new(x, *h));
-                        if i + 1 == heights.len() {
-                            verts.push(Point::new(x, 0));
-                        }
+                }
+                let mut verts = vec![Point::new(0, 0)];
+                let mut x = 0;
+                for (i, h) in heights.iter().enumerate() {
+                    verts.push(Point::new(x, *h));
+                    x += 5;
+                    verts.push(Point::new(x, *h));
+                    if i + 1 == heights.len() {
+                        verts.push(Point::new(x, 0));
                     }
-                    Polygon::new(verts).unwrap()
-                })
+                }
+                Polygon::new(verts).unwrap()
+            })
         })
     }
 

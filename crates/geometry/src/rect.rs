@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Coord, Interval, Point, WideCoord};
 
 /// An axis-aligned rectangle, stored as its lower-left and upper-right
@@ -24,7 +22,7 @@ use crate::{Coord, Interval, Point, WideCoord};
 /// assert_eq!(a.intersection(b), Some(Rect::new(Point::new(5, 5), Point::new(10, 8))));
 /// assert_eq!(a.area(), 100);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Rect {
     lo: Point,
     hi: Point,
@@ -261,7 +259,10 @@ mod tests {
 
     #[test]
     fn spanning_normalizes() {
-        assert_eq!(Rect::spanning(Point::new(5, 1), Point::new(0, 9)), r(0, 1, 5, 9));
+        assert_eq!(
+            Rect::spanning(Point::new(5, 1), Point::new(0, 9)),
+            r(0, 1, 5, 9)
+        );
     }
 
     #[test]
@@ -296,7 +297,10 @@ mod tests {
     #[test]
     fn inflate_and_translate() {
         assert_eq!(r(0, 0, 4, 4).inflate(2), r(-2, -2, 6, 6));
-        assert_eq!(r(0, 0, 4, 4).translate(Point::new(10, -1)), r(10, -1, 14, 3));
+        assert_eq!(
+            r(0, 0, 4, 4).translate(Point::new(10, -1)),
+            r(10, -1, 14, 3)
+        );
     }
 
     #[test]

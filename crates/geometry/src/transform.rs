@@ -12,12 +12,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Point, Polygon, Rect};
 
 /// A counter-clockwise rotation by a multiple of 90°.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Rotation {
     /// No rotation.
     #[default]
@@ -59,7 +57,9 @@ impl Rotation {
     /// Composition `self` followed by `other`.
     #[inline]
     pub fn then(self, other: Rotation) -> Rotation {
-        Rotation::from_quarter_turns(i32::from(self.quarter_turns()) + i32::from(other.quarter_turns()))
+        Rotation::from_quarter_turns(
+            i32::from(self.quarter_turns()) + i32::from(other.quarter_turns()),
+        )
     }
 
     /// The inverse rotation.
@@ -92,7 +92,7 @@ impl Rotation {
 /// // (10, 5) --mirror-x--> (10, -5) --R90--> (5, 10) --translate--> (105, 10)
 /// assert_eq!(t.apply(Point::new(10, 5)), Point::new(105, 10));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Transform {
     mirror_x: bool,
     rotation: Rotation,
@@ -332,15 +332,8 @@ mod tests {
     }
 
     fn arb_transform() -> impl Strategy<Value = Transform> {
-        (
-            proptest::bool::ANY,
-            0i32..4,
-            -100i32..100,
-            -100i32..100,
-        )
-            .prop_map(|(m, r, x, y)| {
-                Transform::new(m, Rotation::from_quarter_turns(r), 1, p(x, y))
-            })
+        (proptest::bool::ANY, 0i32..4, -100i32..100, -100i32..100)
+            .prop_map(|(m, r, x, y)| Transform::new(m, Rotation::from_quarter_turns(r), 1, p(x, y)))
     }
 
     proptest! {

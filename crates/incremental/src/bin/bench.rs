@@ -1,0 +1,212 @@
+//! Warm-vs-cold incremental checking benchmark.
+//!
+//! Measures, on one generated design:
+//!
+//! * the cold full check (no cache),
+//! * a warm *full* re-check through the persistent result cache after
+//!   a single-polygon edit (what a fresh process with a sidecar cache
+//!   pays),
+//! * warm *delta* re-checks for growing edit sizes (what a live
+//!   session pays).
+//!
+//! ```text
+//! odrc-incr-bench [--design <tiny|aes|ethmac|ibex|jpeg|sha3|uart>]
+//!                 [--seed <n>] [--parallel] [--edits <k,k,...>]
+//! ```
+
+use std::time::Instant;
+
+use odrc::{rules::rule, Engine, ResultCache, RuleDeck};
+use odrc_db::Layout;
+use odrc_geometry::Point;
+use odrc_incremental::{EditOp, Session};
+use odrc_layoutgen::{generate_layout, tech, DesignSpec};
+
+fn deck() -> RuleDeck {
+    RuleDeck::new(vec![
+        rule()
+            .layer(tech::M1)
+            .space()
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.1"),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
+        rule()
+            .layer(tech::M3)
+            .space()
+            .greater_than(tech::M3_SPACE)
+            .named("M3.S.1"),
+        rule()
+            .layer(tech::M2)
+            .width()
+            .greater_than(tech::M2_WIDTH)
+            .named("M2.W.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V1_M2_ENCLOSURE)
+            .named("V1.M2.EN.1"),
+    ])
+}
+
+/// One-unit nudges of the first `k` distinct M2 leaf polygons.
+fn nudge_ops(layout: &Layout, k: usize) -> Vec<EditOp> {
+    layout
+        .layer_polygons(tech::M2)
+        .iter()
+        .take(k)
+        .map(|&(cell, index)| {
+            let mut polygon = layout.cell(cell).polygons()[index].clone();
+            polygon.polygon = polygon.polygon.translate(Point::new(1, 0));
+            EditOp::ReplacePolygon {
+                cell,
+                index,
+                polygon,
+            }
+        })
+        .collect()
+}
+
+fn engine(parallel: bool) -> Engine {
+    if parallel {
+        Engine::parallel()
+    } else {
+        Engine::sequential()
+    }
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let mut design = "tiny".to_owned();
+    let mut seed = 7u64;
+    let mut parallel = false;
+    let mut profile = false;
+    let mut edit_sizes = vec![1usize, 4, 16];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => profile = true,
+            "--design" => design = args.next().expect("--design needs a value"),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--parallel" => parallel = true,
+            "--edits" => {
+                edit_sizes = args
+                    .next()
+                    .expect("--edits needs a list")
+                    .split(',')
+                    .map(|s| s.parse().expect("--edits takes numbers"))
+                    .collect()
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let spec = if design == "tiny" {
+        DesignSpec::tiny(seed)
+    } else {
+        let mut s = DesignSpec::paper(&design).unwrap_or_else(|| {
+            eprintln!("unknown design: {design}");
+            std::process::exit(2);
+        });
+        s.seed = seed;
+        s
+    };
+    let layout = generate_layout(&spec);
+    let deck0 = deck();
+    let stats = layout.stats();
+    let flat: usize = stats
+        .per_layer
+        .iter()
+        .map(|l| l.instantiated_polygons)
+        .sum();
+    println!(
+        "design {design} seed {seed} ({} mode): {} cells, {} flat polygons, {} rules",
+        if parallel { "parallel" } else { "sequential" },
+        stats.cells,
+        flat,
+        deck0.rules().len()
+    );
+
+    // Cold: full check, empty cache.
+    let t = Instant::now();
+    let cold = engine(parallel).check(&layout, &deck0);
+    let t_cold = t.elapsed();
+    println!(
+        "cold full check:          {:>8.2} ms   ({} violations, computed {}, reused {})",
+        ms(t_cold),
+        cold.violations.len(),
+        cold.stats.checks_computed,
+        cold.stats.checks_reused
+    );
+    if profile {
+        println!("{}", cold.profile);
+    }
+
+    // Warm full re-check: prime a persistent cache on the pristine
+    // layout, edit one polygon, run the full deck through the cache —
+    // the cross-process path.
+    let mut cache = ResultCache::new();
+    engine(parallel).check_with_cache(&layout, &deck0, &mut cache);
+    let mut edited = layout.clone();
+    for op in nudge_ops(&layout, 1) {
+        if let EditOp::ReplacePolygon {
+            cell,
+            index,
+            polygon,
+        } = op
+        {
+            edited.replace_polygon(cell, index, polygon).unwrap();
+        }
+    }
+    let t = Instant::now();
+    let warm = engine(parallel).check_with_cache(&edited, &deck0, &mut cache);
+    let t_warm = t.elapsed();
+    println!(
+        "warm full check, 1 edit:  {:>8.2} ms   (computed {}, reused {})   speedup {:.1}x",
+        ms(t_warm),
+        warm.stats.checks_computed,
+        warm.stats.checks_reused,
+        ms(t_cold) / ms(t_warm).max(1e-6)
+    );
+
+    // Warm delta re-checks: a primed session, k edits, one check.
+    for &k in &edit_sizes {
+        let mut session = Session::new(layout.clone(), engine(parallel), deck());
+        session.check(); // prime the baseline (untimed)
+        session
+            .apply_all(nudge_ops(&layout, k))
+            .expect("nudges are valid edits");
+        let t = Instant::now();
+        let report = session.check();
+        let t_delta = t.elapsed();
+        println!(
+            "delta re-check, {:>2} edit{}: {:>8.2} ms   (computed {}, reused {}, {} dirty rects, +{} -{})   speedup {:.1}x",
+            k,
+            if k == 1 { " " } else { "s" },
+            ms(t_delta),
+            report.stats.checks_computed,
+            report.stats.checks_reused,
+            report.dirty.len(),
+            report.delta.added.len(),
+            report.delta.removed.len(),
+            ms(t_cold) / ms(t_delta).max(1e-6)
+        );
+        if profile {
+            println!("{}", report.profile);
+        }
+    }
+}

@@ -42,9 +42,9 @@ pub mod rtree;
 pub mod sweep;
 
 pub use interval_tree::IntervalTree;
+pub use partition::{partition_rows, Row, RowPartition};
+pub use profile::Profiler;
 pub use quadtree::QuadTree;
 pub use region::{BoolOp, Region};
 pub use rtree::RTree;
-pub use partition::{partition_rows, Row, RowPartition};
-pub use profile::Profiler;
 pub use sweep::sweep_overlaps;

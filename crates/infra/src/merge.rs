@@ -44,7 +44,10 @@ pub fn merge_pigeonhole(
     const EMPTY: usize = usize::MAX;
     let mut ends = vec![EMPTY; domain_size];
     for (l, r) in intervals {
-        assert!(l <= r && r < domain_size, "interval ({l}, {r}) out of domain {domain_size}");
+        assert!(
+            l <= r && r < domain_size,
+            "interval ({l}, {r}) out of domain {domain_size}"
+        );
         // A[l] <- max(A[l], r)
         if ends[l] == EMPTY || ends[l] < r {
             ends[l] = r;
@@ -93,7 +96,10 @@ pub fn merge_cover_pigeonhole(
     let mut a: Vec<usize> = (0..domain_size).collect();
     // Step 2: merge intervals.
     for (l, r) in intervals {
-        assert!(l <= r && r < domain_size, "interval ({l}, {r}) out of domain {domain_size}");
+        assert!(
+            l <= r && r < domain_size,
+            "interval ({l}, {r}) out of domain {domain_size}"
+        );
         a[l] = a[l].max(r);
     }
     // Step 3: scan to obtain the cover.
@@ -183,10 +189,7 @@ mod tests {
     #[test]
     fn later_interval_extends_earlier_run() {
         // A chain where the scan must propagate the running maximum.
-        assert_eq!(
-            merge_pigeonhole(10, [(0, 3), (1, 7), (6, 9)]),
-            vec![(0, 9)]
-        );
+        assert_eq!(merge_pigeonhole(10, [(0, 3), (1, 7), (6, 9)]), vec![(0, 9)]);
     }
 
     #[test]
@@ -206,7 +209,9 @@ mod tests {
 
     fn arb_intervals() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
         (4usize..60).prop_flat_map(|n| {
-            let iv = (0..n).prop_flat_map(move |l| (Just(l), l..n)).prop_map(|(l, r)| (l, r));
+            let iv = (0..n)
+                .prop_flat_map(move |l| (Just(l), l..n))
+                .prop_map(|(l, r)| (l, r));
             (Just(n), proptest::collection::vec(iv, 0..100))
         })
     }

@@ -9,12 +9,11 @@
 //! well").
 
 use odrc_geometry::{Coord, Interval, Rect};
-use serde::{Deserialize, Serialize};
 
 use crate::merge::merge_pigeonhole;
 
 /// One independent row of the partition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Row {
     /// Vertical extent of the row (inflated extents merged).
     pub y: Interval,
@@ -24,7 +23,7 @@ pub struct Row {
 }
 
 /// The result of the adaptive row partition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowPartition {
     rows: Vec<Row>,
 }
@@ -114,7 +113,12 @@ pub fn partition_clips(mbrs: &[Rect], members: &[usize], expand: Coord) -> Vec<V
         .collect();
     partition_intervals(&extents)
         .into_iter()
-        .map(|row| row.members.into_iter().map(|local| members[local]).collect())
+        .map(|row| {
+            row.members
+                .into_iter()
+                .map(|local| members[local])
+                .collect()
+        })
         .collect()
 }
 
@@ -133,7 +137,9 @@ fn partition_intervals(extents: &[Interval]) -> Vec<Row> {
     coords.sort_unstable();
     coords.dedup();
     let index_of = |c: Coord| -> usize {
-        coords.binary_search(&c).expect("coordinate was collected above")
+        coords
+            .binary_search(&c)
+            .expect("coordinate was collected above")
     };
 
     let merged = merge_pigeonhole(
@@ -229,11 +235,7 @@ mod tests {
 
     #[test]
     fn clips_within_row() {
-        let mbrs = [
-            r(0, 0, 10, 8),
-            r(12, 0, 20, 8),
-            r(100, 0, 110, 8),
-        ];
+        let mbrs = [r(0, 0, 10, 8), r(12, 0, 20, 8), r(100, 0, 110, 8)];
         let part = partition_rows(&mbrs, 0);
         assert_eq!(part.len(), 1);
         let clips = partition_clips(&mbrs, &part.rows()[0].members, 0);

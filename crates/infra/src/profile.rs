@@ -54,10 +54,7 @@ impl Profiler {
 
     /// The accumulated duration of one phase, if it was ever entered.
     pub fn phase(&self, name: &str) -> Option<Duration> {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| *d)
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
     }
 
     /// All phases in first-use order.
@@ -102,7 +99,11 @@ impl fmt::Display for Profiler {
             } else {
                 0.0
             };
-            writeln!(f, "{name:>24}: {:>10.3} ms ({pct:>5.1}%)", d.as_secs_f64() * 1e3)?;
+            writeln!(
+                f,
+                "{name:>24}: {:>10.3} ms ({pct:>5.1}%)",
+                d.as_secs_f64() * 1e3
+            )?;
         }
         writeln!(f, "{:>24}: {:>10.3} ms", "total", total * 1e3)
     }

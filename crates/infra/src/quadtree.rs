@@ -211,7 +211,14 @@ mod tests {
     #[test]
     fn splits_under_load() {
         let rects: Vec<Rect> = (0..200)
-            .map(|i| r((i % 20) * 10, (i / 20) * 10, (i % 20) * 10 + 4, (i / 20) * 10 + 4))
+            .map(|i| {
+                r(
+                    (i % 20) * 10,
+                    (i / 20) * 10,
+                    (i % 20) * 10 + 4,
+                    (i / 20) * 10 + 4,
+                )
+            })
             .collect();
         let t = QuadTree::build(&rects);
         assert!(t.depth() > 1, "tree should have split");

@@ -198,10 +198,7 @@ impl Region {
             let root = find(&mut parent, i);
             groups.entry(root).or_default().push(self.rects[i]);
         }
-        groups
-            .into_values()
-            .map(|rects| Region { rects })
-            .collect()
+        groups.into_values().map(|rects| Region { rects }).collect()
     }
 }
 

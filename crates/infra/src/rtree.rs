@@ -64,8 +64,12 @@ impl RTree {
         if rects.is_empty() {
             return RTree { root: None, len: 0 };
         }
-        let mut entries: Vec<(Rect, usize)> =
-            rects.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+        let mut entries: Vec<(Rect, usize)> = rects
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, r)| (r, i))
+            .collect();
         // STR: slice count s = ceil(sqrt(n / fanout)).
         let leaves = build_leaves(&mut entries);
         let root = build_upward(leaves);

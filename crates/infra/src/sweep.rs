@@ -135,11 +135,20 @@ mod tests {
     #[test]
     fn touching_edges_count() {
         // Horizontal touch.
-        assert_eq!(sweep_overlap_pairs(&[r(0, 0, 5, 5), r(5, 0, 10, 5)]), vec![(0, 1)]);
+        assert_eq!(
+            sweep_overlap_pairs(&[r(0, 0, 5, 5), r(5, 0, 10, 5)]),
+            vec![(0, 1)]
+        );
         // Vertical touch (same sweep y for bottom of one, top of other).
-        assert_eq!(sweep_overlap_pairs(&[r(0, 0, 5, 5), r(0, 5, 5, 10)]), vec![(0, 1)]);
+        assert_eq!(
+            sweep_overlap_pairs(&[r(0, 0, 5, 5), r(0, 5, 5, 10)]),
+            vec![(0, 1)]
+        );
         // Corner touch.
-        assert_eq!(sweep_overlap_pairs(&[r(0, 0, 5, 5), r(5, 5, 10, 10)]), vec![(0, 1)]);
+        assert_eq!(
+            sweep_overlap_pairs(&[r(0, 0, 5, 5), r(5, 5, 10, 10)]),
+            vec![(0, 1)]
+        );
     }
 
     #[test]
@@ -151,10 +160,7 @@ mod tests {
     #[test]
     fn identical_rects() {
         let rects = [r(0, 0, 5, 5), r(0, 0, 5, 5), r(0, 0, 5, 5)];
-        assert_eq!(
-            sweep_overlap_pairs(&rects),
-            vec![(0, 1), (0, 2), (1, 2)]
-        );
+        assert_eq!(sweep_overlap_pairs(&rects), vec![(0, 1), (0, 2), (1, 2)]);
     }
 
     #[test]

@@ -65,11 +65,21 @@ fn build_cell(name: &str, sites: i32, l_mask: u32) -> CellKind {
             // the row) fully via-landable on both segments.
             structure.elements.push(Element::boundary(
                 tech::M1,
-                rect_points(Rect::from_coords(xc - half_bar, y_lo, xc + half_bar, y_lo + 96)),
+                rect_points(Rect::from_coords(
+                    xc - half_bar,
+                    y_lo,
+                    xc + half_bar,
+                    y_lo + 96,
+                )),
             ));
             structure.elements.push(Element::boundary(
                 tech::M1,
-                rect_points(Rect::from_coords(xc - half_bar, y_lo + 114, xc + half_bar, y_hi)),
+                rect_points(Rect::from_coords(
+                    xc - half_bar,
+                    y_lo + 114,
+                    xc + half_bar,
+                    y_hi,
+                )),
             ));
         } else {
             structure.elements.push(Element::boundary(
@@ -155,7 +165,10 @@ mod tests {
         assert_eq!(lib.len(), CLEAN_KINDS + 2);
         for kind in &lib {
             assert!(kind.sites >= 1);
-            assert_eq!(kind.pin_xs.len() as i32, i32::min(kind.sites, kind.pin_xs.len() as i32));
+            assert_eq!(
+                kind.pin_xs.len() as i32,
+                i32::min(kind.sites, kind.pin_xs.len() as i32)
+            );
             assert!(!kind.structure.elements.is_empty());
         }
     }
@@ -201,7 +214,9 @@ mod tests {
         for kind in library().iter().take(CLEAN_KINDS) {
             for &x in &kind.pin_xs {
                 let covered = kind.structure.elements.iter().any(|e| {
-                    let Element::Boundary(b) = e else { return false };
+                    let Element::Boundary(b) = e else {
+                        return false;
+                    };
                     let poly = odrc_geometry::Polygon::new(b.points.clone()).unwrap();
                     let mbr = poly.mbr();
                     mbr.lo().x <= x && x <= mbr.hi().x
@@ -222,7 +237,9 @@ mod tests {
                     let need_lo = track - tech::V1_SIZE / 2 - tech::V1_M1_ENCLOSURE as i32;
                     let need_hi = track + tech::V1_SIZE / 2 + tech::V1_M1_ENCLOSURE as i32;
                     let landable = kind.structure.elements.iter().any(|e| {
-                        let Element::Boundary(b) = e else { return false };
+                        let Element::Boundary(b) = e else {
+                            return false;
+                        };
                         let poly = odrc_geometry::Polygon::new(b.points.clone()).unwrap();
                         let mbr = poly.mbr();
                         mbr.lo().x <= x
@@ -230,7 +247,11 @@ mod tests {
                             && mbr.lo().y <= need_lo
                             && need_hi <= mbr.hi().y
                     });
-                    assert!(landable, "{}: track {track} at pin {x} not landable", kind.name);
+                    assert!(
+                        landable,
+                        "{}: track {track} at pin {x} not landable",
+                        kind.name
+                    );
                 }
             }
         }

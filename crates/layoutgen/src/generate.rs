@@ -57,7 +57,10 @@ impl DesignSpec {
             m2_wires_per_row: m2,
             m3_wires: m3,
             violation_rate: 0.02,
-            seed: 0xD5C0_0000 ^ name.bytes().fold(0u64, |a, b| a.wrapping_mul(31) + u64::from(b)),
+            seed: 0xD5C0_0000
+                ^ name
+                    .bytes()
+                    .fold(0u64, |a, b| a.wrapping_mul(31) + u64::from(b)),
         })
     }
 
@@ -141,7 +144,7 @@ pub fn generate(spec: &DesignSpec) -> Generated {
     // --- Placement -------------------------------------------------
     // placements[row] = (kind index, origin x) for via landing.
     let mut placements: Vec<Vec<(usize, i32)>> = vec![Vec::new(); spec.rows];
-    for row in 0..spec.rows {
+    for (row, row_placements) in placements.iter_mut().enumerate() {
         let row_y = row as i32 * tech::ROW_HEIGHT;
         let mirrored = row % 2 == 1;
         let mut site = 0i32;
@@ -169,7 +172,7 @@ pub fn generate(spec: &DesignSpec) -> Generated {
                 r.origin = Point::new(x, row_y + tech::ROW_HEIGHT);
             }
             top.elements.push(Element::Ref(r));
-            placements[row].push((kind_idx, x));
+            row_placements.push((kind_idx, x));
             site += kind.sites;
             // Occasional placement gap.
             if rng.gen_bool(0.2) {
@@ -200,7 +203,7 @@ pub fn generate(spec: &DesignSpec) -> Generated {
     // wires[row] = (track index, x0, x1, y_center)
     let mut m2_wires: Vec<Vec<(i32, i32, i32)>> = vec![Vec::new(); spec.rows];
     let tracks = 4i32;
-    for row in 0..spec.rows {
+    for (row, row_wires) in m2_wires.iter_mut().enumerate() {
         let row_y = row as i32 * tech::ROW_HEIGHT;
         let mut made = 0usize;
         'tracks: for t in 0..tracks {
@@ -210,7 +213,7 @@ pub fn generate(spec: &DesignSpec) -> Generated {
                 if made >= spec.m2_wires_per_row {
                     break 'tracks;
                 }
-                let len = rng.gen_range(300..1500).min(die_w - 40 - cursor);
+                let len = rng.gen_range(300i32..1500).min(die_w - 40 - cursor);
                 let (x0, x1) = (cursor, cursor + len);
                 let half = tech::M2_WIRE_WIDTH / 2;
                 // Occasionally inject a violation instead of a clean wire.
@@ -248,7 +251,7 @@ pub fn generate(spec: &DesignSpec) -> Generated {
                         &format!("net{net}"),
                     );
                 }
-                m2_wires[row].push((x0, x1, y_c));
+                row_wires.push((x0, x1, y_c));
                 net += 1;
                 made += 1;
                 cursor = x1 + rng.gen_range(60..400);
@@ -333,8 +336,8 @@ pub fn generate(spec: &DesignSpec) -> Generated {
     }
 
     // --- V2 vias (M2 wire <-> M3 wire crossings) ----------------------
-    for row in 0..spec.rows {
-        for &(x0, x1, y_c) in &m2_wires[row] {
+    for row_wires in &m2_wires {
+        for &(x0, x1, y_c) in row_wires {
             for &(x_c, m3_y0, m3_y1) in &m3_wires_placed {
                 if x_c - 40 < x0 || x_c + 40 > x1 {
                     continue;
@@ -376,7 +379,8 @@ pub fn generate(spec: &DesignSpec) -> Generated {
             _ => None,
         })
         .collect();
-    lib.structures.retain(|s| referenced.contains(s.name.as_str()));
+    lib.structures
+        .retain(|s| referenced.contains(s.name.as_str()));
     lib.structures.push(top);
     Generated {
         library: lib,
@@ -397,7 +401,8 @@ pub fn generate_layout(spec: &DesignSpec) -> Layout {
 }
 
 fn push_rect(top: &mut Structure, layer: odrc_db::Layer, r: Rect) {
-    top.elements.push(Element::boundary(layer, r.corners().to_vec()));
+    top.elements
+        .push(Element::boundary(layer, r.corners().to_vec()));
 }
 
 fn push_named_rect(top: &mut Structure, layer: odrc_db::Layer, r: Rect, name: &str) {
@@ -458,7 +463,10 @@ mod tests {
         let ethmac = DesignSpec::paper("ethmac").unwrap();
         let jpeg = DesignSpec::paper("jpeg").unwrap();
         assert!(uart.rows < ethmac.rows);
-        assert!(jpeg.m3_wires > ethmac.m3_wires, "jpeg is the M3-heavy design");
+        assert!(
+            jpeg.m3_wires > ethmac.m3_wires,
+            "jpeg is the M3-heavy design"
+        );
         assert!(DesignSpec::paper("unknown").is_none());
         assert_eq!(DesignSpec::all_paper().len(), 6);
     }

@@ -36,7 +36,11 @@ fn designs_have_hierarchy_worth_reusing() {
     // paper's §IV-C exploits.
     let layout = generate_layout(&DesignSpec::paper("uart").expect("known design"));
     let stats = layout.stats();
-    assert!(stats.top_placements > 500, "{} placements", stats.top_placements);
+    assert!(
+        stats.top_placements > 500,
+        "{} placements",
+        stats.top_placements
+    );
     assert!(stats.cells <= 10, "{} cell kinds", stats.cells);
     let m1 = stats
         .per_layer

@@ -85,7 +85,7 @@ mod tests {
     #[test]
     fn sequenced_policy_has_no_device() {
         let p = SequencedPolicy;
-        assert!(!SequencedPolicy::IS_DEVICE);
+        const { assert!(!SequencedPolicy::IS_DEVICE) }
         assert!(p.device().is_none());
         assert!(p.stream().is_none());
     }
@@ -95,7 +95,7 @@ mod tests {
         let device = Device::new(2);
         let stream = device.stream();
         let p = StreamPolicy::new(&stream);
-        assert!(StreamPolicy::IS_DEVICE);
+        const { assert!(StreamPolicy::IS_DEVICE) }
         assert_eq!(p.device().unwrap().workers(), 2);
         assert!(p.stream().is_some());
     }

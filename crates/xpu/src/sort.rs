@@ -35,7 +35,7 @@ where
         return;
     }
     if workers == 1 || n < 4096 {
-        data.sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+        data.sort_unstable_by_key(|a| key(a));
         return;
     }
     device.stats().record_launch(n);
@@ -45,7 +45,7 @@ where
     std::thread::scope(|scope| {
         let key = &key;
         for part in data.chunks_mut(chunk) {
-            scope.spawn(move || part.sort_unstable_by(|a, b| key(a).cmp(&key(b))));
+            scope.spawn(move || part.sort_unstable_by_key(|a| key(a)));
         }
     });
 

@@ -21,30 +21,46 @@ fn main() {
             .polygons()
             .ensures("named-nets", |p| p.name.is_some()),
         // Vias must be exactly square.
-        rule().layer(tech::V1).polygons().ensures("square-vias", |p| {
-            let m = p.polygon.mbr();
-            m.width() == m.height()
-        }),
+        rule()
+            .layer(tech::V1)
+            .polygons()
+            .ensures("square-vias", |p| {
+                let m = p.polygon.mbr();
+                m.width() == m.height()
+            }),
         // No metal-2 sliver shorter than 100 dbu.
-        rule().layer(tech::M2).polygons().ensures("no-slivers", |p| {
-            let m = p.polygon.mbr();
-            m.width().max(m.height()) >= 100
-        }),
+        rule()
+            .layer(tech::M2)
+            .polygons()
+            .ensures("no-slivers", |p| {
+                let m = p.polygon.mbr();
+                m.width().max(m.height()) >= 100
+            }),
         // A conventional spacing rule for comparison.
-        rule().layer(tech::M1).space().greater_than(tech::M1_SPACE).named("M1.S.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.1"),
     ]);
 
     let report = Engine::sequential().check(&layout, &deck);
     println!("violations with custom rules: {}", report.violations.len());
     for r in deck.rules() {
-        println!("  {:<24} {:>6}", r.name, report.violations_of(&r.name).count());
+        println!(
+            "  {:<24} {:>6}",
+            r.name,
+            report.violations_of(&r.name).count()
+        );
     }
 
     // Ablations: the same deck with the paper's optimizations disabled.
     println!("\nablation timings (sequential M1 spacing):");
-    let space_only = RuleDeck::new(vec![
-        rule().layer(tech::M1).space().greater_than(tech::M1_SPACE).named("M1.S.1"),
-    ]);
+    let space_only = RuleDeck::new(vec![rule()
+        .layer(tech::M1)
+        .space()
+        .greater_than(tech::M1_SPACE)
+        .named("M1.S.1")]);
     let variants: [(&str, EngineOptions); 3] = [
         ("baseline (partition + pruning)", EngineOptions::default()),
         (
@@ -65,7 +81,9 @@ fn main() {
     let mut reference = None;
     for (label, opts) in variants {
         let t = Instant::now();
-        let r = Engine::sequential().with_options(opts).check(&layout, &space_only);
+        let r = Engine::sequential()
+            .with_options(opts)
+            .check(&layout, &space_only);
         let dt = t.elapsed();
         println!(
             "  {:<32} {:>8.3} ms  ({} computed, {} reused, {} rows)",

@@ -8,7 +8,9 @@
 
 use odrc_db::Layout;
 use odrc_gdsii::model::ArrayParams;
-use odrc_gdsii::{BoundaryElement, Element, Library, PathElement, RefElement, Structure, TextElement};
+use odrc_gdsii::{
+    BoundaryElement, Element, Library, PathElement, RefElement, Structure, TextElement,
+};
 use odrc_geometry::{Point, Rect};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         datatype: 0,
         path_type: 2,
         width: 24,
-        points: vec![Point::new(0, 600), Point::new(400, 600), Point::new(400, 900)],
+        points: vec![
+            Point::new(0, 600),
+            Point::new(400, 600),
+            Point::new(400, 900),
+        ],
         properties: vec![(1, "net0".to_owned())],
     }));
     top.elements.push(Element::Text(TextElement {
@@ -73,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let size = std::fs::metadata(&path)?.len();
     let back = odrc_gdsii::read_file(&path)?;
     assert_eq!(back, lib, "GDSII round-trip must be exact");
-    println!("wrote and re-read {} ({size} bytes): exact match", path.display());
+    println!(
+        "wrote and re-read {} ({size} bytes): exact match",
+        path.display()
+    );
 
     // Import into the layout database and query it.
     let layout = Layout::from_library(&back)?;

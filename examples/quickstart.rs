@@ -35,13 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     deck.add_rules([
         rule().polygons().is_rectilinear(),
         rule().layer(19).width().greater_than(18).named("M1.W.1"),
+        rule().layer(20).polygons().ensures("non-empty-name", |p| {
+            p.name.map(|n| !n.is_empty()).unwrap_or(false)
+        }),
         rule()
-            .layer(20)
-            .polygons()
-            .ensures("non-empty-name", |p| {
-                p.name.map(|n| !n.is_empty()).unwrap_or(false)
-            }),
-        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
     ]);
 
     let report = Engine::sequential().check(&layout, &deck);

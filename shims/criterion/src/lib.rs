@@ -1,0 +1,264 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the API subset its benches use: `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!`
+//! macros. Like upstream, running without a `--bench` argument (as
+//! `cargo test` does for `harness = false` bench targets) executes each
+//! benchmark body exactly once as a smoke test; `cargo bench` passes
+//! `--bench` and gets simple wall-clock sampling with a mean/min/max
+//! report — no statistics machinery, no HTML output.
+
+// Vendored offline stand-in; exempt from the workspace lint gate.
+#![allow(clippy::all)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark label: `BenchmarkId::new(function, parameter)`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id rendered as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// `true` when invoked under `--bench` (sampling mode).
+    sampling: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Collected per-iteration times, nanoseconds.
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine`, once in test mode or repeatedly in bench mode.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if !self.sampling {
+            black_box(routine());
+            return;
+        }
+        // Warm-up iteration, not recorded.
+        black_box(routine());
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed().as_nanos());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks with shared sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no separate
+    /// warm-up phase beyond one untimed iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the total sampling time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sampling: self.criterion.sampling,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sampling: self.criterion.sampling,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        if !self.criterion.sampling {
+            println!("test {}/{} ... ok", self.name, id.label);
+            return;
+        }
+        let n = b.samples.len().max(1) as u128;
+        let sum: u128 = b.samples.iter().sum();
+        let mean = sum / n;
+        let min = b.samples.iter().min().copied().unwrap_or(0);
+        let max = b.samples.iter().max().copied().unwrap_or(0);
+        println!(
+            "{}/{}: mean {} (min {}, max {}, {} samples)",
+            self.name,
+            id.label,
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            b.samples.len()
+        );
+    }
+
+    /// Ends the group (no-op; printed incrementally).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sampling: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the process arguments the way upstream does: `--bench`
+    /// selects sampling mode, anything else (e.g. `cargo test`) gets
+    /// the run-once smoke-test mode.
+    fn default() -> Self {
+        let sampling = std::env::args().any(|a| a == "--bench");
+        Criterion { sampling }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            criterion: self,
+        }
+    }
+}
+
+/// Bundles bench functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { sampling: false };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("one", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn sampling_mode_collects_samples() {
+        let mut c = Criterion { sampling: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_secs(1));
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            b.iter(|| runs += x)
+        });
+        group.finish();
+        // 1 warm-up + up to 5 samples, each adding 3.
+        assert!(runs >= 6 && runs <= 18, "runs = {runs}");
+    }
+}

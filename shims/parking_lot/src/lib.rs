@@ -1,0 +1,162 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the small API subset it uses, implemented on top of
+//! `std::sync`. Semantics match `parking_lot` for non-poisoned use:
+//! guards are returned directly (no `Result`), and a panic while a lock
+//! is held makes later acquisitions panic too (poisoning is treated as
+//! a bug rather than recoverable state).
+
+// Vendored offline stand-in; exempt from the workspace lint gate.
+#![allow(clippy::all)]
+
+use std::sync;
+
+/// A mutex whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned")
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned")
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.0.try_lock().ok()
+    }
+
+    /// Returns a mutable reference to the underlying data.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().expect("mutex poisoned")
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing the guard while waiting.
+    ///
+    /// Unlike `std`, the guard is updated in place (parking_lot style).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Move the guard out, wait, move the re-acquired guard back in.
+        replace_with(guard, |g| self.0.wait(g).expect("mutex poisoned"));
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// Replaces `*slot` with `f(old)`, aborting on panic in `f` (cannot
+/// leave the slot logically uninitialized).
+fn replace_with<T, F: FnOnce(T) -> T>(slot: &mut T, f: F) {
+    unsafe {
+        let old = std::ptr::read(slot);
+        let new = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(old))) {
+            Ok(new) => new,
+            Err(_) => std::process::abort(),
+        };
+        std::ptr::write(slot, new);
+    }
+}
+
+/// A reader-writer lock whose `read`/`write` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("rwlock poisoned")
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().expect("rwlock poisoned")
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().expect("rwlock poisoned")
+    }
+
+    /// Returns a mutable reference to the underlying data.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().expect("rwlock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, c) = &*p2;
+            *m.lock() = true;
+            c.notify_all();
+        });
+        let (m, c) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            c.wait(&mut done);
+        }
+        drop(done);
+        t.join().unwrap();
+        assert!(*m.lock());
+    }
+
+    #[test]
+    fn rwlock_shared_and_exclusive() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        assert_eq!(l.read().len(), 3);
+        l.write().push(4);
+        assert_eq!(*l.read(), vec![1, 2, 3, 4]);
+    }
+}

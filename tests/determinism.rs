@@ -7,10 +7,26 @@ use odrc_xpu::Device;
 
 fn deck() -> RuleDeck {
     RuleDeck::new(vec![
-        rule().layer(tech::M1).space().greater_than(tech::M1_SPACE).named("M1.S.1"),
-        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
-        rule().layer(tech::M1).width().greater_than(tech::M1_WIDTH).named("M1.W.1"),
-        rule().layer(tech::V1).enclosed_by(tech::M2).greater_than(tech::V1_M2_ENCLOSURE).named("V1.M2.EN.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.1"),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
+        rule()
+            .layer(tech::M1)
+            .width()
+            .greater_than(tech::M1_WIDTH)
+            .named("M1.W.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V1_M2_ENCLOSURE)
+            .named("V1.M2.EN.1"),
     ])
 }
 
@@ -54,7 +70,10 @@ fn violation_order_is_canonical() {
     let mut sorted = report.violations.clone();
     sorted.sort();
     sorted.dedup();
-    assert_eq!(report.violations, sorted, "reports are sorted and deduplicated");
+    assert_eq!(
+        report.violations, sorted,
+        "reports are sorted and deduplicated"
+    );
 }
 
 #[test]

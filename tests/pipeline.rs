@@ -10,17 +10,61 @@ use odrc_xpu::Device;
 
 fn full_deck() -> RuleDeck {
     RuleDeck::new(vec![
-        rule().layer(tech::M1).width().greater_than(tech::M1_WIDTH).named("M1.W.1"),
-        rule().layer(tech::M2).width().greater_than(tech::M2_WIDTH).named("M2.W.1"),
-        rule().layer(tech::M3).width().greater_than(tech::M3_WIDTH).named("M3.W.1"),
-        rule().layer(tech::M1).area().greater_than(tech::M1_AREA).named("M1.A.1"),
-        rule().layer(tech::M1).space().greater_than(tech::M1_SPACE).named("M1.S.1"),
-        rule().layer(tech::M2).space().greater_than(tech::M2_SPACE).named("M2.S.1"),
-        rule().layer(tech::M3).space().greater_than(tech::M3_SPACE).named("M3.S.1"),
-        rule().layer(tech::V1).enclosed_by(tech::M1).greater_than(tech::V1_M1_ENCLOSURE).named("V1.M1.EN.1"),
-        rule().layer(tech::V1).enclosed_by(tech::M2).greater_than(tech::V1_M2_ENCLOSURE).named("V1.M2.EN.1"),
-        rule().layer(tech::V2).enclosed_by(tech::M2).greater_than(tech::V2_M2_ENCLOSURE).named("V2.M2.EN.1"),
-        rule().layer(tech::V2).enclosed_by(tech::M3).greater_than(tech::V2_M3_ENCLOSURE).named("V2.M3.EN.1"),
+        rule()
+            .layer(tech::M1)
+            .width()
+            .greater_than(tech::M1_WIDTH)
+            .named("M1.W.1"),
+        rule()
+            .layer(tech::M2)
+            .width()
+            .greater_than(tech::M2_WIDTH)
+            .named("M2.W.1"),
+        rule()
+            .layer(tech::M3)
+            .width()
+            .greater_than(tech::M3_WIDTH)
+            .named("M3.W.1"),
+        rule()
+            .layer(tech::M1)
+            .area()
+            .greater_than(tech::M1_AREA)
+            .named("M1.A.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.1"),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
+        rule()
+            .layer(tech::M3)
+            .space()
+            .greater_than(tech::M3_SPACE)
+            .named("M3.S.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M1)
+            .greater_than(tech::V1_M1_ENCLOSURE)
+            .named("V1.M1.EN.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V1_M2_ENCLOSURE)
+            .named("V1.M2.EN.1"),
+        rule()
+            .layer(tech::V2)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V2_M2_ENCLOSURE)
+            .named("V2.M2.EN.1"),
+        rule()
+            .layer(tech::V2)
+            .enclosed_by(tech::M3)
+            .greater_than(tech::V2_M3_ENCLOSURE)
+            .named("V2.M3.EN.1"),
     ])
 }
 
@@ -103,5 +147,9 @@ fn clean_paper_design_is_clean() {
     spec.violation_rate = 0.0;
     let layout = odrc_layoutgen::generate_layout(&spec);
     let report = Engine::sequential().check(&layout, &full_deck());
-    assert_eq!(report.violations, vec![], "clean design must pass the full deck");
+    assert_eq!(
+        report.violations,
+        vec![],
+        "clean design must pass the full deck"
+    );
 }
