@@ -14,4 +14,11 @@ echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "== fault-injection suite (seeded FaultPlan matrix)"
+# The device fault paths and the engine's graceful-degradation
+# machinery, including the 100-seed schedule matrix over the paper's
+# uart and aes layouts (release mode keeps the matrix fast).
+cargo test -q --release -p odrc-xpu --test faults
+cargo test -q --release -p odrc --test fault_injection
+
 echo "== ci.sh: all green"

@@ -3,7 +3,7 @@
 //! ```text
 //! odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N]
 //!      [--cache <dir>] [--stats-json <file>] [--report out.csv]
-//!      [--markers out.gds]
+//!      [--markers out.gds] [--device-budget BYTES] [--fault-seed N]
 //! odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel]
 //!      [--cache <dir>] [--max-print N]
 //! ```
@@ -18,12 +18,39 @@
 //! `odrc diff` checks `old.gds`, delta-checks `new.gds` against it,
 //! and prints the violations the edit added and removed. It exits 0
 //! when the edit added no violations, non-zero otherwise.
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | clean: no violations, no degradation |
+//! | 1    | violations found (the check itself completed) |
+//! | 2    | hard error: bad usage, unreadable layout/deck, I/O failure |
+//! | 3    | degraded but complete: no violations, but some device work |
+//! |      | was retried or recomputed on the host (see `--fault-seed`) |
+//!
+//! Violations take precedence over degradation: a degraded run that
+//! found violations exits 1 (the summary still reports the retries).
+//!
+//! # Fault injection
+//!
+//! `--fault-seed N` (parallel mode) installs a deterministic fault
+//! schedule derived from seed `N` on the simulated device — injected
+//! OOMs, kernel panics, transfer failures, and stream stalls — to
+//! exercise the retry/fallback machinery reproducibly. `--device-budget
+//! BYTES` bounds the stream-ordered allocator, making genuine OOM
+//! degradation observable on real layouts.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use odrc::{parse_deck, CheckReport, Engine, ResultCache, RuleDeck, CACHE_FILE};
 use odrc_db::Layout;
+use odrc_xpu::{Device, FaultPlan};
+
+/// Faults drawn from `--fault-seed` (kept fixed so a seed alone
+/// reproduces the schedule).
+const FAULTS_PER_SEED: usize = 8;
 
 struct Args {
     layout: String,
@@ -35,14 +62,24 @@ struct Args {
     markers: Option<String>,
     cache: Option<String>,
     stats_json: Option<String>,
+    fault_seed: Option<u64>,
+    device_budget: Option<usize>,
+}
+
+/// What a completed run reports back to `main` for the exit code.
+struct Outcome {
+    violations: usize,
+    degraded: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N] \
-         [--cache dir] [--stats-json out.json] [--report out.csv] [--markers out.gds]\n\
+         [--cache dir] [--stats-json out.json] [--report out.csv] [--markers out.gds] \
+         [--device-budget BYTES] [--fault-seed N]\n\
          \u{20}      odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel] \
-         [--cache dir] [--max-print N]"
+         [--cache dir] [--max-print N]\n\
+         exit codes: 0 clean, 1 violations found, 2 hard error, 3 degraded but clean"
     );
     std::process::exit(2);
 }
@@ -56,6 +93,8 @@ fn parse_args() -> Args {
     let mut markers = None;
     let mut cache = None;
     let mut stats_json = None;
+    let mut fault_seed = None;
+    let mut device_budget = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let diff_mode = argv.first().is_some_and(|a| a == "diff");
     let mut i = usize::from(diff_mode);
@@ -107,6 +146,20 @@ fn parse_args() -> Args {
                 max_print = argv[i + 1].parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--fault-seed" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                fault_seed = Some(argv[i + 1].parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--device-budget" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                device_budget = Some(argv[i + 1].parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => {
                 positional.push(other.to_owned());
@@ -134,6 +187,8 @@ fn parse_args() -> Args {
         markers,
         cache,
         stats_json,
+        fault_seed,
+        device_budget,
     }
 }
 
@@ -178,6 +233,13 @@ fn write_stats_json(path: &str, report: &CheckReport) -> std::io::Result<()> {
         report.stats.candidate_pairs
     )?;
     writeln!(f, "  \"rows\": {},", report.stats.rows)?;
+    writeln!(f, "  \"device_retries\": {},", report.stats.device_retries)?;
+    writeln!(
+        f,
+        "  \"device_fallbacks\": {},",
+        report.stats.device_fallbacks
+    )?;
+    writeln!(f, "  \"degraded\": {},", report.stats.degraded())?;
     writeln!(
         f,
         "  \"total_ms\": {:.3},",
@@ -217,12 +279,12 @@ fn load_layout(path: &str) -> Result<Layout, Box<dyn std::error::Error>> {
     Ok(layout)
 }
 
-fn load_cache(dir: &str) -> Result<ResultCache, Box<dyn std::error::Error>> {
-    let cache = ResultCache::load(&Path::new(dir).join(CACHE_FILE))?;
+fn load_cache(dir: &str) -> ResultCache {
+    let cache = ResultCache::load_or_cold(&Path::new(dir).join(CACHE_FILE));
     if !cache.is_empty() {
         eprintln!("loaded {} cached results from {dir}", cache.len());
     }
-    Ok(cache)
+    cache
 }
 
 fn save_cache(dir: &str, cache: &ResultCache) -> Result<(), Box<dyn std::error::Error>> {
@@ -251,18 +313,25 @@ fn print_stats(stats: &odrc::EngineStats) {
         "checks computed: {}, reused: {}, candidate pairs: {}, rows: {}",
         stats.checks_computed, stats.checks_reused, stats.candidate_pairs, stats.rows
     );
+    if stats.degraded() {
+        eprintln!(
+            "degraded: device work retried {} time(s), {} unit(s) recomputed on the host \
+             (results are complete and exact)",
+            stats.device_retries, stats.device_fallbacks
+        );
+    }
 }
 
-/// The default mode: check one layout. Returns the violation count.
+/// The default mode: check one layout.
 fn run_check(
     args: &Args,
     engine: &Engine,
     deck: &RuleDeck,
-) -> Result<usize, Box<dyn std::error::Error>> {
+) -> Result<Outcome, Box<dyn std::error::Error>> {
     let layout = load_layout(&args.layout)?;
     let report = match &args.cache {
         Some(dir) => {
-            let mut cache = load_cache(dir)?;
+            let mut cache = load_cache(dir);
             let report = engine.check_with_cache(&layout, deck, &mut cache);
             save_cache(dir, &cache)?;
             report
@@ -286,16 +355,19 @@ fn run_check(
     }
     eprintln!("\n{}", report.profile);
     print_stats(&report.stats);
-    Ok(report.violations.len())
+    Ok(Outcome {
+        violations: report.violations.len(),
+        degraded: report.stats.degraded(),
+    })
 }
 
 /// The diff mode: check `old`, delta-check `new` against it, print
-/// what the edit changed. Returns the number of *added* violations.
+/// what the edit changed. Counts *added* violations for the exit code.
 fn run_diff(
     args: &Args,
     engine: &Engine,
     deck: &RuleDeck,
-) -> Result<usize, Box<dyn std::error::Error>> {
+) -> Result<Outcome, Box<dyn std::error::Error>> {
     let old_path = args
         .old_layout
         .as_deref()
@@ -304,7 +376,7 @@ fn run_diff(
     let new = load_layout(&args.layout)?;
 
     let mut cache = match &args.cache {
-        Some(dir) => load_cache(dir)?,
+        Some(dir) => load_cache(dir),
         None => ResultCache::new(),
     };
     let base = engine.check_with_cache(&old, deck, &mut cache);
@@ -346,17 +418,34 @@ fn run_diff(
     }
     eprintln!("\n{}", report.profile);
     print_stats(&report.stats);
-    Ok(report.delta.added.len())
+    Ok(Outcome {
+        violations: report.delta.added.len(),
+        degraded: base.stats.degraded() || report.stats.degraded(),
+    })
 }
 
-fn run(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
+fn run(args: &Args) -> Result<Outcome, Box<dyn std::error::Error>> {
     let deck_text = std::fs::read_to_string(&args.rules)?;
     let deck = parse_deck(&deck_text)?;
     eprintln!("loaded {} rules from {}", deck.rules().len(), args.rules);
 
     let engine = if args.parallel {
-        Engine::parallel()
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let device = match args.device_budget {
+            Some(bytes) => Device::with_budget(workers, bytes),
+            None => Device::new(workers),
+        };
+        if let Some(seed) = args.fault_seed {
+            device.set_fault_plan(Some(FaultPlan::from_seed(seed, FAULTS_PER_SEED)));
+            eprintln!("fault injection on: seed {seed}, {FAULTS_PER_SEED} scheduled faults");
+        }
+        Engine::parallel_on(device)
     } else {
+        if args.fault_seed.is_some() || args.device_budget.is_some() {
+            eprintln!("note: --fault-seed/--device-budget only apply to --parallel runs");
+        }
         Engine::sequential()
     };
     if args.old_layout.is_some() {
@@ -369,7 +458,16 @@ fn run(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
 fn main() -> ExitCode {
     let args = parse_args();
     match run(&args) {
-        Ok(0) => ExitCode::SUCCESS,
+        // Violations take precedence over degradation; a degraded run
+        // with a clean result gets its own code so scripts can react.
+        Ok(Outcome {
+            violations: 0,
+            degraded: false,
+        }) => ExitCode::SUCCESS,
+        Ok(Outcome {
+            violations: 0,
+            degraded: true,
+        }) => ExitCode::from(3),
         Ok(_) => ExitCode::FAILURE,
         Err(e) => {
             eprintln!("error: {e}");

@@ -33,8 +33,15 @@ use crate::checks::poly::LocalViolation;
 use crate::rules::{Rule, RuleKind};
 use crate::violation::ViolationKind;
 
-/// File magic of the sidecar format (`save`/`load`).
-const MAGIC: &[u8; 8] = b"ODRCCAC1";
+/// File magic of the sidecar format (`save`/`load`). Bumped to `2`
+/// when the trailing FNV-1a checksum was added; version-1 files fail
+/// the magic check and load as a cold miss via [`ResultCache::load_or_cold`].
+const MAGIC: &[u8; 8] = b"ODRCCAC2";
+
+/// Serialized size of one [`LocalViolation`]: kind byte, four i32
+/// coordinates, one i64 measurement. Used to bound pre-allocation
+/// against what the file could actually hold.
+const ENTRY_BYTES: usize = 1 + 4 * 4 + 8;
 
 /// The sidecar file name a cache directory holds.
 pub const CACHE_FILE: &str = "odrc-cache.bin";
@@ -215,6 +222,10 @@ impl ResultCache {
                 buf.extend_from_slice(&v.measured.to_le_bytes());
             }
         }
+        // Trailing whole-file checksum: a torn write or bit rot is
+        // detected up front instead of surfacing as garbage results.
+        let checksum = Sig::new().bytes(&buf).0;
+        buf.extend_from_slice(&checksum.to_le_bytes());
         let mut f = std::fs::File::create(path)?;
         f.write_all(&buf)
     }
@@ -231,7 +242,20 @@ impl ResultCache {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ResultCache::new()),
             Err(e) => return Err(e),
         }
-        let mut r = ByteReader { buf: &buf, pos: 0 };
+        // Verify the trailing checksum before parsing anything: a
+        // flipped bit anywhere in the body is rejected here rather
+        // than decoding into plausible-looking garbage.
+        let Some(body_len) = buf.len().checked_sub(8) else {
+            return Err(bad_data());
+        };
+        let stored = u64::from_le_bytes(buf[body_len..].try_into().expect("8 bytes"));
+        if Sig::new().bytes(&buf[..body_len]).0 != stored {
+            return Err(bad_data());
+        }
+        let mut r = ByteReader {
+            buf: &buf[..body_len],
+            pos: 0,
+        };
         if r.take(8)? != MAGIC {
             return Err(bad_data());
         }
@@ -241,7 +265,9 @@ impl ResultCache {
             let sig = r.u64()?;
             let content = r.u64()?;
             let n = r.u32()?;
-            let mut entries = Vec::with_capacity(n as usize);
+            // Never trust an untrusted length for pre-allocation: cap
+            // it by what the remaining bytes could actually encode.
+            let mut entries = Vec::with_capacity((n as usize).min(r.remaining() / ENTRY_BYTES));
             for _ in 0..n {
                 let kind = kind_from_u8(r.u8()?).ok_or_else(bad_data)?;
                 let (x0, y0) = (r.i32()?, r.i32()?);
@@ -255,7 +281,7 @@ impl ResultCache {
             }
             map.insert((sig, content), Arc::new(entries));
         }
-        if r.pos != buf.len() {
+        if r.pos != r.buf.len() {
             return Err(bad_data());
         }
         Ok(ResultCache {
@@ -263,6 +289,24 @@ impl ResultCache {
             hits: 0,
             misses: 0,
         })
+    }
+
+    /// Like [`ResultCache::load`], but *lenient*: a corrupted,
+    /// truncated, or version-mismatched sidecar degrades to a cold
+    /// (empty) cache with a warning on stderr instead of failing the
+    /// run. A cache is a pure accelerator — losing it costs time, not
+    /// correctness — so a damaged file must never abort a check.
+    pub fn load_or_cold(path: &Path) -> ResultCache {
+        match ResultCache::load(path) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!(
+                    "warning: ignoring unusable result cache at {} ({e}); starting cold",
+                    path.display()
+                );
+                ResultCache::new()
+            }
+        }
     }
 }
 
@@ -282,6 +326,10 @@ impl<'a> ByteReader<'a> {
         let slice = self.buf.get(self.pos..end).ok_or_else(bad_data)?;
         self.pos = end;
         Ok(slice)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn u8(&mut self) -> io::Result<u8> {
@@ -420,6 +468,93 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("garbage.bin");
         std::fs::write(&path, b"not a cache").unwrap();
+        assert!(ResultCache::load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Writes a small valid cache file and returns its bytes.
+    fn saved_bytes(path: &Path) -> Vec<u8> {
+        let mut cache = ResultCache::new();
+        cache.insert(7, 9, Arc::new(vec![lv(0, 25), lv(10, 36)]));
+        cache.insert(8, 9, Arc::new(vec![lv(-5, 1)]));
+        cache.save(path).unwrap();
+        std::fs::read(path).unwrap()
+    }
+
+    #[test]
+    fn load_rejects_every_truncation() {
+        let dir = std::env::temp_dir().join("odrc-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.bin");
+        let bytes = saved_bytes(&path);
+        // Every proper prefix must be rejected (torn writes truncate at
+        // arbitrary byte offsets), and none may panic.
+        for len in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..len]).unwrap();
+            assert!(
+                ResultCache::load(&path).is_err(),
+                "truncation to {len} bytes must be rejected"
+            );
+            assert!(ResultCache::load_or_cold(&path).is_empty());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_every_single_bit_flip() {
+        let dir = std::env::temp_dir().join("odrc-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bitflip.bin");
+        let bytes = saved_bytes(&path);
+        // Flip one bit per byte position; the checksum must catch all
+        // of them (including flips inside the checksum itself).
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 1 << (i % 8);
+            std::fs::write(&path, &corrupt).unwrap();
+            assert!(
+                ResultCache::load(&path).is_err(),
+                "bit flip at byte {i} must be rejected"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_old_format_version() {
+        let dir = std::env::temp_dir().join("odrc-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("oldmagic.bin");
+        let mut bytes = saved_bytes(&path);
+        // A version-1 file has a different magic; even with a valid
+        // checksum over its own bytes it must be rejected.
+        bytes[..8].copy_from_slice(b"ODRCCAC1");
+        let body_len = bytes.len() - 8;
+        let checksum = Sig::new().bytes(&bytes[..body_len]).0;
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(ResultCache::load(&path).is_err());
+        assert!(ResultCache::load_or_cold(&path).is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn huge_declared_length_does_not_overallocate() {
+        let dir = std::env::temp_dir().join("odrc-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hugelen.bin");
+        // Hand-build a file declaring one key with u32::MAX entries but
+        // no entry bytes; the bounded pre-allocation keeps this from
+        // reserving gigabytes before the parse fails.
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&9u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let checksum = Sig::new().bytes(&body).0;
+        body.extend_from_slice(&checksum.to_le_bytes());
+        std::fs::write(&path, &body).unwrap();
         assert!(ResultCache::load(&path).is_err());
         std::fs::remove_file(&path).unwrap();
     }

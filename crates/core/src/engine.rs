@@ -46,6 +46,13 @@ pub struct EngineOptions {
     pub sweep_threshold: usize,
     /// Candidate-pair discovery structure for the sequential mode.
     pub pair_index: PairIndex,
+    /// Device attempts per failed work unit (row or rule) before the
+    /// engine gives up on the device and recomputes on the host. Zero
+    /// falls back immediately.
+    pub max_device_retries: usize,
+    /// Base delay of the capped exponential backoff between device
+    /// retries, in milliseconds.
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for EngineOptions {
@@ -55,6 +62,8 @@ impl Default for EngineOptions {
             partition: true,
             sweep_threshold: 512,
             pair_index: PairIndex::default(),
+            max_device_retries: 2,
+            retry_backoff_ms: 1,
         }
     }
 }
@@ -72,6 +81,18 @@ pub struct EngineStats {
     pub candidate_pairs: usize,
     /// Rows produced by the adaptive partition, summed over rules.
     pub rows: usize,
+    /// Device re-attempts after transient faults (fresh-stream retries).
+    pub device_retries: usize,
+    /// Work units recomputed on the host after the device gave up.
+    pub device_fallbacks: usize,
+}
+
+impl EngineStats {
+    /// `true` if any device work was retried or recomputed on the host
+    /// — the run completed, but not entirely on the fast path.
+    pub fn degraded(&self) -> bool {
+        self.device_retries > 0 || self.device_fallbacks > 0
+    }
 }
 
 /// The result of [`Engine::check`].
@@ -219,11 +240,17 @@ impl Engine {
                     }
                 }
                 Mode::Parallel => {
-                    let stream = self.device.stream();
+                    // One stream per rule: stream errors are sticky, so
+                    // a fault during one rule must not poison the rest
+                    // of the deck (failed work is recovered per row
+                    // inside each rule).
                     for rule in deck.rules() {
+                        let stream = self.device.stream();
                         self.run_parallel(&mut ctx, &stream, rule, &mut violations);
+                        // Errors were already handled per work unit;
+                        // drain the stream without re-raising them.
+                        let _ = stream.try_synchronize();
                     }
-                    stream.synchronize();
                 }
             }
         }

@@ -19,10 +19,30 @@
 //!
 //! Host-side packing of the next row overlaps with device work through
 //! the asynchronous stream (§V-C).
+//!
+//! # Graceful degradation
+//!
+//! Every device interaction goes through the fallible `try_*` APIs.
+//! When an operation fails (OOM against the device budget, a kernel
+//! panic, a stalled or poisoned stream), the engine salvages the rows
+//! that already completed, retries each failed row on a fresh stream
+//! with a capped backoff ([`EngineOptions::max_device_retries`]), and
+//! finally recomputes stubborn rows on the host with the same check
+//! logic — so the final violation set is identical to a fault-free
+//! device run. Retries and fallbacks are tallied in
+//! [`EngineStats::device_retries`] / [`EngineStats::device_fallbacks`].
+//!
+//! [`EngineOptions::max_device_retries`]: crate::EngineOptions::max_device_retries
+//! [`EngineStats::device_retries`]: crate::EngineStats::device_retries
+//! [`EngineStats::device_fallbacks`]: crate::EngineStats::device_fallbacks
+
+use std::time::Duration;
 
 use odrc_db::Layer;
 use odrc_geometry::{Edge, Point, Rect};
-use odrc_xpu::{scan::exclusive_scan, Device, LaunchConfig, Pending, Stream};
+use odrc_xpu::{
+    scan::exclusive_scan, Device, DeviceBuffer, LaunchConfig, Pending, Stream, ThreadCtx, XpuResult,
+};
 
 use crate::checks::edge::{space_pair_spec, SpaceSpec};
 use crate::checks::enclosure_margin;
@@ -91,6 +111,86 @@ struct RowEmit {
     records: Pending<Vec<PairRecord>>,
 }
 
+/// The brute-force executor's kernel body: one thread per edge, plain
+/// `for` loops over the remaining edges.
+fn brute_kernel(
+    edges: DeviceBuffer<PackedEdge>,
+    spec: SpaceSpec,
+) -> impl Fn(ThreadCtx, &mut Vec<(u32, i64)>) + Send + Sync + 'static {
+    move |tctx, slot| {
+        let edges = edges.read();
+        let i = tctx.global_id();
+        let ei = unpack(edges[i]);
+        for (j, &pe) in edges.iter().enumerate().skip(i + 1) {
+            if let Some(d2) = space_pair_spec(ei, unpack(pe), spec) {
+                slot.push((j as u32, d2));
+            }
+        }
+    }
+}
+
+/// The sweepline executor's first kernel: per-edge check range and
+/// violation count (while loops over the sorted tracks).
+fn count_kernel(
+    edges: DeviceBuffer<PackedEdge>,
+    runs: DeviceBuffer<u32>,
+    spec: SpaceSpec,
+    min: i64,
+) -> impl Fn(ThreadCtx, &mut usize) + Send + Sync + 'static {
+    move |tctx, slot| {
+        let edges = edges.read();
+        let runs = runs.read();
+        let i = tctx.global_id();
+        let ei = unpack(edges[i]);
+        let mut count = 0usize;
+        let mut j = runs[i] as usize;
+        while j < edges.len() {
+            let ej = unpack(edges[j]);
+            if i64::from(ej.track()) - i64::from(ei.track()) > min {
+                break;
+            }
+            if space_pair_spec(ei, ej, spec).is_some() {
+                count += 1;
+            }
+            j += 1;
+        }
+        *slot = count;
+    }
+}
+
+/// The sweepline executor's second kernel: emit each edge's violations
+/// into its scan-determined output range.
+fn emit_kernel(
+    edges: DeviceBuffer<PackedEdge>,
+    runs: DeviceBuffer<u32>,
+    spec: SpaceSpec,
+    min: i64,
+) -> impl Fn(ThreadCtx, &mut [PairRecord]) + Send + Sync + 'static {
+    move |tctx, slice| {
+        let edges = edges.read();
+        let runs = runs.read();
+        let i = tctx.global_id();
+        let ei = unpack(edges[i]);
+        let mut k = 0usize;
+        let mut j = runs[i] as usize;
+        while j < edges.len() {
+            let ej = unpack(edges[j]);
+            if i64::from(ej.track()) - i64::from(ei.track()) > min {
+                break;
+            }
+            if let Some(d2) = space_pair_spec(ei, ej, spec) {
+                slice[k] = PairRecord {
+                    a: i as u32,
+                    b: j as u32,
+                    d2,
+                };
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+}
+
 /// Runs a same-layer spacing rule on the device, row by row.
 pub(crate) fn check_space_rule_parallel(
     ctx: &mut RunContext<'_>,
@@ -121,6 +221,10 @@ pub(crate) fn check_space_scene_parallel(
     ctx.stats.rows += partition.len();
     let threshold = ctx.options.sweep_threshold;
 
+    // Rows whose device pipeline failed at any point; they re-run on
+    // fresh streams (then on the host) after the healthy rows resolve.
+    let mut failed: Vec<Vec<PackedEdge>> = Vec::new();
+
     // Phase 1: pack each row and enqueue its first device phase. The
     // stream runs asynchronously, so packing row i+1 overlaps with the
     // device processing of row i (§V-C).
@@ -142,73 +246,11 @@ pub(crate) fn check_space_scene_parallel(
             edges
         });
         if edges.is_empty() {
-            jobs.push(RowJob {
-                edges,
-                run_ends: None,
-                brute: None,
-                counts: None,
-            });
             continue;
         }
-        let n = edges.len();
-        let dev_edges = stream.upload(edges.clone());
-        if n <= threshold {
-            // Brute-force executor: one launch, plain for loops.
-            let out_buf = stream.alloc::<Vec<(u32, i64)>>(n);
-            let edges_for_kernel = dev_edges.clone();
-            stream.launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
-                let edges = edges_for_kernel.read();
-                let i = tctx.global_id();
-                let ei = unpack(edges[i]);
-                for (j, &pe) in edges.iter().enumerate().skip(i + 1) {
-                    if let Some(d2) = space_pair_spec(ei, unpack(pe), spec) {
-                        slot.push((j as u32, d2));
-                    }
-                }
-            });
-            jobs.push(RowJob {
-                edges,
-                run_ends: None,
-                brute: Some(stream.download(&out_buf)),
-                counts: None,
-            });
-        } else {
-            // Sweepline executor, kernel 1: per-edge check range and
-            // violation count (while loops over the sorted tracks).
-            let run_ends = track_run_ends(&edges);
-            let dev_runs = stream.upload(run_ends.clone());
-            let counts_buf = stream.alloc::<usize>(n);
-            let edges_for_kernel = dev_edges.clone();
-            let runs_for_kernel = dev_runs.clone();
-            stream.launch_map(
-                LaunchConfig::for_threads(n),
-                &counts_buf,
-                move |tctx, slot| {
-                    let edges = edges_for_kernel.read();
-                    let runs = runs_for_kernel.read();
-                    let i = tctx.global_id();
-                    let ei = unpack(edges[i]);
-                    let mut count = 0usize;
-                    let mut j = runs[i] as usize;
-                    while j < edges.len() {
-                        let ej = unpack(edges[j]);
-                        if i64::from(ej.track()) - i64::from(ei.track()) > min {
-                            break;
-                        }
-                        if space_pair_spec(ei, ej, spec).is_some() {
-                            count += 1;
-                        }
-                        j += 1;
-                    }
-                    *slot = count;
-                },
-            );
-            jobs.push(RowJob {
-                edges,
-                run_ends: Some(run_ends),
-                brute: None,
-                counts: Some(stream.download(&counts_buf)),
-            });
+        match enqueue_row_phase1(stream, &edges, threshold, spec, min) {
+            Ok(job) => jobs.push(job),
+            Err(_) => failed.push(edges),
         }
     }
 
@@ -218,72 +260,268 @@ pub(crate) fn check_space_scene_parallel(
     let mut emits: Vec<RowEmit> = Vec::new();
     let mut hits: Vec<Violation> = Vec::new();
     for job in jobs {
-        if let Some(pending) = job.brute {
-            let per_edge = ctx.profiler.time("kernel-wait", || pending.wait());
-            ctx.profiler.time("convert", || {
-                for (i, pairs) in per_edge.iter().enumerate() {
-                    for &(j, d2) in pairs {
-                        hits.push(make_violation(rule_name, &job.edges, i as u32, j, d2));
+        let RowJob {
+            edges,
+            run_ends,
+            brute,
+            counts,
+        } = job;
+        if let Some(pending) = brute {
+            match ctx.profiler.time("kernel-wait", || pending.result()) {
+                Ok(per_edge) => ctx.profiler.time("convert", || {
+                    for (i, pairs) in per_edge.iter().enumerate() {
+                        for &(j, d2) in pairs {
+                            hits.push(make_violation(rule_name, &edges, i as u32, j, d2));
+                        }
                     }
+                }),
+                Err(_) => failed.push(edges),
+            }
+        } else if let Some(pending) = counts {
+            let counts = match ctx.profiler.time("kernel-wait", || pending.result()) {
+                Ok(counts) => counts,
+                Err(_) => {
+                    failed.push(edges);
+                    continue;
                 }
-            });
-        } else if let Some(pending) = job.counts {
-            let counts = ctx.profiler.time("kernel-wait", || pending.wait());
+            };
             let offsets = ctx
                 .profiler
                 .time("scan", || exclusive_scan(&device, &counts));
-            let total = *offsets.last().expect("scan returns n+1 entries");
-            let n = job.edges.len();
-            let dev_edges = stream.upload(job.edges.clone());
-            let dev_runs = stream.upload(job.run_ends.clone().expect("sweep rows carry run ends"));
-            let out_buf = stream.alloc::<PairRecord>(total);
-            // Kernel 2: emit each edge's violations into its range.
-            stream.launch_scatter(
-                LaunchConfig::for_threads(n),
-                &out_buf,
-                offsets,
-                move |tctx, slice| {
-                    let edges = dev_edges.read();
-                    let runs = dev_runs.read();
-                    let i = tctx.global_id();
-                    let ei = unpack(edges[i]);
-                    let mut k = 0usize;
-                    let mut j = runs[i] as usize;
-                    while j < edges.len() {
-                        let ej = unpack(edges[j]);
-                        if i64::from(ej.track()) - i64::from(ei.track()) > min {
-                            break;
-                        }
-                        if let Some(d2) = space_pair_spec(ei, ej, spec) {
-                            slice[k] = PairRecord {
-                                a: i as u32,
-                                b: j as u32,
-                                d2,
-                            };
-                            k += 1;
-                        }
-                        j += 1;
-                    }
-                },
-            );
-            emits.push(RowEmit {
-                edges: job.edges,
-                records: stream.download(&out_buf),
-            });
+            let run_ends = run_ends.expect("sweep rows carry run ends");
+            match enqueue_row_emit(stream, &edges, run_ends, offsets, spec, min) {
+                Ok(records) => emits.push(RowEmit { edges, records }),
+                Err(_) => failed.push(edges),
+            }
         }
     }
 
     // Phase 3: collect emit results.
     for emit in emits {
-        let records = ctx.profiler.time("kernel-wait", || emit.records.wait());
-        ctx.profiler.time("convert", || {
-            for r in records {
-                hits.push(make_violation(rule_name, &emit.edges, r.a, r.b, r.d2));
-            }
-        });
+        match ctx.profiler.time("kernel-wait", || emit.records.result()) {
+            Ok(records) => ctx.profiler.time("convert", || {
+                for r in records {
+                    hits.push(make_violation(rule_name, &emit.edges, r.a, r.b, r.d2));
+                }
+            }),
+            Err(_) => failed.push(emit.edges),
+        }
     }
+
+    // Recovery: retry each failed row on a fresh stream, then fall back
+    // to the host. Completed rows above are salvaged as-is.
+    for edges in failed {
+        let records = recover_on_device(
+            ctx,
+            &device,
+            |fresh| row_device_records(fresh, &edges, threshold, spec, min),
+            || row_host_records(&edges, threshold, spec, min),
+        );
+        for (a, b, d2) in records {
+            hits.push(make_violation(rule_name, &edges, a, b, d2));
+        }
+    }
+
     ctx.stats.checks_computed += hits.len();
     out.extend(hits);
+}
+
+/// Enqueues one row's first device phase (brute kernel, or sweepline
+/// count kernel) on the shared stream.
+fn enqueue_row_phase1(
+    stream: &Stream,
+    edges: &[PackedEdge],
+    threshold: usize,
+    spec: SpaceSpec,
+    min: i64,
+) -> XpuResult<RowJob> {
+    let n = edges.len();
+    let dev_edges = stream.try_upload(edges.to_vec())?;
+    if n <= threshold {
+        // Brute-force executor: one launch, plain for loops.
+        let out_buf = stream.try_alloc::<Vec<(u32, i64)>>(n)?;
+        stream.try_launch_map(
+            LaunchConfig::for_threads(n),
+            &out_buf,
+            brute_kernel(dev_edges, spec),
+        )?;
+        Ok(RowJob {
+            edges: edges.to_vec(),
+            run_ends: None,
+            brute: Some(stream.try_download(&out_buf)?),
+            counts: None,
+        })
+    } else {
+        // Sweepline executor, kernel 1: per-edge check range and
+        // violation count.
+        let run_ends = track_run_ends(edges);
+        let dev_runs = stream.try_upload(run_ends.clone())?;
+        let counts_buf = stream.try_alloc::<usize>(n)?;
+        stream.try_launch_map(
+            LaunchConfig::for_threads(n),
+            &counts_buf,
+            count_kernel(dev_edges, dev_runs, spec, min),
+        )?;
+        Ok(RowJob {
+            edges: edges.to_vec(),
+            run_ends: Some(run_ends),
+            brute: None,
+            counts: Some(stream.try_download(&counts_buf)?),
+        })
+    }
+}
+
+/// Enqueues a sweepline row's emit kernel on the shared stream.
+fn enqueue_row_emit(
+    stream: &Stream,
+    edges: &[PackedEdge],
+    run_ends: Vec<u32>,
+    offsets: Vec<usize>,
+    spec: SpaceSpec,
+    min: i64,
+) -> XpuResult<Pending<Vec<PairRecord>>> {
+    let n = edges.len();
+    let total = *offsets.last().expect("scan returns n+1 entries");
+    let dev_edges = stream.try_upload(edges.to_vec())?;
+    let dev_runs = stream.try_upload(run_ends)?;
+    let out_buf = stream.try_alloc::<PairRecord>(total)?;
+    // Kernel 2: emit each edge's violations into its range.
+    stream.try_launch_scatter(
+        LaunchConfig::for_threads(n),
+        &out_buf,
+        offsets,
+        emit_kernel(dev_edges, dev_runs, spec, min),
+    )?;
+    stream.try_download(&out_buf)
+}
+
+/// One complete synchronous device attempt at a row, on the given
+/// (fresh) stream. Runs the same executors as the pipelined path.
+fn row_device_records(
+    stream: &Stream,
+    edges: &[PackedEdge],
+    threshold: usize,
+    spec: SpaceSpec,
+    min: i64,
+) -> XpuResult<Vec<(u32, u32, i64)>> {
+    let n = edges.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let dev_edges = stream.try_upload(edges.to_vec())?;
+    if n <= threshold {
+        let out_buf = stream.try_alloc::<Vec<(u32, i64)>>(n)?;
+        stream.try_launch_map(
+            LaunchConfig::for_threads(n),
+            &out_buf,
+            brute_kernel(dev_edges, spec),
+        )?;
+        let per_edge = stream.try_download(&out_buf)?.result()?;
+        let mut recs = Vec::new();
+        for (i, pairs) in per_edge.iter().enumerate() {
+            for &(j, d2) in pairs {
+                recs.push((i as u32, j, d2));
+            }
+        }
+        Ok(recs)
+    } else {
+        let run_ends = track_run_ends(edges);
+        let dev_runs = stream.try_upload(run_ends)?;
+        let counts_buf = stream.try_alloc::<usize>(n)?;
+        stream.try_launch_map(
+            LaunchConfig::for_threads(n),
+            &counts_buf,
+            count_kernel(dev_edges.clone(), dev_runs.clone(), spec, min),
+        )?;
+        let counts = stream.try_download(&counts_buf)?.result()?;
+        let offsets = exclusive_scan(stream.device(), &counts);
+        let total = *offsets.last().expect("scan returns n+1 entries");
+        let out_buf = stream.try_alloc::<PairRecord>(total)?;
+        stream.try_launch_scatter(
+            LaunchConfig::for_threads(n),
+            &out_buf,
+            offsets,
+            emit_kernel(dev_edges, dev_runs, spec, min),
+        )?;
+        let records = stream.try_download(&out_buf)?.result()?;
+        Ok(records.into_iter().map(|r| (r.a, r.b, r.d2)).collect())
+    }
+}
+
+/// The host (CPU) fallback for one row: the same executor choice and
+/// check predicates as the device kernels, run inline — guaranteeing an
+/// identical record set.
+fn row_host_records(
+    edges: &[PackedEdge],
+    threshold: usize,
+    spec: SpaceSpec,
+    min: i64,
+) -> Vec<(u32, u32, i64)> {
+    let n = edges.len();
+    let mut recs = Vec::new();
+    if n <= threshold {
+        for i in 0..n {
+            let ei = unpack(edges[i]);
+            for (j, &pe) in edges.iter().enumerate().skip(i + 1) {
+                if let Some(d2) = space_pair_spec(ei, unpack(pe), spec) {
+                    recs.push((i as u32, j as u32, d2));
+                }
+            }
+        }
+    } else {
+        let runs = track_run_ends(edges);
+        for i in 0..n {
+            let ei = unpack(edges[i]);
+            let mut j = runs[i] as usize;
+            while j < n {
+                let ej = unpack(edges[j]);
+                if i64::from(ej.track()) - i64::from(ei.track()) > min {
+                    break;
+                }
+                if let Some(d2) = space_pair_spec(ei, ej, spec) {
+                    recs.push((i as u32, j as u32, d2));
+                }
+                j += 1;
+            }
+        }
+    }
+    recs
+}
+
+/// Retries `attempt` on fresh streams with a capped backoff, tallying
+/// [`EngineStats::device_retries`]; after
+/// [`EngineOptions::max_device_retries`] failures, runs the host
+/// `fallback` and tallies [`EngineStats::device_fallbacks`].
+///
+/// Fresh streams are the recovery unit because stream errors are sticky
+/// (see `odrc_xpu::stream`); the device itself survives kernel panics.
+///
+/// [`EngineOptions::max_device_retries`]: crate::EngineOptions::max_device_retries
+/// [`EngineStats::device_retries`]: crate::EngineStats::device_retries
+/// [`EngineStats::device_fallbacks`]: crate::EngineStats::device_fallbacks
+fn recover_on_device<T>(
+    ctx: &mut RunContext<'_>,
+    device: &Device,
+    mut attempt: impl FnMut(&Stream) -> XpuResult<T>,
+    fallback: impl FnOnce() -> T,
+) -> T {
+    let max_retries = ctx.options.max_device_retries;
+    for retry in 0..max_retries {
+        ctx.stats.device_retries += 1;
+        if retry > 0 {
+            // Capped exponential backoff: transient contention clears,
+            // and one-shot injected faults are consumed by the failing
+            // attempt, so a bounded retry loop converges.
+            let ms = ctx.options.retry_backoff_ms << (retry - 1).min(4);
+            std::thread::sleep(Duration::from_millis(ms.min(50)));
+        }
+        let fresh = device.stream();
+        if let Ok(value) = attempt(&fresh) {
+            return value;
+        }
+    }
+    ctx.stats.device_fallbacks += 1;
+    fallback()
 }
 
 fn make_violation(rule: &str, edges: &[PackedEdge], a: u32, b: u32, d2: i64) -> Violation {
@@ -329,12 +567,10 @@ pub(crate) fn check_intra_rule_parallel(
         .map(|&(c, pi)| ctx.layout.cell(c).polygons()[pi].polygon.clone())
         .collect();
     let n = polys.len();
-    let dev_polys = ctx.profiler.time("pack", || stream.upload(polys));
-    let out_buf = stream.alloc::<Vec<LocalViolation>>(n);
-    let kernel_polys = dev_polys.clone();
-    stream.launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
-        let polys = kernel_polys.read();
-        let poly = &polys[tctx.global_id()];
+
+    // The whole-rule kernel body, shared by the device attempt and the
+    // host fallback.
+    let local_check = move |poly: &odrc_geometry::Polygon, slot: &mut Vec<LocalViolation>| {
         if is_width {
             crate::checks::poly::width_violations(poly, min, slot);
         } else {
@@ -347,10 +583,34 @@ pub(crate) fn check_intra_rule_parallel(
                 });
             }
         }
-    });
-    let per_poly = ctx
-        .profiler
-        .time("kernel-wait", || stream.download(&out_buf).wait());
+    };
+
+    let device_attempt = |s: &Stream| -> XpuResult<Vec<Vec<LocalViolation>>> {
+        let dev_polys = s.try_upload(polys.clone())?;
+        let out_buf = s.try_alloc::<Vec<LocalViolation>>(n)?;
+        let kernel_polys = dev_polys.clone();
+        s.try_launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
+            local_check(&kernel_polys.read()[tctx.global_id()], slot);
+        })?;
+        s.try_download(&out_buf)?.result()
+    };
+
+    let per_poly = match ctx.profiler.time("kernel-wait", || device_attempt(stream)) {
+        Ok(per_poly) => per_poly,
+        Err(_) => {
+            let device = stream.device().clone();
+            recover_on_device(ctx, &device, device_attempt, || {
+                polys
+                    .iter()
+                    .map(|poly| {
+                        let mut slot = Vec::new();
+                        local_check(poly, &mut slot);
+                        slot
+                    })
+                    .collect()
+            })
+        }
+    };
     ctx.stats.checks_computed += n;
 
     // Host side: replay each cell's local violations through all its
@@ -401,18 +661,34 @@ pub(crate) fn check_enclosure_rule_parallel(
     let n = work.len();
     ctx.stats.checks_computed += n;
     let rects: Vec<Rect> = work.iter().map(|(p, _)| p.mbr()).collect();
-    let dev_work = stream.upload(work);
-    let margins = stream.alloc::<i64>(n);
-    let kernel_work = dev_work.clone();
-    stream.launch_map(LaunchConfig::for_threads(n), &margins, move |tctx, slot| {
-        let work = kernel_work.read();
-        let (poly, candidates) = &work[tctx.global_id()];
-        let refs: Vec<&odrc_geometry::Polygon> = candidates.iter().collect();
-        *slot = enclosure_margin(poly.mbr(), &refs, min);
-    });
-    let margins = ctx
-        .profiler
-        .time("kernel-wait", || stream.download(&margins).wait());
+
+    let device_attempt = |s: &Stream| -> XpuResult<Vec<i64>> {
+        let dev_work = s.try_upload(work.clone())?;
+        let margins = s.try_alloc::<i64>(n)?;
+        let kernel_work = dev_work.clone();
+        s.try_launch_map(LaunchConfig::for_threads(n), &margins, move |tctx, slot| {
+            let work = kernel_work.read();
+            let (poly, candidates) = &work[tctx.global_id()];
+            let refs: Vec<&odrc_geometry::Polygon> = candidates.iter().collect();
+            *slot = enclosure_margin(poly.mbr(), &refs, min);
+        })?;
+        s.try_download(&margins)?.result()
+    };
+
+    let margins = match ctx.profiler.time("kernel-wait", || device_attempt(stream)) {
+        Ok(margins) => margins,
+        Err(_) => {
+            let device = stream.device().clone();
+            recover_on_device(ctx, &device, device_attempt, || {
+                work.iter()
+                    .map(|(poly, candidates)| {
+                        let refs: Vec<&odrc_geometry::Polygon> = candidates.iter().collect();
+                        enclosure_margin(poly.mbr(), &refs, min)
+                    })
+                    .collect()
+            })
+        }
+    };
     ctx.profiler.time("convert", || {
         for (rect, margin) in rects.into_iter().zip(margins) {
             if margin < min {
@@ -450,19 +726,37 @@ pub(crate) fn check_overlap_rule_parallel(
     let n = work.len();
     ctx.stats.checks_computed += n;
     let rects: Vec<Rect> = work.iter().map(|(p, _)| p.mbr()).collect();
-    let dev_work = stream.upload(work);
-    let areas = stream.alloc::<i64>(n);
-    let kernel_work = dev_work.clone();
-    stream.launch_map(LaunchConfig::for_threads(n), &areas, move |tctx, slot| {
-        let work = kernel_work.read();
-        let (poly, candidates) = &work[tctx.global_id()];
-        let inner_region = Region::from_polygons([poly]);
-        let outer_region = Region::from_polygons(candidates.iter());
-        *slot = inner_region.intersection(&outer_region).area();
-    });
-    let areas = ctx
-        .profiler
-        .time("kernel-wait", || stream.download(&areas).wait());
+
+    let shared_area =
+        |poly: &odrc_geometry::Polygon, candidates: &[odrc_geometry::Polygon]| -> i64 {
+            let inner_region = Region::from_polygons([poly]);
+            let outer_region = Region::from_polygons(candidates.iter());
+            inner_region.intersection(&outer_region).area()
+        };
+
+    let device_attempt = |s: &Stream| -> XpuResult<Vec<i64>> {
+        let dev_work = s.try_upload(work.clone())?;
+        let areas = s.try_alloc::<i64>(n)?;
+        let kernel_work = dev_work.clone();
+        s.try_launch_map(LaunchConfig::for_threads(n), &areas, move |tctx, slot| {
+            let work = kernel_work.read();
+            let (poly, candidates) = &work[tctx.global_id()];
+            *slot = shared_area(poly, candidates);
+        })?;
+        s.try_download(&areas)?.result()
+    };
+
+    let areas = match ctx.profiler.time("kernel-wait", || device_attempt(stream)) {
+        Ok(areas) => areas,
+        Err(_) => {
+            let device = stream.device().clone();
+            recover_on_device(ctx, &device, device_attempt, || {
+                work.iter()
+                    .map(|(poly, candidates)| shared_area(poly, candidates))
+                    .collect()
+            })
+        }
+    };
     ctx.profiler.time("convert", || {
         for (rect, shared) in rects.into_iter().zip(areas) {
             if shared < min_area {
@@ -479,7 +773,8 @@ pub(crate) fn check_overlap_rule_parallel(
 
 /// Device-accelerated helper used by tests and benches: all-pairs
 /// spacing over a flat edge list (no hierarchy, no partition), brute
-/// force. Returns canonical violations.
+/// force. Returns canonical violations. Panics on device faults (it is
+/// a bench/test harness, not an engine path).
 pub fn flat_space_brute(
     device: &Device,
     edges: &[Edge],
@@ -494,16 +789,11 @@ pub fn flat_space_brute(
     }
     let dev = stream.upload(packed.clone());
     let out_buf = stream.alloc::<Vec<(u32, i64)>>(n);
-    stream.launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
-        let edges = dev.read();
-        let i = tctx.global_id();
-        let ei = unpack(edges[i]);
-        for (j, &pe) in edges.iter().enumerate().skip(i + 1) {
-            if let Some(d2) = space_pair_spec(ei, unpack(pe), SpaceSpec::simple(min)) {
-                slot.push((j as u32, d2));
-            }
-        }
-    });
+    stream.launch_map(
+        LaunchConfig::for_threads(n),
+        &out_buf,
+        brute_kernel(dev, SpaceSpec::simple(min)),
+    );
     let per_edge = stream.download(&out_buf).wait();
     let mut out = Vec::new();
     for (i, pairs) in per_edge.iter().enumerate() {

@@ -151,12 +151,17 @@ impl Session {
     /// exists (a missing file is an empty cache) and makes
     /// [`Session::save_cache`] write back there.
     ///
+    /// A corrupted or truncated sidecar is *not* an error: the cache is
+    /// a pure accelerator, so the session starts cold (with a warning
+    /// on stderr) and overwrites the damaged file on the next save.
+    ///
     /// # Errors
     ///
-    /// Fails if the file exists but cannot be read or is malformed.
+    /// Currently infallible; the `Result` is kept so genuine I/O
+    /// failures can be surfaced without an API break.
     pub fn with_cache_dir(mut self, dir: impl AsRef<Path>) -> io::Result<Session> {
         let path = dir.as_ref().join(CACHE_FILE);
-        self.cache = ResultCache::load(&path)?;
+        self.cache = ResultCache::load_or_cold(&path);
         self.cache_path = Some(path);
         Ok(self)
     }

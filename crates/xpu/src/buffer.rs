@@ -4,7 +4,10 @@ use std::fmt;
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::device::MemReservation;
+use crate::error::{TransferDirection, XpuError, XpuResult};
 
 /// A device-resident buffer of `T`.
 ///
@@ -18,17 +21,28 @@ use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 /// thread a disjoint slot or range — this is what makes the simulated
 /// kernels data-race-free by construction.
 ///
+/// Buffers obtained from a budgeted device's stream
+/// ([`Stream::try_alloc`] / [`Stream::try_upload`]) carry a memory
+/// reservation that is released when the last handle drops, mirroring
+/// the stream-ordered allocator's accounting.
+///
 /// [`Stream::upload`]: crate::Stream::upload
 /// [`Stream::download`]: crate::Stream::download
+/// [`Stream::try_alloc`]: crate::Stream::try_alloc
+/// [`Stream::try_upload`]: crate::Stream::try_upload
 /// [`Device`]: crate::Device
 pub struct DeviceBuffer<T> {
     data: Arc<RwLock<Vec<T>>>,
+    /// Budget accounting for stream-ordered allocations; `None` for
+    /// direct (unbudgeted) buffers and unlimited devices.
+    reservation: Option<Arc<MemReservation>>,
 }
 
 impl<T> Clone for DeviceBuffer<T> {
     fn clone(&self) -> Self {
         DeviceBuffer {
             data: Arc::clone(&self.data),
+            reservation: self.reservation.clone(),
         }
     }
 }
@@ -41,19 +55,32 @@ impl<T: fmt::Debug> fmt::Debug for DeviceBuffer<T> {
 
 impl<T> DeviceBuffer<T> {
     /// Allocates a zero-initialized (default-initialized) buffer.
+    ///
+    /// Direct allocations bypass any device memory budget; only the
+    /// stream-ordered allocator ([`Stream::try_alloc`]) is budgeted.
+    ///
+    /// [`Stream::try_alloc`]: crate::Stream::try_alloc
     pub fn alloc(len: usize) -> Self
     where
         T: Default + Clone,
     {
-        DeviceBuffer {
-            data: Arc::new(RwLock::new(vec![T::default(); len])),
-        }
+        DeviceBuffer::from_vec(vec![T::default(); len])
     }
 
     /// Wraps host data into a device buffer (a synchronous upload).
     pub fn from_vec(data: Vec<T>) -> Self {
         DeviceBuffer {
             data: Arc::new(RwLock::new(data)),
+            reservation: None,
+        }
+    }
+
+    /// An empty buffer carrying a budget reservation (the backing store
+    /// materializes in stream order).
+    pub(crate) fn reserved(reservation: Option<Arc<MemReservation>>) -> Self {
+        DeviceBuffer {
+            data: Arc::new(RwLock::new(Vec::new())),
+            reservation,
         }
     }
 
@@ -100,6 +127,13 @@ impl<T> DeviceBuffer<T> {
 /// corresponding operation — the result handle of an asynchronous
 /// download.
 ///
+/// If the producing stream fails before reaching the operation (a
+/// sticky stream error, see [`Stream`]), [`Pending::result`] returns
+/// that error instead of blocking forever; [`Pending::wait`] panics
+/// with it.
+///
+/// [`Stream`]: crate::Stream
+///
 /// # Examples
 ///
 /// ```
@@ -114,23 +148,52 @@ impl<T> DeviceBuffer<T> {
 #[derive(Debug)]
 pub struct Pending<T> {
     rx: mpsc::Receiver<T>,
+    /// The producing stream's sticky error slot, consulted when the
+    /// channel disconnects without delivering a value.
+    err: Option<Arc<Mutex<Option<XpuError>>>>,
 }
 
 impl<T> Pending<T> {
-    pub(crate) fn new(rx: mpsc::Receiver<T>) -> Self {
-        Pending { rx }
+    pub(crate) fn with_error_slot(
+        rx: mpsc::Receiver<T>,
+        err: Arc<Mutex<Option<XpuError>>>,
+    ) -> Self {
+        Pending { rx, err: Some(err) }
+    }
+
+    /// Blocks until the value is produced or the producing stream
+    /// fails. A skipped operation on a poisoned stream resolves to the
+    /// stream's first (sticky) error.
+    pub fn result(self) -> XpuResult<T> {
+        match self.rx.recv() {
+            Ok(value) => Ok(value),
+            // The sender dropped without sending: the stream either hit
+            // a sticky error (recorded before the job was dropped) or
+            // was torn down. Consult the error slot first.
+            Err(mpsc::RecvError) => {
+                if let Some(slot) = &self.err {
+                    if let Some(e) = slot.lock().clone() {
+                        return Err(e);
+                    }
+                }
+                Err(XpuError::TransferError {
+                    direction: TransferDirection::DeviceToHost,
+                    bytes: 0,
+                })
+            }
+        }
     }
 
     /// Blocks until the value is produced.
     ///
     /// # Panics
     ///
-    /// Panics if the producing stream was dropped before executing the
-    /// operation (a disconnected channel).
+    /// Panics if the producing stream failed or was dropped before
+    /// executing the operation. Use [`Pending::result`] to recover
+    /// instead.
     pub fn wait(self) -> T {
-        self.rx
-            .recv()
-            .expect("producing stream dropped before completing the operation")
+        self.result()
+            .unwrap_or_else(|e| panic!("device operation failed: {e}"))
     }
 
     /// Non-blocking poll; returns the value if it is ready.
@@ -171,5 +234,25 @@ mod tests {
         let b: DeviceBuffer<u8> = DeviceBuffer::alloc(0);
         assert!(b.is_empty());
         assert!(b.to_vec().is_empty());
+    }
+
+    #[test]
+    fn orphan_pending_resolves_to_error() {
+        let (tx, rx) = mpsc::channel::<u8>();
+        let pending = Pending { rx, err: None };
+        drop(tx);
+        assert!(pending.result().is_err());
+    }
+
+    #[test]
+    fn orphan_pending_reports_sticky_error() {
+        let (tx, rx) = mpsc::channel::<u8>();
+        let slot = Arc::new(Mutex::new(Some(XpuError::StreamTimeout { op: "download" })));
+        let pending = Pending::with_error_slot(rx, Arc::clone(&slot));
+        drop(tx);
+        assert_eq!(
+            pending.result(),
+            Err(XpuError::StreamTimeout { op: "download" })
+        );
     }
 }

@@ -1,10 +1,14 @@
 //! The simulated SPMD device.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use crate::buffer::DeviceBuffer;
+use crate::error::{TransferDirection, XpuError, XpuResult};
+use crate::fault::{FaultPlan, FaultState};
 use crate::stream::Stream;
 
 /// Per-thread identity inside a kernel launch, mirroring CUDA's
@@ -124,9 +128,44 @@ impl DeviceStats {
     }
 }
 
-struct DeviceInner {
+pub(crate) struct DeviceInner {
     workers: usize,
     stats: DeviceStats,
+    /// Device-memory budget in bytes; `None` means unlimited.
+    budget: Option<usize>,
+    /// Bytes currently reserved by live stream-ordered buffers.
+    mem_in_use: AtomicUsize,
+    /// Deterministic ordinals addressed by [`FaultPlan`] entries.
+    alloc_ordinal: AtomicU64,
+    transfer_ordinal: AtomicU64,
+    launch_ordinal: AtomicU64,
+    stream_op_ordinal: AtomicU64,
+    /// Installed fault schedule; `None` (the default) injects nothing.
+    faults: Mutex<Option<FaultState>>,
+    /// Fast-path flag mirroring `faults.is_some()` so the common
+    /// fault-free case pays one relaxed load, not a mutex.
+    faults_enabled: AtomicU64,
+}
+
+/// A device-memory reservation held by a [`DeviceBuffer`]; releases its
+/// bytes when the last buffer handle drops.
+pub(crate) struct MemReservation {
+    inner: Arc<DeviceInner>,
+    bytes: usize,
+}
+
+impl fmt::Debug for MemReservation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MemReservation({} bytes)", self.bytes)
+    }
+}
+
+impl Drop for MemReservation {
+    fn drop(&mut self) {
+        self.inner
+            .mem_in_use
+            .fetch_sub(self.bytes, Ordering::Relaxed);
+    }
 }
 
 /// The simulated SPMD device.
@@ -135,6 +174,19 @@ struct DeviceInner {
 /// execute their threads in parallel across `workers` OS threads, in
 /// SPMD style: every thread runs the same closure with its own
 /// [`ThreadCtx`].
+///
+/// # Failure model
+///
+/// The fallible entry points (`try_*` on [`Stream`], and
+/// [`Device::try_launch_map_blocking`] /
+/// [`Device::try_launch_scatter_blocking`] here) return
+/// [`XpuResult`]s; kernel panics are caught per SPMD thread, so one bad
+/// thread fails the *launch*, never the worker pool. A configurable
+/// memory budget ([`Device::with_budget`]) bounds stream-ordered
+/// allocations, and a deterministic [`FaultPlan`]
+/// ([`Device::set_fault_plan`]) injects seeded OOM / panic / stall /
+/// transfer faults for testing recovery paths. The legacy infallible
+/// methods remain and panic on device errors.
 ///
 /// # Examples
 ///
@@ -164,17 +216,46 @@ impl Default for Device {
 }
 
 impl Device {
-    /// Creates a device with the given number of worker threads.
+    /// Creates a device with the given number of worker threads and no
+    /// memory budget.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn new(workers: usize) -> Self {
+        Device::build(workers, None)
+    }
+
+    /// Creates a device with a memory budget: stream-ordered
+    /// allocations ([`Stream::try_alloc`], [`Stream::try_upload`]) that
+    /// would push the total reserved bytes past `budget_bytes` fail
+    /// with [`XpuError::Oom`]. Bytes are released when the last handle
+    /// to a buffer drops.
+    ///
+    /// [`Stream::try_alloc`]: crate::Stream::try_alloc
+    /// [`Stream::try_upload`]: crate::Stream::try_upload
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_budget(workers: usize, budget_bytes: usize) -> Self {
+        Device::build(workers, Some(budget_bytes))
+    }
+
+    fn build(workers: usize, budget: Option<usize>) -> Self {
         assert!(workers > 0, "device needs at least one worker");
         Device {
             inner: Arc::new(DeviceInner {
                 workers,
                 stats: DeviceStats::default(),
+                budget,
+                mem_in_use: AtomicUsize::new(0),
+                alloc_ordinal: AtomicU64::new(0),
+                transfer_ordinal: AtomicU64::new(0),
+                launch_ordinal: AtomicU64::new(0),
+                stream_op_ordinal: AtomicU64::new(0),
+                faults: Mutex::new(None),
+                faults_enabled: AtomicU64::new(0),
             }),
         }
     }
@@ -189,11 +270,202 @@ impl Device {
         &self.inner.stats
     }
 
+    /// The configured memory budget in bytes, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.inner.budget
+    }
+
+    /// Bytes currently reserved by live stream-ordered buffers.
+    pub fn mem_in_use(&self) -> usize {
+        self.inner.mem_in_use.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or with `None` removes) a fault schedule at runtime.
+    /// Replacing a plan resets nothing else: ordinals keep counting, so
+    /// a plan installed mid-run addresses operations by their absolute
+    /// device-wide index.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        let mut guard = self.inner.faults.lock();
+        self.inner
+            .faults_enabled
+            .store(u64::from(plan.is_some()), Ordering::Relaxed);
+        *guard = plan.map(FaultState::new);
+    }
+
+    /// Number of faults the installed plans have actually delivered.
+    pub fn faults_injected(&self) -> u64 {
+        self.inner
+            .faults
+            .lock()
+            .as_ref()
+            .map(|s| s.injected())
+            .unwrap_or(0)
+    }
+
+    #[inline]
+    fn faults_on(&self) -> bool {
+        self.inner.faults_enabled.load(Ordering::Relaxed) != 0
+    }
+
+    /// Ticks the allocation ordinal and reports an injected OOM, if the
+    /// plan schedules one here.
+    pub(crate) fn fault_alloc(&self, requested: usize) -> Option<XpuError> {
+        let n = self.inner.alloc_ordinal.fetch_add(1, Ordering::Relaxed);
+        if !self.faults_on() {
+            return None;
+        }
+        let fired = self
+            .inner
+            .faults
+            .lock()
+            .as_mut()
+            .is_some_and(|s| s.take_alloc(n));
+        fired.then(|| XpuError::Oom {
+            requested,
+            in_use: self.mem_in_use(),
+            budget: self.inner.budget.unwrap_or(usize::MAX),
+        })
+    }
+
+    /// Ticks the transfer ordinal and reports an injected transfer
+    /// failure, if the plan schedules one here.
+    pub(crate) fn fault_transfer(
+        &self,
+        direction: TransferDirection,
+        bytes: usize,
+    ) -> Option<XpuError> {
+        let n = self.inner.transfer_ordinal.fetch_add(1, Ordering::Relaxed);
+        if !self.faults_on() {
+            return None;
+        }
+        let fired = self
+            .inner
+            .faults
+            .lock()
+            .as_mut()
+            .is_some_and(|s| s.take_transfer(n));
+        fired.then_some(XpuError::TransferError { direction, bytes })
+    }
+
+    /// Ticks the stream-op ordinal and reports an injected stall, if
+    /// the plan schedules one here.
+    pub(crate) fn fault_stream_op(&self, op: &'static str) -> Option<XpuError> {
+        let n = self.inner.stream_op_ordinal.fetch_add(1, Ordering::Relaxed);
+        if !self.faults_on() {
+            return None;
+        }
+        let fired = self
+            .inner
+            .faults
+            .lock()
+            .as_mut()
+            .is_some_and(|s| s.take_stream_op(n));
+        fired.then_some(XpuError::StreamTimeout { op })
+    }
+
+    /// Ticks the launch ordinal and returns `(ordinal, thread to panic
+    /// in)` if the plan schedules a kernel fault for this launch.
+    fn next_launch(&self, useful_threads: usize) -> (u64, Option<usize>) {
+        let k = self.inner.launch_ordinal.fetch_add(1, Ordering::Relaxed);
+        if !self.faults_on() {
+            return (k, None);
+        }
+        let thread = self
+            .inner
+            .faults
+            .lock()
+            .as_mut()
+            .and_then(|s| s.take_kernel(k, useful_threads));
+        (k, thread)
+    }
+
+    /// Reserves `bytes` against the budget, failing with
+    /// [`XpuError::Oom`] when the budget would be exceeded.
+    pub(crate) fn try_reserve(&self, bytes: usize) -> XpuResult<Option<Arc<MemReservation>>> {
+        let Some(budget) = self.inner.budget else {
+            return Ok(None); // unlimited: skip the accounting entirely
+        };
+        // Optimistic reservation: add, then check, then roll back on
+        // failure — correct under concurrent reservers.
+        let prev = self.inner.mem_in_use.fetch_add(bytes, Ordering::Relaxed);
+        if prev.saturating_add(bytes) > budget {
+            self.inner.mem_in_use.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(XpuError::Oom {
+                requested: bytes,
+                in_use: prev,
+                budget,
+            });
+        }
+        Ok(Some(Arc::new(MemReservation {
+            inner: Arc::clone(&self.inner),
+            bytes,
+        })))
+    }
+
     /// Creates a new asynchronous command [`Stream`] on this device
     /// ("When OpenDRC starts, it creates CUDA stream objects that are
     /// responsible for asynchronous operations", §V-C).
     pub fn stream(&self) -> Stream {
         Stream::new(self.clone())
+    }
+
+    /// Fallible synchronous kernel launch where thread `i` receives
+    /// exclusive access to `out[i]`.
+    ///
+    /// A panic in any SPMD thread — a genuine kernel bug or an injected
+    /// [`Fault::KernelPanic`] — is caught per thread and surfaces as
+    /// [`XpuError::KernelPanic`] carrying the launch ordinal and the
+    /// first panicking global thread id. The worker pool survives; the
+    /// device remains usable.
+    ///
+    /// [`Fault::KernelPanic`]: crate::Fault::KernelPanic
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config provides fewer threads than `out.len()`
+    /// (a programmer error, not a device fault).
+    pub fn try_launch_map_blocking<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        kernel: F,
+    ) -> XpuResult<()>
+    where
+        T: Send + Sync,
+        F: Fn(ThreadCtx, &mut T) + Send + Sync,
+    {
+        let mut guard = out.write();
+        let slots: &mut [T] = &mut guard;
+        assert!(
+            cfg.total_threads() >= slots.len(),
+            "launch config provides {} threads for {} outputs",
+            cfg.total_threads(),
+            slots.len()
+        );
+        let (launch_id, panic_thread) = self.next_launch(slots.len());
+        self.inner.stats.record_launch(slots.len());
+        let block_dim = cfg.block_dim;
+        let grid_dim = cfg.grid_dim;
+        let kernel = &kernel;
+        let panicked: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        self.dispatch_slices(slots, |range, chunk: &mut [T]| {
+            for (offset, slot) in range.zip(chunk.iter_mut()) {
+                let ctx = ThreadCtx {
+                    block_idx: offset / block_dim,
+                    thread_idx: offset % block_dim,
+                    block_dim,
+                    grid_dim,
+                };
+                run_spmd_thread(
+                    offset,
+                    panic_thread,
+                    launch_id,
+                    &panicked,
+                    std::panic::AssertUnwindSafe(|| kernel(ctx, slot)),
+                );
+            }
+        });
+        finish_launch(launch_id, panicked)
     }
 
     /// Synchronously launches a kernel where thread `i` receives
@@ -208,58 +480,36 @@ impl Device {
     ///
     /// # Panics
     ///
-    /// Panics if the config provides fewer threads than `out.len()`, or
-    /// if the kernel reads its own output buffer (lock recursion).
+    /// Panics if the config provides fewer threads than `out.len()`, if
+    /// the kernel reads its own output buffer (lock recursion), or if
+    /// any kernel thread panics (see
+    /// [`Device::try_launch_map_blocking`] for the recoverable form).
     pub fn launch_map_blocking<T, F>(&self, cfg: LaunchConfig, out: &DeviceBuffer<T>, kernel: F)
     where
         T: Send + Sync,
         F: Fn(ThreadCtx, &mut T) + Send + Sync,
     {
-        let mut guard = out.write();
-        let slots: &mut [T] = &mut guard;
-        assert!(
-            cfg.total_threads() >= slots.len(),
-            "launch config provides {} threads for {} outputs",
-            cfg.total_threads(),
-            slots.len()
-        );
-        self.inner.stats.record_launch(slots.len());
-        let block_dim = cfg.block_dim;
-        let grid_dim = cfg.grid_dim;
-        let kernel = &kernel;
-        self.dispatch_slices(slots, |range, chunk: &mut [T]| {
-            for (offset, slot) in range.zip(chunk.iter_mut()) {
-                let ctx = ThreadCtx {
-                    block_idx: offset / block_dim,
-                    thread_idx: offset % block_dim,
-                    block_dim,
-                    grid_dim,
-                };
-                kernel(ctx, slot);
-            }
-        });
+        if let Err(e) = self.try_launch_map_blocking(cfg, out, kernel) {
+            panic!("device launch failed: {e}");
+        }
     }
 
-    /// Synchronously launches a *scatter* kernel where thread `i`
-    /// receives exclusive access to the slice
-    /// `out[offsets[i]..offsets[i + 1]]`.
-    ///
-    /// This is the output pattern of the second phase of the parallel
-    /// sweepline (§IV-E): a prefix-sum of per-thread counts determines
-    /// each thread's private output range.
+    /// Fallible synchronous *scatter* launch where thread `i` receives
+    /// exclusive access to the slice `out[offsets[i]..offsets[i + 1]]`.
+    /// See [`Device::try_launch_map_blocking`] for the failure model.
     ///
     /// # Panics
     ///
-    /// Panics if `offsets` is not monotonically non-decreasing, if its
-    /// last entry exceeds `out.len()`, or if the config provides fewer
-    /// threads than `offsets.len() - 1`.
-    pub fn launch_scatter_blocking<T, F>(
+    /// Panics on malformed `offsets` or an undersized launch config
+    /// (programmer errors, not device faults).
+    pub fn try_launch_scatter_blocking<T, F>(
         &self,
         cfg: LaunchConfig,
         out: &DeviceBuffer<T>,
         offsets: &[usize],
         kernel: F,
-    ) where
+    ) -> XpuResult<()>
+    where
         T: Send + Sync,
         F: Fn(ThreadCtx, &mut [T]) + Send + Sync,
     {
@@ -291,10 +541,12 @@ impl Device {
             rest = tail;
             consumed = hi;
         }
+        let (launch_id, panic_thread) = self.next_launch(n_threads);
         self.inner.stats.record_launch(n_threads);
         let block_dim = cfg.block_dim;
         let grid_dim = cfg.grid_dim;
         let kernel = &kernel;
+        let panicked: Mutex<Option<(usize, String)>> = Mutex::new(None);
         self.dispatch_slices(&mut slices, |range, chunk: &mut [&mut [T]]| {
             for (offset, slice) in range.zip(chunk.iter_mut()) {
                 let ctx = ThreadCtx {
@@ -303,9 +555,45 @@ impl Device {
                     block_dim,
                     grid_dim,
                 };
-                kernel(ctx, slice);
+                run_spmd_thread(
+                    offset,
+                    panic_thread,
+                    launch_id,
+                    &panicked,
+                    std::panic::AssertUnwindSafe(|| kernel(ctx, slice)),
+                );
             }
         });
+        finish_launch(launch_id, panicked)
+    }
+
+    /// Synchronously launches a *scatter* kernel where thread `i`
+    /// receives exclusive access to the slice
+    /// `out[offsets[i]..offsets[i + 1]]`.
+    ///
+    /// This is the output pattern of the second phase of the parallel
+    /// sweepline (§IV-E): a prefix-sum of per-thread counts determines
+    /// each thread's private output range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is not monotonically non-decreasing, if its
+    /// last entry exceeds `out.len()`, if the config provides fewer
+    /// threads than `offsets.len() - 1`, or if any kernel thread
+    /// panics (see [`Device::try_launch_scatter_blocking`]).
+    pub fn launch_scatter_blocking<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        offsets: &[usize],
+        kernel: F,
+    ) where
+        T: Send + Sync,
+        F: Fn(ThreadCtx, &mut [T]) + Send + Sync,
+    {
+        if let Err(e) = self.try_launch_scatter_blocking(cfg, out, offsets, kernel) {
+            panic!("device launch failed: {e}");
+        }
     }
 
     /// Runs `body(start_index, chunk)` for contiguous chunks of `work`
@@ -337,9 +625,60 @@ impl Device {
     }
 }
 
+/// Executes one SPMD thread with a per-thread panic boundary: a panic
+/// (genuine or injected) is recorded in `panicked` instead of
+/// propagating into the worker pool. Only the first panic is kept.
+fn run_spmd_thread<F: FnOnce()>(
+    global_id: usize,
+    injected_panic_thread: Option<usize>,
+    launch_id: u64,
+    panicked: &Mutex<Option<(usize, String)>>,
+    body: std::panic::AssertUnwindSafe<F>,
+) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if injected_panic_thread == Some(global_id) {
+            panic!("injected fault: kernel #{launch_id} thread {global_id}");
+        }
+        let std::panic::AssertUnwindSafe(f) = body;
+        f();
+    }));
+    if let Err(payload) = result {
+        let message = panic_message(payload.as_ref());
+        let mut slot = panicked.lock();
+        if slot.is_none() {
+            *slot = Some((global_id, message));
+        }
+    }
+}
+
+/// Converts the first recorded SPMD-thread panic into the launch error.
+fn finish_launch(launch_id: u64, panicked: Mutex<Option<(usize, String)>>) -> XpuResult<()> {
+    match panicked.into_inner() {
+        None => Ok(()),
+        Some((global_id, message)) => Err(XpuError::KernelPanic {
+            kernel: launch_id,
+            global_id,
+            message,
+        }),
+    }
+}
+
+/// Stringifies a panic payload (`&str` and `String` payloads cover
+/// `panic!` and runtime panics; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::Fault;
 
     #[test]
     fn launch_config_round_up() {
@@ -434,5 +773,76 @@ mod tests {
         s.synchronize();
         assert_eq!(d.stats().kernels_launched(), 1);
         assert_eq!(d.stats().threads_executed(), 100);
+    }
+
+    #[test]
+    fn genuine_kernel_panic_is_caught() {
+        let d = Device::new(3);
+        let buf = DeviceBuffer::from_vec(vec![0u32; 600]);
+        let err = d
+            .try_launch_map_blocking(LaunchConfig::for_threads(600), &buf, |ctx, out| {
+                if ctx.global_id() == 300 {
+                    panic!("boom at {}", ctx.global_id());
+                }
+                *out = 1;
+            })
+            .unwrap_err();
+        match err {
+            XpuError::KernelPanic {
+                global_id, message, ..
+            } => {
+                assert_eq!(global_id, 300);
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected KernelPanic, got {other:?}"),
+        }
+        // The pool survived: the device still launches fine.
+        d.launch_map_blocking(LaunchConfig::for_threads(600), &buf, |_, out| *out = 2);
+        assert!(buf.to_vec().iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn injected_kernel_panic_names_kernel_and_thread() {
+        let d = Device::new(2);
+        d.set_fault_plan(Some(FaultPlan::new().with(Fault::KernelPanic {
+            kernel: 0,
+            thread: 5,
+        })));
+        let buf = DeviceBuffer::from_vec(vec![0u8; 16]);
+        let err = d
+            .try_launch_map_blocking(LaunchConfig::for_threads(16), &buf, |_, _| {})
+            .unwrap_err();
+        assert_eq!(
+            err,
+            XpuError::KernelPanic {
+                kernel: 0,
+                global_id: 5,
+                message: "injected fault: kernel #0 thread 5".to_owned(),
+            }
+        );
+        assert_eq!(d.faults_injected(), 1);
+        // Consumed: the next launch succeeds.
+        assert!(d
+            .try_launch_map_blocking(LaunchConfig::for_threads(16), &buf, |_, _| {})
+            .is_ok());
+    }
+
+    #[test]
+    fn budget_reserve_and_release() {
+        let d = Device::with_budget(2, 1000);
+        let r1 = d.try_reserve(600).unwrap();
+        assert_eq!(d.mem_in_use(), 600);
+        let err = d.try_reserve(600).unwrap_err();
+        assert!(matches!(err, XpuError::Oom { requested: 600, .. }));
+        drop(r1);
+        assert_eq!(d.mem_in_use(), 0);
+        assert!(d.try_reserve(600).is_ok());
+    }
+
+    #[test]
+    fn unlimited_device_skips_accounting() {
+        let d = Device::new(1);
+        assert!(d.try_reserve(usize::MAX).unwrap().is_none());
+        assert_eq!(d.mem_in_use(), 0);
     }
 }

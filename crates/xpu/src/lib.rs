@@ -49,6 +49,8 @@
 
 pub mod buffer;
 pub mod device;
+pub mod error;
+pub mod fault;
 pub mod policy;
 pub mod scan;
 pub mod sort;
@@ -56,5 +58,7 @@ pub mod stream;
 
 pub use buffer::{DeviceBuffer, Pending};
 pub use device::{Device, DeviceStats, LaunchConfig, ThreadCtx};
+pub use error::{TransferDirection, XpuError, XpuResult};
+pub use fault::{Fault, FaultPlan};
 pub use policy::{ExecutionPolicy, SequencedPolicy, StreamPolicy};
 pub use stream::{Event, Stream};

@@ -7,6 +7,19 @@
 //! `launch_map` / `download` calls and overlaps its own work (e.g.
 //! packing the next row's edges) with device work — the paper's
 //! CPU/GPU latency-hiding pattern.
+//!
+//! # Failure model
+//!
+//! Streams fail the way CUDA streams do: the first error *poisons* the
+//! stream (it is sticky), subsequent data operations are skipped, and
+//! the error resurfaces from every later fallible call —
+//! [`Stream::try_synchronize`], [`Pending::result`], and the `try_*`
+//! enqueue methods. Control operations (event signalling) still
+//! execute on a poisoned stream so waiters never deadlock. A poisoned
+//! stream stays poisoned; recovery means retrying on a fresh stream
+//! (streams are cheap). The legacy infallible methods are thin wrappers
+//! that panic on device errors, which is the correct behavior for
+//! callers that never install fault plans or budgets.
 
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -15,16 +28,46 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::buffer::{DeviceBuffer, Pending};
 use crate::device::{Device, LaunchConfig, ThreadCtx};
+use crate::error::{TransferDirection, XpuError, XpuResult};
 
-type Job = Box<dyn FnOnce(&Device) + Send>;
+/// A boxed fallible device-side operation carried by a data command.
+type DataJob = Box<dyn FnOnce(&Device) -> XpuResult<()> + Send>;
+
+/// A stream command. Data commands are skipped once the stream is
+/// poisoned and are subject to stall injection; control commands
+/// (event signalling) always run.
+enum Cmd {
+    Data { op: &'static str, job: DataJob },
+    Control(Box<dyn FnOnce(&Device) + Send>),
+}
+
+type ErrorSlot = Arc<Mutex<Option<XpuError>>>;
+
+/// Records the stream's first error; later errors are dropped (sticky
+/// semantics, like `cudaGetLastError` reporting the first failure).
+fn set_sticky(slot: &ErrorSlot, e: XpuError) {
+    let mut s = slot.lock();
+    if s.is_none() {
+        *s = Some(e);
+    }
+}
+
+#[derive(Debug, Default)]
+struct EventState {
+    set: bool,
+    err: Option<XpuError>,
+}
 
 /// A cross-stream synchronization point, mirroring `cudaEvent_t`.
 ///
 /// Record the event on one stream, wait on it from another (or from the
 /// host). The event is triggered when the recording stream reaches it.
+/// An event recorded on a poisoned stream still triggers — carrying the
+/// stream's sticky error, observable via [`Event::wait_result`] — so
+/// waiters never deadlock on a failed stream.
 #[derive(Clone, Debug, Default)]
 pub struct Event {
-    state: Arc<(Mutex<bool>, Condvar)>,
+    state: Arc<(Mutex<EventState>, Condvar)>,
 }
 
 impl Event {
@@ -36,20 +79,40 @@ impl Event {
     /// Blocks the calling thread until the event triggers.
     pub fn wait(&self) {
         let (lock, cvar) = &*self.state;
-        let mut done = lock.lock();
-        while !*done {
-            cvar.wait(&mut done);
+        let mut state = lock.lock();
+        while !state.set {
+            cvar.wait(&mut state);
+        }
+    }
+
+    /// Blocks until the event triggers, then reports the recording
+    /// stream's sticky error, if it had one when the event fired.
+    pub fn wait_result(&self) -> XpuResult<()> {
+        let (lock, cvar) = &*self.state;
+        let mut state = lock.lock();
+        while !state.set {
+            cvar.wait(&mut state);
+        }
+        match &state.err {
+            None => Ok(()),
+            Some(e) => Err(e.clone()),
         }
     }
 
     /// Returns `true` if the event has triggered.
     pub fn is_set(&self) -> bool {
-        *self.state.0.lock()
+        self.state.0.lock().set
     }
 
-    fn set(&self) {
+    fn set_with(&self, err: Option<XpuError>) {
         let (lock, cvar) = &*self.state;
-        *lock.lock() = true;
+        {
+            let mut state = lock.lock();
+            state.set = true;
+            if state.err.is_none() {
+                state.err = err;
+            }
+        }
         cvar.notify_all();
     }
 }
@@ -61,30 +124,57 @@ impl Event {
 /// queue drains. Dropping the stream waits for completion (the
 /// destructor never drops queued work).
 ///
+/// See the [module docs](self) for the failure model: errors are sticky
+/// and recovery happens on a fresh stream.
+///
 /// # Examples
 ///
 /// See the [crate-level example](crate).
 #[derive(Debug)]
 pub struct Stream {
     device: Device,
-    tx: Option<mpsc::Sender<Job>>,
+    err: ErrorSlot,
+    tx: Option<mpsc::Sender<Cmd>>,
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Stream {
     pub(crate) fn new(device: Device) -> Self {
-        let (tx, rx) = mpsc::channel::<Job>();
+        let (tx, rx) = mpsc::channel::<Cmd>();
         let worker_device = device.clone();
+        let err: ErrorSlot = Arc::new(Mutex::new(None));
+        let worker_err = Arc::clone(&err);
         let worker = std::thread::Builder::new()
             .name("xpu-stream".to_owned())
             .spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    job(&worker_device);
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Cmd::Control(f) => f(&worker_device),
+                        Cmd::Data { op, job } => {
+                            if worker_err.lock().is_some() {
+                                // Poisoned: skip the job. Dropping it
+                                // disconnects any per-op sender, and
+                                // the sticky error is already visible.
+                                continue;
+                            }
+                            if let Some(e) = worker_device.fault_stream_op(op) {
+                                // Injected stall: poison *before* the
+                                // job (and its senders) drops, so a
+                                // disconnected Pending sees the error.
+                                set_sticky(&worker_err, e);
+                                continue;
+                            }
+                            if let Err(e) = job(&worker_device) {
+                                set_sticky(&worker_err, e);
+                            }
+                        }
+                    }
                 }
             })
             .expect("spawn stream worker");
         Stream {
             device,
+            err,
             tx: Some(tx),
             worker: Some(worker),
         }
@@ -95,80 +185,231 @@ impl Stream {
         &self.device
     }
 
-    fn submit(&self, job: Job) {
+    /// The stream's sticky error, if it has failed.
+    pub fn error(&self) -> Option<XpuError> {
+        self.err.lock().clone()
+    }
+
+    fn check_sticky(&self) -> XpuResult<()> {
+        match self.error() {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn submit(&self, cmd: Cmd) {
         self.tx
             .as_ref()
             .expect("stream channel open until drop")
-            .send(job)
+            .send(cmd)
             .expect("stream worker alive until drop");
+    }
+
+    fn submit_data(&self, op: &'static str, job: DataJob) {
+        self.submit(Cmd::Data { op, job });
+    }
+
+    /// Fallible stream-ordered allocation: fails fast (without
+    /// poisoning the stream) when the device's memory budget would be
+    /// exceeded or an alloc fault is injected, like a `cudaMallocAsync`
+    /// error return.
+    pub fn try_alloc<T>(&self, len: usize) -> XpuResult<DeviceBuffer<T>>
+    where
+        T: Default + Clone + Send + Sync + 'static,
+    {
+        self.check_sticky()?;
+        let bytes = len * std::mem::size_of::<T>();
+        if let Some(e) = self.device.fault_alloc(bytes) {
+            return Err(e);
+        }
+        let reservation = self.device.try_reserve(bytes)?;
+        let buf: DeviceBuffer<T> = DeviceBuffer::reserved(reservation);
+        let handle = buf.clone();
+        self.submit_data(
+            "alloc",
+            Box::new(move |_| {
+                handle.replace(vec![T::default(); len]);
+                Ok(())
+            }),
+        );
+        Ok(buf)
     }
 
     /// Stream-ordered allocation: the buffer handle is returned
     /// immediately, but the allocation (default-initialization) happens
     /// in stream order, like `cudaMallocAsync`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on device errors (budget exhaustion, poisoned stream);
+    /// use [`Stream::try_alloc`] to recover instead.
     pub fn alloc<T>(&self, len: usize) -> DeviceBuffer<T>
     where
         T: Default + Clone + Send + Sync + 'static,
     {
-        let buf: DeviceBuffer<T> = DeviceBuffer::from_vec(Vec::new());
+        self.try_alloc(len)
+            .unwrap_or_else(|e| panic!("device allocation failed: {e}"))
+    }
+
+    /// Fallible asynchronous host → device copy; fails fast on budget
+    /// exhaustion or an injected transfer fault, leaving the stream
+    /// healthy.
+    pub fn try_upload<T>(&self, data: Vec<T>) -> XpuResult<DeviceBuffer<T>>
+    where
+        T: Send + Sync + 'static,
+    {
+        self.check_sticky()?;
+        let bytes = data.len() * std::mem::size_of::<T>();
+        if let Some(e) = self
+            .device
+            .fault_transfer(TransferDirection::HostToDevice, bytes)
+        {
+            return Err(e);
+        }
+        let reservation = self.device.try_reserve(bytes)?;
+        let buf: DeviceBuffer<T> = DeviceBuffer::reserved(reservation);
         let handle = buf.clone();
-        self.submit(Box::new(move |_| {
-            handle.replace(vec![T::default(); len]);
-        }));
-        buf
+        self.submit_data(
+            "upload",
+            Box::new(move |device| {
+                device.stats().record_h2d(bytes);
+                handle.replace(data);
+                Ok(())
+            }),
+        );
+        Ok(buf)
     }
 
     /// Asynchronous host → device copy; the host vector is moved into
     /// the operation (no use-after-free by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on device errors; use [`Stream::try_upload`] to recover.
     pub fn upload<T>(&self, data: Vec<T>) -> DeviceBuffer<T>
     where
         T: Send + Sync + 'static,
     {
-        let buf: DeviceBuffer<T> = DeviceBuffer::from_vec(Vec::new());
+        self.try_upload(data)
+            .unwrap_or_else(|e| panic!("device upload failed: {e}"))
+    }
+
+    /// Fallible asynchronous device → host copy. The returned
+    /// [`Pending`] resolves when the stream reaches this operation;
+    /// if the stream fails first, [`Pending::result`] reports the
+    /// sticky error instead of blocking forever.
+    pub fn try_download<T>(&self, buf: &DeviceBuffer<T>) -> XpuResult<Pending<Vec<T>>>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        self.check_sticky()?;
+        let (tx, rx) = mpsc::channel();
         let handle = buf.clone();
-        self.submit(Box::new(move |device| {
-            device
-                .stats()
-                .record_h2d(data.len() * std::mem::size_of::<T>());
-            handle.replace(data);
-        }));
-        buf
+        let err = Arc::clone(&self.err);
+        self.submit_data(
+            "download",
+            Box::new(move |device| {
+                let data = handle.to_vec();
+                let bytes = data.len() * std::mem::size_of::<T>();
+                if let Some(e) = device.fault_transfer(TransferDirection::DeviceToHost, bytes) {
+                    // Poison before `tx` drops so the waiting Pending
+                    // observes the error, not a bare disconnect.
+                    set_sticky(&err, e.clone());
+                    return Err(e);
+                }
+                device.stats().record_d2h(bytes);
+                let _ = tx.send(data);
+                Ok(())
+            }),
+        );
+        Ok(Pending::with_error_slot(rx, Arc::clone(&self.err)))
     }
 
     /// Asynchronous device → host copy; the returned [`Pending`]
     /// resolves when the stream reaches this operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is already poisoned; use
+    /// [`Stream::try_download`] to recover.
     pub fn download<T>(&self, buf: &DeviceBuffer<T>) -> Pending<Vec<T>>
     where
         T: Clone + Send + Sync + 'static,
     {
-        let (tx, rx) = mpsc::channel();
-        let handle = buf.clone();
-        self.submit(Box::new(move |device| {
-            let data = handle.to_vec();
-            device
-                .stats()
-                .record_d2h(data.len() * std::mem::size_of::<T>());
-            let _ = tx.send(data);
-        }));
-        Pending::new(rx)
+        self.try_download(buf)
+            .unwrap_or_else(|e| panic!("device download failed: {e}"))
+    }
+
+    /// Fallibly enqueues a kernel launch where thread `i` owns `out[i]`
+    /// (see [`Device::try_launch_map_blocking`]). Enqueueing succeeds
+    /// on a healthy stream; a kernel panic during execution poisons the
+    /// stream and surfaces from [`Stream::try_synchronize`] or any
+    /// [`Pending::result`].
+    pub fn try_launch_map<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        kernel: F,
+    ) -> XpuResult<()>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(ThreadCtx, &mut T) + Send + Sync + 'static,
+    {
+        self.check_sticky()?;
+        let out = out.clone();
+        self.submit_data(
+            "launch_map",
+            Box::new(move |device| device.try_launch_map_blocking(cfg, &out, kernel)),
+        );
+        Ok(())
     }
 
     /// Enqueues a kernel launch where thread `i` owns `out[i]`
     /// (see [`Device::launch_map_blocking`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is already poisoned; a kernel panic during
+    /// execution poisons the stream and panics later waits.
     pub fn launch_map<T, F>(&self, cfg: LaunchConfig, out: &DeviceBuffer<T>, kernel: F)
     where
         T: Send + Sync + 'static,
         F: Fn(ThreadCtx, &mut T) + Send + Sync + 'static,
     {
+        self.try_launch_map(cfg, out, kernel)
+            .unwrap_or_else(|e| panic!("device launch failed: {e}"));
+    }
+
+    /// Fallibly enqueues a scatter kernel launch where thread `i` owns
+    /// `out[offsets[i]..offsets[i + 1]]`
+    /// (see [`Device::try_launch_scatter_blocking`]).
+    pub fn try_launch_scatter<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        offsets: Vec<usize>,
+        kernel: F,
+    ) -> XpuResult<()>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(ThreadCtx, &mut [T]) + Send + Sync + 'static,
+    {
+        self.check_sticky()?;
         let out = out.clone();
-        self.submit(Box::new(move |device| {
-            device.launch_map_blocking(cfg, &out, kernel);
-        }));
+        self.submit_data(
+            "launch_scatter",
+            Box::new(move |device| device.try_launch_scatter_blocking(cfg, &out, &offsets, kernel)),
+        );
+        Ok(())
     }
 
     /// Enqueues a scatter kernel launch where thread `i` owns
     /// `out[offsets[i]..offsets[i + 1]]`
     /// (see [`Device::launch_scatter_blocking`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is already poisoned.
     pub fn launch_scatter<T, F>(
         &self,
         cfg: LaunchConfig,
@@ -179,40 +420,64 @@ impl Stream {
         T: Send + Sync + 'static,
         F: Fn(ThreadCtx, &mut [T]) + Send + Sync + 'static,
     {
-        let out = out.clone();
-        self.submit(Box::new(move |device| {
-            device.launch_scatter_blocking(cfg, &out, &offsets, kernel);
-        }));
+        self.try_launch_scatter(cfg, out, offsets, kernel)
+            .unwrap_or_else(|e| panic!("device launch failed: {e}"));
     }
 
     /// Enqueues an arbitrary device-side operation (used by the scan
-    /// primitives and by tests).
+    /// primitives and by tests). Skipped if the stream is poisoned.
     pub fn enqueue<F>(&self, op: F)
     where
         F: FnOnce(&Device) + Send + 'static,
     {
-        self.submit(Box::new(op));
+        self.submit_data(
+            "enqueue",
+            Box::new(move |device| {
+                op(device);
+                Ok(())
+            }),
+        );
     }
 
     /// Records `event` in stream order: it triggers once all previously
-    /// enqueued operations have completed.
+    /// enqueued operations have completed. The event carries the
+    /// stream's sticky error, if any, and fires even on a poisoned
+    /// stream (a control operation), so waiters never deadlock.
     pub fn record_event(&self, event: &Event) {
         let event = event.clone();
-        self.submit(Box::new(move |_| event.set()));
+        let err = Arc::clone(&self.err);
+        self.submit(Cmd::Control(Box::new(move |_| {
+            event.set_with(err.lock().clone());
+        })));
     }
 
-    /// Makes this stream wait (in stream order) for `event`.
+    /// Makes this stream wait (in stream order) for `event`. A control
+    /// operation: it preserves cross-stream ordering even when this
+    /// stream is poisoned, and is never a fault-injection target.
     pub fn wait_event(&self, event: &Event) {
         let event = event.clone();
-        self.submit(Box::new(move |_| event.wait()));
+        self.submit(Cmd::Control(Box::new(move |_| event.wait())));
+    }
+
+    /// Blocks until every previously enqueued operation has completed
+    /// or been skipped, then reports the stream's sticky error, if any
+    /// — the fallible `cudaStreamSynchronize`.
+    pub fn try_synchronize(&self) -> XpuResult<()> {
+        let event = Event::new();
+        self.record_event(&event);
+        event.wait_result()
     }
 
     /// Blocks until every previously enqueued operation has completed,
     /// mirroring `cudaStreamSynchronize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream failed; use [`Stream::try_synchronize`] to
+    /// recover.
     pub fn synchronize(&self) {
-        let event = Event::new();
-        self.record_event(&event);
-        event.wait();
+        self.try_synchronize()
+            .unwrap_or_else(|e| panic!("stream failed: {e}"));
     }
 }
 
@@ -323,6 +588,7 @@ mod tests {
         consumer.synchronize();
         assert_eq!(observed.load(Ordering::SeqCst), 1);
         assert!(event.is_set());
+        assert!(event.wait_result().is_ok());
     }
 
     #[test]
@@ -351,5 +617,76 @@ mod tests {
             });
         } // drop joins
         assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn kernel_panic_poisons_stream() {
+        let device = Device::new(2);
+        let stream = device.stream();
+        let buf = stream.alloc::<u32>(100);
+        stream
+            .try_launch_map(LaunchConfig::for_threads(100), &buf, |ctx, _| {
+                if ctx.global_id() == 42 {
+                    panic!("kernel bug");
+                }
+            })
+            .expect("enqueue succeeds on a healthy stream");
+        let err = stream.try_synchronize().unwrap_err();
+        assert!(matches!(err, XpuError::KernelPanic { global_id: 42, .. }));
+        // Sticky: later enqueues fail fast with the same error.
+        assert!(stream.try_alloc::<u32>(1).is_err());
+        assert!(stream.error().is_some());
+        // A fresh stream on the same device works fine.
+        let fresh = device.stream();
+        let b2 = fresh.try_upload(vec![1u8, 2]).unwrap();
+        assert_eq!(
+            fresh.try_download(&b2).unwrap().result().unwrap(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn pending_on_poisoned_stream_reports_error() {
+        let device = Device::new(2);
+        let stream = device.stream();
+        let buf = stream.upload(vec![0u32; 10]);
+        stream
+            .try_launch_map(LaunchConfig::for_threads(10), &buf, |_, _| {
+                panic!("boom");
+            })
+            .unwrap();
+        // The download is enqueued after the failing launch: it gets
+        // skipped, and the Pending resolves to the sticky error.
+        let pending = stream.try_download(&buf).unwrap();
+        assert!(matches!(
+            pending.result(),
+            Err(XpuError::KernelPanic { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "stream failed")]
+    fn legacy_synchronize_panics_on_poisoned_stream() {
+        let device = Device::new(2);
+        let stream = device.stream();
+        let buf = stream.alloc::<u8>(4);
+        stream
+            .try_launch_map(LaunchConfig::for_threads(4), &buf, |_, _| panic!("bug"))
+            .unwrap();
+        stream.synchronize();
+    }
+
+    #[test]
+    fn event_carries_stream_error() {
+        let device = Device::new(2);
+        let stream = device.stream();
+        let buf = stream.alloc::<u8>(4);
+        stream
+            .try_launch_map(LaunchConfig::for_threads(4), &buf, |_, _| panic!("bug"))
+            .unwrap();
+        let event = Event::new();
+        stream.record_event(&event);
+        assert!(event.wait_result().is_err());
+        assert!(event.is_set());
     }
 }

@@ -1,0 +1,171 @@
+//! Fault-path integration tests for the simulated device.
+//!
+//! Each test drives the public fallible API through one failure class
+//! — budget OOM, injected OOM, kernel panic, transfer failure, stream
+//! stall — and asserts the documented contract: the error is typed,
+//! the fault is one-shot (a retry on a fresh stream converges), and a
+//! device that survives a fault keeps computing correct results.
+
+use odrc_xpu::{Device, Fault, FaultPlan, LaunchConfig, Stream, XpuError};
+
+/// Uploads `0..n`, doubles on the device, downloads — the smallest
+/// end-to-end pipeline worth breaking.
+fn doubled(stream: &Stream, n: usize) -> Result<Vec<u64>, XpuError> {
+    let input: Vec<u64> = (0..n as u64).collect();
+    let buf = stream.try_upload(input)?;
+    stream.try_launch_map(LaunchConfig::for_threads(n), &buf, |_, v: &mut u64| {
+        *v *= 2;
+    })?;
+    let pending = stream.try_download(&buf)?;
+    pending.result()
+}
+
+fn expected(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|v| v * 2).collect()
+}
+
+#[test]
+fn budget_oom_fails_alloc_without_poisoning() {
+    let device = Device::with_budget(2, 64);
+    let stream = device.stream();
+    // 16 u64s = 128 bytes > the 64-byte budget.
+    match stream.try_alloc::<u64>(16) {
+        Err(XpuError::Oom {
+            requested, budget, ..
+        }) => {
+            assert_eq!(requested, 128);
+            assert_eq!(budget, 64);
+        }
+        other => panic!("expected Oom, got {other:?}"),
+    }
+    // The failure was fail-fast: the same stream still works within
+    // budget, and dropping buffers returns their bytes.
+    let small = stream.try_alloc::<u64>(4).expect("within budget");
+    stream.try_synchronize().expect("stream healthy");
+    drop(small);
+    stream.try_synchronize().expect("drain release");
+    assert_eq!(device.mem_in_use(), 0);
+}
+
+#[test]
+fn injected_oom_is_transient() {
+    let device = Device::new(2);
+    device.set_fault_plan(Some(FaultPlan::new().with(Fault::AllocOom { nth: 0 })));
+    let stream = device.stream();
+    assert!(matches!(
+        stream.try_alloc::<u64>(8),
+        Err(XpuError::Oom { .. })
+    ));
+    // One-shot: the identical retry succeeds on the same stream.
+    assert!(stream.try_alloc::<u64>(8).is_ok());
+    stream.try_synchronize().expect("stream never poisoned");
+    assert_eq!(device.faults_injected(), 1);
+}
+
+#[test]
+fn injected_kernel_panic_poisons_stream_and_fresh_stream_recovers() {
+    let device = Device::new(4);
+    device.set_fault_plan(Some(FaultPlan::new().with(Fault::KernelPanic {
+        kernel: 0,
+        thread: 5,
+    })));
+    let stream = device.stream();
+    let err = doubled(&stream, 100).expect_err("kernel 0 panics");
+    match &err {
+        XpuError::KernelPanic {
+            kernel, global_id, ..
+        } => {
+            assert_eq!(*kernel, 0);
+            assert_eq!(*global_id, 5);
+        }
+        other => panic!("expected KernelPanic, got {other:?}"),
+    }
+    // The stream is now sticky-failed: later work is refused with the
+    // same error.
+    assert_eq!(stream.error(), Some(err));
+    assert!(stream.try_upload(vec![1u64]).is_err());
+    // Recovery is a fresh stream; the fault was consumed, so the
+    // second attempt computes the right answer.
+    let fresh = device.stream();
+    assert_eq!(doubled(&fresh, 100).expect("fault consumed"), expected(100));
+    assert_eq!(device.faults_injected(), 1);
+}
+
+#[test]
+fn injected_transfer_failure_fails_upload_fast() {
+    let device = Device::new(2);
+    device.set_fault_plan(Some(FaultPlan::new().with(Fault::TransferFail { nth: 0 })));
+    let stream = device.stream();
+    assert!(matches!(
+        stream.try_upload(vec![1u64, 2, 3]),
+        Err(XpuError::TransferError { .. })
+    ));
+    // Fail-fast at enqueue: the stream is still healthy and the retry
+    // pipeline runs to completion.
+    assert_eq!(doubled(&stream, 10).expect("fault consumed"), expected(10));
+}
+
+#[test]
+fn injected_stream_stall_surfaces_as_timeout() {
+    let device = Device::new(2);
+    // Stall the first data operation the device sees.
+    device.set_fault_plan(Some(FaultPlan::new().with(Fault::StreamStall { nth: 0 })));
+    let stream = device.stream();
+    let buf = stream.try_upload(vec![1u64, 2, 3]).expect("enqueue ok");
+    let err = stream.try_synchronize().expect_err("stalled op times out");
+    assert!(matches!(err, XpuError::StreamTimeout { .. }));
+    drop(buf);
+    // Fresh stream, consumed fault: the device is fully usable again.
+    let fresh = device.stream();
+    assert_eq!(doubled(&fresh, 10).expect("fault consumed"), expected(10));
+}
+
+#[test]
+fn pending_never_hangs_on_failed_stream() {
+    let device = Device::new(2);
+    device.set_fault_plan(Some(FaultPlan::new().with(Fault::StreamStall { nth: 1 })));
+    let stream = device.stream();
+    let buf = stream.try_upload(vec![7u64; 32]).expect("upload enqueued");
+    // The download (data op #1) is the stalled one: its Pending must
+    // resolve to the stream error, not block forever.
+    let pending = stream.try_download(&buf).expect("enqueue ok");
+    assert!(matches!(
+        pending.result(),
+        Err(XpuError::StreamTimeout { .. })
+    ));
+}
+
+#[test]
+fn seeded_plan_runs_identically_twice() {
+    // The same seed must inject the same faults at the same points:
+    // run the same workload on two devices with the same plan and
+    // compare every outcome.
+    let run = || {
+        let device = Device::new(2);
+        device.set_fault_plan(Some(FaultPlan::from_seed(42, 8)));
+        let mut outcomes = Vec::new();
+        for round in 0..6 {
+            let stream = device.stream();
+            outcomes.push(doubled(&stream, 50 + round));
+        }
+        (outcomes, device.faults_injected())
+    };
+    let (a, injected_a) = run();
+    let (b, injected_b) = run();
+    assert_eq!(a, b, "same seed, same schedule, same outcomes");
+    assert_eq!(injected_a, injected_b);
+}
+
+#[test]
+fn fault_free_device_injects_nothing() {
+    let device = Device::new(2);
+    let stream = device.stream();
+    assert_eq!(doubled(&stream, 64).expect("no faults"), expected(64));
+    assert_eq!(device.faults_injected(), 0);
+    // Installing then clearing a plan leaves the device clean.
+    device.set_fault_plan(Some(FaultPlan::from_seed(7, 4)));
+    device.set_fault_plan(None);
+    let stream = device.stream();
+    assert_eq!(doubled(&stream, 64).expect("plan cleared"), expected(64));
+    assert_eq!(device.faults_injected(), 0);
+}
