@@ -21,4 +21,18 @@ echo "== fault-injection suite (seeded FaultPlan matrix)"
 cargo test -q --release -p odrc-xpu --test faults
 cargo test -q --release -p odrc --test fault_injection
 
+echo "== planner equivalence (fixed fault seeds)"
+# The execution planner must report byte-identical violations to the
+# per-rule loop, in both modes, with and without injected faults. The
+# vendored proptest derives every case's seed from the test name, so
+# the fault schedules exercised here are fixed run to run.
+cargo test -q --release -p odrc --test plan_equivalence
+
+echo "== pipeline bench smoke run"
+# The planner benchmark on the small uart design: asserts all four
+# (mode, planner) configurations agree and exercises the JSON emitter.
+# Runs from target/ so the committed aes/jpeg BENCH_pipeline.json
+# record is not clobbered by the smoke design.
+(cd target && cargo run -q --release -p odrc-bench --bin pipeline -- --designs uart --json)
+
 echo "== ci.sh: all green"

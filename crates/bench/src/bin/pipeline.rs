@@ -1,0 +1,230 @@
+//! Benchmarks the cross-rule execution planner on a multi-rule deck:
+//! both engine modes, planner on versus off (the per-rule-loop
+//! baseline), per design. With `--json`, writes the machine-readable
+//! `BENCH_pipeline.json` so the perf trajectory is tracked across PRs.
+//!
+//! ```text
+//! cargo run -p odrc-bench --release --bin pipeline -- \
+//!     [--designs aes,jpeg] [--repeat N] [--json]
+//! ```
+
+use std::time::Instant;
+
+use odrc::{CheckReport, Engine, EngineOptions, Mode, RuleDeck};
+use odrc_bench::{load_designs, pipeline_deck, BenchDesign};
+
+struct RunResult {
+    mode: &'static str,
+    planner: bool,
+    wall_ms: f64,
+    report: Option<CheckReport>,
+}
+
+impl RunResult {
+    fn report(&self) -> &CheckReport {
+        self.report.as_ref().expect("configuration was run")
+    }
+}
+
+fn engine(mode: Mode, planner: bool) -> Engine {
+    let base = match mode {
+        Mode::Sequential => Engine::sequential(),
+        Mode::Parallel => Engine::parallel(),
+    };
+    base.with_options(EngineOptions {
+        planner,
+        ..EngineOptions::default()
+    })
+}
+
+/// Runs every configuration `repeat` times in round-robin order —
+/// interleaving cancels drift (thermal, allocator growth) that would
+/// otherwise systematically penalize later configurations — and keeps
+/// each configuration's minimum wall time, the noise-robust statistic
+/// for a CPU-bound simulated device.
+fn run_configs(
+    design: &BenchDesign,
+    deck: &RuleDeck,
+    configs: &[(Mode, bool)],
+    repeat: usize,
+) -> Vec<RunResult> {
+    let mut results: Vec<RunResult> = configs
+        .iter()
+        .map(|&(mode, planner)| RunResult {
+            mode: match mode {
+                Mode::Sequential => "sequential",
+                Mode::Parallel => "parallel",
+            },
+            planner,
+            wall_ms: f64::INFINITY,
+            report: None,
+        })
+        .collect();
+    for _ in 0..repeat.max(1) {
+        for (slot, &(mode, planner)) in results.iter_mut().zip(configs) {
+            let e = engine(mode, planner);
+            let start = Instant::now();
+            let r = e.check(&design.layout, deck);
+            slot.wall_ms = slot.wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            slot.report = Some(r);
+        }
+    }
+    results
+}
+
+fn write_json(path: &str, results: &[(String, Vec<RunResult>)]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"pipeline\",")?;
+    writeln!(f, "  \"designs\": [")?;
+    for (di, (name, runs)) in results.iter().enumerate() {
+        writeln!(f, "    {{")?;
+        writeln!(f, "      \"name\": \"{name}\",")?;
+        writeln!(f, "      \"runs\": [")?;
+        for (ri, r) in runs.iter().enumerate() {
+            let s = &r.report().stats;
+            writeln!(f, "        {{")?;
+            writeln!(f, "          \"mode\": \"{}\",", r.mode)?;
+            writeln!(f, "          \"planner\": {},", r.planner)?;
+            writeln!(f, "          \"wall_ms\": {:.3},", r.wall_ms)?;
+            writeln!(
+                f,
+                "          \"violations\": {},",
+                r.report().violations.len()
+            )?;
+            writeln!(f, "          \"checks_computed\": {},", s.checks_computed)?;
+            writeln!(f, "          \"checks_reused\": {},", s.checks_reused)?;
+            writeln!(f, "          \"rows\": {},", s.rows)?;
+            writeln!(f, "          \"scenes_built\": {},", s.scenes_built)?;
+            writeln!(f, "          \"scenes_reused\": {},", s.scenes_reused)?;
+            writeln!(f, "          \"uploads_elided\": {},", s.uploads_elided)?;
+            writeln!(f, "          \"bytes_uploaded\": {},", s.bytes_uploaded)?;
+            writeln!(f, "          \"degraded\": {},", s.degraded())?;
+            writeln!(f, "          \"phases_ms\": {{")?;
+            let phases = r.report().profile.phases();
+            for (pi, (phase, d)) in phases.iter().enumerate() {
+                writeln!(
+                    f,
+                    "            \"{}\": {:.3}{}",
+                    phase,
+                    d.as_secs_f64() * 1e3,
+                    if pi + 1 < phases.len() { "," } else { "" }
+                )?;
+            }
+            writeln!(f, "          }}")?;
+            writeln!(
+                f,
+                "        }}{}",
+                if ri + 1 < runs.len() { "," } else { "" }
+            )?;
+        }
+        writeln!(f, "      ]")?;
+        writeln!(f, "    }}{}", if di + 1 < results.len() { "," } else { "" })?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut designs = Some("aes,jpeg".to_owned());
+    let mut repeat = 1usize;
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--designs" if i + 1 < args.len() => {
+                designs = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--repeat" if i + 1 < args.len() => {
+                repeat = args[i + 1].parse().unwrap_or(1).max(1);
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("ignoring unknown argument '{other}'");
+                i += 1;
+            }
+        }
+    }
+
+    let deck = pipeline_deck();
+    let configs = [
+        (Mode::Sequential, false),
+        (Mode::Sequential, true),
+        (Mode::Parallel, false),
+        (Mode::Parallel, true),
+    ];
+
+    println!(
+        "\n=== Execution planner: {}-rule deck, planner off vs on ===",
+        deck.rules().len()
+    );
+    println!(
+        "{:<10} {:<12} {:>8} {:>10} {:>7} {:>7} {:>7} {:>7} {:>12} {:>7}",
+        "design",
+        "config",
+        "wall_ms",
+        "#viol",
+        "scn+",
+        "scn=",
+        "rows",
+        "elide",
+        "bytes_up",
+        "speedup"
+    );
+
+    let mut results: Vec<(String, Vec<RunResult>)> = Vec::new();
+    for design in load_designs(designs.as_deref()) {
+        let runs = run_configs(&design, &deck, &configs, repeat);
+        let mut baseline: std::collections::HashMap<&'static str, f64> = Default::default();
+        for r in &runs {
+            // All four configurations must agree exactly.
+            assert_eq!(
+                runs[0].report().violations,
+                r.report().violations,
+                "planner changed the violation set on {}",
+                design.name
+            );
+            let speedup = if r.planner {
+                baseline.get(r.mode).map(|b| b / r.wall_ms)
+            } else {
+                baseline.insert(r.mode, r.wall_ms);
+                None
+            };
+            let s = &r.report().stats;
+            println!(
+                "{:<10} {:<12} {:>8.1} {:>10} {:>7} {:>7} {:>7} {:>7} {:>12} {:>7}",
+                design.name,
+                format!(
+                    "{}{}",
+                    if r.mode == "sequential" { "seq" } else { "par" },
+                    if r.planner { "+plan" } else { "" }
+                ),
+                r.wall_ms,
+                r.report().violations.len(),
+                s.scenes_built,
+                s.scenes_reused,
+                s.rows,
+                s.uploads_elided,
+                s.bytes_uploaded,
+                speedup
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".to_owned()),
+            );
+        }
+        results.push((design.name.clone(), runs));
+    }
+
+    if json {
+        let path = "BENCH_pipeline.json";
+        write_json(path, &results).expect("write BENCH_pipeline.json");
+        println!("\nwrote {path}");
+    }
+}

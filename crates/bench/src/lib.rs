@@ -328,6 +328,68 @@ fn rules_iter(rules: &[NamedRule]) -> Vec<&NamedRule> {
     rules.iter().collect()
 }
 
+/// The execution-planner benchmark deck: every layer carries several
+/// rules so the planner's scene memo and device-resident buffer cache
+/// have sharing to exploit — width + area + unconditional and
+/// conditional spacing on the metals (the two M1 spacing rules share
+/// one partitioned row set), plus the via enclosures (whose outer
+/// scenes are the metal scenes the spacing rules already built).
+pub fn pipeline_deck() -> RuleDeck {
+    RuleDeck::new(vec![
+        rule()
+            .layer(tech::M1)
+            .width()
+            .greater_than(tech::M1_WIDTH)
+            .named("M1.W.1"),
+        rule()
+            .layer(tech::M1)
+            .area()
+            .greater_than(tech::M1_AREA)
+            .named("M1.A.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .when_projection_at_least(tech::M1_WIDTH)
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.2"),
+        rule()
+            .layer(tech::M2)
+            .width()
+            .greater_than(tech::M2_WIDTH)
+            .named("M2.W.1"),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
+        rule()
+            .layer(tech::M3)
+            .width()
+            .greater_than(tech::M3_WIDTH)
+            .named("M3.W.1"),
+        rule()
+            .layer(tech::M3)
+            .space()
+            .greater_than(tech::M3_SPACE)
+            .named("M3.S.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M1)
+            .greater_than(tech::V1_M1_ENCLOSURE)
+            .named("V1.M1.EN.1"),
+        rule()
+            .layer(tech::V2)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V2_M2_ENCLOSURE)
+            .named("V2.M2.EN.1"),
+    ])
+}
+
 /// Engine options with pruning disabled (ablation).
 pub fn no_pruning() -> EngineOptions {
     EngineOptions {

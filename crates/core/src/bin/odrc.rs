@@ -240,6 +240,10 @@ fn write_stats_json(path: &str, report: &CheckReport) -> std::io::Result<()> {
         report.stats.device_fallbacks
     )?;
     writeln!(f, "  \"degraded\": {},", report.stats.degraded())?;
+    writeln!(f, "  \"scenes_built\": {},", report.stats.scenes_built)?;
+    writeln!(f, "  \"scenes_reused\": {},", report.stats.scenes_reused)?;
+    writeln!(f, "  \"uploads_elided\": {},", report.stats.uploads_elided)?;
+    writeln!(f, "  \"bytes_uploaded\": {},", report.stats.bytes_uploaded)?;
     writeln!(
         f,
         "  \"total_ms\": {:.3},",
@@ -312,6 +316,10 @@ fn print_stats(stats: &odrc::EngineStats) {
     eprintln!(
         "checks computed: {}, reused: {}, candidate pairs: {}, rows: {}",
         stats.checks_computed, stats.checks_reused, stats.candidate_pairs, stats.rows
+    );
+    eprintln!(
+        "scenes built: {}, reused: {}; uploads elided: {}, bytes uploaded: {}",
+        stats.scenes_built, stats.scenes_reused, stats.uploads_elided, stats.bytes_uploaded
     );
     if stats.degraded() {
         eprintln!(

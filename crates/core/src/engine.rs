@@ -53,6 +53,13 @@ pub struct EngineOptions {
     /// Base delay of the capped exponential backoff between device
     /// retries, in milliseconds.
     pub retry_backoff_ms: u64,
+    /// Enable the cross-rule execution planner: one scene per layer
+    /// per run, device-resident row buffers shared across rules, and
+    /// concurrent multi-stream rule scheduling with deferred
+    /// synchronization. Disabling it reproduces the strict per-rule
+    /// loop (fresh scene and uploads per rule, synchronize between
+    /// rules) — the planner ablation and the equivalence baseline.
+    pub planner: bool,
 }
 
 impl Default for EngineOptions {
@@ -64,6 +71,7 @@ impl Default for EngineOptions {
             pair_index: PairIndex::default(),
             max_device_retries: 2,
             retry_backoff_ms: 1,
+            planner: true,
         }
     }
 }
@@ -85,6 +93,17 @@ pub struct EngineStats {
     pub device_retries: usize,
     /// Work units recomputed on the host after the device gave up.
     pub device_fallbacks: usize,
+    /// Full layer scenes built this run (windowed delta scenes are not
+    /// counted — they are rule-specific by construction).
+    pub scenes_built: usize,
+    /// Scene requests answered by the planner's per-run memo.
+    pub scenes_reused: usize,
+    /// Host→device uploads skipped because the data was already
+    /// device-resident (the planner's buffer cache).
+    pub uploads_elided: usize,
+    /// Bytes actually moved host→device through the planner's shared
+    /// upload path (shallow sizes at the upload call sites).
+    pub bytes_uploaded: u64,
 }
 
 impl EngineStats {
@@ -244,12 +263,49 @@ impl Engine {
                     // a fault during one rule must not poison the rest
                     // of the deck (failed work is recovered per row
                     // inside each rule).
-                    for rule in deck.rules() {
-                        let stream = self.device.stream();
-                        self.run_parallel(&mut ctx, &stream, rule, &mut violations);
-                        // Errors were already handled per work unit;
-                        // drain the stream without re-raising them.
-                        let _ = stream.try_synchronize();
+                    if self.options.planner {
+                        // Planned: issue rules ahead of collection so
+                        // independent device work overlaps across
+                        // streams, with synchronization deferred to
+                        // each rule's collect (§IV-E, §V-C). In-flight
+                        // rules are bounded by the host's parallelism:
+                        // past that point extra live streams only add
+                        // contention (on a single-core host the window
+                        // degrades to issue-ahead-by-one, keeping the
+                        // scene/buffer sharing wins without
+                        // oversubscription).
+                        let plan = ctx
+                            .profiler
+                            .time("plan", || crate::plan::ExecutionPlan::build(deck));
+                        let window = std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1)
+                            .clamp(2, 8);
+                        let mut inflight = std::collections::VecDeque::with_capacity(window);
+                        for &ri in &plan.order {
+                            if inflight.len() >= window {
+                                let fl = inflight.pop_front().expect("window is non-empty");
+                                parallel::collect_rule(&mut ctx, fl, &mut violations);
+                            }
+                            let stream = self.device.stream();
+                            inflight.push_back(parallel::issue_rule(
+                                &mut ctx,
+                                stream,
+                                &deck.rules()[ri],
+                            ));
+                        }
+                        for fl in inflight {
+                            parallel::collect_rule(&mut ctx, fl, &mut violations);
+                        }
+                    } else {
+                        // Ablation / equivalence baseline: the strict
+                        // per-rule loop with a synchronize between
+                        // rules.
+                        for rule in deck.rules() {
+                            let stream = self.device.stream();
+                            let fl = parallel::issue_rule(&mut ctx, stream, rule);
+                            parallel::collect_rule(&mut ctx, fl, &mut violations);
+                        }
                     }
                 }
             }
@@ -288,43 +344,6 @@ impl Engine {
                 );
             }
             _ => sequential::check_intra_rule(ctx, rule, out),
-        }
-    }
-
-    fn run_parallel(
-        &self,
-        ctx: &mut RunContext<'_>,
-        stream: &odrc_xpu::Stream,
-        rule: &Rule,
-        out: &mut Vec<Violation>,
-    ) {
-        match &rule.kind {
-            RuleKind::Space {
-                layer,
-                min,
-                min_projection,
-            } => {
-                let spec = crate::checks::SpaceSpec {
-                    min: *min,
-                    min_projection: *min_projection,
-                };
-                parallel::check_space_rule_parallel(ctx, stream, &rule.name, *layer, spec, out);
-            }
-            RuleKind::Enclosure { inner, outer, min } => {
-                parallel::check_enclosure_rule_parallel(
-                    ctx, stream, &rule.name, *inner, *outer, *min, None, out,
-                );
-            }
-            RuleKind::OverlapArea {
-                inner,
-                outer,
-                min_area,
-            } => {
-                parallel::check_overlap_rule_parallel(
-                    ctx, stream, &rule.name, *inner, *outer, *min_area, None, out,
-                );
-            }
-            _ => parallel::check_intra_rule_parallel(ctx, stream, rule, out),
         }
     }
 }

@@ -52,6 +52,7 @@ pub mod engine;
 pub mod exec;
 pub mod markers;
 pub mod parallel;
+pub mod plan;
 pub mod rules;
 pub mod scene;
 pub mod sequential;
@@ -61,5 +62,6 @@ pub use cache::{rule_signature, CacheKeys, ResultCache, CACHE_FILE};
 pub use deck_parser::{parse_deck, ParseDeckError, ParseDeckErrorKind};
 pub use delta::{dirty_rects, DeltaReport};
 pub use engine::{CheckReport, Engine, EngineOptions, EngineStats, Mode, PairIndex};
+pub use plan::ExecutionPlan;
 pub use rules::{rule, Rule, RuleDeck, RuleKind};
 pub use violation::{canonicalize, Violation, ViolationKind};

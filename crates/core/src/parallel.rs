@@ -17,8 +17,15 @@
 //! efficient kernel code optimization (viz. for loops versus while
 //! loops)".
 //!
-//! Host-side packing of the next row overlaps with device work through
-//! the asynchronous stream (§V-C).
+//! Every rule's device work is split into an **issue** half (host
+//! gather, shared zero-copy uploads, kernel launches — all enqueued on
+//! the rule's own stream, returning in-flight handles immediately) and
+//! a **collect** half (result waits, the scan+emit second phase,
+//! recovery). The engine issues the whole deck before collecting
+//! anything, so uploads and kernels of independent rules overlap
+//! across streams with one deferred synchronization per stream
+//! (§V-C); the [planner](crate::plan) additionally keeps packed row
+//! buffers device-resident so N rules on one layer upload once.
 //!
 //! # Graceful degradation
 //!
@@ -36,54 +43,25 @@
 //! [`EngineStats::device_retries`]: crate::EngineStats::device_retries
 //! [`EngineStats::device_fallbacks`]: crate::EngineStats::device_fallbacks
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use odrc_db::Layer;
-use odrc_geometry::{Edge, Point, Rect};
+use odrc_geometry::{Edge, Polygon, Rect};
 use odrc_xpu::{
     scan::exclusive_scan, Device, DeviceBuffer, LaunchConfig, Pending, Stream, ThreadCtx, XpuResult,
 };
 
 use crate::checks::edge::{space_pair_spec, SpaceSpec};
 use crate::checks::enclosure_margin;
+use crate::checks::poly::LocalViolation;
+use crate::plan::{pack, track_run_ends, IntraData, PackedEdge, PlannedRow, RowSet};
 use crate::rules::{Rule, RuleKind};
 use crate::scene::{DirtyWindow, LayerScene};
-use crate::sequential::{partition_scene, RunContext};
+use crate::sequential::RunContext;
 use crate::violation::{Violation, ViolationKind};
 
-/// A packed edge: `[x0, y0, x1, y1]`, the device-side representation.
-type PackedEdge = [i32; 4];
-
-fn unpack(e: PackedEdge) -> Edge {
-    Edge::new(Point::new(e[0], e[1]), Point::new(e[2], e[3]))
-}
-
-fn pack(e: Edge) -> PackedEdge {
-    [e.from.x, e.from.y, e.to.x, e.to.y]
-}
-
-/// For each sorted edge, the index of the first edge with a different
-/// track. Collinear (equal-track) edges can never form a facing pair,
-/// so kernels start each edge's scan at its run end — without this,
-/// layouts with many edges on one track (e.g. all cell-bar bottoms of a
-/// row) degrade to quadratic scans over the run.
-fn track_run_ends(edges: &[PackedEdge]) -> Vec<u32> {
-    let n = edges.len();
-    let mut run_end = vec![n as u32; n];
-    let mut i = n;
-    let mut cur_end = n as u32;
-    let mut cur_track = None;
-    while i > 0 {
-        i -= 1;
-        let t = unpack(edges[i]).track();
-        if cur_track != Some(t) {
-            cur_end = (i + 1) as u32;
-            cur_track = Some(t);
-        }
-        run_end[i] = cur_end;
-    }
-    run_end
-}
+pub(crate) use crate::plan::unpack;
 
 /// A violation record produced by device kernels: edge indices into the
 /// row's packed array plus the squared distance.
@@ -97,17 +75,15 @@ struct PairRecord {
 /// Per-edge brute-force hits: `(other edge index, measured)` lists.
 type BruteHits = Vec<Vec<(u32, i64)>>;
 
-/// One row's worth of packed edges plus its in-flight device results.
+/// One row's in-flight first device phase.
 struct RowJob {
-    edges: Vec<PackedEdge>,
-    /// Same-track run table for the sweepline executor.
-    run_ends: Option<Vec<u32>>,
+    row: Arc<PlannedRow>,
     brute: Option<Pending<BruteHits>>,
     counts: Option<Pending<Vec<usize>>>,
 }
 
 struct RowEmit {
-    edges: Vec<PackedEdge>,
+    row: Arc<PlannedRow>,
     records: Pending<Vec<PairRecord>>,
 }
 
@@ -191,23 +167,123 @@ fn emit_kernel(
     }
 }
 
-/// Runs a same-layer spacing rule on the device, row by row.
-pub(crate) fn check_space_rule_parallel(
-    ctx: &mut RunContext<'_>,
-    stream: &Stream,
-    rule_name: &str,
-    layer: Layer,
-    spec: SpaceSpec,
-    out: &mut Vec<Violation>,
-) {
-    let layout = ctx.layout;
-    let scene = ctx
-        .profiler
-        .time("scene", || LayerScene::build(layout, layer));
-    check_space_scene_parallel(ctx, stream, rule_name, &scene, spec, out);
+/// An issued rule: the device work is enqueued on `stream`; results
+/// materialize at [`collect_rule`].
+pub(crate) struct InFlightRule {
+    stream: Stream,
+    kind: InFlightKind,
 }
 
-/// Device-mode spacing over an already-built (possibly windowed) scene.
+enum InFlightKind {
+    Space(SpaceIssue),
+    Intra(IntraIssue),
+    Pairs(PairsIssue),
+    /// Host-only rules (rectilinear, user predicates) run synchronously
+    /// at issue time; their result rides along.
+    Host(Vec<Violation>),
+}
+
+struct SpaceIssue {
+    rule_name: String,
+    spec: SpaceSpec,
+    jobs: Vec<RowJob>,
+    failed: Vec<Arc<PlannedRow>>,
+}
+
+struct IntraIssue {
+    rule_name: String,
+    is_width: bool,
+    min: i64,
+    data: Arc<IntraData>,
+    pending: Option<Pending<Vec<Vec<LocalViolation>>>>,
+}
+
+struct PairsIssue {
+    rule_name: String,
+    kind: ViolationKind,
+    min: i64,
+    work: Arc<Vec<(Polygon, Vec<Polygon>)>>,
+    rects: Vec<Rect>,
+    pending: Option<Pending<Vec<i64>>>,
+}
+
+/// Issues one rule's device pipeline on `stream` (taking ownership of
+/// the stream) and returns without waiting for any device result.
+pub(crate) fn issue_rule(ctx: &mut RunContext<'_>, stream: Stream, rule: &Rule) -> InFlightRule {
+    let kind = match &rule.kind {
+        RuleKind::Space {
+            layer,
+            min,
+            min_projection,
+        } => {
+            let spec = SpaceSpec {
+                min: *min,
+                min_projection: *min_projection,
+            };
+            let rows = ctx.row_set(stream.device(), *layer, *min);
+            InFlightKind::Space(issue_space(ctx, &stream, &rule.name, &rows, spec))
+        }
+        RuleKind::Enclosure { inner, outer, min } => InFlightKind::Pairs(issue_pairs(
+            ctx,
+            &stream,
+            &rule.name,
+            ViolationKind::Enclosure,
+            *inner,
+            *outer,
+            *min,
+            None,
+        )),
+        RuleKind::OverlapArea {
+            inner,
+            outer,
+            min_area,
+        } => InFlightKind::Pairs(issue_pairs(
+            ctx,
+            &stream,
+            &rule.name,
+            ViolationKind::OverlapArea,
+            *inner,
+            *outer,
+            *min_area,
+            None,
+        )),
+        RuleKind::Width { layer, min } => {
+            InFlightKind::Intra(issue_intra(ctx, &stream, &rule.name, *layer, true, *min))
+        }
+        RuleKind::Area { layer, min } => {
+            InFlightKind::Intra(issue_intra(ctx, &stream, &rule.name, *layer, false, *min))
+        }
+        _ => {
+            // Rectilinear / user predicates run on the host in both
+            // modes (user closures are host code).
+            let mut host = Vec::new();
+            crate::sequential::check_intra_rule(ctx, rule, &mut host);
+            InFlightKind::Host(host)
+        }
+    };
+    InFlightRule { stream, kind }
+}
+
+/// Waits for an issued rule's device results, runs the second
+/// (scan+emit) phase where needed, recovers failed work units, and
+/// drains the rule's stream.
+pub(crate) fn collect_rule(ctx: &mut RunContext<'_>, fl: InFlightRule, out: &mut Vec<Violation>) {
+    let InFlightRule { stream, kind } = fl;
+    match kind {
+        InFlightKind::Space(issue) => collect_space(ctx, &stream, issue, out),
+        InFlightKind::Intra(issue) => collect_intra(ctx, &stream, issue, out),
+        InFlightKind::Pairs(issue) => collect_pairs(ctx, &stream, issue, out),
+        InFlightKind::Host(host) => out.extend(host),
+    }
+    // Errors were already handled per work unit; drain the stream
+    // without re-raising them.
+    let _ = stream.try_synchronize();
+}
+
+/// Device-mode spacing over an already-built (possibly windowed)
+/// scene, synchronously on the caller's stream — the delta checker's
+/// entry point. Windowed row sets are rule-specific, so they bypass
+/// the planner's cache.
 pub(crate) fn check_space_scene_parallel(
     ctx: &mut RunContext<'_>,
     stream: &Stream,
@@ -216,82 +292,86 @@ pub(crate) fn check_space_scene_parallel(
     spec: SpaceSpec,
     out: &mut Vec<Violation>,
 ) {
-    let min = spec.min;
-    let (_, partition) = partition_scene(scene, min, ctx.options.partition, ctx.profiler);
-    ctx.stats.rows += partition.len();
-    let threshold = ctx.options.sweep_threshold;
+    let rows = RowSet::build(ctx, stream.device(), scene, spec.min);
+    let issue = issue_space(ctx, stream, rule_name, &rows, spec);
+    collect_space(ctx, stream, issue, out);
+}
 
-    // Rows whose device pipeline failed at any point; they re-run on
-    // fresh streams (then on the host) after the healthy rows resolve.
-    let mut failed: Vec<Vec<PackedEdge>> = Vec::new();
-
-    // Phase 1: pack each row and enqueue its first device phase. The
-    // stream runs asynchronously, so packing row i+1 overlaps with the
-    // device processing of row i (§V-C).
-    let mut jobs: Vec<RowJob> = Vec::new();
-    for row in &partition {
-        let edges = ctx.profiler.time("pack", || {
-            let mut edges: Vec<PackedEdge> = Vec::new();
-            for &m in &row.members {
-                for poly in scene.object_polygons(&scene.objects[m]) {
-                    edges.extend(poly.edges().map(pack));
-                }
-            }
-            // The sweepline executor requires track-sorted edges; the
-            // brute executor does not care, so sorting unconditionally
-            // keeps one packing path. Large rows sort on the device.
-            odrc_xpu::sort::parallel_sort_by_key(stream.device(), &mut edges, |&e| {
-                (unpack(e).track(), e)
-            });
-            edges
-        });
-        if edges.is_empty() {
-            continue;
-        }
-        match enqueue_row_phase1(stream, &edges, threshold, spec, min) {
+/// Issue half of the spacing pipeline: acquire (or upload) each row's
+/// device-resident edges and enqueue its first kernel phase.
+fn issue_space(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    rule_name: &str,
+    rows: &RowSet,
+    spec: SpaceSpec,
+) -> SpaceIssue {
+    ctx.stats.rows += rows.partition_rows;
+    let mut jobs = Vec::with_capacity(rows.rows.len());
+    let mut failed = Vec::new();
+    for row in &rows.rows {
+        match enqueue_row_phase1(ctx, stream, row, spec) {
             Ok(job) => jobs.push(job),
-            Err(_) => failed.push(edges),
+            Err(_) => failed.push(Arc::clone(row)),
         }
     }
+    SpaceIssue {
+        rule_name: rule_name.to_owned(),
+        spec,
+        jobs,
+        failed,
+    }
+}
 
-    // Phase 2: for sweepline rows, scan the counts on the device and
-    // enqueue the emit kernel; brute rows resolve directly.
+/// Collect half of the spacing pipeline: brute results, the
+/// count→scan→emit second phase for sweepline rows, and recovery.
+fn collect_space(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    issue: SpaceIssue,
+    out: &mut Vec<Violation>,
+) {
+    let SpaceIssue {
+        rule_name,
+        spec,
+        jobs,
+        mut failed,
+    } = issue;
+    let min = spec.min;
+    let threshold = ctx.options.sweep_threshold;
     let device = stream.device().clone();
     let mut emits: Vec<RowEmit> = Vec::new();
     let mut hits: Vec<Violation> = Vec::new();
+
+    // Phase 2: for sweepline rows, scan the counts on the device and
+    // enqueue the emit kernel; brute rows resolve directly.
     for job in jobs {
-        let RowJob {
-            edges,
-            run_ends,
-            brute,
-            counts,
-        } = job;
+        let RowJob { row, brute, counts } = job;
         if let Some(pending) = brute {
             match ctx.profiler.time("kernel-wait", || pending.result()) {
                 Ok(per_edge) => ctx.profiler.time("convert", || {
                     for (i, pairs) in per_edge.iter().enumerate() {
                         for &(j, d2) in pairs {
-                            hits.push(make_violation(rule_name, &edges, i as u32, j, d2));
+                            hits.push(make_violation(&rule_name, &row.edges.host, i as u32, j, d2));
                         }
                     }
                 }),
-                Err(_) => failed.push(edges),
+                Err(_) => failed.push(row),
             }
         } else if let Some(pending) = counts {
             let counts = match ctx.profiler.time("kernel-wait", || pending.result()) {
                 Ok(counts) => counts,
                 Err(_) => {
-                    failed.push(edges);
+                    failed.push(row);
                     continue;
                 }
             };
             let offsets = ctx
                 .profiler
                 .time("scan", || exclusive_scan(&device, &counts));
-            let run_ends = run_ends.expect("sweep rows carry run ends");
-            match enqueue_row_emit(stream, &edges, run_ends, offsets, spec, min) {
-                Ok(records) => emits.push(RowEmit { edges, records }),
-                Err(_) => failed.push(edges),
+            match enqueue_row_emit(ctx, stream, &row, offsets, spec, min) {
+                Ok(records) => emits.push(RowEmit { row, records }),
+                Err(_) => failed.push(row),
             }
         }
     }
@@ -301,16 +381,25 @@ pub(crate) fn check_space_scene_parallel(
         match ctx.profiler.time("kernel-wait", || emit.records.result()) {
             Ok(records) => ctx.profiler.time("convert", || {
                 for r in records {
-                    hits.push(make_violation(rule_name, &emit.edges, r.a, r.b, r.d2));
+                    hits.push(make_violation(
+                        &rule_name,
+                        &emit.row.edges.host,
+                        r.a,
+                        r.b,
+                        r.d2,
+                    ));
                 }
             }),
-            Err(_) => failed.push(emit.edges),
+            Err(_) => failed.push(emit.row),
         }
     }
 
     // Recovery: retry each failed row on a fresh stream, then fall back
-    // to the host. Completed rows above are salvaged as-is.
-    for edges in failed {
+    // to the host. Completed rows above are salvaged as-is. Fresh
+    // uploads bypass the shared cache (its resident copy may be the
+    // failed one; later acquirers repair it through the event's error).
+    for row in failed {
+        let edges = Arc::clone(&row.edges.host);
         let records = recover_on_device(
             ctx,
             &device,
@@ -318,7 +407,7 @@ pub(crate) fn check_space_scene_parallel(
             || row_host_records(&edges, threshold, spec, min),
         );
         for (a, b, d2) in records {
-            hits.push(make_violation(rule_name, &edges, a, b, d2));
+            hits.push(make_violation(&rule_name, &row.edges.host, a, b, d2));
         }
     }
 
@@ -327,16 +416,19 @@ pub(crate) fn check_space_scene_parallel(
 }
 
 /// Enqueues one row's first device phase (brute kernel, or sweepline
-/// count kernel) on the shared stream.
+/// count kernel) on the rule's stream, acquiring the shared
+/// device-resident buffers.
 fn enqueue_row_phase1(
+    ctx: &mut RunContext<'_>,
     stream: &Stream,
-    edges: &[PackedEdge],
-    threshold: usize,
+    row: &Arc<PlannedRow>,
     spec: SpaceSpec,
-    min: i64,
 ) -> XpuResult<RowJob> {
-    let n = edges.len();
-    let dev_edges = stream.try_upload(edges.to_vec())?;
+    let n = row.edges.host.len();
+    let threshold = ctx.options.sweep_threshold;
+    let min = spec.min;
+    let (dev_edges, elided) = row.edges.acquire(stream)?;
+    ctx.note_upload(elided, row.edges.bytes());
     if n <= threshold {
         // Brute-force executor: one launch, plain for loops.
         let out_buf = stream.try_alloc::<Vec<(u32, i64)>>(n)?;
@@ -346,16 +438,16 @@ fn enqueue_row_phase1(
             brute_kernel(dev_edges, spec),
         )?;
         Ok(RowJob {
-            edges: edges.to_vec(),
-            run_ends: None,
+            row: Arc::clone(row),
             brute: Some(stream.try_download(&out_buf)?),
             counts: None,
         })
     } else {
         // Sweepline executor, kernel 1: per-edge check range and
         // violation count.
-        let run_ends = track_run_ends(edges);
-        let dev_runs = stream.try_upload(run_ends.clone())?;
+        let runs = row.run_ends.as_ref().expect("sweep rows carry run ends");
+        let (dev_runs, elided) = runs.acquire(stream)?;
+        ctx.note_upload(elided, runs.bytes());
         let counts_buf = stream.try_alloc::<usize>(n)?;
         stream.try_launch_map(
             LaunchConfig::for_threads(n),
@@ -363,27 +455,31 @@ fn enqueue_row_phase1(
             count_kernel(dev_edges, dev_runs, spec, min),
         )?;
         Ok(RowJob {
-            edges: edges.to_vec(),
-            run_ends: Some(run_ends),
+            row: Arc::clone(row),
             brute: None,
             counts: Some(stream.try_download(&counts_buf)?),
         })
     }
 }
 
-/// Enqueues a sweepline row's emit kernel on the shared stream.
+/// Enqueues a sweepline row's emit kernel on the rule's stream. The
+/// edges and run table are already device-resident from phase 1, so
+/// this acquires (elides) rather than re-uploading.
 fn enqueue_row_emit(
+    ctx: &mut RunContext<'_>,
     stream: &Stream,
-    edges: &[PackedEdge],
-    run_ends: Vec<u32>,
+    row: &PlannedRow,
     offsets: Vec<usize>,
     spec: SpaceSpec,
     min: i64,
 ) -> XpuResult<Pending<Vec<PairRecord>>> {
-    let n = edges.len();
+    let n = row.edges.host.len();
     let total = *offsets.last().expect("scan returns n+1 entries");
-    let dev_edges = stream.try_upload(edges.to_vec())?;
-    let dev_runs = stream.try_upload(run_ends)?;
+    let (dev_edges, elided) = row.edges.acquire(stream)?;
+    ctx.note_upload(elided, row.edges.bytes());
+    let runs = row.run_ends.as_ref().expect("sweep rows carry run ends");
+    let (dev_runs, elided) = runs.acquire(stream)?;
+    ctx.note_upload(elided, runs.bytes());
     let out_buf = stream.try_alloc::<PairRecord>(total)?;
     // Kernel 2: emit each edge's violations into its range.
     stream.try_launch_scatter(
@@ -399,7 +495,7 @@ fn enqueue_row_emit(
 /// (fresh) stream. Runs the same executors as the pipelined path.
 fn row_device_records(
     stream: &Stream,
-    edges: &[PackedEdge],
+    edges: &Arc<Vec<PackedEdge>>,
     threshold: usize,
     spec: SpaceSpec,
     min: i64,
@@ -408,7 +504,7 @@ fn row_device_records(
     if n == 0 {
         return Ok(Vec::new());
     }
-    let dev_edges = stream.try_upload(edges.to_vec())?;
+    let dev_edges = stream.try_upload_shared(Arc::clone(edges))?;
     if n <= threshold {
         let out_buf = stream.try_alloc::<Vec<(u32, i64)>>(n)?;
         stream.try_launch_map(
@@ -535,42 +631,59 @@ fn make_violation(rule: &str, edges: &[PackedEdge], a: u32, b: u32, d2: i64) -> 
     }
 }
 
-/// Runs an intra-polygon width or area rule with its per-polygon work
-/// executed by a device kernel; memoization and instantiation stay on
-/// the host, so the result set matches the sequential mode exactly.
-pub(crate) fn check_intra_rule_parallel(
+/// Issue half of an intra-polygon width/area rule: acquire the layer's
+/// shared polygon buffer and launch the per-polygon kernel. The
+/// memoization and instantiation host work happens at collect.
+fn issue_intra(
     ctx: &mut RunContext<'_>,
     stream: &Stream,
-    rule: &Rule,
-    out: &mut Vec<Violation>,
-) {
-    use crate::checks::poly::LocalViolation;
-
-    let (layer, is_width, min) = match rule.kind {
-        RuleKind::Width { layer, min } => (layer, true, min),
-        RuleKind::Area { layer, min } => (layer, false, min),
-        _ => {
-            // Rectilinear / user predicates run on the host in both
-            // modes (user closures are host code).
-            return crate::sequential::check_intra_rule(ctx, rule, out);
-        }
+    rule_name: &str,
+    layer: Layer,
+    is_width: bool,
+    min: i64,
+) -> IntraIssue {
+    let data = ctx.intra_data(layer);
+    let n = data.polys.host.len();
+    let pending = if n == 0 {
+        None
+    } else {
+        // Issue-time failure: collect goes straight to recovery.
+        enqueue_intra(ctx, stream, &data, is_width, min).ok()
     };
-
-    // Pack the unique polygons of the layer (one entry per definition,
-    // not per instance — the memoized work unit of §IV-C).
-    let targets: Vec<(odrc_db::CellId, usize)> = ctx.layout.layer_polygons(layer).to_vec();
-    if targets.is_empty() {
-        return;
+    IntraIssue {
+        rule_name: rule_name.to_owned(),
+        is_width,
+        min,
+        data,
+        pending,
     }
-    let polys: Vec<odrc_geometry::Polygon> = targets
-        .iter()
-        .map(|&(c, pi)| ctx.layout.cell(c).polygons()[pi].polygon.clone())
-        .collect();
-    let n = polys.len();
+}
 
-    // The whole-rule kernel body, shared by the device attempt and the
-    // host fallback.
-    let local_check = move |poly: &odrc_geometry::Polygon, slot: &mut Vec<LocalViolation>| {
+fn enqueue_intra(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    data: &IntraData,
+    is_width: bool,
+    min: i64,
+) -> XpuResult<Pending<Vec<Vec<LocalViolation>>>> {
+    let n = data.polys.host.len();
+    let (dev_polys, elided) = data.polys.acquire(stream)?;
+    ctx.note_upload(elided, data.polys.bytes());
+    let out_buf = stream.try_alloc::<Vec<LocalViolation>>(n)?;
+    let check = intra_local_check(is_width, min);
+    stream.try_launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
+        check(&dev_polys.read()[tctx.global_id()], slot);
+    })?;
+    stream.try_download(&out_buf)
+}
+
+/// The whole-rule kernel body, shared by the device attempt and the
+/// host fallback.
+fn intra_local_check(
+    is_width: bool,
+    min: i64,
+) -> impl Fn(&Polygon, &mut Vec<LocalViolation>) + Send + Sync + Clone + 'static {
+    move |poly, slot| {
         if is_width {
             crate::checks::poly::width_violations(poly, min, slot);
         } else {
@@ -583,19 +696,50 @@ pub(crate) fn check_intra_rule_parallel(
                 });
             }
         }
+    }
+}
+
+/// Collect half of an intra rule: wait for the per-polygon kernel,
+/// recover on failure, then replay each cell's local violations
+/// through all its instances on the host.
+fn collect_intra(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    issue: IntraIssue,
+    out: &mut Vec<Violation>,
+) {
+    let IntraIssue {
+        rule_name,
+        is_width,
+        min,
+        data,
+        pending,
+    } = issue;
+    let n = data.polys.host.len();
+    if n == 0 {
+        return;
+    }
+    let polys = Arc::clone(&data.polys.host);
+    let check = intra_local_check(is_width, min);
+    let device_attempt = {
+        let polys = Arc::clone(&polys);
+        let check = check.clone();
+        move |s: &Stream| -> XpuResult<Vec<Vec<LocalViolation>>> {
+            let dev_polys = s.try_upload_shared(Arc::clone(&polys))?;
+            let out_buf = s.try_alloc::<Vec<LocalViolation>>(n)?;
+            let check = check.clone();
+            s.try_launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
+                check(&dev_polys.read()[tctx.global_id()], slot);
+            })?;
+            s.try_download(&out_buf)?.result()
+        }
     };
 
-    let device_attempt = |s: &Stream| -> XpuResult<Vec<Vec<LocalViolation>>> {
-        let dev_polys = s.try_upload(polys.clone())?;
-        let out_buf = s.try_alloc::<Vec<LocalViolation>>(n)?;
-        let kernel_polys = dev_polys.clone();
-        s.try_launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
-            local_check(&kernel_polys.read()[tctx.global_id()], slot);
-        })?;
-        s.try_download(&out_buf)?.result()
+    let waited = match pending {
+        Some(pending) => ctx.profiler.time("kernel-wait", || pending.result()),
+        None => Err(odrc_xpu::XpuError::StreamTimeout { op: "issue" }),
     };
-
-    let per_poly = match ctx.profiler.time("kernel-wait", || device_attempt(stream)) {
+    let per_poly = match waited {
         Ok(per_poly) => per_poly,
         Err(_) => {
             let device = stream.device().clone();
@@ -604,7 +748,7 @@ pub(crate) fn check_intra_rule_parallel(
                     .iter()
                     .map(|poly| {
                         let mut slot = Vec::new();
-                        local_check(poly, &mut slot);
+                        check(poly, &mut slot);
                         slot
                     })
                     .collect()
@@ -616,6 +760,7 @@ pub(crate) fn check_intra_rule_parallel(
     // Host side: replay each cell's local violations through all its
     // instances.
     let instances = ctx.instances().clone();
+    let targets = Arc::clone(&data.targets);
     ctx.profiler.time("convert", || {
         for (idx, (cell, _)) in targets.iter().enumerate() {
             let Some(transforms) = instances.get(cell) else {
@@ -626,7 +771,7 @@ pub(crate) fn check_intra_rule_parallel(
                 for v in &per_poly[idx] {
                     let vi = v.instantiate(t);
                     out.push(Violation {
-                        rule: rule.name.clone(),
+                        rule: rule_name.clone(),
                         kind: vi.kind,
                         location: vi.location,
                         measured: vi.measured,
@@ -637,9 +782,181 @@ pub(crate) fn check_intra_rule_parallel(
     });
 }
 
+/// Runs an intra-polygon width or area rule with its per-polygon work
+/// executed by a device kernel, synchronously — used by tests that
+/// drive a single rule.
+pub(crate) fn check_intra_rule_parallel(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    rule: &Rule,
+    out: &mut Vec<Violation>,
+) {
+    let issue = match rule.kind {
+        RuleKind::Width { layer, min } => issue_intra(ctx, stream, &rule.name, layer, true, min),
+        RuleKind::Area { layer, min } => issue_intra(ctx, stream, &rule.name, layer, false, min),
+        _ => return crate::sequential::check_intra_rule(ctx, rule, out),
+    };
+    collect_intra(ctx, stream, issue, out);
+}
+
+/// Issue half of an enclosure / overlap-area rule: gather the work
+/// list on the host (through the memoized scenes), upload it without a
+/// staging copy, and launch the per-shape kernel.
+#[allow(clippy::too_many_arguments)]
+fn issue_pairs(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    rule_name: &str,
+    kind: ViolationKind,
+    inner: Layer,
+    outer: Layer,
+    min: i64,
+    window: Option<DirtyWindow<'_>>,
+    // The enclosure margin-gather distance: the rule min for
+    // enclosure, zero for overlap (any touching outer shape counts).
+) -> PairsIssue {
+    let gather = match kind {
+        ViolationKind::Enclosure => min,
+        _ => 0,
+    };
+    let work: Arc<Vec<(Polygon, Vec<Polygon>)>> = Arc::new(crate::sequential::enclosure_work(
+        ctx, inner, outer, gather, window,
+    ));
+    let rects: Vec<Rect> = work.iter().map(|(p, _)| p.mbr()).collect();
+    let pending = if work.is_empty() {
+        None
+    } else {
+        // Issue-time failure: collect goes straight to recovery.
+        enqueue_pairs(ctx, stream, kind, &work, min).ok()
+    };
+    PairsIssue {
+        rule_name: rule_name.to_owned(),
+        kind,
+        min,
+        work,
+        rects,
+        pending,
+    }
+}
+
+/// The per-shape measurement kernel body: enclosure margin, or shared
+/// (boolean AND) area.
+fn pairs_measure(
+    kind: ViolationKind,
+    min: i64,
+) -> impl Fn(&Polygon, &[Polygon]) -> i64 + Send + Sync + Clone + 'static {
+    move |poly, candidates| match kind {
+        ViolationKind::Enclosure => {
+            let refs: Vec<&Polygon> = candidates.iter().collect();
+            enclosure_margin(poly.mbr(), &refs, min)
+        }
+        _ => {
+            use odrc_infra::Region;
+            let inner_region = Region::from_polygons([poly]);
+            let outer_region = Region::from_polygons(candidates.iter());
+            inner_region.intersection(&outer_region).area()
+        }
+    }
+}
+
+fn enqueue_pairs(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    kind: ViolationKind,
+    work: &Arc<Vec<(Polygon, Vec<Polygon>)>>,
+    min: i64,
+) -> XpuResult<Pending<Vec<i64>>> {
+    let n = work.len();
+    let bytes = (n * std::mem::size_of::<(Polygon, Vec<Polygon>)>()) as u64;
+    let dev_work = stream.try_upload_shared(Arc::clone(work))?;
+    ctx.note_upload(false, bytes);
+    let measures = stream.try_alloc::<i64>(n)?;
+    let measure = pairs_measure(kind, min);
+    stream.try_launch_map(
+        LaunchConfig::for_threads(n),
+        &measures,
+        move |tctx, slot| {
+            let work = dev_work.read();
+            let (poly, candidates) = &work[tctx.global_id()];
+            *slot = measure(poly, candidates);
+        },
+    )?;
+    stream.try_download(&measures)
+}
+
+/// Collect half of an enclosure / overlap rule: wait for the measure
+/// kernel, recover on failure, threshold into violations.
+fn collect_pairs(
+    ctx: &mut RunContext<'_>,
+    stream: &Stream,
+    issue: PairsIssue,
+    out: &mut Vec<Violation>,
+) {
+    let PairsIssue {
+        rule_name,
+        kind,
+        min,
+        work,
+        rects,
+        pending,
+    } = issue;
+    if work.is_empty() {
+        return;
+    }
+    let n = work.len();
+    ctx.stats.checks_computed += n;
+    let measure = pairs_measure(kind, min);
+    let device_attempt = {
+        let work = Arc::clone(&work);
+        let measure = measure.clone();
+        move |s: &Stream| -> XpuResult<Vec<i64>> {
+            let dev_work = s.try_upload_shared(Arc::clone(&work))?;
+            let measures = s.try_alloc::<i64>(n)?;
+            let measure = measure.clone();
+            s.try_launch_map(
+                LaunchConfig::for_threads(n),
+                &measures,
+                move |tctx, slot| {
+                    let w = dev_work.read();
+                    let (poly, candidates) = &w[tctx.global_id()];
+                    *slot = measure(poly, candidates);
+                },
+            )?;
+            s.try_download(&measures)?.result()
+        }
+    };
+
+    let waited = match pending {
+        Some(pending) => ctx.profiler.time("kernel-wait", || pending.result()),
+        None => Err(odrc_xpu::XpuError::StreamTimeout { op: "issue" }),
+    };
+    let measures = match waited {
+        Ok(measures) => measures,
+        Err(_) => {
+            let device = stream.device().clone();
+            recover_on_device(ctx, &device, device_attempt, || {
+                work.iter()
+                    .map(|(poly, candidates)| measure(poly, candidates))
+                    .collect()
+            })
+        }
+    };
+    ctx.profiler.time("convert", || {
+        for (rect, measured) in rects.into_iter().zip(measures) {
+            if measured < min {
+                out.push(Violation {
+                    rule: rule_name.clone(),
+                    kind,
+                    location: rect,
+                    measured,
+                });
+            }
+        }
+    });
+}
+
 /// Runs an enclosure rule with per-via margin computation on the
-/// device. Candidate gathering (the hierarchical layer query) stays on
-/// the host.
+/// device, synchronously — the delta checker's entry point.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn check_enclosure_rule_parallel(
     ctx: &mut RunContext<'_>,
@@ -651,61 +968,21 @@ pub(crate) fn check_enclosure_rule_parallel(
     window: Option<DirtyWindow<'_>>,
     out: &mut Vec<Violation>,
 ) {
-    // Host: flat inner shapes plus their outer candidates, gathered by
-    // the same hierarchical bipartite sweep as the sequential mode.
-    let work: Vec<(odrc_geometry::Polygon, Vec<odrc_geometry::Polygon>)> =
-        crate::sequential::enclosure_work(ctx, inner, outer, min, window);
-    if work.is_empty() {
-        return;
-    }
-    let n = work.len();
-    ctx.stats.checks_computed += n;
-    let rects: Vec<Rect> = work.iter().map(|(p, _)| p.mbr()).collect();
-
-    let device_attempt = |s: &Stream| -> XpuResult<Vec<i64>> {
-        let dev_work = s.try_upload(work.clone())?;
-        let margins = s.try_alloc::<i64>(n)?;
-        let kernel_work = dev_work.clone();
-        s.try_launch_map(LaunchConfig::for_threads(n), &margins, move |tctx, slot| {
-            let work = kernel_work.read();
-            let (poly, candidates) = &work[tctx.global_id()];
-            let refs: Vec<&odrc_geometry::Polygon> = candidates.iter().collect();
-            *slot = enclosure_margin(poly.mbr(), &refs, min);
-        })?;
-        s.try_download(&margins)?.result()
-    };
-
-    let margins = match ctx.profiler.time("kernel-wait", || device_attempt(stream)) {
-        Ok(margins) => margins,
-        Err(_) => {
-            let device = stream.device().clone();
-            recover_on_device(ctx, &device, device_attempt, || {
-                work.iter()
-                    .map(|(poly, candidates)| {
-                        let refs: Vec<&odrc_geometry::Polygon> = candidates.iter().collect();
-                        enclosure_margin(poly.mbr(), &refs, min)
-                    })
-                    .collect()
-            })
-        }
-    };
-    ctx.profiler.time("convert", || {
-        for (rect, margin) in rects.into_iter().zip(margins) {
-            if margin < min {
-                out.push(Violation {
-                    rule: rule_name.to_owned(),
-                    kind: ViolationKind::Enclosure,
-                    location: rect,
-                    measured: margin,
-                });
-            }
-        }
-    });
+    let issue = issue_pairs(
+        ctx,
+        stream,
+        rule_name,
+        ViolationKind::Enclosure,
+        inner,
+        outer,
+        min,
+        window,
+    );
+    collect_pairs(ctx, stream, issue, out);
 }
 
 /// Runs a minimum-overlap-area rule with the boolean work on the
-/// device: one thread per inner shape intersects it with its outer
-/// candidates.
+/// device, synchronously — the delta checker's entry point.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn check_overlap_rule_parallel(
     ctx: &mut RunContext<'_>,
@@ -717,58 +994,17 @@ pub(crate) fn check_overlap_rule_parallel(
     window: Option<DirtyWindow<'_>>,
     out: &mut Vec<Violation>,
 ) {
-    use odrc_infra::Region;
-    let work: Vec<(odrc_geometry::Polygon, Vec<odrc_geometry::Polygon>)> =
-        crate::sequential::enclosure_work(ctx, inner, outer, 0, window);
-    if work.is_empty() {
-        return;
-    }
-    let n = work.len();
-    ctx.stats.checks_computed += n;
-    let rects: Vec<Rect> = work.iter().map(|(p, _)| p.mbr()).collect();
-
-    let shared_area =
-        |poly: &odrc_geometry::Polygon, candidates: &[odrc_geometry::Polygon]| -> i64 {
-            let inner_region = Region::from_polygons([poly]);
-            let outer_region = Region::from_polygons(candidates.iter());
-            inner_region.intersection(&outer_region).area()
-        };
-
-    let device_attempt = |s: &Stream| -> XpuResult<Vec<i64>> {
-        let dev_work = s.try_upload(work.clone())?;
-        let areas = s.try_alloc::<i64>(n)?;
-        let kernel_work = dev_work.clone();
-        s.try_launch_map(LaunchConfig::for_threads(n), &areas, move |tctx, slot| {
-            let work = kernel_work.read();
-            let (poly, candidates) = &work[tctx.global_id()];
-            *slot = shared_area(poly, candidates);
-        })?;
-        s.try_download(&areas)?.result()
-    };
-
-    let areas = match ctx.profiler.time("kernel-wait", || device_attempt(stream)) {
-        Ok(areas) => areas,
-        Err(_) => {
-            let device = stream.device().clone();
-            recover_on_device(ctx, &device, device_attempt, || {
-                work.iter()
-                    .map(|(poly, candidates)| shared_area(poly, candidates))
-                    .collect()
-            })
-        }
-    };
-    ctx.profiler.time("convert", || {
-        for (rect, shared) in rects.into_iter().zip(areas) {
-            if shared < min_area {
-                out.push(Violation {
-                    rule: rule_name.to_owned(),
-                    kind: ViolationKind::OverlapArea,
-                    location: rect,
-                    measured: shared,
-                });
-            }
-        }
-    });
+    let issue = issue_pairs(
+        ctx,
+        stream,
+        rule_name,
+        ViolationKind::OverlapArea,
+        inner,
+        outer,
+        min_area,
+        window,
+    );
+    collect_pairs(ctx, stream, issue, out);
 }
 
 /// Device-accelerated helper used by tests and benches: all-pairs
@@ -787,7 +1023,8 @@ pub fn flat_space_brute(
     if n == 0 {
         return Vec::new();
     }
-    let dev = stream.upload(packed.clone());
+    let packed = Arc::new(packed);
+    let dev = stream.upload_shared(Arc::clone(&packed));
     let out_buf = stream.alloc::<Vec<(u32, i64)>>(n);
     stream.launch_map(
         LaunchConfig::for_threads(n),

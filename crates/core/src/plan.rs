@@ -1,0 +1,332 @@
+//! The cross-rule execution planner.
+//!
+//! A rule deck usually reads far fewer layers than it has rules: every
+//! metal layer carries width, spacing and area constraints, and via
+//! layers are read by several enclosure rules. Before this planner, the
+//! engine rebuilt the [`LayerScene`] and re-uploaded the packed edge
+//! arrays once *per rule*; the paper's pipeline instead keeps layer
+//! data device-resident and overlaps transfers with kernels across
+//! concurrent streams (§IV-E, §V-C).
+//!
+//! The planner contributes three pieces:
+//!
+//! * a **scene memo** ([`RunContext::layer_scene`]): one
+//!   [`LayerScene`] per layer per run, shared by the sequential and
+//!   parallel modes ([`EngineStats::scenes_built`] /
+//!   [`EngineStats::scenes_reused`]);
+//! * a **device-resident buffer cache** ([`RowSet`] keyed by
+//!   [`RowSetKey`], [`IntraData`] keyed by layer): edge extraction,
+//!   adaptive row partitioning and the host→device upload happen once
+//!   per `(layer, partition config)`; later rules on the same layer
+//!   acquire the already-resident buffer through a cross-stream
+//!   [`Event`] ([`EngineStats::uploads_elided`]);
+//! * a **schedule** ([`ExecutionPlan`]): rules grouped by the layers
+//!   they read, issued on independent streams and collected once at
+//!   the end (deferred synchronization).
+//!
+//! # Interaction with the failure model
+//!
+//! Sharing device buffers across streams must not widen the blast
+//! radius of a fault. The upload is enqueued on the first acquiring
+//! rule's stream and publishes a recording [`Event`]; events fire even
+//! on poisoned streams, so a consumer never deadlocks. If the upload
+//! op itself faults, the buffer stays empty: consumers that already
+//! waited hit an out-of-bounds kernel panic on *their own* stream and
+//! re-run through the normal per-work-unit recovery (fresh stream,
+//! then host), while consumers that acquire after the failure observe
+//! the event's error and repair the cache entry with a fresh upload.
+//! Either way the result set is byte-identical to a fault-free run.
+//!
+//! [`EngineStats::scenes_built`]: crate::EngineStats::scenes_built
+//! [`EngineStats::scenes_reused`]: crate::EngineStats::scenes_reused
+//! [`EngineStats::uploads_elided`]: crate::EngineStats::uploads_elided
+//! [`RunContext::layer_scene`]: crate::sequential::RunContext::layer_scene
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use odrc_db::{CellId, Layer};
+use odrc_geometry::{Coord, Edge, Point, Polygon};
+use odrc_xpu::{Device, DeviceBuffer, Event, Stream, XpuResult};
+use parking_lot::Mutex;
+
+use crate::rules::RuleDeck;
+use crate::scene::LayerScene;
+use crate::sequential::{partition_scene, RunContext};
+
+/// A packed edge: `[x0, y0, x1, y1]`, the device-side representation.
+pub(crate) type PackedEdge = [i32; 4];
+
+pub(crate) fn unpack(e: PackedEdge) -> Edge {
+    Edge::new(Point::new(e[0], e[1]), Point::new(e[2], e[3]))
+}
+
+pub(crate) fn pack(e: Edge) -> PackedEdge {
+    [e.from.x, e.from.y, e.to.x, e.to.y]
+}
+
+/// For each sorted edge, the index of the first edge with a different
+/// track. Collinear (equal-track) edges can never form a facing pair,
+/// so kernels start each edge's scan at its run end — without this,
+/// layouts with many edges on one track (e.g. all cell-bar bottoms of a
+/// row) degrade to quadratic scans over the run.
+pub(crate) fn track_run_ends(edges: &[PackedEdge]) -> Vec<u32> {
+    let n = edges.len();
+    let mut run_end = vec![n as u32; n];
+    let mut i = n;
+    let mut cur_end = n as u32;
+    let mut cur_track = None;
+    while i > 0 {
+        i -= 1;
+        let t = unpack(edges[i]).track();
+        if cur_track != Some(t) {
+            cur_end = (i + 1) as u32;
+            cur_track = Some(t);
+        }
+        run_end[i] = cur_end;
+    }
+    run_end
+}
+
+/// Host data with a lazily uploaded, cross-stream shared device
+/// residency.
+///
+/// The first acquiring stream uploads (zero-copy, sharing the host
+/// `Arc`) and records a readiness [`Event`]; later acquirers wait on
+/// the event in stream order and reuse the resident buffer. See the
+/// [module docs](self) for the failure-model contract.
+pub(crate) struct SharedDeviceData<T> {
+    /// The host copy, shared with the device buffer (no staging clone).
+    pub host: Arc<Vec<T>>,
+    device: Mutex<Option<(DeviceBuffer<T>, Event)>>,
+}
+
+impl<T: Send + Sync + 'static> SharedDeviceData<T> {
+    pub fn new(host: Arc<Vec<T>>) -> Self {
+        SharedDeviceData {
+            host,
+            device: Mutex::new(None),
+        }
+    }
+
+    /// Size of the backing data in bytes (for transfer accounting).
+    pub fn bytes(&self) -> u64 {
+        (self.host.len() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Returns the device-resident buffer for use on `stream`, plus
+    /// `true` when the upload was elided (already resident). The first
+    /// call uploads on `stream`; an entry whose upload is known to have
+    /// failed is repaired with a fresh upload here.
+    pub fn acquire(&self, stream: &Stream) -> XpuResult<(DeviceBuffer<T>, bool)> {
+        let mut slot = self.device.lock();
+        if let Some((buf, ready)) = &*slot {
+            // Repair a known-failed upload; an upload still in flight
+            // is reused optimistically (a failure surfaces later as a
+            // kernel panic on the consumer's stream, which recovers
+            // per work unit).
+            let failed = ready.is_set() && ready.wait_result().is_err();
+            if !failed {
+                stream.wait_event(ready);
+                return Ok((buf.clone(), true));
+            }
+        }
+        let buf = stream.try_upload_shared(Arc::clone(&self.host))?;
+        let ready = Event::new();
+        stream.record_event(&ready);
+        *slot = Some((buf.clone(), ready));
+        Ok((buf, false))
+    }
+}
+
+/// One partition row, packed and sorted once, shared by every rule
+/// that reads the `(layer, partition config)` it came from.
+pub(crate) struct PlannedRow {
+    /// Track-sorted packed edges of the row.
+    pub edges: SharedDeviceData<PackedEdge>,
+    /// Same-track run table for the sweepline executor; present when
+    /// the row exceeds the sweep threshold.
+    pub run_ends: Option<SharedDeviceData<u32>>,
+}
+
+/// The packed rows of one layer under one partition configuration.
+pub(crate) struct RowSet {
+    pub rows: Vec<Arc<PlannedRow>>,
+    /// Row count of the partition (including rows that packed zero
+    /// edges), charged to [`EngineStats::rows`] per consuming rule.
+    ///
+    /// [`EngineStats::rows`]: crate::EngineStats::rows
+    pub partition_rows: usize,
+}
+
+impl RowSet {
+    /// Packs and sorts every partition row of `scene`. `min` is the
+    /// rule distance driving the partition inflation; two rules whose
+    /// distances round to the same half-width share the same set.
+    pub fn build(
+        ctx: &mut RunContext<'_>,
+        device: &Device,
+        scene: &LayerScene,
+        min: i64,
+    ) -> RowSet {
+        let (_, partition) = partition_scene(scene, min, ctx.options.partition, ctx.profiler);
+        let partition_rows = partition.len();
+        let threshold = ctx.options.sweep_threshold;
+        let mut rows = Vec::new();
+        for row in &partition {
+            let edges = ctx.profiler.time("pack", || {
+                let mut edges: Vec<PackedEdge> = Vec::new();
+                for &m in &row.members {
+                    for poly in scene.object_polygons(&scene.objects[m]) {
+                        edges.extend(poly.edges().map(pack));
+                    }
+                }
+                // The sweepline executor requires track-sorted edges;
+                // the brute executor does not care, so sorting
+                // unconditionally keeps one packing path. Large rows
+                // sort on the device.
+                odrc_xpu::sort::parallel_sort_by_key(device, &mut edges, |&e| {
+                    (unpack(e).track(), e)
+                });
+                edges
+            });
+            if edges.is_empty() {
+                continue;
+            }
+            let run_ends = (edges.len() > threshold)
+                .then(|| SharedDeviceData::new(Arc::new(track_run_ends(&edges))));
+            rows.push(Arc::new(PlannedRow {
+                edges: SharedDeviceData::new(Arc::new(edges)),
+                run_ends,
+            }));
+        }
+        RowSet {
+            rows,
+            partition_rows,
+        }
+    }
+}
+
+/// Cache key of a [`RowSet`]: the packed edges depend only on the
+/// layer and the partition geometry (the half-distance inflation and
+/// the partition ablation switch) — the rule's exact distance feeds
+/// the kernels separately, so e.g. an unconditional and a conditional
+/// spacing rule with the same minimum share one row set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct RowSetKey {
+    pub layer: Layer,
+    pub half: Coord,
+    pub partition: bool,
+}
+
+impl RowSetKey {
+    pub fn new(layer: Layer, min: i64, partition: bool) -> RowSetKey {
+        RowSetKey {
+            layer,
+            half: ((min + 1) / 2) as Coord,
+            partition,
+        }
+    }
+}
+
+/// Per-layer packed polygon list for intra-polygon device rules
+/// (width, area): one entry per unique definition, shared by every
+/// intra rule on the layer.
+pub(crate) struct IntraData {
+    /// `(cell, polygon index)` per packed polygon.
+    pub targets: Arc<Vec<(CellId, usize)>>,
+    /// The polygons, device-shareable.
+    pub polys: SharedDeviceData<Polygon>,
+}
+
+/// The per-run cache behind the planner: scenes, row sets and intra
+/// polygon lists, all keyed so that N rules reading one layer build
+/// and upload once. Lives on the [`RunContext`]; bypassed entirely
+/// when [`EngineOptions::planner`] is off.
+///
+/// [`EngineOptions::planner`]: crate::EngineOptions::planner
+#[derive(Default)]
+pub(crate) struct PlanCache {
+    pub scenes: HashMap<Layer, Arc<LayerScene>>,
+    pub rows: HashMap<RowSetKey, Arc<RowSet>>,
+    pub intra: HashMap<Layer, Arc<IntraData>>,
+}
+
+/// The deck's rules in issue order: grouped by the first layer each
+/// rule reads (first-occurrence order), layer-less rules last. With
+/// deferred synchronization the order does not affect results
+/// (violations are canonicalized); grouping same-layer rules
+/// adjacently just lets the first rule of a group warm the caches
+/// while the rest of the deck is still issuing.
+#[derive(Debug)]
+pub struct ExecutionPlan {
+    /// Indices into `deck.rules()`.
+    pub order: Vec<usize>,
+}
+
+impl ExecutionPlan {
+    /// Groups `deck`'s rules by primary layer.
+    pub fn build(deck: &RuleDeck) -> ExecutionPlan {
+        let mut groups: Vec<(Layer, Vec<usize>)> = Vec::new();
+        let mut global: Vec<usize> = Vec::new();
+        for (i, rule) in deck.rules().iter().enumerate() {
+            match rule.layers().first() {
+                Some(&layer) => match groups.iter_mut().find(|(g, _)| *g == layer) {
+                    Some((_, members)) => members.push(i),
+                    None => groups.push((layer, vec![i])),
+                },
+                None => global.push(i),
+            }
+        }
+        let mut order: Vec<usize> = groups.into_iter().flat_map(|(_, m)| m).collect();
+        order.extend(global);
+        ExecutionPlan { order }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::rule;
+
+    #[test]
+    fn plan_groups_rules_by_layer() {
+        let deck = RuleDeck::new(vec![
+            rule().layer(1).width().greater_than(5).named("A.W"),
+            rule().layer(2).width().greater_than(5).named("B.W"),
+            rule().layer(1).space().greater_than(5).named("A.S"),
+            rule().polygons().is_rectilinear().named("GLOBAL"),
+            rule().layer(2).space().greater_than(5).named("B.S"),
+        ]);
+        let plan = ExecutionPlan::build(&deck);
+        // Layer 1 rules adjacent, then layer 2, then the global rule.
+        assert_eq!(plan.order, vec![0, 2, 1, 4, 3]);
+    }
+
+    #[test]
+    fn shared_data_uploads_once_across_streams() {
+        let device = Device::new(2);
+        let data = SharedDeviceData::new(Arc::new(vec![1u32, 2, 3]));
+        let a = device.stream();
+        let b = device.stream();
+        let (buf_a, elided_a) = data.acquire(&a).unwrap();
+        let (buf_b, elided_b) = data.acquire(&b).unwrap();
+        assert!(!elided_a);
+        assert!(elided_b);
+        b.synchronize();
+        assert_eq!(buf_a.to_vec(), vec![1, 2, 3]);
+        assert_eq!(buf_b.to_vec(), vec![1, 2, 3]);
+        a.synchronize();
+        // One simulated transfer, not two.
+        assert_eq!(device.stats().bytes_h2d(), 12);
+    }
+
+    #[test]
+    fn row_set_key_shares_rounded_half_distance() {
+        // 17 and 18 both inflate by 9; 20 inflates by 10.
+        assert_eq!(RowSetKey::new(5, 17, true), RowSetKey::new(5, 18, true));
+        assert_ne!(RowSetKey::new(5, 18, true), RowSetKey::new(5, 20, true));
+        assert_ne!(RowSetKey::new(5, 18, true), RowSetKey::new(6, 18, true));
+        assert_ne!(RowSetKey::new(5, 18, true), RowSetKey::new(5, 18, false));
+    }
+}

@@ -121,11 +121,9 @@ impl LayerScene {
             });
         }
         let top_cell = layout.cell(layout.top());
-        let top_candidates: Vec<&Polygon> =
-            top_cell.polygons_on(layer).map(|p| &p.polygon).collect();
-        for p in &top_candidates {
+        for p in top_cell.polygons_on(layer) {
             protos.push(SceneObject {
-                mbr: p.mbr(),
+                mbr: p.polygon.mbr(),
                 source: SceneSource::TopPolygon { index: 0 }, // assigned below
             });
         }
@@ -153,11 +151,13 @@ impl LayerScene {
             }
         };
 
-        // Pass 2: flatten the surviving objects.
+        // Pass 2: flatten the surviving objects. Top polygons stream
+        // straight from the cell again (pass 1 enumerated them in the
+        // same order), so only the kept ones are ever copied.
         let mut local: HashMap<CellId, Vec<Polygon>> = HashMap::new();
         let mut objects = Vec::new();
         let mut top_polys = Vec::new();
-        let mut next_top = 0usize;
+        let mut top_iter = top_cell.polygons_on(layer);
         for (proto, kept) in protos.into_iter().zip(keep) {
             match proto.source {
                 SceneSource::Cell { cell, .. } => {
@@ -172,8 +172,7 @@ impl LayerScene {
                     objects.push(proto);
                 }
                 SceneSource::TopPolygon { .. } => {
-                    let poly = top_candidates[next_top];
-                    next_top += 1;
+                    let poly = top_iter.next().expect("pass 1 and 2 agree on top polygons");
                     if !kept {
                         continue;
                     }
@@ -183,7 +182,7 @@ impl LayerScene {
                             index: top_polys.len(),
                         },
                     });
-                    top_polys.push(poly.clone());
+                    top_polys.push(poly.polygon.clone());
                 }
             }
         }

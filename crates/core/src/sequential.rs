@@ -31,6 +31,7 @@ use crate::checks::poly::{
 };
 use crate::checks::{enclosure_margin, SpaceSpec};
 use crate::engine::{EngineOptions, EngineStats};
+use crate::plan::{IntraData, PlanCache, RowSet, RowSetKey, SharedDeviceData};
 use crate::rules::{Rule, RuleKind};
 use crate::scene::{instance_transforms, DirtyWindow, LayerScene, SceneObject, SceneSource};
 use crate::violation::{Violation, ViolationKind};
@@ -46,6 +47,9 @@ pub(crate) struct RunContext<'a> {
     /// Persistent result cache plus the layout's content keys, when the
     /// caller opted into cross-run reuse.
     pub cache: Option<CacheHandle<'a>>,
+    /// The execution planner's per-run caches (scenes, row sets, intra
+    /// polygon lists). Consulted only when `options.planner` is set.
+    pub plan: PlanCache,
 }
 
 impl<'a> RunContext<'a> {
@@ -62,6 +66,7 @@ impl<'a> RunContext<'a> {
             stats,
             instances: None,
             cache: None,
+            plan: PlanCache::default(),
         }
     }
 
@@ -76,6 +81,81 @@ impl<'a> RunContext<'a> {
             self.instances = Some(instance_transforms(self.layout));
         }
         self.instances.as_ref().expect("just computed")
+    }
+
+    /// The full scene of `layer`, memoized across the rules of the run
+    /// when the planner is on. Windowed (delta) scenes never go through
+    /// this memo — they are rule-specific.
+    pub fn layer_scene(&mut self, layer: Layer) -> Arc<LayerScene> {
+        if self.options.planner {
+            if let Some(scene) = self.plan.scenes.get(&layer) {
+                self.stats.scenes_reused += 1;
+                return Arc::clone(scene);
+            }
+        }
+        let layout = self.layout;
+        let scene = Arc::new(
+            self.profiler
+                .time("scene", || LayerScene::build(layout, layer)),
+        );
+        self.stats.scenes_built += 1;
+        if self.options.planner {
+            self.plan.scenes.insert(layer, Arc::clone(&scene));
+        }
+        scene
+    }
+
+    /// The packed, sorted row set of `layer` for a rule distance of
+    /// `min`, memoized by [`RowSetKey`] when the planner is on.
+    pub fn row_set(&mut self, device: &odrc_xpu::Device, layer: Layer, min: i64) -> Arc<RowSet> {
+        let key = RowSetKey::new(layer, min, self.options.partition);
+        if self.options.planner {
+            if let Some(rows) = self.plan.rows.get(&key) {
+                return Arc::clone(rows);
+            }
+        }
+        let scene = self.layer_scene(layer);
+        let rows = Arc::new(RowSet::build(self, device, &scene, min));
+        if self.options.planner {
+            self.plan.rows.insert(key, Arc::clone(&rows));
+        }
+        rows
+    }
+
+    /// The packed unique-polygon list of `layer` for device-side intra
+    /// rules (width, area), memoized per layer when the planner is on.
+    pub fn intra_data(&mut self, layer: Layer) -> Arc<IntraData> {
+        if self.options.planner {
+            if let Some(data) = self.plan.intra.get(&layer) {
+                return Arc::clone(data);
+            }
+        }
+        let layout = self.layout;
+        let data = self.profiler.time("pack", || {
+            let targets: Vec<(CellId, usize)> = layout.layer_polygons(layer).to_vec();
+            let polys: Vec<odrc_geometry::Polygon> = targets
+                .iter()
+                .map(|&(c, pi)| layout.cell(c).polygons()[pi].polygon.clone())
+                .collect();
+            Arc::new(IntraData {
+                targets: Arc::new(targets),
+                polys: SharedDeviceData::new(Arc::new(polys)),
+            })
+        });
+        if self.options.planner {
+            self.plan.intra.insert(layer, Arc::clone(&data));
+        }
+        data
+    }
+
+    /// Tallies one shared-buffer acquisition: an elided upload, or an
+    /// actual (shallow) transfer of `bytes`.
+    pub fn note_upload(&mut self, elided: bool, bytes: u64) {
+        if elided {
+            self.stats.uploads_elided += 1;
+        } else {
+            self.stats.bytes_uploaded += bytes;
+        }
     }
 }
 
@@ -256,10 +336,7 @@ pub(crate) fn check_space_rule(
     sig: Option<u64>,
     out: &mut Vec<Violation>,
 ) {
-    let layout = ctx.layout;
-    let scene = ctx
-        .profiler
-        .time("scene", || LayerScene::build(layout, layer));
+    let scene = ctx.layer_scene(layer);
     check_space_scene(ctx, rule_name, &scene, spec, sig, out);
 }
 
@@ -441,13 +518,16 @@ pub(crate) fn enclosure_work(
     // Under a delta window only the inner shapes near the dirt are
     // re-measured; the outer scene stays complete so every retained
     // inner shape sees its full candidate set and measures its exact
-    // margin.
-    let inner_scene = ctx
-        .profiler
-        .time("scene", || LayerScene::build_near(layout, inner, window));
-    let outer_scene = ctx
-        .profiler
-        .time("scene", || LayerScene::build(layout, outer));
+    // margin. Full (window-less) scenes come from the run's memo;
+    // windowed scenes are rule-specific and built fresh.
+    let inner_scene = match window {
+        None => ctx.layer_scene(inner),
+        Some(w) => Arc::new(
+            ctx.profiler
+                .time("scene", || LayerScene::build_near(layout, inner, Some(w))),
+        ),
+    };
+    let outer_scene = ctx.layer_scene(outer);
     let m = min as Coord;
     let mut inner_polys: Vec<odrc_geometry::Polygon> = Vec::new();
     for obj in &inner_scene.objects {

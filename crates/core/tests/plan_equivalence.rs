@@ -1,0 +1,195 @@
+//! Execution-planner equivalence and accounting tests.
+//!
+//! The planner changes *when* work happens — one scene per layer, one
+//! upload per row set, all rules issued before any is collected — but
+//! must never change *what* is reported. Every test here pits the
+//! planned engine against the strict per-rule loop
+//! (`EngineOptions { planner: false, .. }`) and demands byte-identical
+//! canonical violation sets, in both modes, with and without injected
+//! device faults.
+
+use odrc::{rule, Engine, EngineOptions, Mode, RuleDeck, Violation};
+use odrc_layoutgen::{generate_layout, tech, DesignSpec};
+use odrc_xpu::{Device, FaultPlan};
+use proptest::prelude::*;
+
+/// A deck with several rules per layer so the planner has sharing to
+/// exploit: the two M1 spacing rules share one partitioned row set
+/// (same layer, same distance), width + area share the M1 polygon
+/// buffer, and the enclosure's outer scene is the M2 spacing scene.
+fn shared_deck() -> RuleDeck {
+    RuleDeck::new(vec![
+        rule()
+            .layer(tech::M1)
+            .width()
+            .greater_than(tech::M1_WIDTH)
+            .named("M1.W.1"),
+        rule()
+            .layer(tech::M1)
+            .area()
+            .greater_than(tech::M1_AREA)
+            .named("M1.A.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .when_projection_at_least(tech::M1_WIDTH)
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.2"),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V1_M2_ENCLOSURE)
+            .named("V1.M2.EN.1"),
+    ])
+}
+
+fn engine(mode: Mode, planner: bool) -> Engine {
+    let base = match mode {
+        Mode::Sequential => Engine::sequential(),
+        Mode::Parallel => Engine::parallel_on(Device::new(3)),
+    };
+    base.with_options(EngineOptions {
+        planner,
+        retry_backoff_ms: 0,
+        ..EngineOptions::default()
+    })
+}
+
+fn check(layout: &odrc_db::Layout, mode: Mode, planner: bool) -> odrc::CheckReport {
+    engine(mode, planner).check(layout, &shared_deck())
+}
+
+#[test]
+fn sequential_scene_memo_builds_each_layer_once() {
+    let layout = generate_layout(&DesignSpec::tiny(31));
+    // Two spacing rules on M1 and the enclosure reading M2: with the
+    // planner, each layer's scene is built exactly once per run.
+    let deck = RuleDeck::new(vec![
+        rule()
+            .layer(tech::M1)
+            .space()
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .when_projection_at_least(tech::M1_WIDTH)
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.2"),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V1_M2_ENCLOSURE)
+            .named("V1.M2.EN.1"),
+    ]);
+    let report = Engine::sequential().check(&layout, &deck);
+    // Scene reads: M1 twice (the two spacing rules), M2 twice (space +
+    // enclosure outer), V1 once (enclosure inner) — three builds, two
+    // memo hits.
+    assert_eq!(report.stats.scenes_built, 3, "one build per layer");
+    assert_eq!(report.stats.scenes_reused, 2, "every re-read is a memo hit");
+
+    // The per-rule loop rebuilds instead: one build per read.
+    let off = engine(Mode::Sequential, false).check(&layout, &deck);
+    assert_eq!(off.stats.scenes_built, 5);
+    assert_eq!(off.stats.scenes_reused, 0);
+    assert_eq!(off.violations, report.violations);
+}
+
+#[test]
+fn planner_shares_row_uploads_across_rules() {
+    let layout = generate_layout(&DesignSpec::tiny(32));
+    let on = check(&layout, Mode::Parallel, true);
+    let off = check(&layout, Mode::Parallel, false);
+    assert_eq!(on.violations, off.violations);
+    assert!(on.stats.scenes_reused > 0, "scene memo must hit");
+    assert!(on.stats.uploads_elided > 0, "row buffers must be shared");
+    assert!(
+        on.stats.uploads_elided > off.stats.uploads_elided,
+        "cross-rule sharing must elide uploads beyond the within-rule \
+         emit-phase reuse ({} vs {})",
+        on.stats.uploads_elided,
+        off.stats.uploads_elided
+    );
+    assert!(
+        on.stats.bytes_uploaded < off.stats.bytes_uploaded,
+        "shared buffers must shrink the transferred volume ({} vs {})",
+        on.stats.bytes_uploaded,
+        off.stats.bytes_uploaded
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On generated designs, the planned engine and the per-rule loop
+    /// report byte-identical canonical violations in both modes.
+    #[test]
+    fn prop_planner_matches_per_rule_loop(design_seed in 0u64..1_000) {
+        let layout = generate_layout(&DesignSpec::tiny(design_seed));
+        let baseline = check(&layout, Mode::Sequential, false).violations;
+        for (mode, planner) in [
+            (Mode::Sequential, true),
+            (Mode::Parallel, false),
+            (Mode::Parallel, true),
+        ] {
+            let got = check(&layout, mode, planner).violations;
+            prop_assert_eq!(
+                &got, &baseline,
+                "mode {:?} planner {} diverged on design seed {}",
+                mode, planner, design_seed
+            );
+        }
+    }
+
+    /// Under seeded fault schedules, the planned concurrent engine
+    /// still reports exactly the fault-free baseline (faults land on
+    /// different ordinals with the planner on, so the comparison is
+    /// against the clean run, not the faulted per-rule run).
+    #[test]
+    fn prop_planner_survives_fault_injection(
+        design_seed in 0u64..100,
+        fault_seed in 0u64..200,
+    ) {
+        let layout = generate_layout(&DesignSpec::tiny(design_seed));
+        let baseline: Vec<Violation> =
+            check(&layout, Mode::Parallel, false).violations;
+        for planner in [false, true] {
+            let device = Device::new(3);
+            device.set_fault_plan(Some(FaultPlan::from_seed(fault_seed, 6)));
+            let report = Engine::parallel_on(device.clone())
+                .with_options(EngineOptions {
+                    planner,
+                    retry_backoff_ms: 0,
+                    ..EngineOptions::default()
+                })
+                .check(&layout, &shared_deck());
+            prop_assert_eq!(
+                &report.violations, &baseline,
+                "planner {} fault seed {} changed the results on design {}",
+                planner, fault_seed, design_seed
+            );
+            prop_assert_eq!(
+                report.stats.degraded(),
+                device.faults_injected() > 0,
+                "planner {}: degradation must be reported iff faults fired",
+                planner
+            );
+        }
+    }
+}

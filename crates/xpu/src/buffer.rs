@@ -1,6 +1,7 @@
 //! Device-resident memory.
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -8,6 +9,72 @@ use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::device::MemReservation;
 use crate::error::{TransferDirection, XpuError, XpuResult};
+
+/// The backing store of a device buffer.
+///
+/// `Owned` is device-private memory (allocations, plain uploads).
+/// `Shared` aliases host memory that was uploaded through
+/// [`Stream::try_upload_shared`] without a staging copy; it is
+/// read-only from kernels, like CUDA memory mapped with
+/// `cudaHostRegisterReadOnly`.
+///
+/// [`Stream::try_upload_shared`]: crate::Stream::try_upload_shared
+enum Repr<T> {
+    Owned(Vec<T>),
+    Shared(Arc<Vec<T>>),
+}
+
+impl<T> Repr<T> {
+    fn as_slice(&self) -> &[T] {
+        match self {
+            Repr::Owned(v) => v,
+            Repr::Shared(a) => a,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            Repr::Owned(v) => v,
+            Repr::Shared(_) => panic!(
+                "kernel writes to a shared (zero-copy) device buffer; \
+                 shared uploads are read-only"
+            ),
+        }
+    }
+}
+
+/// Read access to a device buffer's contents; derefs to `[T]`.
+pub struct BufferReadGuard<'a, T>(RwLockReadGuard<'a, Repr<T>>);
+
+impl<T> Deref for BufferReadGuard<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.0.as_slice()
+    }
+}
+
+/// Write access to a device buffer's contents; derefs to `[T]`.
+///
+/// # Panics
+///
+/// Dereferencing panics if the buffer is a shared (zero-copy) upload:
+/// those are read-only by construction.
+pub(crate) struct BufferWriteGuard<'a, T>(RwLockWriteGuard<'a, Repr<T>>);
+
+impl<T> Deref for BufferWriteGuard<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.0.as_slice()
+    }
+}
+
+impl<T> DerefMut for BufferWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.0.as_mut_slice()
+    }
+}
 
 /// A device-resident buffer of `T`.
 ///
@@ -32,7 +99,7 @@ use crate::error::{TransferDirection, XpuError, XpuResult};
 /// [`Stream::try_upload`]: crate::Stream::try_upload
 /// [`Device`]: crate::Device
 pub struct DeviceBuffer<T> {
-    data: Arc<RwLock<Vec<T>>>,
+    data: Arc<RwLock<Repr<T>>>,
     /// Budget accounting for stream-ordered allocations; `None` for
     /// direct (unbudgeted) buffers and unlimited devices.
     reservation: Option<Arc<MemReservation>>,
@@ -70,7 +137,7 @@ impl<T> DeviceBuffer<T> {
     /// Wraps host data into a device buffer (a synchronous upload).
     pub fn from_vec(data: Vec<T>) -> Self {
         DeviceBuffer {
-            data: Arc::new(RwLock::new(data)),
+            data: Arc::new(RwLock::new(Repr::Owned(data))),
             reservation: None,
         }
     }
@@ -79,14 +146,14 @@ impl<T> DeviceBuffer<T> {
     /// materializes in stream order).
     pub(crate) fn reserved(reservation: Option<Arc<MemReservation>>) -> Self {
         DeviceBuffer {
-            data: Arc::new(RwLock::new(Vec::new())),
+            data: Arc::new(RwLock::new(Repr::Owned(Vec::new()))),
             reservation,
         }
     }
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.data.read().len()
+        self.data.read().as_slice().len()
     }
 
     /// Returns `true` for zero-length buffers.
@@ -101,8 +168,8 @@ impl<T> DeviceBuffer<T> {
     /// Deadlocks (or panics under `parking_lot` deadlock detection) if
     /// called from a kernel writing the same buffer; a kernel must not
     /// read its own output.
-    pub fn read(&self) -> RwLockReadGuard<'_, Vec<T>> {
-        self.data.read()
+    pub fn read(&self) -> BufferReadGuard<'_, T> {
+        BufferReadGuard(self.data.read())
     }
 
     /// Copies the contents back to host memory.
@@ -110,16 +177,22 @@ impl<T> DeviceBuffer<T> {
     where
         T: Clone,
     {
-        self.data.read().clone()
+        self.data.read().as_slice().to_vec()
     }
 
-    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, Vec<T>> {
-        self.data.write()
+    pub(crate) fn write(&self) -> BufferWriteGuard<'_, T> {
+        BufferWriteGuard(self.data.write())
     }
 
     /// Replaces the entire contents (used by stream-ordered copies).
     pub(crate) fn replace(&self, data: Vec<T>) {
-        *self.data.write() = data;
+        *self.data.write() = Repr::Owned(data);
+    }
+
+    /// Points the buffer at shared host memory without copying (used by
+    /// the zero-copy upload path). The buffer becomes read-only.
+    pub(crate) fn replace_shared(&self, data: Arc<Vec<T>>) {
+        *self.data.write() = Repr::Shared(data);
     }
 }
 
@@ -234,6 +307,27 @@ mod tests {
         let b: DeviceBuffer<u8> = DeviceBuffer::alloc(0);
         assert!(b.is_empty());
         assert!(b.to_vec().is_empty());
+    }
+
+    #[test]
+    fn shared_buffer_reads_without_copy() {
+        let host = Arc::new(vec![1u32, 2, 3]);
+        let buf: DeviceBuffer<u32> = DeviceBuffer::from_vec(Vec::new());
+        buf.replace_shared(Arc::clone(&host));
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.read()[2], 3);
+        assert_eq!(buf.to_vec(), vec![1, 2, 3]);
+        // Still aliased: the Arc has two strong holders.
+        assert_eq!(Arc::strong_count(&host), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn shared_buffer_rejects_writes() {
+        let buf: DeviceBuffer<u32> = DeviceBuffer::from_vec(Vec::new());
+        buf.replace_shared(Arc::new(vec![1, 2]));
+        let mut guard = buf.write();
+        let _slots: &mut [u32] = &mut guard;
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod scan;
 pub mod sort;
 pub mod stream;
 
-pub use buffer::{DeviceBuffer, Pending};
+pub use buffer::{BufferReadGuard, DeviceBuffer, Pending};
 pub use device::{Device, DeviceStats, LaunchConfig, ThreadCtx};
 pub use error::{TransferDirection, XpuError, XpuResult};
 pub use fault::{Fault, FaultPlan};

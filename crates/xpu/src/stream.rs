@@ -294,6 +294,57 @@ impl Stream {
             .unwrap_or_else(|e| panic!("device upload failed: {e}"))
     }
 
+    /// Fallible zero-copy host → device upload: the device buffer
+    /// aliases the shared host allocation instead of staging a private
+    /// copy, so N streams uploading the same `Arc` move no bytes per
+    /// call beyond the simulated transfer. The resulting buffer is
+    /// read-only for kernels (writes panic), mirroring
+    /// read-only-registered host memory.
+    ///
+    /// Transfer accounting, fault injection, and the memory budget
+    /// behave exactly like [`Stream::try_upload`]: the simulated H2D
+    /// transfer still happens — what is eliminated is the host-side
+    /// staging clone.
+    pub fn try_upload_shared<T>(&self, data: Arc<Vec<T>>) -> XpuResult<DeviceBuffer<T>>
+    where
+        T: Send + Sync + 'static,
+    {
+        self.check_sticky()?;
+        let bytes = data.len() * std::mem::size_of::<T>();
+        if let Some(e) = self
+            .device
+            .fault_transfer(TransferDirection::HostToDevice, bytes)
+        {
+            return Err(e);
+        }
+        let reservation = self.device.try_reserve(bytes)?;
+        let buf: DeviceBuffer<T> = DeviceBuffer::reserved(reservation);
+        let handle = buf.clone();
+        self.submit_data(
+            "upload",
+            Box::new(move |device| {
+                device.stats().record_h2d(bytes);
+                handle.replace_shared(data);
+                Ok(())
+            }),
+        );
+        Ok(buf)
+    }
+
+    /// Zero-copy host → device upload; see [`Stream::try_upload_shared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on device errors; use [`Stream::try_upload_shared`] to
+    /// recover.
+    pub fn upload_shared<T>(&self, data: Arc<Vec<T>>) -> DeviceBuffer<T>
+    where
+        T: Send + Sync + 'static,
+    {
+        self.try_upload_shared(data)
+            .unwrap_or_else(|e| panic!("device upload failed: {e}"))
+    }
+
     /// Fallible asynchronous device → host copy. The returned
     /// [`Pending`] resolves when the stream reaches this operation;
     /// if the stream fails first, [`Pending::result`] reports the
@@ -518,6 +569,26 @@ mod tests {
         assert_eq!(stream.download(&buf).wait(), vec![5, 6, 7]);
         assert_eq!(device.stats().bytes_h2d(), 3);
         assert_eq!(device.stats().bytes_d2h(), 3);
+    }
+
+    #[test]
+    fn shared_upload_aliases_host_memory() {
+        let device = Device::new(2);
+        let stream = device.stream();
+        let host = Arc::new((0..64u32).collect::<Vec<_>>());
+        let buf = stream.upload_shared(Arc::clone(&host));
+        let out = stream.alloc::<u32>(64);
+        let kernel_buf = buf.clone();
+        stream.launch_map(LaunchConfig::for_threads(64), &out, move |ctx, slot| {
+            *slot = kernel_buf.read()[ctx.global_id()] + 1;
+        });
+        let result = stream.download(&out).wait();
+        assert_eq!(result[63], 64);
+        // H2D bytes are still accounted (the transfer is simulated).
+        assert_eq!(device.stats().bytes_h2d(), 64 * 4);
+        // No staging copy: the host Arc is still aliased by the buffer
+        // (one holder here, one inside the device buffer).
+        assert_eq!(Arc::strong_count(&host), 2);
     }
 
     #[test]
