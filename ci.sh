@@ -28,11 +28,22 @@ echo "== planner equivalence (fixed fault seeds)"
 # the fault schedules exercised here are fixed run to run.
 cargo test -q --release -p odrc --test plan_equivalence
 
+echo "== host executor equivalence (thread-count matrix)"
+# The work-stealing host executor must report byte-identical violations
+# for every host_threads count, in both modes, planner on and off,
+# and under seeded fault schedules.
+cargo test -q --release -p odrc --test host_parallel_equivalence
+
 echo "== pipeline bench smoke run"
 # The planner benchmark on the small uart design: asserts all four
 # (mode, planner) configurations agree and exercises the JSON emitter.
 # Runs from target/ so the committed aes/jpeg BENCH_pipeline.json
 # record is not clobbered by the smoke design.
 (cd target && cargo run -q --release -p odrc-bench --bin pipeline -- --designs uart --json)
+
+echo "== host-threads smoke run"
+# The same smoke deck with the host fan-out forced on: asserts the
+# four configurations still agree with two host worker threads.
+(cd target && cargo run -q --release -p odrc-bench --bin pipeline -- --designs uart --host-threads 2)
 
 echo "== ci.sh: all green"

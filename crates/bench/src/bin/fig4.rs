@@ -60,6 +60,39 @@ fn main() {
         let report = Engine::sequential().check(&d.layout, &combined);
         println!("\ncombined spacing deck on {}:\n{}", d.name, report.profile);
 
+        // Host-executor utilization: re-run the same deck with the
+        // host fan-out enabled and print per-phase busy/idle shares
+        // per worker (the `host[...]` profiler lines).
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2);
+        let fanned = Engine::sequential()
+            .with_options(odrc::EngineOptions {
+                host_threads: Some(threads),
+                ..odrc::EngineOptions::default()
+            })
+            .check(&d.layout, &combined);
+        println!(
+            "host executor on {} ({} threads): {} task(s), {} steal(s)",
+            d.name, threads, fanned.stats.host_tasks, fanned.stats.host_steals
+        );
+        for u in fanned.profile.host_util() {
+            let busy: Vec<String> = u
+                .busy
+                .iter()
+                .map(|b| format!("{:.1}ms", b.as_secs_f64() * 1e3))
+                .collect();
+            println!(
+                "  host[{}]: {:.0}% busy over {} worker(s) ({}), {:.1}ms wall",
+                u.phase,
+                100.0 * u.utilization(),
+                u.busy.len(),
+                busy.join(", "),
+                u.wall.as_secs_f64() * 1e3,
+            );
+        }
+
         // The paper leaves the parallel-mode breakdown to future work
         // ("runtime profiling and visualization are slightly
         // complicated" under asynchronous operations); the simulated

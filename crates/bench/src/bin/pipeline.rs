@@ -3,9 +3,15 @@
 //! baseline), per design. With `--json`, writes the machine-readable
 //! `BENCH_pipeline.json` so the perf trajectory is tracked across PRs.
 //!
+//! `--scaling` instead sweeps the host executor's thread count
+//! (1/2/4/max, deduplicated) over the sequential planned engine and
+//! writes `BENCH_host.json` — the host-parallelism scaling table.
+//!
 //! ```text
 //! cargo run -p odrc-bench --release --bin pipeline -- \
-//!     [--designs aes,jpeg] [--repeat N] [--json]
+//!     [--designs aes,jpeg] [--repeat N] [--host-threads N] [--json]
+//! cargo run -p odrc-bench --release --bin pipeline -- \
+//!     --scaling [--designs uart,aes] [--repeat N] [--json]
 //! ```
 
 use std::time::Instant;
@@ -26,13 +32,14 @@ impl RunResult {
     }
 }
 
-fn engine(mode: Mode, planner: bool) -> Engine {
+fn engine(mode: Mode, planner: bool, host_threads: Option<usize>) -> Engine {
     let base = match mode {
         Mode::Sequential => Engine::sequential(),
         Mode::Parallel => Engine::parallel(),
     };
     base.with_options(EngineOptions {
         planner,
+        host_threads,
         ..EngineOptions::default()
     })
 }
@@ -47,6 +54,7 @@ fn run_configs(
     deck: &RuleDeck,
     configs: &[(Mode, bool)],
     repeat: usize,
+    host_threads: Option<usize>,
 ) -> Vec<RunResult> {
     let mut results: Vec<RunResult> = configs
         .iter()
@@ -62,7 +70,7 @@ fn run_configs(
         .collect();
     for _ in 0..repeat.max(1) {
         for (slot, &(mode, planner)) in results.iter_mut().zip(configs) {
-            let e = engine(mode, planner);
+            let e = engine(mode, planner, host_threads);
             let start = Instant::now();
             let r = e.check(&design.layout, deck);
             slot.wall_ms = slot.wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
@@ -70,6 +78,99 @@ fn run_configs(
         }
     }
     results
+}
+
+/// One host-thread-count measurement in the `--scaling` sweep.
+struct ScaleRun {
+    threads: usize,
+    wall_ms: f64,
+    report: Option<CheckReport>,
+}
+
+impl ScaleRun {
+    fn report(&self) -> &CheckReport {
+        self.report.as_ref().expect("configuration was run")
+    }
+}
+
+/// The `--scaling` thread ladder: 1, 2, 4, and every core, deduplicated
+/// (on small hosts the rungs collapse; the table is recorded anyway so
+/// the scaling trajectory is comparable across machines).
+fn scaling_ladder() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rungs = vec![1, 2, 4, max];
+    rungs.sort_unstable();
+    rungs.dedup();
+    rungs
+}
+
+/// Sweeps the sequential planned engine over the thread ladder,
+/// interleaved min-of-N like [`run_configs`].
+fn run_scaling(
+    design: &BenchDesign,
+    deck: &RuleDeck,
+    ladder: &[usize],
+    repeat: usize,
+) -> Vec<ScaleRun> {
+    let mut results: Vec<ScaleRun> = ladder
+        .iter()
+        .map(|&threads| ScaleRun {
+            threads,
+            wall_ms: f64::INFINITY,
+            report: None,
+        })
+        .collect();
+    for _ in 0..repeat.max(1) {
+        for slot in results.iter_mut() {
+            let e = engine(Mode::Sequential, true, Some(slot.threads));
+            let start = Instant::now();
+            let r = e.check(&design.layout, deck);
+            slot.wall_ms = slot.wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            slot.report = Some(r);
+        }
+    }
+    results
+}
+
+fn write_scaling_json(path: &str, results: &[(String, Vec<ScaleRun>)]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"host-scaling\",")?;
+    writeln!(f, "  \"mode\": \"sequential+planner\",")?;
+    writeln!(f, "  \"designs\": [")?;
+    for (di, (name, runs)) in results.iter().enumerate() {
+        writeln!(f, "    {{")?;
+        writeln!(f, "      \"name\": \"{name}\",")?;
+        writeln!(f, "      \"runs\": [")?;
+        let base = runs.first().map(|r| r.wall_ms).unwrap_or(f64::NAN);
+        for (ri, r) in runs.iter().enumerate() {
+            let s = &r.report().stats;
+            writeln!(f, "        {{")?;
+            writeln!(f, "          \"host_threads\": {},", r.threads)?;
+            writeln!(f, "          \"wall_ms\": {:.3},", r.wall_ms)?;
+            writeln!(
+                f,
+                "          \"violations\": {},",
+                r.report().violations.len()
+            )?;
+            writeln!(f, "          \"host_tasks\": {},", s.host_tasks)?;
+            writeln!(f, "          \"host_steals\": {},", s.host_steals)?;
+            writeln!(f, "          \"speedup_vs_1\": {:.3}", base / r.wall_ms)?;
+            writeln!(
+                f,
+                "        }}{}",
+                if ri + 1 < runs.len() { "," } else { "" }
+            )?;
+        }
+        writeln!(f, "      ]")?;
+        writeln!(f, "    }}{}", if di + 1 < results.len() { "," } else { "" })?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
 }
 
 fn write_json(path: &str, results: &[(String, Vec<RunResult>)]) -> std::io::Result<()> {
@@ -129,9 +230,11 @@ fn write_json(path: &str, results: &[(String, Vec<RunResult>)]) -> std::io::Resu
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut designs = Some("aes,jpeg".to_owned());
+    let mut designs: Option<String> = None;
     let mut repeat = 1usize;
     let mut json = false;
+    let mut scaling = false;
+    let mut host_threads: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -143,6 +246,14 @@ fn main() {
                 repeat = args[i + 1].parse().unwrap_or(1).max(1);
                 i += 2;
             }
+            "--host-threads" if i + 1 < args.len() => {
+                host_threads = Some(args[i + 1].parse().unwrap_or(1).max(1));
+                i += 2;
+            }
+            "--scaling" => {
+                scaling = true;
+                i += 1;
+            }
             "--json" => {
                 json = true;
                 i += 1;
@@ -153,8 +264,56 @@ fn main() {
             }
         }
     }
+    // The scaling sweep defaults to the small/medium pair so the table
+    // stays cheap enough to regenerate every PR.
+    let designs =
+        designs.unwrap_or_else(|| if scaling { "uart,aes" } else { "aes,jpeg" }.to_owned());
 
     let deck = pipeline_deck();
+
+    if scaling {
+        let ladder = scaling_ladder();
+        println!(
+            "\n=== Host executor scaling: sequential+planner, {}-rule deck ===",
+            deck.rules().len()
+        );
+        println!(
+            "{:<10} {:>7} {:>8} {:>10} {:>10} {:>8} {:>9}",
+            "design", "threads", "wall_ms", "#viol", "tasks", "steals", "speedup"
+        );
+        let mut results: Vec<(String, Vec<ScaleRun>)> = Vec::new();
+        for design in load_designs(Some(&designs)) {
+            let runs = run_scaling(&design, &deck, &ladder, repeat);
+            for r in &runs {
+                // Every thread count must agree exactly with threads=1.
+                assert_eq!(
+                    runs[0].report().violations,
+                    r.report().violations,
+                    "host_threads={} changed the violation set on {}",
+                    r.threads,
+                    design.name
+                );
+                let s = &r.report().stats;
+                println!(
+                    "{:<10} {:>7} {:>8.1} {:>10} {:>10} {:>8} {:>8.2}x",
+                    design.name,
+                    r.threads,
+                    r.wall_ms,
+                    r.report().violations.len(),
+                    s.host_tasks,
+                    s.host_steals,
+                    runs[0].wall_ms / r.wall_ms,
+                );
+            }
+            results.push((design.name.clone(), runs));
+        }
+        if json {
+            let path = "BENCH_host.json";
+            write_scaling_json(path, &results).expect("write BENCH_host.json");
+            println!("\nwrote {path}");
+        }
+        return;
+    }
     let configs = [
         (Mode::Sequential, false),
         (Mode::Sequential, true),
@@ -181,8 +340,8 @@ fn main() {
     );
 
     let mut results: Vec<(String, Vec<RunResult>)> = Vec::new();
-    for design in load_designs(designs.as_deref()) {
-        let runs = run_configs(&design, &deck, &configs, repeat);
+    for design in load_designs(Some(&designs)) {
+        let runs = run_configs(&design, &deck, &configs, repeat, host_threads);
         let mut baseline: std::collections::HashMap<&'static str, f64> = Default::default();
         for r in &runs {
             // All four configurations must agree exactly.

@@ -4,8 +4,9 @@
 //! odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N]
 //!      [--cache <dir>] [--stats-json <file>] [--report out.csv]
 //!      [--markers out.gds] [--device-budget BYTES] [--fault-seed N]
+//!      [--host-threads N]
 //! odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel]
-//!      [--cache <dir>] [--max-print N]
+//!      [--cache <dir>] [--max-print N] [--host-threads N]
 //! ```
 //!
 //! The default mode reads a GDSII layout and a plain-text rule deck
@@ -64,6 +65,7 @@ struct Args {
     stats_json: Option<String>,
     fault_seed: Option<u64>,
     device_budget: Option<usize>,
+    host_threads: Option<usize>,
 }
 
 /// What a completed run reports back to `main` for the exit code.
@@ -76,9 +78,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N] \
          [--cache dir] [--stats-json out.json] [--report out.csv] [--markers out.gds] \
-         [--device-budget BYTES] [--fault-seed N]\n\
+         [--device-budget BYTES] [--fault-seed N] [--host-threads N]\n\
          \u{20}      odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel] \
-         [--cache dir] [--max-print N]\n\
+         [--cache dir] [--max-print N] [--host-threads N]\n\
          exit codes: 0 clean, 1 violations found, 2 hard error, 3 degraded but clean"
     );
     std::process::exit(2);
@@ -95,6 +97,7 @@ fn parse_args() -> Args {
     let mut stats_json = None;
     let mut fault_seed = None;
     let mut device_budget = None;
+    let mut host_threads = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let diff_mode = argv.first().is_some_and(|a| a == "diff");
     let mut i = usize::from(diff_mode);
@@ -160,6 +163,17 @@ fn parse_args() -> Args {
                 device_budget = Some(argv[i + 1].parse().unwrap_or_else(|_| usage()));
                 i += 2;
             }
+            "--host-threads" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                let n: usize = argv[i + 1].parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                host_threads = Some(n);
+                i += 2;
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => {
                 positional.push(other.to_owned());
@@ -189,6 +203,7 @@ fn parse_args() -> Args {
         stats_json,
         fault_seed,
         device_budget,
+        host_threads,
     }
 }
 
@@ -242,6 +257,8 @@ fn write_stats_json(path: &str, report: &CheckReport) -> std::io::Result<()> {
     writeln!(f, "  \"degraded\": {},", report.stats.degraded())?;
     writeln!(f, "  \"scenes_built\": {},", report.stats.scenes_built)?;
     writeln!(f, "  \"scenes_reused\": {},", report.stats.scenes_reused)?;
+    writeln!(f, "  \"host_tasks\": {},", report.stats.host_tasks)?;
+    writeln!(f, "  \"host_steals\": {},", report.stats.host_steals)?;
     writeln!(f, "  \"uploads_elided\": {},", report.stats.uploads_elided)?;
     writeln!(f, "  \"bytes_uploaded\": {},", report.stats.bytes_uploaded)?;
     writeln!(
@@ -321,6 +338,12 @@ fn print_stats(stats: &odrc::EngineStats) {
         "scenes built: {}, reused: {}; uploads elided: {}, bytes uploaded: {}",
         stats.scenes_built, stats.scenes_reused, stats.uploads_elided, stats.bytes_uploaded
     );
+    if stats.host_tasks > 0 {
+        eprintln!(
+            "host executor: {} task(s) fanned out, {} steal(s)",
+            stats.host_tasks, stats.host_steals
+        );
+    }
     if stats.degraded() {
         eprintln!(
             "degraded: device work retried {} time(s), {} unit(s) recomputed on the host \
@@ -437,6 +460,10 @@ fn run(args: &Args) -> Result<Outcome, Box<dyn std::error::Error>> {
     let deck = parse_deck(&deck_text)?;
     eprintln!("loaded {} rules from {}", deck.rules().len(), args.rules);
 
+    let options = odrc::EngineOptions {
+        host_threads: args.host_threads,
+        ..odrc::EngineOptions::default()
+    };
     let engine = if args.parallel {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -449,12 +476,12 @@ fn run(args: &Args) -> Result<Outcome, Box<dyn std::error::Error>> {
             device.set_fault_plan(Some(FaultPlan::from_seed(seed, FAULTS_PER_SEED)));
             eprintln!("fault injection on: seed {seed}, {FAULTS_PER_SEED} scheduled faults");
         }
-        Engine::parallel_on(device)
+        Engine::parallel_on(device).with_options(options)
     } else {
         if args.fault_seed.is_some() || args.device_budget.is_some() {
             eprintln!("note: --fault-seed/--device-budget only apply to --parallel runs");
         }
-        Engine::sequential()
+        Engine::sequential().with_options(options)
     };
     if args.old_layout.is_some() {
         run_diff(args, &engine, &deck)

@@ -419,6 +419,10 @@ impl Engine {
                     keys: new_keys,
                 });
             }
+            // Share the host-thread budget with the device worker pool
+            // (see `infra::host`): host fan-outs and kernel slices draw
+            // from one gate, so the run never oversubscribes.
+            self.device.set_host_gate(ctx.host.gate());
             let stream = match self.mode {
                 Mode::Sequential => None,
                 Mode::Parallel => Some(self.device.stream()),
@@ -437,6 +441,10 @@ impl Engine {
             if let Some(stream) = &stream {
                 stream.synchronize();
             }
+            ctx.stats.host_tasks += ctx.host.tasks();
+            ctx.stats.host_steals += ctx.host.steals();
+            ctx.host.drain_utilization_into(ctx.profiler);
+            self.device.set_host_gate(None);
         }
 
         let violations = canonicalize(violations);

@@ -8,7 +8,7 @@ use crate::cache::{CacheHandle, CacheKeys, ResultCache};
 use crate::parallel;
 use crate::rules::{Rule, RuleDeck, RuleKind};
 use crate::sequential::{self, RunContext};
-use crate::violation::{canonicalize, Violation};
+use crate::violation::Violation;
 
 /// Execution mode of the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +60,14 @@ pub struct EngineOptions {
     /// loop (fresh scene and uploads per rule, synchronize between
     /// rules) — the planner ablation and the equivalence baseline.
     pub planner: bool,
+    /// Worker threads for the shared work-stealing host executor that
+    /// fans out scene builds, partition assignment, row packing, the
+    /// row-parallel sequential checks, and violation canonicalization.
+    /// `None` (the default) sizes it to the host's available
+    /// parallelism. The budget is shared with — not additive to — the
+    /// device's kernel dispatch, and `Some(1)` runs the exact
+    /// single-threaded code paths.
+    pub host_threads: Option<usize>,
 }
 
 impl Default for EngineOptions {
@@ -72,7 +80,22 @@ impl Default for EngineOptions {
             max_device_retries: 2,
             retry_backoff_ms: 1,
             planner: true,
+            host_threads: None,
         }
+    }
+}
+
+impl EngineOptions {
+    /// The effective host-executor thread count: the explicit setting,
+    /// or the host's available parallelism.
+    pub fn resolved_host_threads(&self) -> usize {
+        self.host_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1)
     }
 }
 
@@ -104,6 +127,11 @@ pub struct EngineStats {
     /// Bytes actually moved host→device through the planner's shared
     /// upload path (shallow sizes at the upload call sites).
     pub bytes_uploaded: u64,
+    /// Tasks executed by the host executor (zero when it ran serially —
+    /// the single-threaded code paths never fan out).
+    pub host_tasks: u64,
+    /// Successful work steals between host-executor workers.
+    pub host_steals: u64,
 }
 
 impl EngineStats {
@@ -252,6 +280,11 @@ impl Engine {
             if let Some((cache, keys)) = cache {
                 ctx = ctx.with_cache(CacheHandle { cache, keys });
             }
+            // The pool-sizing handshake: while this run is live, kernel
+            // dispatch draws its spawned threads from the host
+            // executor's gate (None when the executor is serial, which
+            // restores the ungated pre-existing pool).
+            self.device.set_host_gate(ctx.host.gate());
             match self.mode {
                 Mode::Sequential => {
                     for rule in deck.rules() {
@@ -277,10 +310,7 @@ impl Engine {
                         let plan = ctx
                             .profiler
                             .time("plan", || crate::plan::ExecutionPlan::build(deck));
-                        let window = std::thread::available_parallelism()
-                            .map(|n| n.get())
-                            .unwrap_or(1)
-                            .clamp(2, 8);
+                        let window = ctx.host.threads().clamp(2, 8);
                         let mut inflight = std::collections::VecDeque::with_capacity(window);
                         for &ri in &plan.order {
                             if inflight.len() >= window {
@@ -307,11 +337,23 @@ impl Engine {
                             parallel::collect_rule(&mut ctx, fl, &mut violations);
                         }
                     }
+                    // Failed work units were deferred so healthy rules
+                    // could keep draining; retry them (with backoff
+                    // deadlines) or fall back to the host now.
+                    parallel::drain_recovery(&mut ctx, &self.device, &mut violations);
                 }
             }
+            violations = {
+                let host = std::sync::Arc::clone(&ctx.host);
+                crate::violation::canonicalize_on(&host, violations)
+            };
+            ctx.stats.host_tasks += ctx.host.tasks();
+            ctx.stats.host_steals += ctx.host.steals();
+            ctx.host.drain_utilization_into(ctx.profiler);
+            self.device.set_host_gate(None);
         }
         CheckReport {
-            violations: canonicalize(violations),
+            violations,
             profile: profiler,
             stats,
         }

@@ -32,11 +32,14 @@
 //! Every device interaction goes through the fallible `try_*` APIs.
 //! When an operation fails (OOM against the device budget, a kernel
 //! panic, a stalled or poisoned stream), the engine salvages the rows
-//! that already completed, retries each failed row on a fresh stream
-//! with a capped backoff ([`EngineOptions::max_device_retries`]), and
-//! finally recomputes stubborn rows on the host with the same check
-//! logic — so the final violation set is identical to a fault-free
-//! device run. Retries and fallbacks are tallied in
+//! that already completed and defers the failed work units onto the
+//! run's [`RecoveryUnit`] queue. After every rule has collected, the
+//! queue is drained: each unit is retried on a fresh stream under a
+//! capped backoff **deadline** ([`EngineOptions::max_device_retries`],
+//! checked at drain time rather than slept inline, so healthy rules
+//! keep draining), and stubborn units are recomputed on the host with
+//! the same check logic — so the final violation set is identical to a
+//! fault-free device run. Retries and fallbacks are tallied in
 //! [`EngineStats::device_retries`] / [`EngineStats::device_fallbacks`].
 //!
 //! [`EngineOptions::max_device_retries`]: crate::EngineOptions::max_device_retries
@@ -271,8 +274,8 @@ pub(crate) fn collect_rule(ctx: &mut RunContext<'_>, fl: InFlightRule, out: &mut
     let InFlightRule { stream, kind } = fl;
     match kind {
         InFlightKind::Space(issue) => collect_space(ctx, &stream, issue, out),
-        InFlightKind::Intra(issue) => collect_intra(ctx, &stream, issue, out),
-        InFlightKind::Pairs(issue) => collect_pairs(ctx, &stream, issue, out),
+        InFlightKind::Intra(issue) => collect_intra(ctx, issue, out),
+        InFlightKind::Pairs(issue) => collect_pairs(ctx, issue, out),
         InFlightKind::Host(host) => out.extend(host),
     }
     // Errors were already handled per work unit; drain the stream
@@ -295,6 +298,8 @@ pub(crate) fn check_space_scene_parallel(
     let rows = RowSet::build(ctx, stream.device(), scene, spec.min);
     let issue = issue_space(ctx, stream, rule_name, &rows, spec);
     collect_space(ctx, stream, issue, out);
+    let device = stream.device().clone();
+    drain_recovery(ctx, &device, out);
 }
 
 /// Issue half of the spacing pipeline: acquire (or upload) each row's
@@ -394,21 +399,17 @@ fn collect_space(
         }
     }
 
-    // Recovery: retry each failed row on a fresh stream, then fall back
-    // to the host. Completed rows above are salvaged as-is. Fresh
-    // uploads bypass the shared cache (its resident copy may be the
-    // failed one; later acquirers repair it through the event's error).
+    // Recovery: defer each failed row onto the run's queue; the engine
+    // drains it after every rule has collected (see [`drain_recovery`]),
+    // so one faulty row never stalls the healthy rules behind an inline
+    // backoff sleep. Completed rows above are salvaged as-is.
     for row in failed {
-        let edges = Arc::clone(&row.edges.host);
-        let records = recover_on_device(
-            ctx,
-            &device,
-            |fresh| row_device_records(fresh, &edges, threshold, spec, min),
-            || row_host_records(&edges, threshold, spec, min),
-        );
-        for (a, b, d2) in records {
-            hits.push(make_violation(&rule_name, &row.edges.host, a, b, d2));
-        }
+        ctx.recovery.push(RecoveryUnit::new(RecoveryWork::SpaceRow {
+            rule_name: rule_name.clone(),
+            edges: Arc::clone(&row.edges.host),
+            threshold,
+            spec,
+        }));
     }
 
     ctx.stats.checks_computed += hits.len();
@@ -584,40 +585,289 @@ fn row_host_records(
     recs
 }
 
-/// Retries `attempt` on fresh streams with a capped backoff, tallying
-/// [`EngineStats::device_retries`]; after
-/// [`EngineOptions::max_device_retries`] failures, runs the host
-/// `fallback` and tallies [`EngineStats::device_fallbacks`].
+/// One failed device work unit, deferred for later recovery.
 ///
-/// Fresh streams are the recovery unit because stream errors are sticky
-/// (see `odrc_xpu::stream`); the device itself survives kernel panics.
+/// Collect halves push these onto [`RunContext::recovery`] instead of
+/// retrying inline; [`drain_recovery`] processes the whole queue after
+/// every rule has collected. Each unit carries everything needed for
+/// both a fresh device attempt and the host fallback, so recovery
+/// produces the same record set either way.
+pub(crate) struct RecoveryUnit {
+    /// Device attempts made so far.
+    attempts: usize,
+    /// Backoff deadline: the unit is not retried before this instant.
+    not_before: std::time::Instant,
+    work: RecoveryWork,
+}
+
+impl RecoveryUnit {
+    fn new(work: RecoveryWork) -> Self {
+        RecoveryUnit {
+            attempts: 0,
+            not_before: std::time::Instant::now(),
+            work,
+        }
+    }
+}
+
+/// The rule-specific payload of a [`RecoveryUnit`].
+enum RecoveryWork {
+    /// One spacing row: packed edges plus the executor-choice inputs.
+    SpaceRow {
+        rule_name: String,
+        edges: Arc<Vec<PackedEdge>>,
+        threshold: usize,
+        spec: SpaceSpec,
+    },
+    /// A whole intra-polygon rule (width/area): the shared layer data;
+    /// instance replay happens at emit time.
+    Intra {
+        rule_name: String,
+        is_width: bool,
+        min: i64,
+        data: Arc<IntraData>,
+    },
+    /// A whole enclosure/overlap rule: the gathered work list and the
+    /// per-shape report rectangles.
+    Pairs {
+        rule_name: String,
+        kind: ViolationKind,
+        min: i64,
+        work: Arc<Vec<(Polygon, Vec<Polygon>)>>,
+        rects: Vec<Rect>,
+    },
+}
+
+/// A recovered unit's raw result, device attempt or host fallback —
+/// identical either way by construction.
+enum Recovered {
+    Space(Vec<(u32, u32, i64)>),
+    Intra(Vec<Vec<LocalViolation>>),
+    Pairs(Vec<i64>),
+}
+
+/// One complete synchronous device attempt at a deferred unit, on a
+/// fresh stream (stream errors are sticky, so every attempt gets its
+/// own; the device itself survives kernel panics). Fresh uploads bypass
+/// the shared cache — its resident copy may be the failed one.
+fn recovery_attempt(work: &RecoveryWork, stream: &Stream) -> XpuResult<Recovered> {
+    match work {
+        RecoveryWork::SpaceRow {
+            edges,
+            threshold,
+            spec,
+            ..
+        } => row_device_records(stream, edges, *threshold, *spec, spec.min).map(Recovered::Space),
+        RecoveryWork::Intra {
+            is_width,
+            min,
+            data,
+            ..
+        } => {
+            let n = data.polys.host.len();
+            let check = intra_local_check(*is_width, *min);
+            let dev_polys = stream.try_upload_shared(Arc::clone(&data.polys.host))?;
+            let out_buf = stream.try_alloc::<Vec<LocalViolation>>(n)?;
+            stream.try_launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
+                check(&dev_polys.read()[tctx.global_id()], slot);
+            })?;
+            stream
+                .try_download(&out_buf)?
+                .result()
+                .map(Recovered::Intra)
+        }
+        RecoveryWork::Pairs {
+            kind, min, work, ..
+        } => {
+            let n = work.len();
+            let measure = pairs_measure(*kind, *min);
+            let dev_work = stream.try_upload_shared(Arc::clone(work))?;
+            let measures = stream.try_alloc::<i64>(n)?;
+            stream.try_launch_map(
+                LaunchConfig::for_threads(n),
+                &measures,
+                move |tctx, slot| {
+                    let w = dev_work.read();
+                    let (poly, candidates) = &w[tctx.global_id()];
+                    *slot = measure(poly, candidates);
+                },
+            )?;
+            stream
+                .try_download(&measures)?
+                .result()
+                .map(Recovered::Pairs)
+        }
+    }
+}
+
+/// The host (CPU) fallback for a deferred unit: the same executor
+/// choice and check predicates as the device kernels, run inline.
+fn recovery_fallback(work: &RecoveryWork) -> Recovered {
+    match work {
+        RecoveryWork::SpaceRow {
+            edges,
+            threshold,
+            spec,
+            ..
+        } => Recovered::Space(row_host_records(edges, *threshold, *spec, spec.min)),
+        RecoveryWork::Intra {
+            is_width,
+            min,
+            data,
+            ..
+        } => {
+            let check = intra_local_check(*is_width, *min);
+            Recovered::Intra(
+                data.polys
+                    .host
+                    .iter()
+                    .map(|poly| {
+                        let mut slot = Vec::new();
+                        check(poly, &mut slot);
+                        slot
+                    })
+                    .collect(),
+            )
+        }
+        RecoveryWork::Pairs {
+            kind, min, work, ..
+        } => {
+            let measure = pairs_measure(*kind, *min);
+            Recovered::Pairs(
+                work.iter()
+                    .map(|(poly, cands)| measure(poly, cands))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Converts a recovered unit's records into violations, with the same
+/// stats bookkeeping the fault-free collect path performs.
+fn emit_recovered(
+    ctx: &mut RunContext<'_>,
+    work: &RecoveryWork,
+    recovered: Recovered,
+    out: &mut Vec<Violation>,
+) {
+    match (work, recovered) {
+        (
+            RecoveryWork::SpaceRow {
+                rule_name, edges, ..
+            },
+            Recovered::Space(recs),
+        ) => {
+            ctx.stats.checks_computed += recs.len();
+            for (a, b, d2) in recs {
+                out.push(make_violation(rule_name, edges, a, b, d2));
+            }
+        }
+        (
+            RecoveryWork::Intra {
+                rule_name, data, ..
+            },
+            Recovered::Intra(per_poly),
+        ) => {
+            emit_intra(ctx, rule_name, data, &per_poly, out);
+        }
+        (
+            RecoveryWork::Pairs {
+                rule_name,
+                kind,
+                min,
+                rects,
+                ..
+            },
+            Recovered::Pairs(measures),
+        ) => {
+            ctx.profiler.time("convert", || {
+                for (rect, measured) in rects.iter().zip(measures) {
+                    if measured < *min {
+                        out.push(Violation {
+                            rule: rule_name.clone(),
+                            kind: *kind,
+                            location: *rect,
+                            measured,
+                        });
+                    }
+                }
+            });
+        }
+        _ => unreachable!("recovery payload matches its work variant"),
+    }
+}
+
+/// Drains the run's deferred recovery queue: retries each unit on a
+/// fresh stream under a capped exponential backoff **deadline**
+/// (`retry_backoff_ms`, doubling per attempt, capped at 50 ms), tallying
+/// [`EngineStats::device_retries`] per attempt; after
+/// [`EngineOptions::max_device_retries`] failures a unit falls back to
+/// the host and tallies [`EngineStats::device_fallbacks`].
+///
+/// Unlike the old inline retry loop, the backoff never blocks the
+/// collect path: deadlines are checked here, after every rule has
+/// collected, and the drain only sleeps when *all* remaining units are
+/// backing off (there is nothing else left to do).
 ///
 /// [`EngineOptions::max_device_retries`]: crate::EngineOptions::max_device_retries
 /// [`EngineStats::device_retries`]: crate::EngineStats::device_retries
 /// [`EngineStats::device_fallbacks`]: crate::EngineStats::device_fallbacks
-fn recover_on_device<T>(
-    ctx: &mut RunContext<'_>,
-    device: &Device,
-    mut attempt: impl FnMut(&Stream) -> XpuResult<T>,
-    fallback: impl FnOnce() -> T,
-) -> T {
+pub(crate) fn drain_recovery(ctx: &mut RunContext<'_>, device: &Device, out: &mut Vec<Violation>) {
+    if ctx.recovery.is_empty() {
+        return;
+    }
     let max_retries = ctx.options.max_device_retries;
-    for retry in 0..max_retries {
-        ctx.stats.device_retries += 1;
-        if retry > 0 {
-            // Capped exponential backoff: transient contention clears,
-            // and one-shot injected faults are consumed by the failing
-            // attempt, so a bounded retry loop converges.
-            let ms = ctx.options.retry_backoff_ms << (retry - 1).min(4);
-            std::thread::sleep(Duration::from_millis(ms.min(50)));
+    let mut queue = std::mem::take(&mut ctx.recovery);
+    let mut deferred = Vec::new();
+    while !queue.is_empty() {
+        let now = std::time::Instant::now();
+        let mut progressed = false;
+        for mut unit in queue.drain(..) {
+            if unit.attempts >= max_retries {
+                // Exhausted (or retries disabled): host fallback.
+                ctx.stats.device_fallbacks += 1;
+                let recovered = recovery_fallback(&unit.work);
+                emit_recovered(ctx, &unit.work, recovered, out);
+                progressed = true;
+                continue;
+            }
+            if unit.not_before > now {
+                deferred.push(unit);
+                continue;
+            }
+            unit.attempts += 1;
+            ctx.stats.device_retries += 1;
+            let fresh = device.stream();
+            match recovery_attempt(&unit.work, &fresh) {
+                Ok(recovered) => {
+                    emit_recovered(ctx, &unit.work, recovered, out);
+                    progressed = true;
+                }
+                Err(_) => {
+                    // Capped exponential backoff: transient contention
+                    // clears, and one-shot injected faults are consumed
+                    // by the failing attempt, so the loop converges.
+                    let ms = (ctx.options.retry_backoff_ms << (unit.attempts - 1).min(4)).min(50);
+                    unit.not_before = now + Duration::from_millis(ms);
+                    deferred.push(unit);
+                }
+            }
         }
-        let fresh = device.stream();
-        if let Ok(value) = attempt(&fresh) {
-            return value;
+        std::mem::swap(&mut queue, &mut deferred);
+        if !progressed && !queue.is_empty() {
+            // Everything left is backing off; sleep only until the
+            // earliest deadline (healthy work has already drained).
+            let earliest = queue
+                .iter()
+                .map(|u| u.not_before)
+                .min()
+                .expect("queue is non-empty");
+            let now = std::time::Instant::now();
+            if earliest > now {
+                std::thread::sleep(earliest - now);
+            }
         }
     }
-    ctx.stats.device_fallbacks += 1;
-    fallback()
 }
 
 fn make_violation(rule: &str, edges: &[PackedEdge], a: u32, b: u32, d2: i64) -> Violation {
@@ -702,12 +952,7 @@ fn intra_local_check(
 /// Collect half of an intra rule: wait for the per-polygon kernel,
 /// recover on failure, then replay each cell's local violations
 /// through all its instances on the host.
-fn collect_intra(
-    ctx: &mut RunContext<'_>,
-    stream: &Stream,
-    issue: IntraIssue,
-    out: &mut Vec<Violation>,
-) {
+fn collect_intra(ctx: &mut RunContext<'_>, issue: IntraIssue, out: &mut Vec<Violation>) {
     let IntraIssue {
         rule_name,
         is_width,
@@ -719,21 +964,6 @@ fn collect_intra(
     if n == 0 {
         return;
     }
-    let polys = Arc::clone(&data.polys.host);
-    let check = intra_local_check(is_width, min);
-    let device_attempt = {
-        let polys = Arc::clone(&polys);
-        let check = check.clone();
-        move |s: &Stream| -> XpuResult<Vec<Vec<LocalViolation>>> {
-            let dev_polys = s.try_upload_shared(Arc::clone(&polys))?;
-            let out_buf = s.try_alloc::<Vec<LocalViolation>>(n)?;
-            let check = check.clone();
-            s.try_launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
-                check(&dev_polys.read()[tctx.global_id()], slot);
-            })?;
-            s.try_download(&out_buf)?.result()
-        }
-    };
 
     let waited = match pending {
         Some(pending) => ctx.profiler.time("kernel-wait", || pending.result()),
@@ -742,23 +972,31 @@ fn collect_intra(
     let per_poly = match waited {
         Ok(per_poly) => per_poly,
         Err(_) => {
-            let device = stream.device().clone();
-            recover_on_device(ctx, &device, device_attempt, || {
-                polys
-                    .iter()
-                    .map(|poly| {
-                        let mut slot = Vec::new();
-                        check(poly, &mut slot);
-                        slot
-                    })
-                    .collect()
-            })
+            // Defer the whole rule; [`drain_recovery`] re-attempts it
+            // on a fresh stream and falls back to the host.
+            ctx.recovery.push(RecoveryUnit::new(RecoveryWork::Intra {
+                rule_name,
+                is_width,
+                min,
+                data,
+            }));
+            return;
         }
     };
-    ctx.stats.checks_computed += n;
+    emit_intra(ctx, &rule_name, &data, &per_poly, out);
+}
 
-    // Host side: replay each cell's local violations through all its
-    // instances.
+/// Host side of an intra rule's collect: tallies the per-polygon
+/// checks and replays each cell's local violations through all its
+/// instances. Shared by the fault-free path and deferred recovery.
+fn emit_intra(
+    ctx: &mut RunContext<'_>,
+    rule_name: &str,
+    data: &IntraData,
+    per_poly: &[Vec<LocalViolation>],
+    out: &mut Vec<Violation>,
+) {
+    ctx.stats.checks_computed += data.polys.host.len();
     let instances = ctx.instances().clone();
     let targets = Arc::clone(&data.targets);
     ctx.profiler.time("convert", || {
@@ -771,7 +1009,7 @@ fn collect_intra(
                 for v in &per_poly[idx] {
                     let vi = v.instantiate(t);
                     out.push(Violation {
-                        rule: rule_name.clone(),
+                        rule: rule_name.to_owned(),
                         kind: vi.kind,
                         location: vi.location,
                         measured: vi.measured,
@@ -796,7 +1034,9 @@ pub(crate) fn check_intra_rule_parallel(
         RuleKind::Area { layer, min } => issue_intra(ctx, stream, &rule.name, layer, false, min),
         _ => return crate::sequential::check_intra_rule(ctx, rule, out),
     };
-    collect_intra(ctx, stream, issue, out);
+    collect_intra(ctx, issue, out);
+    let device = stream.device().clone();
+    drain_recovery(ctx, &device, out);
 }
 
 /// Issue half of an enclosure / overlap-area rule: gather the work
@@ -885,13 +1125,8 @@ fn enqueue_pairs(
 }
 
 /// Collect half of an enclosure / overlap rule: wait for the measure
-/// kernel, recover on failure, threshold into violations.
-fn collect_pairs(
-    ctx: &mut RunContext<'_>,
-    stream: &Stream,
-    issue: PairsIssue,
-    out: &mut Vec<Violation>,
-) {
+/// kernel, defer recovery on failure, threshold into violations.
+fn collect_pairs(ctx: &mut RunContext<'_>, issue: PairsIssue, out: &mut Vec<Violation>) {
     let PairsIssue {
         rule_name,
         kind,
@@ -903,28 +1138,7 @@ fn collect_pairs(
     if work.is_empty() {
         return;
     }
-    let n = work.len();
-    ctx.stats.checks_computed += n;
-    let measure = pairs_measure(kind, min);
-    let device_attempt = {
-        let work = Arc::clone(&work);
-        let measure = measure.clone();
-        move |s: &Stream| -> XpuResult<Vec<i64>> {
-            let dev_work = s.try_upload_shared(Arc::clone(&work))?;
-            let measures = s.try_alloc::<i64>(n)?;
-            let measure = measure.clone();
-            s.try_launch_map(
-                LaunchConfig::for_threads(n),
-                &measures,
-                move |tctx, slot| {
-                    let w = dev_work.read();
-                    let (poly, candidates) = &w[tctx.global_id()];
-                    *slot = measure(poly, candidates);
-                },
-            )?;
-            s.try_download(&measures)?.result()
-        }
-    };
+    ctx.stats.checks_computed += work.len();
 
     let waited = match pending {
         Some(pending) => ctx.profiler.time("kernel-wait", || pending.result()),
@@ -933,12 +1147,18 @@ fn collect_pairs(
     let measures = match waited {
         Ok(measures) => measures,
         Err(_) => {
-            let device = stream.device().clone();
-            recover_on_device(ctx, &device, device_attempt, || {
-                work.iter()
-                    .map(|(poly, candidates)| measure(poly, candidates))
-                    .collect()
-            })
+            // Defer the whole rule; [`drain_recovery`] re-attempts it
+            // on a fresh stream and falls back to the host. The checks
+            // are already tallied above — recovery recomputes, it does
+            // not re-count.
+            ctx.recovery.push(RecoveryUnit::new(RecoveryWork::Pairs {
+                rule_name,
+                kind,
+                min,
+                work,
+                rects,
+            }));
+            return;
         }
     };
     ctx.profiler.time("convert", || {
@@ -978,7 +1198,9 @@ pub(crate) fn check_enclosure_rule_parallel(
         min,
         window,
     );
-    collect_pairs(ctx, stream, issue, out);
+    collect_pairs(ctx, issue, out);
+    let device = stream.device().clone();
+    drain_recovery(ctx, &device, out);
 }
 
 /// Runs a minimum-overlap-area rule with the boolean work on the
@@ -1004,7 +1226,9 @@ pub(crate) fn check_overlap_rule_parallel(
         min_area,
         window,
     );
-    collect_pairs(ctx, stream, issue, out);
+    collect_pairs(ctx, issue, out);
+    let device = stream.device().clone();
+    drain_recovery(ctx, &device, out);
 }
 
 /// Device-accelerated helper used by tests and benches: all-pairs

@@ -169,36 +169,76 @@ impl RowSet {
         scene: &LayerScene,
         min: i64,
     ) -> RowSet {
-        let (_, partition) = partition_scene(scene, min, ctx.options.partition, ctx.profiler);
+        let host = Arc::clone(&ctx.host);
+        let (_, partition) =
+            partition_scene(scene, min, ctx.options.partition, ctx.profiler, &host);
         let partition_rows = partition.len();
         let threshold = ctx.options.sweep_threshold;
         let mut rows = Vec::new();
-        for row in &partition {
-            let edges = ctx.profiler.time("pack", || {
+        if host.is_serial() {
+            let mut polys = Vec::new();
+            for row in &partition {
+                let edges = ctx.profiler.time("pack", || {
+                    let mut edges: Vec<PackedEdge> = Vec::new();
+                    for &m in &row.members {
+                        polys.clear();
+                        scene.object_polygons_into(&scene.objects[m], &mut polys);
+                        for poly in &polys {
+                            edges.extend(poly.edges().map(pack));
+                        }
+                    }
+                    // The sweepline executor requires track-sorted
+                    // edges; the brute executor does not care, so
+                    // sorting unconditionally keeps one packing path.
+                    // Large rows sort on the device.
+                    odrc_xpu::sort::parallel_sort_by_key(device, &mut edges, |&e| {
+                        (unpack(e).track(), e)
+                    });
+                    edges
+                });
+                if edges.is_empty() {
+                    continue;
+                }
+                let run_ends = (edges.len() > threshold)
+                    .then(|| SharedDeviceData::new(Arc::new(track_run_ends(&edges))));
+                rows.push(Arc::new(PlannedRow {
+                    edges: SharedDeviceData::new(Arc::new(edges)),
+                    run_ends,
+                }));
+            }
+        } else {
+            // Row-parallel packing: each task packs and sorts its row
+            // on the host. The sort key `(track, edge)` is a total
+            // order on the packed values, so the host sort produces
+            // exactly the array the device sort would — and keeping
+            // the device out of the packing path here means fault
+            // ordinals are never consumed by pack-time sorts.
+            let start = std::time::Instant::now();
+            let row_refs: Vec<&odrc_infra::partition::Row> = partition.iter().collect();
+            let rows_ref = &row_refs;
+            let packed = host.run("pack", row_refs.len(), |ri| {
+                let mut polys = Vec::new();
                 let mut edges: Vec<PackedEdge> = Vec::new();
-                for &m in &row.members {
-                    for poly in scene.object_polygons(&scene.objects[m]) {
+                for &m in &rows_ref[ri].members {
+                    polys.clear();
+                    scene.object_polygons_into(&scene.objects[m], &mut polys);
+                    for poly in &polys {
                         edges.extend(poly.edges().map(pack));
                     }
                 }
-                // The sweepline executor requires track-sorted edges;
-                // the brute executor does not care, so sorting
-                // unconditionally keeps one packing path. Large rows
-                // sort on the device.
-                odrc_xpu::sort::parallel_sort_by_key(device, &mut edges, |&e| {
-                    (unpack(e).track(), e)
-                });
-                edges
+                edges.sort_unstable_by_key(|&e| (unpack(e).track(), e));
+                if edges.is_empty() {
+                    return None;
+                }
+                let run_ends = (edges.len() > threshold)
+                    .then(|| SharedDeviceData::new(Arc::new(track_run_ends(&edges))));
+                Some(Arc::new(PlannedRow {
+                    edges: SharedDeviceData::new(Arc::new(edges)),
+                    run_ends,
+                }))
             });
-            if edges.is_empty() {
-                continue;
-            }
-            let run_ends = (edges.len() > threshold)
-                .then(|| SharedDeviceData::new(Arc::new(track_run_ends(&edges))));
-            rows.push(Arc::new(PlannedRow {
-                edges: SharedDeviceData::new(Arc::new(edges)),
-                run_ends,
-            }));
+            rows.extend(packed.into_iter().flatten());
+            ctx.profiler.add("pack", start.elapsed());
         }
         RowSet {
             rows,

@@ -105,6 +105,20 @@ impl LayerScene {
         layer: Layer,
         window: Option<DirtyWindow<'_>>,
     ) -> LayerScene {
+        LayerScene::build_on(layout, layer, window, &odrc_infra::HostExecutor::new(1))
+    }
+
+    /// [`LayerScene::build_near`] with the per-cell subtree flattening
+    /// fanned out on a host executor: the unique kept cells are
+    /// collected in first-occurrence order, their flat polygon lists
+    /// computed in parallel, and the scene assembled serially — the
+    /// result is identical for any thread count.
+    pub fn build_on(
+        layout: &Layout,
+        layer: Layer,
+        window: Option<DirtyWindow<'_>>,
+        host: &odrc_infra::HostExecutor,
+    ) -> LayerScene {
         // Pass 1: object MBRs only, no flattening.
         let mut protos: Vec<SceneObject> = Vec::new();
         for placement in layout.top_placements() {
@@ -154,7 +168,29 @@ impl LayerScene {
         // Pass 2: flatten the surviving objects. Top polygons stream
         // straight from the cell again (pass 1 enumerated them in the
         // same order), so only the kept ones are ever copied.
+        //
+        // On a parallel executor the expensive step — flattening each
+        // unique kept cell's subtree — fans out first; the assembly
+        // below then finds every cell pre-flattened.
         let mut local: HashMap<CellId, Vec<Polygon>> = HashMap::new();
+        if !host.is_serial() {
+            let mut uniq: Vec<CellId> = Vec::new();
+            let mut seen: std::collections::HashSet<CellId> = std::collections::HashSet::new();
+            for (proto, kept) in protos.iter().zip(&keep) {
+                if let SceneSource::Cell { cell, .. } = proto.source {
+                    if *kept && seen.insert(cell) {
+                        uniq.push(cell);
+                    }
+                }
+            }
+            let uniq_ref = &uniq;
+            let flats = host.run("scene", uniq.len(), |i| {
+                let mut flat = Vec::new();
+                layout.collect_layer_polygons(uniq_ref[i], Transform::IDENTITY, layer, &mut flat);
+                flat.into_iter().map(|f| f.polygon).collect::<Vec<_>>()
+            });
+            local.extend(uniq.into_iter().zip(flats));
+        }
         let mut objects = Vec::new();
         let mut top_polys = Vec::new();
         let mut top_iter = top_cell.polygons_on(layer);
@@ -218,13 +254,22 @@ impl LayerScene {
 
     /// All polygons of one object, in top coordinates.
     pub fn object_polygons(&self, obj: &SceneObject) -> Vec<Polygon> {
+        let mut out = Vec::new();
+        self.object_polygons_into(obj, &mut out);
+        out
+    }
+
+    /// [`LayerScene::object_polygons`] appended into a caller-owned
+    /// buffer — the allocation-free variant for hot loops that visit
+    /// many objects (row packing, enclosure gathering).
+    pub fn object_polygons_into(&self, obj: &SceneObject, out: &mut Vec<Polygon>) {
         match obj.source {
-            SceneSource::Cell { cell, transform } => self
-                .local_polygons(cell)
-                .iter()
-                .map(|p| transform.apply_polygon(p))
-                .collect(),
-            SceneSource::TopPolygon { index } => vec![self.top_polys[index].clone()],
+            SceneSource::Cell { cell, transform } => {
+                let polys = self.local_polygons(cell);
+                out.reserve(polys.len());
+                out.extend(polys.iter().map(|p| transform.apply_polygon(p)));
+            }
+            SceneSource::TopPolygon { index } => out.push(self.top_polys[index].clone()),
         }
     }
 
@@ -233,19 +278,26 @@ impl LayerScene {
     /// passes the window filter, so border checks between two large
     /// placements touch only the border geometry.
     pub fn object_polygons_in(&self, obj: &SceneObject, window: Rect) -> Vec<Polygon> {
+        let mut out = Vec::new();
+        self.object_polygons_in_into(obj, window, &mut out);
+        out
+    }
+
+    /// [`LayerScene::object_polygons_in`] appended into a caller-owned
+    /// buffer — the allocation-free variant for the per-pair cross
+    /// checks, which call this once per candidate pair in every row.
+    pub fn object_polygons_in_into(&self, obj: &SceneObject, window: Rect, out: &mut Vec<Polygon>) {
         match obj.source {
-            SceneSource::Cell { cell, transform } => self
-                .local_polygons(cell)
-                .iter()
-                .filter(|p| transform.apply_rect(p.mbr()).overlaps(window))
-                .map(|p| transform.apply_polygon(p))
-                .collect(),
+            SceneSource::Cell { cell, transform } => out.extend(
+                self.local_polygons(cell)
+                    .iter()
+                    .filter(|p| transform.apply_rect(p.mbr()).overlaps(window))
+                    .map(|p| transform.apply_polygon(p)),
+            ),
             SceneSource::TopPolygon { index } => {
                 let p = &self.top_polys[index];
                 if p.mbr().overlaps(window) {
-                    vec![p.clone()]
-                } else {
-                    Vec::new()
+                    out.push(p.clone());
                 }
             }
         }
@@ -366,6 +418,38 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let layout = demo_layout();
+        for layer in [1, 2] {
+            let serial = LayerScene::build(&layout, layer);
+            for threads in [2, 8] {
+                let host = odrc_infra::HostExecutor::new(threads);
+                let par = LayerScene::build_on(&layout, layer, None, &host);
+                assert_eq!(par.objects, serial.objects);
+                assert_eq!(par.flat_polygon_count(), serial.flat_polygon_count());
+                for obj in &serial.objects {
+                    assert_eq!(par.object_polygons(obj), serial.object_polygons(obj));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_append() {
+        let layout = demo_layout();
+        let scene = LayerScene::build(&layout, 1);
+        let mut buf = Vec::new();
+        for obj in &scene.objects {
+            scene.object_polygons_into(obj, &mut buf);
+        }
+        assert_eq!(buf.len(), scene.flat_polygon_count());
+        let window = Rect::from_coords(-5, -5, 2, 2);
+        let before = buf.len();
+        scene.object_polygons_in_into(&scene.objects[0], window, &mut buf);
+        assert_eq!(buf.len() - before, 1); // appended, not cleared
     }
 
     #[test]

@@ -20,7 +20,8 @@ use std::sync::Arc;
 
 use odrc_db::{CellId, Layer, Layout};
 use odrc_geometry::{Coord, Rect};
-use odrc_infra::partition::{partition_rows, Row, RowPartition};
+use odrc_infra::host::HostExecutor;
+use odrc_infra::partition::{partition_rows, partition_rows_on, Row, RowPartition};
 use odrc_infra::sweep::sweep_overlaps;
 use odrc_infra::Profiler;
 
@@ -50,6 +51,14 @@ pub(crate) struct RunContext<'a> {
     /// The execution planner's per-run caches (scenes, row sets, intra
     /// polygon lists). Consulted only when `options.planner` is set.
     pub plan: PlanCache,
+    /// The shared work-stealing host executor every hot host phase fans
+    /// out on. Sized by `options.host_threads`; serial (one thread)
+    /// executors never fan out, keeping the single-threaded code paths.
+    pub host: Arc<HostExecutor>,
+    /// Device work units that failed and were deferred so healthy rules
+    /// keep draining; retried (with backoff deadlines) after all rules
+    /// collect. See `parallel::drain_recovery`.
+    pub recovery: Vec<crate::parallel::RecoveryUnit>,
 }
 
 impl<'a> RunContext<'a> {
@@ -67,6 +76,8 @@ impl<'a> RunContext<'a> {
             instances: None,
             cache: None,
             plan: PlanCache::default(),
+            host: Arc::new(HostExecutor::new(options.resolved_host_threads())),
+            recovery: Vec::new(),
         }
     }
 
@@ -94,9 +105,10 @@ impl<'a> RunContext<'a> {
             }
         }
         let layout = self.layout;
+        let host = Arc::clone(&self.host);
         let scene = Arc::new(
             self.profiler
-                .time("scene", || LayerScene::build(layout, layer)),
+                .time("scene", || LayerScene::build_on(layout, layer, None, &host)),
         );
         self.stats.scenes_built += 1;
         if self.options.planner {
@@ -216,28 +228,76 @@ pub(crate) fn check_intra_rule(ctx: &mut RunContext<'_>, rule: &Rule, out: &mut 
     // Compute local violations per cell (once, under pruning), serving
     // them from the persistent cache when the content is known.
     let mut per_cell: Vec<(CellId, Arc<Vec<LocalViolation>>, bool)> = Vec::new();
-    ctx.profiler.time("edge-check", || {
-        for (cell, polys) in &targets {
+    if ctx.host.is_serial() {
+        ctx.profiler.time("edge-check", || {
+            for (cell, polys) in &targets {
+                if let (Some(sig), Some(handle)) = (sig, ctx.cache.as_mut()) {
+                    let key = handle.keys.local[cell.index()];
+                    if let Some(hit) = handle.cache.get(sig, key) {
+                        per_cell.push((*cell, hit, true));
+                        continue;
+                    }
+                }
+                let c = layout.cell(*cell);
+                let mut local = Vec::new();
+                for &pi in polys {
+                    polygon_violations(&c.polygons()[pi], &spec, &mut local);
+                }
+                let arc = Arc::new(local);
+                if let (Some(sig), Some(handle)) = (sig, ctx.cache.as_mut()) {
+                    let key = handle.keys.local[cell.index()];
+                    handle.cache.insert(sig, key, Arc::clone(&arc));
+                }
+                per_cell.push((*cell, arc, false));
+            }
+        });
+    } else {
+        // Cache consults stay serial (the handle is exclusive); the
+        // actual polygon checks of the misses fan out, and `per_cell`
+        // is assembled back in target order so downstream instantiation
+        // is order-identical to the serial loop.
+        let host = Arc::clone(&ctx.host);
+        let start = std::time::Instant::now();
+        let mut slots: Vec<Option<Arc<Vec<LocalViolation>>>> = vec![None; targets.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        for (ti, (cell, _)) in targets.iter().enumerate() {
             if let (Some(sig), Some(handle)) = (sig, ctx.cache.as_mut()) {
                 let key = handle.keys.local[cell.index()];
                 if let Some(hit) = handle.cache.get(sig, key) {
-                    per_cell.push((*cell, hit, true));
+                    slots[ti] = Some(hit);
                     continue;
                 }
             }
+            missing.push(ti);
+        }
+        let targets_ref = &targets;
+        let missing_ref = &missing;
+        let spec_ref = &spec;
+        let computed = host.run("edge-check", missing.len(), |i| {
+            let (cell, polys) = &targets_ref[missing_ref[i]];
             let c = layout.cell(*cell);
             let mut local = Vec::new();
             for &pi in polys {
-                polygon_violations(&c.polygons()[pi], &spec, &mut local);
+                polygon_violations(&c.polygons()[pi], spec_ref, &mut local);
             }
-            let arc = Arc::new(local);
+            Arc::new(local)
+        });
+        let mut is_miss = vec![false; targets.len()];
+        for (&ti, arc) in missing.iter().zip(computed) {
+            is_miss[ti] = true;
+            let (cell, _) = &targets[ti];
             if let (Some(sig), Some(handle)) = (sig, ctx.cache.as_mut()) {
                 let key = handle.keys.local[cell.index()];
                 handle.cache.insert(sig, key, Arc::clone(&arc));
             }
-            per_cell.push((*cell, arc, false));
+            slots[ti] = Some(arc);
         }
-    });
+        for (ti, (cell, _)) in targets.iter().enumerate() {
+            let arc = slots[ti].take().expect("every target resolved");
+            per_cell.push((*cell, arc, !is_miss[ti]));
+        }
+        ctx.profiler.add("edge-check", start.elapsed());
+    }
 
     // Instantiate through every placement of the cell.
     let instances = ctx.instances().clone();
@@ -299,12 +359,13 @@ pub(crate) fn partition_scene(
     min: i64,
     enabled: bool,
     profiler: &mut Profiler,
+    host: &HostExecutor,
 ) -> (Vec<Rect>, RowPartition) {
     let mbrs: Vec<Rect> = scene.objects.iter().map(|o| o.mbr).collect();
     let half = ((min + 1) / 2) as Coord;
     let partition = profiler.time("partition", || {
         if enabled {
-            partition_rows(&mbrs, half)
+            partition_rows_on(&mbrs, half, host)
         } else {
             // Ablation: a single row holding everything.
             let members: Vec<usize> = (0..mbrs.len()).collect();
@@ -351,12 +412,20 @@ pub(crate) fn check_space_scene(
     out: &mut Vec<Violation>,
 ) {
     let min = spec.min;
-    let (mbrs, partition) = partition_scene(scene, min, ctx.options.partition, ctx.profiler);
+    let host = Arc::clone(&ctx.host);
+    let (mbrs, partition) = partition_scene(scene, min, ctx.options.partition, ctx.profiler, &host);
     ctx.stats.rows += partition.len();
 
     let half = ((min + 1) / 2) as Coord;
+    if !host.is_serial() {
+        check_space_scene_rows(
+            ctx, &host, rule_name, scene, spec, sig, &mbrs, &partition, out,
+        );
+        return;
+    }
     let mut memo: HashMap<CellId, Arc<Vec<LocalViolation>>> = HashMap::new();
     let mut local_hits: Vec<LocalViolation> = Vec::new();
+    let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
 
     for row in &partition {
         // Sweepline over the row's inflated object MBRs.
@@ -437,6 +506,8 @@ pub(crate) fn check_space_scene(
                     &scene.objects[a],
                     &scene.objects[b],
                     spec,
+                    &mut buf_a,
+                    &mut buf_b,
                     &mut local_hits,
                 );
             }
@@ -449,6 +520,167 @@ pub(crate) fn check_space_scene(
         location: v.location,
         measured: v.measured,
     }));
+}
+
+/// The row-parallel spacing pipeline: the per-cell memo is precomputed
+/// on the calling thread (so §IV-C bookkeeping — cache consults, reuse
+/// counters — stays deterministic and identical to the serial order),
+/// then independent partition rows fan out on the executor and merge in
+/// partition order. The violation list is byte-identical to the serial
+/// loop for any thread count.
+#[allow(clippy::too_many_arguments)]
+fn check_space_scene_rows(
+    ctx: &mut RunContext<'_>,
+    host: &HostExecutor,
+    rule_name: &str,
+    scene: &LayerScene,
+    spec: SpaceSpec,
+    sig: Option<u64>,
+    mbrs: &[Rect],
+    partition: &RowPartition,
+    out: &mut Vec<Violation>,
+) {
+    let half = ((spec.min + 1) / 2) as Coord;
+    let pruning = ctx.options.pruning;
+
+    // Phase 1: resolve every unique cell once — memo hits for repeat
+    // placements, persistent-cache consults in first-occurrence order,
+    // and a parallel fan-out over the actual misses.
+    let mut memo: HashMap<CellId, Arc<Vec<LocalViolation>>> = HashMap::new();
+    if pruning {
+        let mut order: Vec<CellId> = Vec::new();
+        let mut seen: std::collections::HashSet<CellId> = Default::default();
+        let mut occurrences = 0usize;
+        for row in partition {
+            for &m in &row.members {
+                if let SceneSource::Cell { cell, .. } = scene.objects[m].source {
+                    occurrences += 1;
+                    if seen.insert(cell) {
+                        order.push(cell);
+                    }
+                }
+            }
+        }
+        ctx.stats.checks_reused += occurrences - order.len();
+        let mut missing: Vec<CellId> = Vec::new();
+        for &cell in &order {
+            let mut hit = None;
+            if let (Some(sig), Some(handle)) = (sig, ctx.cache.as_mut()) {
+                let key = handle.keys.subtree[cell.index()];
+                hit = handle.cache.get(sig, key);
+            }
+            match hit {
+                Some(arc) => {
+                    ctx.stats.checks_reused += 1;
+                    memo.insert(cell, arc);
+                }
+                None => missing.push(cell),
+            }
+        }
+        let missing_ref = &missing;
+        let computed = host.run("edge-check", missing.len(), |i| {
+            Arc::new(cell_internal_space(scene, missing_ref[i], spec, half))
+        });
+        for (&cell, arc) in missing.iter().zip(computed) {
+            ctx.stats.checks_computed += 1;
+            if let (Some(sig), Some(handle)) = (sig, ctx.cache.as_mut()) {
+                let key = handle.keys.subtree[cell.index()];
+                handle.cache.insert(sig, key, Arc::clone(&arc));
+            }
+            memo.insert(cell, arc);
+        }
+    }
+
+    // Phase 2: independent rows fan out; each task returns its hits in
+    // row-local discovery order plus its phase timings and counters.
+    struct RowOutput {
+        hits: Vec<LocalViolation>,
+        pairs: usize,
+        computed: usize,
+        sweep: std::time::Duration,
+        check: std::time::Duration,
+    }
+    let pair_index = ctx.options.pair_index;
+    let rows: Vec<&Row> = partition.iter().collect();
+    let rows_ref = &rows;
+    let memo_ref = &memo;
+    let results: Vec<RowOutput> = host.run("edge-check", rows.len(), |ri| {
+        let members = &rows_ref[ri].members;
+        let inflated: Vec<Rect> = members.iter().map(|&m| mbrs[m].inflate(half)).collect();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let sweep_start = std::time::Instant::now();
+        match pair_index {
+            crate::engine::PairIndex::Sweepline => {
+                sweep_overlaps(&inflated, |a, b| pairs.push((members[a], members[b])));
+            }
+            crate::engine::PairIndex::RTree => {
+                let tree = odrc_infra::RTree::bulk_load(&inflated);
+                for (a, &ra) in inflated.iter().enumerate() {
+                    tree.query_into(ra, &mut |b| {
+                        if a < b {
+                            pairs.push((members[a], members[b]));
+                        }
+                    });
+                }
+            }
+        }
+        let sweep = sweep_start.elapsed();
+
+        let check_start = std::time::Instant::now();
+        let mut hits: Vec<LocalViolation> = Vec::new();
+        let mut computed = 0usize;
+        for &m in members {
+            let obj = &scene.objects[m];
+            match obj.source {
+                SceneSource::Cell { cell, transform } => {
+                    if pruning {
+                        let arc = memo_ref.get(&cell).expect("memo covers every placed cell");
+                        hits.extend(arc.iter().map(|v| v.instantiate(&transform)));
+                    } else {
+                        computed += 1;
+                        let local = cell_internal_space(scene, cell, spec, half);
+                        hits.extend(local.iter().map(|v| v.instantiate(&transform)));
+                    }
+                }
+                SceneSource::TopPolygon { index } => {
+                    notch_space_violations(scene.top_polygon(index), spec, &mut hits);
+                }
+            }
+        }
+        let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
+        for &(a, b) in &pairs {
+            cross_space(
+                scene,
+                &scene.objects[a],
+                &scene.objects[b],
+                spec,
+                &mut buf_a,
+                &mut buf_b,
+                &mut hits,
+            );
+        }
+        RowOutput {
+            hits,
+            pairs: pairs.len(),
+            computed,
+            sweep,
+            check: check_start.elapsed(),
+        }
+    });
+
+    // Phase 3: deterministic merge in partition order.
+    for r in results {
+        ctx.stats.candidate_pairs += r.pairs;
+        ctx.stats.checks_computed += r.computed;
+        ctx.profiler.add("sweepline", r.sweep);
+        ctx.profiler.add("edge-check", r.check);
+        out.extend(r.hits.into_iter().map(|v| Violation {
+            rule: rule_name.to_owned(),
+            kind: v.kind,
+            location: v.location,
+            measured: v.measured,
+        }));
+    }
 }
 
 /// Spacing violations inside one cell's flattened subtree, in local
@@ -474,24 +706,32 @@ pub(crate) fn cell_internal_space(
 }
 
 /// Edge checks between the near-border polygons of two objects.
+///
+/// `buf_a` / `buf_b` are caller-owned scratch buffers reused across
+/// pairs (this runs once per candidate pair in every row — a fresh
+/// `Vec<Polygon>` per call used to dominate the allocator here).
 fn cross_space(
     scene: &LayerScene,
     a: &SceneObject,
     b: &SceneObject,
     spec: SpaceSpec,
+    buf_a: &mut Vec<odrc_geometry::Polygon>,
+    buf_b: &mut Vec<odrc_geometry::Polygon>,
     out: &mut Vec<LocalViolation>,
 ) {
     let m = spec.min as Coord;
     let Some(window) = a.mbr.inflate(m).intersection(b.mbr.inflate(m)) else {
         return;
     };
-    let pa = scene.object_polygons_in(a, window);
-    if pa.is_empty() {
+    buf_a.clear();
+    scene.object_polygons_in_into(a, window, buf_a);
+    if buf_a.is_empty() {
         return;
     }
-    let pb = scene.object_polygons_in(b, window);
-    for qa in &pa {
-        for qb in &pb {
+    buf_b.clear();
+    scene.object_polygons_in_into(b, window, buf_b);
+    for qa in buf_a.iter() {
+        for qb in buf_b.iter() {
             if qa.mbr().gap(qb.mbr()) < spec.min {
                 space_violations_between(qa, qb, spec, out);
             }
@@ -531,7 +771,7 @@ pub(crate) fn enclosure_work(
     let m = min as Coord;
     let mut inner_polys: Vec<odrc_geometry::Polygon> = Vec::new();
     for obj in &inner_scene.objects {
-        inner_polys.extend(inner_scene.object_polygons(obj));
+        inner_scene.object_polygons_into(obj, &mut inner_polys);
     }
     if let Some(w) = window {
         inner_polys.retain(|p| w.hits(p.mbr()));
@@ -549,18 +789,40 @@ pub(crate) fn enclosure_work(
             }
         });
     });
-    inner_polys
-        .into_iter()
-        .zip(object_hits)
-        .map(|(poly, objs)| {
-            let window = poly.mbr().inflate(m);
+    if ctx.host.is_serial() {
+        inner_polys
+            .into_iter()
+            .zip(object_hits)
+            .map(|(poly, objs)| {
+                let window = poly.mbr().inflate(m);
+                let mut candidates = Vec::new();
+                for oi in objs {
+                    outer_scene.object_polygons_in_into(
+                        &outer_scene.objects[oi],
+                        window,
+                        &mut candidates,
+                    );
+                }
+                (poly, candidates)
+            })
+            .collect()
+    } else {
+        // Candidate gathering is independent per inner shape: fan it
+        // out by index and zip back in order.
+        let host = Arc::clone(&ctx.host);
+        let inner_ref = &inner_polys;
+        let hits_ref = &object_hits;
+        let outer_ref: &LayerScene = &outer_scene;
+        let candidates = host.run("enclosure-gather", inner_polys.len(), |i| {
+            let window = inner_ref[i].mbr().inflate(m);
             let mut candidates = Vec::new();
-            for oi in objs {
-                candidates.extend(outer_scene.object_polygons_in(&outer_scene.objects[oi], window));
+            for &oi in &hits_ref[i] {
+                outer_ref.object_polygons_in_into(&outer_ref.objects[oi], window, &mut candidates);
             }
-            (poly, candidates)
-        })
-        .collect()
+            candidates
+        });
+        inner_polys.into_iter().zip(candidates).collect()
+    }
 }
 
 /// Runs an enclosure rule sequentially: every flat inner shape must be
@@ -577,20 +839,39 @@ pub(crate) fn check_enclosure_rule(
     let work = enclosure_work(ctx, inner, outer, min, window);
     ctx.stats.checks_computed += work.len();
     let mut results = Vec::new();
-    ctx.profiler.time("enclosure-check", || {
-        for (poly, candidates) in &work {
+    if ctx.host.is_serial() {
+        ctx.profiler.time("enclosure-check", || {
+            for (poly, candidates) in &work {
+                let refs: Vec<&odrc_geometry::Polygon> = candidates.iter().collect();
+                let margin = enclosure_margin(poly.mbr(), &refs, min);
+                if margin < min {
+                    results.push(Violation {
+                        rule: rule_name.to_owned(),
+                        kind: ViolationKind::Enclosure,
+                        location: poly.mbr(),
+                        measured: margin,
+                    });
+                }
+            }
+        });
+    } else {
+        let host = Arc::clone(&ctx.host);
+        let start = std::time::Instant::now();
+        let work_ref = &work;
+        let measured = host.run("enclosure-check", work.len(), |i| {
+            let (poly, candidates) = &work_ref[i];
             let refs: Vec<&odrc_geometry::Polygon> = candidates.iter().collect();
             let margin = enclosure_margin(poly.mbr(), &refs, min);
-            if margin < min {
-                results.push(Violation {
-                    rule: rule_name.to_owned(),
-                    kind: ViolationKind::Enclosure,
-                    location: poly.mbr(),
-                    measured: margin,
-                });
-            }
-        }
-    });
+            (margin < min).then(|| Violation {
+                rule: rule_name.to_owned(),
+                kind: ViolationKind::Enclosure,
+                location: poly.mbr(),
+                measured: margin,
+            })
+        });
+        results.extend(measured.into_iter().flatten());
+        ctx.profiler.add("enclosure-check", start.elapsed());
+    }
     out.extend(results);
 }
 
@@ -610,20 +891,40 @@ pub(crate) fn check_overlap_rule(
     let work = enclosure_work(ctx, inner, outer, 0, window);
     ctx.stats.checks_computed += work.len();
     let mut results = Vec::new();
-    ctx.profiler.time("overlap-check", || {
-        for (poly, candidates) in &work {
+    if ctx.host.is_serial() {
+        ctx.profiler.time("overlap-check", || {
+            for (poly, candidates) in &work {
+                let inner_region = Region::from_polygons([poly]);
+                let outer_region = Region::from_polygons(candidates.iter());
+                let shared = inner_region.intersection(&outer_region).area();
+                if shared < min_area {
+                    results.push(Violation {
+                        rule: rule_name.to_owned(),
+                        kind: ViolationKind::OverlapArea,
+                        location: poly.mbr(),
+                        measured: shared,
+                    });
+                }
+            }
+        });
+    } else {
+        let host = Arc::clone(&ctx.host);
+        let start = std::time::Instant::now();
+        let work_ref = &work;
+        let measured = host.run("overlap-check", work.len(), |i| {
+            let (poly, candidates) = &work_ref[i];
             let inner_region = Region::from_polygons([poly]);
             let outer_region = Region::from_polygons(candidates.iter());
             let shared = inner_region.intersection(&outer_region).area();
-            if shared < min_area {
-                results.push(Violation {
-                    rule: rule_name.to_owned(),
-                    kind: ViolationKind::OverlapArea,
-                    location: poly.mbr(),
-                    measured: shared,
-                });
-            }
-        }
-    });
+            (shared < min_area).then(|| Violation {
+                rule: rule_name.to_owned(),
+                kind: ViolationKind::OverlapArea,
+                location: poly.mbr(),
+                measured: shared,
+            })
+        });
+        results.extend(measured.into_iter().flatten());
+        ctx.profiler.add("overlap-check", start.elapsed());
+    }
     out.extend(results);
 }

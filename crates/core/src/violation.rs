@@ -88,6 +88,72 @@ pub fn canonicalize(mut violations: Vec<Violation>) -> Vec<Violation> {
     violations
 }
 
+/// [`canonicalize`] with the sort fanned out on the host executor:
+/// per-worker chunks sort in parallel, then a serial k-way merge and
+/// dedup produce the canonical order. `Violation`'s order is total
+/// (every field participates), so equal elements are indistinguishable
+/// and the result is byte-identical to the serial sort for any thread
+/// count.
+pub fn canonicalize_on(
+    host: &odrc_infra::HostExecutor,
+    violations: Vec<Violation>,
+) -> Vec<Violation> {
+    const CHUNK: usize = 4096;
+    if host.is_serial() || violations.len() <= CHUNK {
+        return canonicalize(violations);
+    }
+    let n = violations.len();
+    let chunks = host.threads().min(n.div_ceil(CHUNK));
+    let per = n.div_ceil(chunks);
+    let mut parts: Vec<Vec<Violation>> = Vec::with_capacity(chunks);
+    let mut rest = violations;
+    while rest.len() > per {
+        let tail = rest.split_off(rest.len() - per);
+        parts.push(tail);
+    }
+    parts.push(rest);
+    let mut sorted = host.run("canonicalize", parts.len(), {
+        let cells: Vec<std::sync::Mutex<Vec<Violation>>> =
+            parts.into_iter().map(std::sync::Mutex::new).collect();
+        move |i| {
+            let mut part = std::mem::take(&mut *cells[i].lock().expect("chunk lock"));
+            part.sort_unstable();
+            part
+        }
+    });
+    // Pairwise merges until one sorted run remains, then dedup.
+    while sorted.len() > 1 {
+        let b = sorted.pop().expect("len > 1");
+        let a = sorted.pop().expect("len > 1");
+        sorted.push(merge_sorted(a, b));
+    }
+    let mut out = sorted.pop().unwrap_or_default();
+    out.dedup();
+    out
+}
+
+fn merge_sorted(a: Vec<Violation>, b: Vec<Violation>) -> Vec<Violation> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ia = a.into_iter().peekable();
+    let mut ib = b.into_iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    out.push(ia.next().expect("peeked"));
+                } else {
+                    out.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.extend(ia.by_ref()),
+            (None, _) => {
+                out.extend(ib.by_ref());
+                return out;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +172,20 @@ mod tests {
         let out = canonicalize(vec![v("b", 10), v("a", 5), v("b", 10), v("a", 0)]);
         assert_eq!(out.len(), 3);
         assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn parallel_canonicalize_matches_serial() {
+        // Enough duplicates and collisions to exercise merge + dedup,
+        // and enough elements to clear the parallel threshold.
+        let raw: Vec<Violation> = (0..20_000)
+            .map(|i| v(if i % 3 == 0 { "b" } else { "a" }, i % 101))
+            .collect();
+        let expected = canonicalize(raw.clone());
+        for threads in [1, 2, 8] {
+            let host = odrc_infra::HostExecutor::new(threads);
+            assert_eq!(canonicalize_on(&host, raw.clone()), expected);
+        }
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! The shared work-stealing host executor.
+//!
+//! The paper's Fig. 4 attributes essentially all of the sequential
+//! mode's runtime to host-side phases (partition ~15%, sweepline ~35%,
+//! edge checks ~40-50%), and the row partition of §IV-B makes those
+//! phases embarrassingly row-parallel. [`HostExecutor`] turns an index
+//! range `0..n` of independent tasks into per-worker work-stealing
+//! deques: each worker pops from the front of its own deque and, when
+//! empty, steals the rear half of a victim's deque — the classic
+//! Chase-Lev split between cheap owner pops and contended steals,
+//! implemented here on a packed `AtomicU64` range (no external deque
+//! crate; the workspace dependency list is fixed).
+//!
+//! Determinism is the design constraint: `run` returns results in task
+//! index order no matter which worker executed what, so callers merge
+//! with byte-identical output regardless of thread count or steal
+//! interleaving. An executor with one thread (or an exhausted
+//! [`ThreadGate`]) runs every task inline on the caller — the serial
+//! path is the parallel path with zero workers, not a separate code
+//! shape.
+//!
+//! # Sizing handshake
+//!
+//! The executor owns a [`ThreadGate`] holding `threads - 1` extra-thread
+//! permits. Its own fan-outs draw worker threads from the gate, and the
+//! simulated device can be handed the same gate so kernel dispatches
+//! draw from the *same* budget — host phases and device kernels share
+//! one pool-sized allowance instead of adding up, and nested fan-outs
+//! (a task that launches a device sort) degrade to inline execution
+//! instead of oversubscribing the machine.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::profile::Profiler;
+
+/// A budget of *extra* threads, shared between the host executor and
+/// any other thread-spawning component (the simulated device's kernel
+/// dispatch). Acquire-at-most semantics: a request returns however many
+/// permits are available (possibly zero), never blocks, and the caller
+/// runs inline with whatever it got — so sharing the gate can starve
+/// parallelism but never deadlock.
+#[derive(Debug)]
+pub struct ThreadGate {
+    permits: AtomicUsize,
+}
+
+impl ThreadGate {
+    /// A gate holding `permits` extra-thread permits.
+    pub fn new(permits: usize) -> Self {
+        ThreadGate {
+            permits: AtomicUsize::new(permits),
+        }
+    }
+
+    /// Takes up to `want` permits, returning how many were granted.
+    pub fn try_acquire(&self, want: usize) -> usize {
+        if want == 0 {
+            return 0;
+        }
+        let mut cur = self.permits.load(Ordering::Relaxed);
+        loop {
+            let take = cur.min(want);
+            if take == 0 {
+                return 0;
+            }
+            match self.permits.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Returns `n` permits to the gate.
+    pub fn release(&self, n: usize) {
+        if n > 0 {
+            self.permits.fetch_add(n, Ordering::Release);
+        }
+    }
+
+    /// Permits currently available.
+    pub fn available(&self) -> usize {
+        self.permits.load(Ordering::Relaxed)
+    }
+}
+
+/// One worker's deque: a half-open index range packed into an
+/// `AtomicU64` (`lo` in the high word, `hi` in the low word). The owner
+/// claims single indices from the front; thieves claim the rear half in
+/// one CAS. Every transition only shrinks the current range (or
+/// installs a freshly stolen one into an empty deque), so each index is
+/// claimed exactly once.
+struct RangeDeque(AtomicU64);
+
+#[inline]
+fn pack_range(lo: u32, hi: u32) -> u64 {
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+#[inline]
+fn unpack_range(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+impl RangeDeque {
+    fn new(lo: usize, hi: usize) -> Self {
+        RangeDeque(AtomicU64::new(pack_range(lo as u32, hi as u32)))
+    }
+
+    /// Owner side: claim the front index.
+    fn pop_front(&self) -> Option<usize> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack_range(cur);
+            if lo >= hi {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                pack_range(lo + 1, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(lo as usize),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Thief side: claim the rear half (at least one index).
+    fn steal_back(&self) -> Option<std::ops::Range<usize>> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack_range(cur);
+            if lo >= hi {
+                return None;
+            }
+            let take = (hi - lo).div_ceil(2);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack_range(lo, hi - take),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((hi - take) as usize..hi as usize),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Owner side: install a stolen range into this (empty) deque.
+    fn install(&self, r: std::ops::Range<usize>) {
+        self.0
+            .store(pack_range(r.start as u32, r.end as u32), Ordering::Release);
+    }
+}
+
+/// Per-phase utilization sample accumulated by [`HostExecutor::run`].
+struct UtilSample {
+    phase: String,
+    wall: Duration,
+    busy: Vec<Duration>,
+}
+
+/// The shared work-stealing host executor (see the [module docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use odrc_infra::host::HostExecutor;
+///
+/// let host = HostExecutor::new(4);
+/// let squares = host.run("demo", 100, |i| i * i);
+/// assert_eq!(squares[7], 49); // results come back in index order
+/// assert!(host.tasks() >= 100);
+/// ```
+pub struct HostExecutor {
+    threads: usize,
+    gate: Option<Arc<ThreadGate>>,
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    util: Mutex<Vec<UtilSample>>,
+}
+
+impl std::fmt::Debug for HostExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostExecutor")
+            .field("threads", &self.threads)
+            .field("tasks", &self.tasks())
+            .field("steals", &self.steals())
+            .finish()
+    }
+}
+
+impl HostExecutor {
+    /// An executor sized to `threads` (clamped to at least 1). One
+    /// thread means strictly inline execution — no gate, no spawns.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        HostExecutor {
+            threads,
+            gate: (threads > 1).then(|| Arc::new(ThreadGate::new(threads - 1))),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            util: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` when this executor never spawns (one thread): callers can
+    /// keep their exact single-threaded code path.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// The extra-thread gate, for sharing the budget with other
+    /// components (the device's kernel dispatch). `None` when serial.
+    pub fn gate(&self) -> Option<Arc<ThreadGate>> {
+        self.gate.clone()
+    }
+
+    /// Tasks executed so far (across all `run` calls).
+    pub fn tasks(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Successful steals so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Runs tasks `0..n` of `f`, returning the results in index order.
+    ///
+    /// Tasks are distributed over up to `threads` workers (the caller
+    /// is worker 0; extra workers are scoped threads drawn from the
+    /// gate) with rear-half stealing for load balance. `phase` labels
+    /// the per-worker busy time accumulated for
+    /// [`HostExecutor::drain_utilization_into`].
+    pub fn run<T, F>(&self, phase: &str, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.tasks.fetch_add(n as u64, Ordering::Relaxed);
+        if n == 0 {
+            return Vec::new();
+        }
+        let want = self.threads.min(n);
+        let extra = match (&self.gate, want) {
+            (Some(gate), w) if w > 1 => gate.try_acquire(w - 1),
+            _ => 0,
+        };
+        if extra == 0 {
+            let start = Instant::now();
+            let out: Vec<T> = (0..n).map(&f).collect();
+            self.note_util(phase, start.elapsed(), vec![start.elapsed()]);
+            return out;
+        }
+        let workers = extra + 1;
+
+        // Seed per-worker deques with contiguous slices of the range.
+        let chunk = n.div_ceil(workers);
+        let deques: Vec<RangeDeque> = (0..workers)
+            .map(|w| RangeDeque::new((w * chunk).min(n), ((w + 1) * chunk).min(n)))
+            .collect();
+        let deques = &deques;
+        let f = &f;
+        let steals = &self.steals;
+        let worker_loop = move |w: usize| -> (Vec<(usize, T)>, Duration) {
+            let mut local: Vec<(usize, T)> = Vec::new();
+            let mut busy = Duration::ZERO;
+            loop {
+                while let Some(i) = deques[w].pop_front() {
+                    let t0 = Instant::now();
+                    local.push((i, f(i)));
+                    busy += t0.elapsed();
+                }
+                let mut refilled = false;
+                for off in 1..deques.len() {
+                    let victim = (w + off) % deques.len();
+                    if let Some(r) = deques[victim].steal_back() {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        deques[w].install(r);
+                        refilled = true;
+                        break;
+                    }
+                }
+                if !refilled {
+                    return (local, busy);
+                }
+            }
+        };
+
+        let start = Instant::now();
+        let mut per_worker: Vec<(Vec<(usize, T)>, Duration)> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..workers)
+                .map(|w| scope.spawn(move || worker_loop(w)))
+                .collect();
+            per_worker.push(worker_loop(0));
+            for h in handles {
+                per_worker.push(h.join().expect("host worker panicked"));
+            }
+        });
+        let wall = start.elapsed();
+        if let Some(gate) = &self.gate {
+            gate.release(extra);
+        }
+
+        let busy: Vec<Duration> = per_worker.iter().map(|(_, b)| *b).collect();
+        self.note_util(phase, wall, busy);
+
+        // Deterministic merge: place every result by its task index.
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (results, _) in per_worker {
+            for (i, v) in results {
+                debug_assert!(slots[i].is_none(), "task {i} claimed twice");
+                slots[i] = Some(v);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index claimed exactly once"))
+            .collect()
+    }
+
+    fn note_util(&self, phase: &str, wall: Duration, busy: Vec<Duration>) {
+        let mut util = self.util.lock().expect("utilization lock");
+        if let Some(sample) = util.iter_mut().find(|s| s.phase == phase) {
+            sample.wall += wall;
+            for (i, b) in busy.into_iter().enumerate() {
+                if i < sample.busy.len() {
+                    sample.busy[i] += b;
+                } else {
+                    sample.busy.push(b);
+                }
+            }
+        } else {
+            util.push(UtilSample {
+                phase: phase.to_owned(),
+                wall,
+                busy,
+            });
+        }
+    }
+
+    /// Moves the accumulated per-phase host-thread utilization into a
+    /// profiler (busy vs idle per worker, keyed by phase).
+    pub fn drain_utilization_into(&self, profiler: &mut Profiler) {
+        let mut util = self.util.lock().expect("utilization lock");
+        for sample in util.drain(..) {
+            profiler.add_host_util(&sample.phase, sample.wall, &sample.busy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_executor_runs_inline() {
+        let host = HostExecutor::new(1);
+        assert!(host.is_serial());
+        assert!(host.gate().is_none());
+        let out = host.run("t", 10, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        assert_eq!(host.tasks(), 10);
+        assert_eq!(host.steals(), 0);
+    }
+
+    #[test]
+    fn results_in_index_order_any_thread_count() {
+        for threads in [1, 2, 3, 8] {
+            let host = HostExecutor::new(threads);
+            let out = host.run("t", 1000, |i| i * 3);
+            assert_eq!(out, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_run() {
+        let host = HostExecutor::new(4);
+        let out: Vec<usize> = host.run("t", 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_tasks_balance_via_stealing() {
+        let host = HostExecutor::new(4);
+        // A few heavy tasks at the front force front-loaded deques to be
+        // drained by thieves on multicore hosts; on any host the result
+        // must still come back in order.
+        let out = host.run("t", 64, |i| {
+            if i < 4 {
+                let mut acc = 0u64;
+                for k in 0..200_000u64 {
+                    acc = acc.wrapping_add(k ^ i as u64);
+                }
+                acc & 1
+            } else {
+                (i as u64) & 1
+            }
+        });
+        assert_eq!(out.len(), 64);
+        for (i, v) in out.iter().enumerate().skip(4) {
+            assert_eq!(*v, (i as u64) & 1);
+        }
+    }
+
+    #[test]
+    fn gate_bounds_extra_threads() {
+        let gate = ThreadGate::new(3);
+        assert_eq!(gate.try_acquire(2), 2);
+        assert_eq!(gate.try_acquire(5), 1);
+        assert_eq!(gate.try_acquire(1), 0);
+        gate.release(3);
+        assert_eq!(gate.available(), 3);
+        assert_eq!(gate.try_acquire(0), 0);
+    }
+
+    #[test]
+    fn executor_shares_gate_budget() {
+        let host = HostExecutor::new(4);
+        let gate = host.gate().expect("parallel executor has a gate");
+        assert_eq!(gate.available(), 3);
+        // Drain the gate: the next run degrades to inline but completes.
+        let taken = gate.try_acquire(3);
+        assert_eq!(taken, 3);
+        let out = host.run("t", 100, |i| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        gate.release(taken);
+        assert_eq!(gate.available(), 3);
+        // And after release the budget is intact for a parallel run.
+        let out = host.run("t", 100, |i| i);
+        assert_eq!(out.len(), 100);
+        assert_eq!(gate.available(), 3);
+    }
+
+    #[test]
+    fn utilization_accumulates_per_phase() {
+        let host = HostExecutor::new(2);
+        host.run("alpha", 50, |i| i);
+        host.run("alpha", 50, |i| i);
+        host.run("beta", 10, |i| i);
+        let mut prof = Profiler::new();
+        host.drain_utilization_into(&mut prof);
+        let util = prof.host_util();
+        assert_eq!(util.len(), 2);
+        assert_eq!(util[0].phase, "alpha");
+        assert!(!util[0].busy.is_empty());
+        // Drained: a second drain adds nothing.
+        let mut prof2 = Profiler::new();
+        host.drain_utilization_into(&mut prof2);
+        assert!(prof2.host_util().is_empty());
+    }
+
+    #[test]
+    fn range_deque_claims_each_index_once() {
+        let d = RangeDeque::new(0, 10);
+        let stolen = d.steal_back().expect("non-empty");
+        assert_eq!(stolen, 5..10);
+        let mut fronts = Vec::new();
+        while let Some(i) = d.pop_front() {
+            fronts.push(i);
+        }
+        assert_eq!(fronts, vec![0, 1, 2, 3, 4]);
+        assert!(d.steal_back().is_none());
+        assert!(d.pop_front().is_none());
+    }
+}

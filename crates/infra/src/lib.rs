@@ -16,6 +16,9 @@
 //!   interval merging (§IV-B), including the secondary x-axis clip
 //!   partition within each row.
 //! * [`profile`] — phase timers backing the runtime breakdown of Fig. 4.
+//! * [`host`] — the shared work-stealing host executor that fans the
+//!   row/cell-parallel phases above out over `--host-threads` workers
+//!   with deterministic index-ordered merges.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 //! assert_eq!(rows.len(), 2); // two independent rows along y
 //! ```
 
+pub mod host;
 pub mod interval_tree;
 pub mod merge;
 pub mod partition;
@@ -41,6 +45,7 @@ pub mod region;
 pub mod rtree;
 pub mod sweep;
 
+pub use host::{HostExecutor, ThreadGate};
 pub use interval_tree::IntervalTree;
 pub use partition::{partition_rows, Row, RowPartition};
 pub use profile::Profiler;

@@ -10,6 +10,7 @@
 
 use odrc_geometry::{Coord, Interval, Rect};
 
+use crate::host::HostExecutor;
 use crate::merge::merge_pigeonhole;
 
 /// One independent row of the partition.
@@ -97,7 +98,17 @@ impl<'a> IntoIterator for &'a RowPartition {
 /// ```
 pub fn partition_rows(mbrs: &[Rect], expand: Coord) -> RowPartition {
     let extents: Vec<Interval> = mbrs.iter().map(|m| m.y_range().inflate(expand)).collect();
-    let rows = partition_intervals(&extents);
+    let rows = partition_intervals(&extents, None);
+    RowPartition { rows }
+}
+
+/// [`partition_rows`] with the per-extent row assignment fanned out on
+/// a host executor. The output is identical: assignment positions are
+/// computed in parallel (a pure binary search per extent) and the
+/// member lists are then filled serially in ascending index order.
+pub fn partition_rows_on(mbrs: &[Rect], expand: Coord, host: &HostExecutor) -> RowPartition {
+    let extents: Vec<Interval> = mbrs.iter().map(|m| m.y_range().inflate(expand)).collect();
+    let rows = partition_intervals(&extents, Some(host));
     RowPartition { rows }
 }
 
@@ -111,7 +122,7 @@ pub fn partition_clips(mbrs: &[Rect], members: &[usize], expand: Coord) -> Vec<V
         .iter()
         .map(|&i| mbrs[i].x_range().inflate(expand))
         .collect();
-    partition_intervals(&extents)
+    partition_intervals(&extents, None)
         .into_iter()
         .map(|row| {
             row.members
@@ -124,7 +135,7 @@ pub fn partition_clips(mbrs: &[Rect], members: &[usize], expand: Coord) -> Vec<V
 
 /// Shared 1-D machinery: merge the (already inflated) extents and assign
 /// each input to its merged interval.
-fn partition_intervals(extents: &[Interval]) -> Vec<Row> {
+fn partition_intervals(extents: &[Interval], host: Option<&HostExecutor>) -> Vec<Row> {
     if extents.is_empty() {
         return Vec::new();
     }
@@ -156,17 +167,38 @@ fn partition_intervals(extents: &[Interval]) -> Vec<Row> {
         .collect();
 
     // Assign each extent to the unique merged interval containing it,
-    // found by binary search on row start.
-    for (i, e) in extents.iter().enumerate() {
-        let pos = rows.partition_point(|row| row.y.lo() <= e.lo());
-        debug_assert!(pos > 0, "extent {e} precedes every row");
-        let row = &mut rows[pos - 1];
-        debug_assert!(
-            row.y.contains(e.lo()) && row.y.contains(e.hi()),
-            "extent {e} not contained in its row {}",
-            row.y
-        );
-        row.members.push(i);
+    // found by binary search on row start. With a (parallel) executor,
+    // the searches fan out and only the member fill stays serial, which
+    // keeps member lists in ascending index order either way.
+    match host {
+        Some(host) if !host.is_serial() && extents.len() > 1 => {
+            let positions = host.run("partition", extents.len(), |i| {
+                rows.partition_point(|row| row.y.lo() <= extents[i].lo())
+            });
+            for (i, (pos, e)) in positions.into_iter().zip(extents).enumerate() {
+                debug_assert!(pos > 0, "extent {e} precedes every row");
+                let row = &mut rows[pos - 1];
+                debug_assert!(
+                    row.y.contains(e.lo()) && row.y.contains(e.hi()),
+                    "extent {e} not contained in its row {}",
+                    row.y
+                );
+                row.members.push(i);
+            }
+        }
+        _ => {
+            for (i, e) in extents.iter().enumerate() {
+                let pos = rows.partition_point(|row| row.y.lo() <= e.lo());
+                debug_assert!(pos > 0, "extent {e} precedes every row");
+                let row = &mut rows[pos - 1];
+                debug_assert!(
+                    row.y.contains(e.lo()) && row.y.contains(e.hi()),
+                    "extent {e} not contained in its row {}",
+                    row.y
+                );
+                row.members.push(i);
+            }
+        }
     }
     rows
 }
@@ -282,6 +314,23 @@ mod tests {
                     prop_assert!(row.y.contains(e.lo()) && row.y.contains(e.hi()));
                 }
             }
+        }
+
+        #[test]
+        fn parallel_assignment_matches_serial(
+            specs in proptest::collection::vec(
+                (-200i32..200, -200i32..200, 1i32..60, 1i32..60), 1..80),
+            expand in 0i32..10,
+            threads in 1usize..5,
+        ) {
+            let mbrs: Vec<Rect> = specs.iter()
+                .map(|&(x, y, w, h)| r(x, y, x + w, y + h))
+                .collect();
+            let host = HostExecutor::new(threads);
+            prop_assert_eq!(
+                partition_rows_on(&mbrs, expand, &host),
+                partition_rows(&mbrs, expand)
+            );
         }
 
         #[test]

@@ -27,6 +27,37 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Default)]
 pub struct Profiler {
     phases: Vec<(String, Duration)>,
+    host_util: Vec<HostPhaseUtil>,
+}
+
+/// Host-thread utilization of one phase: the wall time the executor
+/// spent fanning the phase out and the busy time of each worker (index
+/// 0 is the calling thread). Idle time per worker is `wall - busy`.
+#[derive(Debug, Clone)]
+pub struct HostPhaseUtil {
+    /// Phase label (matches the executor's `run` call sites).
+    pub phase: String,
+    /// Wall-clock time across all fan-outs of this phase.
+    pub wall: Duration,
+    /// Per-worker busy time (time actually spent inside tasks).
+    pub busy: Vec<Duration>,
+}
+
+impl HostPhaseUtil {
+    /// Total busy time summed over workers.
+    pub fn busy_total(&self) -> Duration {
+        self.busy.iter().sum()
+    }
+
+    /// Mean worker utilization in `[0, 1]`: busy time over the
+    /// wall-time budget of all workers that participated.
+    pub fn utilization(&self) -> f64 {
+        let budget = self.wall.as_secs_f64() * self.busy.len().max(1) as f64;
+        if budget <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_total().as_secs_f64() / budget).min(1.0)
+    }
 }
 
 impl Profiler {
@@ -87,6 +118,37 @@ impl Profiler {
         for (name, d) in &other.phases {
             self.add(name, *d);
         }
+        for u in &other.host_util {
+            self.add_host_util(&u.phase, u.wall, &u.busy);
+        }
+    }
+
+    /// Accumulates host-thread utilization for `phase` (busy time per
+    /// worker over `wall` of fan-out time). Repeated calls merge:
+    /// wall adds up and workers add element-wise.
+    pub fn add_host_util(&mut self, phase: &str, wall: Duration, busy: &[Duration]) {
+        if let Some(u) = self.host_util.iter_mut().find(|u| u.phase == phase) {
+            u.wall += wall;
+            for (i, b) in busy.iter().enumerate() {
+                if i < u.busy.len() {
+                    u.busy[i] += *b;
+                } else {
+                    u.busy.push(*b);
+                }
+            }
+        } else {
+            self.host_util.push(HostPhaseUtil {
+                phase: phase.to_owned(),
+                wall,
+                busy: busy.to_vec(),
+            });
+        }
+    }
+
+    /// Per-phase host-thread utilization in first-use order. Empty when
+    /// every fan-out ran inline (one host thread).
+    pub fn host_util(&self) -> &[HostPhaseUtil] {
+        &self.host_util
     }
 }
 
@@ -105,7 +167,18 @@ impl fmt::Display for Profiler {
                 d.as_secs_f64() * 1e3
             )?;
         }
-        writeln!(f, "{:>24}: {:>10.3} ms", "total", total * 1e3)
+        writeln!(f, "{:>24}: {:>10.3} ms", "total", total * 1e3)?;
+        for u in &self.host_util {
+            writeln!(
+                f,
+                "{:>24}: {:>5.1}% busy over {} worker(s), {:.3} ms wall",
+                format!("host[{}]", u.phase),
+                100.0 * u.utilization(),
+                u.busy.len(),
+                u.wall.as_secs_f64() * 1e3
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -161,6 +234,36 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.phase("x"), Some(Duration::from_millis(12)));
         assert_eq!(a.phase("y"), Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn host_util_merges_per_phase_and_worker() {
+        let mut p = Profiler::new();
+        p.add_host_util(
+            "edge-check",
+            Duration::from_millis(10),
+            &[Duration::from_millis(8), Duration::from_millis(6)],
+        );
+        p.add_host_util(
+            "edge-check",
+            Duration::from_millis(10),
+            &[
+                Duration::from_millis(2),
+                Duration::from_millis(4),
+                Duration::from_millis(10),
+            ],
+        );
+        let u = &p.host_util()[0];
+        assert_eq!(u.wall, Duration::from_millis(20));
+        assert_eq!(u.busy.len(), 3);
+        assert_eq!(u.busy[0], Duration::from_millis(10));
+        assert_eq!(u.busy_total(), Duration::from_millis(30));
+        assert!((u.utilization() - 0.5).abs() < 1e-9);
+
+        let mut q = Profiler::new();
+        q.merge(&p);
+        assert_eq!(q.host_util().len(), 1);
+        assert!(q.to_string().contains("host[edge-check]"));
     }
 
     #[test]

@@ -145,6 +145,12 @@ pub(crate) struct DeviceInner {
     /// Fast-path flag mirroring `faults.is_some()` so the common
     /// fault-free case pays one relaxed load, not a mutex.
     faults_enabled: AtomicU64,
+    /// Extra-thread budget shared with the host executor. When
+    /// installed, kernel dispatch draws its worker threads from this
+    /// gate so host fan-outs and device launches never add up past the
+    /// configured host parallelism; `None` (the default) reproduces the
+    /// ungated pool exactly.
+    host_gate: Mutex<Option<Arc<odrc_infra::ThreadGate>>>,
 }
 
 /// A device-memory reservation held by a [`DeviceBuffer`]; releases its
@@ -256,6 +262,7 @@ impl Device {
                 stream_op_ordinal: AtomicU64::new(0),
                 faults: Mutex::new(None),
                 faults_enabled: AtomicU64::new(0),
+                host_gate: Mutex::new(None),
             }),
         }
     }
@@ -278,6 +285,18 @@ impl Device {
     /// Bytes currently reserved by live stream-ordered buffers.
     pub fn mem_in_use(&self) -> usize {
         self.inner.mem_in_use.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or with `None` removes) the extra-thread gate shared
+    /// with the host executor — the pool-sizing handshake. While a gate
+    /// is installed, kernel dispatch acquires its spawned threads from
+    /// the gate (the dispatching thread always proceeds inline, so an
+    /// exhausted gate degrades to sequential execution rather than
+    /// deadlocking) and releases them when the launch completes.
+    /// Without a gate the pre-existing ungated worker pool is used,
+    /// bit-for-bit.
+    pub fn set_host_gate(&self, gate: Option<Arc<odrc_infra::ThreadGate>>) {
+        *self.inner.host_gate.lock() = gate;
     }
 
     /// Installs (or with `None` removes) a fault schedule at runtime.
@@ -608,20 +627,52 @@ impl Device {
             return;
         }
         let workers = self.inner.workers.min(n);
-        let chunk_size = n.div_ceil(workers);
         if workers == 1 {
             body(0..n, work);
             return;
         }
+        let gate = self.inner.host_gate.lock().clone();
+        let Some(gate) = gate else {
+            // No handshake installed: the original ungated pool.
+            let chunk_size = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let mut start = 0usize;
+                let body = &body;
+                for chunk in work.chunks_mut(chunk_size) {
+                    let range = start..start + chunk.len();
+                    start += chunk.len();
+                    scope.spawn(move || body(range, chunk));
+                }
+            });
+            return;
+        };
+        // Gated: spawned threads come out of the shared host budget and
+        // the dispatching thread works a chunk itself, so a launch uses
+        // at most `1 + acquired` threads and never oversubscribes.
+        let extra = gate.try_acquire(workers - 1);
+        if extra == 0 {
+            body(0..n, work);
+            return;
+        }
+        let chunk_size = n.div_ceil(extra + 1);
+        let mut parts: Vec<(std::ops::Range<usize>, &mut [T])> = Vec::new();
+        let mut start = 0usize;
+        for chunk in work.chunks_mut(chunk_size) {
+            let range = start..start + chunk.len();
+            start += chunk.len();
+            parts.push((range, chunk));
+        }
+        let own = parts.pop();
         std::thread::scope(|scope| {
-            let mut start = 0usize;
             let body = &body;
-            for chunk in work.chunks_mut(chunk_size) {
-                let range = start..start + chunk.len();
-                start += chunk.len();
+            for (range, chunk) in parts {
                 scope.spawn(move || body(range, chunk));
             }
+            if let Some((range, chunk)) = own {
+                body(range, chunk);
+            }
         });
+        gate.release(extra);
     }
 }
 
