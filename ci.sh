@@ -46,4 +46,47 @@ echo "== host-threads smoke run"
 # four configurations still agree with two host worker threads.
 (cd target && cargo run -q --release -p odrc-bench --bin pipeline -- --designs uart --host-threads 2)
 
+echo "== kill/resume smoke (tiny --deadline, then --resume to completion)"
+# Run lifecycle end to end at the CLI level: a sub-millisecond deadline
+# deterministically interrupts the run (exit 4) and leaves a loadable
+# checkpoint; a --resume run finishes the check (exit 1: the generated
+# layout has violations) and completes the journal; a second --resume
+# then restores every signable rule and must report byte-identically.
+rm -rf target/ci-resume
+mkdir -p target/ci-resume
+./target/release/odrc-genlayout aes target/ci-resume/aes.gds
+cat > target/ci-resume/beol.rules <<'EOF'
+width     layer=19 min=18   name=M1.W.1
+space     layer=20 min=20   name=M2.S.1
+area      layer=19 min=1400 name=M1.A.1
+enclosure inner=30 outer=19 min=4 name=V1.M1.EN.1
+rectilinear
+EOF
+status=0
+./target/release/odrc target/ci-resume/aes.gds \
+    --rules target/ci-resume/beol.rules --parallel \
+    --deadline 0.001 --checkpoint-dir target/ci-resume/ckpt \
+    >/dev/null 2>&1 || status=$?
+[ "$status" -eq 4 ] || { echo "expected exit 4 from deadline run, got $status"; exit 1; }
+[ -f target/ci-resume/ckpt/odrc-journal.bin ] || { echo "no checkpoint journal written"; exit 1; }
+status=0
+./target/release/odrc target/ci-resume/aes.gds \
+    --rules target/ci-resume/beol.rules --parallel \
+    --resume target/ci-resume/ckpt --report target/ci-resume/first.csv \
+    >/dev/null 2>&1 || status=$?
+[ "$status" -eq 1 ] || { echo "expected exit 1 from resumed run, got $status"; exit 1; }
+status=0
+./target/release/odrc target/ci-resume/aes.gds \
+    --rules target/ci-resume/beol.rules --parallel \
+    --resume target/ci-resume/ckpt --report target/ci-resume/second.csv \
+    --stats-json target/ci-resume/second.json \
+    >/dev/null 2>&1 || status=$?
+[ "$status" -eq 1 ] || { echo "expected exit 1 from second resume, got $status"; exit 1; }
+if grep -q '"rules_resumed": 0,' target/ci-resume/second.json; then
+    echo "second resume restored no rules from the completed journal"
+    exit 1
+fi
+cmp target/ci-resume/first.csv target/ci-resume/second.csv \
+    || { echo "resumed reports differ"; exit 1; }
+
 echo "== ci.sh: all green"

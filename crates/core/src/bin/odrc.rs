@@ -4,7 +4,8 @@
 //! odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N]
 //!      [--cache <dir>] [--stats-json <file>] [--report out.csv]
 //!      [--markers out.gds] [--device-budget BYTES] [--fault-seed N]
-//!      [--host-threads N]
+//!      [--host-threads N] [--deadline SECS] [--checkpoint-dir <dir>]
+//!      [--resume <dir>] [--watchdog-ms N]
 //! odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel]
 //!      [--cache <dir>] [--max-print N] [--host-threads N]
 //! ```
@@ -20,6 +21,22 @@
 //! and prints the violations the edit added and removed. It exits 0
 //! when the edit added no violations, non-zero otherwise.
 //!
+//! # Run lifecycle
+//!
+//! A check can be stopped cooperatively — SIGINT/SIGTERM (Ctrl-C), or
+//! a `--deadline SECS` wall-clock budget. The engine stops issuing new
+//! rules at the next rule boundary, drains in-flight device work, and
+//! exits cleanly with code 4: `--stats-json` is still written
+//! (atomically), the per-rule completion status is reported, and —
+//! with `--checkpoint-dir <dir>` — every rule that *did* finish is
+//! already journaled in `<dir>/odrc-journal.bin`. A follow-up
+//! `odrc --resume <dir>` restores those rules without re-checking them
+//! and runs only what is missing; the final violation set is
+//! byte-identical to an uninterrupted run. `--watchdog-ms N` (parallel
+//! mode) arms a per-operation stream watchdog so a genuinely wedged
+//! device op surfaces as a stream timeout and flows through the normal
+//! retry/fallback machinery instead of hanging the run.
+//!
 //! # Exit codes
 //!
 //! | code | meaning |
@@ -29,9 +46,13 @@
 //! | 2    | hard error: bad usage, unreadable layout/deck, I/O failure |
 //! | 3    | degraded but complete: no violations, but some device work |
 //! |      | was retried or recomputed on the host (see `--fault-seed`) |
+//! | 4    | interrupted: signal or deadline stopped the run before all |
+//! |      | rules finished (checkpoint saved if `--checkpoint-dir`)    |
 //!
 //! Violations take precedence over degradation: a degraded run that
 //! found violations exits 1 (the summary still reports the retries).
+//! Interruption takes precedence over both — a partial result is not a
+//! verdict.
 //!
 //! # Fault injection
 //!
@@ -44,9 +65,13 @@
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use odrc::{parse_deck, CheckReport, Engine, ResultCache, RuleDeck, CACHE_FILE};
+use odrc::{
+    parse_deck, CheckReport, CheckpointJournal, Engine, ResultCache, RuleDeck, RunKey, CACHE_FILE,
+};
 use odrc_db::Layout;
+use odrc_infra::{install_signal_handlers, CancelToken};
 use odrc_xpu::{Device, FaultPlan};
 
 /// Faults drawn from `--fault-seed` (kept fixed so a seed alone
@@ -66,22 +91,29 @@ struct Args {
     fault_seed: Option<u64>,
     device_budget: Option<usize>,
     host_threads: Option<usize>,
+    deadline_secs: Option<f64>,
+    checkpoint_dir: Option<String>,
+    resume: bool,
+    watchdog_ms: Option<u64>,
 }
 
 /// What a completed run reports back to `main` for the exit code.
 struct Outcome {
     violations: usize,
     degraded: bool,
+    interrupted: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N] \
          [--cache dir] [--stats-json out.json] [--report out.csv] [--markers out.gds] \
-         [--device-budget BYTES] [--fault-seed N] [--host-threads N]\n\
+         [--device-budget BYTES] [--fault-seed N] [--host-threads N] [--deadline SECS] \
+         [--checkpoint-dir dir] [--resume dir] [--watchdog-ms N]\n\
          \u{20}      odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel] \
          [--cache dir] [--max-print N] [--host-threads N]\n\
-         exit codes: 0 clean, 1 violations found, 2 hard error, 3 degraded but clean"
+         exit codes: 0 clean, 1 violations found, 2 hard error, 3 degraded but clean, \
+         4 interrupted (signal or deadline; checkpoint saved if --checkpoint-dir)"
     );
     std::process::exit(2);
 }
@@ -98,6 +130,10 @@ fn parse_args() -> Args {
     let mut fault_seed = None;
     let mut device_budget = None;
     let mut host_threads = None;
+    let mut deadline_secs = None;
+    let mut checkpoint_dir = None;
+    let mut resume = false;
+    let mut watchdog_ms = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let diff_mode = argv.first().is_some_and(|a| a == "diff");
     let mut i = usize::from(diff_mode);
@@ -174,6 +210,43 @@ fn parse_args() -> Args {
                 host_threads = Some(n);
                 i += 2;
             }
+            "--deadline" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                let secs: f64 = argv[i + 1].parse().unwrap_or_else(|_| usage());
+                if !secs.is_finite() || secs < 0.0 {
+                    usage();
+                }
+                deadline_secs = Some(secs);
+                i += 2;
+            }
+            "--checkpoint-dir" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                checkpoint_dir = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--resume" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                checkpoint_dir = Some(argv[i + 1].clone());
+                resume = true;
+                i += 2;
+            }
+            "--watchdog-ms" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                let ms: u64 = argv[i + 1].parse().unwrap_or_else(|_| usage());
+                if ms == 0 {
+                    usage();
+                }
+                watchdog_ms = Some(ms);
+                i += 2;
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => {
                 positional.push(other.to_owned());
@@ -204,6 +277,10 @@ fn parse_args() -> Args {
         fault_seed,
         device_budget,
         host_threads,
+        deadline_secs,
+        checkpoint_dir,
+        resume,
+        watchdog_ms,
     }
 }
 
@@ -230,56 +307,93 @@ fn write_report(path: &str, violations: &[odrc::Violation]) -> std::io::Result<(
 
 /// Writes the run summary as JSON (hand-rolled — the image has no
 /// serde; phase names come from our own profiler, so they never need
-/// escaping beyond what `escape_json` covers).
+/// escaping beyond what `escape_json` covers). The file is written
+/// atomically (temp + rename), so an interrupted run — the case where
+/// the stats matter most — never leaves a torn JSON behind.
 fn write_stats_json(path: &str, report: &CheckReport) -> std::io::Result<()> {
-    use std::io::Write;
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"violations\": {},", report.violations.len())?;
-    writeln!(
-        f,
+    use std::fmt::Write;
+    let mut f = String::new();
+    let w = &mut f;
+    let _ = writeln!(w, "{{");
+    let _ = writeln!(w, "  \"violations\": {},", report.violations.len());
+    let _ = writeln!(
+        w,
         "  \"checks_computed\": {},",
         report.stats.checks_computed
-    )?;
-    writeln!(f, "  \"checks_reused\": {},", report.stats.checks_reused)?;
-    writeln!(
-        f,
+    );
+    let _ = writeln!(w, "  \"checks_reused\": {},", report.stats.checks_reused);
+    let _ = writeln!(
+        w,
         "  \"candidate_pairs\": {},",
         report.stats.candidate_pairs
-    )?;
-    writeln!(f, "  \"rows\": {},", report.stats.rows)?;
-    writeln!(f, "  \"device_retries\": {},", report.stats.device_retries)?;
-    writeln!(
-        f,
+    );
+    let _ = writeln!(w, "  \"rows\": {},", report.stats.rows);
+    let _ = writeln!(w, "  \"device_retries\": {},", report.stats.device_retries);
+    let _ = writeln!(
+        w,
         "  \"device_fallbacks\": {},",
         report.stats.device_fallbacks
-    )?;
-    writeln!(f, "  \"degraded\": {},", report.stats.degraded())?;
-    writeln!(f, "  \"scenes_built\": {},", report.stats.scenes_built)?;
-    writeln!(f, "  \"scenes_reused\": {},", report.stats.scenes_reused)?;
-    writeln!(f, "  \"host_tasks\": {},", report.stats.host_tasks)?;
-    writeln!(f, "  \"host_steals\": {},", report.stats.host_steals)?;
-    writeln!(f, "  \"uploads_elided\": {},", report.stats.uploads_elided)?;
-    writeln!(f, "  \"bytes_uploaded\": {},", report.stats.bytes_uploaded)?;
-    writeln!(
-        f,
+    );
+    let _ = writeln!(w, "  \"degraded\": {},", report.stats.degraded());
+    let _ = writeln!(w, "  \"scenes_built\": {},", report.stats.scenes_built);
+    let _ = writeln!(w, "  \"scenes_reused\": {},", report.stats.scenes_reused);
+    let _ = writeln!(w, "  \"host_tasks\": {},", report.stats.host_tasks);
+    let _ = writeln!(w, "  \"host_steals\": {},", report.stats.host_steals);
+    let _ = writeln!(w, "  \"uploads_elided\": {},", report.stats.uploads_elided);
+    let _ = writeln!(w, "  \"bytes_uploaded\": {},", report.stats.bytes_uploaded);
+    let _ = match &report.interrupted {
+        Some(reason) => writeln!(
+            w,
+            "  \"interrupted\": \"{}\",",
+            escape_json(&reason.to_string())
+        ),
+        None => writeln!(w, "  \"interrupted\": null,"),
+    };
+    let _ = writeln!(
+        w,
+        "  \"rules_completed\": {},",
+        report.stats.rules_completed
+    );
+    let _ = writeln!(w, "  \"rules_resumed\": {},", report.stats.rules_resumed);
+    let _ = writeln!(
+        w,
+        "  \"rules_interrupted\": {},",
+        report.stats.rules_interrupted
+    );
+    let _ = writeln!(w, "  \"rule_status\": {{");
+    for (i, (name, st)) in report.rule_status.iter().enumerate() {
+        let _ = writeln!(
+            w,
+            "    \"{}\": \"{}\"{}",
+            escape_json(name),
+            st,
+            if i + 1 < report.rule_status.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(w, "  }},");
+    let _ = writeln!(
+        w,
         "  \"total_ms\": {:.3},",
         report.profile.total().as_secs_f64() * 1e3
-    )?;
-    writeln!(f, "  \"phases_ms\": {{")?;
+    );
+    let _ = writeln!(w, "  \"phases_ms\": {{");
     let phases = report.profile.phases();
     for (i, (name, d)) in phases.iter().enumerate() {
-        writeln!(
-            f,
+        let _ = writeln!(
+            w,
             "    \"{}\": {:.3}{}",
             escape_json(name),
             d.as_secs_f64() * 1e3,
             if i + 1 < phases.len() { "," } else { "" }
-        )?;
+        );
     }
-    writeln!(f, "  }}")?;
-    writeln!(f, "}}")?;
-    Ok(())
+    let _ = writeln!(w, "  }}");
+    let _ = writeln!(w, "}}");
+    odrc_infra::write_atomic(Path::new(path), f.as_bytes())
 }
 
 fn escape_json(s: &str) -> String {
@@ -353,6 +467,37 @@ fn print_stats(stats: &odrc::EngineStats) {
     }
 }
 
+/// Opens the checkpoint journal for `--checkpoint-dir`/`--resume`. A
+/// plain `--checkpoint-dir` starts fresh (any previous journal in the
+/// directory is discarded); `--resume` keeps it so completed rules are
+/// restored.
+fn open_journal(
+    args: &Args,
+    layout: &Layout,
+    deck: &RuleDeck,
+) -> Result<Option<CheckpointJournal>, Box<dyn std::error::Error>> {
+    let Some(dir) = &args.checkpoint_dir else {
+        return Ok(None);
+    };
+    let dir = Path::new(dir);
+    if !args.resume {
+        match std::fs::remove_file(dir.join(odrc::JOURNAL_FILE)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let journal = CheckpointJournal::open_dir(dir, RunKey::compute(layout, deck))?;
+    if args.resume && !journal.is_empty() {
+        eprintln!(
+            "resuming: {} rule(s) already journaled in {}",
+            journal.len(),
+            dir.display()
+        );
+    }
+    Ok(Some(journal))
+}
+
 /// The default mode: check one layout.
 fn run_check(
     args: &Args,
@@ -360,14 +505,15 @@ fn run_check(
     deck: &RuleDeck,
 ) -> Result<Outcome, Box<dyn std::error::Error>> {
     let layout = load_layout(&args.layout)?;
+    let mut journal = open_journal(args, &layout, deck)?;
     let report = match &args.cache {
         Some(dir) => {
             let mut cache = load_cache(dir);
-            let report = engine.check_with_cache(&layout, deck, &mut cache);
+            let report = engine.check_resumable(&layout, deck, Some(&mut cache), journal.as_mut());
             save_cache(dir, &cache)?;
             report
         }
-        None => engine.check(&layout, deck),
+        None => engine.check_resumable(&layout, deck, None, journal.as_mut()),
     };
     print_summary(&report, deck, args.max_print);
     if let Some(path) = &args.report {
@@ -386,9 +532,32 @@ fn run_check(
     }
     eprintln!("\n{}", report.profile);
     print_stats(&report.stats);
+    if report.stats.rules_resumed > 0 {
+        eprintln!(
+            "resumed {} rule(s) from the checkpoint journal",
+            report.stats.rules_resumed
+        );
+    }
+    if let Some(reason) = &report.interrupted {
+        eprintln!("\nrun interrupted ({reason}); per-rule status:");
+        for (name, st) in &report.rule_status {
+            eprintln!("  {name:<20} {st}");
+        }
+        if let Some(j) = &journal {
+            eprintln!(
+                "checkpoint saved: {} completed rule(s) in {}; \
+                 rerun with --resume to finish",
+                j.len(),
+                j.path().display()
+            );
+        } else {
+            eprintln!("no --checkpoint-dir: completed rules were not journaled");
+        }
+    }
     Ok(Outcome {
         violations: report.violations.len(),
         degraded: report.stats.degraded(),
+        interrupted: report.interrupted.is_some(),
     })
 }
 
@@ -452,6 +621,7 @@ fn run_diff(
     Ok(Outcome {
         violations: report.delta.added.len(),
         degraded: base.stats.degraded() || report.stats.degraded(),
+        interrupted: false,
     })
 }
 
@@ -464,7 +634,7 @@ fn run(args: &Args) -> Result<Outcome, Box<dyn std::error::Error>> {
         host_threads: args.host_threads,
         ..odrc::EngineOptions::default()
     };
-    let engine = if args.parallel {
+    let mut engine = if args.parallel {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -476,16 +646,34 @@ fn run(args: &Args) -> Result<Outcome, Box<dyn std::error::Error>> {
             device.set_fault_plan(Some(FaultPlan::from_seed(seed, FAULTS_PER_SEED)));
             eprintln!("fault injection on: seed {seed}, {FAULTS_PER_SEED} scheduled faults");
         }
+        if let Some(ms) = args.watchdog_ms {
+            device.set_watchdog(Some(Duration::from_millis(ms)));
+            eprintln!("stream watchdog armed: {ms} ms per operation");
+        }
         Engine::parallel_on(device).with_options(options)
     } else {
-        if args.fault_seed.is_some() || args.device_budget.is_some() {
-            eprintln!("note: --fault-seed/--device-budget only apply to --parallel runs");
+        if args.fault_seed.is_some() || args.device_budget.is_some() || args.watchdog_ms.is_some() {
+            eprintln!(
+                "note: --fault-seed/--device-budget/--watchdog-ms only apply to --parallel runs"
+            );
         }
         Engine::sequential().with_options(options)
     };
     if args.old_layout.is_some() {
+        if args.deadline_secs.is_some() || args.checkpoint_dir.is_some() {
+            eprintln!("note: --deadline/--checkpoint-dir/--resume only apply to check runs");
+        }
         run_diff(args, &engine, &deck)
     } else {
+        // Cooperative cancellation: SIGINT/SIGTERM and --deadline all
+        // trip one token the engine polls at rule boundaries.
+        let token = match args.deadline_secs {
+            Some(secs) => CancelToken::with_deadline(Duration::from_secs_f64(secs)),
+            None => CancelToken::new(),
+        };
+        let token = token.linked_to_signals();
+        install_signal_handlers();
+        engine = engine.with_cancel(token);
         run_check(args, &engine, &deck)
     }
 }
@@ -493,15 +681,21 @@ fn run(args: &Args) -> Result<Outcome, Box<dyn std::error::Error>> {
 fn main() -> ExitCode {
     let args = parse_args();
     match run(&args) {
-        // Violations take precedence over degradation; a degraded run
-        // with a clean result gets its own code so scripts can react.
+        // Interruption first — a partial result is not a verdict; then
+        // violations over degradation; a degraded clean run gets its
+        // own code so scripts can react.
+        Ok(Outcome {
+            interrupted: true, ..
+        }) => ExitCode::from(4),
         Ok(Outcome {
             violations: 0,
             degraded: false,
+            ..
         }) => ExitCode::SUCCESS,
         Ok(Outcome {
             violations: 0,
             degraded: true,
+            ..
         }) => ExitCode::from(3),
         Ok(_) => ExitCode::FAILURE,
         Err(e) => {

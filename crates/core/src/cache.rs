@@ -22,7 +22,7 @@
 //! [`CellId`]: odrc_db::CellId
 
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -49,14 +49,14 @@ pub const CACHE_FILE: &str = "odrc-cache.bin";
 /// Streaming 64-bit FNV-1a over a fixed little-endian encoding, used
 /// for rule signatures (stable across processes, unlike the std
 /// hasher).
-struct Sig(u64);
+pub(crate) struct Sig(pub(crate) u64);
 
 impl Sig {
-    fn new() -> Sig {
+    pub(crate) fn new() -> Sig {
         Sig(0xcbf29ce484222325)
     }
 
-    fn bytes(&mut self, bytes: &[u8]) -> &mut Sig {
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) -> &mut Sig {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x100000001b3);
@@ -64,7 +64,7 @@ impl Sig {
         self
     }
 
-    fn i64(&mut self, v: i64) -> &mut Sig {
+    pub(crate) fn i64(&mut self, v: i64) -> &mut Sig {
         self.bytes(&v.to_le_bytes())
     }
 }
@@ -115,7 +115,7 @@ pub fn rule_signature(rule: &Rule) -> Option<u64> {
     Some(s.0)
 }
 
-fn kind_to_u8(kind: ViolationKind) -> u8 {
+pub(crate) fn kind_to_u8(kind: ViolationKind) -> u8 {
     match kind {
         ViolationKind::Width => 0,
         ViolationKind::Space => 1,
@@ -127,7 +127,7 @@ fn kind_to_u8(kind: ViolationKind) -> u8 {
     }
 }
 
-fn kind_from_u8(v: u8) -> Option<ViolationKind> {
+pub(crate) fn kind_from_u8(v: u8) -> Option<ViolationKind> {
     Some(match v {
         0 => ViolationKind::Width,
         1 => ViolationKind::Space,
@@ -226,8 +226,9 @@ impl ResultCache {
         // detected up front instead of surfacing as garbage results.
         let checksum = Sig::new().bytes(&buf).0;
         buf.extend_from_slice(&checksum.to_le_bytes());
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(&buf)
+        // Write-temp-then-rename: a kill mid-save leaves the previous
+        // sidecar intact instead of a truncated file.
+        odrc_infra::write_atomic(path, &buf)
     }
 
     /// Loads a cache from a sidecar file; a missing file yields an
@@ -310,51 +311,51 @@ impl ResultCache {
     }
 }
 
-fn bad_data() -> io::Error {
+pub(crate) fn bad_data() -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, "malformed odrc cache file")
 }
 
 /// A bounds-checked cursor over the loaded sidecar bytes.
-struct ByteReader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct ByteReader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
         let end = self.pos.checked_add(n).ok_or_else(bad_data)?;
         let slice = self.buf.get(self.pos..end).ok_or_else(bad_data)?;
         self.pos = end;
         Ok(slice)
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn u8(&mut self) -> io::Result<u8> {
+    pub(crate) fn u8(&mut self) -> io::Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> io::Result<u32> {
+    pub(crate) fn u32(&mut self) -> io::Result<u32> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn i32(&mut self) -> io::Result<i32> {
+    pub(crate) fn i32(&mut self) -> io::Result<i32> {
         Ok(i32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self) -> io::Result<u64> {
+    pub(crate) fn u64(&mut self) -> io::Result<u64> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn i64(&mut self) -> io::Result<i64> {
+    pub(crate) fn i64(&mut self) -> io::Result<i64> {
         Ok(i64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))

@@ -1,0 +1,464 @@
+//! Checkpoint journal for interrupted runs.
+//!
+//! A long check that is cancelled (SIGINT, `--deadline`) should not
+//! forfeit the rules it already finished. The engine appends each
+//! completed rule's canonical violation set to an on-disk *journal*;
+//! a later `--resume` run opens the journal, restores every completed
+//! rule's results without re-checking, and re-runs only what is
+//! missing. Because the journal stores *canonical* (sorted, deduped)
+//! per-rule sets and the final report re-canonicalizes the union, an
+//! interrupted-then-resumed run is byte-identical to an uninterrupted
+//! one.
+//!
+//! Records are keyed by `(deck signature, layout content hash, rule
+//! signature)` — the same content-addressed discipline as the result
+//! cache ([`crate::cache`]): edit the layout or the deck and stale
+//! checkpoints simply stop matching. Rules without a stable signature
+//! (user `ensures` predicates are host closures) are never journaled.
+//!
+//! The file format is append-oriented so a kill at any byte offset is
+//! survivable: a fixed magic header, then self-delimiting records each
+//! carrying its own trailing FNV-1a checksum. On open the journal is
+//! parsed *leniently* — a torn or corrupt tail is dropped and the file
+//! is atomically rewritten to its longest valid prefix — then an
+//! append handle takes over for new records.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use odrc_db::Layout;
+use odrc_geometry::Rect;
+
+use crate::cache::{bad_data, kind_from_u8, kind_to_u8, rule_signature, ByteReader, Sig};
+use crate::rules::RuleDeck;
+use crate::violation::Violation;
+
+/// File name of the journal inside a checkpoint directory.
+pub const JOURNAL_FILE: &str = "odrc-journal.bin";
+
+const MAGIC: &[u8; 8] = b"ODRCJNL1";
+
+/// Bytes per serialized violation: kind (1) + 4 coordinates (4×4) +
+/// measured (8). Used to bound pre-allocation on load.
+const ENTRY_BYTES: usize = 25;
+
+/// Identity of one (layout, deck) run. Checkpoints recorded under a
+/// different key are invisible to this run — resuming against an
+/// edited layout or deck re-checks everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunKey {
+    /// Ordered FNV over every rule's signature (with a marker for
+    /// unsignable rules, so adding an `ensures` rule changes the key).
+    pub deck_sig: u64,
+    /// FNV over the layout's per-cell subtree content hashes.
+    pub layout_hash: u64,
+}
+
+impl RunKey {
+    /// Computes the run key for a layout/deck pair.
+    pub fn compute(layout: &Layout, deck: &RuleDeck) -> RunKey {
+        let mut d = Sig::new();
+        for rule in deck.rules() {
+            match rule_signature(rule) {
+                Some(sig) => {
+                    d.i64(1).i64(sig as i64);
+                }
+                None => {
+                    // Unsignable rules still shape deck identity.
+                    d.i64(0).bytes(rule.name.as_bytes());
+                }
+            }
+        }
+        let mut l = Sig::new();
+        for h in layout.subtree_hashes() {
+            l.i64(h as i64);
+        }
+        RunKey {
+            deck_sig: d.0,
+            layout_hash: l.0,
+        }
+    }
+}
+
+/// An append-oriented journal of completed rules for one run.
+///
+/// See the [module docs](self) for the format and recovery story.
+#[derive(Debug)]
+pub struct CheckpointJournal {
+    path: PathBuf,
+    run: RunKey,
+    /// Completed rules of *this* run: rule signature → (rule name,
+    /// canonical violations).
+    entries: HashMap<u64, (String, Arc<Vec<Violation>>)>,
+    file: std::fs::File,
+}
+
+impl CheckpointJournal {
+    /// Opens (or creates) the journal in `dir` for the given run.
+    ///
+    /// Creates the directory if needed. An existing journal is parsed
+    /// leniently: records after the first torn or corrupt byte are
+    /// dropped and the file is rewritten — atomically — to its longest
+    /// valid prefix, so one bad tail never poisons future appends.
+    /// Valid records from *other* runs are preserved on disk but not
+    /// loaded.
+    pub fn open_dir(dir: &Path, run: RunKey) -> io::Result<CheckpointJournal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut buf = Vec::new();
+        match std::fs::File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut buf)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut entries = HashMap::new();
+        let valid_len = parse_records(&buf, run, &mut entries);
+        if valid_len != buf.len() {
+            // Drop the torn tail (or a foreign/corrupt header) by
+            // rewriting the longest valid prefix; write-temp-then-
+            // rename keeps the journal loadable even if *this* rewrite
+            // is itself interrupted.
+            let mut prefix = Vec::with_capacity(valid_len.max(MAGIC.len()));
+            if valid_len == 0 {
+                prefix.extend_from_slice(MAGIC);
+            } else {
+                prefix.extend_from_slice(&buf[..valid_len]);
+            }
+            odrc_infra::write_atomic(&path, &prefix)?;
+        } else if buf.is_empty() {
+            odrc_infra::write_atomic(&path, MAGIC)?;
+        }
+        let file = std::fs::OpenOptions::new().append(true).open(&path)?;
+        Ok(CheckpointJournal {
+            path,
+            run,
+            entries,
+            file,
+        })
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The run key this journal was opened for.
+    pub fn run_key(&self) -> RunKey {
+        self.run
+    }
+
+    /// Number of completed rules restored or recorded for this run.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no rule of this run has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The journaled canonical violations of the rule with signature
+    /// `rule_sig`, if that rule already completed under this run key.
+    pub fn completed(&self, rule_sig: u64) -> Option<&Arc<Vec<Violation>>> {
+        self.entries.get(&rule_sig).map(|(_, v)| v)
+    }
+
+    /// Names of the completed rules restored or recorded so far.
+    pub fn completed_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.entries.values().map(|(n, _)| n.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Appends one completed rule's canonical violation set and
+    /// flushes it to stable storage, so a kill immediately after still
+    /// finds the record on resume.
+    pub fn record(
+        &mut self,
+        rule_name: &str,
+        rule_sig: u64,
+        violations: &[Violation],
+    ) -> io::Result<()> {
+        let mut rec = Vec::with_capacity(36 + rule_name.len() + violations.len() * ENTRY_BYTES);
+        rec.extend_from_slice(&self.run.deck_sig.to_le_bytes());
+        rec.extend_from_slice(&self.run.layout_hash.to_le_bytes());
+        rec.extend_from_slice(&rule_sig.to_le_bytes());
+        rec.extend_from_slice(&(rule_name.len() as u32).to_le_bytes());
+        rec.extend_from_slice(rule_name.as_bytes());
+        rec.extend_from_slice(&(violations.len() as u32).to_le_bytes());
+        for v in violations {
+            rec.push(kind_to_u8(v.kind));
+            for c in [
+                v.location.lo().x,
+                v.location.lo().y,
+                v.location.hi().x,
+                v.location.hi().y,
+            ] {
+                rec.extend_from_slice(&c.to_le_bytes());
+            }
+            rec.extend_from_slice(&v.measured.to_le_bytes());
+        }
+        let checksum = Sig::new().bytes(&rec).0;
+        rec.extend_from_slice(&checksum.to_le_bytes());
+        self.file.write_all(&rec)?;
+        self.file.sync_data()?;
+        let restored = violations
+            .iter()
+            .map(|v| Violation {
+                rule: rule_name.to_string(),
+                ..v.clone()
+            })
+            .collect();
+        self.entries
+            .insert(rule_sig, (rule_name.to_string(), Arc::new(restored)));
+        Ok(())
+    }
+}
+
+/// Parses the journal body, filling `entries` with records matching
+/// `run`, and returns the byte length of the longest valid prefix
+/// (0 if even the magic header is wrong).
+fn parse_records(
+    buf: &[u8],
+    run: RunKey,
+    entries: &mut HashMap<u64, (String, Arc<Vec<Violation>>)>,
+) -> usize {
+    let mut r = ByteReader { buf, pos: 0 };
+    match r.take(MAGIC.len()) {
+        Ok(m) if m == MAGIC => {}
+        _ => return 0,
+    }
+    let mut valid = r.pos;
+    while r.remaining() > 0 {
+        match parse_one_record(&mut r) {
+            Ok((key, rule_sig, name, violations)) => {
+                valid = r.pos;
+                if key == run {
+                    entries.insert(rule_sig, (name, Arc::new(violations)));
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    valid
+}
+
+/// Parses one record (including checksum verification) starting at the
+/// reader's position. On error the reader position is unspecified; the
+/// caller falls back to the last known-good offset.
+fn parse_one_record(r: &mut ByteReader<'_>) -> io::Result<(RunKey, u64, String, Vec<Violation>)> {
+    let start = r.pos;
+    let key = RunKey {
+        deck_sig: r.u64()?,
+        layout_hash: r.u64()?,
+    };
+    let rule_sig = r.u64()?;
+    let name_len = r.u32()? as usize;
+    let name = std::str::from_utf8(r.take(name_len)?)
+        .map_err(|_| bad_data())?
+        .to_string();
+    let count = r.u32()? as usize;
+    // Never trust an untrusted length for pre-allocation: cap it by
+    // what the remaining bytes could actually encode.
+    let mut violations = Vec::with_capacity(count.min(r.remaining() / ENTRY_BYTES));
+    for _ in 0..count {
+        let kind = kind_from_u8(r.u8()?).ok_or_else(bad_data)?;
+        let (x0, y0) = (r.i32()?, r.i32()?);
+        let (x1, y1) = (r.i32()?, r.i32()?);
+        let measured = r.i64()?;
+        violations.push(Violation {
+            rule: name.clone(),
+            kind,
+            location: Rect::from_coords(x0, y0, x1, y1),
+            measured,
+        });
+    }
+    let body_end = r.pos;
+    let stored = r.u64()?;
+    if Sig::new().bytes(&r.buf[start..body_end]).0 != stored {
+        return Err(bad_data());
+    }
+    Ok((key, rule_sig, name, violations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::violation::ViolationKind;
+    use odrc_geometry::Rect;
+
+    fn run_key(a: u64, b: u64) -> RunKey {
+        RunKey {
+            deck_sig: a,
+            layout_hash: b,
+        }
+    }
+
+    fn violation(rule: &str, x: i32) -> Violation {
+        Violation {
+            rule: rule.to_string(),
+            kind: ViolationKind::Space,
+            location: Rect::from_coords(x, 0, x + 3, 3),
+            measured: i64::from(x),
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_completed_rules() {
+        let dir = tempdir("jnl-roundtrip");
+        let key = run_key(11, 22);
+        {
+            let mut j = CheckpointJournal::open_dir(&dir, key).expect("open");
+            assert!(j.is_empty());
+            j.record("M1.S", 101, &[violation("M1.S", 4), violation("M1.S", 9)])
+                .expect("record");
+            j.record("M2.W", 202, &[]).expect("record");
+            assert_eq!(j.len(), 2);
+        }
+        let j = CheckpointJournal::open_dir(&dir, key).expect("reopen");
+        assert_eq!(j.len(), 2);
+        assert_eq!(
+            j.completed(101).expect("M1.S journaled").as_slice(),
+            &[violation("M1.S", 4), violation("M1.S", 9)]
+        );
+        assert!(j.completed(202).expect("M2.W journaled").is_empty());
+        assert_eq!(j.completed(303), None);
+        assert_eq!(j.completed_names(), ["M1.S", "M2.W"]);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_prefix_survives() {
+        let dir = tempdir("jnl-torn");
+        let key = run_key(1, 2);
+        {
+            let mut j = CheckpointJournal::open_dir(&dir, key).expect("open");
+            j.record("A", 1, &[violation("A", 1)]).expect("record");
+            j.record("B", 2, &[violation("B", 2)]).expect("record");
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = std::fs::read(&path).expect("read journal");
+        // Tear the file mid-way through the last record.
+        let torn = &bytes[..bytes.len() - 5];
+        std::fs::write(&path, torn).expect("tear");
+        let j = CheckpointJournal::open_dir(&dir, key).expect("lenient open");
+        assert_eq!(j.len(), 1, "record B's torn tail must be dropped");
+        assert!(j.completed(1).is_some());
+        assert_eq!(j.completed(2), None);
+        // The rewrite healed the file: reopening parses it fully.
+        let j = CheckpointJournal::open_dir(&dir, key).expect("reopen healed");
+        assert_eq!(j.len(), 1);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_is_rejected_by_checksum() {
+        let dir = tempdir("jnl-corrupt");
+        let key = run_key(7, 7);
+        {
+            let mut j = CheckpointJournal::open_dir(&dir, key).expect("open");
+            j.record("A", 1, &[violation("A", 1)]).expect("record");
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = MAGIC.len() + 30;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let j = CheckpointJournal::open_dir(&dir, key).expect("lenient open");
+        assert!(j.is_empty(), "flipped bit must invalidate the record");
+        // Appending after healing works.
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn wrong_run_key_is_invisible_but_preserved() {
+        let dir = tempdir("jnl-runkey");
+        let old = run_key(1, 1);
+        {
+            let mut j = CheckpointJournal::open_dir(&dir, old).expect("open");
+            j.record("A", 1, &[violation("A", 1)]).expect("record");
+        }
+        // A run against an edited layout sees nothing...
+        let j = CheckpointJournal::open_dir(&dir, run_key(1, 99)).expect("open new");
+        assert!(j.is_empty());
+        drop(j);
+        // ...but the old run's record is still on disk.
+        let j = CheckpointJournal::open_dir(&dir, old).expect("reopen old");
+        assert_eq!(j.len(), 1);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn garbage_file_heals_to_empty_journal() {
+        let dir = tempdir("jnl-garbage");
+        let path = dir.join(JOURNAL_FILE);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(&path, b"not a journal at all").expect("write garbage");
+        let key = run_key(3, 4);
+        {
+            let mut j = CheckpointJournal::open_dir(&dir, key).expect("open");
+            assert!(j.is_empty());
+            j.record("A", 1, &[]).expect("record after heal");
+        }
+        let j = CheckpointJournal::open_dir(&dir, key).expect("reopen");
+        assert_eq!(j.len(), 1);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn rerecorded_rule_takes_latest() {
+        let dir = tempdir("jnl-latest");
+        let key = run_key(5, 6);
+        {
+            let mut j = CheckpointJournal::open_dir(&dir, key).expect("open");
+            j.record("A", 1, &[violation("A", 1)]).expect("record");
+            j.record("A", 1, &[violation("A", 2)]).expect("re-record");
+        }
+        let j = CheckpointJournal::open_dir(&dir, key).expect("reopen");
+        assert_eq!(j.completed(1).expect("A").as_slice(), &[violation("A", 2)]);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn run_key_tracks_deck_and_layout_content() {
+        use crate::rules::rule;
+        let design = odrc_layoutgen::generate(&odrc_layoutgen::DesignSpec::tiny(42));
+        let layout = Layout::from_library(&design.library).expect("layout");
+        let mut deck = RuleDeck::default();
+        deck.add_rules([rule().layer(1).width().greater_than(10)]);
+        let a = RunKey::compute(&layout, &deck);
+        let b = RunKey::compute(&layout, &deck);
+        assert_eq!(a, b, "run key is deterministic");
+        let mut deck2 = RuleDeck::default();
+        deck2.add_rules([rule().layer(1).width().greater_than(12)]);
+        assert_ne!(
+            a,
+            RunKey::compute(&layout, &deck2),
+            "editing the deck changes the key"
+        );
+        let mut deck3 = RuleDeck::default();
+        deck3.add_rules([
+            rule().layer(1).width().greater_than(10),
+            rule().polygons().ensures("named", |p| p.name.is_some()),
+        ]);
+        assert_ne!(
+            a,
+            RunKey::compute(&layout, &deck3),
+            "unsignable rules still shape deck identity"
+        );
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("odrc-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cleanup(dir: &Path) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -49,6 +49,11 @@ pub enum ParseDeckErrorKind {
     },
     /// A token is not of `key=value` form or the key is not recognized.
     UnknownKey(String),
+    /// Two rules resolved to the same name (explicit `name=` or the
+    /// derived default). Rule names key per-rule reporting and the
+    /// checkpoint journal's resume bookkeeping, so a deck must name
+    /// each rule uniquely.
+    DuplicateRuleName(String),
 }
 
 impl fmt::Display for ParseDeckError {
@@ -61,6 +66,13 @@ impl fmt::Display for ParseDeckError {
                 write!(f, "invalid value '{value}' for key '{key}'")
             }
             ParseDeckErrorKind::UnknownKey(t) => write!(f, "unrecognized token '{t}'"),
+            ParseDeckErrorKind::DuplicateRuleName(n) => {
+                write!(
+                    f,
+                    "duplicate rule name '{n}' (rule names must be unique; \
+                     use name= to disambiguate)"
+                )
+            }
         }
     }
 }
@@ -228,6 +240,12 @@ pub fn parse_deck(text: &str) -> Result<RuleDeck, ParseDeckError> {
         if let Some(name) = args.name {
             r = r.named(name);
         }
+        if rules.iter().any(|prev| prev.name == r.name) {
+            return Err(ParseDeckError {
+                line: line_no,
+                kind: ParseDeckErrorKind::DuplicateRuleName(r.name),
+            });
+        }
         rules.push(r);
     }
     Ok(RuleDeck::new(rules))
@@ -309,6 +327,42 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("line 1"));
         assert!(text.contains("min"));
+    }
+
+    #[test]
+    fn duplicate_explicit_names_rejected() {
+        let err = parse_deck(
+            "width layer=19 min=18 name=M1.W.1\n\
+             space layer=20 min=20 name=M1.W.1\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2, "the second occurrence is the offender");
+        assert_eq!(
+            err.kind,
+            ParseDeckErrorKind::DuplicateRuleName("M1.W.1".to_owned())
+        );
+        let text = err.to_string();
+        assert!(text.contains("duplicate rule name 'M1.W.1'"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_default_names_rejected() {
+        // Two unnamed space rules on the same layer derive the same
+        // default name — ambiguous for reporting and resume.
+        let err = parse_deck(
+            "space layer=20 min=20\n\
+             space layer=20 min=30\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseDeckErrorKind::DuplicateRuleName(_)));
+        // Disambiguating with name= fixes it.
+        let deck = parse_deck(
+            "space layer=20 min=20\n\
+             space layer=20 min=30 name=L20.S.2\n",
+        )
+        .unwrap();
+        assert_eq!(deck.rules().len(), 2);
     }
 
     /// One malformed line per selector kind, each prefixed by a valid

@@ -87,6 +87,8 @@ impl DeltaCheckReport {
             violations: self.violations,
             profile: self.profile,
             stats: self.stats,
+            interrupted: None,
+            rule_status: Vec::new(),
         }
     }
 }

@@ -1,14 +1,15 @@
 //! The engine controller (the paper's "application layer", §V-A).
 
 use odrc_db::Layout;
-use odrc_infra::Profiler;
+use odrc_infra::{CancelReason, CancelToken, Profiler};
 use odrc_xpu::Device;
 
-use crate::cache::{CacheHandle, CacheKeys, ResultCache};
+use crate::cache::{rule_signature, CacheHandle, CacheKeys, ResultCache};
+use crate::checkpoint::CheckpointJournal;
 use crate::parallel;
 use crate::rules::{Rule, RuleDeck, RuleKind};
 use crate::sequential::{self, RunContext};
-use crate::violation::Violation;
+use crate::violation::{canonicalize, Violation};
 
 /// Execution mode of the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +100,30 @@ impl EngineOptions {
     }
 }
 
+/// How one rule of the deck fared in a (possibly interrupted) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleStatus {
+    /// The rule ran to completion this run.
+    Completed,
+    /// The rule was restored from a checkpoint journal without
+    /// re-checking.
+    Resumed,
+    /// The run was cancelled before the rule finished; it contributed
+    /// **no** violations (partial results are discarded so a resumed
+    /// run stays byte-identical to an uninterrupted one).
+    Interrupted,
+}
+
+impl std::fmt::Display for RuleStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RuleStatus::Completed => "completed",
+            RuleStatus::Resumed => "resumed",
+            RuleStatus::Interrupted => "interrupted",
+        })
+    }
+}
+
 /// Work accounting for a check run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -132,6 +157,12 @@ pub struct EngineStats {
     pub host_tasks: u64,
     /// Successful work steals between host-executor workers.
     pub host_steals: u64,
+    /// Rules that ran to completion this run.
+    pub rules_completed: usize,
+    /// Rules restored from a checkpoint journal instead of re-running.
+    pub rules_resumed: usize,
+    /// Rules the run was cancelled out of (they contributed nothing).
+    pub rules_interrupted: usize,
 }
 
 impl EngineStats {
@@ -151,6 +182,13 @@ pub struct CheckReport {
     pub profile: Profiler,
     /// Work accounting.
     pub stats: EngineStats,
+    /// `Some(reason)` when the run was cancelled (signal or deadline)
+    /// before every rule finished. [`CheckReport::violations`] then
+    /// covers only the rules marked [`RuleStatus::Completed`] or
+    /// [`RuleStatus::Resumed`].
+    pub interrupted: Option<CancelReason>,
+    /// Per-rule completion status, in deck order.
+    pub rule_status: Vec<(String, RuleStatus)>,
 }
 
 impl CheckReport {
@@ -181,6 +219,7 @@ pub struct Engine {
     pub(crate) mode: Mode,
     pub(crate) options: EngineOptions,
     pub(crate) device: Device,
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl Default for Engine {
@@ -196,6 +235,7 @@ impl Engine {
             mode: Mode::Sequential,
             options: EngineOptions::default(),
             device: Device::new(1),
+            cancel: None,
         }
     }
 
@@ -210,6 +250,7 @@ impl Engine {
             mode: Mode::Parallel,
             options: EngineOptions::default(),
             device,
+            cancel: None,
         }
     }
 
@@ -217,6 +258,20 @@ impl Engine {
     #[must_use]
     pub fn with_options(mut self, options: EngineOptions) -> Engine {
         self.options = options;
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`]. While a check runs, the
+    /// engine polls the token at every rule boundary (and the deferred
+    /// recovery drain between units): once it trips — SIGINT/SIGTERM
+    /// via [`odrc_infra::install_signal_handlers`], a wall-clock
+    /// deadline, or an explicit [`CancelToken::cancel`] — the engine
+    /// stops issuing new rules, drains in-flight device work, marks
+    /// unfinished rules [`RuleStatus::Interrupted`], and returns a
+    /// report with [`CheckReport::interrupted`] set.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Engine {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -236,7 +291,34 @@ impl Engine {
     /// integration tests assert this equivalence on every generated
     /// design.
     pub fn check(&self, layout: &Layout, deck: &RuleDeck) -> CheckReport {
-        self.check_impl(layout, deck, None)
+        self.check_impl(layout, deck, None, None)
+    }
+
+    /// [`Engine::check`] with run-level resilience hooks: an optional
+    /// persistent result cache (as in [`Engine::check_with_cache`]) and
+    /// an optional [`CheckpointJournal`]. With a journal, each rule's
+    /// canonical violations are appended as the rule completes, and
+    /// rules the journal already holds (under the same layout/deck run
+    /// key) are *restored* instead of re-checked — counted in
+    /// [`EngineStats::rules_resumed`]. Combined with
+    /// [`Engine::with_cancel`] this is the kill/resume path: an
+    /// interrupted run's journal lets the next run pick up where it
+    /// stopped, with a final violation set byte-identical to an
+    /// uninterrupted run.
+    pub fn check_resumable(
+        &self,
+        layout: &Layout,
+        deck: &RuleDeck,
+        cache: Option<&mut ResultCache>,
+        journal: Option<&mut CheckpointJournal>,
+    ) -> CheckReport {
+        match cache {
+            Some(cache) => {
+                let keys = CacheKeys::compute(layout);
+                self.check_impl(layout, deck, Some((cache, &keys)), journal)
+            }
+            None => self.check_impl(layout, deck, None, journal),
+        }
     }
 
     /// Like [`Engine::check`], but backed by a persistent result cache:
@@ -250,7 +332,7 @@ impl Engine {
         cache: &mut ResultCache,
     ) -> CheckReport {
         let keys = CacheKeys::compute(layout);
-        self.check_impl(layout, deck, Some((cache, &keys)))
+        self.check_impl(layout, deck, Some((cache, &keys)), None)
     }
 
     /// [`Engine::check_with_cache`] with precomputed content keys —
@@ -263,7 +345,7 @@ impl Engine {
         deck: &RuleDeck,
         cache: &mut ResultCache,
     ) -> CheckReport {
-        self.check_impl(layout, deck, Some((cache, keys)))
+        self.check_impl(layout, deck, Some((cache, keys)), None)
     }
 
     pub(crate) fn check_impl(
@@ -271,24 +353,69 @@ impl Engine {
         layout: &Layout,
         deck: &RuleDeck,
         cache: Option<(&mut ResultCache, &CacheKeys)>,
+        mut journal: Option<&mut CheckpointJournal>,
     ) -> CheckReport {
         let mut profiler = Profiler::new();
         let mut stats = EngineStats::default();
-        let mut violations = Vec::new();
+        let rules = deck.rules();
+        // One buffer per rule so completed rules can be journaled (and
+        // interrupted rules' partials discarded) independently.
+        let mut per_rule: Vec<Vec<Violation>> = vec![Vec::new(); rules.len()];
+        // Rules start Interrupted: every path that finishes a rule
+        // upgrades it, so a cancelled run reports exactly the rules it
+        // never finished without extra bookkeeping.
+        let mut status = vec![RuleStatus::Interrupted; rules.len()];
+        // Rules whose collect ran (parallel mode): they are candidates
+        // for finalization once their deferred recovery units drain.
+        let mut collected = vec![false; rules.len()];
+        let mut interrupted: Option<CancelReason> = None;
+        let violations;
         {
             let mut ctx = RunContext::new(layout, &self.options, &mut profiler, &mut stats);
             if let Some((cache, keys)) = cache {
                 ctx = ctx.with_cache(CacheHandle { cache, keys });
+            }
+            // Restore rules the journal already holds for this exact
+            // (layout, deck) run: they are never re-issued.
+            if let Some(j) = journal.as_deref_mut() {
+                for (ri, rule) in rules.iter().enumerate() {
+                    if let Some(done) = rule_signature(rule).and_then(|sig| j.completed(sig)) {
+                        per_rule[ri] = done.as_ref().clone();
+                        status[ri] = RuleStatus::Resumed;
+                        ctx.stats.rules_resumed += 1;
+                    }
+                }
             }
             // The pool-sizing handshake: while this run is live, kernel
             // dispatch draws its spawned threads from the host
             // executor's gate (None when the executor is serial, which
             // restores the ungated pre-existing pool).
             self.device.set_host_gate(ctx.host.gate());
+            // The cancellation handshake: the device births poisoned
+            // streams after the token trips (so stale retries fail
+            // fast) and the host executor stops work-stealing (every
+            // queued task still runs exactly once, keeping merges
+            // deterministic).
+            self.device.set_cancel(self.cancel.clone());
+            ctx.host.set_cancel(self.cancel.clone());
             match self.mode {
                 Mode::Sequential => {
-                    for rule in deck.rules() {
-                        self.run_sequential(&mut ctx, rule, &mut violations);
+                    for (ri, rule) in rules.iter().enumerate() {
+                        if status[ri] == RuleStatus::Resumed {
+                            continue;
+                        }
+                        poll_cancel(&self.cancel, &mut interrupted);
+                        if interrupted.is_some() {
+                            continue;
+                        }
+                        self.run_sequential(&mut ctx, rule, &mut per_rule[ri]);
+                        finalize_rule(
+                            &mut ctx,
+                            &mut journal,
+                            rule,
+                            &mut per_rule[ri],
+                            &mut status[ri],
+                        );
                     }
                 }
                 Mode::Parallel => {
@@ -311,51 +438,157 @@ impl Engine {
                             .profiler
                             .time("plan", || crate::plan::ExecutionPlan::build(deck));
                         let window = ctx.host.threads().clamp(2, 8);
-                        let mut inflight = std::collections::VecDeque::with_capacity(window);
+                        let mut inflight: std::collections::VecDeque<(
+                            usize,
+                            parallel::InFlightRule,
+                        )> = std::collections::VecDeque::with_capacity(window);
                         for &ri in &plan.order {
+                            if status[ri] == RuleStatus::Resumed {
+                                continue;
+                            }
+                            // Cancellation stops *issuing*; whatever is
+                            // already in flight is still collected below
+                            // (drain, don't abandon, device work).
+                            poll_cancel(&self.cancel, &mut interrupted);
+                            if interrupted.is_some() {
+                                continue;
+                            }
                             if inflight.len() >= window {
-                                let fl = inflight.pop_front().expect("window is non-empty");
-                                parallel::collect_rule(&mut ctx, fl, &mut violations);
+                                let (ci, fl) = inflight.pop_front().expect("window is non-empty");
+                                parallel::collect_rule(&mut ctx, fl, &mut per_rule[ci]);
+                                collected[ci] = true;
+                                maybe_finalize(
+                                    &mut ctx,
+                                    &mut journal,
+                                    rules,
+                                    ci,
+                                    &mut per_rule,
+                                    &mut status,
+                                );
                             }
                             let stream = self.device.stream();
-                            inflight.push_back(parallel::issue_rule(
-                                &mut ctx,
-                                stream,
-                                &deck.rules()[ri],
+                            inflight.push_back((
+                                ri,
+                                parallel::issue_rule(&mut ctx, stream, &rules[ri]),
                             ));
                         }
-                        for fl in inflight {
-                            parallel::collect_rule(&mut ctx, fl, &mut violations);
+                        for (ci, fl) in inflight {
+                            parallel::collect_rule(&mut ctx, fl, &mut per_rule[ci]);
+                            collected[ci] = true;
+                            maybe_finalize(
+                                &mut ctx,
+                                &mut journal,
+                                rules,
+                                ci,
+                                &mut per_rule,
+                                &mut status,
+                            );
                         }
                     } else {
                         // Ablation / equivalence baseline: the strict
                         // per-rule loop with a synchronize between
                         // rules.
-                        for rule in deck.rules() {
+                        for (ri, rule) in rules.iter().enumerate() {
+                            if status[ri] == RuleStatus::Resumed {
+                                continue;
+                            }
+                            poll_cancel(&self.cancel, &mut interrupted);
+                            if interrupted.is_some() {
+                                continue;
+                            }
                             let stream = self.device.stream();
                             let fl = parallel::issue_rule(&mut ctx, stream, rule);
-                            parallel::collect_rule(&mut ctx, fl, &mut violations);
+                            parallel::collect_rule(&mut ctx, fl, &mut per_rule[ri]);
+                            collected[ri] = true;
+                            maybe_finalize(
+                                &mut ctx,
+                                &mut journal,
+                                rules,
+                                ri,
+                                &mut per_rule,
+                                &mut status,
+                            );
                         }
                     }
                     // Failed work units were deferred so healthy rules
                     // could keep draining; retry them (with backoff
-                    // deadlines) or fall back to the host now.
-                    parallel::drain_recovery(&mut ctx, &self.device, &mut violations);
+                    // deadlines) or fall back to the host now. Under
+                    // cancellation the queue is abandoned instead and
+                    // the affected rules downgraded to Interrupted.
+                    let by_name = rule_indices_by_name(rules);
+                    let abandoned = {
+                        let per_rule = &mut per_rule;
+                        parallel::drain_recovery_routed(
+                            &mut ctx,
+                            &self.device,
+                            self.cancel.as_ref(),
+                            &mut |name, vs| {
+                                if let Some(&ri) = by_name.get(name) {
+                                    per_rule[ri].extend(vs);
+                                }
+                            },
+                        )
+                    };
+                    if !abandoned.is_empty() {
+                        poll_cancel(&self.cancel, &mut interrupted);
+                    }
+                    // Rules whose deferred recovery units all drained
+                    // are now final: canonicalize and journal them.
+                    // Abandoned rules stay Interrupted — their partial
+                    // results are discarded below.
+                    for (ri, rule) in rules.iter().enumerate() {
+                        if collected[ri]
+                            && status[ri] == RuleStatus::Interrupted
+                            && !abandoned.iter().any(|n| n == &rule.name)
+                        {
+                            finalize_rule(
+                                &mut ctx,
+                                &mut journal,
+                                rule,
+                                &mut per_rule[ri],
+                                &mut status[ri],
+                            );
+                        }
+                    }
                 }
             }
+            // A cancelled rule must contribute nothing: partial sets
+            // would make an interrupted+resumed run diverge from an
+            // uninterrupted one.
+            for (ri, st) in status.iter().enumerate() {
+                if *st == RuleStatus::Interrupted {
+                    per_rule[ri].clear();
+                }
+            }
+            ctx.stats.rules_interrupted = status
+                .iter()
+                .filter(|s| **s == RuleStatus::Interrupted)
+                .count();
             violations = {
+                let all: Vec<Violation> = per_rule.into_iter().flatten().collect();
                 let host = std::sync::Arc::clone(&ctx.host);
-                crate::violation::canonicalize_on(&host, violations)
+                crate::violation::canonicalize_on(&host, all)
             };
             ctx.stats.host_tasks += ctx.host.tasks();
             ctx.stats.host_steals += ctx.host.steals();
             ctx.host.drain_utilization_into(ctx.profiler);
             self.device.set_host_gate(None);
+            self.device.set_cancel(None);
+            ctx.host.set_cancel(None);
+        }
+        // Safety net: an abandoned drain can interrupt rules even when
+        // every boundary poll passed beforehand; report it faithfully.
+        if interrupted.is_none() && status.contains(&RuleStatus::Interrupted) {
+            if let Some(tok) = &self.cancel {
+                interrupted = tok.cancelled();
+            }
         }
         CheckReport {
             violations,
             profile: profiler,
             stats,
+            interrupted,
+            rule_status: rules.iter().map(|r| r.name.clone()).zip(status).collect(),
         }
     }
 
@@ -388,4 +621,68 @@ impl Engine {
             _ => sequential::check_intra_rule(ctx, rule, out),
         }
     }
+}
+
+/// Latches the first cancellation reason observed at a rule boundary.
+/// Polling stops once a reason is recorded, so a token's deterministic
+/// poll budget (used by the kill/resume tests) is consumed only while
+/// the run is still live.
+fn poll_cancel(cancel: &Option<CancelToken>, interrupted: &mut Option<CancelReason>) {
+    if interrupted.is_none() {
+        if let Some(tok) = cancel {
+            *interrupted = tok.cancelled();
+        }
+    }
+}
+
+/// Marks one rule completed: canonicalizes its buffer in place, tallies
+/// it, and appends it to the checkpoint journal (if any). A journal
+/// write failure disables checkpointing for the rest of the run — a
+/// checkpoint is an accelerator, never a reason to abort a check.
+fn finalize_rule(
+    ctx: &mut RunContext<'_>,
+    journal: &mut Option<&mut CheckpointJournal>,
+    rule: &Rule,
+    buf: &mut Vec<Violation>,
+    status: &mut RuleStatus,
+) {
+    *buf = canonicalize(std::mem::take(buf));
+    *status = RuleStatus::Completed;
+    ctx.stats.rules_completed += 1;
+    if let Some(j) = journal.as_deref_mut() {
+        if let Some(sig) = rule_signature(rule) {
+            if let Err(e) = j.record(&rule.name, sig, buf) {
+                eprintln!(
+                    "odrc: warning: checkpoint journal write failed ({e}); checkpointing disabled"
+                );
+                *journal = None;
+            }
+        }
+    }
+}
+
+/// Finalizes a just-collected rule unless it still has work parked in
+/// the deferred recovery queue — those rules are finalized (or
+/// abandoned) after the drain.
+fn maybe_finalize(
+    ctx: &mut RunContext<'_>,
+    journal: &mut Option<&mut CheckpointJournal>,
+    rules: &[Rule],
+    ri: usize,
+    per_rule: &mut [Vec<Violation>],
+    status: &mut [RuleStatus],
+) {
+    if !parallel::recovery_pending_for(ctx, &rules[ri].name) {
+        finalize_rule(ctx, journal, &rules[ri], &mut per_rule[ri], &mut status[ri]);
+    }
+}
+
+/// Name → deck index, first occurrence winning, for routing recovered
+/// violations and abandoned-rule names back to per-rule buffers.
+fn rule_indices_by_name(rules: &[Rule]) -> std::collections::HashMap<&str, usize> {
+    let mut map = std::collections::HashMap::new();
+    for (ri, rule) in rules.iter().enumerate() {
+        map.entry(rule.name.as_str()).or_insert(ri);
+    }
+    map
 }

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod cache;
+pub mod checkpoint;
 pub mod checks;
 pub mod deck_parser;
 pub mod delta;
@@ -59,9 +60,11 @@ pub mod sequential;
 pub mod violation;
 
 pub use cache::{rule_signature, CacheKeys, ResultCache, CACHE_FILE};
+pub use checkpoint::{CheckpointJournal, RunKey, JOURNAL_FILE};
 pub use deck_parser::{parse_deck, ParseDeckError, ParseDeckErrorKind};
 pub use delta::{dirty_rects, DeltaReport};
-pub use engine::{CheckReport, Engine, EngineOptions, EngineStats, Mode, PairIndex};
+pub use engine::{CheckReport, Engine, EngineOptions, EngineStats, Mode, PairIndex, RuleStatus};
+pub use odrc_infra::{install_signal_handlers, CancelReason, CancelToken};
 pub use plan::ExecutionPlan;
 pub use rules::{rule, Rule, RuleDeck, RuleKind};
 pub use violation::{canonicalize, Violation, ViolationKind};

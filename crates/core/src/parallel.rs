@@ -638,6 +638,25 @@ enum RecoveryWork {
     },
 }
 
+/// Whether the deferred recovery queue still holds work for `rule` —
+/// the engine defers finalizing (and checkpointing) such rules until
+/// the drain settles them.
+pub(crate) fn recovery_pending_for(ctx: &RunContext<'_>, rule: &str) -> bool {
+    ctx.recovery.iter().any(|u| u.work.rule_name() == rule)
+}
+
+impl RecoveryWork {
+    /// Name of the rule this unit belongs to, for routing recovered
+    /// violations back to their per-rule buffer.
+    fn rule_name(&self) -> &str {
+        match self {
+            RecoveryWork::SpaceRow { rule_name, .. }
+            | RecoveryWork::Intra { rule_name, .. }
+            | RecoveryWork::Pairs { rule_name, .. } => rule_name,
+        }
+    }
+}
+
 /// A recovered unit's raw result, device attempt or host fallback —
 /// identical either way by construction.
 enum Recovered {
@@ -813,21 +832,51 @@ fn emit_recovered(
 /// [`EngineStats::device_retries`]: crate::EngineStats::device_retries
 /// [`EngineStats::device_fallbacks`]: crate::EngineStats::device_fallbacks
 pub(crate) fn drain_recovery(ctx: &mut RunContext<'_>, device: &Device, out: &mut Vec<Violation>) {
+    let abandoned = drain_recovery_routed(ctx, device, None, &mut |_, mut v| out.append(&mut v));
+    debug_assert!(abandoned.is_empty(), "uncancellable drain never abandons");
+}
+
+/// [`drain_recovery`] with two lifecycle hooks the engine's resilient
+/// paths need:
+///
+/// * recovered violations are *routed* per rule (the `route` sink gets
+///   `(rule name, violations)` batches) so they land in per-rule
+///   buffers for checkpointing instead of one flat output, and
+/// * an optional [`CancelToken`] is observed between units: once it
+///   trips, the remaining queue is **abandoned** — no more device
+///   attempts, no host fallbacks — and the affected rules' names are
+///   returned (sorted, deduplicated) so the engine can mark them
+///   interrupted rather than silently under-reporting.
+///
+/// [`CancelToken`]: odrc_infra::CancelToken
+pub(crate) fn drain_recovery_routed(
+    ctx: &mut RunContext<'_>,
+    device: &Device,
+    cancel: Option<&odrc_infra::CancelToken>,
+    route: &mut dyn FnMut(&str, Vec<Violation>),
+) -> Vec<String> {
     if ctx.recovery.is_empty() {
-        return;
+        return Vec::new();
     }
+    let tripped = |c: Option<&odrc_infra::CancelToken>| c.is_some_and(|t| t.is_cancelled());
     let max_retries = ctx.options.max_device_retries;
     let mut queue = std::mem::take(&mut ctx.recovery);
     let mut deferred = Vec::new();
-    while !queue.is_empty() {
+    while !queue.is_empty() && !tripped(cancel) {
         let now = std::time::Instant::now();
         let mut progressed = false;
         for mut unit in queue.drain(..) {
+            if tripped(cancel) {
+                deferred.push(unit);
+                continue;
+            }
             if unit.attempts >= max_retries {
                 // Exhausted (or retries disabled): host fallback.
                 ctx.stats.device_fallbacks += 1;
                 let recovered = recovery_fallback(&unit.work);
-                emit_recovered(ctx, &unit.work, recovered, out);
+                let mut scratch = Vec::new();
+                emit_recovered(ctx, &unit.work, recovered, &mut scratch);
+                route(unit.work.rule_name(), scratch);
                 progressed = true;
                 continue;
             }
@@ -840,7 +889,9 @@ pub(crate) fn drain_recovery(ctx: &mut RunContext<'_>, device: &Device, out: &mu
             let fresh = device.stream();
             match recovery_attempt(&unit.work, &fresh) {
                 Ok(recovered) => {
-                    emit_recovered(ctx, &unit.work, recovered, out);
+                    let mut scratch = Vec::new();
+                    emit_recovered(ctx, &unit.work, recovered, &mut scratch);
+                    route(unit.work.rule_name(), scratch);
                     progressed = true;
                 }
                 Err(_) => {
@@ -854,7 +905,7 @@ pub(crate) fn drain_recovery(ctx: &mut RunContext<'_>, device: &Device, out: &mu
             }
         }
         std::mem::swap(&mut queue, &mut deferred);
-        if !progressed && !queue.is_empty() {
+        if !progressed && !queue.is_empty() && !tripped(cancel) {
             // Everything left is backing off; sleep only until the
             // earliest deadline (healthy work has already drained).
             let earliest = queue
@@ -868,6 +919,13 @@ pub(crate) fn drain_recovery(ctx: &mut RunContext<'_>, device: &Device, out: &mu
             }
         }
     }
+    let mut abandoned: Vec<String> = queue
+        .drain(..)
+        .map(|u| u.work.rule_name().to_string())
+        .collect();
+    abandoned.sort_unstable();
+    abandoned.dedup();
+    abandoned
 }
 
 fn make_violation(rule: &str, edges: &[PackedEdge], a: u32, b: u32, d2: i64) -> Violation {

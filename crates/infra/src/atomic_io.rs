@@ -1,0 +1,98 @@
+//! Crash-safe sidecar writes.
+//!
+//! The engine persists several sidecar files next to a run — the
+//! incremental result cache, the checkpoint journal, `--stats-json` —
+//! and every one of them may be written at the exact moment the process
+//! is killed (that is the *point* of checkpointing). A plain
+//! `File::create` + `write_all` leaves a truncated file on a mid-write
+//! kill, which a later run would then half-parse or discard wholesale.
+//!
+//! [`write_atomic`] routes all such writes through the standard
+//! write-temp-then-rename protocol: the bytes land in a sibling
+//! temporary file, are flushed, and the temp file is renamed over the
+//! destination. On POSIX filesystems `rename(2)` within one directory
+//! is atomic, so readers observe either the complete old file or the
+//! complete new file — never a torn one.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically (temp file + rename).
+///
+/// The temporary file is created in `path`'s parent directory (same
+/// filesystem, so the rename cannot degrade to a copy) and named after
+/// the destination plus a `.tmp.<pid>` suffix, so concurrent writers in
+/// different processes cannot collide on the staging file. On any
+/// error, the temp file is removed and the destination is untouched.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = staging_path(path);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // Make the rename publish a fully durable file: flush file
+        // contents before the new name becomes visible.
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// The sibling staging path used by [`write_atomic`] for `path`.
+fn staging_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_owned();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("odrc-atomic-io-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = temp_dir("rw");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_staging_file_left_behind() {
+        let dir = temp_dir("clean");
+        let path = dir.join("out.bin");
+        write_atomic(&path, &[0u8; 4096]).unwrap();
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(names, vec![std::ffi::OsString::from("out.bin")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_intact() {
+        let dir = temp_dir("fail");
+        let path = dir.join("out.txt");
+        write_atomic(&path, b"good").unwrap();
+        // Writing under a missing directory fails without touching the
+        // existing file.
+        let bad = dir.join("missing").join("out.txt");
+        assert!(write_atomic(&bad, b"bad").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"good");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -29,11 +29,54 @@
 //! (a task that launches a device sort) degrade to inline execution
 //! instead of oversubscribing the machine.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::cancel::CancelToken;
 use crate::profile::Profiler;
+
+/// A task panicked inside a [`HostExecutor`] fan-out.
+///
+/// Worker bodies run under `catch_unwind` (mirroring the xpu SPMD
+/// pool), so a panicking task fails the whole fan-out with this typed
+/// error instead of unwinding through the thread scope — which would
+/// skip the gate release and permanently shrink the shared thread
+/// budget ("poisoning" every later run down to inline execution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostPanic {
+    /// Phase label the fan-out was running under.
+    pub phase: String,
+    /// Index of the first (lowest-indexed) panicking task.
+    pub task: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for HostPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "host task {} panicked in phase '{}': {}",
+            self.task, self.phase, self.message
+        )
+    }
+}
+
+impl std::error::Error for HostPanic {}
+
+/// Stringifies a caught panic payload (same shape as the xpu pool's
+/// `panic_message`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
 
 /// A budget of *extra* threads, shared between the host executor and
 /// any other thread-spawning component (the simulated device's kernel
@@ -161,6 +204,14 @@ impl RangeDeque {
     }
 }
 
+/// What one worker brings back from a fan-out.
+struct WorkerResult<T> {
+    results: Vec<(usize, T)>,
+    busy: Duration,
+    /// First panicking task on this worker, if any.
+    panic: Option<(usize, String)>,
+}
+
 /// Per-phase utilization sample accumulated by [`HostExecutor::run`].
 struct UtilSample {
     phase: String,
@@ -183,6 +234,7 @@ struct UtilSample {
 pub struct HostExecutor {
     threads: usize,
     gate: Option<Arc<ThreadGate>>,
+    cancel: Mutex<Option<CancelToken>>,
     tasks: AtomicU64,
     steals: AtomicU64,
     util: Mutex<Vec<UtilSample>>,
@@ -206,10 +258,21 @@ impl HostExecutor {
         HostExecutor {
             threads,
             gate: (threads > 1).then(|| Arc::new(ThreadGate::new(threads - 1))),
+            cancel: Mutex::new(None),
             tasks: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             util: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attaches (or clears) the run's cancel token. A cancelled token
+    /// makes workers stop *stealing*: every seeded task still executes
+    /// exactly once — the deterministic index-ordered merge is
+    /// unaffected — but load balancing stops, so an in-flight fan-out
+    /// winds down on the cheapest path instead of redistributing work
+    /// the run is about to discard.
+    pub fn set_cancel(&self, token: Option<CancelToken>) {
+        *self.cancel.lock().expect("cancel lock") = token;
     }
 
     /// The configured thread count.
@@ -241,19 +304,43 @@ impl HostExecutor {
 
     /// Runs tasks `0..n` of `f`, returning the results in index order.
     ///
+    /// Infallible wrapper over [`HostExecutor::try_run`]: a panicking
+    /// task re-raises the panic on the caller — but only *after* the
+    /// fan-out has wound down and the gate permits are back, so the
+    /// executor stays usable.
+    pub fn run<T, F>(&self, phase: &str, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        match self.try_run(phase, n, f) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs tasks `0..n` of `f`, returning the results in index order,
+    /// or a typed [`HostPanic`] if any task panicked.
+    ///
     /// Tasks are distributed over up to `threads` workers (the caller
     /// is worker 0; extra workers are scoped threads drawn from the
     /// gate) with rear-half stealing for load balance. `phase` labels
     /// the per-worker busy time accumulated for
     /// [`HostExecutor::drain_utilization_into`].
-    pub fn run<T, F>(&self, phase: &str, n: usize, f: F) -> Vec<T>
+    ///
+    /// Each task body runs under `catch_unwind`; on a panic the
+    /// affected worker stops claiming work, the other workers drain
+    /// normally, the gate permits are released, and the error reports
+    /// the lowest-indexed panicking task (deterministic regardless of
+    /// scheduling).
+    pub fn try_run<T, F>(&self, phase: &str, n: usize, f: F) -> Result<Vec<T>, HostPanic>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
         self.tasks.fetch_add(n as u64, Ordering::Relaxed);
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let want = self.threads.min(n);
         let extra = match (&self.gate, want) {
@@ -262,9 +349,22 @@ impl HostExecutor {
         };
         if extra == 0 {
             let start = Instant::now();
-            let out: Vec<T> = (0..n).map(&f).collect();
+            let mut out: Vec<T> = Vec::with_capacity(n);
+            for i in 0..n {
+                match std::panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(v) => out.push(v),
+                    Err(payload) => {
+                        self.note_util(phase, start.elapsed(), vec![start.elapsed()]);
+                        return Err(HostPanic {
+                            phase: phase.to_owned(),
+                            task: i,
+                            message: panic_message(payload),
+                        });
+                    }
+                }
+            }
             self.note_util(phase, start.elapsed(), vec![start.elapsed()]);
-            return out;
+            return Ok(out);
         }
         let workers = extra + 1;
 
@@ -276,40 +376,71 @@ impl HostExecutor {
         let deques = &deques;
         let f = &f;
         let steals = &self.steals;
-        let worker_loop = move |w: usize| -> (Vec<(usize, T)>, Duration) {
+        let cancel = self.cancel.lock().expect("cancel lock").clone();
+        let cancel = &cancel;
+        let worker_loop = move |w: usize| -> WorkerResult<T> {
             let mut local: Vec<(usize, T)> = Vec::new();
             let mut busy = Duration::ZERO;
             loop {
                 while let Some(i) = deques[w].pop_front() {
                     let t0 = Instant::now();
-                    local.push((i, f(i)));
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
+                        Ok(v) => local.push((i, v)),
+                        Err(payload) => {
+                            busy += t0.elapsed();
+                            return WorkerResult {
+                                results: local,
+                                busy,
+                                panic: Some((i, panic_message(payload))),
+                            };
+                        }
+                    }
                     busy += t0.elapsed();
                 }
+                // A cancelled run stops load balancing: every seeded
+                // task still runs exactly once (owners drain their own
+                // deques), but nothing is redistributed.
+                let stealing_allowed = cancel.as_ref().is_none_or(|t| !t.is_cancelled());
                 let mut refilled = false;
-                for off in 1..deques.len() {
-                    let victim = (w + off) % deques.len();
-                    if let Some(r) = deques[victim].steal_back() {
-                        steals.fetch_add(1, Ordering::Relaxed);
-                        deques[w].install(r);
-                        refilled = true;
-                        break;
+                if stealing_allowed {
+                    for off in 1..deques.len() {
+                        let victim = (w + off) % deques.len();
+                        if let Some(r) = deques[victim].steal_back() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            deques[w].install(r);
+                            refilled = true;
+                            break;
+                        }
                     }
                 }
                 if !refilled {
-                    return (local, busy);
+                    return WorkerResult {
+                        results: local,
+                        busy,
+                        panic: None,
+                    };
                 }
             }
         };
 
         let start = Instant::now();
-        let mut per_worker: Vec<(Vec<(usize, T)>, Duration)> = Vec::with_capacity(workers);
+        let mut per_worker: Vec<WorkerResult<T>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (1..workers)
                 .map(|w| scope.spawn(move || worker_loop(w)))
                 .collect();
             per_worker.push(worker_loop(0));
             for h in handles {
-                per_worker.push(h.join().expect("host worker panicked"));
+                match h.join() {
+                    Ok(r) => per_worker.push(r),
+                    // Unreachable in practice (the task body is caught),
+                    // but never let a join failure skip the gate release.
+                    Err(payload) => per_worker.push(WorkerResult {
+                        results: Vec::new(),
+                        busy: Duration::ZERO,
+                        panic: Some((usize::MAX, panic_message(payload))),
+                    }),
+                }
             }
         });
         let wall = start.elapsed();
@@ -317,21 +448,35 @@ impl HostExecutor {
             gate.release(extra);
         }
 
-        let busy: Vec<Duration> = per_worker.iter().map(|(_, b)| *b).collect();
+        let busy: Vec<Duration> = per_worker.iter().map(|r| r.busy).collect();
         self.note_util(phase, wall, busy);
+
+        // Deterministic failure: report the lowest-indexed panic no
+        // matter which worker hit it first.
+        if let Some((task, message)) = per_worker
+            .iter()
+            .filter_map(|r| r.panic.clone())
+            .min_by_key(|(i, _)| *i)
+        {
+            return Err(HostPanic {
+                phase: phase.to_owned(),
+                task,
+                message,
+            });
+        }
 
         // Deterministic merge: place every result by its task index.
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        for (results, _) in per_worker {
-            for (i, v) in results {
+        for r in per_worker {
+            for (i, v) in r.results {
                 debug_assert!(slots[i].is_none(), "task {i} claimed twice");
                 slots[i] = Some(v);
             }
         }
-        slots
+        Ok(slots
             .into_iter()
             .map(|s| s.expect("every task index claimed exactly once"))
-            .collect()
+            .collect())
     }
 
     fn note_util(&self, phase: &str, wall: Duration, busy: Vec<Duration>) {
@@ -463,6 +608,91 @@ mod tests {
         let mut prof2 = Profiler::new();
         host.drain_utilization_into(&mut prof2);
         assert!(prof2.host_util().is_empty());
+    }
+
+    #[test]
+    fn panicking_task_fails_with_typed_error_and_keeps_pool() {
+        let host = HostExecutor::new(4);
+        let gate = host.gate().expect("parallel executor has a gate");
+        let err = host
+            .try_run("t", 64, |i| {
+                if i == 17 {
+                    panic!("task {i} exploded");
+                }
+                i
+            })
+            .expect_err("task 17 panics");
+        assert_eq!(err.task, 17);
+        assert_eq!(err.phase, "t");
+        assert!(err.message.contains("exploded"), "got: {}", err.message);
+        // Regression: the fan-out used to unwind through the thread
+        // scope, skipping the gate release and degrading every later
+        // run to inline execution. The permits must all be back.
+        assert_eq!(gate.available(), 3);
+        let out = host.run("t", 100, |i| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_task_fails_inline_path_too() {
+        let host = HostExecutor::new(1);
+        let err = host
+            .try_run("serial", 8, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+            .expect_err("task 3 panics");
+        assert_eq!(err.task, 3);
+        assert!(err.message.contains("boom"));
+    }
+
+    #[test]
+    fn run_repanics_after_releasing_gate() {
+        let host = HostExecutor::new(4);
+        let gate = host.gate().expect("gate");
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            host.run("t", 16, |i| {
+                if i == 5 {
+                    panic!("inner");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(gate.available(), 3);
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins() {
+        // Several tasks panic; the reported task index must be the
+        // minimum regardless of worker scheduling.
+        for _ in 0..8 {
+            let host = HostExecutor::new(4);
+            let err = host
+                .try_run("t", 64, |i| {
+                    if i % 9 == 4 {
+                        panic!("p{i}");
+                    }
+                    i
+                })
+                .expect_err("several tasks panic");
+            assert_eq!(err.task, 4);
+        }
+    }
+
+    #[test]
+    fn cancelled_token_still_runs_every_task() {
+        let host = HostExecutor::new(4);
+        let token = CancelToken::new();
+        token.cancel(crate::cancel::CancelReason::Interrupt);
+        host.set_cancel(Some(token));
+        // Stealing is disabled, but all seeded tasks still execute and
+        // merge deterministically.
+        let out = host.run("t", 500, |i| i * 2);
+        assert_eq!(out, (0..500).map(|i| i * 2).collect::<Vec<_>>());
+        host.set_cancel(None);
     }
 
     #[test]

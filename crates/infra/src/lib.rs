@@ -19,6 +19,11 @@
 //! * [`host`] — the shared work-stealing host executor that fans the
 //!   row/cell-parallel phases above out over `--host-threads` workers
 //!   with deterministic index-ordered merges.
+//! * [`cancel`] — the cooperative [`CancelToken`] threaded through the
+//!   engine, host executor, and device layer so SIGINT/SIGTERM and
+//!   wall-clock deadlines wind a run down at rule boundaries.
+//! * [`atomic_io`] — crash-safe write-temp-then-rename sidecar writes
+//!   (result cache, checkpoint journal, stats JSON).
 //!
 //! # Examples
 //!
@@ -35,6 +40,8 @@
 //! assert_eq!(rows.len(), 2); // two independent rows along y
 //! ```
 
+pub mod atomic_io;
+pub mod cancel;
 pub mod host;
 pub mod interval_tree;
 pub mod merge;
@@ -45,7 +52,9 @@ pub mod region;
 pub mod rtree;
 pub mod sweep;
 
-pub use host::{HostExecutor, ThreadGate};
+pub use atomic_io::write_atomic;
+pub use cancel::{install_signal_handlers, CancelReason, CancelToken};
+pub use host::{HostExecutor, HostPanic, ThreadGate};
 pub use interval_tree::IntervalTree;
 pub use partition::{partition_rows, Row, RowPartition};
 pub use profile::Profiler;

@@ -224,37 +224,116 @@ pub struct Pending<T> {
     /// The producing stream's sticky error slot, consulted when the
     /// channel disconnects without delivering a value.
     err: Option<Arc<Mutex<Option<XpuError>>>>,
+    /// Watchdog context: the producing stream's in-flight op marker and
+    /// the armed limit. `None` when the device has no watchdog.
+    watch: Option<StallWatch>,
+}
+
+/// What a watchdog-armed wait polls: the producing stream's in-flight
+/// operation marker (shared with the stream worker) and the stall
+/// limit.
+pub(crate) struct StallWatch {
+    pub(crate) in_flight: Arc<Mutex<Option<(&'static str, std::time::Instant)>>>,
+    pub(crate) limit: std::time::Duration,
+}
+
+impl std::fmt::Debug for StallWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StallWatch(limit = {:?})", self.limit)
+    }
+}
+
+impl StallWatch {
+    /// `Some(op)` when the in-flight operation has outlived the limit.
+    pub(crate) fn stalled_op(&self) -> Option<&'static str> {
+        let guard = self.in_flight.lock();
+        match &*guard {
+            Some((op, since)) if since.elapsed() > self.limit => Some(op),
+            _ => None,
+        }
+    }
+
+    /// The polling interval for timed waits under this watchdog: a
+    /// fraction of the limit, bounded away from busy-spinning and from
+    /// sluggish detection.
+    pub(crate) fn tick(&self) -> std::time::Duration {
+        (self.limit / 4).clamp(
+            std::time::Duration::from_millis(1),
+            std::time::Duration::from_millis(20),
+        )
+    }
 }
 
 impl<T> Pending<T> {
-    pub(crate) fn with_error_slot(
+    pub(crate) fn with_watch(
         rx: mpsc::Receiver<T>,
         err: Arc<Mutex<Option<XpuError>>>,
+        watch: Option<StallWatch>,
     ) -> Self {
-        Pending { rx, err: Some(err) }
+        Pending {
+            rx,
+            err: Some(err),
+            watch,
+        }
     }
 
     /// Blocks until the value is produced or the producing stream
     /// fails. A skipped operation on a poisoned stream resolves to the
-    /// stream's first (sticky) error.
+    /// stream's first (sticky) error. Under an armed watchdog
+    /// ([`Device::set_watchdog`]) the wait also polls the producing
+    /// stream's in-flight operation, and a genuine stall past the limit
+    /// resolves to [`XpuError::StreamTimeout`], poisoning the stream.
+    ///
+    /// [`Device::set_watchdog`]: crate::Device::set_watchdog
     pub fn result(self) -> XpuResult<T> {
+        if let Some(watch) = &self.watch {
+            loop {
+                match self.rx.recv_timeout(watch.tick()) {
+                    Ok(value) => return Ok(value),
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return self.disconnected(),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // A stream that failed while we waited skips our
+                        // job eventually; surface the sticky error now.
+                        if let Some(slot) = &self.err {
+                            if let Some(e) = slot.lock().clone() {
+                                return Err(e);
+                            }
+                        }
+                        if let Some(op) = watch.stalled_op() {
+                            let e = XpuError::StreamTimeout { op };
+                            if let Some(slot) = &self.err {
+                                let mut s = slot.lock();
+                                if s.is_none() {
+                                    *s = Some(e.clone());
+                                }
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
         match self.rx.recv() {
             Ok(value) => Ok(value),
             // The sender dropped without sending: the stream either hit
             // a sticky error (recorded before the job was dropped) or
             // was torn down. Consult the error slot first.
-            Err(mpsc::RecvError) => {
-                if let Some(slot) = &self.err {
-                    if let Some(e) = slot.lock().clone() {
-                        return Err(e);
-                    }
-                }
-                Err(XpuError::TransferError {
-                    direction: TransferDirection::DeviceToHost,
-                    bytes: 0,
-                })
+            Err(mpsc::RecvError) => self.disconnected(),
+        }
+    }
+
+    /// The channel disconnected without a value: report the stream's
+    /// sticky error, or a generic failed transfer.
+    fn disconnected(&self) -> XpuResult<T> {
+        if let Some(slot) = &self.err {
+            if let Some(e) = slot.lock().clone() {
+                return Err(e);
             }
         }
+        Err(XpuError::TransferError {
+            direction: TransferDirection::DeviceToHost,
+            bytes: 0,
+        })
     }
 
     /// Blocks until the value is produced.
@@ -333,7 +412,11 @@ mod tests {
     #[test]
     fn orphan_pending_resolves_to_error() {
         let (tx, rx) = mpsc::channel::<u8>();
-        let pending = Pending { rx, err: None };
+        let pending = Pending {
+            rx,
+            err: None,
+            watch: None,
+        };
         drop(tx);
         assert!(pending.result().is_err());
     }
@@ -342,7 +425,7 @@ mod tests {
     fn orphan_pending_reports_sticky_error() {
         let (tx, rx) = mpsc::channel::<u8>();
         let slot = Arc::new(Mutex::new(Some(XpuError::StreamTimeout { op: "download" })));
-        let pending = Pending::with_error_slot(rx, Arc::clone(&slot));
+        let pending = Pending::with_watch(rx, Arc::clone(&slot), None);
         drop(tx);
         assert_eq!(
             pending.result(),

@@ -151,6 +151,15 @@ pub(crate) struct DeviceInner {
     /// configured host parallelism; `None` (the default) reproduces the
     /// ungated pool exactly.
     host_gate: Mutex<Option<Arc<odrc_infra::ThreadGate>>>,
+    /// Stream watchdog limit in nanoseconds; 0 means no watchdog. Waits
+    /// on streams of this device poll the in-flight operation and
+    /// surface ops stalled past the limit as
+    /// [`XpuError::StreamTimeout`](crate::XpuError::StreamTimeout).
+    watchdog_nanos: AtomicU64,
+    /// The run's cancel token. Streams created after cancellation are
+    /// born poisoned with [`XpuError::Cancelled`](crate::XpuError::Cancelled),
+    /// so retry/recovery loops fail fast during shutdown.
+    cancel: Mutex<Option<odrc_infra::CancelToken>>,
 }
 
 /// A device-memory reservation held by a [`DeviceBuffer`]; releases its
@@ -263,6 +272,8 @@ impl Device {
                 faults: Mutex::new(None),
                 faults_enabled: AtomicU64::new(0),
                 host_gate: Mutex::new(None),
+                watchdog_nanos: AtomicU64::new(0),
+                cancel: Mutex::new(None),
             }),
         }
     }
@@ -297,6 +308,58 @@ impl Device {
     /// bit-for-bit.
     pub fn set_host_gate(&self, gate: Option<Arc<odrc_infra::ThreadGate>>) {
         *self.inner.host_gate.lock() = gate;
+    }
+
+    /// Arms (or with `None` disarms) the stream watchdog: waits on this
+    /// device's streams ([`Stream::try_synchronize`], [`Pending::result`])
+    /// poll the stream's in-flight operation and surface any op stalled
+    /// past `limit` as [`XpuError::StreamTimeout`] — poisoning the
+    /// stream exactly like an injected stall, so the engine's
+    /// retry-on-a-fresh-stream / CPU-fallback path handles genuine
+    /// hangs the same way.
+    ///
+    /// The watchdog *detects* stalls; it cannot abort the wedged
+    /// operation (neither can CUDA). The stalled op keeps the worker
+    /// until it finishes, and dropping the stream joins the worker, so
+    /// a truly infinite hang still blocks teardown — the policy is
+    /// detect-and-route-around, not kill.
+    ///
+    /// [`Stream::try_synchronize`]: crate::Stream::try_synchronize
+    /// [`Pending::result`]: crate::Pending::result
+    pub fn set_watchdog(&self, limit: Option<std::time::Duration>) {
+        let nanos = limit.map_or(0, |d| {
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).max(1)
+        });
+        self.inner.watchdog_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The armed watchdog limit, if any.
+    pub fn watchdog(&self) -> Option<std::time::Duration> {
+        match self.inner.watchdog_nanos.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(std::time::Duration::from_nanos(n)),
+        }
+    }
+
+    /// Attaches (or with `None` detaches) the run's cancel token.
+    /// Streams created while the token reports cancelled are born
+    /// poisoned with [`XpuError::Cancelled`], so recovery loops that
+    /// retry on fresh streams fail fast during shutdown instead of
+    /// re-issuing work the run is about to discard. Streams that
+    /// already exist are unaffected — in-flight work drains normally.
+    pub fn set_cancel(&self, token: Option<odrc_infra::CancelToken>) {
+        *self.inner.cancel.lock() = token;
+    }
+
+    /// `Some(XpuError::Cancelled)` once the attached token (if any)
+    /// reports cancelled.
+    pub(crate) fn cancel_error(&self) -> Option<XpuError> {
+        self.inner
+            .cancel
+            .lock()
+            .as_ref()
+            .filter(|t| t.is_cancelled())
+            .map(|_| XpuError::Cancelled)
     }
 
     /// Installs (or with `None` removes) a fault schedule at runtime.
@@ -367,19 +430,24 @@ impl Device {
     }
 
     /// Ticks the stream-op ordinal and reports an injected stall, if
-    /// the plan schedules one here.
+    /// the plan schedules one here. A scheduled *hang*
+    /// ([`Fault::StreamHang`]) sleeps for its duration right here — on
+    /// the stream worker, with the op already marked in flight — so an
+    /// armed watchdog observes a genuine stall; the op then proceeds
+    /// normally.
     pub(crate) fn fault_stream_op(&self, op: &'static str) -> Option<XpuError> {
         let n = self.inner.stream_op_ordinal.fetch_add(1, Ordering::Relaxed);
         if !self.faults_on() {
             return None;
         }
-        let fired = self
-            .inner
-            .faults
-            .lock()
-            .as_mut()
-            .is_some_and(|s| s.take_stream_op(n));
-        fired.then_some(XpuError::StreamTimeout { op })
+        let (hang_millis, stalled) = match self.inner.faults.lock().as_mut() {
+            Some(s) => (s.take_stream_hang(n), s.take_stream_op(n)),
+            None => (None, false),
+        };
+        if let Some(millis) = hang_millis {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+        }
+        stalled.then_some(XpuError::StreamTimeout { op })
     }
 
     /// Ticks the launch ordinal and returns `(ordinal, thread to panic

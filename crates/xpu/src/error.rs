@@ -32,9 +32,10 @@ impl fmt::Display for TransferDirection {
 
 /// An error produced by the device layer.
 ///
-/// The four variants mirror the failure classes of a production GPU
-/// runtime: memory exhaustion, kernel traps, wedged streams, and failed
-/// copies. All carry enough context to log a reproducible diagnosis.
+/// The variants mirror the failure classes of a production GPU
+/// runtime: memory exhaustion, kernel traps, wedged streams, failed
+/// copies, and host-requested cancellation. All carry enough context to
+/// log a reproducible diagnosis.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XpuError {
     /// A stream-ordered allocation exceeded the device memory budget.
@@ -71,6 +72,10 @@ pub enum XpuError {
         /// Bytes the copy attempted to move.
         bytes: usize,
     },
+    /// The run was cancelled; streams created after cancellation are
+    /// born poisoned so retry loops fail fast instead of re-issuing
+    /// work the run is about to discard.
+    Cancelled,
 }
 
 impl fmt::Display for XpuError {
@@ -99,6 +104,7 @@ impl fmt::Display for XpuError {
             XpuError::TransferError { direction, bytes } => {
                 write!(f, "{direction} transfer of {bytes} bytes failed")
             }
+            XpuError::Cancelled => f.write_str("operation cancelled"),
         }
     }
 }

@@ -49,6 +49,23 @@ pub enum Fault {
         /// Which stream operation to stall.
         nth: u64,
     },
+    /// Genuinely hang the `nth` stream data operation (0-based,
+    /// device-wide) for `millis` of real wall-clock time before letting
+    /// it proceed. Unlike [`Fault::StreamStall`] — which *reports* a
+    /// timeout without wasting any time — a hang only becomes an error
+    /// if a watchdog is armed ([`Device::set_watchdog`]) and the hang
+    /// outlives it; this is how the watchdog's genuine-stall detection
+    /// is tested end to end. Not part of [`FaultPlan::from_seed`]
+    /// schedules (seeded schedules stay wall-clock-free and
+    /// reproducible across machines).
+    ///
+    /// [`Device::set_watchdog`]: crate::Device::set_watchdog
+    StreamHang {
+        /// Which stream operation to hang.
+        nth: u64,
+        /// How long the operation sleeps, in milliseconds.
+        millis: u64,
+    },
 }
 
 /// A deterministic schedule of one-shot faults.
@@ -183,6 +200,20 @@ impl FaultState {
         self.take(|f| matches!(f, Fault::StreamStall { nth } if *nth == n))
     }
 
+    /// Consumes a matching stream-hang fault for op ordinal `n`,
+    /// returning the hang duration in milliseconds.
+    pub(crate) fn take_stream_hang(&mut self, n: u64) -> Option<u64> {
+        let idx = self
+            .remaining
+            .iter()
+            .position(|f| matches!(f, Fault::StreamHang { nth, .. } if *nth == n))?;
+        let Fault::StreamHang { millis, .. } = self.remaining.swap_remove(idx) else {
+            unreachable!("position matched a StreamHang");
+        };
+        self.injected += 1;
+        Some(millis)
+    }
+
     /// Consumes a kernel-panic fault for launch ordinal `k`, returning
     /// the global thread id that must panic. Faults whose thread id
     /// falls outside the launch's `useful_threads` are discarded
@@ -241,6 +272,18 @@ mod tests {
         assert!(!state.take_alloc(2), "consumed faults never refire");
         assert!(state.take_stream_op(0));
         assert_eq!(state.injected(), 2);
+    }
+
+    #[test]
+    fn stream_hang_fires_once_with_duration() {
+        let plan = FaultPlan::new().with(Fault::StreamHang { nth: 3, millis: 25 });
+        let mut state = FaultState::new(plan);
+        assert_eq!(state.take_stream_hang(2), None);
+        assert_eq!(state.take_stream_hang(3), Some(25));
+        assert_eq!(state.take_stream_hang(3), None, "consumed, never refires");
+        assert_eq!(state.injected(), 1);
+        // Hangs and stalls use separate matchers on the shared ordinal.
+        assert!(!state.take_stream_op(3));
     }
 
     #[test]

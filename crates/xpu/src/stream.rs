@@ -23,10 +23,11 @@
 
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::buffer::{DeviceBuffer, Pending};
+use crate::buffer::{DeviceBuffer, Pending, StallWatch};
 use crate::device::{Device, LaunchConfig, ThreadCtx};
 use crate::error::{TransferDirection, XpuError, XpuResult};
 
@@ -104,6 +105,24 @@ impl Event {
         self.state.0.lock().set
     }
 
+    /// Timed [`Event::wait_result`]: `None` when `timeout` elapses
+    /// before the event triggers.
+    pub(crate) fn wait_result_for(&self, timeout: std::time::Duration) -> Option<XpuResult<()>> {
+        let (lock, cvar) = &*self.state;
+        let deadline = Instant::now() + timeout;
+        let mut state = lock.lock();
+        while !state.set {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())?;
+            let _ = cvar.wait_for(&mut state, left);
+        }
+        match &state.err {
+            None => Some(Ok(())),
+            Some(e) => Some(Err(e.clone())),
+        }
+    }
+
     fn set_with(&self, err: Option<XpuError>) {
         let (lock, cvar) = &*self.state;
         {
@@ -134,6 +153,9 @@ impl Event {
 pub struct Stream {
     device: Device,
     err: ErrorSlot,
+    /// The data operation currently executing on the worker (shared
+    /// with watchdog-armed waits), with its start time.
+    in_flight: Arc<Mutex<Option<(&'static str, Instant)>>>,
     tx: Option<mpsc::Sender<Cmd>>,
     worker: Option<std::thread::JoinHandle<()>>,
 }
@@ -143,7 +165,15 @@ impl Stream {
         let (tx, rx) = mpsc::channel::<Cmd>();
         let worker_device = device.clone();
         let err: ErrorSlot = Arc::new(Mutex::new(None));
+        // Streams requested after the run is cancelled are born
+        // poisoned: every data op fails fast with `Cancelled`, so
+        // recovery loops wind down instead of re-running work.
+        if let Some(e) = device.cancel_error() {
+            set_sticky(&err, e);
+        }
+        let in_flight: Arc<Mutex<Option<(&'static str, Instant)>>> = Arc::new(Mutex::new(None));
         let worker_err = Arc::clone(&err);
+        let worker_in_flight = Arc::clone(&in_flight);
         let worker = std::thread::Builder::new()
             .name("xpu-stream".to_owned())
             .spawn(move || {
@@ -157,16 +187,22 @@ impl Stream {
                                 // the sticky error is already visible.
                                 continue;
                             }
+                            // Mark the op in flight *before* the
+                            // fault hook: an injected hang sleeps in
+                            // there and must be visible to watchdogs.
+                            *worker_in_flight.lock() = Some((op, Instant::now()));
                             if let Some(e) = worker_device.fault_stream_op(op) {
                                 // Injected stall: poison *before* the
                                 // job (and its senders) drops, so a
                                 // disconnected Pending sees the error.
                                 set_sticky(&worker_err, e);
+                                *worker_in_flight.lock() = None;
                                 continue;
                             }
                             if let Err(e) = job(&worker_device) {
                                 set_sticky(&worker_err, e);
                             }
+                            *worker_in_flight.lock() = None;
                         }
                     }
                 }
@@ -175,9 +211,19 @@ impl Stream {
         Stream {
             device,
             err,
+            in_flight,
             tx: Some(tx),
             worker: Some(worker),
         }
+    }
+
+    /// The watchdog context for waits on this stream; `None` when the
+    /// device has no watchdog armed.
+    fn stall_watch(&self) -> Option<StallWatch> {
+        self.device.watchdog().map(|limit| StallWatch {
+            in_flight: Arc::clone(&self.in_flight),
+            limit,
+        })
     }
 
     /// The device this stream executes on.
@@ -373,7 +419,11 @@ impl Stream {
                 Ok(())
             }),
         );
-        Ok(Pending::with_error_slot(rx, Arc::clone(&self.err)))
+        Ok(Pending::with_watch(
+            rx,
+            Arc::clone(&self.err),
+            self.stall_watch(),
+        ))
     }
 
     /// Asynchronous device → host copy; the returned [`Pending`]
@@ -513,10 +563,27 @@ impl Stream {
     /// Blocks until every previously enqueued operation has completed
     /// or been skipped, then reports the stream's sticky error, if any
     /// — the fallible `cudaStreamSynchronize`.
+    ///
+    /// Under an armed watchdog ([`Device::set_watchdog`]) the wait
+    /// polls the in-flight operation: an op stalled past the limit
+    /// poisons the stream with [`XpuError::StreamTimeout`] and returns
+    /// it immediately, without waiting for the stall to resolve.
     pub fn try_synchronize(&self) -> XpuResult<()> {
         let event = Event::new();
         self.record_event(&event);
-        event.wait_result()
+        let Some(watch) = self.stall_watch() else {
+            return event.wait_result();
+        };
+        loop {
+            if let Some(result) = event.wait_result_for(watch.tick()) {
+                return result;
+            }
+            if let Some(op) = watch.stalled_op() {
+                let e = XpuError::StreamTimeout { op };
+                set_sticky(&self.err, e.clone());
+                return Err(e);
+            }
+        }
     }
 
     /// Blocks until every previously enqueued operation has completed,
@@ -745,6 +812,102 @@ mod tests {
             .try_launch_map(LaunchConfig::for_threads(4), &buf, |_, _| panic!("bug"))
             .unwrap();
         stream.synchronize();
+    }
+
+    #[test]
+    fn watchdog_surfaces_genuine_hang_from_synchronize() {
+        use crate::fault::{Fault, FaultPlan};
+        let device = Device::new(2);
+        device.set_fault_plan(Some(FaultPlan::new().with(Fault::StreamHang {
+            nth: 0,
+            millis: 300,
+        })));
+        device.set_watchdog(Some(Duration::from_millis(25)));
+        let stream = device.stream();
+        stream.enqueue(|_| {});
+        let started = std::time::Instant::now();
+        let err = stream.try_synchronize().unwrap_err();
+        assert!(matches!(err, XpuError::StreamTimeout { op: "enqueue" }));
+        assert!(
+            started.elapsed() < Duration::from_millis(250),
+            "watchdog must fire before the hang resolves"
+        );
+        // The stream is poisoned like any other stream failure.
+        assert!(stream.error().is_some());
+        assert_eq!(device.faults_injected(), 1);
+        // A fresh stream works: the hang was one-shot.
+        let fresh = device.stream();
+        fresh.enqueue(|_| {});
+        assert!(fresh.try_synchronize().is_ok());
+    }
+
+    #[test]
+    fn watchdog_surfaces_genuine_hang_from_pending() {
+        use crate::fault::{Fault, FaultPlan};
+        let device = Device::new(2);
+        device.set_fault_plan(Some(FaultPlan::new().with(Fault::StreamHang {
+            nth: 1,
+            millis: 300,
+        })));
+        device.set_watchdog(Some(Duration::from_millis(25)));
+        let stream = device.stream();
+        let buf = stream.upload(vec![1u8, 2, 3]); // op 0
+        let pending = stream.try_download(&buf).unwrap(); // op 1: hangs
+        let err = pending.result().unwrap_err();
+        assert!(matches!(err, XpuError::StreamTimeout { op: "download" }));
+        assert!(stream.error().is_some());
+    }
+
+    #[test]
+    fn hang_without_watchdog_is_just_slow() {
+        use crate::fault::{Fault, FaultPlan};
+        let device = Device::new(2);
+        device.set_fault_plan(Some(
+            FaultPlan::new().with(Fault::StreamHang { nth: 0, millis: 30 }),
+        ));
+        let stream = device.stream();
+        let buf = stream.upload(vec![7u8]);
+        assert!(stream.try_synchronize().is_ok());
+        assert_eq!(stream.download(&buf).wait(), vec![7]);
+    }
+
+    #[test]
+    fn watchdog_passes_healthy_ops() {
+        let device = Device::new(2);
+        device.set_watchdog(Some(Duration::from_millis(200)));
+        let stream = device.stream();
+        let buf = stream.upload((0..512u32).collect::<Vec<_>>());
+        let out = stream.alloc::<u32>(512);
+        let input = buf.clone();
+        stream.launch_map(LaunchConfig::for_threads(512), &out, move |ctx, slot| {
+            *slot = input.read()[ctx.global_id()] + 1;
+        });
+        assert!(stream.try_synchronize().is_ok());
+        assert_eq!(stream.try_download(&out).unwrap().result().unwrap()[10], 11);
+    }
+
+    #[test]
+    fn cancelled_device_births_poisoned_streams() {
+        use odrc_infra::{CancelReason, CancelToken};
+        let device = Device::new(2);
+        let token = CancelToken::new();
+        device.set_cancel(Some(token.clone()));
+        // Streams created before cancellation keep working.
+        let before = device.stream();
+        token.cancel(CancelReason::Interrupt);
+        let b = before.try_upload(vec![1u8, 2]).unwrap();
+        assert_eq!(
+            before.try_download(&b).unwrap().result().unwrap(),
+            vec![1, 2]
+        );
+        // Streams created after cancellation fail fast.
+        let after = device.stream();
+        assert_eq!(after.try_alloc::<u8>(4).unwrap_err(), XpuError::Cancelled);
+        assert_eq!(after.error(), Some(XpuError::Cancelled));
+        // Detaching the token restores normal stream creation.
+        device.set_cancel(None);
+        let detached = device.stream();
+        assert!(detached.try_alloc::<u8>(4).is_ok());
     }
 
     #[test]

@@ -66,6 +66,20 @@ impl Condvar {
         replace_with(guard, |g| self.0.wait(g).expect("mutex poisoned"));
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the guard
+    /// while waiting. Returns `true` when the wait timed out.
+    ///
+    /// Like [`Condvar::wait`], the guard is updated in place.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let mut timed_out = false;
+        replace_with(guard, |g| {
+            let (g, res) = self.0.wait_timeout(g, timeout).expect("mutex poisoned");
+            timed_out = res.timed_out();
+            g
+        });
+        timed_out
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -150,6 +164,33 @@ mod tests {
         drop(done);
         t.join().unwrap();
         assert!(*m.lock());
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // No notifier: the wait must report a timeout.
+        let (m, c) = &*pair;
+        let mut done = m.lock();
+        assert!(c.wait_for(&mut done, std::time::Duration::from_millis(5)));
+        drop(done);
+
+        // With a notifier: the wait returns without timing out.
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, c) = &*p2;
+            *m.lock() = true;
+            c.notify_all();
+        });
+        let (m, c) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            if c.wait_for(&mut done, std::time::Duration::from_secs(5)) {
+                panic!("notification lost");
+            }
+        }
+        drop(done);
+        t.join().unwrap();
     }
 
     #[test]
