@@ -89,4 +89,54 @@ fi
 cmp target/ci-resume/first.csv target/ci-resume/second.csv \
     || { echo "resumed reports differ"; exit 1; }
 
+echo "== serve smoke (daemon, concurrent clients, shared cache tier, SIGTERM drain)"
+# The multi-tenant service end to end at the CLI level: a daemon on an
+# ephemeral port serves two truly concurrent uart clients (both cold),
+# then a third warm client that must be fed from the shared cache tier
+# the first pair populated — all three reports byte-identical — and
+# finally drains cleanly on SIGTERM.
+rm -rf target/ci-serve
+mkdir -p target/ci-serve
+./target/release/odrc-genlayout uart target/ci-serve/uart.gds
+./target/release/odrc serve --addr 127.0.0.1:0 --workers 2 --host-threads 2 \
+    --cache target/ci-serve/cache --port-file target/ci-serve/port &
+serve_pid=$!
+tries=0
+while [ ! -s target/ci-serve/port ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || { echo "daemon never wrote its port file"; exit 1; }
+    sleep 0.1
+done
+addr=$(cat target/ci-serve/port)
+./target/release/odrc client target/ci-serve/uart.gds \
+    --rules target/ci-resume/beol.rules --addr "$addr" \
+    --report target/ci-serve/cold-a.csv >/dev/null 2>&1 &
+cold_a=$!
+./target/release/odrc client target/ci-serve/uart.gds \
+    --rules target/ci-resume/beol.rules --addr "$addr" \
+    --report target/ci-serve/cold-b.csv >/dev/null 2>&1 &
+cold_b=$!
+status=0; wait "$cold_a" || status=$?
+[ "$status" -eq 1 ] || { echo "expected exit 1 from cold client a, got $status"; exit 1; }
+status=0; wait "$cold_b" || status=$?
+[ "$status" -eq 1 ] || { echo "expected exit 1 from cold client b, got $status"; exit 1; }
+cmp target/ci-serve/cold-a.csv target/ci-serve/cold-b.csv \
+    || { echo "concurrent clients reported different violations"; exit 1; }
+status=0
+./target/release/odrc client target/ci-serve/uart.gds \
+    --rules target/ci-resume/beol.rules --addr "$addr" \
+    --report target/ci-serve/warm.csv --stats-json target/ci-serve/warm.json \
+    >/dev/null 2>&1 || status=$?
+[ "$status" -eq 1 ] || { echo "expected exit 1 from warm client, got $status"; exit 1; }
+cmp target/ci-serve/cold-a.csv target/ci-serve/warm.csv \
+    || { echo "cache-served report differs from the cold run"; exit 1; }
+if grep -q '"cache_hits_shared":0[,}]' target/ci-serve/warm.json; then
+    echo "warm client saw no shared cache hits"
+    exit 1
+fi
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "daemon did not drain cleanly on SIGTERM"; exit 1; }
+[ -f target/ci-serve/cache/odrc-cache.bin ] \
+    || { echo "drained daemon did not persist its cache tier"; exit 1; }
+
 echo "== ci.sh: all green"

@@ -46,6 +46,20 @@ const ENTRY_BYTES: usize = 1 + 4 * 4 + 8;
 /// The sidecar file name a cache directory holds.
 pub const CACHE_FILE: &str = "odrc-cache.bin";
 
+/// How long [`ResultCache::save_merged`] waits for the sidecar lock
+/// before giving up. Merge cycles take milliseconds; seconds of
+/// contention means something is wrong, and the caller treats the save
+/// like any other I/O failure (the cache is an accelerator, not a
+/// correctness dependency).
+const LOCK_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
+/// The advisory lock file guarding merge-on-save cycles for `path`.
+fn lock_file_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_owned();
+    name.push(".lock");
+    path.with_file_name(name)
+}
+
 /// Streaming 64-bit FNV-1a over a fixed little-endian encoding, used
 /// for rule signatures (stable across processes, unlike the std
 /// hasher).
@@ -141,7 +155,12 @@ pub(crate) fn kind_from_u8(v: u8) -> Option<ViolationKind> {
 }
 
 /// Per-cell check results keyed by `(rule signature, content hash)`.
-#[derive(Debug, Default)]
+///
+/// Cloning is shallow in the results themselves (entries are `Arc`s),
+/// so a multi-tenant server can hand each job a snapshot of a shared
+/// tier and fold the job's new entries back with
+/// [`ResultCache::merge_from`].
+#[derive(Debug, Default, Clone)]
 pub struct ResultCache {
     map: HashMap<(u64, u64), Arc<Vec<LocalViolation>>>,
     hits: usize,
@@ -192,6 +211,28 @@ impl ResultCache {
     /// Lookup misses since construction or load.
     pub fn misses(&self) -> usize {
         self.misses
+    }
+
+    /// Whether a `(rule signature, content hash)` entry is present,
+    /// without touching the hit/miss counters.
+    pub fn contains(&self, rule_sig: u64, content: u64) -> bool {
+        self.map.contains_key(&(rule_sig, content))
+    }
+
+    /// Folds every entry of `other` into this cache. Entries under the
+    /// same key are byte-identical by construction (the key *is* a
+    /// content hash of everything the result depends on), so existing
+    /// entries are kept and only missing keys are inserted; hit/miss
+    /// counters are untouched. Returns how many entries were new.
+    pub fn merge_from(&mut self, other: &ResultCache) -> usize {
+        let mut added = 0;
+        for (key, entries) in &other.map {
+            self.map.entry(*key).or_insert_with(|| {
+                added += 1;
+                Arc::clone(entries)
+            });
+        }
+        added
     }
 
     /// Serializes the cache to a sidecar file.
@@ -290,6 +331,36 @@ impl ResultCache {
             hits: 0,
             misses: 0,
         })
+    }
+
+    /// Saves by *merging into* whatever sidecar is already on disk,
+    /// under an advisory lock file (`<name>.lock`), so concurrent
+    /// writers — two `odrc --cache` processes, or a check server's
+    /// shared tier saving while a CLI run finishes — cannot interleave
+    /// a load-modify-save cycle and silently drop each other's entries.
+    ///
+    /// The cycle under the lock is: load the current file (leniently —
+    /// a corrupted sidecar contributes nothing), fold this cache's
+    /// entries in, and [`write_atomic`](odrc_infra::write_atomic) the
+    /// union back. Identical keys hold identical results (the key is a
+    /// content hash), so merge order cannot change what any reader
+    /// sees.
+    ///
+    /// # Errors
+    ///
+    /// Lock acquisition (`TimedOut` after a few seconds of contention)
+    /// or filesystem errors from the final write.
+    pub fn save_merged(&self, path: &Path) -> io::Result<()> {
+        let lock_path = lock_file_path(path);
+        let _lock = odrc_infra::FileLock::acquire(&lock_path, LOCK_TIMEOUT)?;
+        let mut union = match ResultCache::load(path) {
+            Ok(cache) => cache,
+            // A damaged sidecar is already lost; overwrite it with our
+            // (valid) entries rather than failing the save.
+            Err(_) => ResultCache::new(),
+        };
+        union.merge_from(self);
+        union.save(path)
     }
 
     /// Like [`ResultCache::load`], but *lenient*: a corrupted,
@@ -455,6 +526,79 @@ mod tests {
         assert_eq!(*loaded.get(7, 9).unwrap(), vec![lv(0, 25), lv(10, 36)]);
         assert!(loaded.get(7, 11).unwrap().is_empty());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn merge_from_keeps_existing_and_adds_missing() {
+        let mut a = ResultCache::new();
+        a.insert(1, 1, Arc::new(vec![lv(0, 5)]));
+        let mut b = ResultCache::new();
+        b.insert(1, 1, Arc::new(vec![lv(0, 5)]));
+        b.insert(2, 2, Arc::new(vec![lv(8, 6)]));
+        let added = a.merge_from(&b);
+        assert_eq!(added, 1);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(2, 2));
+        // Counters are untouched by merging.
+        assert_eq!(a.hits(), 0);
+        assert_eq!(a.misses(), 0);
+    }
+
+    #[test]
+    fn save_merged_unions_with_disk() {
+        let dir = std::env::temp_dir().join(format!("odrc-cache-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merged.bin");
+        let mut first = ResultCache::new();
+        first.insert(1, 10, Arc::new(vec![lv(0, 1)]));
+        first.save_merged(&path).unwrap();
+        let mut second = ResultCache::new();
+        second.insert(2, 20, Arc::new(vec![lv(4, 2)]));
+        second.save_merged(&path).unwrap();
+        let loaded = ResultCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.contains(1, 10) && loaded.contains(2, 20));
+        // No lock file left behind.
+        assert!(!lock_file_path(&path).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The regression the lock exists for: two threads hammering
+    /// load-modify-save on one sidecar must never drop entries. Without
+    /// the lock, interleaved cycles lose whole batches (both load state
+    /// S, each saves S+own, last rename wins).
+    #[test]
+    fn concurrent_save_merged_drops_nothing() {
+        let dir = std::env::temp_dir().join(format!("odrc-cache-hammer-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hammer.bin");
+        const ROUNDS: u64 = 12;
+        std::thread::scope(|scope| {
+            for writer in 0..2u64 {
+                let path = path.clone();
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        let mut cache = ResultCache::new();
+                        // Disjoint keys per (writer, round) batch.
+                        let sig = writer * 1000 + round;
+                        cache.insert(sig, round, Arc::new(vec![lv(round as i32, 1)]));
+                        cache.save_merged(&path).unwrap();
+                    }
+                });
+            }
+        });
+        let final_cache = ResultCache::load(&path).unwrap();
+        assert_eq!(
+            final_cache.len() as u64,
+            2 * ROUNDS,
+            "every writer's every batch must survive concurrent merge-on-save"
+        );
+        for writer in 0..2u64 {
+            for round in 0..ROUNDS {
+                assert!(final_cache.contains(writer * 1000 + round, round));
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -78,6 +78,12 @@ pub struct DeltaCheckReport {
     pub profile: Profiler,
     /// Work accounting for the windowed re-run.
     pub stats: EngineStats,
+    /// `Some(reason)` when the run was cancelled at a rule boundary
+    /// before the whole deck re-ran. The violation set is then
+    /// *partial* and must not be treated as the layout's full result
+    /// (an edit session discards it instead of re-priming its
+    /// baseline).
+    pub interrupted: Option<odrc_infra::CancelReason>,
 }
 
 impl DeltaCheckReport {
@@ -87,7 +93,7 @@ impl DeltaCheckReport {
             violations: self.violations,
             profile: self.profile,
             stats: self.stats,
-            interrupted: None,
+            interrupted: self.interrupted,
             rule_status: Vec::new(),
         }
     }
@@ -403,6 +409,7 @@ impl Engine {
                 dirty,
                 profile: profiler,
                 stats: EngineStats::default(),
+                interrupted: None,
             };
         }
 
@@ -413,6 +420,7 @@ impl Engine {
 
         let mut stats = EngineStats::default();
         let mut violations = Vec::new();
+        let mut interrupted: Option<odrc_infra::CancelReason> = None;
         {
             let mut ctx = RunContext::new(new, &self.options, &mut profiler, &mut stats);
             if let Some(cache) = cache {
@@ -430,6 +438,14 @@ impl Engine {
                 Mode::Parallel => Some(self.device.stream()),
             };
             for rule in deck.rules() {
+                // A cancelled delta run stops at the rule boundary, like
+                // the full pipeline; its partial set is flagged below.
+                if let Some(tok) = &self.cancel {
+                    if let Some(reason) = tok.cancelled() {
+                        interrupted = Some(reason);
+                        break;
+                    }
+                }
                 let olds = by_rule.remove(rule.name.as_str()).unwrap_or_default();
                 self.run_delta_rule(
                     &mut ctx,
@@ -439,6 +455,9 @@ impl Engine {
                     olds,
                     &mut violations,
                 );
+                if let Some(cb) = &self.progress {
+                    cb(&rule.name, crate::engine::RuleStatus::Completed);
+                }
             }
             if let Some(stream) = &stream {
                 stream.synchronize();
@@ -457,6 +476,7 @@ impl Engine {
             dirty,
             profile: profiler,
             stats,
+            interrupted,
         }
     }
 

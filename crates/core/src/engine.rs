@@ -69,6 +69,16 @@ pub struct EngineOptions {
     /// device's kernel dispatch, and `Some(1)` runs the exact
     /// single-threaded code paths.
     pub host_threads: Option<usize>,
+    /// An *external* extra-thread budget shared across engine runs —
+    /// the multi-tenant generalization of the sizing handshake. A
+    /// check server installs one process-wide [`ThreadGate`] here so
+    /// every concurrent job's host fan-outs and device dispatches draw
+    /// from a single permit pool instead of each run assuming it owns
+    /// the machine. `None` (the default, and the single-run CLI case)
+    /// keeps the per-run gate owned by the run's own executor.
+    ///
+    /// [`ThreadGate`]: odrc_infra::ThreadGate
+    pub shared_gate: Option<std::sync::Arc<odrc_infra::ThreadGate>>,
 }
 
 impl Default for EngineOptions {
@@ -82,6 +92,7 @@ impl Default for EngineOptions {
             retry_backoff_ms: 1,
             planner: true,
             host_threads: None,
+            shared_gate: None,
         }
     }
 }
@@ -198,6 +209,14 @@ impl CheckReport {
     }
 }
 
+/// A per-rule progress observer: called with the rule's name and its
+/// new [`RuleStatus`] as the run finalizes (or restores) each rule.
+/// Invoked from the engine's single control thread, in completion
+/// order; a long-running deck streams progress instead of going dark
+/// until the report. Used by `odrc serve` to push `rule` events to
+/// clients while their job runs.
+pub type ProgressFn = std::sync::Arc<dyn Fn(&str, RuleStatus) + Send + Sync>;
+
 /// The OpenDRC engine.
 ///
 /// # Examples
@@ -214,12 +233,24 @@ impl CheckReport {
 /// let report = Engine::sequential().check(&layout, &deck);
 /// assert!(report.violations.iter().all(|v| v.rule.starts_with("M2")));
 /// ```
-#[derive(Debug)]
 pub struct Engine {
     pub(crate) mode: Mode,
     pub(crate) options: EngineOptions,
     pub(crate) device: Device,
     pub(crate) cancel: Option<CancelToken>,
+    pub(crate) progress: Option<ProgressFn>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("mode", &self.mode)
+            .field("options", &self.options)
+            .field("device", &self.device)
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl Default for Engine {
@@ -236,6 +267,7 @@ impl Engine {
             options: EngineOptions::default(),
             device: Device::new(1),
             cancel: None,
+            progress: None,
         }
     }
 
@@ -251,6 +283,7 @@ impl Engine {
             options: EngineOptions::default(),
             device,
             cancel: None,
+            progress: None,
         }
     }
 
@@ -272,6 +305,29 @@ impl Engine {
     #[must_use]
     pub fn with_cancel(mut self, cancel: CancelToken) -> Engine {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Installs (or with `None` clears) the cooperative cancel token in
+    /// place — the long-lived-engine variant of [`Engine::with_cancel`].
+    /// A server session keeps one engine across many jobs and swaps in
+    /// each job's token before running it.
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+    }
+
+    /// Installs (or with `None` clears) a per-rule [`ProgressFn`] in
+    /// place. The callback fires on the control thread as each rule
+    /// completes (or is restored from a journal), before the run's
+    /// report exists.
+    pub fn set_progress(&mut self, progress: Option<ProgressFn>) {
+        self.progress = progress;
+    }
+
+    /// Builder form of [`Engine::set_progress`].
+    #[must_use]
+    pub fn with_progress(mut self, progress: ProgressFn) -> Engine {
+        self.progress = Some(progress);
         self
     }
 
@@ -383,6 +439,9 @@ impl Engine {
                         per_rule[ri] = done.as_ref().clone();
                         status[ri] = RuleStatus::Resumed;
                         ctx.stats.rules_resumed += 1;
+                        if let Some(cb) = &self.progress {
+                            cb(&rule.name, RuleStatus::Resumed);
+                        }
                     }
                 }
             }
@@ -412,6 +471,7 @@ impl Engine {
                         finalize_rule(
                             &mut ctx,
                             &mut journal,
+                            &self.progress,
                             rule,
                             &mut per_rule[ri],
                             &mut status[ri],
@@ -460,6 +520,7 @@ impl Engine {
                                 maybe_finalize(
                                     &mut ctx,
                                     &mut journal,
+                                    &self.progress,
                                     rules,
                                     ci,
                                     &mut per_rule,
@@ -478,6 +539,7 @@ impl Engine {
                             maybe_finalize(
                                 &mut ctx,
                                 &mut journal,
+                                &self.progress,
                                 rules,
                                 ci,
                                 &mut per_rule,
@@ -503,6 +565,7 @@ impl Engine {
                             maybe_finalize(
                                 &mut ctx,
                                 &mut journal,
+                                &self.progress,
                                 rules,
                                 ri,
                                 &mut per_rule,
@@ -544,6 +607,7 @@ impl Engine {
                             finalize_rule(
                                 &mut ctx,
                                 &mut journal,
+                                &self.progress,
                                 rule,
                                 &mut per_rule[ri],
                                 &mut status[ri],
@@ -636,12 +700,14 @@ fn poll_cancel(cancel: &Option<CancelToken>, interrupted: &mut Option<CancelReas
 }
 
 /// Marks one rule completed: canonicalizes its buffer in place, tallies
-/// it, and appends it to the checkpoint journal (if any). A journal
-/// write failure disables checkpointing for the rest of the run — a
-/// checkpoint is an accelerator, never a reason to abort a check.
+/// it, notifies the progress observer, and appends it to the checkpoint
+/// journal (if any). A journal write failure disables checkpointing for
+/// the rest of the run — a checkpoint is an accelerator, never a reason
+/// to abort a check.
 fn finalize_rule(
     ctx: &mut RunContext<'_>,
     journal: &mut Option<&mut CheckpointJournal>,
+    progress: &Option<ProgressFn>,
     rule: &Rule,
     buf: &mut Vec<Violation>,
     status: &mut RuleStatus,
@@ -649,6 +715,9 @@ fn finalize_rule(
     *buf = canonicalize(std::mem::take(buf));
     *status = RuleStatus::Completed;
     ctx.stats.rules_completed += 1;
+    if let Some(cb) = progress {
+        cb(&rule.name, RuleStatus::Completed);
+    }
     if let Some(j) = journal.as_deref_mut() {
         if let Some(sig) = rule_signature(rule) {
             if let Err(e) = j.record(&rule.name, sig, buf) {
@@ -667,13 +736,21 @@ fn finalize_rule(
 fn maybe_finalize(
     ctx: &mut RunContext<'_>,
     journal: &mut Option<&mut CheckpointJournal>,
+    progress: &Option<ProgressFn>,
     rules: &[Rule],
     ri: usize,
     per_rule: &mut [Vec<Violation>],
     status: &mut [RuleStatus],
 ) {
     if !parallel::recovery_pending_for(ctx, &rules[ri].name) {
-        finalize_rule(ctx, journal, &rules[ri], &mut per_rule[ri], &mut status[ri]);
+        finalize_rule(
+            ctx,
+            journal,
+            progress,
+            &rules[ri],
+            &mut per_rule[ri],
+            &mut status[ri],
+        );
     }
 }
 

@@ -76,7 +76,13 @@ impl<'a> RunContext<'a> {
             instances: None,
             cache: None,
             plan: PlanCache::default(),
-            host: Arc::new(HostExecutor::new(options.resolved_host_threads())),
+            host: Arc::new(match &options.shared_gate {
+                Some(gate) => HostExecutor::with_shared_gate(
+                    options.resolved_host_threads(),
+                    Arc::clone(gate),
+                ),
+                None => HostExecutor::new(options.resolved_host_threads()),
+            }),
             recovery: Vec::new(),
         }
     }

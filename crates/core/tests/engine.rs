@@ -427,3 +427,72 @@ fn report_filters_by_rule() {
     let m2s: Vec<_> = report.violations_of("M2.S.1").collect();
     assert!(m2s.iter().all(|v| v.kind == ViolationKind::Space));
 }
+
+/// The engine and everything a check server must move across threads
+/// are `Send` (and the share-by-reference pieces `Sync`). A server
+/// spawns one worker per job, hands each an `Engine`, and shares the
+/// layout, deck, and options across jobs — this pins the thread-safety
+/// contract at compile time.
+#[test]
+fn engine_types_are_thread_safe() {
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<Engine>();
+    assert_send::<odrc::CheckReport>();
+    assert_send::<odrc::ResultCache>();
+    assert_send_sync::<EngineOptions>();
+    assert_send_sync::<RuleDeck>();
+    assert_send_sync::<odrc_db::Layout>();
+}
+
+/// The progress hook fires exactly once per rule with `Completed`
+/// (execution order may differ from deck order under the planner's
+/// layer grouping), in both execution modes.
+#[test]
+fn progress_callback_reports_every_rule() {
+    use std::sync::{Arc, Mutex};
+    let layout = generate_layout(&DesignSpec::tiny(7));
+    let deck = full_deck();
+    let mut expected: Vec<String> = deck.rules().iter().map(|r| r.name.clone()).collect();
+    expected.sort();
+    for engine in [Engine::sequential(), Engine::parallel_on(Device::new(1))] {
+        let seen: Arc<Mutex<Vec<(String, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let engine = engine.with_progress(Arc::new(move |name, status| {
+            sink.lock()
+                .unwrap()
+                .push((name.to_string(), status.to_string()));
+        }));
+        engine.check(&layout, &deck);
+        let seen = seen.lock().unwrap();
+        let mut names: Vec<String> = seen.iter().map(|(n, _)| n.clone()).collect();
+        names.sort();
+        assert_eq!(names, expected, "one completion event per rule");
+        assert!(seen.iter().all(|(_, s)| s == "completed"));
+    }
+}
+
+/// A shared gate installed via `EngineOptions` is drawn on (and fully
+/// released by) an engine run, so a server-wide permit pool can span
+/// concurrent jobs.
+#[test]
+fn shared_gate_is_used_and_released() {
+    let gate = std::sync::Arc::new(odrc_infra::ThreadGate::new(3));
+    let layout = generate_layout(&DesignSpec::tiny(9));
+    let deck = full_deck();
+    let options = EngineOptions {
+        host_threads: Some(4),
+        shared_gate: Some(std::sync::Arc::clone(&gate)),
+        ..EngineOptions::default()
+    };
+    let baseline = Engine::sequential().check(&layout, &deck);
+    let shared = Engine::sequential()
+        .with_options(options)
+        .check(&layout, &deck);
+    assert_eq!(baseline.violations, shared.violations);
+    assert_eq!(
+        gate.available(),
+        3,
+        "all shared permits returned after the run"
+    );
+}

@@ -48,7 +48,7 @@ use odrc::delta::DeltaReport;
 use odrc::{CacheKeys, Engine, EngineStats, ResultCache, RuleDeck, Violation};
 use odrc_db::{CellId, CellRef, EditError, LayerPolygon, Layout};
 use odrc_geometry::{Rect, Transform};
-use odrc_infra::Profiler;
+use odrc_infra::{CancelReason, Profiler};
 
 pub use odrc::CACHE_FILE;
 
@@ -117,6 +117,12 @@ pub struct SessionReport {
     /// True when this was a full run (the first check of a session),
     /// false for a windowed delta re-run.
     pub full_run: bool,
+    /// `Some(reason)` when the run was cancelled before the whole deck
+    /// finished. The violation set is then partial, and the session
+    /// did **not** advance its baseline — the next [`Session::check`]
+    /// re-runs against the last *completed* state, so an interrupted
+    /// job can never seed a delta with half-checked results.
+    pub interrupted: Option<CancelReason>,
 }
 
 /// An edit-check session over one layout.
@@ -179,6 +185,25 @@ impl Session {
     /// The persistent result cache.
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// Mutable access to the session's engine, for per-job plumbing a
+    /// server wires up between checks: a fresh [`CancelToken`] per
+    /// job, a progress callback streaming rule completions, or a job's
+    /// option overrides.
+    ///
+    /// [`CancelToken`]: odrc_infra::CancelToken
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Swaps the session's result cache for `cache`, returning the old
+    /// one. A multi-tenant server checks a shared cache snapshot *in*
+    /// before a job and merges the enriched copy back *out* after it,
+    /// so verdicts flow between sessions without aliasing one
+    /// `ResultCache` across concurrent runs.
+    pub fn swap_cache(&mut self, cache: ResultCache) -> ResultCache {
+        std::mem::replace(&mut self.cache, cache)
     }
 
     /// Applies one edit to the layout.
@@ -252,7 +277,7 @@ impl Session {
     /// the complete, canonical result for the current layout.
     pub fn check(&mut self) -> SessionReport {
         let keys = CacheKeys::compute(&self.layout);
-        let report = match self.baseline.take() {
+        let (report, restore) = match self.baseline.take() {
             None => {
                 let report = self.engine.check_with_cache_keyed(
                     &self.layout,
@@ -260,7 +285,7 @@ impl Session {
                     &self.deck,
                     &mut self.cache,
                 );
-                SessionReport {
+                let report = SessionReport {
                     delta: DeltaReport {
                         added: report.violations.clone(),
                         removed: Vec::new(),
@@ -270,8 +295,10 @@ impl Session {
                     profile: report.profile,
                     dirty: Vec::new(),
                     full_run: true,
+                    interrupted: report.interrupted,
                     violations: report.violations,
-                }
+                };
+                (report, None)
             }
             Some(base) => {
                 let report = self.engine.check_delta_keyed(
@@ -283,21 +310,30 @@ impl Session {
                     &self.deck,
                     Some(&mut self.cache),
                 );
-                SessionReport {
+                let report = SessionReport {
                     delta: report.delta,
                     stats: report.stats,
                     profile: report.profile,
                     dirty: report.dirty,
                     full_run: false,
+                    interrupted: report.interrupted,
                     violations: report.violations,
-                }
+                };
+                (report, Some(base))
             }
         };
-        self.baseline = Some(Baseline {
-            layout: self.layout.clone(),
-            keys,
-            violations: report.violations.clone(),
-        });
+        if report.interrupted.is_none() {
+            self.baseline = Some(Baseline {
+                layout: self.layout.clone(),
+                keys,
+                violations: report.violations.clone(),
+            });
+        } else {
+            // A cancelled run produced a partial violation set; keep
+            // the previous completed baseline (or stay cold) so the
+            // next check diffs against trustworthy results.
+            self.baseline = restore;
+        }
         report
     }
 
@@ -313,7 +349,10 @@ impl Session {
             if let Some(parent) = path.parent() {
                 std::fs::create_dir_all(parent)?;
             }
-            self.cache.save(path)?;
+            // Merge-on-save under the sidecar's file lock: concurrent
+            // sessions sharing one cache directory union their entries
+            // instead of last-writer-wins clobbering.
+            self.cache.save_merged(path)?;
         }
         Ok(())
     }
@@ -447,6 +486,66 @@ mod tests {
         assert_eq!(warm.violations, scratch.violations);
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_check_never_primes_the_baseline() {
+        use odrc_infra::{CancelReason, CancelToken};
+        let layout = generate_layout(&DesignSpec::tiny(24));
+        let mut session = Session::new(layout, Engine::sequential(), deck());
+
+        // First check arrives pre-cancelled: the full run is cut short
+        // and must not become the delta baseline.
+        let tok = CancelToken::new();
+        tok.cancel(CancelReason::Interrupt);
+        session.engine_mut().set_cancel(Some(tok));
+        let cut = session.check();
+        assert!(cut.full_run);
+        assert!(cut.interrupted.is_some());
+
+        // With the cancel cleared, the next check is again a *full*
+        // run (the session stayed cold) and matches from-scratch.
+        session.engine_mut().set_cancel(None);
+        let first = session.check();
+        assert!(first.full_run, "partial results must not seed a baseline");
+        assert!(first.interrupted.is_none());
+        let scratch = Engine::sequential().check(session.layout(), &deck());
+        assert_eq!(first.violations, scratch.violations);
+
+        // Now interrupt a *delta* run: the old baseline is restored,
+        // so the following clean check diffs against completed state.
+        let op = nudge_op(session.layout());
+        session.apply(op).unwrap();
+        let tok = CancelToken::new();
+        tok.cancel(CancelReason::Interrupt);
+        session.engine_mut().set_cancel(Some(tok));
+        let cut = session.check();
+        assert!(!cut.full_run);
+        assert!(cut.interrupted.is_some());
+        session.engine_mut().set_cancel(None);
+        let healed = session.check();
+        assert!(!healed.full_run, "completed baseline was kept");
+        assert!(healed.interrupted.is_none());
+        let scratch = Engine::sequential().check(session.layout(), &deck());
+        assert_eq!(healed.violations, scratch.violations);
+    }
+
+    #[test]
+    fn swap_cache_moves_verdicts_between_sessions() {
+        let spec = DesignSpec::tiny(25);
+        let mut warm = Session::new(generate_layout(&spec), Engine::sequential(), deck());
+        let cold_report = warm.check();
+        assert!(cold_report.stats.checks_computed > 0);
+
+        // Check the warm cache out of one session and into another
+        // over the same design: the second full run reuses verdicts.
+        let shared = warm.swap_cache(ResultCache::new());
+        let mut other = Session::new(generate_layout(&spec), Engine::sequential(), deck());
+        let _empty = other.swap_cache(shared);
+        let warm_report = other.check();
+        assert!(warm_report.stats.checks_reused > 0);
+        assert!(warm_report.stats.checks_computed < cold_report.stats.checks_computed);
+        assert_eq!(warm_report.violations, cold_report.violations);
     }
 
     #[test]

@@ -265,6 +265,31 @@ impl HostExecutor {
         }
     }
 
+    /// An executor that draws its extra workers from an *external*
+    /// gate instead of owning one — the multi-tenant generalization of
+    /// the sizing handshake. Every engine run inside a server shares
+    /// one process-wide permit budget: concurrent runs' fan-outs (and,
+    /// via [`HostExecutor::gate`], their devices' kernel dispatches)
+    /// contend for the same permits, so N simultaneous jobs never
+    /// oversubscribe the machine — late-coming fan-outs degrade toward
+    /// inline execution exactly like nested fan-outs always have.
+    ///
+    /// `threads` caps how many workers *this* executor will use per
+    /// fan-out (it still never takes more than the gate can grant).
+    /// With `threads <= 1` the executor is serial and the gate is
+    /// untouched.
+    pub fn with_shared_gate(threads: usize, gate: Arc<ThreadGate>) -> Self {
+        let threads = threads.max(1);
+        HostExecutor {
+            threads,
+            gate: (threads > 1).then_some(gate),
+            cancel: Mutex::new(None),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            util: Mutex::new(Vec::new()),
+        }
+    }
+
     /// Attaches (or clears) the run's cancel token. A cancelled token
     /// makes workers stop *stealing*: every seeded task still executes
     /// exactly once — the deterministic index-ordered merge is
@@ -590,6 +615,38 @@ mod tests {
         let out = host.run("t", 100, |i| i);
         assert_eq!(out.len(), 100);
         assert_eq!(gate.available(), 3);
+    }
+
+    #[test]
+    fn shared_gate_spans_executors() {
+        // Two executors over one gate: permits drawn by either come
+        // from (and return to) the same budget.
+        let gate = Arc::new(ThreadGate::new(3));
+        let a = HostExecutor::with_shared_gate(4, Arc::clone(&gate));
+        let b = HostExecutor::with_shared_gate(4, Arc::clone(&gate));
+        assert!(Arc::ptr_eq(&a.gate().unwrap(), &b.gate().unwrap()));
+        // Drain the shared budget: both executors degrade to inline
+        // but still complete with index-ordered results.
+        let taken = gate.try_acquire(3);
+        assert_eq!(taken, 3);
+        assert_eq!(a.run("t", 20, |i| i), (0..20).collect::<Vec<_>>());
+        assert_eq!(b.run("t", 20, |i| i + 1), (1..=20).collect::<Vec<_>>());
+        gate.release(taken);
+        assert_eq!(gate.available(), 3);
+        // With permits back, a fan-out returns them when done.
+        let out = a.run("t", 200, |i| i);
+        assert_eq!(out.len(), 200);
+        assert_eq!(gate.available(), 3);
+    }
+
+    #[test]
+    fn shared_gate_serial_executor_ignores_gate() {
+        let gate = Arc::new(ThreadGate::new(2));
+        let host = HostExecutor::with_shared_gate(1, Arc::clone(&gate));
+        assert!(host.is_serial());
+        assert!(host.gate().is_none());
+        assert_eq!(host.run("t", 5, |i| i), vec![0, 1, 2, 3, 4]);
+        assert_eq!(gate.available(), 2);
     }
 
     #[test]

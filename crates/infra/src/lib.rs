@@ -52,7 +52,7 @@ pub mod region;
 pub mod rtree;
 pub mod sweep;
 
-pub use atomic_io::write_atomic;
+pub use atomic_io::{write_atomic, FileLock};
 pub use cancel::{install_signal_handlers, CancelReason, CancelToken};
 pub use host::{HostExecutor, HostPanic, ThreadGate};
 pub use interval_tree::IntervalTree;

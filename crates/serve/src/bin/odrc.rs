@@ -8,6 +8,13 @@
 //!      [--resume <dir>] [--watchdog-ms N]
 //! odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel]
 //!      [--cache <dir>] [--max-print N] [--host-threads N]
+//! odrc serve [--addr HOST:PORT] [--workers N] [--host-threads N]
+//!      [--max-queue N] [--cache <dir>] [--device-budget BYTES]
+//!      [--port-file <path>]
+//! odrc client <layout.gds> --rules <deck.rules> --addr HOST:PORT
+//!      [--parallel] [--priority N] [--deadline-ms N] [--edits ops.jsonl]
+//!      [--report out.csv] [--stats-json out.json] [--max-print N]
+//!      [--shutdown]
 //! ```
 //!
 //! The default mode reads a GDSII layout and a plain-text rule deck
@@ -20,6 +27,16 @@
 //! `odrc diff` checks `old.gds`, delta-checks `new.gds` against it,
 //! and prints the violations the edit added and removed. It exits 0
 //! when the edit added no violations, non-zero otherwise.
+//!
+//! `odrc serve` runs the multi-tenant check daemon (see
+//! [`odrc_serve::server`]): clients open edit sessions, stream edits,
+//! and submit concurrent check jobs that share one host-thread budget
+//! and one result-cache tier. `odrc client` is the matching
+//! command-line front end; its exit code follows the same 0–4 table
+//! below, taken verbatim from the job's `done` event, so scripts
+//! cannot tell the two front ends apart. SIGTERM drains the daemon
+//! gracefully: running jobs finish and deliver, then the shared cache
+//! tier is persisted.
 //!
 //! # Run lifecycle
 //!
@@ -112,6 +129,11 @@ fn usage() -> ! {
          [--checkpoint-dir dir] [--resume dir] [--watchdog-ms N]\n\
          \u{20}      odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel] \
          [--cache dir] [--max-print N] [--host-threads N]\n\
+         \u{20}      odrc serve [--addr HOST:PORT] [--workers N] [--host-threads N] \
+         [--max-queue N] [--cache dir] [--device-budget BYTES] [--port-file path]\n\
+         \u{20}      odrc client <layout.gds> --rules <deck.rules> --addr HOST:PORT \
+         [--parallel] [--priority N] [--deadline-ms N] [--edits ops.jsonl] \
+         [--report out.csv] [--stats-json out.json] [--max-print N] [--shutdown]\n\
          exit codes: 0 clean, 1 violations found, 2 hard error, 3 degraded but clean, \
          4 interrupted (signal or deadline; checkpoint saved if --checkpoint-dir)"
     );
@@ -422,9 +444,11 @@ fn load_cache(dir: &str) -> ResultCache {
     cache
 }
 
+/// Merge-on-save under the sidecar's file lock: a concurrent run (or
+/// a draining `odrc serve` sharing the directory) loses nothing.
 fn save_cache(dir: &str, cache: &ResultCache) -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all(dir)?;
-    cache.save(&Path::new(dir).join(CACHE_FILE))?;
+    cache.save_merged(&Path::new(dir).join(CACHE_FILE))?;
     eprintln!("saved {} cached results to {dir}", cache.len());
     Ok(())
 }
@@ -679,6 +703,12 @@ fn run(args: &Args) -> Result<Outcome, Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return run_serve(&argv[1..]),
+        Some("client") => return run_client(&argv[1..]),
+        _ => {}
+    }
     let args = parse_args();
     match run(&args) {
         // Interruption first — a partial result is not a verdict; then
@@ -703,4 +733,320 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// `odrc serve` — the multi-tenant check daemon.
+// ---------------------------------------------------------------------------
+
+fn usage_serve() -> ! {
+    eprintln!(
+        "usage: odrc serve [--addr HOST:PORT] [--workers N] [--host-threads N] \
+         [--max-queue N] [--cache dir] [--device-budget BYTES] [--device-workers N] \
+         [--port-file path]\n\
+         binds (port 0 = ephemeral), prints `listening on ADDR`, and serves until \
+         SIGINT/SIGTERM or a `shutdown` verb, then drains in-flight jobs and \
+         persists the shared cache tier"
+    );
+    std::process::exit(2);
+}
+
+fn run_serve(argv: &[String]) -> ExitCode {
+    let mut config = odrc_serve::ServerConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut i = 0;
+    let value = |argv: &[String], i: usize| -> String {
+        if i + 1 >= argv.len() {
+            usage_serve();
+        }
+        argv[i + 1].clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => config.addr = value(argv, i),
+            "--workers" => {
+                config.workers = value(argv, i).parse().unwrap_or_else(|_| usage_serve());
+            }
+            "--host-threads" => {
+                let n: usize = value(argv, i).parse().unwrap_or_else(|_| usage_serve());
+                if n == 0 {
+                    usage_serve();
+                }
+                config.host_threads = n;
+            }
+            "--max-queue" => {
+                config.max_queue = value(argv, i).parse().unwrap_or_else(|_| usage_serve());
+            }
+            "--cache" => config.cache_dir = Some(value(argv, i).into()),
+            "--device-budget" => {
+                config.device_budget =
+                    Some(value(argv, i).parse().unwrap_or_else(|_| usage_serve()));
+            }
+            "--device-workers" => {
+                config.device_workers = value(argv, i).parse().unwrap_or_else(|_| usage_serve());
+            }
+            "--port-file" => port_file = Some(value(argv, i)),
+            _ => usage_serve(),
+        }
+        i += 2;
+    }
+
+    let server = match odrc_serve::Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // SIGINT/SIGTERM set the signal flag the server's drain token is
+    // linked to: the daemon stops accepting, finishes in-flight jobs,
+    // and persists the cache tier before exiting.
+    install_signal_handlers();
+    let addr = server.addr();
+    println!("odrc serve listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            eprintln!("error: cannot write --port-file {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match server.run() {
+        Ok(summary) => {
+            eprintln!(
+                "drained: {} job(s) completed over this lifetime; cache tier holds \
+                 {} entr(ies), served {} shared hit(s)",
+                summary.jobs_completed, summary.cache_entries, summary.cache_hits_shared
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `odrc client` — the command-line front end to a running daemon.
+// ---------------------------------------------------------------------------
+
+fn usage_client() -> ! {
+    eprintln!(
+        "usage: odrc client <layout.gds> --rules <deck.rules> --addr HOST:PORT \
+         [--parallel] [--priority N] [--deadline-ms N] [--edits ops.jsonl] \
+         [--report out.csv] [--stats-json out.json] [--max-print N] [--shutdown]\n\
+         \u{20}      odrc client --addr HOST:PORT --shutdown\n\
+         exit codes match the one-shot checker: 0 clean, 1 violations, 2 hard error, \
+         3 degraded but clean, 4 interrupted (cancel, deadline, or server drain)"
+    );
+    std::process::exit(2);
+}
+
+struct ClientArgs {
+    addr: Option<String>,
+    layout: Option<String>,
+    rules: Option<String>,
+    parallel: bool,
+    priority: i64,
+    deadline_ms: Option<u64>,
+    edits: Option<String>,
+    report: Option<String>,
+    stats_json: Option<String>,
+    max_print: usize,
+    shutdown: bool,
+}
+
+fn parse_client_args(argv: &[String]) -> ClientArgs {
+    let mut args = ClientArgs {
+        addr: None,
+        layout: None,
+        rules: None,
+        parallel: false,
+        priority: 0,
+        deadline_ms: None,
+        edits: None,
+        report: None,
+        stats_json: None,
+        max_print: 20,
+        shutdown: false,
+    };
+    let value = |argv: &[String], i: usize| -> String {
+        if i + 1 >= argv.len() {
+            usage_client();
+        }
+        argv[i + 1].clone()
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                args.addr = Some(value(argv, i));
+                i += 2;
+            }
+            "--rules" => {
+                args.rules = Some(value(argv, i));
+                i += 2;
+            }
+            "--parallel" => {
+                args.parallel = true;
+                i += 1;
+            }
+            "--priority" => {
+                args.priority = value(argv, i).parse().unwrap_or_else(|_| usage_client());
+                i += 2;
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(value(argv, i).parse().unwrap_or_else(|_| usage_client()));
+                i += 2;
+            }
+            "--edits" => {
+                args.edits = Some(value(argv, i));
+                i += 2;
+            }
+            "--report" => {
+                args.report = Some(value(argv, i));
+                i += 2;
+            }
+            "--stats-json" => {
+                args.stats_json = Some(value(argv, i));
+                i += 2;
+            }
+            "--max-print" => {
+                args.max_print = value(argv, i).parse().unwrap_or_else(|_| usage_client());
+                i += 2;
+            }
+            "--shutdown" => {
+                args.shutdown = true;
+                i += 1;
+            }
+            "--help" | "-h" => usage_client(),
+            other if !other.starts_with('-') && args.layout.is_none() => {
+                args.layout = Some(other.to_owned());
+                i += 1;
+            }
+            _ => usage_client(),
+        }
+    }
+    if args.addr.is_none() || (args.layout.is_none() && !args.shutdown) {
+        usage_client();
+    }
+    if args.layout.is_some() && args.rules.is_none() {
+        usage_client();
+    }
+    args
+}
+
+fn run_client(argv: &[String]) -> ExitCode {
+    let args = parse_client_args(argv);
+    match client_main(&args) {
+        Ok(exit) => ExitCode::from(u8::try_from(exit).unwrap_or(2)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn client_main(args: &ClientArgs) -> Result<i64, Box<dyn std::error::Error>> {
+    use odrc_serve::json::{obj, Value};
+
+    let addr = args.addr.as_deref().expect("checked by parse_client_args");
+    let mut client = odrc_serve::Client::connect(addr)?;
+
+    let mut exit = 0i64;
+    if let Some(layout) = &args.layout {
+        let rules_path = args.rules.as_deref().expect("checked by parse_client_args");
+        let gds = std::fs::read(layout)?;
+        let rules = std::fs::read_to_string(rules_path)?;
+        let mode = if args.parallel {
+            "parallel"
+        } else {
+            "sequential"
+        };
+        let session = client.open_bytes(&gds, &rules, mode)?;
+        eprintln!("opened session {session} on {addr} ({mode})");
+
+        if let Some(path) = &args.edits {
+            let ops = std::fs::read_to_string(path)?
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(odrc_serve::json::parse)
+                .collect::<Result<Vec<_>, _>>()?;
+            let applied = client.edit(session, ops)?;
+            eprintln!("applied {applied} edit op(s) from {path}");
+        }
+
+        let outcome = client.check_wait(session, args.priority, args.deadline_ms)?;
+        exit = outcome.exit;
+
+        if let Some(error) = &outcome.error {
+            eprintln!("job {} failed: {error}", outcome.job);
+        } else {
+            println!("{:<20} {:>8}", "total", outcome.violations.len());
+            for v in outcome.violations.iter().take(args.max_print) {
+                println!("  {}", v.to_csv_row());
+            }
+            if outcome.violations.len() > args.max_print {
+                println!(
+                    "  ... and {} more",
+                    outcome.violations.len() - args.max_print
+                );
+            }
+            eprintln!(
+                "job {}: exit {}, {} rule(s) reported, {} shared cache hit(s), \
+                 queued {} ms",
+                outcome.job,
+                outcome.exit,
+                outcome.rules.len(),
+                outcome.stat("cache_hits_shared"),
+                outcome.stat("queue_wait_ms"),
+            );
+            if let Some(reason) = &outcome.interrupted {
+                eprintln!("run interrupted ({reason}); results are partial");
+            }
+        }
+
+        if let Some(path) = &args.report {
+            odrc_infra::write_atomic(Path::new(path), outcome.report_csv().as_bytes())?;
+            eprintln!("wrote {} violations to {path}", outcome.violations.len());
+        }
+        if let Some(path) = &args.stats_json {
+            // Per-job engine counters (including cache_hits_shared and
+            // queue_wait_ms) plus the server-wide admission counters
+            // from the `stats` verb.
+            let server = client.stats()?;
+            let server = match server {
+                Value::Object(pairs) => {
+                    Value::Object(pairs.into_iter().filter(|(k, _)| k != "ok").collect())
+                }
+                other => other,
+            };
+            let doc = obj([
+                ("job", Value::from(outcome.job)),
+                ("exit", Value::Int(outcome.exit)),
+                ("violations", Value::from(outcome.violations.len())),
+                (
+                    "interrupted",
+                    match &outcome.interrupted {
+                        Some(reason) => Value::from(reason.as_str()),
+                        None => Value::Null,
+                    },
+                ),
+                ("full_run", Value::Bool(outcome.full_run)),
+                ("stats", outcome.stats.clone()),
+                ("server", server),
+            ]);
+            odrc_infra::write_atomic(Path::new(path), doc.to_json().as_bytes())?;
+            eprintln!("wrote stats to {path}");
+        }
+        client.close(session)?;
+    }
+
+    if args.shutdown {
+        client.shutdown()?;
+        eprintln!("asked {addr} to drain and exit");
+    }
+    Ok(exit)
 }

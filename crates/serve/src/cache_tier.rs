@@ -1,0 +1,190 @@
+//! The shared server-side result-cache tier.
+//!
+//! Each edit session owns a private [`ResultCache`], which is correct
+//! but wasteful in a multi-tenant server: two clients checking the
+//! same standard-cell library re-verify identical cells. This tier
+//! promotes the cache to a server-wide resource keyed — like the
+//! per-session cache — by `(rule signature, content hash)`, so
+//! verdicts flow between sessions while staying safe against rule or
+//! geometry drift.
+//!
+//! Concurrency model: jobs never share a live `ResultCache` (its
+//! `get` counts hits through `&mut self`). Instead a job **checks
+//! out** a snapshot (a cheap clone — entries are `Arc`ed), runs with
+//! exclusive ownership, and **merges back** what it learned. Merges
+//! are first-writer-wins per key, which is sound because both sides
+//! computed the same pure function of the key. The tier itself is a
+//! `parking_lot`-shim mutex, so a panicking job cannot poison it.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use odrc::{ResultCache, CACHE_FILE};
+use parking_lot::Mutex;
+
+/// The server-wide cache tier. See the module docs for the
+/// checkout/merge-back protocol.
+pub struct SharedCacheTier {
+    inner: Mutex<ResultCache>,
+    /// Sidecar to persist into at drain time (merge-on-save under the
+    /// sidecar's file lock — a one-shot CLI run against the same
+    /// directory cannot be clobbered).
+    path: Option<PathBuf>,
+    /// Total lookups answered for jobs out of checked-out snapshots.
+    hits_shared: AtomicU64,
+    /// Entries other jobs contributed that a merge-back deduplicated.
+    merges: AtomicU64,
+}
+
+impl SharedCacheTier {
+    /// An empty in-memory tier.
+    pub fn new() -> SharedCacheTier {
+        SharedCacheTier {
+            inner: Mutex::new(ResultCache::new()),
+            path: None,
+            hits_shared: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+        }
+    }
+
+    /// A tier backed by `<dir>/odrc-cache.bin`: warm-loaded now
+    /// (leniently — a damaged sidecar starts cold), persisted by
+    /// [`SharedCacheTier::persist`].
+    pub fn with_dir(dir: impl Into<PathBuf>) -> SharedCacheTier {
+        let path = dir.into().join(CACHE_FILE);
+        SharedCacheTier {
+            inner: Mutex::new(ResultCache::load_or_cold(&path)),
+            path: Some(path),
+            hits_shared: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+        }
+    }
+
+    /// Checks out a snapshot for one job. The snapshot is independent
+    /// — the job mutates it freely while other jobs run against their
+    /// own copies.
+    pub fn checkout(&self) -> ResultCache {
+        self.inner.lock().clone()
+    }
+
+    /// Merges a job's enriched snapshot back and accounts its reuse.
+    ///
+    /// `hits_before` is `snapshot.hits()` at checkout time (the clone
+    /// inherits the donor's counter); the difference is the job's own
+    /// shared-tier hit count, which this returns.
+    pub fn merge_back(&self, enriched: &ResultCache, hits_before: usize) -> u64 {
+        let job_hits = (enriched.hits().saturating_sub(hits_before)) as u64;
+        self.hits_shared.fetch_add(job_hits, Ordering::Relaxed);
+        let added = self.inner.lock().merge_from(enriched);
+        self.merges.fetch_add(added as u64, Ordering::Relaxed);
+        job_hits
+    }
+
+    /// Entries currently in the tier.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when the tier holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookups jobs answered from checked-out snapshots.
+    pub fn hits_shared(&self) -> u64 {
+        self.hits_shared.load(Ordering::Relaxed)
+    }
+
+    /// Entries contributed by merge-backs since startup.
+    pub fn entries_merged(&self) -> u64 {
+        self.merges.load(Ordering::Relaxed)
+    }
+
+    /// Persists the tier to its sidecar (no-op for in-memory tiers).
+    /// Uses merge-on-save, so concurrent CLI runs sharing the
+    /// directory lose nothing.
+    pub fn persist(&self) -> std::io::Result<()> {
+        if let Some(path) = &self.path {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            self.inner.lock().save_merged(path)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for SharedCacheTier {
+    fn default() -> Self {
+        SharedCacheTier::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn checkout_merge_back_accumulates() {
+        let tier = SharedCacheTier::new();
+        // Job A computes two entries and merges them back.
+        let mut a = tier.checkout();
+        let before_a = a.hits();
+        a.insert(1, 10, Arc::new(Vec::new()));
+        a.insert(1, 11, Arc::new(Vec::new()));
+        tier.merge_back(&a, before_a);
+        assert_eq!(tier.len(), 2);
+
+        // Job B's checkout sees them; its own hits are accounted.
+        let mut b = tier.checkout();
+        let before_b = b.hits();
+        assert!(b.get(1, 10).is_some());
+        assert!(b.get(1, 11).is_some());
+        assert!(b.get(1, 12).is_none());
+        b.insert(1, 12, Arc::new(Vec::new()));
+        let job_hits = tier.merge_back(&b, before_b);
+        assert_eq!(job_hits, 2);
+        assert_eq!(tier.hits_shared(), 2);
+        assert_eq!(tier.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_checkouts_lose_nothing() {
+        let tier = Arc::new(SharedCacheTier::new());
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let tier = Arc::clone(&tier);
+                std::thread::spawn(move || {
+                    for round in 0..8u64 {
+                        let mut snap = tier.checkout();
+                        let before = snap.hits();
+                        snap.insert(t, round, Arc::new(Vec::new()));
+                        tier.merge_back(&snap, before);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(tier.len(), 32, "every thread's entries survive");
+    }
+
+    #[test]
+    fn persists_and_reloads() {
+        let dir = std::env::temp_dir().join(format!("odrc-tier-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let tier = SharedCacheTier::with_dir(&dir);
+            let mut snap = tier.checkout();
+            let before = snap.hits();
+            snap.insert(7, 70, Arc::new(Vec::new()));
+            tier.merge_back(&snap, before);
+            tier.persist().unwrap();
+        }
+        let reloaded = SharedCacheTier::with_dir(&dir);
+        assert_eq!(reloaded.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

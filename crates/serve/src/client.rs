@@ -1,0 +1,373 @@
+//! Synchronous client for the serve protocol.
+//!
+//! A [`Client`] owns one connection. Requests are strictly
+//! request/response; the complication is that a running job's event
+//! frames (`queued`, `running`, `rule`, `done`, `error`) arrive on the
+//! same stream and may interleave with later responses. The client
+//! demultiplexes by the `event` key: anything with it is buffered for
+//! [`Client::wait`], anything without it answers the in-flight
+//! request.
+//!
+//! The blocking [`Client::check_wait`] round trip is what `odrc
+//! client check` uses; callers that want to overlap jobs submit with
+//! [`Client::check`] on several clients and [`Client::wait`]
+//! afterwards.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::json::{base64, obj, Value};
+use crate::proto::{parse_frame, read_frame, write_frame, ServeError};
+use crate::wire::WireViolation;
+
+/// What can go wrong on the client side of the wire.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server sent something the protocol does not allow — or
+    /// closed the connection mid-conversation.
+    Protocol(String),
+    /// The server answered with `{"ok":false,...}`; `code` is the
+    /// stable [`ServeError`] wire code.
+    Server { code: i64, message: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ServeError> for ClientError {
+    fn from(e: ServeError) -> ClientError {
+        match e {
+            ServeError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A finished job as the client sees it: the `done`/`error` event
+/// unpacked into primitives, plus the rule-progress trail.
+#[derive(Debug)]
+pub struct JobOutcome {
+    pub job: u64,
+    /// The CLI-parity exit code (0 clean, 1 violations, 2 hard error,
+    /// 3 degraded-clean, 4 interrupted).
+    pub exit: i64,
+    pub violations: Vec<WireViolation>,
+    /// Whether the engine ran the full deck (vs. an incremental delta).
+    pub full_run: bool,
+    /// Why the run stopped early, if it did (`"interrupt"` or
+    /// `"deadline"`).
+    pub interrupted: Option<String>,
+    /// The `done` event's stats object (engine counters plus
+    /// `cache_hits_shared` and `queue_wait_ms`), kept as JSON for
+    /// pass-through into `--stats-json`.
+    pub stats: Value,
+    /// `(rule, status)` pairs in completion order.
+    pub rules: Vec<(String, String)>,
+    /// The server's message when the terminal event was `error`.
+    pub error: Option<String>,
+}
+
+impl JobOutcome {
+    /// A named counter out of the stats object (0 when absent).
+    pub fn stat(&self, key: &str) -> i64 {
+        self.stats.get(key).and_then(Value::as_i64).unwrap_or(0)
+    }
+
+    /// Renders the CLI `--report` CSV (header plus one row per
+    /// violation) — byte-identical to a one-shot run on the same
+    /// layout and deck.
+    pub fn report_csv(&self) -> String {
+        let mut out = String::from("rule,kind,x0,y0,x1,y1,measured\n");
+        for v in &self.violations {
+            out.push_str(&v.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One protocol connection. Not thread-safe by design — open one
+/// client per thread; the server multiplexes.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Event frames that arrived while a response was awaited.
+    pending: Vec<Value>,
+}
+
+impl Client {
+    /// Connects and validates the `hello` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+            pending: Vec::new(),
+        };
+        let hello = client.request(obj([("verb", Value::from("hello"))]))?;
+        match hello.get("protocol").and_then(Value::as_i64) {
+            Some(1) => Ok(client),
+            other => Err(ClientError::Protocol(format!(
+                "unsupported server protocol {other:?}"
+            ))),
+        }
+    }
+
+    /// Opens an edit session from in-memory GDSII bytes. Returns the
+    /// session id.
+    pub fn open_bytes(&mut self, gds: &[u8], rules: &str, mode: &str) -> Result<u64, ClientError> {
+        self.open_frame(obj([
+            ("verb", Value::from("open")),
+            ("gds_b64", Value::from(base64::encode(gds))),
+            ("rules", Value::from(rules)),
+            ("mode", Value::from(mode)),
+        ]))
+    }
+
+    /// Opens an edit session from a server-side layout path.
+    pub fn open_path(&mut self, path: &str, rules: &str, mode: &str) -> Result<u64, ClientError> {
+        self.open_frame(obj([
+            ("verb", Value::from("open")),
+            ("path", Value::from(path)),
+            ("rules", Value::from(rules)),
+            ("mode", Value::from(mode)),
+        ]))
+    }
+
+    fn open_frame(&mut self, frame: Value) -> Result<u64, ClientError> {
+        let response = self.request(frame)?;
+        field_u64(&response, "session")
+    }
+
+    /// Streams edit ops (already in wire JSON — see
+    /// [`crate::wire::edit_op_to_json`]) into a session. Returns how
+    /// many were applied.
+    pub fn edit(&mut self, session: u64, ops: Vec<Value>) -> Result<u64, ClientError> {
+        let response = self.request(obj([
+            ("verb", Value::from("edit")),
+            ("session", Value::from(session)),
+            ("ops", Value::Array(ops)),
+        ]))?;
+        field_u64(&response, "applied")
+    }
+
+    /// Submits a check job; returns the job id immediately. Follow
+    /// with [`Client::wait`].
+    pub fn check(
+        &mut self,
+        session: u64,
+        priority: i64,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, ClientError> {
+        let response = self.request(obj([
+            ("verb", Value::from("check")),
+            ("session", Value::from(session)),
+            ("priority", Value::Int(priority)),
+            (
+                "deadline_ms",
+                match deadline_ms {
+                    Some(ms) => Value::from(ms),
+                    None => Value::Null,
+                },
+            ),
+        ]))?;
+        field_u64(&response, "job")
+    }
+
+    /// Blocks until job `job` reaches its terminal event, collecting
+    /// the rule-progress trail along the way.
+    pub fn wait(&mut self, job: u64) -> Result<JobOutcome, ClientError> {
+        let mut rules = Vec::new();
+        loop {
+            let event = self.next_event(job)?;
+            match event.get("event").and_then(Value::as_str) {
+                Some("queued") | Some("running") => {}
+                Some("rule") => {
+                    if let (Some(rule), Some(status)) = (
+                        event.get("rule").and_then(Value::as_str),
+                        event.get("status").and_then(Value::as_str),
+                    ) {
+                        rules.push((rule.to_string(), status.to_string()));
+                    }
+                }
+                Some("done") => {
+                    let violations = event
+                        .get("violations")
+                        .and_then(Value::as_array)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(WireViolation::from_json)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    return Ok(JobOutcome {
+                        job,
+                        exit: event.get("exit").and_then(Value::as_i64).unwrap_or(2),
+                        violations,
+                        full_run: event
+                            .get("full_run")
+                            .and_then(Value::as_bool)
+                            .unwrap_or(true),
+                        interrupted: event
+                            .get("interrupted")
+                            .and_then(Value::as_str)
+                            .map(str::to_string),
+                        stats: event.get("stats").cloned().unwrap_or(Value::Null),
+                        rules,
+                        error: None,
+                    });
+                }
+                Some("error") => {
+                    return Ok(JobOutcome {
+                        job,
+                        exit: event.get("exit").and_then(Value::as_i64).unwrap_or(2),
+                        violations: Vec::new(),
+                        full_run: true,
+                        interrupted: None,
+                        stats: Value::Null,
+                        rules,
+                        error: Some(
+                            event
+                                .get("error")
+                                .and_then(Value::as_str)
+                                .unwrap_or("unknown server error")
+                                .to_string(),
+                        ),
+                    });
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected event {other:?} for job {job}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Submit-and-block convenience.
+    pub fn check_wait(
+        &mut self,
+        session: u64,
+        priority: i64,
+        deadline_ms: Option<u64>,
+    ) -> Result<JobOutcome, ClientError> {
+        let job = self.check(session, priority, deadline_ms)?;
+        self.wait(job)
+    }
+
+    /// Asks the server to cancel a job. The job still winds down to a
+    /// terminal event (exit 4), which [`Client::wait`] observes.
+    pub fn cancel(&mut self, job: u64) -> Result<(), ClientError> {
+        self.request(obj([
+            ("verb", Value::from("cancel")),
+            ("job", Value::from(job)),
+        ]))?;
+        Ok(())
+    }
+
+    /// Fetches the server-wide counters (`jobs_admitted`,
+    /// `jobs_rejected`, `cache_hits_shared`, ...).
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.request(obj([("verb", Value::from("stats"))]))
+    }
+
+    /// Closes an edit session.
+    pub fn close(&mut self, session: u64) -> Result<(), ClientError> {
+        self.request(obj([
+            ("verb", Value::from("close")),
+            ("session", Value::from(session)),
+        ]))?;
+        Ok(())
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(obj([("verb", Value::from("shutdown"))]))?;
+        Ok(())
+    }
+
+    /// One request/response round trip; event frames that arrive first
+    /// are buffered for [`Client::wait`].
+    fn request(&mut self, frame: Value) -> Result<Value, ClientError> {
+        write_frame(&mut self.writer, &frame)?;
+        loop {
+            let response = self.read_value()?;
+            if response.get("event").is_some() {
+                self.pending.push(response);
+                continue;
+            }
+            return check_ok(response);
+        }
+    }
+
+    /// The next event for `job`: drains the buffer first, then the
+    /// socket. Events for *other* jobs stay buffered.
+    fn next_event(&mut self, job: u64) -> Result<Value, ClientError> {
+        loop {
+            if let Some(at) = self
+                .pending
+                .iter()
+                .position(|e| e.get("job").and_then(Value::as_i64) == Some(job as i64))
+            {
+                return Ok(self.pending.remove(at));
+            }
+            let frame = self.read_value()?;
+            if frame.get("event").is_some() {
+                self.pending.push(frame);
+            } else {
+                return Err(ClientError::Protocol(
+                    "response frame with no request in flight".to_string(),
+                ));
+            }
+        }
+    }
+
+    fn read_value(&mut self) -> Result<Value, ClientError> {
+        let line = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".to_string()))?;
+        Ok(parse_frame(&line)?)
+    }
+}
+
+fn check_ok(response: Value) -> Result<Value, ClientError> {
+    match response.get("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(response),
+        Some(false) => Err(ClientError::Server {
+            code: response.get("code").and_then(Value::as_i64).unwrap_or(-1),
+            message: response
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown error")
+                .to_string(),
+        }),
+        None => Err(ClientError::Protocol(
+            "response frame without \"ok\"".to_string(),
+        )),
+    }
+}
+
+fn field_u64(response: &Value, key: &str) -> Result<u64, ClientError> {
+    response
+        .get(key)
+        .and_then(Value::as_i64)
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| ClientError::Protocol(format!("response missing {key:?}")))
+}

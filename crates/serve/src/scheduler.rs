@@ -1,0 +1,518 @@
+//! The admission and scheduling layer: a bounded priority queue in
+//! front of a fixed worker pool.
+//!
+//! This is the multi-tenant generalization of the engine's sizing
+//! handshake. A single run assumes it owns the machine: its
+//! `HostExecutor` sizes itself to `host_threads` and hands its
+//! [`ThreadGate`] to the device so kernel dispatch and host fan-outs
+//! draw from one budget. With many concurrent jobs that assumption
+//! breaks — so the server owns one process-wide gate, every job's
+//! engine is pointed at it via `EngineOptions::shared_gate`, and this
+//! scheduler bounds how many jobs run at once. Worker count caps
+//! *runs*; the gate caps *extra threads across all runs*; the two
+//! together keep a fleet of jobs from oversubscribing the host the
+//! same way one job never oversubscribes it.
+//!
+//! Eligibility: jobs carry an optional exclusion key (the session id
+//! — an edit session's layout and baseline are single-writer), and at
+//! most one job per key runs at a time. The queue picks the
+//! highest-priority eligible job, FIFO within a priority. Admission
+//! is bounded (`max_queue`); a full queue or a draining server
+//! rejects instead of buffering unboundedly.
+//!
+//! Every admitted job runs to a terminal state even when cancelled —
+//! cancellation trips the job's [`CancelToken`] and the engine winds
+//! down at the next rule boundary, reporting exit 4 through the
+//! normal completion path. A panicking job is caught by its worker
+//! (the pool survives), reported as a job error, and never wedges the
+//! queue.
+//!
+//! [`ThreadGate`]: odrc_infra::ThreadGate
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use odrc_infra::{CancelReason, CancelToken};
+use parking_lot::{Condvar, Mutex};
+
+use crate::proto::ServeError;
+
+/// What the scheduler hands a job when it finally runs.
+pub struct JobRun {
+    /// The admitted job's id.
+    pub job_id: u64,
+    /// Milliseconds the job sat in the queue before a worker picked
+    /// it up.
+    pub queue_wait_ms: u64,
+}
+
+type JobFn = Box<dyn FnOnce(&JobRun) + Send>;
+
+struct QueuedJob {
+    job_id: u64,
+    exclusion: Option<u64>,
+    priority: i64,
+    seq: u64,
+    enqueued: Instant,
+    run: JobFn,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: Vec<QueuedJob>,
+    /// Exclusion keys of currently *running* jobs.
+    running_keys: HashSet<u64>,
+    running: usize,
+    /// Cancel tokens of every live (queued or running) job, for the
+    /// `cancel` verb.
+    live: Vec<(u64, CancelToken)>,
+    draining: bool,
+    shutdown: bool,
+    seq: u64,
+}
+
+/// Server-wide admission counters, exported via the `stats` verb and
+/// stamped into each job's `done` event.
+#[derive(Default)]
+pub struct SchedulerStats {
+    pub jobs_admitted: AtomicU64,
+    pub jobs_rejected: AtomicU64,
+    pub jobs_completed: AtomicU64,
+    pub jobs_cancelled: AtomicU64,
+    pub jobs_panicked: AtomicU64,
+}
+
+/// The admission queue plus its worker pool.
+pub struct Scheduler {
+    state: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    max_queue: usize,
+    next_job: AtomicU64,
+    pub stats: SchedulerStats,
+}
+
+impl Scheduler {
+    /// A scheduler with `workers` concurrent job slots and an
+    /// admission queue bounded at `max_queue` waiting jobs.
+    pub fn new(workers: usize, max_queue: usize) -> Scheduler {
+        let state = Arc::new(Shared {
+            queue: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            max_queue: max_queue.max(1),
+            next_job: AtomicU64::new(1),
+            stats: SchedulerStats::default(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("odrc-job-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn job worker")
+            })
+            .collect();
+        Scheduler {
+            state,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Admits a job, or rejects it with a typed error (queue full /
+    /// draining). `exclusion` serializes jobs sharing a key (one job
+    /// per edit session); `cancel` is the token the `cancel` verb and
+    /// client-disconnect teardown will trip.
+    ///
+    /// Returns the job id.
+    pub fn submit(
+        &self,
+        exclusion: Option<u64>,
+        priority: i64,
+        cancel: CancelToken,
+        run: impl FnOnce(&JobRun) + Send + 'static,
+    ) -> Result<u64, ServeError> {
+        let mut q = self.state.queue.lock();
+        if q.draining || q.shutdown {
+            self.state
+                .stats
+                .jobs_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Rejected("server is draining".to_string()));
+        }
+        if q.pending.len() >= self.state.max_queue {
+            self.state
+                .stats
+                .jobs_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Rejected(format!(
+                "queue full ({} waiting jobs)",
+                q.pending.len()
+            )));
+        }
+        let job_id = self.state.next_job.fetch_add(1, Ordering::Relaxed);
+        q.seq += 1;
+        let seq = q.seq;
+        q.live.push((job_id, cancel));
+        q.pending.push(QueuedJob {
+            job_id,
+            exclusion,
+            priority,
+            seq,
+            enqueued: Instant::now(),
+            run: Box::new(run),
+        });
+        self.state
+            .stats
+            .jobs_admitted
+            .fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.state.cv.notify_all();
+        Ok(job_id)
+    }
+
+    /// Trips a live job's cancel token. Queued jobs still run (and
+    /// immediately wind down to exit 4 through the normal completion
+    /// path, so the submitter always gets its terminal event); unknown
+    /// ids report an error.
+    pub fn cancel(&self, job_id: u64) -> Result<(), ServeError> {
+        let q = self.state.queue.lock();
+        match q.live.iter().find(|(id, _)| *id == job_id) {
+            Some((_, token)) => {
+                token.cancel(CancelReason::Interrupt);
+                self.state
+                    .stats
+                    .jobs_cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            None => Err(ServeError::UnknownJob(job_id)),
+        }
+    }
+
+    /// Jobs currently queued or running.
+    pub fn live_jobs(&self) -> usize {
+        let q = self.state.queue.lock();
+        q.pending.len() + q.running
+    }
+
+    /// Admission counters.
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.state.stats
+    }
+
+    /// Stops admitting (`submit` now rejects) and blocks until every
+    /// already-admitted job has finished. Running jobs are *not*
+    /// cancelled — drain is graceful by definition; callers wanting a
+    /// fast exit cancel jobs first.
+    pub fn drain(&self) {
+        let mut q = self.state.queue.lock();
+        q.draining = true;
+        while !q.pending.is_empty() || q.running > 0 {
+            self.state.cv.wait(&mut q);
+        }
+    }
+
+    /// Drains, then stops and joins the worker pool. The scheduler is
+    /// unusable afterwards.
+    pub fn shutdown(&self) {
+        self.drain();
+        {
+            let mut q = self.state.queue.lock();
+            q.shutdown = true;
+        }
+        self.state.cv.notify_all();
+        let mut workers = self.workers.lock();
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(state: &Shared) {
+    loop {
+        let job = {
+            let mut q = state.queue.lock();
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                if let Some(index) = pick_eligible(&q) {
+                    let job = q.pending.swap_remove(index);
+                    if let Some(key) = job.exclusion {
+                        q.running_keys.insert(key);
+                    }
+                    q.running += 1;
+                    break job;
+                }
+                state.cv.wait(&mut q);
+            }
+        };
+
+        let run = JobRun {
+            job_id: job.job_id,
+            queue_wait_ms: job.enqueued.elapsed().as_millis() as u64,
+        };
+        // A panicking job must not take its worker down with it: the
+        // job closure owns reporting (it already caught its own panic
+        // into an `error` event if it could), and the pool lives on.
+        let body = job.run;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(&run)));
+        match outcome {
+            Ok(()) => state.stats.jobs_completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => state.stats.jobs_panicked.fetch_add(1, Ordering::Relaxed),
+        };
+
+        {
+            let mut q = state.queue.lock();
+            if let Some(key) = job.exclusion {
+                q.running_keys.remove(&key);
+            }
+            q.running -= 1;
+            q.live.retain(|(id, _)| *id != job.job_id);
+        }
+        // Wake both peers waiting for the freed exclusion key and any
+        // drainer waiting for quiescence.
+        state.cv.notify_all();
+    }
+}
+
+/// Index of the best runnable job: eligible (exclusion key not
+/// running), highest priority, FIFO within a priority.
+fn pick_eligible(q: &QueueState) -> Option<usize> {
+    q.pending
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| j.exclusion.is_none_or(|k| !q.running_keys.contains(&k)))
+        .max_by(|(_, a), (_, b)| {
+            a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)) // lower seq = earlier = wins
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_and_reports_wait() {
+        let sched = Scheduler::new(2, 16);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            sched
+                .submit(None, 0, CancelToken::new(), move |run| {
+                    assert!(run.job_id > 0);
+                    ran.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+        }
+        sched.drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+        assert_eq!(sched.stats().jobs_admitted.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn exclusion_keys_serialize_same_session() {
+        let sched = Scheduler::new(4, 64);
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let concurrent = Arc::clone(&concurrent);
+            let peak = Arc::clone(&peak);
+            sched
+                .submit(Some(7), 0, CancelToken::new(), move |_| {
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(2));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                })
+                .unwrap();
+        }
+        sched.drain();
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "same-session jobs must never overlap"
+        );
+    }
+
+    #[test]
+    fn different_sessions_do_overlap() {
+        let sched = Scheduler::new(4, 64);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        for key in 0..4u64 {
+            let concurrent = Arc::clone(&concurrent);
+            let peak = Arc::clone(&peak);
+            sched
+                .submit(Some(key), 0, CancelToken::new(), move |_| {
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(20));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                })
+                .unwrap();
+        }
+        sched.drain();
+        assert!(
+            peak.load(Ordering::SeqCst) > 1,
+            "distinct sessions should run concurrently"
+        );
+    }
+
+    /// A job that parks its worker until released, *and* signals when
+    /// it has actually started — tests must not race the worker for
+    /// queue slots (a parked job still in `pending` occupies one).
+    struct ParkedJob {
+        state: Arc<(Mutex<(bool, bool)>, Condvar)>, // (started, open)
+    }
+
+    impl ParkedJob {
+        fn submit_to(sched: &Scheduler) -> ParkedJob {
+            let state = Arc::new((Mutex::new((false, false)), Condvar::new()));
+            {
+                let state = Arc::clone(&state);
+                sched
+                    .submit(None, 0, CancelToken::new(), move |_| {
+                        let (lock, cv) = &*state;
+                        let mut s = lock.lock();
+                        s.0 = true;
+                        cv.notify_all();
+                        while !s.1 {
+                            cv.wait(&mut s);
+                        }
+                    })
+                    .unwrap();
+            }
+            let parked = ParkedJob { state };
+            let (lock, cv) = &*parked.state;
+            let mut s = lock.lock();
+            while !s.0 {
+                cv.wait(&mut s);
+            }
+            drop(s);
+            parked
+        }
+
+        fn release(&self) {
+            let (lock, cv) = &*self.state;
+            lock.lock().1 = true;
+            cv.notify_all();
+        }
+    }
+
+    impl Drop for ParkedJob {
+        /// Release on unwind too: a failed assertion must fail the
+        /// test, not wedge the scheduler's drop-drain forever.
+        fn drop(&mut self) {
+            self.release();
+        }
+    }
+
+    #[test]
+    fn priorities_pick_order() {
+        // One worker; park it so the queue builds up, then observe
+        // completion order.
+        let sched = Scheduler::new(1, 64);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let parked = ParkedJob::submit_to(&sched);
+        for (priority, tag) in [(0, "low-a"), (5, "high"), (0, "low-b"), (9, "urgent")] {
+            let order = Arc::clone(&order);
+            sched
+                .submit(None, priority, CancelToken::new(), move |_| {
+                    order.lock().push(tag);
+                })
+                .unwrap();
+        }
+        parked.release();
+        sched.drain();
+        assert_eq!(
+            *order.lock(),
+            vec!["urgent", "high", "low-a", "low-b"],
+            "priority desc, fifo within"
+        );
+    }
+
+    #[test]
+    fn queue_limit_rejects() {
+        let sched = Scheduler::new(1, 2);
+        let parked = ParkedJob::submit_to(&sched);
+        // Worker busy; queue holds 2; the third submit must bounce.
+        sched.submit(None, 0, CancelToken::new(), |_| {}).unwrap();
+        sched.submit(None, 0, CancelToken::new(), |_| {}).unwrap();
+        let err = sched.submit(None, 0, CancelToken::new(), |_| {});
+        assert!(matches!(err, Err(ServeError::Rejected(_))));
+        assert_eq!(sched.stats().jobs_rejected.load(Ordering::Relaxed), 1);
+        parked.release();
+        sched.drain();
+    }
+
+    #[test]
+    fn cancel_trips_the_token_and_jobs_still_complete() {
+        let sched = Scheduler::new(1, 16);
+        // Park the lone worker so the cancel target is still queued —
+        // otherwise it can run to completion before cancel() lands.
+        let parked = ParkedJob::submit_to(&sched);
+        let observed = Arc::new(Mutex::new(Vec::new()));
+        let token = CancelToken::new();
+        let id = {
+            let observed = Arc::clone(&observed);
+            let token = token.clone();
+            sched
+                .submit(None, 0, token.clone(), move |_| {
+                    observed.lock().push(token.is_cancelled());
+                })
+                .unwrap()
+        };
+        sched.cancel(id).unwrap();
+        parked.release();
+        sched.drain();
+        assert_eq!(*observed.lock(), vec![true], "job saw its cancellation");
+        assert!(matches!(
+            sched.cancel(9999),
+            Err(ServeError::UnknownJob(9999))
+        ));
+    }
+
+    #[test]
+    fn draining_rejects_new_jobs() {
+        let sched = Scheduler::new(1, 16);
+        sched.drain();
+        let err = sched.submit(None, 0, CancelToken::new(), |_| {});
+        assert!(matches!(err, Err(ServeError::Rejected(_))));
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let sched = Scheduler::new(1, 16);
+        sched
+            .submit(None, 0, CancelToken::new(), |_| panic!("job exploded"))
+            .unwrap();
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            sched
+                .submit(None, 0, CancelToken::new(), move |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+        }
+        sched.drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "pool survived the panic");
+        assert_eq!(sched.stats().jobs_panicked.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,691 @@
+//! The `odrc serve` daemon: TCP accept loop, per-connection protocol
+//! handling, edit-session registry, and job execution.
+//!
+//! One connection = one client = any number of edit sessions. The
+//! connection thread parses frames and answers cheap verbs inline;
+//! `check` admits a job into the shared [`Scheduler`] and returns
+//! immediately — the job's lifecycle then streams back as event
+//! frames (`queued`, `running`, per-`rule` progress, `done`/`error`)
+//! written through the connection's shared writer, interleaved with
+//! later responses.
+//!
+//! Resource sharing across tenants:
+//!
+//! * **threads** — one process-wide [`ThreadGate`] sized to
+//!   `host_threads - 1` extra permits; every job's engine run and
+//!   device dispatch draws from it (`EngineOptions::shared_gate`), so
+//!   N concurrent jobs share one machine budget instead of assuming N
+//!   machines.
+//! * **results** — one [`SharedCacheTier`]; each job checks out a
+//!   snapshot and merges back what it computed, so a layout one
+//!   client already checked warms every other client's jobs.
+//! * **devices** — per *session*, never shared: `Device` knobs
+//!   (`set_cancel`, `set_host_gate`) are device-global, so concurrent
+//!   jobs on one device would trample each other. Devices are cheap
+//!   (no persistent pool), and the session exclusion key guarantees
+//!   one job per session at a time.
+//!
+//! Teardown: a client disconnect cancels that client's live jobs (the
+//! engine winds down at the next rule boundary) and closes its
+//! sessions. A `shutdown` verb or SIGTERM trips the drain token: the
+//! accept loop stops, admission rejects, in-flight jobs finish and
+//! deliver their results, the cache tier is persisted, and `run`
+//! returns.
+//!
+//! [`ThreadGate`]: odrc_infra::ThreadGate
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use odrc::{parse_deck, Engine, EngineOptions, ProgressFn, ResultCache};
+use odrc_db::Layout;
+use odrc_incremental::Session;
+use odrc_infra::{CancelReason, CancelToken, ThreadGate};
+use odrc_xpu::Device;
+use parking_lot::Mutex;
+
+use crate::cache_tier::SharedCacheTier;
+use crate::json::{base64, obj, Value};
+use crate::proto::{
+    self, job_exit_code, opt_i64, opt_str, read_frame, req_i64, req_str, write_frame, ServeError,
+};
+use crate::scheduler::{JobRun, Scheduler};
+use crate::wire;
+
+/// Server tuning. `Default` sizes to the host.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Concurrent job slots (scheduler workers).
+    pub workers: usize,
+    /// Process-wide host-thread budget shared by all concurrent jobs
+    /// — the multi-tenant analogue of the CLI's `--host-threads`.
+    pub host_threads: usize,
+    /// Waiting jobs the admission queue holds before rejecting.
+    pub max_queue: usize,
+    /// Directory for the shared result-cache sidecar; `None` keeps
+    /// the tier in memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Device worker threads per parallel-mode session.
+    pub device_workers: usize,
+    /// Stream-ordered allocator budget per parallel-mode session.
+    pub device_budget: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let par = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: par.clamp(1, 4),
+            host_threads: par,
+            max_queue: 64,
+            cache_dir: None,
+            device_workers: par,
+            device_budget: None,
+        }
+    }
+}
+
+/// One client's edit session as the server stores it.
+struct SessionSlot {
+    session: Mutex<Session>,
+    /// Whether jobs on this session consult the shared cache tier.
+    shared_cache: bool,
+}
+
+struct ServerShared {
+    config: ServerConfig,
+    scheduler: Scheduler,
+    tier: SharedCacheTier,
+    gate: Arc<ThreadGate>,
+    sessions: Mutex<HashMap<u64, Arc<SessionSlot>>>,
+    next_session: AtomicU64,
+    drain: CancelToken,
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks until
+/// drained; [`Server::handle`] hands out the remote-shutdown trigger
+/// first.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+}
+
+/// Clonable shutdown trigger for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    drain: CancelToken,
+}
+
+impl ServerHandle {
+    /// Starts a graceful drain: stop accepting, finish in-flight
+    /// jobs, persist the cache tier, return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.drain.cancel(CancelReason::Interrupt);
+    }
+}
+
+/// What a drained server reports back.
+#[derive(Debug)]
+pub struct DrainSummary {
+    /// Jobs that ran to a terminal state over the server's lifetime.
+    pub jobs_completed: u64,
+    /// Entries in the shared cache tier at shutdown.
+    pub cache_entries: usize,
+    /// Shared-tier lookups answered for jobs over the lifetime.
+    pub cache_hits_shared: u64,
+}
+
+impl Server {
+    /// Binds the listener and spins up the scheduler; no connections
+    /// are accepted until [`Server::run`].
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let tier = match &config.cache_dir {
+            Some(dir) => SharedCacheTier::with_dir(dir),
+            None => SharedCacheTier::new(),
+        };
+        // The multi-tenant sizing handshake: `host_threads` total, one
+        // implicit thread per running job, the rest as shared permits.
+        let gate = Arc::new(ThreadGate::new(config.host_threads.saturating_sub(1)));
+        let shared = Arc::new(ServerShared {
+            scheduler: Scheduler::new(config.workers, config.max_queue),
+            tier,
+            gate,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            // Linked to the signal flag so the daemon drains on
+            // SIGINT/SIGTERM once handlers are installed (the bin does
+            // that); programmatic ServerHandle::shutdown works always.
+            drain: CancelToken::new().linked_to_signals(),
+            config,
+        });
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The remote-shutdown trigger.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            drain: self.shared.drain.clone(),
+        }
+    }
+
+    /// Accepts connections until the drain token trips, then drains
+    /// the scheduler, persists the cache tier, and returns.
+    pub fn run(self) -> std::io::Result<DrainSummary> {
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while self.shared.drain.cancelled().is_none() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    conns.push(
+                        std::thread::Builder::new()
+                            .name("odrc-conn".to_string())
+                            .spawn(move || handle_connection(stream, &shared))
+                            .expect("spawn connection thread"),
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+            conns.retain(|h| !h.is_finished());
+        }
+        // Drain: no new admissions, in-flight jobs finish and deliver.
+        self.shared.scheduler.drain();
+        self.shared.tier.persist()?;
+        Ok(DrainSummary {
+            jobs_completed: self
+                .shared
+                .scheduler
+                .stats()
+                .jobs_completed
+                .load(Ordering::Relaxed),
+            cache_entries: self.shared.tier.len(),
+            cache_hits_shared: self.shared.tier.hits_shared(),
+        })
+    }
+}
+
+/// Per-connection state the dispatcher tracks.
+struct ConnState {
+    /// Sessions this connection opened (closed on disconnect).
+    sessions: Vec<u64>,
+    /// Jobs this connection submitted, with their cancel tokens
+    /// (tripped on disconnect so an orphaned job winds down).
+    jobs: Vec<(u64, CancelToken)>,
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let writer: Arc<Mutex<TcpStream>> = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut conn = ConnState {
+        sessions: Vec::new(),
+        jobs: Vec::new(),
+    };
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => break, // clean disconnect
+            Err(e) => {
+                let _ = emit(&writer, &e.to_frame());
+                if e.fatal_to_connection() {
+                    break;
+                }
+                continue;
+            }
+        };
+        match dispatch(&frame, shared, &writer, &mut conn) {
+            Ok(Dispatch::Reply(response)) => {
+                if emit(&writer, &response).is_err() {
+                    break;
+                }
+            }
+            Ok(Dispatch::Goodbye(response)) => {
+                let _ = emit(&writer, &response);
+                break;
+            }
+            Err(e) => {
+                let fatal = e.fatal_to_connection();
+                if emit(&writer, &e.to_frame()).is_err() || fatal {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Teardown: orphaned jobs wind down at the next rule boundary;
+    // this client's sessions go away once their jobs release them.
+    for (_, token) in &conn.jobs {
+        token.cancel(CancelReason::Interrupt);
+    }
+    let mut sessions = shared.sessions.lock();
+    for id in &conn.sessions {
+        sessions.remove(id);
+    }
+}
+
+enum Dispatch {
+    Reply(Value),
+    /// Reply, then close the connection (the `shutdown` ack).
+    Goodbye(Value),
+}
+
+fn dispatch(
+    line: &str,
+    shared: &Arc<ServerShared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    conn: &mut ConnState,
+) -> Result<Dispatch, ServeError> {
+    let frame = proto::parse_frame(line)?;
+    let verb = req_str(&frame, "verb")?;
+    match verb {
+        "hello" => Ok(Dispatch::Reply(obj([
+            ("ok", Value::Bool(true)),
+            ("server", Value::from("odrc-serve")),
+            ("protocol", Value::Int(1)),
+        ]))),
+        "open" => open_session(&frame, shared, conn),
+        "edit" => edit_session(&frame, shared),
+        "check" => submit_check(&frame, shared, writer, conn),
+        "cancel" => {
+            let job = req_i64(&frame, "job")?;
+            let job = u64::try_from(job)
+                .map_err(|_| ServeError::Protocol("\"job\" must be non-negative".to_string()))?;
+            shared.scheduler.cancel(job)?;
+            Ok(Dispatch::Reply(obj([
+                ("ok", Value::Bool(true)),
+                ("job", Value::from(job)),
+            ])))
+        }
+        "stats" => Ok(Dispatch::Reply(server_stats(shared))),
+        "close" => {
+            let id = session_id(&frame)?;
+            let removed = shared.sessions.lock().remove(&id).is_some();
+            if !removed {
+                return Err(ServeError::UnknownSession(id));
+            }
+            conn.sessions.retain(|s| *s != id);
+            Ok(Dispatch::Reply(obj([
+                ("ok", Value::Bool(true)),
+                ("session", Value::from(id)),
+            ])))
+        }
+        "shutdown" => {
+            shared.drain.cancel(CancelReason::Interrupt);
+            Ok(Dispatch::Goodbye(obj([
+                ("ok", Value::Bool(true)),
+                ("draining", Value::Bool(true)),
+            ])))
+        }
+        other => Err(ServeError::UnknownVerb(other.to_string())),
+    }
+}
+
+fn session_id(frame: &Value) -> Result<u64, ServeError> {
+    let id = req_i64(frame, "session")?;
+    u64::try_from(id)
+        .map_err(|_| ServeError::Protocol("\"session\" must be non-negative".to_string()))
+}
+
+fn find_session(shared: &ServerShared, id: u64) -> Result<Arc<SessionSlot>, ServeError> {
+    shared
+        .sessions
+        .lock()
+        .get(&id)
+        .cloned()
+        .ok_or(ServeError::UnknownSession(id))
+}
+
+fn open_session(
+    frame: &Value,
+    shared: &Arc<ServerShared>,
+    conn: &mut ConnState,
+) -> Result<Dispatch, ServeError> {
+    // Layout: inline base64 GDSII, or a server-side path.
+    let library = match (opt_str(frame, "gds_b64")?, opt_str(frame, "path")?) {
+        (Some(b64), _) => {
+            let bytes = base64::decode(b64).map_err(ServeError::Layout)?;
+            odrc_gdsii::read(&bytes).map_err(|e| ServeError::Layout(e.to_string()))?
+        }
+        (None, Some(path)) => {
+            odrc_gdsii::read_file(path).map_err(|e| ServeError::Layout(e.to_string()))?
+        }
+        (None, None) => {
+            return Err(ServeError::Protocol(
+                "open needs \"gds_b64\" or \"path\"".to_string(),
+            ))
+        }
+    };
+    let layout = Layout::from_library(&library).map_err(|e| ServeError::Layout(e.to_string()))?;
+    let deck =
+        parse_deck(req_str(frame, "rules")?).map_err(|e| ServeError::Rules(e.to_string()))?;
+    let mode = opt_str(frame, "mode")?.unwrap_or("sequential");
+    let shared_cache = match frame.get("shared_cache") {
+        None | Some(Value::Null) => true,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ServeError::Protocol("\"shared_cache\" must be a bool".to_string()))?,
+    };
+
+    let options = EngineOptions {
+        host_threads: Some(shared.config.host_threads),
+        shared_gate: Some(Arc::clone(&shared.gate)),
+        ..EngineOptions::default()
+    };
+    let engine = match mode {
+        "sequential" => Engine::sequential().with_options(options),
+        "parallel" => {
+            // Per-session device: its knobs are device-global, so it
+            // must never be shared across concurrently running jobs.
+            let device = match shared.config.device_budget {
+                Some(bytes) => Device::with_budget(shared.config.device_workers, bytes),
+                None => Device::new(shared.config.device_workers),
+            };
+            Engine::parallel_on(device).with_options(options)
+        }
+        other => {
+            return Err(ServeError::Protocol(format!(
+                "mode must be \"sequential\" or \"parallel\", got {other:?}"
+            )))
+        }
+    };
+
+    let cells = layout.cells().len();
+    let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let slot = Arc::new(SessionSlot {
+        session: Mutex::new(Session::new(layout, engine, deck)),
+        shared_cache,
+    });
+    shared.sessions.lock().insert(id, slot);
+    conn.sessions.push(id);
+    Ok(Dispatch::Reply(obj([
+        ("ok", Value::Bool(true)),
+        ("session", Value::from(id)),
+        ("cells", Value::from(cells)),
+    ])))
+}
+
+fn edit_session(frame: &Value, shared: &Arc<ServerShared>) -> Result<Dispatch, ServeError> {
+    let id = session_id(frame)?;
+    let slot = find_session(shared, id)?;
+    let ops = frame
+        .get("ops")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServeError::Protocol("missing \"ops\" array".to_string()))?;
+    let parsed = ops
+        .iter()
+        .map(wire::edit_op_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let applied = parsed.len();
+    // Serialized against any running job on this session by the slot
+    // mutex: edits land strictly before or after a check, never mid-run.
+    let mut session = slot.session.lock();
+    session
+        .apply_all(parsed)
+        .map_err(|e| ServeError::Edit(e.to_string()))?;
+    Ok(Dispatch::Reply(obj([
+        ("ok", Value::Bool(true)),
+        ("session", Value::from(id)),
+        ("applied", Value::from(applied)),
+    ])))
+}
+
+fn submit_check(
+    frame: &Value,
+    shared: &Arc<ServerShared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    conn: &mut ConnState,
+) -> Result<Dispatch, ServeError> {
+    let id = session_id(frame)?;
+    let slot = find_session(shared, id)?;
+    let priority = opt_i64(frame, "priority")?.unwrap_or(0);
+    // The deadline clock starts at admission: a job stuck behind a
+    // full queue burns its budget waiting, exactly like the CLI's
+    // wall-clock `--deadline`.
+    let token = match opt_i64(frame, "deadline_ms")? {
+        Some(ms) if ms >= 0 => CancelToken::with_deadline(Duration::from_millis(ms as u64)),
+        Some(_) => {
+            return Err(ServeError::Protocol(
+                "\"deadline_ms\" must be non-negative".to_string(),
+            ))
+        }
+        None => CancelToken::new(),
+    };
+
+    let job_writer = Arc::clone(writer);
+    let job_shared = Arc::clone(shared);
+    let job_token = token.clone();
+    let job_id = shared
+        .scheduler
+        .submit(Some(id), priority, token.clone(), move |run| {
+            execute_job(&job_shared, &slot, &job_writer, &job_token, run);
+        })?;
+    conn.jobs.push((job_id, token));
+    let _ = emit(
+        writer,
+        &obj([
+            ("event", Value::from("queued")),
+            ("job", Value::from(job_id)),
+        ]),
+    );
+    Ok(Dispatch::Reply(obj([
+        ("ok", Value::Bool(true)),
+        ("job", Value::from(job_id)),
+    ])))
+}
+
+/// Runs one admitted check job on a scheduler worker: wires the job's
+/// cancel token and progress stream into the session's engine, checks
+/// the shared cache tier in and out, and emits the terminal event.
+fn execute_job(
+    shared: &Arc<ServerShared>,
+    slot: &Arc<SessionSlot>,
+    writer: &Arc<Mutex<TcpStream>>,
+    token: &CancelToken,
+    run: &JobRun,
+) {
+    let job_id = run.job_id;
+    emit_or_cancel(
+        writer,
+        token,
+        &obj([
+            ("event", Value::from("running")),
+            ("job", Value::from(job_id)),
+        ]),
+    );
+
+    let body = std::panic::AssertUnwindSafe(|| -> Value {
+        let mut session = slot.session.lock();
+
+        // Per-job engine plumbing. The progress callback streams rule
+        // completions; a write failure (client gone) trips the job's
+        // own token so the engine winds down instead of checking for
+        // a dead socket.
+        let progress_writer = Arc::clone(writer);
+        let progress_token = token.clone();
+        let progress: ProgressFn = Arc::new(move |rule: &str, status| {
+            emit_or_cancel(
+                &progress_writer,
+                &progress_token,
+                &obj([
+                    ("event", Value::from("rule")),
+                    ("job", Value::from(job_id)),
+                    ("rule", Value::from(rule)),
+                    ("status", Value::from(status.to_string())),
+                ]),
+            );
+        });
+        session.engine_mut().set_cancel(Some(token.clone()));
+        session.engine_mut().set_progress(Some(progress));
+
+        // Shared-tier checkout: the job runs on a private snapshot.
+        let hits_before = if slot.shared_cache {
+            let snapshot = shared.tier.checkout();
+            let hits = snapshot.hits();
+            let _previous = session.swap_cache(snapshot);
+            Some(hits)
+        } else {
+            None
+        };
+
+        let report = session.check();
+
+        session.engine_mut().set_cancel(None);
+        session.engine_mut().set_progress(None);
+
+        // Merge what this job learned back into the tier; the session
+        // keeps the enriched snapshot (a superset of what it had).
+        let cache_hits_shared = match hits_before {
+            Some(before) => {
+                let enriched = session.swap_cache(ResultCache::new());
+                let job_hits = shared.tier.merge_back(&enriched, before);
+                let _empty = session.swap_cache(enriched);
+                job_hits
+            }
+            None => 0,
+        };
+
+        let mut stats = match wire::stats_to_json(&report.stats) {
+            Value::Object(pairs) => pairs,
+            _ => unreachable!("stats_to_json returns an object"),
+        };
+        stats.push((
+            "cache_hits_shared".to_string(),
+            Value::from(cache_hits_shared),
+        ));
+        stats.push(("queue_wait_ms".to_string(), Value::from(run.queue_wait_ms)));
+
+        obj([
+            ("event", Value::from("done")),
+            ("job", Value::from(job_id)),
+            (
+                "exit",
+                Value::Int(job_exit_code(
+                    report.interrupted.is_some(),
+                    report.violations.len(),
+                    report.stats.degraded(),
+                )),
+            ),
+            ("full_run", Value::Bool(report.full_run)),
+            (
+                "interrupted",
+                match report.interrupted {
+                    Some(reason) => Value::from(reason.to_string()),
+                    None => Value::Null,
+                },
+            ),
+            ("violations", wire::violations_to_json(&report.violations)),
+            ("stats", Value::Object(stats)),
+        ])
+    });
+
+    match std::panic::catch_unwind(body) {
+        Ok(done) => {
+            let _ = emit(writer, &done);
+        }
+        Err(panic) => {
+            // The job died; the session slot may hold partial engine
+            // plumbing but its mutex is unlocked (guard dropped during
+            // unwind) and the next job re-wires everything anyway.
+            let message = panic_message(&panic);
+            let _ = emit(
+                writer,
+                &obj([
+                    ("event", Value::from("error")),
+                    ("job", Value::from(job_id)),
+                    ("error", Value::from(format!("job panicked: {message}"))),
+                    ("code", Value::Int(110)),
+                    ("exit", Value::Int(2)),
+                ]),
+            );
+        }
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+fn server_stats(shared: &ServerShared) -> Value {
+    let sched = shared.scheduler.stats();
+    obj([
+        ("ok", Value::Bool(true)),
+        (
+            "jobs_admitted",
+            Value::from(sched.jobs_admitted.load(Ordering::Relaxed)),
+        ),
+        (
+            "jobs_rejected",
+            Value::from(sched.jobs_rejected.load(Ordering::Relaxed)),
+        ),
+        (
+            "jobs_completed",
+            Value::from(sched.jobs_completed.load(Ordering::Relaxed)),
+        ),
+        (
+            "jobs_cancelled",
+            Value::from(sched.jobs_cancelled.load(Ordering::Relaxed)),
+        ),
+        (
+            "jobs_panicked",
+            Value::from(sched.jobs_panicked.load(Ordering::Relaxed)),
+        ),
+        ("live_jobs", Value::from(shared.scheduler.live_jobs())),
+        ("cache_hits_shared", Value::from(shared.tier.hits_shared())),
+        ("cache_entries", Value::from(shared.tier.len())),
+        (
+            "cache_entries_merged",
+            Value::from(shared.tier.entries_merged()),
+        ),
+        ("sessions", Value::from(shared.sessions.lock().len())),
+        ("host_threads", Value::from(shared.config.host_threads)),
+        ("gate_available", Value::from(shared.gate.available())),
+    ])
+}
+
+fn emit(writer: &Arc<Mutex<TcpStream>>, frame: &Value) -> std::io::Result<()> {
+    let mut stream = writer.lock();
+    write_frame(&mut *stream, frame)
+}
+
+/// Emits an event; on a dead socket, trips the job token so the run
+/// winds down instead of computing for nobody.
+fn emit_or_cancel(writer: &Arc<Mutex<TcpStream>>, token: &CancelToken, frame: &Value) {
+    if emit(writer, frame).is_err() {
+        token.cancel(CancelReason::Interrupt);
+    }
+}
