@@ -139,4 +139,66 @@ wait "$serve_pid" || { echo "daemon did not drain cleanly on SIGTERM"; exit 1; }
 [ -f target/ci-serve/cache/odrc-cache.bin ] \
     || { echo "drained daemon did not persist its cache tier"; exit 1; }
 
+echo "== chaos smoke (kill -9 mid-run, restart, idempotent resubmit, rule-boundary resume)"
+# Crash-safe serving end to end: a daemon armed to die at a rule
+# boundary takes a keyed job and is killed mid-run; a restarted daemon
+# on the same checkpoint and cache directories re-admits the job from
+# its journal, resumes past the already-checkpointed rules, and the
+# resubmitted key yields a report byte-identical to a one-shot run
+# with the original exit code.
+rm -rf target/ci-chaos
+mkdir -p target/ci-chaos
+status=0
+./target/release/odrc target/ci-serve/uart.gds \
+    --rules target/ci-resume/beol.rules --report target/ci-chaos/oneshot.csv \
+    >/dev/null 2>&1 || status=$?
+[ "$status" -eq 1 ] || { echo "expected exit 1 from one-shot baseline, got $status"; exit 1; }
+./target/release/odrc serve --addr 127.0.0.1:0 --workers 2 --host-threads 2 \
+    --cache target/ci-chaos/cache --checkpoint-dir target/ci-chaos/ckpt \
+    --chaos-kill-at-rule 2 --port-file target/ci-chaos/port >/dev/null 2>&1 &
+serve_pid=$!
+tries=0
+while [ ! -s target/ci-chaos/port ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || { echo "chaos daemon never wrote its port file"; exit 1; }
+    sleep 0.1
+done
+addr=$(cat target/ci-chaos/port)
+# The daemon aborts (SIGKILL-equivalent) at the second rule boundary;
+# the client's submission fails, but the admission and two rules'
+# checkpoints are already on disk.
+./target/release/odrc client target/ci-serve/uart.gds \
+    --rules target/ci-resume/beol.rules --addr "$addr" \
+    --key ci-chaos-1 >/dev/null 2>&1 || true
+wait "$serve_pid" 2>/dev/null || true
+[ -f target/ci-chaos/ckpt/odrc-jobs.bin ] \
+    || { echo "killed daemon left no job journal"; exit 1; }
+rm -f target/ci-chaos/port
+./target/release/odrc serve --addr 127.0.0.1:0 --workers 2 --host-threads 2 \
+    --cache target/ci-chaos/cache --checkpoint-dir target/ci-chaos/ckpt \
+    --port-file target/ci-chaos/port >/dev/null 2>&1 &
+serve_pid=$!
+tries=0
+while [ ! -s target/ci-chaos/port ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || { echo "restarted daemon never wrote its port file"; exit 1; }
+    sleep 0.1
+done
+addr=$(cat target/ci-chaos/port)
+status=0
+./target/release/odrc client target/ci-serve/uart.gds \
+    --rules target/ci-resume/beol.rules --addr "$addr" \
+    --key ci-chaos-1 --retries 5 --backoff-ms 100 \
+    --report target/ci-chaos/resumed.csv --stats-json target/ci-chaos/resumed.json \
+    >/dev/null 2>&1 || status=$?
+[ "$status" -eq 1 ] || { echo "expected exit 1 from resubmitted key, got $status"; exit 1; }
+cmp target/ci-chaos/oneshot.csv target/ci-chaos/resumed.csv \
+    || { echo "post-crash report differs from the one-shot run"; exit 1; }
+if grep -q '"rules_resumed":0[,}]' target/ci-chaos/resumed.json; then
+    echo "restarted daemon resumed no rules from the checkpoint"
+    exit 1
+fi
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "restarted daemon did not drain cleanly"; exit 1; }
+
 echo "== ci.sh: all green"

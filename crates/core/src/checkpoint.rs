@@ -17,19 +17,21 @@
 //! (user `ensures` predicates are host closures) are never journaled.
 //!
 //! The file format is append-oriented so a kill at any byte offset is
-//! survivable: a fixed magic header, then self-delimiting records each
-//! carrying its own trailing FNV-1a checksum. On open the journal is
-//! parsed *leniently* — a torn or corrupt tail is dropped and the file
-//! is atomically rewritten to its longest valid prefix — then an
-//! append handle takes over for new records.
+//! survivable: the framing (magic header, per-record checksum, lenient
+//! open that heals a torn or corrupt tail to the longest valid prefix)
+//! is [`odrc_infra::RecordLog`] — the shared crash-safe record-log
+//! idiom this journal pioneered, now also backing the serve layer's
+//! durable job journal. This module owns only the record *payload*
+//! encoding: run key, rule identity, and the canonical violation set.
 
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
-use std::path::{Path, PathBuf};
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 
 use odrc_db::Layout;
 use odrc_geometry::Rect;
+use odrc_infra::RecordLog;
 
 use crate::cache::{bad_data, kind_from_u8, kind_to_u8, rule_signature, ByteReader, Sig};
 use crate::rules::RuleDeck;
@@ -38,7 +40,11 @@ use crate::violation::Violation;
 /// File name of the journal inside a checkpoint directory.
 pub const JOURNAL_FILE: &str = "odrc-journal.bin";
 
-const MAGIC: &[u8; 8] = b"ODRCJNL1";
+/// Format version 2: v1 carried hand-rolled framing with a trailing
+/// checksum per record; v2 frames payloads through [`RecordLog`]. A
+/// leftover v1 file fails the magic check and heals to an empty
+/// journal — the resumed run simply re-checks everything.
+const MAGIC: &[u8; 8] = b"ODRCJNL2";
 
 /// Bytes per serialized violation: kind (1) + 4 coordinates (4×4) +
 /// measured (8). Used to bound pre-allocation on load.
@@ -87,63 +93,41 @@ impl RunKey {
 /// See the [module docs](self) for the format and recovery story.
 #[derive(Debug)]
 pub struct CheckpointJournal {
-    path: PathBuf,
+    log: RecordLog,
     run: RunKey,
     /// Completed rules of *this* run: rule signature → (rule name,
     /// canonical violations).
     entries: HashMap<u64, (String, Arc<Vec<Violation>>)>,
-    file: std::fs::File,
 }
 
 impl CheckpointJournal {
     /// Opens (or creates) the journal in `dir` for the given run.
     ///
     /// Creates the directory if needed. An existing journal is parsed
-    /// leniently: records after the first torn or corrupt byte are
-    /// dropped and the file is rewritten — atomically — to its longest
-    /// valid prefix, so one bad tail never poisons future appends.
-    /// Valid records from *other* runs are preserved on disk but not
-    /// loaded.
+    /// leniently ([`RecordLog`] drops and heals a torn or corrupt
+    /// tail), so one bad tail never poisons future appends. Valid
+    /// records from *other* runs are preserved on disk but not loaded.
     pub fn open_dir(dir: &Path, run: RunKey) -> io::Result<CheckpointJournal> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(JOURNAL_FILE);
-        let mut buf = Vec::new();
-        match std::fs::File::open(&path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut buf)?;
-            }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
-        }
+        let (log, records) = RecordLog::open(&path, MAGIC)?;
         let mut entries = HashMap::new();
-        let valid_len = parse_records(&buf, run, &mut entries);
-        if valid_len != buf.len() {
-            // Drop the torn tail (or a foreign/corrupt header) by
-            // rewriting the longest valid prefix; write-temp-then-
-            // rename keeps the journal loadable even if *this* rewrite
-            // is itself interrupted.
-            let mut prefix = Vec::with_capacity(valid_len.max(MAGIC.len()));
-            if valid_len == 0 {
-                prefix.extend_from_slice(MAGIC);
-            } else {
-                prefix.extend_from_slice(&buf[..valid_len]);
+        for rec in &records {
+            // A record with an intact checksum but an undecodable
+            // payload (a future format extension, say) is skipped, not
+            // fatal — a checkpoint is an accelerator, never a veto.
+            if let Ok((key, rule_sig, name, violations)) = parse_record(rec) {
+                if key == run {
+                    entries.insert(rule_sig, (name, Arc::new(violations)));
+                }
             }
-            odrc_infra::write_atomic(&path, &prefix)?;
-        } else if buf.is_empty() {
-            odrc_infra::write_atomic(&path, MAGIC)?;
         }
-        let file = std::fs::OpenOptions::new().append(true).open(&path)?;
-        Ok(CheckpointJournal {
-            path,
-            run,
-            entries,
-            file,
-        })
+        Ok(CheckpointJournal { log, run, entries })
     }
 
     /// Path of the journal file.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.log.path()
     }
 
     /// The run key this journal was opened for.
@@ -202,10 +186,7 @@ impl CheckpointJournal {
             }
             rec.extend_from_slice(&v.measured.to_le_bytes());
         }
-        let checksum = Sig::new().bytes(&rec).0;
-        rec.extend_from_slice(&checksum.to_le_bytes());
-        self.file.write_all(&rec)?;
-        self.file.sync_data()?;
+        self.log.append(&rec)?;
         let restored = violations
             .iter()
             .map(|v| Violation {
@@ -219,39 +200,14 @@ impl CheckpointJournal {
     }
 }
 
-/// Parses the journal body, filling `entries` with records matching
-/// `run`, and returns the byte length of the longest valid prefix
-/// (0 if even the magic header is wrong).
-fn parse_records(
-    buf: &[u8],
-    run: RunKey,
-    entries: &mut HashMap<u64, (String, Arc<Vec<Violation>>)>,
-) -> usize {
-    let mut r = ByteReader { buf, pos: 0 };
-    match r.take(MAGIC.len()) {
-        Ok(m) if m == MAGIC => {}
-        _ => return 0,
-    }
-    let mut valid = r.pos;
-    while r.remaining() > 0 {
-        match parse_one_record(&mut r) {
-            Ok((key, rule_sig, name, violations)) => {
-                valid = r.pos;
-                if key == run {
-                    entries.insert(rule_sig, (name, Arc::new(violations)));
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    valid
-}
-
-/// Parses one record (including checksum verification) starting at the
-/// reader's position. On error the reader position is unspecified; the
-/// caller falls back to the last known-good offset.
-fn parse_one_record(r: &mut ByteReader<'_>) -> io::Result<(RunKey, u64, String, Vec<Violation>)> {
-    let start = r.pos;
+/// Decodes one record payload (framing and checksum already verified
+/// by [`RecordLog`]). Trailing or missing bytes are a decode error —
+/// the payload must be consumed exactly.
+fn parse_record(payload: &[u8]) -> io::Result<(RunKey, u64, String, Vec<Violation>)> {
+    let mut r = ByteReader {
+        buf: payload,
+        pos: 0,
+    };
     let key = RunKey {
         deck_sig: r.u64()?,
         layout_hash: r.u64()?,
@@ -277,9 +233,7 @@ fn parse_one_record(r: &mut ByteReader<'_>) -> io::Result<(RunKey, u64, String, 
             measured,
         });
     }
-    let body_end = r.pos;
-    let stored = r.u64()?;
-    if Sig::new().bytes(&r.buf[start..body_end]).0 != stored {
+    if r.remaining() != 0 {
         return Err(bad_data());
     }
     Ok((key, rule_sig, name, violations))
@@ -290,6 +244,7 @@ mod tests {
     use super::*;
     use crate::violation::ViolationKind;
     use odrc_geometry::Rect;
+    use std::path::PathBuf;
 
     fn run_key(a: u64, b: u64) -> RunKey {
         RunKey {

@@ -34,12 +34,30 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         // contents before the new name becomes visible.
         file.sync_all()?;
         drop(file);
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        // The rename is atomic but not yet durable: a power cut can
+        // still roll the *directory entry* back to the old file. Sync
+        // the parent directory so the publish survives anything short
+        // of disk loss — the contract crash-safe journals rely on.
+        fsync_dir(path.parent().unwrap_or_else(|| Path::new(".")))
     })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
     result
+}
+
+/// Fsyncs a directory so a just-renamed entry inside it is durable.
+///
+/// Best-effort by design: some filesystems refuse `fsync` on directory
+/// handles (and Windows cannot open them at all), and an undurable
+/// rename is exactly as safe as the pre-sync behavior — the failure is
+/// swallowed rather than turning a successful write into an error.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    if let Ok(handle) = std::fs::File::open(dir) {
+        let _ = handle.sync_all();
+    }
+    Ok(())
 }
 
 /// The sibling staging path used by [`write_atomic`] for `path`.

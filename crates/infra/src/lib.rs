@@ -44,6 +44,7 @@ pub mod atomic_io;
 pub mod cancel;
 pub mod host;
 pub mod interval_tree;
+pub mod journal;
 pub mod merge;
 pub mod partition;
 pub mod profile;
@@ -52,10 +53,11 @@ pub mod region;
 pub mod rtree;
 pub mod sweep;
 
-pub use atomic_io::{write_atomic, FileLock};
+pub use atomic_io::{fsync_dir, write_atomic, FileLock};
 pub use cancel::{install_signal_handlers, CancelReason, CancelToken};
 pub use host::{HostExecutor, HostPanic, ThreadGate};
 pub use interval_tree::IntervalTree;
+pub use journal::{fnv1a64, RecordLog};
 pub use partition::{partition_rows, Row, RowPartition};
 pub use profile::Profiler;
 pub use quadtree::QuadTree;

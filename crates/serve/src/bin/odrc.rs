@@ -743,10 +743,16 @@ fn usage_serve() -> ! {
     eprintln!(
         "usage: odrc serve [--addr HOST:PORT] [--workers N] [--host-threads N] \
          [--max-queue N] [--cache dir] [--device-budget BYTES] [--device-workers N] \
-         [--port-file path]\n\
+         [--port-file path] [--checkpoint-dir dir] [--io-timeout-ms N] \
+         [--ping-max-misses N] [--session-idle-ms N] [--max-sessions N] \
+         [--chaos-seed N] [--chaos-faults N] [--chaos-kill-at-rule N]\n\
          binds (port 0 = ephemeral), prints `listening on ADDR`, and serves until \
          SIGINT/SIGTERM or a `shutdown` verb, then drains in-flight jobs and \
-         persists the shared cache tier"
+         persists the shared cache tier\n\
+         --checkpoint-dir makes keyed `check` submissions durable: admissions and \
+         results are journaled there, and a restarted server replays the journal, \
+         resuming interrupted jobs at the rule boundary\n\
+         --chaos-* arm seeded fault injection (testing only)"
     );
     std::process::exit(2);
 }
@@ -754,6 +760,9 @@ fn usage_serve() -> ! {
 fn run_serve(argv: &[String]) -> ExitCode {
     let mut config = odrc_serve::ServerConfig::default();
     let mut port_file: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_faults: usize = 3;
+    let mut chaos_kill_at_rule: Option<u64> = None;
     let mut i = 0;
     let value = |argv: &[String], i: usize| -> String {
         if i + 1 >= argv.len() {
@@ -786,9 +795,42 @@ fn run_serve(argv: &[String]) -> ExitCode {
                 config.device_workers = value(argv, i).parse().unwrap_or_else(|_| usage_serve());
             }
             "--port-file" => port_file = Some(value(argv, i)),
+            "--checkpoint-dir" => config.checkpoint_dir = Some(value(argv, i).into()),
+            "--io-timeout-ms" => {
+                config.io_timeout_ms = value(argv, i).parse().unwrap_or_else(|_| usage_serve());
+            }
+            "--ping-max-misses" => {
+                config.ping_max_misses = value(argv, i).parse().unwrap_or_else(|_| usage_serve());
+            }
+            "--session-idle-ms" => {
+                config.session_idle_ms = value(argv, i).parse().unwrap_or_else(|_| usage_serve());
+            }
+            "--max-sessions" => {
+                config.max_sessions = value(argv, i).parse().unwrap_or_else(|_| usage_serve());
+            }
+            "--chaos-seed" => {
+                chaos_seed = Some(value(argv, i).parse().unwrap_or_else(|_| usage_serve()));
+            }
+            "--chaos-faults" => {
+                chaos_faults = value(argv, i).parse().unwrap_or_else(|_| usage_serve());
+            }
+            "--chaos-kill-at-rule" => {
+                chaos_kill_at_rule = Some(value(argv, i).parse().unwrap_or_else(|_| usage_serve()));
+            }
             _ => usage_serve(),
         }
         i += 2;
+    }
+    if chaos_seed.is_some() || chaos_kill_at_rule.is_some() {
+        let mut plan = match chaos_seed {
+            Some(seed) => odrc_serve::ServerFaultPlan::from_seed(seed, chaos_faults),
+            None => odrc_serve::ServerFaultPlan::new(),
+        };
+        if let Some(nth) = chaos_kill_at_rule {
+            plan = plan.with(odrc_serve::ServerFault::KillAtRule { nth });
+        }
+        eprintln!("chaos armed: {} fault(s) scheduled", plan.len());
+        config.chaos = Some(plan);
     }
 
     let server = match odrc_serve::Server::bind(config) {
@@ -836,8 +878,13 @@ fn usage_client() -> ! {
     eprintln!(
         "usage: odrc client <layout.gds> --rules <deck.rules> --addr HOST:PORT \
          [--parallel] [--priority N] [--deadline-ms N] [--edits ops.jsonl] \
-         [--report out.csv] [--stats-json out.json] [--max-print N] [--shutdown]\n\
+         [--report out.csv] [--stats-json out.json] [--max-print N] [--shutdown] \
+         [--key ID] [--retries N] [--backoff-ms N] [--backoff-cap-ms N]\n\
          \u{20}      odrc client --addr HOST:PORT --shutdown\n\
+         --key marks the check idempotent: resubmitting the same key (after a \
+         dropped connection or a server restart) replays the journaled result or \
+         attaches to the running job instead of checking twice; retries reconnect \
+         with capped exponential backoff, honouring server retry_after_ms hints\n\
          exit codes match the one-shot checker: 0 clean, 1 violations, 2 hard error, \
          3 degraded but clean, 4 interrupted (cancel, deadline, or server drain)"
     );
@@ -856,6 +903,10 @@ struct ClientArgs {
     stats_json: Option<String>,
     max_print: usize,
     shutdown: bool,
+    key: Option<String>,
+    retries: u32,
+    backoff_ms: u64,
+    backoff_cap_ms: u64,
 }
 
 fn parse_client_args(argv: &[String]) -> ClientArgs {
@@ -871,6 +922,10 @@ fn parse_client_args(argv: &[String]) -> ClientArgs {
         stats_json: None,
         max_print: 20,
         shutdown: false,
+        key: None,
+        retries: 1,
+        backoff_ms: 200,
+        backoff_cap_ms: 5000,
     };
     let value = |argv: &[String], i: usize| -> String {
         if i + 1 >= argv.len() {
@@ -921,6 +976,22 @@ fn parse_client_args(argv: &[String]) -> ClientArgs {
                 args.shutdown = true;
                 i += 1;
             }
+            "--key" => {
+                args.key = Some(value(argv, i));
+                i += 2;
+            }
+            "--retries" => {
+                args.retries = value(argv, i).parse().unwrap_or_else(|_| usage_client());
+                i += 2;
+            }
+            "--backoff-ms" => {
+                args.backoff_ms = value(argv, i).parse().unwrap_or_else(|_| usage_client());
+                i += 2;
+            }
+            "--backoff-cap-ms" => {
+                args.backoff_cap_ms = value(argv, i).parse().unwrap_or_else(|_| usage_client());
+                i += 2;
+            }
             "--help" | "-h" => usage_client(),
             other if !other.starts_with('-') && args.layout.is_none() => {
                 args.layout = Some(other.to_owned());
@@ -949,63 +1020,113 @@ fn run_client(argv: &[String]) -> ExitCode {
     }
 }
 
+/// Everything one attempt needs, loaded once — a local file error is
+/// not worth a reconnect loop.
+struct ClientInputs {
+    gds: Vec<u8>,
+    rules: String,
+    edit_ops: Vec<odrc_serve::json::Value>,
+}
+
 fn client_main(args: &ClientArgs) -> Result<i64, Box<dyn std::error::Error>> {
+    let addr = args.addr.as_deref().expect("checked by parse_client_args");
+    let inputs = match &args.layout {
+        Some(layout) => {
+            let rules_path = args.rules.as_deref().expect("checked by parse_client_args");
+            let edit_ops = match &args.edits {
+                Some(path) => std::fs::read_to_string(path)?
+                    .lines()
+                    .filter(|l| !l.trim().is_empty())
+                    .map(odrc_serve::json::parse)
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
+            };
+            Some(ClientInputs {
+                gds: std::fs::read(layout)?,
+                rules: std::fs::read_to_string(rules_path)?,
+                edit_ops,
+            })
+        }
+        None => None,
+    };
+    // Each attempt redoes the whole unit of work: connect, open,
+    // resubmit, wait. With --key the redo is free — the server
+    // replays the journaled result or attaches to the running job.
+    let policy = odrc_serve::RetryPolicy {
+        attempts: args.retries.max(1),
+        base_ms: args.backoff_ms,
+        cap_ms: args.backoff_cap_ms,
+    };
+    let exit = policy.run(|attempt| {
+        if attempt > 0 {
+            eprintln!(
+                "reconnecting to {addr} (attempt {}/{})",
+                attempt + 1,
+                args.retries.max(1)
+            );
+        }
+        client_attempt(args, addr, inputs.as_ref())
+    })?;
+    Ok(exit)
+}
+
+fn client_attempt(
+    args: &ClientArgs,
+    addr: &str,
+    inputs: Option<&ClientInputs>,
+) -> Result<i64, odrc_serve::ClientError> {
     use odrc_serve::json::{obj, Value};
 
-    let addr = args.addr.as_deref().expect("checked by parse_client_args");
     let mut client = odrc_serve::Client::connect(addr)?;
 
     let mut exit = 0i64;
-    if let Some(layout) = &args.layout {
-        let rules_path = args.rules.as_deref().expect("checked by parse_client_args");
-        let gds = std::fs::read(layout)?;
-        let rules = std::fs::read_to_string(rules_path)?;
+    if let Some(inputs) = inputs {
         let mode = if args.parallel {
             "parallel"
         } else {
             "sequential"
         };
-        let session = client.open_bytes(&gds, &rules, mode)?;
+        let session = client.open_bytes(&inputs.gds, &inputs.rules, mode)?;
         eprintln!("opened session {session} on {addr} ({mode})");
 
         if let Some(path) = &args.edits {
-            let ops = std::fs::read_to_string(path)?
-                .lines()
-                .filter(|l| !l.trim().is_empty())
-                .map(odrc_serve::json::parse)
-                .collect::<Result<Vec<_>, _>>()?;
-            let applied = client.edit(session, ops)?;
+            let applied = client.edit(session, inputs.edit_ops.clone())?;
             eprintln!("applied {applied} edit op(s) from {path}");
         }
 
-        let outcome = client.check_wait(session, args.priority, args.deadline_ms)?;
+        let job = client.check_with_key(
+            session,
+            args.priority,
+            args.deadline_ms,
+            args.key.as_deref(),
+        )?;
+        // A terminal `error` event (internal failure, shed under
+        // overload) becomes a ClientError here so the retry policy
+        // sees its code and backoff hint.
+        let outcome = client.wait(job)?.into_result()?;
         exit = outcome.exit;
 
-        if let Some(error) = &outcome.error {
-            eprintln!("job {} failed: {error}", outcome.job);
-        } else {
-            println!("{:<20} {:>8}", "total", outcome.violations.len());
-            for v in outcome.violations.iter().take(args.max_print) {
-                println!("  {}", v.to_csv_row());
-            }
-            if outcome.violations.len() > args.max_print {
-                println!(
-                    "  ... and {} more",
-                    outcome.violations.len() - args.max_print
-                );
-            }
-            eprintln!(
-                "job {}: exit {}, {} rule(s) reported, {} shared cache hit(s), \
-                 queued {} ms",
-                outcome.job,
-                outcome.exit,
-                outcome.rules.len(),
-                outcome.stat("cache_hits_shared"),
-                outcome.stat("queue_wait_ms"),
+        println!("{:<20} {:>8}", "total", outcome.violations.len());
+        for v in outcome.violations.iter().take(args.max_print) {
+            println!("  {}", v.to_csv_row());
+        }
+        if outcome.violations.len() > args.max_print {
+            println!(
+                "  ... and {} more",
+                outcome.violations.len() - args.max_print
             );
-            if let Some(reason) = &outcome.interrupted {
-                eprintln!("run interrupted ({reason}); results are partial");
-            }
+        }
+        eprintln!(
+            "job {}: exit {}, {} rule(s) reported, {} shared cache hit(s), \
+             queued {} ms",
+            outcome.job,
+            outcome.exit,
+            outcome.rules.len(),
+            outcome.stat("cache_hits_shared"),
+            outcome.stat("queue_wait_ms"),
+        );
+        if let Some(reason) = &outcome.interrupted {
+            eprintln!("run interrupted ({reason}); results are partial");
         }
 
         if let Some(path) = &args.report {
@@ -1015,14 +1136,16 @@ fn client_main(args: &ClientArgs) -> Result<i64, Box<dyn std::error::Error>> {
         if let Some(path) = &args.stats_json {
             // Per-job engine counters (including cache_hits_shared and
             // queue_wait_ms) plus the server-wide admission counters
-            // from the `stats` verb.
-            let server = client.stats()?;
-            let server = match server {
+            // from the `stats` verb and the liveness snapshot from
+            // `health`.
+            let strip_ok = |v: Value| match v {
                 Value::Object(pairs) => {
                     Value::Object(pairs.into_iter().filter(|(k, _)| k != "ok").collect())
                 }
                 other => other,
             };
+            let server = strip_ok(client.stats()?);
+            let health = strip_ok(client.health()?);
             let doc = obj([
                 ("job", Value::from(outcome.job)),
                 ("exit", Value::Int(outcome.exit)),
@@ -1037,6 +1160,7 @@ fn client_main(args: &ClientArgs) -> Result<i64, Box<dyn std::error::Error>> {
                 ("full_run", Value::Bool(outcome.full_run)),
                 ("stats", outcome.stats.clone()),
                 ("server", server),
+                ("health", health),
             ]);
             odrc_infra::write_atomic(Path::new(path), doc.to_json().as_bytes())?;
             eprintln!("wrote stats to {path}");

@@ -1,0 +1,337 @@
+//! Deterministic, seeded fault injection for the check server.
+//!
+//! This is the server-level sibling of the device layer's
+//! [`odrc_xpu::FaultPlan`]: a schedule of one-shot faults addressed by
+//! deterministic *operation ordinals* (the Nth frame write, the Kth
+//! job-journal append, the Nth rule-progress event, the Nth job
+//! start), derived from a seed with SplitMix64 so every failure
+//! interleaving is replayable bit-for-bit by quoting the seed. The
+//! plan is installed via `ServerConfig::chaos` and is **off by
+//! default** — a server without a plan pays one mutex-guarded check
+//! per instrumented operation only when a plan is armed.
+//!
+//! Two fault families exist:
+//!
+//! * **Transient** faults ([`ServerFault::SocketReset`],
+//!   [`ServerFault::WorkerPanic`]) break one operation and let the
+//!   process live; the server's own error handling (disconnect
+//!   cancellation, per-job `catch_unwind`) must absorb them.
+//! * **Crash** faults ([`ServerFault::KillAtJournal`],
+//!   [`ServerFault::TornJournal`], [`ServerFault::KillAtRule`]) call
+//!   [`std::process::abort`] — the in-process model of `kill -9`,
+//!   deterministic down to the byte offset of the journal tail. They
+//!   only make sense in integration tests that spawn the server as a
+//!   child process and restart it afterwards.
+
+use std::sync::Mutex;
+
+/// One injected server fault. Every fault fires at most once: it is
+/// consumed by the operation it addresses, so a retried client
+/// eventually sees a fault-free server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerFault {
+    /// Sever the connection at the `nth` response-frame write
+    /// (0-based, server-wide): the write fails as if the peer reset
+    /// the socket, exercising disconnect-cancellation and client
+    /// reconnect.
+    SocketReset {
+        /// Which frame write to fail.
+        nth: u64,
+    },
+    /// Abort the process (models `kill -9`) *after* writing half of
+    /// the `nth` job-journal append's frame — the journal is left with
+    /// a torn tail the next open must heal.
+    TornJournal {
+        /// Which journal append to tear.
+        nth: u64,
+    },
+    /// Abort the process (models `kill -9`) *instead of* the `nth`
+    /// job-journal append: the record is lost in full.
+    KillAtJournal {
+        /// Which journal append to die at.
+        nth: u64,
+    },
+    /// Abort the process (models `kill -9`) inside the `nth`
+    /// rule-progress event (0-based, server-wide). Because the engine
+    /// fires progress *before* journaling the rule, dying at rule
+    /// event `n` leaves exactly `n` rules checkpointed — the resumed
+    /// job must report `rules_resumed > 0` for `n >= 1`.
+    KillAtRule {
+        /// Which rule event to die in.
+        nth: u64,
+    },
+    /// Panic the worker thread at the `nth` job start (0-based),
+    /// exercising the scheduler's per-job `catch_unwind` and the
+    /// error-event path back to the client.
+    WorkerPanic {
+        /// Which job start to panic.
+        nth: u64,
+    },
+}
+
+/// SplitMix64 — the same dependency-free generator the device fault
+/// plan uses, salted differently so server and device schedules drawn
+/// from equal seeds do not correlate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Salts the seed so `from_seed(0, ..)` is not the all-zero SplitMix64
+/// stream and differs from the device layer's schedule for the seed.
+fn seed_state(seed: u64) -> u64 {
+    seed ^ 0x0dcc_5eed_fa17_0002
+}
+
+/// A deterministic schedule of one-shot server faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerFaultPlan {
+    faults: Vec<ServerFault>,
+}
+
+impl ServerFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> ServerFaultPlan {
+        ServerFaultPlan::default()
+    }
+
+    /// Adds one fault to the schedule.
+    #[must_use]
+    pub fn with(mut self, fault: ServerFault) -> ServerFaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Derives a pseudo-random schedule of `n_faults` faults from a
+    /// seed. The same `(seed, n_faults)` pair always yields the same
+    /// schedule. Ordinals are drawn from small ranges (frame writes in
+    /// `0..24`, journal appends in `0..8`, rule events in `0..12`, job
+    /// starts in `0..4`) so schedules actually fire on the small
+    /// workloads integration tests run; a fault addressing an ordinal
+    /// a run never reaches stays dormant.
+    pub fn from_seed(seed: u64, n_faults: usize) -> ServerFaultPlan {
+        let mut state = seed_state(seed);
+        let mut faults = Vec::with_capacity(n_faults);
+        for _ in 0..n_faults {
+            let fault = match splitmix64(&mut state) % 5 {
+                0 => ServerFault::SocketReset {
+                    nth: splitmix64(&mut state) % 24,
+                },
+                1 => ServerFault::TornJournal {
+                    nth: splitmix64(&mut state) % 8,
+                },
+                2 => ServerFault::KillAtJournal {
+                    nth: splitmix64(&mut state) % 8,
+                },
+                3 => ServerFault::KillAtRule {
+                    nth: splitmix64(&mut state) % 12,
+                },
+                _ => ServerFault::WorkerPanic {
+                    nth: splitmix64(&mut state) % 4,
+                },
+            };
+            faults.push(fault);
+        }
+        ServerFaultPlan { faults }
+    }
+
+    /// Number of faults pending in the schedule.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the schedule holds no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Arms the plan: wraps it in the mutable injector state the
+    /// server consults at each instrumented operation.
+    pub fn arm(self) -> ChaosState {
+        ChaosState {
+            inner: Mutex::new(ChaosInner {
+                remaining: self.faults,
+                counters: [0; 4],
+                injected: 0,
+            }),
+        }
+    }
+}
+
+/// The four independent ordinal domains instrumented operations are
+/// counted in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Domain {
+    FrameWrite = 0,
+    JournalAppend = 1,
+    RuleEvent = 2,
+    JobStart = 3,
+}
+
+/// What an instrumented journal append must do, as decided by
+/// [`ChaosState::on_journal_append`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalFate {
+    /// No fault: append normally.
+    Proceed,
+    /// Write half the frame, then abort the process.
+    TearAndAbort,
+    /// Abort the process before writing anything.
+    Abort,
+}
+
+/// Armed, mutable injector state shared across server threads.
+#[derive(Debug)]
+pub struct ChaosState {
+    inner: Mutex<ChaosInner>,
+}
+
+#[derive(Debug)]
+struct ChaosInner {
+    remaining: Vec<ServerFault>,
+    /// Next ordinal per [`Domain`].
+    counters: [u64; 4],
+    injected: u64,
+}
+
+impl ChaosInner {
+    fn next(&mut self, domain: Domain) -> u64 {
+        let n = self.counters[domain as usize];
+        self.counters[domain as usize] += 1;
+        n
+    }
+
+    fn take(&mut self, pred: impl Fn(&ServerFault) -> bool) -> bool {
+        if let Some(i) = self.remaining.iter().position(pred) {
+            self.remaining.remove(i);
+            self.injected += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl ChaosState {
+    /// Consults the plan at a response-frame write; `true` means the
+    /// write must fail as a connection reset.
+    pub fn on_frame_write(&self) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        let n = g.next(Domain::FrameWrite);
+        g.take(|f| matches!(f, ServerFault::SocketReset { nth } if *nth == n))
+    }
+
+    /// Consults the plan at a job-journal append and returns the
+    /// append's fate. Crash fates are *returned*, not executed — the
+    /// journal owns the half-write so the torn tail lands at a real
+    /// frame boundary.
+    pub fn on_journal_append(&self) -> JournalFate {
+        let mut g = self.inner.lock().unwrap();
+        let n = g.next(Domain::JournalAppend);
+        if g.take(|f| matches!(f, ServerFault::TornJournal { nth } if *nth == n)) {
+            JournalFate::TearAndAbort
+        } else if g.take(|f| matches!(f, ServerFault::KillAtJournal { nth } if *nth == n)) {
+            JournalFate::Abort
+        } else {
+            JournalFate::Proceed
+        }
+    }
+
+    /// Consults the plan at a rule-progress event; `true` means the
+    /// process must abort (the integration harness restarts it).
+    pub fn on_rule_event(&self) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        let n = g.next(Domain::RuleEvent);
+        g.take(|f| matches!(f, ServerFault::KillAtRule { nth } if *nth == n))
+    }
+
+    /// Consults the plan at a job start; `true` means the worker must
+    /// panic (absorbed by the scheduler's `catch_unwind`).
+    pub fn on_job_start(&self) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        let n = g.next(Domain::JobStart);
+        g.take(|f| matches!(f, ServerFault::WorkerPanic { nth } if *nth == n))
+    }
+
+    /// Faults actually delivered so far.
+    pub fn injected(&self) -> u64 {
+        self.inner.lock().unwrap().injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        for seed in 0..64 {
+            assert_eq!(
+                ServerFaultPlan::from_seed(seed, 4),
+                ServerFaultPlan::from_seed(seed, 4)
+            );
+        }
+        assert_ne!(
+            ServerFaultPlan::from_seed(1, 4),
+            ServerFaultPlan::from_seed(2, 4)
+        );
+    }
+
+    #[test]
+    fn seeds_cover_every_fault_kind() {
+        let mut kinds = [false; 5];
+        for seed in 0..64 {
+            for f in &ServerFaultPlan::from_seed(seed, 4).faults {
+                let i = match f {
+                    ServerFault::SocketReset { .. } => 0,
+                    ServerFault::TornJournal { .. } => 1,
+                    ServerFault::KillAtJournal { .. } => 2,
+                    ServerFault::KillAtRule { .. } => 3,
+                    ServerFault::WorkerPanic { .. } => 4,
+                };
+                kinds[i] = true;
+            }
+        }
+        assert_eq!(kinds, [true; 5], "64 seeds must exercise all kinds");
+    }
+
+    #[test]
+    fn faults_are_one_shot_and_ordinal_addressed() {
+        let state = ServerFaultPlan::new()
+            .with(ServerFault::SocketReset { nth: 1 })
+            .with(ServerFault::WorkerPanic { nth: 0 })
+            .arm();
+        assert!(!state.on_frame_write(), "ordinal 0 not addressed");
+        assert!(state.on_frame_write(), "ordinal 1 fires");
+        assert!(!state.on_frame_write(), "fault was consumed");
+        assert!(state.on_job_start(), "job-start domain counts separately");
+        assert!(!state.on_job_start());
+        assert_eq!(state.injected(), 2);
+    }
+
+    #[test]
+    fn journal_fates_distinguish_tear_and_kill() {
+        let state = ServerFaultPlan::new()
+            .with(ServerFault::TornJournal { nth: 0 })
+            .with(ServerFault::KillAtJournal { nth: 1 })
+            .arm();
+        assert_eq!(state.on_journal_append(), JournalFate::TearAndAbort);
+        assert_eq!(state.on_journal_append(), JournalFate::Abort);
+        assert_eq!(state.on_journal_append(), JournalFate::Proceed);
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let state = ServerFaultPlan::new().arm();
+        for _ in 0..32 {
+            assert!(!state.on_frame_write());
+            assert!(!state.on_rule_event());
+            assert!(!state.on_job_start());
+            assert_eq!(state.on_journal_append(), JournalFate::Proceed);
+        }
+        assert_eq!(state.injected(), 0);
+    }
+}

@@ -23,7 +23,9 @@
 //! code — no matter how many tenants share the process.
 
 pub mod cache_tier;
+pub mod chaos;
 pub mod client;
+pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod scheduler;
@@ -31,7 +33,9 @@ pub mod server;
 pub mod wire;
 
 pub use cache_tier::SharedCacheTier;
-pub use client::{Client, ClientError, JobOutcome};
+pub use chaos::{ChaosState, ServerFault, ServerFaultPlan};
+pub use client::{Client, ClientError, JobOutcome, RetryPolicy};
+pub use journal::{JobJournal, JobSpec, ReplayedJob};
 pub use proto::{job_exit_code, ServeError, MAX_FRAME_BYTES};
 pub use scheduler::Scheduler;
 pub use server::{DrainSummary, Server, ServerConfig, ServerHandle};

@@ -19,11 +19,22 @@
 //! | `hello`    | —                                                                 |
 //! | `open`     | `gds_b64` *or* `path`, `rules` (deck text), `mode`, `cache_dir`?  |
 //! | `edit`     | `session`, `ops` (array of edit objects)                          |
-//! | `check`    | `session`, `priority`?, `deadline_ms`?                            |
+//! | `check`    | `session`, `priority`?, `deadline_ms`?, `key`?                    |
 //! | `cancel`   | `job`                                                             |
 //! | `stats`    | —                                                                 |
+//! | `health`   | —                                                                 |
+//! | `ping`     | —                                                                 |
 //! | `close`    | `session`                                                         |
 //! | `shutdown` | —                                                                 |
+//!
+//! `check` with a `key` (a client-chosen idempotency key) is durable:
+//! the server journals the submission before acknowledging it, a
+//! resubmit of the same key attaches to the running job or replays the
+//! journaled result, and a server restart re-admits the job. The
+//! server may also send unsolicited `{"event":"ping"}` frames on an
+//! idle connection; a live client answers with a `ping` request
+//! (response `{"ok":true,"pong":true}`) — a client that never answers
+//! is evicted.
 //!
 //! Every request gets exactly one response frame. A successful `check`
 //! response (`{"ok":true,"job":N}`) is followed by asynchronous event
@@ -72,6 +83,11 @@ pub enum ServeError {
     Rules(String),
     /// An underlying I/O failure (socket or filesystem).
     Io(std::io::Error),
+    /// The queue is full of work at least as important as this job.
+    /// Carries the server's backoff hint; a well-behaved client waits
+    /// `retry_after_ms` and resubmits (idempotency keys make the
+    /// retry safe).
+    Overloaded { retry_after_ms: i64 },
 }
 
 impl ServeError {
@@ -88,6 +104,7 @@ impl ServeError {
             ServeError::Layout(_) => 107,
             ServeError::Rules(_) => 108,
             ServeError::Io(_) => 109,
+            ServeError::Overloaded { .. } => 111,
         }
     }
 
@@ -99,11 +116,15 @@ impl ServeError {
 
     /// The error response frame for this failure.
     pub fn to_frame(&self) -> Value {
-        obj([
+        let mut pairs = vec![
             ("ok", Value::Bool(false)),
             ("error", Value::from(self.to_string())),
             ("code", Value::Int(self.code())),
-        ])
+        ];
+        if let ServeError::Overloaded { retry_after_ms } = self {
+            pairs.push(("retry_after_ms", Value::Int(*retry_after_ms)));
+        }
+        obj(pairs)
     }
 }
 
@@ -122,6 +143,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Layout(m) => write!(f, "layout error: {m}"),
             ServeError::Rules(m) => write!(f, "rule deck error: {m}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -174,6 +198,71 @@ pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<String>, ServeErro
             let text = String::from_utf8(line)
                 .map_err(|_| ServeError::Protocol("frame is not utf-8".to_string()))?;
             return Ok(Some(text));
+        }
+    }
+}
+
+/// One step of a timeout-tolerant frame read ([`read_frame_step`]).
+#[derive(Debug)]
+pub enum FrameStep {
+    /// A complete frame arrived.
+    Frame(String),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The read timed out with no (or only a partial) frame; the
+    /// partial bytes stay in the caller's buffer. The caller may run
+    /// liveness bookkeeping (heartbeats, eviction) and call again.
+    Idle,
+}
+
+/// Like [`read_frame`], but built for sockets with a read timeout: a
+/// `WouldBlock`/`TimedOut` read returns [`FrameStep::Idle`] instead of
+/// failing, and any bytes of a partially received frame persist in
+/// `partial` — the caller owns the buffer precisely so a slow writer
+/// whose frame straddles two timeouts loses nothing.
+pub fn read_frame_step(
+    reader: &mut impl BufRead,
+    partial: &mut Vec<u8>,
+) -> Result<FrameStep, ServeError> {
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(FrameStep::Idle);
+            }
+            Err(e) => return Err(ServeError::Io(e)),
+        };
+        if buf.is_empty() {
+            return if partial.is_empty() {
+                Ok(FrameStep::Eof)
+            } else {
+                // Drop the torn prefix so the caller's next step sees
+                // the clean EOF instead of re-reporting this forever.
+                partial.clear();
+                Err(ServeError::Protocol("eof inside frame".to_string()))
+            };
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => (&buf[..nl], true),
+            None => (buf, false),
+        };
+        if partial.len() + chunk.len() > MAX_FRAME_BYTES {
+            return Err(ServeError::TooLarge {
+                limit: MAX_FRAME_BYTES,
+            });
+        }
+        partial.extend_from_slice(chunk);
+        let consumed = chunk.len() + usize::from(done);
+        reader.consume(consumed);
+        if done {
+            let text = String::from_utf8(std::mem::take(partial))
+                .map_err(|_| ServeError::Protocol("frame is not utf-8".to_string()))?;
+            return Ok(FrameStep::Frame(text));
         }
     }
 }
@@ -314,6 +403,74 @@ mod tests {
         for bad in ["[1,2]", "\"hi\"", "42", "not json at all"] {
             assert!(parse_frame(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn frame_step_preserves_partial_across_timeouts() {
+        /// Yields each step in order; `None` models a read timeout.
+        struct TimesOut {
+            steps: Vec<Option<Vec<u8>>>,
+        }
+        impl std::io::Read for TimesOut {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.steps.pop() {
+                    Some(Some(chunk)) => {
+                        buf[..chunk.len()].copy_from_slice(&chunk);
+                        Ok(chunk.len())
+                    }
+                    Some(None) | None => Err(std::io::Error::from(std::io::ErrorKind::WouldBlock)),
+                }
+            }
+        }
+        // One frame delivered in two reads with a timeout in between
+        // (steps pop LIFO, so they are listed in reverse).
+        let mut reader = BufReader::new(TimesOut {
+            steps: vec![
+                Some(b"\"b\"}\n".to_vec()),
+                None,
+                Some(b"{\"verb\":".to_vec()),
+            ],
+        });
+        let mut partial = Vec::new();
+        // First read buffers the prefix, then hits the timeout.
+        let step = read_frame_step(&mut reader, &mut partial).unwrap();
+        assert!(matches!(step, FrameStep::Idle), "{step:?}");
+        assert_eq!(partial, b"{\"verb\":");
+        // The second read delivers the rest and completes the frame.
+        let step = read_frame_step(&mut reader, &mut partial).unwrap();
+        match step {
+            FrameStep::Frame(text) => assert_eq!(text, "{\"verb\":\"b\"}"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert!(partial.is_empty(), "buffer drained after a full frame");
+    }
+
+    #[test]
+    fn frame_step_reports_clean_eof() {
+        let mut reader = BufReader::new(&b""[..]);
+        let mut partial = Vec::new();
+        assert!(matches!(
+            read_frame_step(&mut reader, &mut partial).unwrap(),
+            FrameStep::Eof
+        ));
+        let mut reader = BufReader::new(&b"{\"trunc"[..]);
+        let err = read_frame_step(&mut reader, &mut partial).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn overloaded_frame_carries_retry_hint() {
+        let e = ServeError::Overloaded {
+            retry_after_ms: 250,
+        };
+        assert_eq!(e.code(), 111);
+        assert!(!e.fatal_to_connection());
+        let frame = e.to_frame();
+        assert_eq!(frame.get("code").and_then(Value::as_i64), Some(111));
+        assert_eq!(
+            frame.get("retry_after_ms").and_then(Value::as_i64),
+            Some(250)
+        );
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub struct JobRun {
 
 type JobFn = Box<dyn FnOnce(&JobRun) + Send>;
 
+/// Called with the server's `retry_after_ms` hint when a queued job is
+/// shed to make room for higher-priority work.
+pub type ShedFn = Box<dyn FnOnce(i64) + Send>;
+
 struct QueuedJob {
     job_id: u64,
     exclusion: Option<u64>,
@@ -57,6 +61,9 @@ struct QueuedJob {
     seq: u64,
     enqueued: Instant,
     run: JobFn,
+    /// Jobs without a shed handler are never chosen as shed victims —
+    /// nobody could be told, so they would silently vanish.
+    on_shed: Option<ShedFn>,
 }
 
 #[derive(Default)]
@@ -82,6 +89,9 @@ pub struct SchedulerStats {
     pub jobs_completed: AtomicU64,
     pub jobs_cancelled: AtomicU64,
     pub jobs_panicked: AtomicU64,
+    /// Queued jobs evicted by higher-priority admissions under a full
+    /// queue (each shed job's owner got a retry-after error).
+    pub jobs_shed: AtomicU64,
 }
 
 /// The admission queue plus its worker pool.
@@ -137,6 +147,25 @@ impl Scheduler {
         cancel: CancelToken,
         run: impl FnOnce(&JobRun) + Send + 'static,
     ) -> Result<u64, ServeError> {
+        self.submit_with_shed(exclusion, priority, cancel, None, run)
+    }
+
+    /// [`Scheduler::submit`] with overload shedding: under a full
+    /// queue, an incoming job of strictly higher priority evicts the
+    /// lowest-priority (newest within a priority) queued job that
+    /// carries a shed handler — the victim's `on_shed` gets the
+    /// retry-after hint, the newcomer takes its slot. A full queue
+    /// with no lower-priority victim refuses the newcomer with
+    /// [`ServeError::Overloaded`] instead of buffering unboundedly or
+    /// stalling admission.
+    pub fn submit_with_shed(
+        &self,
+        exclusion: Option<u64>,
+        priority: i64,
+        cancel: CancelToken,
+        on_shed: Option<ShedFn>,
+        run: impl FnOnce(&JobRun) + Send + 'static,
+    ) -> Result<u64, ServeError> {
         let mut q = self.state.queue.lock();
         if q.draining || q.shutdown {
             self.state
@@ -145,15 +174,34 @@ impl Scheduler {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Rejected("server is draining".to_string()));
         }
+        let mut shed: Option<(ShedFn, i64)> = None;
         if q.pending.len() >= self.state.max_queue {
-            self.state
-                .stats
-                .jobs_rejected
-                .fetch_add(1, Ordering::Relaxed);
-            return Err(ServeError::Rejected(format!(
-                "queue full ({} waiting jobs)",
-                q.pending.len()
-            )));
+            let retry_after_ms = self.retry_after_ms(&q);
+            let victim = q
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.on_shed.is_some() && j.priority < priority)
+                .min_by(|(_, a), (_, b)| {
+                    // Lowest priority loses; newest within a priority
+                    // loses first (older jobs have waited longest).
+                    a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq))
+                })
+                .map(|(i, _)| i);
+            let Some(index) = victim else {
+                self.state
+                    .stats
+                    .jobs_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded { retry_after_ms });
+            };
+            let evicted = q.pending.swap_remove(index);
+            q.live.retain(|(id, _)| *id != evicted.job_id);
+            self.state.stats.jobs_shed.fetch_add(1, Ordering::Relaxed);
+            shed = Some((
+                evicted.on_shed.expect("victims carry a handler"),
+                retry_after_ms,
+            ));
         }
         let job_id = self.state.next_job.fetch_add(1, Ordering::Relaxed);
         q.seq += 1;
@@ -166,14 +214,26 @@ impl Scheduler {
             seq,
             enqueued: Instant::now(),
             run: Box::new(run),
+            on_shed,
         });
         self.state
             .stats
             .jobs_admitted
             .fetch_add(1, Ordering::Relaxed);
         drop(q);
+        // Notify the victim outside the lock — its handler writes to a
+        // client socket, which must never happen under the queue lock.
+        if let Some((notify, retry_after_ms)) = shed {
+            notify(retry_after_ms);
+        }
         self.state.cv.notify_all();
         Ok(job_id)
+    }
+
+    /// Backoff hint for overload responses: scales with how much work
+    /// is already in flight, clamped to a sane range.
+    fn retry_after_ms(&self, q: &QueueState) -> i64 {
+        (250 * (q.running + q.pending.len()) as i64).clamp(250, 5000)
     }
 
     /// Trips a live job's cancel token. Queued jobs still run (and
@@ -199,6 +259,29 @@ impl Scheduler {
     pub fn live_jobs(&self) -> usize {
         let q = self.state.queue.lock();
         q.pending.len() + q.running
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.state.queue.lock().pending.len()
+    }
+
+    /// Workers currently running a job.
+    pub fn workers_busy(&self) -> usize {
+        self.state.queue.lock().running
+    }
+
+    /// Whether the scheduler has stopped admitting.
+    pub fn is_draining(&self) -> bool {
+        self.state.queue.lock().draining
+    }
+
+    /// Allocates a fresh job id without admitting anything. Used when
+    /// replaying a journaled result: the stored frame's job id may
+    /// collide with ids handed out since the restart, so the replay is
+    /// re-stamped with a reserved one.
+    pub fn reserve_job_id(&self) -> u64 {
+        self.state.next_job.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Admission counters.
@@ -448,15 +531,74 @@ mod tests {
     }
 
     #[test]
-    fn queue_limit_rejects() {
+    fn queue_limit_rejects_with_retry_hint() {
         let sched = Scheduler::new(1, 2);
         let parked = ParkedJob::submit_to(&sched);
-        // Worker busy; queue holds 2; the third submit must bounce.
+        // Worker busy; queue holds 2; an equal-priority third submit
+        // must bounce with a typed retry-after (nothing to shed: the
+        // newcomer is not *more* important than what is queued).
         sched.submit(None, 0, CancelToken::new(), |_| {}).unwrap();
         sched.submit(None, 0, CancelToken::new(), |_| {}).unwrap();
         let err = sched.submit(None, 0, CancelToken::new(), |_| {});
-        assert!(matches!(err, Err(ServeError::Rejected(_))));
+        match err {
+            Err(ServeError::Overloaded { retry_after_ms }) => {
+                assert!(retry_after_ms >= 250, "hint present: {retry_after_ms}");
+            }
+            other => panic!("expected overloaded, got {other:?}"),
+        }
         assert_eq!(sched.stats().jobs_rejected.load(Ordering::Relaxed), 1);
+        parked.release();
+        sched.drain();
+    }
+
+    #[test]
+    fn overload_sheds_lowest_priority_newest_victim() {
+        let sched = Scheduler::new(1, 2);
+        let parked = ParkedJob::submit_to(&sched);
+        let shed_log = Arc::new(Mutex::new(Vec::new()));
+        let ran = Arc::new(Mutex::new(Vec::new()));
+        let submit = |tag: &'static str, priority: i64| {
+            let shed_log = Arc::clone(&shed_log);
+            let ran = Arc::clone(&ran);
+            sched
+                .submit_with_shed(
+                    None,
+                    priority,
+                    CancelToken::new(),
+                    Some(Box::new(move |retry_ms| {
+                        assert!(retry_ms > 0);
+                        shed_log.lock().push(tag);
+                    })),
+                    move |_| ran.lock().push(tag),
+                )
+                .unwrap()
+        };
+        submit("low-old", 1);
+        submit("low-new", 1);
+        // Queue is full; a higher-priority job sheds the *newest* of
+        // the lowest-priority victims.
+        submit("urgent", 5);
+        assert_eq!(*shed_log.lock(), vec!["low-new"]);
+        assert_eq!(sched.stats().jobs_shed.load(Ordering::Relaxed), 1);
+        // A second urgent job now sheds the remaining low one.
+        submit("urgent-2", 5);
+        assert_eq!(*shed_log.lock(), vec!["low-new", "low-old"]);
+        // Equal priority has no victim left: typed overload.
+        let err = sched.submit(None, 5, CancelToken::new(), |_| {});
+        assert!(matches!(err, Err(ServeError::Overloaded { .. })));
+        parked.release();
+        sched.drain();
+        assert_eq!(*ran.lock(), vec!["urgent", "urgent-2"]);
+    }
+
+    #[test]
+    fn jobs_without_shed_handler_are_never_shed() {
+        let sched = Scheduler::new(1, 1);
+        let parked = ParkedJob::submit_to(&sched);
+        sched.submit(None, 0, CancelToken::new(), |_| {}).unwrap();
+        // Higher priority, but the queued job carries no handler.
+        let err = sched.submit(None, 9, CancelToken::new(), |_| {});
+        assert!(matches!(err, Err(ServeError::Overloaded { .. })));
         parked.release();
         sched.drain();
     }

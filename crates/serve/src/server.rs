@@ -25,14 +25,33 @@
 //!   (no persistent pool), and the session exclusion key guarantees
 //!   one job per session at a time.
 //!
-//! Teardown: a client disconnect cancels that client's live jobs (the
-//! engine winds down at the next rule boundary) and closes its
-//! sessions. A `shutdown` verb or SIGTERM trips the drain token: the
-//! accept loop stops, admission rejects, in-flight jobs finish and
-//! deliver their results, the cache tier is persisted, and `run`
-//! returns.
+//! Crash safety: with a `checkpoint_dir`, a `check` submitted with an
+//! idempotency `key` is **durable** — the [`JobJournal`] records its
+//! admission (layout snapshot included) before the submission is
+//! acknowledged, the run checkpoints per-rule into its own
+//! [`CheckpointJournal`], and its terminal frame is journaled. A
+//! restarted server replays the journal: finished keys answer
+//! resubmits with the journaled frame verbatim; unfinished keys are
+//! re-admitted as headless jobs that resume at the rule boundary where
+//! the kill landed. See `DESIGN.md` §5 for the full crash matrix.
+//!
+//! Liveness: accepted sockets carry read/write timeouts; an idle
+//! connection is pinged and evicted after `ping_max_misses` unanswered
+//! heartbeats, idle sessions are evicted past `session_idle_ms` (LRU
+//! under the `max_sessions` cap), and a full queue sheds its
+//! lowest-priority job — or refuses the newcomer — with a typed
+//! `retry_after_ms` error instead of stalling admission.
+//!
+//! Teardown: a client disconnect cancels that client's live
+//! *non-durable* jobs (the engine winds down at the next rule
+//! boundary) and closes its sessions; durable jobs keep running so a
+//! reconnecting client can attach. A `shutdown` verb or SIGTERM trips
+//! the drain token: the accept loop stops, admission rejects,
+//! in-flight jobs finish and deliver their results, the cache tier is
+//! persisted, and `run` returns.
 //!
 //! [`ThreadGate`]: odrc_infra::ThreadGate
+//! [`CheckpointJournal`]: odrc::CheckpointJournal
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -40,21 +59,24 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use odrc::{parse_deck, Engine, EngineOptions, ProgressFn, ResultCache};
+use odrc::{parse_deck, CheckpointJournal, Engine, EngineOptions, ProgressFn, ResultCache, RunKey};
 use odrc_db::Layout;
 use odrc_incremental::Session;
-use odrc_infra::{CancelReason, CancelToken, ThreadGate};
+use odrc_infra::{fnv1a64, CancelReason, CancelToken, ThreadGate};
 use odrc_xpu::Device;
 use parking_lot::Mutex;
 
 use crate::cache_tier::SharedCacheTier;
+use crate::chaos::{ChaosState, ServerFaultPlan};
+use crate::journal::{JobJournal, JobSpec, ReplayedJob};
 use crate::json::{base64, obj, Value};
 use crate::proto::{
-    self, job_exit_code, opt_i64, opt_str, read_frame, req_i64, req_str, write_frame, ServeError,
+    self, job_exit_code, opt_i64, opt_str, read_frame_step, req_i64, req_str, write_frame,
+    FrameStep, ServeError,
 };
-use crate::scheduler::{JobRun, Scheduler};
+use crate::scheduler::{JobRun, Scheduler, ShedFn};
 use crate::wire;
 
 /// Server tuning. `Default` sizes to the host.
@@ -68,7 +90,7 @@ pub struct ServerConfig {
     /// Process-wide host-thread budget shared by all concurrent jobs
     /// — the multi-tenant analogue of the CLI's `--host-threads`.
     pub host_threads: usize,
-    /// Waiting jobs the admission queue holds before rejecting.
+    /// Waiting jobs the admission queue holds before shedding.
     pub max_queue: usize,
     /// Directory for the shared result-cache sidecar; `None` keeps
     /// the tier in memory only.
@@ -77,6 +99,28 @@ pub struct ServerConfig {
     pub device_workers: usize,
     /// Stream-ordered allocator budget per parallel-mode session.
     pub device_budget: Option<usize>,
+    /// Directory for the durable job journal and per-job checkpoint
+    /// journals. `None` disables durability: keyed submissions still
+    /// dedupe in memory, but nothing survives a restart.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Socket read/write timeout. Reads that time out drive the
+    /// heartbeat; writes that time out count as a dead client. 0
+    /// disables both (a stalled reader can then pin its connection
+    /// thread — only sensible in tests).
+    pub io_timeout_ms: u64,
+    /// Consecutive unanswered heartbeats before an idle connection is
+    /// evicted.
+    pub ping_max_misses: u32,
+    /// Idle time after which a session (not touched by open/edit/
+    /// check) may be evicted.
+    pub session_idle_ms: u64,
+    /// Hard cap on concurrently open sessions; opening past it evicts
+    /// the least-recently-used idle session, or rejects when every
+    /// session is busy.
+    pub max_sessions: usize,
+    /// Seeded fault-injection schedule (tests only). `None` — the
+    /// default — injects nothing.
+    pub chaos: Option<ServerFaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +136,12 @@ impl Default for ServerConfig {
             cache_dir: None,
             device_workers: par,
             device_budget: None,
+            checkpoint_dir: None,
+            io_timeout_ms: 10_000,
+            ping_max_misses: 3,
+            session_idle_ms: 600_000,
+            max_sessions: 256,
+            chaos: None,
         }
     }
 }
@@ -101,6 +151,31 @@ struct SessionSlot {
     session: Mutex<Session>,
     /// Whether jobs on this session consult the shared cache tier.
     shared_cache: bool,
+    /// Rule deck source text, kept for durable job specs.
+    rules: String,
+    /// Engine mode (`"sequential"` or `"parallel"`), ditto.
+    mode: String,
+    /// Milliseconds since server start at last use, for LRU eviction.
+    last_used: AtomicU64,
+}
+
+impl SessionSlot {
+    fn touch(&self, shared: &ServerShared) {
+        self.last_used.store(shared.now_ms(), Ordering::Relaxed);
+    }
+}
+
+/// Per-idempotency-key state.
+enum KeyState {
+    /// The job is queued or running; `waiters` are connections that
+    /// resubmitted the key and get the terminal frame when it lands.
+    Active {
+        job_id: u64,
+        waiters: Vec<Arc<Mutex<TcpStream>>>,
+    },
+    /// The job finished; `frame` is the terminal event (JSON text)
+    /// replayed verbatim (with a fresh job id) to resubmits.
+    Done { frame: String },
 }
 
 struct ServerShared {
@@ -111,6 +186,23 @@ struct ServerShared {
     sessions: Mutex<HashMap<u64, Arc<SessionSlot>>>,
     next_session: AtomicU64,
     drain: CancelToken,
+    started: Instant,
+    /// Durable job journal (present iff `checkpoint_dir` is set).
+    journal: Option<Mutex<JobJournal>>,
+    /// In-memory idempotency-key registry, seeded from the journal.
+    registry: Mutex<HashMap<String, KeyState>>,
+    /// Armed fault-injection state (tests only).
+    chaos: Option<ChaosState>,
+}
+
+impl ServerShared {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn chaos(&self) -> Option<&ChaosState> {
+        self.chaos.as_ref()
+    }
 }
 
 /// A bound, not-yet-running server. [`Server::run`] blocks until
@@ -148,8 +240,10 @@ pub struct DrainSummary {
 }
 
 impl Server {
-    /// Binds the listener and spins up the scheduler; no connections
-    /// are accepted until [`Server::run`].
+    /// Binds the listener, spins up the scheduler, replays the job
+    /// journal (re-admitting every unfinished durable job), and arms
+    /// the chaos plan if one is configured. No connections are
+    /// accepted until [`Server::run`].
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -161,6 +255,14 @@ impl Server {
         // The multi-tenant sizing handshake: `host_threads` total, one
         // implicit thread per running job, the rest as shared permits.
         let gate = Arc::new(ThreadGate::new(config.host_threads.saturating_sub(1)));
+        let (journal, replayed) = match &config.checkpoint_dir {
+            Some(dir) => {
+                let (journal, replayed) = JobJournal::open_dir(dir)?;
+                (Some(Mutex::new(journal)), replayed)
+            }
+            None => (None, HashMap::new()),
+        };
+        let chaos = config.chaos.clone().map(ServerFaultPlan::arm);
         let shared = Arc::new(ServerShared {
             scheduler: Scheduler::new(config.workers, config.max_queue),
             tier,
@@ -171,8 +273,29 @@ impl Server {
             // SIGINT/SIGTERM once handlers are installed (the bin does
             // that); programmatic ServerHandle::shutdown works always.
             drain: CancelToken::new().linked_to_signals(),
+            started: Instant::now(),
+            journal,
+            registry: Mutex::new(HashMap::new()),
+            chaos,
             config,
         });
+        // Replay: finished keys answer future resubmits from memory;
+        // unfinished keys go straight back into the queue, headless —
+        // their owners are gone, but their results get journaled and a
+        // resubmitting client replays or attaches.
+        for (key, job) in replayed {
+            match job {
+                ReplayedJob::Done(frame) => {
+                    shared.registry.lock().insert(key, KeyState::Done { frame });
+                }
+                ReplayedJob::Pending(spec) => {
+                    // Already journaled; a failed re-admission (queue
+                    // full of replays) leaves the admit record pending
+                    // for the *next* restart or resubmit.
+                    let _ = admit_durable(&shared, spec, None, false);
+                }
+            }
+        }
         Ok(Server {
             listener,
             addr,
@@ -196,6 +319,7 @@ impl Server {
     /// the scheduler, persists the cache tier, and returns.
     pub fn run(self) -> std::io::Result<DrainSummary> {
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut last_sweep = Instant::now();
         while self.shared.drain.cancelled().is_none() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -213,6 +337,10 @@ impl Server {
                 Err(e) => return Err(e),
             }
             conns.retain(|h| !h.is_finished());
+            if last_sweep.elapsed() >= Duration::from_secs(1) {
+                sweep_idle_sessions(&self.shared);
+                last_sweep = Instant::now();
+            }
         }
         // Drain: no new admissions, in-flight jobs finish and deliver.
         self.shared.scheduler.drain();
@@ -230,16 +358,42 @@ impl Server {
     }
 }
 
+/// Evicts sessions idle past `session_idle_ms`. A session whose mutex
+/// is held (a job is running on it) is never evicted, no matter how
+/// stale its timestamp.
+fn sweep_idle_sessions(shared: &ServerShared) {
+    let now = shared.now_ms();
+    let idle_cap = shared.config.session_idle_ms;
+    if idle_cap == 0 {
+        return;
+    }
+    shared.sessions.lock().retain(|_, slot| {
+        now.saturating_sub(slot.last_used.load(Ordering::Relaxed)) < idle_cap
+            || slot.session.try_lock().is_none()
+    });
+}
+
 /// Per-connection state the dispatcher tracks.
 struct ConnState {
     /// Sessions this connection opened (closed on disconnect).
     sessions: Vec<u64>,
-    /// Jobs this connection submitted, with their cancel tokens
-    /// (tripped on disconnect so an orphaned job winds down).
+    /// Non-durable jobs this connection submitted, with their cancel
+    /// tokens (tripped on disconnect so an orphaned job winds down).
+    /// Durable jobs are deliberately absent: they outlive their
+    /// submitter by design.
     jobs: Vec<(u64, CancelToken)>,
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
+    // Stalled-reader defense: reads wake up every `io_timeout_ms` to
+    // drive heartbeats; writes that block past it count as a dead
+    // peer. The timeouts live on the fd, so the writer clone below
+    // inherits them.
+    if shared.config.io_timeout_ms > 0 {
+        let t = Duration::from_millis(shared.config.io_timeout_ms);
+        let _ = stream.set_read_timeout(Some(t));
+        let _ = stream.set_write_timeout(Some(t));
+    }
     let writer: Arc<Mutex<TcpStream>> = match stream.try_clone() {
         Ok(clone) => Arc::new(Mutex::new(clone)),
         Err(_) => return,
@@ -249,13 +403,37 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
         sessions: Vec::new(),
         jobs: Vec::new(),
     };
+    let mut partial: Vec<u8> = Vec::new();
+    let mut pings_unanswered: u32 = 0;
 
     loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(line)) => line,
-            Ok(None) => break, // clean disconnect
+        let frame = match read_frame_step(&mut reader, &mut partial) {
+            Ok(FrameStep::Frame(line)) => {
+                pings_unanswered = 0;
+                line
+            }
+            Ok(FrameStep::Eof) => break, // clean disconnect
+            Ok(FrameStep::Idle) => {
+                // Heartbeat tick: ping an idle client; give up on one
+                // that has ignored too many pings (half-open socket,
+                // wedged process) instead of pinning this thread.
+                if pings_unanswered >= shared.config.ping_max_misses {
+                    break;
+                }
+                pings_unanswered += 1;
+                if emit(
+                    shared.chaos(),
+                    &writer,
+                    &obj([("event", Value::from("ping"))]),
+                )
+                .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
             Err(e) => {
-                let _ = emit(&writer, &e.to_frame());
+                let _ = emit(shared.chaos(), &writer, &e.to_frame());
                 if e.fatal_to_connection() {
                     break;
                 }
@@ -264,25 +442,26 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
         };
         match dispatch(&frame, shared, &writer, &mut conn) {
             Ok(Dispatch::Reply(response)) => {
-                if emit(&writer, &response).is_err() {
+                if emit(shared.chaos(), &writer, &response).is_err() {
                     break;
                 }
             }
             Ok(Dispatch::Goodbye(response)) => {
-                let _ = emit(&writer, &response);
+                let _ = emit(shared.chaos(), &writer, &response);
                 break;
             }
             Err(e) => {
                 let fatal = e.fatal_to_connection();
-                if emit(&writer, &e.to_frame()).is_err() || fatal {
+                if emit(shared.chaos(), &writer, &e.to_frame()).is_err() || fatal {
                     break;
                 }
             }
         }
     }
 
-    // Teardown: orphaned jobs wind down at the next rule boundary;
-    // this client's sessions go away once their jobs release them.
+    // Teardown: orphaned non-durable jobs wind down at the next rule
+    // boundary; this client's sessions go away once their jobs release
+    // them.
     for (_, token) in &conn.jobs {
         token.cancel(CancelReason::Interrupt);
     }
@@ -326,6 +505,11 @@ fn dispatch(
             ])))
         }
         "stats" => Ok(Dispatch::Reply(server_stats(shared))),
+        "health" => Ok(Dispatch::Reply(health_frame(shared))),
+        "ping" => Ok(Dispatch::Reply(obj([
+            ("ok", Value::Bool(true)),
+            ("pong", Value::Bool(true)),
+        ]))),
         "close" => {
             let id = session_id(&frame)?;
             let removed = shared.sessions.lock().remove(&id).is_some();
@@ -356,12 +540,14 @@ fn session_id(frame: &Value) -> Result<u64, ServeError> {
 }
 
 fn find_session(shared: &ServerShared, id: u64) -> Result<Arc<SessionSlot>, ServeError> {
-    shared
+    let slot = shared
         .sessions
         .lock()
         .get(&id)
         .cloned()
-        .ok_or(ServeError::UnknownSession(id))
+        .ok_or(ServeError::UnknownSession(id))?;
+    slot.touch(shared);
+    Ok(slot)
 }
 
 fn open_session(
@@ -385,8 +571,8 @@ fn open_session(
         }
     };
     let layout = Layout::from_library(&library).map_err(|e| ServeError::Layout(e.to_string()))?;
-    let deck =
-        parse_deck(req_str(frame, "rules")?).map_err(|e| ServeError::Rules(e.to_string()))?;
+    let rules_text = req_str(frame, "rules")?.to_string();
+    let deck = parse_deck(&rules_text).map_err(|e| ServeError::Rules(e.to_string()))?;
     let mode = opt_str(frame, "mode")?.unwrap_or("sequential");
     let shared_cache = match frame.get("shared_cache") {
         None | Some(Value::Null) => true,
@@ -395,13 +581,59 @@ fn open_session(
             .ok_or_else(|| ServeError::Protocol("\"shared_cache\" must be a bool".to_string()))?,
     };
 
+    let engine = build_engine(shared, mode)?;
+
+    let cells = layout.cells().len();
+    let slot = Arc::new(SessionSlot {
+        session: Mutex::new(Session::new(layout, engine, deck)),
+        shared_cache,
+        rules: rules_text,
+        mode: mode.to_string(),
+        last_used: AtomicU64::new(shared.now_ms()),
+    });
+    let id = {
+        let mut sessions = shared.sessions.lock();
+        if sessions.len() >= shared.config.max_sessions.max(1) {
+            // LRU cap: evict the stalest idle session; if every
+            // session is mid-job, refuse rather than grow unboundedly.
+            let victim = sessions
+                .iter()
+                .filter(|(_, s)| s.session.try_lock().is_some())
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    sessions.remove(&id);
+                }
+                None => {
+                    return Err(ServeError::Rejected(format!(
+                        "session table full ({} busy sessions)",
+                        sessions.len()
+                    )));
+                }
+            }
+        }
+        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        sessions.insert(id, slot);
+        id
+    };
+    conn.sessions.push(id);
+    Ok(Dispatch::Reply(obj([
+        ("ok", Value::Bool(true)),
+        ("session", Value::from(id)),
+        ("cells", Value::from(cells)),
+    ])))
+}
+
+/// Builds a job engine wired to the shared gate and thread budget.
+fn build_engine(shared: &ServerShared, mode: &str) -> Result<Engine, ServeError> {
     let options = EngineOptions {
         host_threads: Some(shared.config.host_threads),
         shared_gate: Some(Arc::clone(&shared.gate)),
         ..EngineOptions::default()
     };
-    let engine = match mode {
-        "sequential" => Engine::sequential().with_options(options),
+    match mode {
+        "sequential" => Ok(Engine::sequential().with_options(options)),
         "parallel" => {
             // Per-session device: its knobs are device-global, so it
             // must never be shared across concurrently running jobs.
@@ -409,28 +641,12 @@ fn open_session(
                 Some(bytes) => Device::with_budget(shared.config.device_workers, bytes),
                 None => Device::new(shared.config.device_workers),
             };
-            Engine::parallel_on(device).with_options(options)
+            Ok(Engine::parallel_on(device).with_options(options))
         }
-        other => {
-            return Err(ServeError::Protocol(format!(
-                "mode must be \"sequential\" or \"parallel\", got {other:?}"
-            )))
-        }
-    };
-
-    let cells = layout.cells().len();
-    let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
-    let slot = Arc::new(SessionSlot {
-        session: Mutex::new(Session::new(layout, engine, deck)),
-        shared_cache,
-    });
-    shared.sessions.lock().insert(id, slot);
-    conn.sessions.push(id);
-    Ok(Dispatch::Reply(obj([
-        ("ok", Value::Bool(true)),
-        ("session", Value::from(id)),
-        ("cells", Value::from(cells)),
-    ])))
+        other => Err(ServeError::Protocol(format!(
+            "mode must be \"sequential\" or \"parallel\", got {other:?}"
+        ))),
+    }
 }
 
 fn edit_session(frame: &Value, shared: &Arc<ServerShared>) -> Result<Dispatch, ServeError> {
@@ -467,29 +683,57 @@ fn submit_check(
     let id = session_id(frame)?;
     let slot = find_session(shared, id)?;
     let priority = opt_i64(frame, "priority")?.unwrap_or(0);
-    // The deadline clock starts at admission: a job stuck behind a
-    // full queue burns its budget waiting, exactly like the CLI's
-    // wall-clock `--deadline`.
-    let token = match opt_i64(frame, "deadline_ms")? {
-        Some(ms) if ms >= 0 => CancelToken::with_deadline(Duration::from_millis(ms as u64)),
-        Some(_) => {
+    let deadline_ms = match opt_i64(frame, "deadline_ms")? {
+        Some(ms) if ms < 0 => {
             return Err(ServeError::Protocol(
                 "\"deadline_ms\" must be non-negative".to_string(),
             ))
         }
+        other => other,
+    };
+    if let Some(key) = opt_str(frame, "key")? {
+        return submit_check_durable(shared, &slot, writer, key, priority, deadline_ms);
+    }
+
+    // The deadline clock starts at admission: a job stuck behind a
+    // full queue burns its budget waiting, exactly like the CLI's
+    // wall-clock `--deadline`.
+    let token = match deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms as u64)),
         None => CancelToken::new(),
     };
 
     let job_writer = Arc::clone(writer);
     let job_shared = Arc::clone(shared);
     let job_token = token.clone();
-    let job_id = shared
-        .scheduler
-        .submit(Some(id), priority, token.clone(), move |run| {
+    // Shed notice: the victim's submitter learns its queued job was
+    // dropped for higher-priority work, with the backoff hint.
+    let shed_job = Arc::new(AtomicU64::new(0));
+    let on_shed: ShedFn = {
+        let shed_shared = Arc::clone(shared);
+        let shed_writer = Arc::clone(writer);
+        let shed_job = Arc::clone(&shed_job);
+        Box::new(move |retry_ms| {
+            let _ = emit(
+                shed_shared.chaos(),
+                &shed_writer,
+                &shed_event(shed_job.load(Ordering::Relaxed), retry_ms),
+            );
+        })
+    };
+    let job_id = shared.scheduler.submit_with_shed(
+        Some(id),
+        priority,
+        token.clone(),
+        Some(on_shed),
+        move |run| {
             execute_job(&job_shared, &slot, &job_writer, &job_token, run);
-        })?;
+        },
+    )?;
+    shed_job.store(job_id, Ordering::Relaxed);
     conn.jobs.push((job_id, token));
     let _ = emit(
+        shared.chaos(),
         writer,
         &obj([
             ("event", Value::from("queued")),
@@ -502,9 +746,424 @@ fn submit_check(
     ])))
 }
 
-/// Runs one admitted check job on a scheduler worker: wires the job's
-/// cancel token and progress stream into the session's engine, checks
-/// the shared cache tier in and out, and emits the terminal event.
+/// The terminal event a shed job's owner receives.
+fn shed_event(job_id: u64, retry_ms: i64) -> Value {
+    obj([
+        ("event", Value::from("error")),
+        ("job", Value::from(job_id)),
+        (
+            "error",
+            Value::from(format!(
+                "job shed: server overloaded; retry after {retry_ms} ms"
+            )),
+        ),
+        ("code", Value::Int(111)),
+        ("retry_after_ms", Value::Int(retry_ms)),
+        ("exit", Value::Int(2)),
+    ])
+}
+
+/// A `check` carrying an idempotency key: replay a finished result,
+/// attach to the running job, or journal-then-admit a fresh one.
+fn submit_check_durable(
+    shared: &Arc<ServerShared>,
+    slot: &Arc<SessionSlot>,
+    writer: &Arc<Mutex<TcpStream>>,
+    key: &str,
+    priority: i64,
+    deadline_ms: Option<i64>,
+) -> Result<Dispatch, ServeError> {
+    if key.is_empty() || key.len() > 256 {
+        return Err(ServeError::Protocol(
+            "\"key\" must be 1..=256 characters".to_string(),
+        ));
+    }
+    // Fast paths under the registry lock: replay or attach.
+    {
+        let mut registry = shared.registry.lock();
+        match registry.get_mut(key) {
+            Some(KeyState::Done { frame }) => {
+                // Replay with a fresh job id — the journaled id may
+                // collide with ids handed out since the restart.
+                let job_id = shared.scheduler.reserve_job_id();
+                let replayed = patch_job_id(frame, job_id);
+                drop(registry);
+                let _ = emit(
+                    shared.chaos(),
+                    writer,
+                    &obj([
+                        ("event", Value::from("queued")),
+                        ("job", Value::from(job_id)),
+                    ]),
+                );
+                let _ = emit(shared.chaos(), writer, &replayed);
+                return Ok(Dispatch::Reply(obj([
+                    ("ok", Value::Bool(true)),
+                    ("job", Value::from(job_id)),
+                    ("replayed", Value::Bool(true)),
+                ])));
+            }
+            Some(KeyState::Active { job_id, waiters }) => {
+                let job_id = *job_id;
+                waiters.push(Arc::clone(writer));
+                drop(registry);
+                let _ = emit(
+                    shared.chaos(),
+                    writer,
+                    &obj([
+                        ("event", Value::from("queued")),
+                        ("job", Value::from(job_id)),
+                    ]),
+                );
+                return Ok(Dispatch::Reply(obj([
+                    ("ok", Value::Bool(true)),
+                    ("job", Value::from(job_id)),
+                    ("attached", Value::Bool(true)),
+                ])));
+            }
+            None => {}
+        }
+    }
+
+    // Fresh durable submission: snapshot the session into a
+    // self-contained spec (the job must be re-runnable on a restarted
+    // server with no sessions), journal it, then admit.
+    let spec = {
+        let session = slot.session.lock();
+        let gds = odrc_gdsii::write(&session.layout().to_library("odrc"))
+            .map_err(|e| ServeError::Layout(e.to_string()))?;
+        JobSpec {
+            key: key.to_string(),
+            gds,
+            rules: slot.rules.clone(),
+            mode: slot.mode.clone(),
+            priority,
+            deadline_ms,
+        }
+    };
+    let job_id = admit_durable(shared, spec, Some(Arc::clone(writer)), true)?;
+    let _ = emit(
+        shared.chaos(),
+        writer,
+        &obj([
+            ("event", Value::from("queued")),
+            ("job", Value::from(job_id)),
+        ]),
+    );
+    Ok(Dispatch::Reply(obj([
+        ("ok", Value::Bool(true)),
+        ("job", Value::from(job_id)),
+    ])))
+}
+
+/// Rewrites the `job` field of a journaled terminal frame.
+fn patch_job_id(frame_text: &str, job_id: u64) -> Value {
+    let mut value = crate::json::parse(frame_text).unwrap_or(Value::Null);
+    if let Value::Object(pairs) = &mut value {
+        match pairs.iter_mut().find(|(k, _)| k == "job") {
+            Some(pair) => pair.1 = Value::from(job_id),
+            None => pairs.push(("job".to_string(), Value::from(job_id))),
+        }
+    }
+    value
+}
+
+/// Journals (optionally) and admits a durable job. `owner` is the
+/// submitting connection's writer, absent for restart replays.
+fn admit_durable(
+    shared: &Arc<ServerShared>,
+    spec: JobSpec,
+    owner: Option<Arc<Mutex<TcpStream>>>,
+    journal_admit: bool,
+) -> Result<u64, ServeError> {
+    if journal_admit {
+        if let Some(journal) = &shared.journal {
+            journal.lock().record_admit(&spec, shared.chaos())?;
+        }
+    }
+    let key = spec.key.clone();
+    shared.registry.lock().insert(
+        key.clone(),
+        KeyState::Active {
+            job_id: 0,
+            waiters: Vec::new(),
+        },
+    );
+    // Durable jobs restart their deadline clock on re-admission: the
+    // budget bounds *a* run, and a crashed run was not the client's
+    // doing.
+    let token = match spec.deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms as u64)),
+        None => CancelToken::new(),
+    };
+    // Keyed jobs never touch a session, so their exclusion domain is
+    // the key itself, offset into the upper half so it cannot collide
+    // with session ids.
+    let exclusion = fnv1a64(key.as_bytes()) | (1 << 63);
+    let priority = spec.priority;
+
+    let shed_job = Arc::new(AtomicU64::new(0));
+    let on_shed: ShedFn = {
+        let shed_shared = Arc::clone(shared);
+        let shed_key = key.clone();
+        let shed_owner = owner.clone();
+        let shed_job = Arc::clone(&shed_job);
+        Box::new(move |retry_ms| {
+            // The key goes back to vacant: a retry re-journals and
+            // re-admits (the stale admit record is deduped on replay).
+            let waiters = match shed_shared.registry.lock().remove(&shed_key) {
+                Some(KeyState::Active { waiters, .. }) => waiters,
+                _ => Vec::new(),
+            };
+            let event = shed_event(shed_job.load(Ordering::Relaxed), retry_ms);
+            if let Some(w) = &shed_owner {
+                let _ = emit(shed_shared.chaos(), w, &event);
+            }
+            for w in &waiters {
+                let _ = emit(shed_shared.chaos(), w, &event);
+            }
+        })
+    };
+
+    let job_shared = Arc::clone(shared);
+    let job_token = token.clone();
+    let submitted = shared.scheduler.submit_with_shed(
+        Some(exclusion),
+        priority,
+        token.clone(),
+        Some(on_shed),
+        move |run| {
+            execute_durable(&job_shared, &spec, owner.as_ref(), &job_token, run);
+        },
+    );
+    let job_id = match submitted {
+        Ok(id) => id,
+        Err(e) => {
+            shared.registry.lock().remove(&key);
+            return Err(e);
+        }
+    };
+    shed_job.store(job_id, Ordering::Relaxed);
+    if let Some(KeyState::Active { job_id: id, .. }) = shared.registry.lock().get_mut(&key) {
+        // The job may already have finished (entry replaced/removed);
+        // only a still-active placeholder needs the real id.
+        if *id == 0 {
+            *id = job_id;
+        }
+    }
+    Ok(job_id)
+}
+
+/// Runs one *durable* job from its self-contained spec: parses the
+/// journaled layout and deck, wires the per-key [`CheckpointJournal`]
+/// so a killed run resumes at the rule boundary, and applies the
+/// terminal policy — journal the result for completed (or
+/// deadline-expired) runs; put the key back to pending for
+/// interrupted ones so a resubmit re-runs from the checkpoint.
+fn execute_durable(
+    shared: &Arc<ServerShared>,
+    spec: &JobSpec,
+    owner: Option<&Arc<Mutex<TcpStream>>>,
+    token: &CancelToken,
+    run: &JobRun,
+) {
+    let job_id = run.job_id;
+    if let Some(journal) = &shared.journal {
+        let _ = journal.lock().record_start(&spec.key, shared.chaos());
+    }
+    if let Some(w) = owner {
+        // Plain emit, never emit_or_cancel: a durable job computes on
+        // for the journal even when its submitter is gone.
+        let _ = emit(
+            shared.chaos(),
+            w,
+            &obj([
+                ("event", Value::from("running")),
+                ("job", Value::from(job_id)),
+            ]),
+        );
+    }
+
+    let body = std::panic::AssertUnwindSafe(|| -> Result<(Value, Option<CancelReason>), String> {
+        if let Some(chaos) = shared.chaos() {
+            if chaos.on_job_start() {
+                panic!("chaos: worker panic at job start");
+            }
+        }
+        let library = odrc_gdsii::read(&spec.gds).map_err(|e| e.to_string())?;
+        let layout = Layout::from_library(&library).map_err(|e| e.to_string())?;
+        let deck = parse_deck(&spec.rules).map_err(|e| e.to_string())?;
+        let mut engine = build_engine(shared, &spec.mode).map_err(|e| e.to_string())?;
+        engine.set_cancel(Some(token.clone()));
+        let progress_shared = Arc::clone(shared);
+        let progress_owner = owner.cloned();
+        let progress: ProgressFn = Arc::new(move |rule: &str, status| {
+            if let Some(chaos) = progress_shared.chaos() {
+                if chaos.on_rule_event() {
+                    // The in-process model of `kill -9` at this exact
+                    // rule boundary; the harness restarts the server.
+                    std::process::abort();
+                }
+            }
+            if let Some(w) = &progress_owner {
+                let _ = emit(
+                    progress_shared.chaos(),
+                    w,
+                    &obj([
+                        ("event", Value::from("rule")),
+                        ("job", Value::from(job_id)),
+                        ("rule", Value::from(rule)),
+                        ("status", Value::from(status.to_string())),
+                    ]),
+                );
+            }
+        });
+        engine.set_progress(Some(progress));
+
+        // Per-key checkpoint journal: the resume half of kill/resume.
+        let ckpt_dir = shared.config.checkpoint_dir.as_ref().map(|dir| {
+            dir.join("jobs")
+                .join(format!("{:016x}", fnv1a64(spec.key.as_bytes())))
+        });
+        let mut ckpt = match &ckpt_dir {
+            Some(dir) => CheckpointJournal::open_dir(dir, RunKey::compute(&layout, &deck))
+                .map_err(|e| format!("checkpoint journal: {e}"))
+                .map(Some)?,
+            None => None,
+        };
+
+        let mut cache = shared.tier.checkout();
+        let hits_before = cache.hits();
+        let report = engine.check_resumable(&layout, &deck, Some(&mut cache), ckpt.as_mut());
+        let cache_hits_shared = shared.tier.merge_back(&cache, hits_before);
+
+        let mut stats = match wire::stats_to_json(&report.stats) {
+            Value::Object(pairs) => pairs,
+            _ => unreachable!("stats_to_json returns an object"),
+        };
+        stats.push((
+            "cache_hits_shared".to_string(),
+            Value::from(cache_hits_shared),
+        ));
+        stats.push(("queue_wait_ms".to_string(), Value::from(run.queue_wait_ms)));
+
+        let interrupted = report.interrupted;
+        let done = obj([
+            ("event", Value::from("done")),
+            ("job", Value::from(job_id)),
+            ("key", Value::from(spec.key.as_str())),
+            (
+                "exit",
+                Value::Int(job_exit_code(
+                    interrupted.is_some(),
+                    report.violations.len(),
+                    report.stats.degraded(),
+                )),
+            ),
+            // A durable job always runs the whole deck against its
+            // journaled snapshot (never an incremental recheck).
+            ("full_run", Value::Bool(true)),
+            (
+                "interrupted",
+                match interrupted {
+                    Some(reason) => Value::from(reason.to_string()),
+                    None => Value::Null,
+                },
+            ),
+            ("violations", wire::violations_to_json(&report.violations)),
+            ("stats", Value::Object(stats)),
+        ]);
+        if interrupted.is_none() {
+            // The run is complete; its checkpoint directory is dead
+            // weight (the journaled result now answers resubmits).
+            if let Some(dir) = &ckpt_dir {
+                drop(ckpt.take());
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+        Ok((done, interrupted))
+    });
+
+    let (frame, durable) = match std::panic::catch_unwind(body) {
+        // Terminal policy: a completed run — and a deadline-expired
+        // one, whose partial result is the deterministic outcome of
+        // the client's own budget — is journaled and replayable. An
+        // *interrupt* (cancel verb) leaves the key pending so the next
+        // submission re-runs from the checkpoint.
+        Ok(Ok((frame, interrupted))) => {
+            let durable = !matches!(interrupted, Some(CancelReason::Interrupt));
+            (frame, durable)
+        }
+        // A hard error (unreadable journaled layout, bad deck) is
+        // deterministic: journal it so resubmits replay the error
+        // instead of re-failing.
+        Ok(Err(message)) => (
+            obj([
+                ("event", Value::from("error")),
+                ("job", Value::from(job_id)),
+                ("key", Value::from(spec.key.as_str())),
+                ("error", Value::from(message)),
+                ("code", Value::Int(110)),
+                ("exit", Value::Int(2)),
+            ]),
+            true,
+        ),
+        // A panic is presumed transient (chaos injection, resource
+        // exhaustion): the key goes back to pending and a resubmit —
+        // or the next restart — tries again.
+        Err(panic) => (
+            obj([
+                ("event", Value::from("error")),
+                ("job", Value::from(job_id)),
+                ("key", Value::from(spec.key.as_str())),
+                (
+                    "error",
+                    Value::from(format!("job panicked: {}", panic_message(&panic))),
+                ),
+                ("code", Value::Int(110)),
+                ("exit", Value::Int(2)),
+            ]),
+            false,
+        ),
+    };
+
+    if durable {
+        if let Some(journal) = &shared.journal {
+            let _ = journal
+                .lock()
+                .record_done(&spec.key, &frame.to_json(), shared.chaos());
+        }
+    }
+    // Swap the registry entry and collect everyone waiting on the key.
+    let waiters = {
+        let mut registry = shared.registry.lock();
+        let previous = if durable {
+            registry.insert(
+                spec.key.clone(),
+                KeyState::Done {
+                    frame: frame.to_json(),
+                },
+            )
+        } else {
+            registry.remove(&spec.key)
+        };
+        match previous {
+            Some(KeyState::Active { waiters, .. }) => waiters,
+            _ => Vec::new(),
+        }
+    };
+    if let Some(w) = owner {
+        let _ = emit(shared.chaos(), w, &frame);
+    }
+    for w in &waiters {
+        let _ = emit(shared.chaos(), w, &frame);
+    }
+}
+
+/// Runs one admitted session-bound check job on a scheduler worker:
+/// wires the job's cancel token and progress stream into the session's
+/// engine, checks the shared cache tier in and out, and emits the
+/// terminal event.
 fn execute_job(
     shared: &Arc<ServerShared>,
     slot: &Arc<SessionSlot>,
@@ -514,6 +1173,7 @@ fn execute_job(
 ) {
     let job_id = run.job_id;
     emit_or_cancel(
+        shared,
         writer,
         token,
         &obj([
@@ -523,16 +1183,28 @@ fn execute_job(
     );
 
     let body = std::panic::AssertUnwindSafe(|| -> Value {
+        if let Some(chaos) = shared.chaos() {
+            if chaos.on_job_start() {
+                panic!("chaos: worker panic at job start");
+            }
+        }
         let mut session = slot.session.lock();
 
         // Per-job engine plumbing. The progress callback streams rule
         // completions; a write failure (client gone) trips the job's
         // own token so the engine winds down instead of checking for
         // a dead socket.
+        let progress_shared = Arc::clone(shared);
         let progress_writer = Arc::clone(writer);
         let progress_token = token.clone();
         let progress: ProgressFn = Arc::new(move |rule: &str, status| {
+            if let Some(chaos) = progress_shared.chaos() {
+                if chaos.on_rule_event() {
+                    std::process::abort();
+                }
+            }
             emit_or_cancel(
+                &progress_shared,
                 &progress_writer,
                 &progress_token,
                 &obj([
@@ -609,7 +1281,7 @@ fn execute_job(
 
     match std::panic::catch_unwind(body) {
         Ok(done) => {
-            let _ = emit(writer, &done);
+            let _ = emit(shared.chaos(), writer, &done);
         }
         Err(panic) => {
             // The job died; the session slot may hold partial engine
@@ -617,6 +1289,7 @@ fn execute_job(
             // unwind) and the next job re-wires everything anyway.
             let message = panic_message(&panic);
             let _ = emit(
+                shared.chaos(),
                 writer,
                 &obj([
                     ("event", Value::from("error")),
@@ -638,6 +1311,25 @@ fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
     } else {
         "unknown panic".to_string()
     }
+}
+
+/// The `health` probe: cheap, side-effect-free, load-balancer-shaped.
+fn health_frame(shared: &ServerShared) -> Value {
+    let draining = shared.drain.cancelled().is_some() || shared.scheduler.is_draining();
+    obj([
+        ("ok", Value::Bool(true)),
+        ("uptime_ms", Value::from(shared.now_ms())),
+        ("queue_depth", Value::from(shared.scheduler.queue_depth())),
+        ("workers_busy", Value::from(shared.scheduler.workers_busy())),
+        ("workers", Value::from(shared.config.workers)),
+        ("draining", Value::Bool(draining)),
+        ("sessions", Value::from(shared.sessions.lock().len())),
+        ("live_jobs", Value::from(shared.scheduler.live_jobs())),
+        (
+            "durable",
+            Value::Bool(shared.config.checkpoint_dir.is_some()),
+        ),
+    ])
 }
 
 fn server_stats(shared: &ServerShared) -> Value {
@@ -664,7 +1356,14 @@ fn server_stats(shared: &ServerShared) -> Value {
             "jobs_panicked",
             Value::from(sched.jobs_panicked.load(Ordering::Relaxed)),
         ),
+        (
+            "jobs_shed",
+            Value::from(sched.jobs_shed.load(Ordering::Relaxed)),
+        ),
         ("live_jobs", Value::from(shared.scheduler.live_jobs())),
+        ("queue_depth", Value::from(shared.scheduler.queue_depth())),
+        ("workers_busy", Value::from(shared.scheduler.workers_busy())),
+        ("uptime_ms", Value::from(shared.now_ms())),
         ("cache_hits_shared", Value::from(shared.tier.hits_shared())),
         ("cache_entries", Value::from(shared.tier.len())),
         (
@@ -677,15 +1376,38 @@ fn server_stats(shared: &ServerShared) -> Value {
     ])
 }
 
-fn emit(writer: &Arc<Mutex<TcpStream>>, frame: &Value) -> std::io::Result<()> {
+fn emit(
+    chaos: Option<&ChaosState>,
+    writer: &Arc<Mutex<TcpStream>>,
+    frame: &Value,
+) -> std::io::Result<()> {
+    if let Some(chaos) = chaos {
+        if chaos.on_frame_write() {
+            // A real reset severs the transport, not just this write:
+            // the peer must observe the failure (and reconnect/retry),
+            // and the connection's read loop must wind down — leaving
+            // the socket open would model a fault no real network
+            // produces and strand a client waiting on a dead stream.
+            let _ = writer.lock().shutdown(std::net::Shutdown::Both);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "chaos: injected socket reset",
+            ));
+        }
+    }
     let mut stream = writer.lock();
     write_frame(&mut *stream, frame)
 }
 
 /// Emits an event; on a dead socket, trips the job token so the run
 /// winds down instead of computing for nobody.
-fn emit_or_cancel(writer: &Arc<Mutex<TcpStream>>, token: &CancelToken, frame: &Value) {
-    if emit(writer, frame).is_err() {
+fn emit_or_cancel(
+    shared: &ServerShared,
+    writer: &Arc<Mutex<TcpStream>>,
+    token: &CancelToken,
+    frame: &Value,
+) {
+    if emit(shared.chaos(), writer, frame).is_err() {
         token.cancel(CancelReason::Interrupt);
     }
 }

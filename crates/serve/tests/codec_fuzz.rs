@@ -1,0 +1,214 @@
+//! Robustness fuzzing of the wire codecs: the JSON parser, the base64
+//! codec, and the frame reader sit on the trust boundary — arbitrary
+//! bytes from a hostile peer must produce a structured error or a
+//! value, never a panic, and every well-formed frame must survive a
+//! round trip unchanged.
+
+use std::io::BufReader;
+
+use odrc_serve::json::{self, base64, obj, Value};
+use odrc_serve::proto::{read_frame_step, FrameStep};
+use odrc_serve::MAX_FRAME_BYTES;
+use proptest::prelude::*;
+
+/// An arbitrary JSON value, depth-bounded by construction. The shim
+/// has no recursive strategies, so nesting is built explicitly:
+/// scalars at the leaves, one layer of arrays/objects per level.
+fn scalar(tag: u8, n: i64, raw: &[u8]) -> Value {
+    match tag % 5 {
+        0 => Value::Null,
+        1 => Value::Bool(n % 2 == 0),
+        2 => Value::Int(n),
+        3 => Value::Float((n as f64) / 16.0),
+        // Strings come from raw bytes; lossy conversion keeps the
+        // strategy total over byte soup.
+        _ => Value::Str(String::from_utf8_lossy(raw).into_owned()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn json_parse_never_panics_on_byte_soup(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = json::parse(&text);
+    }
+
+    #[test]
+    fn json_parse_never_panics_on_structured_soup(
+        parts in proptest::collection::vec(0u8..16, 0..64),
+    ) {
+        // Skewed toward JSON punctuation so the parser gets past the
+        // first byte and into its nesting and literal states.
+        let alphabet = b"{}[]\",:0e.-tfn ";
+        let text: String = parts
+            .iter()
+            .map(|&i| alphabet[i as usize % alphabet.len()] as char)
+            .collect();
+        let _ = json::parse(&text);
+    }
+
+    #[test]
+    fn base64_decode_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = base64::decode(&text);
+    }
+
+    #[test]
+    fn base64_round_trips(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let encoded = base64::encode(&bytes);
+        let decoded = base64::decode(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(decoded, bytes);
+    }
+
+    #[test]
+    fn json_values_round_trip(
+        entries in proptest::collection::vec(
+            (0u8..5, any::<i64>(), proptest::collection::vec(any::<u8>(), 0..12)),
+            0..8,
+        ),
+        shape in 0u8..3,
+    ) {
+        // One level of structure over arbitrary scalars.
+        let leaves: Vec<Value> = entries
+            .iter()
+            .map(|(tag, n, raw)| scalar(*tag, *n, raw))
+            .collect();
+        let value = match shape {
+            0 => Value::Array(leaves),
+            1 => Value::Object(
+                leaves
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| (format!("k{i}"), v))
+                    .collect(),
+            ),
+            _ => Value::Array(vec![
+                Value::Array(leaves.clone()),
+                Value::Object(
+                    leaves
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, v)| (format!("k{i}"), v))
+                        .collect(),
+                ),
+            ]),
+        };
+        let reparsed = json::parse(&value.to_json()).expect("own rendering parses");
+        prop_assert_eq!(reparsed, value);
+    }
+
+    #[test]
+    fn frame_reader_survives_arbitrary_chunking(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        cut in 0usize..256,
+    ) {
+        // Any byte soup, split at an arbitrary point with a timeout in
+        // between: the reader must never panic and never lose bytes of
+        // a frame that does terminate.
+        struct Chunked {
+            chunks: Vec<Option<Vec<u8>>>,
+        }
+        impl std::io::Read for Chunked {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.chunks.pop() {
+                    Some(Some(chunk)) if !chunk.is_empty() => {
+                        buf[..chunk.len()].copy_from_slice(&chunk);
+                        Ok(chunk.len())
+                    }
+                    Some(Some(_)) => Ok(0),
+                    Some(None) => Err(std::io::Error::from(std::io::ErrorKind::WouldBlock)),
+                    None => Ok(0),
+                }
+            }
+        }
+        let cut = cut.min(bytes.len());
+        let mut reader = BufReader::new(Chunked {
+            chunks: vec![
+                Some(bytes[cut..].to_vec()),
+                None,
+                Some(bytes[..cut].to_vec()),
+            ],
+        });
+        let mut partial = Vec::new();
+        for _ in 0..600 {
+            if let Ok(FrameStep::Eof) = read_frame_step(&mut reader, &mut partial) {
+                break;
+            }
+        }
+    }
+}
+
+/// Every verb the protocol knows, rendered and reparsed: the frame a
+/// client writes is the frame the server dispatches on.
+#[test]
+fn all_verb_frames_round_trip() {
+    let frames = vec![
+        obj([("verb", Value::from("hello"))]),
+        obj([
+            ("verb", Value::from("open")),
+            ("gds_b64", Value::from(base64::encode(b"\x00\x06\x00\x02"))),
+            ("rules", Value::from("width layer=1 min=2 name=R.1")),
+            ("mode", Value::from("sequential")),
+            ("shared_cache", Value::Bool(false)),
+        ]),
+        obj([
+            ("verb", Value::from("edit")),
+            ("session", Value::Int(3)),
+            (
+                "ops",
+                Value::Array(vec![obj([("op", Value::from("noop"))])]),
+            ),
+        ]),
+        obj([
+            ("verb", Value::from("check")),
+            ("session", Value::Int(3)),
+            ("priority", Value::Int(-2)),
+            ("deadline_ms", Value::Int(1500)),
+            ("key", Value::from("nightly/top:deck@7")),
+        ]),
+        obj([("verb", Value::from("cancel")), ("job", Value::Int(9))]),
+        obj([("verb", Value::from("stats"))]),
+        obj([("verb", Value::from("health"))]),
+        obj([("verb", Value::from("ping"))]),
+        obj([("verb", Value::from("close")), ("session", Value::Int(3))]),
+        obj([("verb", Value::from("shutdown"))]),
+    ];
+    for frame in frames {
+        let reparsed = json::parse(&frame.to_json()).expect("frame parses");
+        assert_eq!(reparsed, frame);
+    }
+}
+
+/// The 64 MiB frame cap holds against an endless unterminated line —
+/// the reader reports `TooLarge` instead of growing without bound.
+#[test]
+fn frame_cap_stops_an_endless_line() {
+    struct Endless;
+    impl std::io::Read for Endless {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            buf.fill(b'x');
+            Ok(buf.len())
+        }
+    }
+    let mut reader = BufReader::new(Endless);
+    let mut partial = Vec::new();
+    let err = loop {
+        match read_frame_step(&mut reader, &mut partial) {
+            Ok(_) => continue,
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        matches!(err, odrc_serve::ServeError::TooLarge { limit } if limit == MAX_FRAME_BYTES),
+        "{err}"
+    );
+    assert!(err.fatal_to_connection());
+}

@@ -62,6 +62,7 @@ fn concurrent_clients_match_single_shot_and_share_the_cache() {
         cache_dir: None,
         device_workers: 1,
         device_budget: None,
+        ..ServerConfig::default()
     })
     .expect("bind");
     let addr = server.addr();
@@ -178,6 +179,7 @@ fn edits_diverge_sessions_and_results_stay_isolated() {
         cache_dir: None,
         device_workers: 1,
         device_budget: None,
+        ..ServerConfig::default()
     })
     .expect("bind");
     let addr = server.addr();

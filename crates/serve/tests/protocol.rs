@@ -35,6 +35,7 @@ impl TestServer {
             cache_dir: None,
             device_workers: 1,
             device_budget: None,
+            ..ServerConfig::default()
         })
         .expect("bind test server");
         let addr = server.addr();
