@@ -34,6 +34,19 @@ echo "== host executor equivalence (thread-count matrix)"
 # and under seeded fault schedules.
 cargo test -q --release -p odrc --test host_parallel_equivalence
 
+echo "== dispatch equivalence (pool/fusion/graph matrix, 25 fault seeds)"
+# The persistent-pool dispatch layer: pooled vs scoped workers, fused
+# vs unfused launches, recorded vs replayed launch graphs — all
+# byte-identical across modes, planner, and host thread counts, with
+# fault ordinals preserved under seeded schedules.
+cargo test -q --release -p odrc --test dispatch_equivalence
+
+echo "== perf gate (kernel-wait + host scaling vs committed baseline)"
+# Re-measures the aes parallel configurations against the committed
+# BENCH_pipeline.json: fails on a kernel-wait regression beyond 25%
+# (+10ms grace) or 2-thread host scaling below 0.95x of serial.
+cargo run -q --release -p odrc-bench --bin pipeline -- --gate BENCH_pipeline.json
+
 echo "== pipeline bench smoke run"
 # The planner benchmark on the small uart design: asserts all four
 # (mode, planner) configurations agree and exercises the JSON emitter.

@@ -61,6 +61,18 @@ pub struct EngineOptions {
     /// loop (fresh scene and uploads per rule, synchronize between
     /// rules) — the planner ablation and the equivalence baseline.
     pub planner: bool,
+    /// Fuse each rule's per-row uploads and kernel launches into a
+    /// single batched stream dispatch (one worker wake per phase
+    /// instead of one per command). Results and fault-injection
+    /// ordinals are byte-identical either way; disabling it is the
+    /// fusion ablation ([`EngineStats::launches_fused`]).
+    pub fusion: bool,
+    /// Replay the recorded per-row launch schedule of the first rule on
+    /// a `(layer, partition)` for later rules sharing it, instead of
+    /// re-deriving executor choices and launch geometry per rule.
+    /// Effective only with the planner on; disabling it is the replay
+    /// ablation ([`EngineStats::graph_replays`]).
+    pub launch_graph: bool,
     /// Worker threads for the shared work-stealing host executor that
     /// fans out scene builds, partition assignment, row packing, the
     /// row-parallel sequential checks, and violation canonicalization.
@@ -91,6 +103,8 @@ impl Default for EngineOptions {
             max_device_retries: 2,
             retry_backoff_ms: 1,
             planner: true,
+            fusion: true,
+            launch_graph: true,
             host_threads: None,
             shared_gate: None,
         }
@@ -174,6 +188,15 @@ pub struct EngineStats {
     pub rules_resumed: usize,
     /// Rules the run was cancelled out of (they contributed nothing).
     pub rules_interrupted: usize,
+    /// Stream commands that rode a fused batch dispatch instead of an
+    /// individual submit (device-counter delta over this run).
+    pub launches_fused: u64,
+    /// Spacing rules that replayed another rule's recorded launch
+    /// graph instead of re-deriving their row schedule.
+    pub graph_replays: usize,
+    /// Times a persistent pool worker woke to take dispatch chunks
+    /// (device-counter delta over this run).
+    pub worker_wakeups: u64,
 }
 
 impl EngineStats {
@@ -425,6 +448,10 @@ impl Engine {
         // for finalization once their deferred recovery units drain.
         let mut collected = vec![false; rules.len()];
         let mut interrupted: Option<CancelReason> = None;
+        // Device counters are process-cumulative; deltas over the run
+        // are what the report attributes to it.
+        let fused_before = self.device.stats().launches_fused();
+        let wakeups_before = self.device.stats().worker_wakeups();
         let violations;
         {
             let mut ctx = RunContext::new(layout, &self.options, &mut profiler, &mut stats);
@@ -635,6 +662,21 @@ impl Engine {
             };
             ctx.stats.host_tasks += ctx.host.tasks();
             ctx.stats.host_steals += ctx.host.steals();
+            ctx.stats.launches_fused += self
+                .device
+                .stats()
+                .launches_fused()
+                .saturating_sub(fused_before);
+            ctx.stats.worker_wakeups += self
+                .device
+                .stats()
+                .worker_wakeups()
+                .saturating_sub(wakeups_before);
+            // Wall-clock-attributed device wait: cumulative kernel-wait
+            // sums pipelined waits that cover the same physical seconds
+            // (and can exceed wall time); the interval union cannot.
+            let wall = interval_union(std::mem::take(&mut ctx.wait_spans));
+            ctx.profiler.add("device-wait-wall", wall);
             ctx.host.drain_utilization_into(ctx.profiler);
             self.device.set_host_gate(None);
             self.device.set_cancel(None);
@@ -685,6 +727,33 @@ impl Engine {
             _ => sequential::check_intra_rule(ctx, rule, out),
         }
     }
+}
+
+/// Total covered duration of a set of (possibly overlapping) spans:
+/// sort by start, merge overlaps, sum the merged lengths.
+fn interval_union(mut spans: Vec<(std::time::Instant, std::time::Instant)>) -> std::time::Duration {
+    spans.sort_by_key(|&(start, _)| start);
+    let mut total = std::time::Duration::ZERO;
+    let mut current: Option<(std::time::Instant, std::time::Instant)> = None;
+    for (start, end) in spans {
+        match &mut current {
+            Some((_, cur_end)) if start <= *cur_end => {
+                if end > *cur_end {
+                    *cur_end = end;
+                }
+            }
+            _ => {
+                if let Some((s, e)) = current.take() {
+                    total += e.duration_since(s);
+                }
+                current = Some((start, end));
+            }
+        }
+    }
+    if let Some((s, e)) = current {
+        total += e.duration_since(s);
+    }
+    total
 }
 
 /// Latches the first cancellation reason observed at a rule boundary.

@@ -46,19 +46,24 @@
 //! [`EngineStats::device_retries`]: crate::EngineStats::device_retries
 //! [`EngineStats::device_fallbacks`]: crate::EngineStats::device_fallbacks
 
+use std::ops::Range;
 use std::sync::Arc;
 use std::time::Duration;
 
 use odrc_db::Layer;
 use odrc_geometry::{Edge, Polygon, Rect};
 use odrc_xpu::{
-    scan::exclusive_scan, Device, DeviceBuffer, LaunchConfig, Pending, Stream, ThreadCtx, XpuResult,
+    scan::exclusive_scan, Device, DeviceBuffer, LaunchBatch, LaunchConfig, Pending, Stream,
+    ThreadCtx, XpuResult,
 };
 
 use crate::checks::edge::{space_pair_spec, SpaceSpec};
 use crate::checks::enclosure_margin;
 use crate::checks::poly::LocalViolation;
-use crate::plan::{pack, track_run_ends, IntraData, PackedEdge, PlannedRow, RowSet};
+use crate::plan::{
+    build_runs, pack, span_lo, GraphNode, IntraData, LaunchGraph, PackedEdge, PlannedRow, RowSet,
+    RunInfo,
+};
 use crate::rules::{Rule, RuleKind};
 use crate::scene::{DirtyWindow, LayerScene};
 use crate::sequential::RunContext;
@@ -81,6 +86,8 @@ type BruteHits = Vec<Vec<(u32, i64)>>;
 /// One row's in-flight first device phase.
 struct RowJob {
     row: Arc<PlannedRow>,
+    /// Recorded launch geometry, reused by the emit phase.
+    cfg: LaunchConfig,
     brute: Option<Pending<BruteHits>>,
     counts: Option<Pending<Vec<usize>>>,
 }
@@ -90,82 +97,141 @@ struct RowEmit {
     records: Pending<Vec<PairRecord>>,
 }
 
-/// The brute-force executor's kernel body: one thread per edge, plain
-/// `for` loops over the remaining edges.
+/// Span window of a packed edge along its own axis, as `(lo, hi)`.
+#[inline]
+fn edge_window(e: PackedEdge) -> (i64, i64) {
+    if e[0] == e[2] {
+        (i64::from(e[1].min(e[3])), i64::from(e[1].max(e[3])))
+    } else {
+        (i64::from(e[0].min(e[2])), i64::from(e[0].max(e[2])))
+    }
+}
+
+/// Index of the run containing edge `i` in a [`build_runs`] table.
+#[inline]
+fn run_index(runs: &[RunInfo], i: usize) -> usize {
+    runs.partition_point(|run| (run.end as usize) <= i)
+}
+
+/// The windowed candidate enumeration every spacing executor shares:
+/// visits the partners `j > i` of edge `i` (which lives in run `r`)
+/// that could possibly violate `spec`, calling `hit(j, d2)` for each
+/// actual violation. Count, emit, brute and host fallback all walk
+/// this exact sequence, so their outputs agree pair for pair.
+///
+/// Why the pruning is conservative (never drops a violation):
+///
+/// * a violating pair is [`ExteriorFacing`](crate::checks::edge) —
+///   parallel, same orientation, *different* tracks — so same-run
+///   pairs (collinear) and cross-orientation runs contribute nothing;
+/// * the violation predicate requires `d2 = gx² + gy² < min²` where
+///   `gx` is the track gap: once a run's track is `min` or more away,
+///   that run and (tracks sort ascending) everything after it within
+///   the orientation is out of reach;
+/// * within a reachable run (sorted by span-low) a partner reaches the
+///   query window `[lo_i, hi_i]` only if its span-low lies in
+///   `[lo_i − min − run.max_len, hi_i + min]`: below the lower bound
+///   even the run's longest edge falls short of `lo_i − min`, above
+///   the upper bound the span gap is already ≥ `min`. The window is
+///   found by binary search and scanned to the break.
+fn for_each_hit(
+    edges: &[PackedEdge],
+    runs: &[RunInfo],
+    i: usize,
+    r: usize,
+    spec: SpaceSpec,
+    hit: &mut dyn FnMut(u32, i64),
+) {
+    let ei = unpack(edges[i]);
+    let me = runs[r];
+    let (lo_i, hi_i) = edge_window(edges[i]);
+    let hi_bound = hi_i.saturating_add(spec.min);
+    for run in &runs[r + 1..] {
+        if run.orient != me.orient || i64::from(run.track) - i64::from(me.track) >= spec.min {
+            break;
+        }
+        let lo_bound = lo_i.saturating_sub(spec.min).saturating_sub(run.max_len);
+        let seg = &edges[run.start as usize..run.end as usize];
+        let off = seg.partition_point(|&e| i64::from(span_lo(e)) < lo_bound);
+        for (k, &pe) in seg.iter().enumerate().skip(off) {
+            if i64::from(span_lo(pe)) > hi_bound {
+                break;
+            }
+            if let Some(d2) = space_pair_spec(ei, unpack(pe), spec) {
+                hit((run.start as usize + k) as u32, d2);
+            }
+        }
+    }
+}
+
+/// The brute-force executor's kernel body: one tile launch, each chunk
+/// walking its edges' candidate windows with plain `for` loops.
+#[allow(clippy::type_complexity)]
 fn brute_kernel(
     edges: DeviceBuffer<PackedEdge>,
+    runs: DeviceBuffer<RunInfo>,
     spec: SpaceSpec,
-) -> impl Fn(ThreadCtx, &mut Vec<(u32, i64)>) + Send + Sync + 'static {
-    move |tctx, slot| {
+) -> impl Fn(Range<usize>, &mut [Vec<(u32, i64)>]) + Send + Sync + 'static {
+    move |range, tile| {
         let edges = edges.read();
-        let i = tctx.global_id();
-        let ei = unpack(edges[i]);
-        for (j, &pe) in edges.iter().enumerate().skip(i + 1) {
-            if let Some(d2) = space_pair_spec(ei, unpack(pe), spec) {
-                slot.push((j as u32, d2));
+        let runs = runs.read();
+        let mut r = run_index(&runs, range.start);
+        for (slot, i) in tile.iter_mut().zip(range) {
+            while (runs[r].end as usize) <= i {
+                r += 1;
             }
+            for_each_hit(&edges, &runs, i, r, spec, &mut |j, d2| slot.push((j, d2)));
         }
     }
 }
 
 /// The sweepline executor's first kernel: per-edge check range and
-/// violation count (while loops over the sorted tracks).
+/// violation count over the windowed enumeration.
 fn count_kernel(
     edges: DeviceBuffer<PackedEdge>,
-    runs: DeviceBuffer<u32>,
+    runs: DeviceBuffer<RunInfo>,
     spec: SpaceSpec,
-    min: i64,
-) -> impl Fn(ThreadCtx, &mut usize) + Send + Sync + 'static {
-    move |tctx, slot| {
+) -> impl Fn(Range<usize>, &mut [usize]) + Send + Sync + 'static {
+    move |range, tile| {
         let edges = edges.read();
         let runs = runs.read();
-        let i = tctx.global_id();
-        let ei = unpack(edges[i]);
-        let mut count = 0usize;
-        let mut j = runs[i] as usize;
-        while j < edges.len() {
-            let ej = unpack(edges[j]);
-            if i64::from(ej.track()) - i64::from(ei.track()) > min {
-                break;
+        let mut r = run_index(&runs, range.start);
+        for (slot, i) in tile.iter_mut().zip(range) {
+            while (runs[r].end as usize) <= i {
+                r += 1;
             }
-            if space_pair_spec(ei, ej, spec).is_some() {
-                count += 1;
-            }
-            j += 1;
+            let mut count = 0usize;
+            for_each_hit(&edges, &runs, i, r, spec, &mut |_, _| count += 1);
+            *slot = count;
         }
-        *slot = count;
     }
 }
 
 /// The sweepline executor's second kernel: emit each edge's violations
-/// into its scan-determined output range.
+/// into its scan-determined output range. Walks the same enumeration
+/// as [`count_kernel`], so every range is filled exactly.
 fn emit_kernel(
     edges: DeviceBuffer<PackedEdge>,
-    runs: DeviceBuffer<u32>,
+    runs: DeviceBuffer<RunInfo>,
     spec: SpaceSpec,
-    min: i64,
-) -> impl Fn(ThreadCtx, &mut [PairRecord]) + Send + Sync + 'static {
-    move |tctx, slice| {
+) -> impl Fn(Range<usize>, &mut [&mut [PairRecord]]) + Send + Sync + 'static {
+    move |range, tile| {
         let edges = edges.read();
         let runs = runs.read();
-        let i = tctx.global_id();
-        let ei = unpack(edges[i]);
-        let mut k = 0usize;
-        let mut j = runs[i] as usize;
-        while j < edges.len() {
-            let ej = unpack(edges[j]);
-            if i64::from(ej.track()) - i64::from(ei.track()) > min {
-                break;
+        let mut r = run_index(&runs, range.start);
+        for (slot, i) in tile.iter_mut().zip(range) {
+            while (runs[r].end as usize) <= i {
+                r += 1;
             }
-            if let Some(d2) = space_pair_spec(ei, ej, spec) {
-                slice[k] = PairRecord {
+            let mut k = 0usize;
+            for_each_hit(&edges, &runs, i, r, spec, &mut |j, d2| {
+                slot[k] = PairRecord {
                     a: i as u32,
-                    b: j as u32,
+                    b: j,
                     d2,
                 };
                 k += 1;
-            }
-            j += 1;
+            });
         }
     }
 }
@@ -224,7 +290,8 @@ pub(crate) fn issue_rule(ctx: &mut RunContext<'_>, stream: Stream, rule: &Rule) 
                 min_projection: *min_projection,
             };
             let rows = ctx.row_set(stream.device(), *layer, *min);
-            InFlightKind::Space(issue_space(ctx, &stream, &rule.name, &rows, spec))
+            let graph = ctx.launch_graph(*layer, *min, &rows);
+            InFlightKind::Space(issue_space(ctx, &stream, &rule.name, &rows, &graph, spec))
         }
         RuleKind::Enclosure { inner, outer, min } => InFlightKind::Pairs(issue_pairs(
             ctx,
@@ -296,30 +363,37 @@ pub(crate) fn check_space_scene_parallel(
     out: &mut Vec<Violation>,
 ) {
     let rows = RowSet::build(ctx, stream.device(), scene, spec.min);
-    let issue = issue_space(ctx, stream, rule_name, &rows, spec);
+    let graph = LaunchGraph::record(&rows.rows, ctx.options.sweep_threshold);
+    let issue = issue_space(ctx, stream, rule_name, &rows, &graph, spec);
     collect_space(ctx, stream, issue, out);
     let device = stream.device().clone();
     drain_recovery(ctx, &device, out);
 }
 
-/// Issue half of the spacing pipeline: acquire (or upload) each row's
-/// device-resident edges and enqueue its first kernel phase.
+/// Issue half of the spacing pipeline: walk the (recorded or replayed)
+/// launch graph, acquiring each row's device-resident buffers and
+/// enqueuing its first kernel phase. The whole phase goes through one
+/// [`LaunchBatch`], so under fusion every row's uploads and kernels
+/// ride a single stream dispatch (one worker wake per rule).
 fn issue_space(
     ctx: &mut RunContext<'_>,
     stream: &Stream,
     rule_name: &str,
     rows: &RowSet,
+    graph: &LaunchGraph,
     spec: SpaceSpec,
 ) -> SpaceIssue {
     ctx.stats.rows += rows.partition_rows;
-    let mut jobs = Vec::with_capacity(rows.rows.len());
+    let mut jobs = Vec::with_capacity(graph.nodes.len());
     let mut failed = Vec::new();
-    for row in &rows.rows {
-        match enqueue_row_phase1(ctx, stream, row, spec) {
+    let mut batch = stream.batch(ctx.options.fusion);
+    for node in &graph.nodes {
+        match enqueue_row_phase1(ctx, &mut batch, node, spec) {
             Ok(job) => jobs.push(job),
-            Err(_) => failed.push(Arc::clone(row)),
+            Err(_) => failed.push(Arc::clone(&node.row)),
         }
     }
+    batch.commit();
     SpaceIssue {
         rule_name: rule_name.to_owned(),
         spec,
@@ -342,7 +416,6 @@ fn collect_space(
         jobs,
         mut failed,
     } = issue;
-    let min = spec.min;
     let threshold = ctx.options.sweep_threshold;
     let device = stream.device().clone();
     let mut emits: Vec<RowEmit> = Vec::new();
@@ -351,9 +424,14 @@ fn collect_space(
     // Phase 2: for sweepline rows, scan the counts on the device and
     // enqueue the emit kernel; brute rows resolve directly.
     for job in jobs {
-        let RowJob { row, brute, counts } = job;
+        let RowJob {
+            row,
+            cfg,
+            brute,
+            counts,
+        } = job;
         if let Some(pending) = brute {
-            match ctx.profiler.time("kernel-wait", || pending.result()) {
+            match ctx.device_wait(|| pending.result()) {
                 Ok(per_edge) => ctx.profiler.time("convert", || {
                     for (i, pairs) in per_edge.iter().enumerate() {
                         for &(j, d2) in pairs {
@@ -364,7 +442,7 @@ fn collect_space(
                 Err(_) => failed.push(row),
             }
         } else if let Some(pending) = counts {
-            let counts = match ctx.profiler.time("kernel-wait", || pending.result()) {
+            let counts = match ctx.device_wait(|| pending.result()) {
                 Ok(counts) => counts,
                 Err(_) => {
                     failed.push(row);
@@ -374,7 +452,7 @@ fn collect_space(
             let offsets = ctx
                 .profiler
                 .time("scan", || exclusive_scan(&device, &counts));
-            match enqueue_row_emit(ctx, stream, &row, offsets, spec, min) {
+            match enqueue_row_emit(ctx, stream, &row, cfg, offsets, spec) {
                 Ok(records) => emits.push(RowEmit { row, records }),
                 Err(_) => failed.push(row),
             }
@@ -383,7 +461,7 @@ fn collect_space(
 
     // Phase 3: collect emit results.
     for emit in emits {
-        match ctx.profiler.time("kernel-wait", || emit.records.result()) {
+        match ctx.device_wait(|| emit.records.result()) {
             Ok(records) => ctx.profiler.time("convert", || {
                 for r in records {
                     hits.push(make_violation(
@@ -417,101 +495,100 @@ fn collect_space(
 }
 
 /// Enqueues one row's first device phase (brute kernel, or sweepline
-/// count kernel) on the rule's stream, acquiring the shared
-/// device-resident buffers.
+/// count kernel) into the rule's launch batch, acquiring the shared
+/// device-resident buffers through the same batch.
 fn enqueue_row_phase1(
     ctx: &mut RunContext<'_>,
-    stream: &Stream,
-    row: &Arc<PlannedRow>,
+    batch: &mut LaunchBatch<'_>,
+    node: &GraphNode,
     spec: SpaceSpec,
 ) -> XpuResult<RowJob> {
+    let row = &node.row;
     let n = row.edges.host.len();
-    let threshold = ctx.options.sweep_threshold;
-    let min = spec.min;
-    let (dev_edges, elided) = row.edges.acquire(stream)?;
+    let (dev_edges, elided) = row.edges.acquire_in(batch)?;
     ctx.note_upload(elided, row.edges.bytes());
-    if n <= threshold {
-        // Brute-force executor: one launch, plain for loops.
-        let out_buf = stream.try_alloc::<Vec<(u32, i64)>>(n)?;
-        stream.try_launch_map(
-            LaunchConfig::for_threads(n),
-            &out_buf,
-            brute_kernel(dev_edges, spec),
-        )?;
+    let (dev_runs, elided) = row.runs.acquire_in(batch)?;
+    ctx.note_upload(elided, row.runs.bytes());
+    if node.brute {
+        // Brute-force executor: one tile launch, plain for loops.
+        let out_buf = batch.try_alloc::<Vec<(u32, i64)>>(n)?;
+        batch.try_launch_tiles(node.cfg, &out_buf, brute_kernel(dev_edges, dev_runs, spec))?;
         Ok(RowJob {
             row: Arc::clone(row),
-            brute: Some(stream.try_download(&out_buf)?),
+            cfg: node.cfg,
+            brute: Some(batch.try_download(&out_buf)?),
             counts: None,
         })
     } else {
         // Sweepline executor, kernel 1: per-edge check range and
         // violation count.
-        let runs = row.run_ends.as_ref().expect("sweep rows carry run ends");
-        let (dev_runs, elided) = runs.acquire(stream)?;
-        ctx.note_upload(elided, runs.bytes());
-        let counts_buf = stream.try_alloc::<usize>(n)?;
-        stream.try_launch_map(
-            LaunchConfig::for_threads(n),
+        let counts_buf = batch.try_alloc::<usize>(n)?;
+        batch.try_launch_tiles(
+            node.cfg,
             &counts_buf,
-            count_kernel(dev_edges, dev_runs, spec, min),
+            count_kernel(dev_edges, dev_runs, spec),
         )?;
         Ok(RowJob {
             row: Arc::clone(row),
+            cfg: node.cfg,
             brute: None,
-            counts: Some(stream.try_download(&counts_buf)?),
+            counts: Some(batch.try_download(&counts_buf)?),
         })
     }
 }
 
-/// Enqueues a sweepline row's emit kernel on the rule's stream. The
-/// edges and run table are already device-resident from phase 1, so
-/// this acquires (elides) rather than re-uploading.
+/// Enqueues a sweepline row's emit kernel on the rule's stream (one
+/// fused batch per row). The edges and run table are already
+/// device-resident from phase 1, so this acquires (elides) rather
+/// than re-uploading.
 fn enqueue_row_emit(
     ctx: &mut RunContext<'_>,
     stream: &Stream,
     row: &PlannedRow,
+    cfg: LaunchConfig,
     offsets: Vec<usize>,
     spec: SpaceSpec,
-    min: i64,
 ) -> XpuResult<Pending<Vec<PairRecord>>> {
-    let n = row.edges.host.len();
     let total = *offsets.last().expect("scan returns n+1 entries");
-    let (dev_edges, elided) = row.edges.acquire(stream)?;
+    let mut batch = stream.batch(ctx.options.fusion);
+    let (dev_edges, elided) = row.edges.acquire_in(&mut batch)?;
     ctx.note_upload(elided, row.edges.bytes());
-    let runs = row.run_ends.as_ref().expect("sweep rows carry run ends");
-    let (dev_runs, elided) = runs.acquire(stream)?;
-    ctx.note_upload(elided, runs.bytes());
-    let out_buf = stream.try_alloc::<PairRecord>(total)?;
+    let (dev_runs, elided) = row.runs.acquire_in(&mut batch)?;
+    ctx.note_upload(elided, row.runs.bytes());
+    let out_buf = batch.try_alloc::<PairRecord>(total)?;
     // Kernel 2: emit each edge's violations into its range.
-    stream.try_launch_scatter(
-        LaunchConfig::for_threads(n),
+    batch.try_launch_scatter_tiles(
+        cfg,
         &out_buf,
         offsets,
-        emit_kernel(dev_edges, dev_runs, spec, min),
+        emit_kernel(dev_edges, dev_runs, spec),
     )?;
-    stream.try_download(&out_buf)
+    let pending = batch.try_download(&out_buf)?;
+    batch.commit();
+    Ok(pending)
 }
 
 /// One complete synchronous device attempt at a row, on the given
-/// (fresh) stream. Runs the same executors as the pipelined path.
+/// (fresh) stream. Runs the same executors as the pipelined path. The
+/// run table is rebuilt here (the cached copy may be the failed one).
 fn row_device_records(
     stream: &Stream,
     edges: &Arc<Vec<PackedEdge>>,
     threshold: usize,
     spec: SpaceSpec,
-    min: i64,
 ) -> XpuResult<Vec<(u32, u32, i64)>> {
     let n = edges.len();
     if n == 0 {
         return Ok(Vec::new());
     }
     let dev_edges = stream.try_upload_shared(Arc::clone(edges))?;
+    let dev_runs = stream.try_upload_shared(Arc::new(build_runs(edges)))?;
     if n <= threshold {
         let out_buf = stream.try_alloc::<Vec<(u32, i64)>>(n)?;
-        stream.try_launch_map(
+        stream.try_launch_tiles(
             LaunchConfig::for_threads(n),
             &out_buf,
-            brute_kernel(dev_edges, spec),
+            brute_kernel(dev_edges, dev_runs, spec),
         )?;
         let per_edge = stream.try_download(&out_buf)?.result()?;
         let mut recs = Vec::new();
@@ -522,65 +599,42 @@ fn row_device_records(
         }
         Ok(recs)
     } else {
-        let run_ends = track_run_ends(edges);
-        let dev_runs = stream.try_upload(run_ends)?;
         let counts_buf = stream.try_alloc::<usize>(n)?;
-        stream.try_launch_map(
+        stream.try_launch_tiles(
             LaunchConfig::for_threads(n),
             &counts_buf,
-            count_kernel(dev_edges.clone(), dev_runs.clone(), spec, min),
+            count_kernel(dev_edges.clone(), dev_runs.clone(), spec),
         )?;
         let counts = stream.try_download(&counts_buf)?.result()?;
         let offsets = exclusive_scan(stream.device(), &counts);
         let total = *offsets.last().expect("scan returns n+1 entries");
         let out_buf = stream.try_alloc::<PairRecord>(total)?;
-        stream.try_launch_scatter(
+        stream.try_launch_scatter_tiles(
             LaunchConfig::for_threads(n),
             &out_buf,
             offsets,
-            emit_kernel(dev_edges, dev_runs, spec, min),
+            emit_kernel(dev_edges, dev_runs, spec),
         )?;
         let records = stream.try_download(&out_buf)?.result()?;
         Ok(records.into_iter().map(|r| (r.a, r.b, r.d2)).collect())
     }
 }
 
-/// The host (CPU) fallback for one row: the same executor choice and
-/// check predicates as the device kernels, run inline — guaranteeing an
-/// identical record set.
-fn row_host_records(
-    edges: &[PackedEdge],
-    threshold: usize,
-    spec: SpaceSpec,
-    min: i64,
-) -> Vec<(u32, u32, i64)> {
-    let n = edges.len();
+/// The host (CPU) fallback for one row: the same windowed enumeration
+/// as the device kernels, run inline — guaranteeing an identical
+/// record set (the executor choice does not change the records, so no
+/// threshold is needed here).
+fn row_host_records(edges: &[PackedEdge], spec: SpaceSpec) -> Vec<(u32, u32, i64)> {
+    let runs = build_runs(edges);
     let mut recs = Vec::new();
-    if n <= threshold {
-        for i in 0..n {
-            let ei = unpack(edges[i]);
-            for (j, &pe) in edges.iter().enumerate().skip(i + 1) {
-                if let Some(d2) = space_pair_spec(ei, unpack(pe), spec) {
-                    recs.push((i as u32, j as u32, d2));
-                }
-            }
+    let mut r = 0usize;
+    for i in 0..edges.len() {
+        while (runs[r].end as usize) <= i {
+            r += 1;
         }
-    } else {
-        let runs = track_run_ends(edges);
-        for i in 0..n {
-            let ei = unpack(edges[i]);
-            let mut j = runs[i] as usize;
-            while j < n {
-                let ej = unpack(edges[j]);
-                if i64::from(ej.track()) - i64::from(ei.track()) > min {
-                    break;
-                }
-                if let Some(d2) = space_pair_spec(ei, ej, spec) {
-                    recs.push((i as u32, j as u32, d2));
-                }
-                j += 1;
-            }
-        }
+        for_each_hit(edges, &runs, i, r, spec, &mut |j, d2| {
+            recs.push((i as u32, j, d2));
+        });
     }
     recs
 }
@@ -676,7 +730,7 @@ fn recovery_attempt(work: &RecoveryWork, stream: &Stream) -> XpuResult<Recovered
             threshold,
             spec,
             ..
-        } => row_device_records(stream, edges, *threshold, *spec, spec.min).map(Recovered::Space),
+        } => row_device_records(stream, edges, *threshold, *spec).map(Recovered::Space),
         RecoveryWork::Intra {
             is_width,
             min,
@@ -723,12 +777,9 @@ fn recovery_attempt(work: &RecoveryWork, stream: &Stream) -> XpuResult<Recovered
 /// choice and check predicates as the device kernels, run inline.
 fn recovery_fallback(work: &RecoveryWork) -> Recovered {
     match work {
-        RecoveryWork::SpaceRow {
-            edges,
-            threshold,
-            spec,
-            ..
-        } => Recovered::Space(row_host_records(edges, *threshold, *spec, spec.min)),
+        RecoveryWork::SpaceRow { edges, spec, .. } => {
+            Recovered::Space(row_host_records(edges, *spec))
+        }
         RecoveryWork::Intra {
             is_width,
             min,
@@ -975,14 +1026,17 @@ fn enqueue_intra(
     min: i64,
 ) -> XpuResult<Pending<Vec<Vec<LocalViolation>>>> {
     let n = data.polys.host.len();
-    let (dev_polys, elided) = data.polys.acquire(stream)?;
+    let mut batch = stream.batch(ctx.options.fusion);
+    let (dev_polys, elided) = data.polys.acquire_in(&mut batch)?;
     ctx.note_upload(elided, data.polys.bytes());
-    let out_buf = stream.try_alloc::<Vec<LocalViolation>>(n)?;
+    let out_buf = batch.try_alloc::<Vec<LocalViolation>>(n)?;
     let check = intra_local_check(is_width, min);
-    stream.try_launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
+    batch.try_launch_map(LaunchConfig::for_threads(n), &out_buf, move |tctx, slot| {
         check(&dev_polys.read()[tctx.global_id()], slot);
     })?;
-    stream.try_download(&out_buf)
+    let pending = batch.try_download(&out_buf)?;
+    batch.commit();
+    Ok(pending)
 }
 
 /// The whole-rule kernel body, shared by the device attempt and the
@@ -1024,7 +1078,7 @@ fn collect_intra(ctx: &mut RunContext<'_>, issue: IntraIssue, out: &mut Vec<Viol
     }
 
     let waited = match pending {
-        Some(pending) => ctx.profiler.time("kernel-wait", || pending.result()),
+        Some(pending) => ctx.device_wait(|| pending.result()),
         None => Err(odrc_xpu::XpuError::StreamTimeout { op: "issue" }),
     };
     let per_poly = match waited {
@@ -1166,11 +1220,12 @@ fn enqueue_pairs(
 ) -> XpuResult<Pending<Vec<i64>>> {
     let n = work.len();
     let bytes = (n * std::mem::size_of::<(Polygon, Vec<Polygon>)>()) as u64;
-    let dev_work = stream.try_upload_shared(Arc::clone(work))?;
+    let mut batch = stream.batch(ctx.options.fusion);
+    let dev_work = batch.try_upload_shared(Arc::clone(work))?;
     ctx.note_upload(false, bytes);
-    let measures = stream.try_alloc::<i64>(n)?;
+    let measures = batch.try_alloc::<i64>(n)?;
     let measure = pairs_measure(kind, min);
-    stream.try_launch_map(
+    batch.try_launch_map(
         LaunchConfig::for_threads(n),
         &measures,
         move |tctx, slot| {
@@ -1179,7 +1234,9 @@ fn enqueue_pairs(
             *slot = measure(poly, candidates);
         },
     )?;
-    stream.try_download(&measures)
+    let pending = batch.try_download(&measures)?;
+    batch.commit();
+    Ok(pending)
 }
 
 /// Collect half of an enclosure / overlap rule: wait for the measure
@@ -1199,7 +1256,7 @@ fn collect_pairs(ctx: &mut RunContext<'_>, issue: PairsIssue, out: &mut Vec<Viol
     ctx.stats.checks_computed += work.len();
 
     let waited = match pending {
-        Some(pending) => ctx.profiler.time("kernel-wait", || pending.result()),
+        Some(pending) => ctx.device_wait(|| pending.result()),
         None => Err(odrc_xpu::XpuError::StreamTimeout { op: "issue" }),
     };
     let measures = match waited {
@@ -1289,6 +1346,26 @@ pub(crate) fn check_overlap_rule_parallel(
     drain_recovery(ctx, &device, out);
 }
 
+/// All-pairs spacing kernel over an *unsorted* flat edge list: one
+/// thread per edge, plain `for` loops over the remaining edges. Only
+/// [`flat_space_brute`] uses it — the engine executors window through
+/// the sorted run table instead.
+fn allpairs_kernel(
+    edges: DeviceBuffer<PackedEdge>,
+    spec: SpaceSpec,
+) -> impl Fn(ThreadCtx, &mut Vec<(u32, i64)>) + Send + Sync + 'static {
+    move |tctx, slot| {
+        let edges = edges.read();
+        let i = tctx.global_id();
+        let ei = unpack(edges[i]);
+        for (j, &pe) in edges.iter().enumerate().skip(i + 1) {
+            if let Some(d2) = space_pair_spec(ei, unpack(pe), spec) {
+                slot.push((j as u32, d2));
+            }
+        }
+    }
+}
+
 /// Device-accelerated helper used by tests and benches: all-pairs
 /// spacing over a flat edge list (no hierarchy, no partition), brute
 /// force. Returns canonical violations. Panics on device faults (it is
@@ -1311,7 +1388,7 @@ pub fn flat_space_brute(
     stream.launch_map(
         LaunchConfig::for_threads(n),
         &out_buf,
-        brute_kernel(dev, SpaceSpec::simple(min)),
+        allpairs_kernel(dev, SpaceSpec::simple(min)),
     );
     let per_edge = stream.download(&out_buf).wait();
     let mut out = Vec::new();

@@ -47,7 +47,7 @@ use std::sync::Arc;
 
 use odrc_db::{CellId, Layer};
 use odrc_geometry::{Coord, Edge, Point, Polygon};
-use odrc_xpu::{Device, DeviceBuffer, Event, Stream, XpuResult};
+use odrc_xpu::{Device, DeviceBuffer, Event, LaunchBatch, LaunchConfig, Stream, XpuResult};
 use parking_lot::Mutex;
 
 use crate::rules::RuleDeck;
@@ -65,27 +65,81 @@ pub(crate) fn pack(e: Edge) -> PackedEdge {
     [e.from.x, e.from.y, e.to.x, e.to.y]
 }
 
-/// For each sorted edge, the index of the first edge with a different
-/// track. Collinear (equal-track) edges can never form a facing pair,
-/// so kernels start each edge's scan at its run end — without this,
-/// layouts with many edges on one track (e.g. all cell-bar bottoms of a
-/// row) degrade to quadratic scans over the run.
-pub(crate) fn track_run_ends(edges: &[PackedEdge]) -> Vec<u32> {
-    let n = edges.len();
-    let mut run_end = vec![n as u32; n];
-    let mut i = n;
-    let mut cur_end = n as u32;
-    let mut cur_track = None;
-    while i > 0 {
-        i -= 1;
-        let t = unpack(edges[i]).track();
-        if cur_track != Some(t) {
-            cur_end = (i + 1) as u32;
-            cur_track = Some(t);
-        }
-        run_end[i] = cur_end;
+/// Lower span coordinate of a packed edge: the smaller endpoint along
+/// the edge's own axis (y for vertical edges, x for horizontal ones).
+#[inline]
+pub(crate) fn span_lo(e: PackedEdge) -> i32 {
+    if e[0] == e[2] {
+        e[1].min(e[3])
+    } else {
+        e[0].min(e[2])
     }
-    run_end
+}
+
+/// The canonical sort key for a row's packed edges:
+/// `(orientation, track, span-low, packed value)`.
+///
+/// Grouping by orientation first keeps a vertical edge's x-tracks from
+/// interleaving with horizontal edges' y-tracks, so a kernel walking
+/// forward from an edge's run sees monotonically increasing tracks of
+/// the *same* orientation and can stop at the rule distance. Ordering
+/// within a run by span-low lets the kernel binary-search the earliest
+/// possibly-reaching partner and stop once spans start past its window.
+/// The trailing packed value makes the key a total order, so host and
+/// device sorts produce byte-identical arrays.
+#[inline]
+pub(crate) fn edge_sort_key(e: PackedEdge) -> (u8, i32, i32, PackedEdge) {
+    let vertical = e[0] == e[2];
+    let (orient, track) = if vertical { (1u8, e[0]) } else { (0u8, e[1]) };
+    (orient, track, span_lo(e), e)
+}
+
+/// One maximal same-`(orientation, track)` run of a row's sorted edges,
+/// the unit the windowed check kernels iterate over. `max_len` (the
+/// longest edge span in the run) bounds how far before a query window a
+/// run member can start while still reaching into it, which makes the
+/// per-run binary search conservative rather than lossy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct RunInfo {
+    /// First edge index of the run (into the sorted row).
+    pub start: u32,
+    /// One past the last edge index of the run.
+    pub end: u32,
+    /// The shared track coordinate.
+    pub track: i32,
+    /// 0 = horizontal, 1 = vertical (sorted horizontal-first).
+    pub orient: u8,
+    /// Longest edge span length in the run, in dbu.
+    pub max_len: i64,
+}
+
+/// Builds the run table of a row sorted by [`edge_sort_key`].
+pub(crate) fn build_runs(edges: &[PackedEdge]) -> Vec<RunInfo> {
+    let mut runs: Vec<RunInfo> = Vec::new();
+    for (i, &e) in edges.iter().enumerate() {
+        let vertical = e[0] == e[2];
+        let orient = u8::from(vertical);
+        let track = if vertical { e[0] } else { e[1] };
+        let len = if vertical {
+            (i64::from(e[3]) - i64::from(e[1])).abs()
+        } else {
+            (i64::from(e[2]) - i64::from(e[0])).abs()
+        };
+        match runs.last_mut() {
+            Some(run) if run.orient == orient && run.track == track => {
+                run.end = (i + 1) as u32;
+                run.max_len = run.max_len.max(len);
+            }
+            _ => runs.push(RunInfo {
+                start: i as u32,
+                end: (i + 1) as u32,
+                track,
+                orient,
+                max_len: len,
+            }),
+        }
+    }
+    runs
 }
 
 /// Host data with a lazily uploaded, cross-stream shared device
@@ -117,8 +171,24 @@ impl<T: Send + Sync + 'static> SharedDeviceData<T> {
     /// Returns the device-resident buffer for use on `stream`, plus
     /// `true` when the upload was elided (already resident). The first
     /// call uploads on `stream`; an entry whose upload is known to have
-    /// failed is repaired with a fresh upload here.
+    /// failed is repaired with a fresh upload here. (The engine paths
+    /// go through [`Self::acquire_in`]; this unbatched form is kept
+    /// for direct-stream consumers and tests.)
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn acquire(&self, stream: &Stream) -> XpuResult<(DeviceBuffer<T>, bool)> {
+        let mut batch = stream.batch(false);
+        let out = self.acquire_in(&mut batch);
+        batch.commit();
+        out
+    }
+
+    /// [`Self::acquire`] into an open launch batch: the upload (or the
+    /// cross-stream event wait) is enqueued through `batch`, so a fused
+    /// batch carries it inside the same dispatch as the kernels that
+    /// consume it. Event record/wait pairs within one batch execute in
+    /// enqueue order, so a same-batch consumer of a same-batch upload
+    /// never deadlocks.
+    pub fn acquire_in(&self, batch: &mut LaunchBatch<'_>) -> XpuResult<(DeviceBuffer<T>, bool)> {
         let mut slot = self.device.lock();
         if let Some((buf, ready)) = &*slot {
             // Repair a known-failed upload; an upload still in flight
@@ -127,13 +197,13 @@ impl<T: Send + Sync + 'static> SharedDeviceData<T> {
             // per work unit).
             let failed = ready.is_set() && ready.wait_result().is_err();
             if !failed {
-                stream.wait_event(ready);
+                batch.wait_event(ready);
                 return Ok((buf.clone(), true));
             }
         }
-        let buf = stream.try_upload_shared(Arc::clone(&self.host))?;
+        let buf = batch.try_upload_shared(Arc::clone(&self.host))?;
         let ready = Event::new();
-        stream.record_event(&ready);
+        batch.record_event(&ready);
         *slot = Some((buf.clone(), ready));
         Ok((buf, false))
     }
@@ -142,11 +212,12 @@ impl<T: Send + Sync + 'static> SharedDeviceData<T> {
 /// One partition row, packed and sorted once, shared by every rule
 /// that reads the `(layer, partition config)` it came from.
 pub(crate) struct PlannedRow {
-    /// Track-sorted packed edges of the row.
+    /// Packed edges of the row, sorted by [`edge_sort_key`].
     pub edges: SharedDeviceData<PackedEdge>,
-    /// Same-track run table for the sweepline executor; present when
-    /// the row exceeds the sweep threshold.
-    pub run_ends: Option<SharedDeviceData<u32>>,
+    /// Run table over the sorted edges ([`build_runs`]); both the
+    /// brute and sweepline executors window their candidate scans
+    /// through it.
+    pub runs: SharedDeviceData<RunInfo>,
 }
 
 /// The packed rows of one layer under one partition configuration.
@@ -173,7 +244,6 @@ impl RowSet {
         let (_, partition) =
             partition_scene(scene, min, ctx.options.partition, ctx.profiler, &host);
         let partition_rows = partition.len();
-        let threshold = ctx.options.sweep_threshold;
         let mut rows = Vec::new();
         if host.is_serial() {
             let mut polys = Vec::new();
@@ -187,32 +257,28 @@ impl RowSet {
                             edges.extend(poly.edges().map(pack));
                         }
                     }
-                    // The sweepline executor requires track-sorted
-                    // edges; the brute executor does not care, so
+                    // Every executor windows through the run table, so
                     // sorting unconditionally keeps one packing path.
                     // Large rows sort on the device.
-                    odrc_xpu::sort::parallel_sort_by_key(device, &mut edges, |&e| {
-                        (unpack(e).track(), e)
-                    });
+                    odrc_xpu::sort::parallel_sort_by_key(device, &mut edges, |&e| edge_sort_key(e));
                     edges
                 });
                 if edges.is_empty() {
                     continue;
                 }
-                let run_ends = (edges.len() > threshold)
-                    .then(|| SharedDeviceData::new(Arc::new(track_run_ends(&edges))));
+                let runs = SharedDeviceData::new(Arc::new(build_runs(&edges)));
                 rows.push(Arc::new(PlannedRow {
                     edges: SharedDeviceData::new(Arc::new(edges)),
-                    run_ends,
+                    runs,
                 }));
             }
         } else {
             // Row-parallel packing: each task packs and sorts its row
-            // on the host. The sort key `(track, edge)` is a total
-            // order on the packed values, so the host sort produces
-            // exactly the array the device sort would — and keeping
-            // the device out of the packing path here means fault
-            // ordinals are never consumed by pack-time sorts.
+            // on the host. [`edge_sort_key`] is a total order on the
+            // packed values, so the host sort produces exactly the
+            // array the device sort would — and keeping the device out
+            // of the packing path here means fault ordinals are never
+            // consumed by pack-time sorts.
             let start = std::time::Instant::now();
             let row_refs: Vec<&odrc_infra::partition::Row> = partition.iter().collect();
             let rows_ref = &row_refs;
@@ -226,15 +292,14 @@ impl RowSet {
                         edges.extend(poly.edges().map(pack));
                     }
                 }
-                edges.sort_unstable_by_key(|&e| (unpack(e).track(), e));
+                edges.sort_unstable_by_key(|&e| edge_sort_key(e));
                 if edges.is_empty() {
                     return None;
                 }
-                let run_ends = (edges.len() > threshold)
-                    .then(|| SharedDeviceData::new(Arc::new(track_run_ends(&edges))));
+                let runs = SharedDeviceData::new(Arc::new(build_runs(&edges)));
                 Some(Arc::new(PlannedRow {
                     edges: SharedDeviceData::new(Arc::new(edges)),
-                    run_ends,
+                    runs,
                 }))
             });
             rows.extend(packed.into_iter().flatten());
@@ -279,10 +344,55 @@ pub(crate) struct IntraData {
     pub polys: SharedDeviceData<Polygon>,
 }
 
-/// The per-run cache behind the planner: scenes, row sets and intra
-/// polygon lists, all keyed so that N rules reading one layer build
-/// and upload once. Lives on the [`RunContext`]; bypassed entirely
-/// when [`EngineOptions::planner`] is off.
+/// One recorded launch of a [`LaunchGraph`]: the row it reads, the
+/// executor choice made for it, and the launch geometry. Everything a
+/// later rule needs to re-issue the row's kernels without re-deriving
+/// the schedule.
+pub(crate) struct GraphNode {
+    pub row: Arc<PlannedRow>,
+    /// `true` → brute (all-candidate emit in one kernel); `false` →
+    /// two-phase sweepline (count, scan, emit).
+    pub brute: bool,
+    /// Launch geometry of the row's kernels (one thread per edge).
+    pub cfg: LaunchConfig,
+}
+
+/// A recorded launch schedule for one row set: the per-row
+/// `(buffer, executor, launch config)` sequence captured when the
+/// first rule on a `(layer, partition)` executes, then *replayed* by
+/// later rules sharing the key — skipping per-row schedule derivation
+/// and keeping the issue loop a straight array walk
+/// ([`EngineStats::graph_replays`]).
+///
+/// [`EngineStats::graph_replays`]: crate::EngineStats::graph_replays
+pub(crate) struct LaunchGraph {
+    pub nodes: Vec<GraphNode>,
+}
+
+impl LaunchGraph {
+    /// Records the launch schedule for `rows` under the given sweep
+    /// `threshold` (rows at or below it run the brute executor).
+    pub fn record(rows: &[Arc<PlannedRow>], threshold: usize) -> LaunchGraph {
+        let nodes = rows
+            .iter()
+            .map(|row| {
+                let n = row.edges.host.len();
+                GraphNode {
+                    row: Arc::clone(row),
+                    brute: n <= threshold,
+                    cfg: LaunchConfig::for_threads(n),
+                }
+            })
+            .collect();
+        LaunchGraph { nodes }
+    }
+}
+
+/// The per-run cache behind the planner: scenes, row sets, intra
+/// polygon lists and recorded launch graphs, all keyed so that N rules
+/// reading one layer build and upload once. Lives on the
+/// [`RunContext`]; bypassed entirely when [`EngineOptions::planner`]
+/// is off.
 ///
 /// [`EngineOptions::planner`]: crate::EngineOptions::planner
 #[derive(Default)]
@@ -290,6 +400,7 @@ pub(crate) struct PlanCache {
     pub scenes: HashMap<Layer, Arc<LayerScene>>,
     pub rows: HashMap<RowSetKey, Arc<RowSet>>,
     pub intra: HashMap<Layer, Arc<IntraData>>,
+    pub graphs: HashMap<RowSetKey, Arc<LaunchGraph>>,
 }
 
 /// The deck's rules in issue order: grouped by the first layer each

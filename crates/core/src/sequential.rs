@@ -32,7 +32,7 @@ use crate::checks::poly::{
 };
 use crate::checks::{enclosure_margin, SpaceSpec};
 use crate::engine::{EngineOptions, EngineStats};
-use crate::plan::{IntraData, PlanCache, RowSet, RowSetKey, SharedDeviceData};
+use crate::plan::{IntraData, LaunchGraph, PlanCache, RowSet, RowSetKey, SharedDeviceData};
 use crate::rules::{Rule, RuleKind};
 use crate::scene::{instance_transforms, DirtyWindow, LayerScene, SceneObject, SceneSource};
 use crate::violation::{Violation, ViolationKind};
@@ -59,6 +59,12 @@ pub(crate) struct RunContext<'a> {
     /// keep draining; retried (with backoff deadlines) after all rules
     /// collect. See `parallel::drain_recovery`.
     pub recovery: Vec<crate::parallel::RecoveryUnit>,
+    /// Wall-clock spans of every device wait ([`Self::device_wait`]).
+    /// The engine merges them into an interval union at the end of the
+    /// run: cumulative `kernel-wait` can exceed wall time when several
+    /// pipelined waits cover the same physical seconds, so the union is
+    /// reported alongside it as `device-wait-wall`.
+    pub wait_spans: Vec<(std::time::Instant, std::time::Instant)>,
 }
 
 impl<'a> RunContext<'a> {
@@ -84,6 +90,7 @@ impl<'a> RunContext<'a> {
                 None => HostExecutor::new(options.resolved_host_threads()),
             }),
             recovery: Vec::new(),
+            wait_spans: Vec::new(),
         }
     }
 
@@ -164,6 +171,43 @@ impl<'a> RunContext<'a> {
             self.plan.intra.insert(layer, Arc::clone(&data));
         }
         data
+    }
+
+    /// The recorded launch graph of `(layer, min)`'s row set: replayed
+    /// from the plan cache when a previous rule on the same key already
+    /// recorded one ([`EngineStats::graph_replays`]), recorded fresh
+    /// otherwise. Gated on both the planner and `options.launch_graph`
+    /// (the replay ablation switch).
+    ///
+    /// [`EngineStats::graph_replays`]: crate::EngineStats::graph_replays
+    pub fn launch_graph(&mut self, layer: Layer, min: i64, rows: &RowSet) -> Arc<LaunchGraph> {
+        let cache = self.options.planner && self.options.launch_graph;
+        let key = RowSetKey::new(layer, min, self.options.partition);
+        if cache {
+            if let Some(graph) = self.plan.graphs.get(&key) {
+                self.stats.graph_replays += 1;
+                return Arc::clone(graph);
+            }
+        }
+        let graph = Arc::new(LaunchGraph::record(
+            &rows.rows,
+            self.options.sweep_threshold,
+        ));
+        if cache {
+            self.plan.graphs.insert(key, Arc::clone(&graph));
+        }
+        graph
+    }
+
+    /// Times a blocking device wait: charges the cumulative
+    /// `kernel-wait` profiler phase (as before) *and* records the
+    /// wall-clock span for the run-level interval union (see
+    /// [`Self::wait_spans`]).
+    pub fn device_wait<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = self.profiler.time("kernel-wait", f);
+        self.wait_spans.push((start, std::time::Instant::now()));
+        out
     }
 
     /// Tallies one shared-buffer acquisition: an elided upload, or an

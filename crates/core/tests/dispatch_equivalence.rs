@@ -1,0 +1,197 @@
+//! Dispatch-layer equivalence tests.
+//!
+//! PR 9 rebuilt the launch path — persistent pooled workers instead of
+//! per-launch scoped threads, fused batched enqueue instead of
+//! launch-at-a-time, and recorded launch graphs replayed across rules.
+//! None of that may change *what* the engine reports: every variant
+//! below must produce byte-identical canonical violation sets against
+//! the plain sequential baseline, across engine modes, planner on/off,
+//! host thread counts, and 25 seeded fault schedules. Per-stream
+//! fault-injection ordinals are part of the contract — a fused batch
+//! ticks the same alloc/transfer/launch ordinals as its unfused
+//! expansion (pinned in the xpu stream tests) — but run-level totals
+//! are scheduling-dependent, so here only the reported result is
+//! asserted.
+
+use odrc::{rule, Engine, EngineOptions, Mode, RuleDeck};
+use odrc_layoutgen::{generate_layout, tech, DesignSpec};
+use odrc_xpu::{Device, DispatchMode, FaultPlan};
+
+/// Several rules per layer so the planner has row sets to share — the
+/// two M1 spacing rules replay one launch graph, width/area share the
+/// polygon buffer, and M2 gets its own graph.
+fn shared_deck() -> RuleDeck {
+    RuleDeck::new(vec![
+        rule()
+            .layer(tech::M1)
+            .width()
+            .greater_than(tech::M1_WIDTH)
+            .named("M1.W.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.1"),
+        rule()
+            .layer(tech::M1)
+            .space()
+            .when_projection_at_least(tech::M1_WIDTH)
+            .greater_than(tech::M1_SPACE)
+            .named("M1.S.2"),
+        rule()
+            .layer(tech::M2)
+            .space()
+            .greater_than(tech::M2_SPACE)
+            .named("M2.S.1"),
+        rule()
+            .layer(tech::V1)
+            .enclosed_by(tech::M2)
+            .greater_than(tech::V1_M2_ENCLOSURE)
+            .named("V1.M2.EN.1"),
+    ])
+}
+
+fn options(planner: bool, host_threads: usize, fusion: bool, launch_graph: bool) -> EngineOptions {
+    EngineOptions {
+        planner,
+        host_threads: Some(host_threads),
+        fusion,
+        launch_graph,
+        retry_backoff_ms: 0,
+        ..EngineOptions::default()
+    }
+}
+
+/// The full variant matrix: modes × planner × host threads {1,2,8} ×
+/// {fusion, launch graph} on/off, all against the plain sequential
+/// baseline.
+#[test]
+fn dispatch_variants_are_byte_identical() {
+    for design_seed in [7u64, 23] {
+        let layout = generate_layout(&DesignSpec::tiny(design_seed));
+        let deck = shared_deck();
+        let baseline = Engine::sequential().check(&layout, &deck).violations;
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            for planner in [false, true] {
+                for host_threads in [1usize, 2, 8] {
+                    for (fusion, launch_graph) in
+                        [(true, true), (false, true), (true, false), (false, false)]
+                    {
+                        let engine = match mode {
+                            Mode::Sequential => Engine::sequential(),
+                            Mode::Parallel => Engine::parallel_on(Device::new(3)),
+                        };
+                        let got = engine
+                            .with_options(options(planner, host_threads, fusion, launch_graph))
+                            .check(&layout, &deck)
+                            .violations;
+                        assert_eq!(
+                            got, baseline,
+                            "design {design_seed} mode {mode:?} planner {planner} \
+                             host_threads {host_threads} fusion {fusion} \
+                             launch_graph {launch_graph} diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pooled (persistent worker) and scoped (thread-per-launch) dispatch
+/// must agree — the pool is a scheduling change, not a semantic one.
+#[test]
+fn pooled_and_scoped_dispatch_agree() {
+    let layout = generate_layout(&DesignSpec::tiny(13));
+    let deck = shared_deck();
+    for planner in [false, true] {
+        let pooled = Engine::parallel_on(Device::new(3))
+            .with_options(options(planner, 2, true, true))
+            .check(&layout, &deck);
+        let device = Device::new(3);
+        device.set_dispatch_mode(DispatchMode::Scoped);
+        let scoped = Engine::parallel_on(device)
+            .with_options(options(planner, 2, true, true))
+            .check(&layout, &deck);
+        assert_eq!(
+            pooled.violations, scoped.violations,
+            "planner {planner}: dispatch mode changed the violation set"
+        );
+    }
+}
+
+/// Under 25 seeded fault schedules, every dispatch variant reports the
+/// clean baseline, with degradation accounted iff faults actually
+/// fired. (The *per-stream* guarantee that a fused batch ticks the
+/// same fault ordinals as its unfused expansion is pinned by the xpu
+/// stream tests; the *total* fired across a run is not comparable
+/// between variants, because concurrent streams race for the
+/// device-global ordinal counter — only the reported result is
+/// contractual.)
+#[test]
+fn fault_seeds_agree_across_dispatch_variants() {
+    let layout = generate_layout(&DesignSpec::tiny(11));
+    let deck = shared_deck();
+    let clean = Engine::sequential().check(&layout, &deck).violations;
+    for fault_seed in 0u64..25 {
+        for (fusion, dispatch, launch_graph) in [
+            (false, DispatchMode::Pooled, true),
+            (true, DispatchMode::Pooled, true),
+            (false, DispatchMode::Scoped, true),
+            (true, DispatchMode::Scoped, true),
+            (true, DispatchMode::Pooled, false),
+        ] {
+            let device = Device::new(3);
+            device.set_dispatch_mode(dispatch);
+            device.set_fault_plan(Some(FaultPlan::from_seed(fault_seed, 6)));
+            let report = Engine::parallel_on(device.clone())
+                .with_options(options(true, 2, fusion, launch_graph))
+                .check(&layout, &deck);
+            assert_eq!(
+                report.violations, clean,
+                "seed {fault_seed} fusion {fusion} dispatch {dispatch:?} \
+                 launch_graph {launch_graph} changed the results"
+            );
+            assert_eq!(
+                report.stats.degraded(),
+                device.faults_injected() > 0,
+                "seed {fault_seed} fusion {fusion} dispatch {dispatch:?} \
+                 launch_graph {launch_graph}: degradation must be \
+                 reported iff faults fired"
+            );
+        }
+    }
+}
+
+/// The new counters surface through `EngineStats`: fused launches in
+/// any fused parallel run, and graph replays whenever two rules share a
+/// row set with the planner and launch graphs on.
+#[test]
+fn dispatch_counters_are_reported() {
+    let layout = generate_layout(&DesignSpec::tiny(5));
+    let deck = shared_deck();
+    let fused = Engine::parallel_on(Device::new(3))
+        .with_options(options(true, 1, true, true))
+        .check(&layout, &deck);
+    assert!(
+        fused.stats.launches_fused > 0,
+        "fused parallel run must count fused launches"
+    );
+    assert!(
+        fused.stats.graph_replays > 0,
+        "the two M1 spacing rules share one row set, so the second \
+         must replay the recorded graph"
+    );
+
+    let unfused = Engine::parallel_on(Device::new(3))
+        .with_options(options(true, 1, false, true))
+        .check(&layout, &deck);
+    assert_eq!(unfused.stats.launches_fused, 0, "fusion off counts none");
+    assert_eq!(unfused.violations, fused.violations);
+
+    let no_graph = Engine::parallel_on(Device::new(3))
+        .with_options(options(true, 1, true, false))
+        .check(&layout, &deck);
+    assert_eq!(no_graph.stats.graph_replays, 0, "replay gated off");
+    assert_eq!(no_graph.violations, fused.violations);
+}

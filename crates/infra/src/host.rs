@@ -28,10 +28,27 @@
 //! one pool-sized allowance instead of adding up, and nested fan-outs
 //! (a task that launches a device sort) degrade to inline execution
 //! instead of oversubscribing the machine.
+//!
+//! # Adaptive granularity
+//!
+//! Requesting N threads does not mean every fan-out should use N. On a
+//! host with fewer physical cores than configured threads, or for a
+//! phase whose total work is smaller than the cost of standing up the
+//! workers, spawning only adds overhead — the pathology that made
+//! `--host-threads 2` *slower* than serial on small hosts. Each
+//! executor therefore keeps a per-phase cost model (an EWMA of
+//! nanoseconds per task, learned from its own measured busy time) and
+//! plans each fan-out as `workers = min(requested, physical cores,
+//! total_estimated_ns / fanout_cost_ns)`, where the fan-out cost is
+//! calibrated once per process by timing a no-op scoped spawn. Phases
+//! the model has never seen run optimistically and are measured; the
+//! planner only ever changes *how many* workers execute, never what
+//! they produce, so results stay byte-identical either way.
 
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::cancel::CancelToken;
@@ -219,6 +236,30 @@ struct UtilSample {
     busy: Vec<Duration>,
 }
 
+/// Measured cost of standing up one extra scoped worker (spawn + join),
+/// calibrated once per process. Floored at 20µs so a suspiciously fast
+/// calibration run can't convince the planner that threads are free.
+fn fanout_cost() -> Duration {
+    static COST: OnceLock<Duration> = OnceLock::new();
+    *COST.get_or_init(|| {
+        let mut best = Duration::MAX;
+        for _ in 0..4 {
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                s.spawn(|| {});
+            });
+            best = best.min(t0.elapsed());
+        }
+        best.max(Duration::from_micros(20))
+    })
+}
+
+/// Physical parallelism of this host, cached once per process.
+fn physical_parallelism() -> usize {
+    static PHYS: OnceLock<usize> = OnceLock::new();
+    *PHYS.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// The shared work-stealing host executor (see the [module docs](self)).
 ///
 /// # Examples
@@ -238,6 +279,12 @@ pub struct HostExecutor {
     tasks: AtomicU64,
     steals: AtomicU64,
     util: Mutex<Vec<UtilSample>>,
+    /// Adaptive granularity switch (see the module docs). On by
+    /// default; tests that must exercise the multi-worker path on a
+    /// single-core host switch it off.
+    adaptive: AtomicBool,
+    /// EWMA of per-task nanoseconds, keyed by phase label.
+    cost_model: Mutex<HashMap<String, f64>>,
 }
 
 impl std::fmt::Debug for HostExecutor {
@@ -262,6 +309,8 @@ impl HostExecutor {
             tasks: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             util: Mutex::new(Vec::new()),
+            adaptive: AtomicBool::new(true),
+            cost_model: Mutex::new(HashMap::new()),
         }
     }
 
@@ -287,6 +336,8 @@ impl HostExecutor {
             tasks: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             util: Mutex::new(Vec::new()),
+            adaptive: AtomicBool::new(true),
+            cost_model: Mutex::new(HashMap::new()),
         }
     }
 
@@ -325,6 +376,60 @@ impl HostExecutor {
     /// Successful steals so far.
     pub fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the adaptive granularity planner (on by
+    /// default). With it off, every fan-out uses the full configured
+    /// thread count — the pre-cost-model behavior, kept for tests that
+    /// must exercise the multi-worker path regardless of host shape.
+    pub fn set_adaptive(&self, on: bool) {
+        self.adaptive.store(on, Ordering::Relaxed);
+    }
+
+    /// Decides how many workers a fan-out of `n` tasks in `phase`
+    /// should use, given that the caller wants `want`. Only ever
+    /// shrinks: never above the physical core count, and never so many
+    /// that the calibrated fan-out cost exceeds the phase's estimated
+    /// total work. Unknown phases run optimistically and get measured.
+    fn plan_workers(&self, phase: &str, want: usize, n: usize) -> usize {
+        if want <= 1 || !self.adaptive.load(Ordering::Relaxed) {
+            return want;
+        }
+        let phys = physical_parallelism();
+        if phys <= 1 {
+            return 1;
+        }
+        let want = want.min(phys);
+        let est = {
+            let model = self.cost_model.lock().expect("cost model lock");
+            model.get(phase).copied()
+        };
+        match est {
+            None => want,
+            Some(ns_per_task) => {
+                let total_ns = ns_per_task * n as f64;
+                let spawn_ns = fanout_cost().as_nanos() as f64;
+                let by_work = (total_ns / spawn_ns) as usize;
+                want.min(by_work.max(1))
+            }
+        }
+    }
+
+    /// Feeds a measured fan-out back into the per-phase cost model.
+    /// `busy` is the summed worker busy time, so the estimate tracks
+    /// work per task independent of how many workers ran it.
+    fn observe(&self, phase: &str, n: usize, busy: Duration) {
+        if n == 0 {
+            return;
+        }
+        let sample = busy.as_nanos() as f64 / n as f64;
+        let mut model = self.cost_model.lock().expect("cost model lock");
+        match model.get_mut(phase) {
+            Some(est) => *est = 0.7 * *est + 0.3 * sample,
+            None => {
+                model.insert(phase.to_owned(), sample);
+            }
+        }
     }
 
     /// Runs tasks `0..n` of `f`, returning the results in index order.
@@ -367,7 +472,7 @@ impl HostExecutor {
         if n == 0 {
             return Ok(Vec::new());
         }
-        let want = self.threads.min(n);
+        let want = self.plan_workers(phase, self.threads.min(n), n);
         let extra = match (&self.gate, want) {
             (Some(gate), w) if w > 1 => gate.try_acquire(w - 1),
             _ => 0,
@@ -388,6 +493,7 @@ impl HostExecutor {
                     }
                 }
             }
+            self.observe(phase, n, start.elapsed());
             self.note_util(phase, start.elapsed(), vec![start.elapsed()]);
             return Ok(out);
         }
@@ -474,6 +580,7 @@ impl HostExecutor {
         }
 
         let busy: Vec<Duration> = per_worker.iter().map(|r| r.busy).collect();
+        self.observe(phase, n, busy.iter().sum());
         self.note_util(phase, wall, busy);
 
         // Deterministic failure: report the lowest-indexed panic no
@@ -553,6 +660,7 @@ mod tests {
     fn results_in_index_order_any_thread_count() {
         for threads in [1, 2, 3, 8] {
             let host = HostExecutor::new(threads);
+            host.set_adaptive(false);
             let out = host.run("t", 1000, |i| i * 3);
             assert_eq!(out, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
         }
@@ -568,6 +676,7 @@ mod tests {
     #[test]
     fn uneven_tasks_balance_via_stealing() {
         let host = HostExecutor::new(4);
+        host.set_adaptive(false);
         // A few heavy tasks at the front force front-loaded deques to be
         // drained by thieves on multicore hosts; on any host the result
         // must still come back in order.
@@ -602,6 +711,7 @@ mod tests {
     #[test]
     fn executor_shares_gate_budget() {
         let host = HostExecutor::new(4);
+        host.set_adaptive(false);
         let gate = host.gate().expect("parallel executor has a gate");
         assert_eq!(gate.available(), 3);
         // Drain the gate: the next run degrades to inline but completes.
@@ -652,6 +762,7 @@ mod tests {
     #[test]
     fn utilization_accumulates_per_phase() {
         let host = HostExecutor::new(2);
+        host.set_adaptive(false);
         host.run("alpha", 50, |i| i);
         host.run("alpha", 50, |i| i);
         host.run("beta", 10, |i| i);
@@ -670,6 +781,7 @@ mod tests {
     #[test]
     fn panicking_task_fails_with_typed_error_and_keeps_pool() {
         let host = HostExecutor::new(4);
+        host.set_adaptive(false);
         let gate = host.gate().expect("parallel executor has a gate");
         let err = host
             .try_run("t", 64, |i| {
@@ -708,6 +820,7 @@ mod tests {
     #[test]
     fn run_repanics_after_releasing_gate() {
         let host = HostExecutor::new(4);
+        host.set_adaptive(false);
         let gate = host.gate().expect("gate");
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             host.run("t", 16, |i| {
@@ -727,6 +840,7 @@ mod tests {
         // minimum regardless of worker scheduling.
         for _ in 0..8 {
             let host = HostExecutor::new(4);
+            host.set_adaptive(false);
             let err = host
                 .try_run("t", 64, |i| {
                     if i % 9 == 4 {
@@ -742,6 +856,7 @@ mod tests {
     #[test]
     fn cancelled_token_still_runs_every_task() {
         let host = HostExecutor::new(4);
+        host.set_adaptive(false);
         let token = CancelToken::new();
         token.cancel(crate::cancel::CancelReason::Interrupt);
         host.set_cancel(Some(token));
@@ -750,6 +865,71 @@ mod tests {
         let out = host.run("t", 500, |i| i * 2);
         assert_eq!(out, (0..500).map(|i| i * 2).collect::<Vec<_>>());
         host.set_cancel(None);
+    }
+
+    #[test]
+    fn planner_never_exceeds_physical_cores() {
+        let host = HostExecutor::new(64);
+        let planned = host.plan_workers("t", 64, 10_000);
+        assert!(planned <= physical_parallelism());
+        assert!(planned >= 1);
+    }
+
+    #[test]
+    fn planner_shrinks_cheap_phases_to_inline() {
+        let host = HostExecutor::new(4);
+        // Teach the model that "cheap" tasks are ~40ns each: total work
+        // for a small fan-out is far below the calibrated spawn cost,
+        // so the planner must refuse to spawn.
+        host.observe("cheap", 1000, Duration::from_nanos(40_000));
+        assert_eq!(host.plan_workers("cheap", 4, 8), 1);
+        // An expensive phase keeps its workers (modulo physical cores).
+        host.observe("heavy", 10, Duration::from_millis(400));
+        let planned = host.plan_workers("heavy", 4, 10);
+        assert_eq!(planned, 4.min(physical_parallelism()));
+    }
+
+    #[test]
+    fn planner_is_optimistic_for_unknown_phases() {
+        let host = HostExecutor::new(4);
+        let expect = 4.min(physical_parallelism());
+        assert_eq!(host.plan_workers("never-seen", 4, 100), expect);
+    }
+
+    #[test]
+    fn disabling_adaptive_restores_full_fanout() {
+        let host = HostExecutor::new(4);
+        host.set_adaptive(false);
+        host.observe("cheap", 1000, Duration::from_nanos(40_000));
+        assert_eq!(host.plan_workers("cheap", 4, 8), 4);
+    }
+
+    #[test]
+    fn cost_model_learns_from_runs() {
+        let host = HostExecutor::new(2);
+        host.run("spin", 32, |i| {
+            let mut acc = 0u64;
+            for k in 0..50_000u64 {
+                acc = acc.wrapping_add(k ^ i as u64);
+            }
+            acc
+        });
+        let model = host.cost_model.lock().unwrap();
+        let est = model.get("spin").copied().expect("phase was measured");
+        assert!(est > 0.0);
+    }
+
+    #[test]
+    fn adaptive_results_match_full_fanout() {
+        // The planner changes worker counts, never results.
+        let adaptive = HostExecutor::new(8);
+        let pinned = HostExecutor::new(8);
+        pinned.set_adaptive(false);
+        for _ in 0..3 {
+            let a = adaptive.run("t", 777, |i| i * 31 + 7);
+            let b = pinned.run("t", 777, |i| i * 31 + 7);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!      [--cache <dir>] [--stats-json <file>] [--report out.csv]
 //!      [--markers out.gds] [--device-budget BYTES] [--fault-seed N]
 //!      [--host-threads N] [--deadline SECS] [--checkpoint-dir <dir>]
-//!      [--resume <dir>] [--watchdog-ms N]
+//!      [--resume <dir>] [--watchdog-ms N] [--no-fusion] [--no-launch-graph]
 //! odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel]
 //!      [--cache <dir>] [--max-print N] [--host-threads N]
 //! odrc serve [--addr HOST:PORT] [--workers N] [--host-threads N]
@@ -112,6 +112,8 @@ struct Args {
     checkpoint_dir: Option<String>,
     resume: bool,
     watchdog_ms: Option<u64>,
+    no_fusion: bool,
+    no_launch_graph: bool,
 }
 
 /// What a completed run reports back to `main` for the exit code.
@@ -126,7 +128,8 @@ fn usage() -> ! {
         "usage: odrc <layout.gds> --rules <deck.rules> [--parallel] [--max-print N] \
          [--cache dir] [--stats-json out.json] [--report out.csv] [--markers out.gds] \
          [--device-budget BYTES] [--fault-seed N] [--host-threads N] [--deadline SECS] \
-         [--checkpoint-dir dir] [--resume dir] [--watchdog-ms N]\n\
+         [--checkpoint-dir dir] [--resume dir] [--watchdog-ms N] \
+         [--no-fusion] [--no-launch-graph]\n\
          \u{20}      odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel] \
          [--cache dir] [--max-print N] [--host-threads N]\n\
          \u{20}      odrc serve [--addr HOST:PORT] [--workers N] [--host-threads N] \
@@ -156,6 +159,8 @@ fn parse_args() -> Args {
     let mut checkpoint_dir = None;
     let mut resume = false;
     let mut watchdog_ms = None;
+    let mut no_fusion = false;
+    let mut no_launch_graph = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let diff_mode = argv.first().is_some_and(|a| a == "diff");
     let mut i = usize::from(diff_mode);
@@ -206,6 +211,14 @@ fn parse_args() -> Args {
                 }
                 max_print = argv[i + 1].parse().unwrap_or_else(|_| usage());
                 i += 2;
+            }
+            "--no-fusion" => {
+                no_fusion = true;
+                i += 1;
+            }
+            "--no-launch-graph" => {
+                no_launch_graph = true;
+                i += 1;
             }
             "--fault-seed" => {
                 if i + 1 >= argv.len() {
@@ -303,6 +316,8 @@ fn parse_args() -> Args {
         checkpoint_dir,
         resume,
         watchdog_ms,
+        no_fusion,
+        no_launch_graph,
     }
 }
 
@@ -363,6 +378,9 @@ fn write_stats_json(path: &str, report: &CheckReport) -> std::io::Result<()> {
     let _ = writeln!(w, "  \"host_steals\": {},", report.stats.host_steals);
     let _ = writeln!(w, "  \"uploads_elided\": {},", report.stats.uploads_elided);
     let _ = writeln!(w, "  \"bytes_uploaded\": {},", report.stats.bytes_uploaded);
+    let _ = writeln!(w, "  \"launches_fused\": {},", report.stats.launches_fused);
+    let _ = writeln!(w, "  \"graph_replays\": {},", report.stats.graph_replays);
+    let _ = writeln!(w, "  \"worker_wakeups\": {},", report.stats.worker_wakeups);
     let _ = match &report.interrupted {
         Some(reason) => writeln!(
             w,
@@ -480,6 +498,12 @@ fn print_stats(stats: &odrc::EngineStats) {
         eprintln!(
             "host executor: {} task(s) fanned out, {} steal(s)",
             stats.host_tasks, stats.host_steals
+        );
+    }
+    if stats.launches_fused > 0 || stats.graph_replays > 0 || stats.worker_wakeups > 0 {
+        eprintln!(
+            "dispatch: {} launch(es) fused, {} graph replay(s), {} worker wakeup(s)",
+            stats.launches_fused, stats.graph_replays, stats.worker_wakeups
         );
     }
     if stats.degraded() {
@@ -656,6 +680,8 @@ fn run(args: &Args) -> Result<Outcome, Box<dyn std::error::Error>> {
 
     let options = odrc::EngineOptions {
         host_threads: args.host_threads,
+        fusion: !args.no_fusion,
+        launch_graph: !args.no_launch_graph,
         ..odrc::EngineOptions::default()
     };
     let mut engine = if args.parallel {

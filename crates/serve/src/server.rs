@@ -193,6 +193,29 @@ struct ServerShared {
     registry: Mutex<HashMap<String, KeyState>>,
     /// Armed fault-injection state (tests only).
     chaos: Option<ChaosState>,
+    /// Dispatch-layer counters summed over every completed job, so the
+    /// `stats` verb can report fleet totals (per-job values ride in
+    /// each job's own `stats` object).
+    dispatch_totals: DispatchTotals,
+}
+
+/// Process-cumulative dispatch counters (see [`ServerShared`]).
+#[derive(Default)]
+struct DispatchTotals {
+    launches_fused: AtomicU64,
+    graph_replays: AtomicU64,
+    worker_wakeups: AtomicU64,
+}
+
+impl DispatchTotals {
+    fn add(&self, stats: &odrc::EngineStats) {
+        self.launches_fused
+            .fetch_add(stats.launches_fused, Ordering::Relaxed);
+        self.graph_replays
+            .fetch_add(stats.graph_replays as u64, Ordering::Relaxed);
+        self.worker_wakeups
+            .fetch_add(stats.worker_wakeups, Ordering::Relaxed);
+    }
 }
 
 impl ServerShared {
@@ -277,6 +300,7 @@ impl Server {
             journal,
             registry: Mutex::new(HashMap::new()),
             chaos,
+            dispatch_totals: DispatchTotals::default(),
             config,
         });
         // Replay: finished keys answer future resubmits from memory;
@@ -1036,6 +1060,7 @@ fn execute_durable(
         let hits_before = cache.hits();
         let report = engine.check_resumable(&layout, &deck, Some(&mut cache), ckpt.as_mut());
         let cache_hits_shared = shared.tier.merge_back(&cache, hits_before);
+        shared.dispatch_totals.add(&report.stats);
 
         let mut stats = match wire::stats_to_json(&report.stats) {
             Value::Object(pairs) => pairs,
@@ -1244,6 +1269,7 @@ fn execute_job(
             }
             None => 0,
         };
+        shared.dispatch_totals.add(&report.stats);
 
         let mut stats = match wire::stats_to_json(&report.stats) {
             Value::Object(pairs) => pairs,
@@ -1373,6 +1399,28 @@ fn server_stats(shared: &ServerShared) -> Value {
         ("sessions", Value::from(shared.sessions.lock().len())),
         ("host_threads", Value::from(shared.config.host_threads)),
         ("gate_available", Value::from(shared.gate.available())),
+        (
+            "launches_fused",
+            Value::from(
+                shared
+                    .dispatch_totals
+                    .launches_fused
+                    .load(Ordering::Relaxed),
+            ),
+        ),
+        (
+            "graph_replays",
+            Value::from(shared.dispatch_totals.graph_replays.load(Ordering::Relaxed)),
+        ),
+        (
+            "worker_wakeups",
+            Value::from(
+                shared
+                    .dispatch_totals
+                    .worker_wakeups
+                    .load(Ordering::Relaxed),
+            ),
+        ),
     ])
 }
 

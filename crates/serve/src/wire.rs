@@ -86,6 +86,9 @@ pub fn stats_to_json(stats: &EngineStats) -> Value {
         ("bytes_uploaded", Value::from(stats.bytes_uploaded)),
         ("host_tasks", Value::from(stats.host_tasks)),
         ("host_steals", Value::from(stats.host_steals)),
+        ("launches_fused", Value::from(stats.launches_fused)),
+        ("graph_replays", Value::from(stats.graph_replays as u64)),
+        ("worker_wakeups", Value::from(stats.worker_wakeups)),
         ("rules_completed", Value::from(stats.rules_completed)),
         ("rules_resumed", Value::from(stats.rules_resumed)),
         ("rules_interrupted", Value::from(stats.rules_interrupted)),

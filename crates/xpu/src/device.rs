@@ -4,7 +4,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::buffer::DeviceBuffer;
 use crate::error::{TransferDirection, XpuError, XpuResult};
@@ -90,6 +90,10 @@ pub struct DeviceStats {
     threads_executed: AtomicU64,
     bytes_h2d: AtomicU64,
     bytes_d2h: AtomicU64,
+    launches_fused: AtomicU64,
+    /// Shared with the persistent pool workers (which must not keep the
+    /// device alive), hence the `Arc`.
+    worker_wakeups: Arc<AtomicU64>,
 }
 
 impl DeviceStats {
@@ -111,6 +115,25 @@ impl DeviceStats {
     /// Bytes copied device → host.
     pub fn bytes_d2h(&self) -> u64 {
         self.bytes_d2h.load(Ordering::Relaxed)
+    }
+
+    /// Number of kernel launches that rode a fused batch instead of a
+    /// dedicated stream command.
+    pub fn launches_fused(&self) -> u64 {
+        self.launches_fused.load(Ordering::Relaxed)
+    }
+
+    /// Times a persistent pool worker woke up and joined a dispatch.
+    pub fn worker_wakeups(&self) -> u64 {
+        self.worker_wakeups.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_fused(&self, launches: u64) {
+        self.launches_fused.fetch_add(launches, Ordering::Relaxed);
+    }
+
+    pub(crate) fn wakeups_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.worker_wakeups)
     }
 
     pub(crate) fn record_launch(&self, threads: usize) {
@@ -160,6 +183,193 @@ pub(crate) struct DeviceInner {
     /// born poisoned with [`XpuError::Cancelled`](crate::XpuError::Cancelled),
     /// so retry/recovery loops fail fast during shutdown.
     cancel: Mutex<Option<odrc_infra::CancelToken>>,
+    /// Persistent worker pool, started lazily at the first parallel
+    /// dispatch. `None` until then; shut down and joined on drop.
+    pool: Mutex<Option<Arc<PoolShared>>>,
+    /// Join handles of the pool workers (lock order: `pool` first).
+    pool_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// [`DispatchMode`] discriminant (0 = pooled, 1 = scoped).
+    dispatch_mode: AtomicU64,
+}
+
+/// How `dispatch_slices` distributes chunks over extra threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Hand chunks to the persistent worker pool (the default): workers
+    /// are spawned once, park on a condvar between launches, and claim
+    /// pre-sliced chunks from a shared mailbox.
+    #[default]
+    Pooled,
+    /// Reference mode: spawn scoped threads per launch, the pre-pool
+    /// behavior. Kept for A/B equivalence testing.
+    Scoped,
+}
+
+/// State shared between dispatching threads and pool workers.
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here; signalled when a job is published or on
+    /// shutdown.
+    work_cv: Condvar,
+    /// Dispatchers park here while draining a retracted job's last
+    /// participants.
+    done_cv: Condvar,
+    wakeups: Arc<AtomicU64>,
+}
+
+struct PoolState {
+    /// Published jobs with unclaimed chunks. A job is retracted by its
+    /// dispatcher (under this lock) before the dispatcher returns, so a
+    /// handle in this list always points at a live header.
+    jobs: Vec<JobHandle>,
+    shutdown: bool,
+}
+
+/// Type-erased pointer to a dispatcher-owned [`JobHeader`]; only valid
+/// while the job is published or the holder is a registered
+/// participant.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct JobHandle(*const JobHeader);
+
+// SAFETY: the pointee is shared across threads only under the
+// publication/participation protocol documented on `PoolState::jobs`,
+// and `JobHeader` itself is `Sync` (atomics + immutable fields).
+unsafe impl Send for JobHandle {}
+unsafe impl Sync for JobHandle {}
+
+/// One launch's chunk mailbox, living on the dispatcher's stack.
+struct JobHeader {
+    /// Next unclaimed chunk index; claimed with `fetch_add`.
+    next: AtomicUsize,
+    n_chunks: usize,
+    /// Pool workers currently executing chunks of this job. Mutated
+    /// only while holding the pool state lock; the dispatcher waits for
+    /// zero (under the same lock) before freeing the header.
+    participants: AtomicUsize,
+    /// Cap on pool workers that may join (the gate handshake size).
+    max_workers: usize,
+    /// Points at the dispatcher's [`ChunkSet`].
+    data: *const (),
+    /// Monomorphized chunk runner for `data`.
+    run: unsafe fn(*const (), usize),
+}
+
+/// The typed side of a job: raw chunk descriptors plus the kernel body.
+struct ChunkSet<'a, T, F> {
+    chunks: Vec<RawChunk<T>>,
+    body: &'a F,
+    /// First panic payload from any chunk; re-thrown by the dispatcher
+    /// after the job completes (parity with scoped-spawn propagation).
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A disjoint sub-slice of the launch's work, sendable by raw pointer.
+struct RawChunk<T> {
+    start: usize,
+    ptr: *mut T,
+    len: usize,
+}
+
+/// Runs chunk `idx` of the [`ChunkSet`] behind `data`.
+///
+/// # Safety
+///
+/// `data` must point at a live `ChunkSet<'_, T, F>` whose chunks are
+/// disjoint, and no two callers may pass the same `idx`.
+unsafe fn run_chunk<T, F>(data: *const (), idx: usize)
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>, &mut [T]) + Send + Sync,
+{
+    let set = &*(data as *const ChunkSet<'_, T, F>);
+    let c = &set.chunks[idx];
+    let chunk = std::slice::from_raw_parts_mut(c.ptr, c.len);
+    let range = c.start..c.start + c.len;
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (set.body)(range, chunk)));
+    if let Err(payload) = result {
+        let mut slot = set.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// Body of a persistent pool worker: park until a job is published,
+/// register as a participant, drain chunks, deregister, repeat.
+fn pool_worker(pool: Arc<PoolShared>) {
+    let mut state = pool.state.lock();
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let found = state.jobs.iter().copied().find(|j| {
+            // SAFETY: published handles point at live headers (see
+            // `PoolState::jobs`); we hold the state lock.
+            let h = unsafe { &*j.0 };
+            h.participants.load(Ordering::Relaxed) < h.max_workers
+                && h.next.load(Ordering::Relaxed) < h.n_chunks
+        });
+        let Some(job) = found else {
+            pool.work_cv.wait(&mut state);
+            continue;
+        };
+        // SAFETY: registering under the lock keeps the header alive
+        // past the unlock — the dispatcher retracts the job and then
+        // waits (under this lock) for participants to reach zero
+        // before its stack frame unwinds.
+        let header = unsafe { &*job.0 };
+        header.participants.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        pool.wakeups.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let idx = header.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= header.n_chunks {
+                break;
+            }
+            // SAFETY: `fetch_add` hands out each index exactly once.
+            unsafe { (header.run)(header.data, idx) };
+        }
+        state = pool.state.lock();
+        header.participants.fetch_sub(1, Ordering::Relaxed);
+        pool.done_cv.notify_all();
+    }
+}
+
+/// Reference dispatch: scoped threads per launch (the pre-pool path).
+fn scoped_dispatch<T, F>(work: &mut [T], chunk_size: usize, body: &F)
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>, &mut [T]) + Send + Sync,
+{
+    let mut parts: Vec<(std::ops::Range<usize>, &mut [T])> = Vec::new();
+    let mut start = 0usize;
+    for chunk in work.chunks_mut(chunk_size) {
+        let range = start..start + chunk.len();
+        start += chunk.len();
+        parts.push((range, chunk));
+    }
+    let own = parts.pop();
+    std::thread::scope(|scope| {
+        for (range, chunk) in parts {
+            scope.spawn(move || body(range, chunk));
+        }
+        if let Some((range, chunk)) = own {
+            body(range, chunk);
+        }
+    });
+}
+
+impl Drop for DeviceInner {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.get_mut().take() {
+            pool.state.lock().shutdown = true;
+            pool.work_cv.notify_all();
+            for handle in self.pool_handles.get_mut().drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
 }
 
 /// A device-memory reservation held by a [`DeviceBuffer`]; releases its
@@ -223,11 +433,14 @@ impl fmt::Debug for Device {
 impl Default for Device {
     /// A device sized to the host's available parallelism.
     fn default() -> Self {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Device::new(workers)
+        Device::new(physical_parallelism())
     }
+}
+
+/// Physical parallelism of this host, cached once per process.
+fn physical_parallelism() -> usize {
+    static PHYS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *PHYS.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 impl Device {
@@ -274,6 +487,9 @@ impl Device {
                 host_gate: Mutex::new(None),
                 watchdog_nanos: AtomicU64::new(0),
                 cancel: Mutex::new(None),
+                pool: Mutex::new(None),
+                pool_handles: Mutex::new(Vec::new()),
+                dispatch_mode: AtomicU64::new(0),
             }),
         }
     }
@@ -683,8 +899,222 @@ impl Device {
         }
     }
 
-    /// Runs `body(start_index, chunk)` for contiguous chunks of `work`
-    /// distributed over the worker pool.
+    /// Fallible synchronous *tile* launch: the kernel is handed whole
+    /// contiguous ranges of `out` (one call per dispatch chunk) instead
+    /// of one call per element, so per-element framework overhead —
+    /// panic boundary, context construction, buffer-lock traffic — is
+    /// paid once per tile. Semantically identical to
+    /// [`Device::try_launch_map_blocking`] with a kernel that loops
+    /// over its tile: ordinals tick once per launch, injected
+    /// per-thread faults still fire for exactly their thread (the tile
+    /// is split around the faulted element), and a genuine tile panic
+    /// surfaces as [`XpuError::KernelPanic`] carrying the tile's first
+    /// global id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config provides fewer threads than `out.len()`.
+    pub fn try_launch_tiles_blocking<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        kernel: F,
+    ) -> XpuResult<()>
+    where
+        T: Send + Sync,
+        F: Fn(std::ops::Range<usize>, &mut [T]) + Send + Sync,
+    {
+        let mut guard = out.write();
+        let slots: &mut [T] = &mut guard;
+        assert!(
+            cfg.total_threads() >= slots.len(),
+            "launch config provides {} threads for {} outputs",
+            cfg.total_threads(),
+            slots.len()
+        );
+        let (launch_id, panic_thread) = self.next_launch(slots.len());
+        self.inner.stats.record_launch(slots.len());
+        let kernel = &kernel;
+        let panicked: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        self.dispatch_slices(slots, |range, chunk: &mut [T]| {
+            run_spmd_tile(range, chunk, panic_thread, launch_id, &panicked, kernel);
+        });
+        finish_launch(launch_id, panicked)
+    }
+
+    /// Fallible synchronous *scatter tile* launch: like
+    /// [`Device::try_launch_scatter_blocking`], but the kernel receives
+    /// a contiguous tile of per-thread output slices
+    /// (`out[offsets[i]..offsets[i + 1]]` for each `i` in the tile's
+    /// range) per call. See [`Device::try_launch_tiles_blocking`] for
+    /// the tile semantics and failure model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed `offsets` or an undersized launch config.
+    pub fn try_launch_scatter_tiles_blocking<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        offsets: &[usize],
+        kernel: F,
+    ) -> XpuResult<()>
+    where
+        T: Send + Sync,
+        F: Fn(std::ops::Range<usize>, &mut [&mut [T]]) + Send + Sync,
+    {
+        let n_threads = offsets.len().saturating_sub(1);
+        assert!(
+            cfg.total_threads() >= n_threads,
+            "launch config provides {} threads for {} ranges",
+            cfg.total_threads(),
+            n_threads
+        );
+        let mut guard = out.write();
+        let mut rest: &mut [T] = &mut guard;
+        let total = rest.len();
+        assert!(
+            offsets.last().copied().unwrap_or(0) <= total,
+            "offsets end past the output buffer"
+        );
+        let mut slices: Vec<&mut [T]> = Vec::with_capacity(n_threads);
+        let mut consumed = 0usize;
+        for w in offsets.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            assert!(lo <= hi, "offsets must be non-decreasing");
+            let (skip, tail) = rest.split_at_mut(lo - consumed);
+            debug_assert!(skip.is_empty() || lo > consumed);
+            let (mine, tail) = tail.split_at_mut(hi - lo);
+            slices.push(mine);
+            rest = tail;
+            consumed = hi;
+        }
+        let (launch_id, panic_thread) = self.next_launch(n_threads);
+        self.inner.stats.record_launch(n_threads);
+        let kernel = &kernel;
+        let panicked: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        self.dispatch_slices(&mut slices, |range, chunk: &mut [&mut [T]]| {
+            run_spmd_tile(range, chunk, panic_thread, launch_id, &panicked, kernel);
+        });
+        finish_launch(launch_id, panicked)
+    }
+
+    /// Selects how parallel dispatch hands chunks to extra threads; the
+    /// default is [`DispatchMode::Pooled`]. [`DispatchMode::Scoped`] is
+    /// the pre-pool spawn-per-launch reference, kept for equivalence
+    /// testing.
+    pub fn set_dispatch_mode(&self, mode: DispatchMode) {
+        self.inner
+            .dispatch_mode
+            .store(mode as u64, Ordering::Relaxed);
+    }
+
+    /// The active [`DispatchMode`].
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        match self.inner.dispatch_mode.load(Ordering::Relaxed) {
+            0 => DispatchMode::Pooled,
+            _ => DispatchMode::Scoped,
+        }
+    }
+
+    /// Returns the persistent pool, starting its workers on first use.
+    fn pool(&self) -> Arc<PoolShared> {
+        let mut guard = self.inner.pool.lock();
+        if let Some(pool) = guard.as_ref() {
+            return Arc::clone(pool);
+        }
+        let pool = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: Vec::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            wakeups: self.inner.stats.wakeups_handle(),
+        });
+        let mut handles = self.inner.pool_handles.lock();
+        for i in 0..self.inner.workers.saturating_sub(1) {
+            let worker_pool = Arc::clone(&pool);
+            let handle = std::thread::Builder::new()
+                .name(format!("xpu-pool-{i}"))
+                .spawn(move || pool_worker(worker_pool))
+                .expect("failed to spawn xpu pool worker");
+            handles.push(handle);
+        }
+        *guard = Some(Arc::clone(&pool));
+        pool
+    }
+
+    /// Publishes one launch's chunks to the pool mailbox, drains chunks
+    /// on the dispatching thread, then retracts the job and waits for
+    /// any participating workers before returning.
+    fn pool_dispatch<T, F>(&self, work: &mut [T], chunk_size: usize, max_workers: usize, body: &F)
+    where
+        T: Send,
+        F: Fn(std::ops::Range<usize>, &mut [T]) + Send + Sync,
+    {
+        let mut chunks = Vec::new();
+        let mut start = 0usize;
+        for chunk in work.chunks_mut(chunk_size) {
+            chunks.push(RawChunk {
+                start,
+                ptr: chunk.as_mut_ptr(),
+                len: chunk.len(),
+            });
+            start += chunk.len();
+        }
+        let n_chunks = chunks.len();
+        let set = ChunkSet {
+            chunks,
+            body,
+            panic: Mutex::new(None),
+        };
+        let header = JobHeader {
+            next: AtomicUsize::new(0),
+            n_chunks,
+            participants: AtomicUsize::new(0),
+            max_workers,
+            data: &set as *const ChunkSet<'_, T, F> as *const (),
+            run: run_chunk::<T, F>,
+        };
+        let pool = self.pool();
+        let handle = JobHandle(&header as *const JobHeader);
+        pool.state.lock().jobs.push(handle);
+        pool.work_cv.notify_all();
+        // The dispatcher is participant zero: it drains chunks inline
+        // rather than parking, so a launch never blocks on a wake.
+        loop {
+            let idx = header.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= n_chunks {
+                break;
+            }
+            // SAFETY: each index is claimed exactly once via fetch_add.
+            unsafe { (header.run)(header.data, idx) };
+        }
+        {
+            let mut state = pool.state.lock();
+            state.jobs.retain(|j| *j != handle);
+            // Workers register/deregister under this lock, so once the
+            // count reads zero with the job retracted, no worker can
+            // touch the header or chunks again.
+            while header.participants.load(Ordering::Relaxed) != 0 {
+                pool.done_cv.wait(&mut state);
+            }
+        }
+        if let Some(payload) = set.panic.into_inner() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Runs `body(range, chunk)` for contiguous chunks of `work`
+    /// distributed over the device's workers.
+    ///
+    /// Gated and ungated launches share one code path: an installed
+    /// host gate caps the extra threads by the shared budget, while the
+    /// absence of a gate grants the full pool width. Either way the
+    /// dispatching thread works chunks itself, so a launch uses at most
+    /// `1 + extra` threads and degrades to inline execution when no
+    /// extra thread is available.
     pub(crate) fn dispatch_slices<T, F>(&self, work: &mut [T], body: F)
     where
         T: Send,
@@ -700,47 +1130,28 @@ impl Device {
             return;
         }
         let gate = self.inner.host_gate.lock().clone();
-        let Some(gate) = gate else {
-            // No handshake installed: the original ungated pool.
-            let chunk_size = n.div_ceil(workers);
-            std::thread::scope(|scope| {
-                let mut start = 0usize;
-                let body = &body;
-                for chunk in work.chunks_mut(chunk_size) {
-                    let range = start..start + chunk.len();
-                    start += chunk.len();
-                    scope.spawn(move || body(range, chunk));
-                }
-            });
-            return;
+        let extra = match &gate {
+            // The sizing handshake exists to keep the engine from
+            // oversubscribing the machine, so a gated launch is also
+            // clamped to the cores that physically exist — waking pool
+            // workers past that count only adds switch latency (an
+            // ungated device keeps its configured width so unit tests
+            // exercise the pool regardless of host shape).
+            Some(g) => g.try_acquire((workers - 1).min(physical_parallelism() - 1)),
+            None => workers - 1,
         };
-        // Gated: spawned threads come out of the shared host budget and
-        // the dispatching thread works a chunk itself, so a launch uses
-        // at most `1 + acquired` threads and never oversubscribes.
-        let extra = gate.try_acquire(workers - 1);
         if extra == 0 {
             body(0..n, work);
             return;
         }
         let chunk_size = n.div_ceil(extra + 1);
-        let mut parts: Vec<(std::ops::Range<usize>, &mut [T])> = Vec::new();
-        let mut start = 0usize;
-        for chunk in work.chunks_mut(chunk_size) {
-            let range = start..start + chunk.len();
-            start += chunk.len();
-            parts.push((range, chunk));
+        match self.dispatch_mode() {
+            DispatchMode::Pooled => self.pool_dispatch(work, chunk_size, extra, &body),
+            DispatchMode::Scoped => scoped_dispatch(work, chunk_size, &body),
         }
-        let own = parts.pop();
-        std::thread::scope(|scope| {
-            let body = &body;
-            for (range, chunk) in parts {
-                scope.spawn(move || body(range, chunk));
-            }
-            if let Some((range, chunk)) = own {
-                body(range, chunk);
-            }
-        });
-        gate.release(extra);
+        if let Some(g) = &gate {
+            g.release(extra);
+        }
     }
 }
 
@@ -766,6 +1177,67 @@ fn run_spmd_thread<F: FnOnce()>(
         let mut slot = panicked.lock();
         if slot.is_none() {
             *slot = Some((global_id, message));
+        }
+    }
+}
+
+/// Executes one tile of SPMD threads with a single panic boundary. An
+/// injected per-thread fault splits the tile around the faulted thread
+/// so its neighbours still execute — preserving the per-thread fault
+/// semantics of the element-granular dispatch. A genuine panic inside
+/// the tile records the tile's first global id (the per-element path
+/// records the exact id; multi-worker recording was already
+/// first-wins-racy, and errors only feed recovery, which re-runs).
+fn run_spmd_tile<E, F>(
+    range: std::ops::Range<usize>,
+    chunk: &mut [E],
+    injected_panic_thread: Option<usize>,
+    launch_id: u64,
+    panicked: &Mutex<Option<(usize, String)>>,
+    kernel: &F,
+) where
+    F: Fn(std::ops::Range<usize>, &mut [E]),
+{
+    if let Some(p) = injected_panic_thread {
+        if range.contains(&p) {
+            let split = p - range.start;
+            let (lo, rest) = chunk.split_at_mut(split);
+            let (_faulted, hi) = rest.split_at_mut(1);
+            run_tile_guarded(range.start..p, lo, panicked, kernel);
+            run_spmd_thread(
+                p,
+                Some(p),
+                launch_id,
+                panicked,
+                std::panic::AssertUnwindSafe(|| {}),
+            );
+            run_tile_guarded(p + 1..range.end, hi, panicked, kernel);
+            return;
+        }
+    }
+    run_tile_guarded(range, chunk, panicked, kernel);
+}
+
+/// Runs a (sub-)tile behind one `catch_unwind`, recording the first
+/// panic against the tile's first global id.
+fn run_tile_guarded<E, F>(
+    range: std::ops::Range<usize>,
+    chunk: &mut [E],
+    panicked: &Mutex<Option<(usize, String)>>,
+    kernel: &F,
+) where
+    F: Fn(std::ops::Range<usize>, &mut [E]),
+{
+    if range.is_empty() {
+        return;
+    }
+    let first = range.start;
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| kernel(range, chunk)));
+    if let Err(payload) = result {
+        let message = panic_message(payload.as_ref());
+        let mut slot = panicked.lock();
+        if slot.is_none() {
+            *slot = Some((first, message));
         }
     }
 }

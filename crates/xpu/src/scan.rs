@@ -38,12 +38,16 @@ pub fn exclusive_scan(device: &Device, values: &[usize]) -> Vec<usize> {
     let chunk = n.div_ceil(workers);
     device.stats().record_launch(n);
 
-    // Phase 1: per-chunk sums, in parallel.
+    // Phase 1: per-chunk sums, distributed over the persistent pool.
+    // The chunk boundaries derive from the device width (not from how
+    // many pool workers join), so the output is identical either way.
     let n_chunks = n.div_ceil(chunk);
     let mut chunk_sums = vec![0usize; n_chunks];
-    std::thread::scope(|scope| {
-        for (slot, vals) in chunk_sums.iter_mut().zip(values.chunks(chunk)) {
-            scope.spawn(move || *slot = vals.iter().sum());
+    let mut tasks: Vec<(&mut usize, &[usize])> =
+        chunk_sums.iter_mut().zip(values.chunks(chunk)).collect();
+    device.dispatch_slices(&mut tasks, |_, tile| {
+        for (slot, vals) in tile.iter_mut() {
+            **slot = vals.iter().sum();
         }
     });
 
@@ -58,19 +62,19 @@ pub fn exclusive_scan(device: &Device, values: &[usize]) -> Vec<usize> {
     // Phase 3: per-chunk local scans shifted by the base, in parallel.
     // Chunk c owns out[c*chunk + 1 ..= min((c+1)*chunk, n)].
     device.stats().record_launch(n);
-    std::thread::scope(|scope| {
-        for ((out_chunk, vals), base) in out[1..]
-            .chunks_mut(chunk)
-            .zip(values.chunks(chunk))
-            .zip(bases.iter().copied())
-        {
-            scope.spawn(move || {
-                let mut running = base;
-                for (o, v) in out_chunk.iter_mut().zip(vals) {
-                    running += v;
-                    *o = running;
-                }
-            });
+    let mut tasks: Vec<(&mut [usize], &[usize], usize)> = out[1..]
+        .chunks_mut(chunk)
+        .zip(values.chunks(chunk))
+        .zip(bases.iter().copied())
+        .map(|((o, v), b)| (o, v, b))
+        .collect();
+    device.dispatch_slices(&mut tasks, |_, tile| {
+        for (out_chunk, vals, base) in tile.iter_mut() {
+            let mut running = *base;
+            for (o, v) in out_chunk.iter_mut().zip(vals.iter()) {
+                running += v;
+                *o = running;
+            }
         }
     });
     // Convert the inclusive values written above into the exclusive
@@ -95,9 +99,11 @@ pub fn reduce_sum(device: &Device, values: &[i64]) -> i64 {
     let chunk = n.div_ceil(workers);
     device.stats().record_launch(n);
     let mut partials = vec![0i64; n.div_ceil(chunk)];
-    std::thread::scope(|scope| {
-        for (slot, vals) in partials.iter_mut().zip(values.chunks(chunk)) {
-            scope.spawn(move || *slot = vals.iter().sum());
+    let mut tasks: Vec<(&mut i64, &[i64])> =
+        partials.iter_mut().zip(values.chunks(chunk)).collect();
+    device.dispatch_slices(&mut tasks, |_, tile| {
+        for (slot, vals) in tile.iter_mut() {
+            **slot = vals.iter().sum();
         }
     });
     partials.iter().sum()

@@ -40,14 +40,20 @@ where
     }
     device.stats().record_launch(n);
 
-    // Phase 1: sort chunks in parallel.
+    // Phase 1: sort chunks in parallel over the persistent pool. The
+    // chunk boundaries derive from the device width (not from how many
+    // pool workers actually join), so the merge math below — and the
+    // sorted result — is identical regardless of thread availability.
     let chunk = n.div_ceil(workers);
-    std::thread::scope(|scope| {
+    {
+        let mut parts: Vec<&mut [T]> = data.chunks_mut(chunk).collect();
         let key = &key;
-        for part in data.chunks_mut(chunk) {
-            scope.spawn(move || part.sort_unstable_by_key(|a| key(a)));
-        }
-    });
+        device.dispatch_slices(&mut parts, |_, tile| {
+            for part in tile.iter_mut() {
+                part.sort_unstable_by_key(|a| key(a));
+            }
+        });
+    }
 
     // Phase 2: pairwise merges until one run remains.
     let mut run = chunk;
@@ -55,18 +61,22 @@ where
     let mut dst: Vec<T> = data.to_vec();
     while run < n {
         device.stats().record_launch(n);
-        std::thread::scope(|scope| {
-            let key = &key;
-            let mut src_rest: &[T] = &src;
-            let mut dst_rest: &mut [T] = &mut dst;
-            while !src_rest.is_empty() {
-                let take = (2 * run).min(src_rest.len());
-                let (s, s_tail) = src_rest.split_at(take);
-                let (d, d_tail) = dst_rest.split_at_mut(take);
-                src_rest = s_tail;
-                dst_rest = d_tail;
-                let mid = run.min(s.len());
-                scope.spawn(move || merge_into(&s[..mid], &s[mid..], d, key));
+        let mut merges: Vec<(&[T], &[T], &mut [T])> = Vec::new();
+        let mut src_rest: &[T] = &src;
+        let mut dst_rest: &mut [T] = &mut dst;
+        while !src_rest.is_empty() {
+            let take = (2 * run).min(src_rest.len());
+            let (s, s_tail) = src_rest.split_at(take);
+            let (d, d_tail) = dst_rest.split_at_mut(take);
+            src_rest = s_tail;
+            dst_rest = d_tail;
+            let mid = run.min(s.len());
+            merges.push((&s[..mid], &s[mid..], d));
+        }
+        let key = &key;
+        device.dispatch_slices(&mut merges, |_, tile| {
+            for (a, b, d) in tile.iter_mut() {
+                merge_into(a, b, d, key);
             }
         });
         std::mem::swap(&mut src, &mut dst);

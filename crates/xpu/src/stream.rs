@@ -36,10 +36,58 @@ type DataJob = Box<dyn FnOnce(&Device) -> XpuResult<()> + Send>;
 
 /// A stream command. Data commands are skipped once the stream is
 /// poisoned and are subject to stall injection; control commands
-/// (event signalling) always run.
+/// (event signalling) always run. A fused command carries a batch of
+/// sub-commands delivered to the worker in one send — one wake — while
+/// each sub-command still runs under the exact per-op protocol
+/// (sticky-skip, in-flight marking, fault ordinal tick), so fused and
+/// unfused execution are observably identical apart from queue traffic.
 enum Cmd {
     Data { op: &'static str, job: DataJob },
     Control(Box<dyn FnOnce(&Device) + Send>),
+    Fused(Vec<Cmd>),
+}
+
+/// Executes one command on the stream worker; the single definition of
+/// the per-op protocol (shared by plain and fused delivery, so fault
+/// and watchdog behavior cannot diverge between them).
+fn execute_cmd(
+    cmd: Cmd,
+    device: &Device,
+    err: &ErrorSlot,
+    in_flight: &Arc<Mutex<Option<(&'static str, Instant)>>>,
+) {
+    match cmd {
+        Cmd::Control(f) => f(device),
+        Cmd::Fused(cmds) => {
+            for sub in cmds {
+                execute_cmd(sub, device, err, in_flight);
+            }
+        }
+        Cmd::Data { op, job } => {
+            if err.lock().is_some() {
+                // Poisoned: skip the job. Dropping it disconnects any
+                // per-op sender, and the sticky error is already
+                // visible.
+                return;
+            }
+            // Mark the op in flight *before* the fault hook: an
+            // injected hang sleeps in there and must be visible to
+            // watchdogs.
+            *in_flight.lock() = Some((op, Instant::now()));
+            if let Some(e) = device.fault_stream_op(op) {
+                // Injected stall: poison *before* the job (and its
+                // senders) drops, so a disconnected Pending sees the
+                // error.
+                set_sticky(err, e);
+                *in_flight.lock() = None;
+                return;
+            }
+            if let Err(e) = job(device) {
+                set_sticky(err, e);
+            }
+            *in_flight.lock() = None;
+        }
+    }
 }
 
 type ErrorSlot = Arc<Mutex<Option<XpuError>>>;
@@ -178,33 +226,7 @@ impl Stream {
             .name("xpu-stream".to_owned())
             .spawn(move || {
                 while let Ok(cmd) = rx.recv() {
-                    match cmd {
-                        Cmd::Control(f) => f(&worker_device),
-                        Cmd::Data { op, job } => {
-                            if worker_err.lock().is_some() {
-                                // Poisoned: skip the job. Dropping it
-                                // disconnects any per-op sender, and
-                                // the sticky error is already visible.
-                                continue;
-                            }
-                            // Mark the op in flight *before* the
-                            // fault hook: an injected hang sleeps in
-                            // there and must be visible to watchdogs.
-                            *worker_in_flight.lock() = Some((op, Instant::now()));
-                            if let Some(e) = worker_device.fault_stream_op(op) {
-                                // Injected stall: poison *before* the
-                                // job (and its senders) drops, so a
-                                // disconnected Pending sees the error.
-                                set_sticky(&worker_err, e);
-                                *worker_in_flight.lock() = None;
-                                continue;
-                            }
-                            if let Err(e) = job(&worker_device) {
-                                set_sticky(&worker_err, e);
-                            }
-                            *worker_in_flight.lock() = None;
-                        }
-                    }
+                    execute_cmd(cmd, &worker_device, &worker_err, &worker_in_flight);
                 }
             })
             .expect("spawn stream worker");
@@ -255,11 +277,12 @@ impl Stream {
         self.submit(Cmd::Data { op, job });
     }
 
-    /// Fallible stream-ordered allocation: fails fast (without
-    /// poisoning the stream) when the device's memory budget would be
-    /// exceeded or an alloc fault is injected, like a `cudaMallocAsync`
-    /// error return.
-    pub fn try_alloc<T>(&self, len: usize) -> XpuResult<DeviceBuffer<T>>
+    /// Builds a stream-ordered allocation command without submitting
+    /// it. All synchronous failure paths (sticky check, alloc fault,
+    /// budget reservation) run here, on the caller thread, exactly as
+    /// they would for an immediate enqueue — a fused batch observes the
+    /// same errors at the same points.
+    fn alloc_cmd<T>(&self, len: usize) -> XpuResult<(DeviceBuffer<T>, Cmd)>
     where
         T: Default + Clone + Send + Sync + 'static,
     {
@@ -271,13 +294,26 @@ impl Stream {
         let reservation = self.device.try_reserve(bytes)?;
         let buf: DeviceBuffer<T> = DeviceBuffer::reserved(reservation);
         let handle = buf.clone();
-        self.submit_data(
-            "alloc",
-            Box::new(move |_| {
+        let cmd = Cmd::Data {
+            op: "alloc",
+            job: Box::new(move |_| {
                 handle.replace(vec![T::default(); len]);
                 Ok(())
             }),
-        );
+        };
+        Ok((buf, cmd))
+    }
+
+    /// Fallible stream-ordered allocation: fails fast (without
+    /// poisoning the stream) when the device's memory budget would be
+    /// exceeded or an alloc fault is injected, like a `cudaMallocAsync`
+    /// error return.
+    pub fn try_alloc<T>(&self, len: usize) -> XpuResult<DeviceBuffer<T>>
+    where
+        T: Default + Clone + Send + Sync + 'static,
+    {
+        let (buf, cmd) = self.alloc_cmd(len)?;
+        self.submit(cmd);
         Ok(buf)
     }
 
@@ -355,6 +391,17 @@ impl Stream {
     where
         T: Send + Sync + 'static,
     {
+        let (buf, cmd) = self.upload_shared_cmd(data)?;
+        self.submit(cmd);
+        Ok(buf)
+    }
+
+    /// Builds a shared-upload command without submitting it; see
+    /// [`Stream::alloc_cmd`] for the split.
+    fn upload_shared_cmd<T>(&self, data: Arc<Vec<T>>) -> XpuResult<(DeviceBuffer<T>, Cmd)>
+    where
+        T: Send + Sync + 'static,
+    {
         self.check_sticky()?;
         let bytes = data.len() * std::mem::size_of::<T>();
         if let Some(e) = self
@@ -366,15 +413,15 @@ impl Stream {
         let reservation = self.device.try_reserve(bytes)?;
         let buf: DeviceBuffer<T> = DeviceBuffer::reserved(reservation);
         let handle = buf.clone();
-        self.submit_data(
-            "upload",
-            Box::new(move |device| {
+        let cmd = Cmd::Data {
+            op: "upload",
+            job: Box::new(move |device| {
                 device.stats().record_h2d(bytes);
                 handle.replace_shared(data);
                 Ok(())
             }),
-        );
-        Ok(buf)
+        };
+        Ok((buf, cmd))
     }
 
     /// Zero-copy host → device upload; see [`Stream::try_upload_shared`].
@@ -399,13 +446,24 @@ impl Stream {
     where
         T: Clone + Send + Sync + 'static,
     {
+        let (pending, cmd) = self.download_cmd(buf)?;
+        self.submit(cmd);
+        Ok(pending)
+    }
+
+    /// Builds a download command without submitting it; see
+    /// [`Stream::alloc_cmd`] for the split.
+    fn download_cmd<T>(&self, buf: &DeviceBuffer<T>) -> XpuResult<(Pending<Vec<T>>, Cmd)>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
         self.check_sticky()?;
         let (tx, rx) = mpsc::channel();
         let handle = buf.clone();
         let err = Arc::clone(&self.err);
-        self.submit_data(
-            "download",
-            Box::new(move |device| {
+        let cmd = Cmd::Data {
+            op: "download",
+            job: Box::new(move |device| {
                 let data = handle.to_vec();
                 let bytes = data.len() * std::mem::size_of::<T>();
                 if let Some(e) = device.fault_transfer(TransferDirection::DeviceToHost, bytes) {
@@ -418,12 +476,9 @@ impl Stream {
                 let _ = tx.send(data);
                 Ok(())
             }),
-        );
-        Ok(Pending::with_watch(
-            rx,
-            Arc::clone(&self.err),
-            self.stall_watch(),
-        ))
+        };
+        let pending = Pending::with_watch(rx, Arc::clone(&self.err), self.stall_watch());
+        Ok((pending, cmd))
     }
 
     /// Asynchronous device → host copy; the returned [`Pending`]
@@ -456,13 +511,107 @@ impl Stream {
         T: Send + Sync + 'static,
         F: Fn(ThreadCtx, &mut T) + Send + Sync + 'static,
     {
+        let cmd = self.launch_map_cmd(cfg, out, kernel)?;
+        self.submit(cmd);
+        Ok(())
+    }
+
+    /// Builds a map-launch command without submitting it; see
+    /// [`Stream::alloc_cmd`] for the split.
+    fn launch_map_cmd<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        kernel: F,
+    ) -> XpuResult<Cmd>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(ThreadCtx, &mut T) + Send + Sync + 'static,
+    {
         self.check_sticky()?;
         let out = out.clone();
-        self.submit_data(
-            "launch_map",
-            Box::new(move |device| device.try_launch_map_blocking(cfg, &out, kernel)),
-        );
+        Ok(Cmd::Data {
+            op: "launch_map",
+            job: Box::new(move |device| device.try_launch_map_blocking(cfg, &out, kernel)),
+        })
+    }
+
+    /// Fallibly enqueues a *tile* kernel launch: the kernel receives
+    /// whole contiguous ranges of `out` instead of one call per element
+    /// (see [`Device::try_launch_tiles_blocking`]).
+    pub fn try_launch_tiles<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        kernel: F,
+    ) -> XpuResult<()>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(std::ops::Range<usize>, &mut [T]) + Send + Sync + 'static,
+    {
+        let cmd = self.launch_tiles_cmd(cfg, out, kernel)?;
+        self.submit(cmd);
         Ok(())
+    }
+
+    /// Builds a tile-launch command without submitting it.
+    fn launch_tiles_cmd<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        kernel: F,
+    ) -> XpuResult<Cmd>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(std::ops::Range<usize>, &mut [T]) + Send + Sync + 'static,
+    {
+        self.check_sticky()?;
+        let out = out.clone();
+        Ok(Cmd::Data {
+            op: "launch_tiles",
+            job: Box::new(move |device| device.try_launch_tiles_blocking(cfg, &out, kernel)),
+        })
+    }
+
+    /// Fallibly enqueues a *scatter tile* kernel launch: the kernel
+    /// receives contiguous tiles of per-thread output slices (see
+    /// [`Device::try_launch_scatter_tiles_blocking`]).
+    pub fn try_launch_scatter_tiles<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        offsets: Vec<usize>,
+        kernel: F,
+    ) -> XpuResult<()>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(std::ops::Range<usize>, &mut [&mut [T]]) + Send + Sync + 'static,
+    {
+        let cmd = self.launch_scatter_tiles_cmd(cfg, out, offsets, kernel)?;
+        self.submit(cmd);
+        Ok(())
+    }
+
+    /// Builds a scatter-tile-launch command without submitting it.
+    fn launch_scatter_tiles_cmd<T, F>(
+        &self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        offsets: Vec<usize>,
+        kernel: F,
+    ) -> XpuResult<Cmd>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(std::ops::Range<usize>, &mut [&mut [T]]) + Send + Sync + 'static,
+    {
+        self.check_sticky()?;
+        let out = out.clone();
+        Ok(Cmd::Data {
+            op: "launch_scatter_tiles",
+            job: Box::new(move |device| {
+                device.try_launch_scatter_tiles_blocking(cfg, &out, &offsets, kernel)
+            }),
+        })
     }
 
     /// Enqueues a kernel launch where thread `i` owns `out[i]`
@@ -545,19 +694,43 @@ impl Stream {
     /// stream's sticky error, if any, and fires even on a poisoned
     /// stream (a control operation), so waiters never deadlock.
     pub fn record_event(&self, event: &Event) {
+        let cmd = self.record_event_cmd(event);
+        self.submit(cmd);
+    }
+
+    /// Builds a record-event control command without submitting it.
+    fn record_event_cmd(&self, event: &Event) -> Cmd {
         let event = event.clone();
         let err = Arc::clone(&self.err);
-        self.submit(Cmd::Control(Box::new(move |_| {
+        Cmd::Control(Box::new(move |_| {
             event.set_with(err.lock().clone());
-        })));
+        }))
     }
 
     /// Makes this stream wait (in stream order) for `event`. A control
     /// operation: it preserves cross-stream ordering even when this
     /// stream is poisoned, and is never a fault-injection target.
     pub fn wait_event(&self, event: &Event) {
-        let event = event.clone();
-        self.submit(Cmd::Control(Box::new(move |_| event.wait())));
+        self.submit(wait_event_cmd(event));
+    }
+
+    /// Opens a batched enqueue scope on this stream. With `fused =
+    /// true`, commands pushed into the batch are packed into a single
+    /// [`Cmd::Fused`] delivered to the worker in one send (one wake)
+    /// when the batch flushes; with `fused = false` the batch is a pure
+    /// passthrough submitting each command immediately, byte-identical
+    /// to calling the stream methods directly — the unfused ablation.
+    ///
+    /// Dropping the batch flushes it, so early error returns leave the
+    /// queue in the same state an unfused caller would have (commands
+    /// built before the error are already committed to execute).
+    pub fn batch(&self, fused: bool) -> LaunchBatch<'_> {
+        LaunchBatch {
+            stream: self,
+            cmds: Vec::new(),
+            fused,
+            launches: 0,
+        }
     }
 
     /// Blocks until every previously enqueued operation has completed
@@ -606,6 +779,171 @@ impl Drop for Stream {
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
         }
+    }
+}
+
+/// Builds a wait-event control command (free function: it does not
+/// capture any stream state).
+fn wait_event_cmd(event: &Event) -> Cmd {
+    let event = event.clone();
+    Cmd::Control(Box::new(move |_| event.wait()))
+}
+
+/// A batched enqueue scope created by [`Stream::batch`].
+///
+/// Mirrors the stream's fallible enqueue API; every synchronous check
+/// (sticky error, fault ordinal, budget reservation) runs at the call,
+/// on the caller thread, exactly as an immediate enqueue would — only
+/// the handoff to the worker is deferred and packed. Flushing (or
+/// dropping) a fused batch with two or more commands submits one
+/// [`Cmd::Fused`] and credits the contained kernel launches to
+/// [`DeviceStats::launches_fused`].
+///
+/// [`DeviceStats::launches_fused`]: crate::DeviceStats::launches_fused
+pub struct LaunchBatch<'s> {
+    stream: &'s Stream,
+    cmds: Vec<Cmd>,
+    fused: bool,
+    launches: u64,
+}
+
+impl LaunchBatch<'_> {
+    /// The stream this batch enqueues onto.
+    pub fn stream(&self) -> &Stream {
+        self.stream
+    }
+
+    fn push(&mut self, cmd: Cmd) {
+        if self.fused {
+            self.cmds.push(cmd);
+        } else {
+            self.stream.submit(cmd);
+        }
+    }
+
+    /// Batched [`Stream::try_alloc`].
+    pub fn try_alloc<T>(&mut self, len: usize) -> XpuResult<DeviceBuffer<T>>
+    where
+        T: Default + Clone + Send + Sync + 'static,
+    {
+        let (buf, cmd) = self.stream.alloc_cmd(len)?;
+        self.push(cmd);
+        Ok(buf)
+    }
+
+    /// Batched [`Stream::try_upload_shared`].
+    pub fn try_upload_shared<T>(&mut self, data: Arc<Vec<T>>) -> XpuResult<DeviceBuffer<T>>
+    where
+        T: Send + Sync + 'static,
+    {
+        let (buf, cmd) = self.stream.upload_shared_cmd(data)?;
+        self.push(cmd);
+        Ok(buf)
+    }
+
+    /// Batched [`Stream::try_download`].
+    pub fn try_download<T>(&mut self, buf: &DeviceBuffer<T>) -> XpuResult<Pending<Vec<T>>>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        let (pending, cmd) = self.stream.download_cmd(buf)?;
+        self.push(cmd);
+        Ok(pending)
+    }
+
+    /// Batched [`Stream::try_launch_map`].
+    pub fn try_launch_map<T, F>(
+        &mut self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        kernel: F,
+    ) -> XpuResult<()>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(ThreadCtx, &mut T) + Send + Sync + 'static,
+    {
+        let cmd = self.stream.launch_map_cmd(cfg, out, kernel)?;
+        self.launches += 1;
+        self.push(cmd);
+        Ok(())
+    }
+
+    /// Batched [`Stream::try_launch_tiles`].
+    pub fn try_launch_tiles<T, F>(
+        &mut self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        kernel: F,
+    ) -> XpuResult<()>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(std::ops::Range<usize>, &mut [T]) + Send + Sync + 'static,
+    {
+        let cmd = self.stream.launch_tiles_cmd(cfg, out, kernel)?;
+        self.launches += 1;
+        self.push(cmd);
+        Ok(())
+    }
+
+    /// Batched [`Stream::try_launch_scatter_tiles`].
+    pub fn try_launch_scatter_tiles<T, F>(
+        &mut self,
+        cfg: LaunchConfig,
+        out: &DeviceBuffer<T>,
+        offsets: Vec<usize>,
+        kernel: F,
+    ) -> XpuResult<()>
+    where
+        T: Send + Sync + 'static,
+        F: Fn(std::ops::Range<usize>, &mut [&mut [T]]) + Send + Sync + 'static,
+    {
+        let cmd = self
+            .stream
+            .launch_scatter_tiles_cmd(cfg, out, offsets, kernel)?;
+        self.launches += 1;
+        self.push(cmd);
+        Ok(())
+    }
+
+    /// Batched [`Stream::record_event`].
+    pub fn record_event(&mut self, event: &Event) {
+        let cmd = self.stream.record_event_cmd(event);
+        self.push(cmd);
+    }
+
+    /// Batched [`Stream::wait_event`].
+    pub fn wait_event(&mut self, event: &Event) {
+        self.push(wait_event_cmd(event));
+    }
+
+    /// Submits everything accumulated so far. A single pending command
+    /// is submitted plain (fusing it would only add wrapping); two or
+    /// more are packed into one [`Cmd::Fused`].
+    fn flush(&mut self) {
+        if self.cmds.is_empty() {
+            self.launches = 0;
+            return;
+        }
+        let cmds = std::mem::take(&mut self.cmds);
+        if cmds.len() == 1 {
+            let cmd = cmds.into_iter().next().expect("len checked");
+            self.stream.submit(cmd);
+        } else {
+            self.stream.device().stats().record_fused(self.launches);
+            self.stream.submit(Cmd::Fused(cmds));
+        }
+        self.launches = 0;
+    }
+
+    /// Flushes and consumes the batch.
+    pub fn commit(mut self) {
+        self.flush();
+    }
+}
+
+impl Drop for LaunchBatch<'_> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -788,6 +1126,15 @@ mod tests {
         let device = Device::new(2);
         let stream = device.stream();
         let buf = stream.upload(vec![0u32; 10]);
+        // Hold the worker until both the failing launch and the
+        // download are enqueued: without the hold, the launch can
+        // execute (and poison the stream) before `try_download` runs,
+        // which would fail the enqueue fast instead of exercising the
+        // skipped-job path this test is about.
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        stream.submit(Cmd::Control(Box::new(move |_| {
+            let _ = hold_rx.recv();
+        })));
         stream
             .try_launch_map(LaunchConfig::for_threads(10), &buf, |_, _| {
                 panic!("boom");
@@ -796,10 +1143,111 @@ mod tests {
         // The download is enqueued after the failing launch: it gets
         // skipped, and the Pending resolves to the sticky error.
         let pending = stream.try_download(&buf).unwrap();
+        hold_tx.send(()).unwrap();
         assert!(matches!(
             pending.result(),
             Err(XpuError::KernelPanic { .. })
         ));
+    }
+
+    #[test]
+    fn fused_batch_matches_unfused_results() {
+        let run = |fused: bool| -> (Vec<i64>, u64) {
+            let device = Device::new(2);
+            let stream = device.stream();
+            let mut batch = stream.batch(fused);
+            let input = batch
+                .try_upload_shared(Arc::new((0..300i64).collect::<Vec<_>>()))
+                .unwrap();
+            let out = batch.try_alloc::<i64>(300).unwrap();
+            batch
+                .try_launch_tiles(
+                    LaunchConfig::for_threads(300),
+                    &out,
+                    move |range, tile: &mut [i64]| {
+                        let inp = input.read();
+                        for (i, slot) in range.zip(tile.iter_mut()) {
+                            *slot = inp[i] * 3;
+                        }
+                    },
+                )
+                .unwrap();
+            let pending = batch.try_download(&out).unwrap();
+            batch.commit();
+            let data = pending.result().unwrap();
+            (data, device.stats().launches_fused())
+        };
+        let (fused, fused_count) = run(true);
+        let (unfused, unfused_count) = run(false);
+        assert_eq!(fused, unfused);
+        assert_eq!(fused[299], 897);
+        assert_eq!(fused_count, 1, "fused batch credits its launch");
+        assert_eq!(unfused_count, 0, "passthrough batch fuses nothing");
+    }
+
+    #[test]
+    fn fused_batch_preserves_fault_ordinals() {
+        use crate::fault::{Fault, FaultPlan};
+        // Stall stream op #2 (the third alloc) in both modes: the
+        // fused delivery must tick per-op ordinals identically.
+        let run = |fused: bool| -> XpuError {
+            let device = Device::new(2);
+            device.set_fault_plan(Some(FaultPlan::new().with(Fault::StreamStall { nth: 2 })));
+            let stream = device.stream();
+            let mut batch = stream.batch(fused);
+            let _a = batch.try_alloc::<u32>(8).unwrap(); // op 0
+            let _b = batch.try_alloc::<u32>(8).unwrap(); // op 1
+            let out = batch.try_alloc::<u32>(8).unwrap(); // op 2: stalls
+            batch
+                .try_launch_tiles(LaunchConfig::for_threads(8), &out, |_, _: &mut [u32]| {})
+                .unwrap();
+            batch.commit();
+            stream.try_synchronize().unwrap_err()
+        };
+        let fused_err = run(true);
+        let unfused_err = run(false);
+        assert_eq!(fused_err, unfused_err);
+        assert!(matches!(fused_err, XpuError::StreamTimeout { op: "alloc" }));
+    }
+
+    #[test]
+    fn tile_launch_on_stream_computes() {
+        let device = Device::new(3);
+        let stream = device.stream();
+        let out = stream.alloc::<u64>(1000);
+        stream
+            .try_launch_tiles(LaunchConfig::for_threads(1000), &out, |range, tile| {
+                for (i, slot) in range.zip(tile.iter_mut()) {
+                    *slot = (i * i) as u64;
+                }
+            })
+            .unwrap();
+        let data = stream.download(&out).wait();
+        assert_eq!(data[31], 961);
+        assert_eq!(device.stats().threads_executed(), 1000);
+        assert_eq!(device.stats().kernels_launched(), 1);
+    }
+
+    #[test]
+    fn scatter_tile_launch_writes_ranges() {
+        let device = Device::new(2);
+        let stream = device.stream();
+        let out = stream.alloc::<usize>(6);
+        stream
+            .try_launch_scatter_tiles(
+                LaunchConfig::for_threads(3),
+                &out,
+                vec![0, 1, 4, 6],
+                |range, slices| {
+                    for (i, slice) in range.zip(slices.iter_mut()) {
+                        for s in slice.iter_mut() {
+                            *s = i + 1;
+                        }
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(stream.download(&out).wait(), vec![1, 2, 2, 2, 3, 3]);
     }
 
     #[test]
