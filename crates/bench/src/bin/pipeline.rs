@@ -9,8 +9,10 @@
 //!
 //! `--gate <baseline.json>` re-measures the aes parallel configurations
 //! against a committed `BENCH_pipeline.json` and exits nonzero on a
-//! kernel-wait regression (>25% + 10ms grace) or 2-thread host scaling
-//! below 0.95x — the CI perf gate.
+//! kernel-wait regression (>25% + 10ms grace), 2-thread host scaling
+//! below 0.95x, or a peak-RSS regression beyond 1.5x the committed
+//! per-design high-water mark (+64 MiB grace) — the CI perf/memory
+//! gate.
 //!
 //! ```text
 //! cargo run -p odrc-bench --release --bin pipeline -- \
@@ -193,15 +195,22 @@ fn write_scaling_json(path: &str, results: &[(String, Vec<ScaleRun>)]) -> std::i
     Ok(())
 }
 
-fn write_json(path: &str, results: &[(String, Vec<RunResult>)]) -> std::io::Result<()> {
+fn write_json(
+    path: &str,
+    results: &[(String, Option<u64>, Vec<RunResult>)],
+) -> std::io::Result<()> {
     use std::io::Write;
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "{{")?;
     writeln!(f, "  \"bench\": \"pipeline\",")?;
     writeln!(f, "  \"designs\": [")?;
-    for (di, (name, runs)) in results.iter().enumerate() {
+    for (di, (name, peak_rss, runs)) in results.iter().enumerate() {
         writeln!(f, "    {{")?;
         writeln!(f, "      \"name\": \"{name}\",")?;
+        match peak_rss {
+            Some(bytes) => writeln!(f, "      \"peak_rss_bytes\": {bytes},")?,
+            None => writeln!(f, "      \"peak_rss_bytes\": null,")?,
+        }
         writeln!(f, "      \"runs\": [")?;
         for (ri, r) in runs.iter().enumerate() {
             let s = &r.report().stats;
@@ -264,7 +273,7 @@ struct BaselineRun {
 /// committed `BENCH_pipeline.json`. The file is written by this binary
 /// with one key per line, so a line-oriented scan is exact — no JSON
 /// dependency needed (the workspace dependency list is fixed).
-fn scan_baseline(path: &str) -> Vec<BaselineRun> {
+fn scan_baseline(path: &str) -> (Vec<BaselineRun>, std::collections::HashMap<String, u64>) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("gate baseline '{path}' unreadable: {e}"));
     let field = |line: &str, key: &str| -> Option<String> {
@@ -272,10 +281,15 @@ fn scan_baseline(path: &str) -> Vec<BaselineRun> {
         Some(rest.trim_end_matches(',').trim_matches('"').to_owned())
     };
     let mut out: Vec<BaselineRun> = Vec::new();
+    let mut peaks: std::collections::HashMap<String, u64> = Default::default();
     let mut design = String::new();
     for line in text.lines() {
         if let Some(v) = field(line, "name") {
             design = v;
+        } else if let Some(v) = field(line, "peak_rss_bytes") {
+            if let Ok(bytes) = v.parse() {
+                peaks.insert(design.clone(), bytes);
+            }
         } else if let Some(v) = field(line, "mode") {
             out.push(BaselineRun {
                 design: design.clone(),
@@ -293,7 +307,7 @@ fn scan_baseline(path: &str) -> Vec<BaselineRun> {
             }
         }
     }
-    out
+    (out, peaks)
 }
 
 /// Pulls a named phase (milliseconds) out of a run's profile.
@@ -314,7 +328,7 @@ fn phase_ms(report: &CheckReport, phase: &str) -> Option<f64> {
 /// parity). A 10ms absolute grace keeps sub-noise baselines from
 /// tripping the ratio.
 fn run_gate(baseline_path: &str, deck: &RuleDeck, repeat: usize) -> bool {
-    let baseline = scan_baseline(baseline_path);
+    let (baseline, baseline_peaks) = scan_baseline(baseline_path);
     let design = load_designs(Some("aes"))
         .into_iter()
         .next()
@@ -323,7 +337,9 @@ fn run_gate(baseline_path: &str, deck: &RuleDeck, repeat: usize) -> bool {
 
     println!("=== Perf gate vs {baseline_path} ===");
     let configs = [(Mode::Parallel, false), (Mode::Parallel, true)];
+    odrc_infra::reset_peak_rss();
     let runs = run_configs(&design, deck, &configs, repeat, None);
+    let fresh_peak = odrc_infra::peak_rss_bytes();
     for r in &runs {
         let base = baseline
             .iter()
@@ -350,6 +366,28 @@ fn run_gate(baseline_path: &str, deck: &RuleDeck, repeat: usize) -> bool {
                 println!("{label}: baseline has no kernel-wait entry .. FAIL");
             }
         }
+    }
+
+    // Memory gate: the checking phase's high-water mark (HWM reset just
+    // before the runs) must stay within 1.5x of the committed aes peak,
+    // with a 64 MiB absolute grace so allocator jitter on small designs
+    // cannot trip the ratio. Missing data (old baseline, or a platform
+    // without procfs) skips the comparison rather than failing.
+    match (baseline_peaks.get("aes"), fresh_peak) {
+        (Some(&base), Some(fresh)) => {
+            let limit = base + base / 2 + (64 << 20);
+            let pass = fresh <= limit;
+            ok &= pass;
+            println!(
+                "aes peak-RSS {:.1} MiB vs baseline {:.1} MiB (limit {:.1} MiB) .. {}",
+                fresh as f64 / (1 << 20) as f64,
+                base as f64 / (1 << 20) as f64,
+                limit as f64 / (1 << 20) as f64,
+                if pass { "ok" } else { "REGRESSED" }
+            );
+        }
+        (None, _) => println!("aes peak-RSS: baseline has no entry .. skipped (regenerate)"),
+        (_, None) => println!("aes peak-RSS: platform exposes no HWM .. skipped"),
     }
 
     let scale = run_scaling(&design, deck, &[1, 2], repeat);
@@ -489,9 +527,15 @@ fn main() {
         "speedup"
     );
 
-    let mut results: Vec<(String, Vec<RunResult>)> = Vec::new();
+    let mut results: Vec<(String, Option<u64>, Vec<RunResult>)> = Vec::new();
     for design in load_designs(Some(&designs)) {
+        // Per-design checking-phase high-water mark: the HWM is reset
+        // (where the platform allows) before the configurations run, so
+        // the recorded peak covers this design's checks, not whatever
+        // the process touched earlier.
+        odrc_infra::reset_peak_rss();
         let runs = run_configs(&design, &deck, &configs, repeat, host_threads);
+        let peak_rss = odrc_infra::peak_rss_bytes();
         let mut baseline: std::collections::HashMap<&'static str, f64> = Default::default();
         for r in &runs {
             // All four configurations must agree exactly.
@@ -528,7 +572,14 @@ fn main() {
                     .unwrap_or_else(|| "-".to_owned()),
             );
         }
-        results.push((design.name.clone(), runs));
+        if let Some(bytes) = peak_rss {
+            println!(
+                "{:<10} peak-RSS {:.1} MiB",
+                design.name,
+                bytes as f64 / (1 << 20) as f64
+            );
+        }
+        results.push((design.name.clone(), peak_rss, runs));
     }
 
     if json {

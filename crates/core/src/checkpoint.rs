@@ -11,10 +11,18 @@
 //! one.
 //!
 //! Records are keyed by `(deck signature, layout content hash, rule
-//! signature)` — the same content-addressed discipline as the result
-//! cache ([`crate::cache`]): edit the layout or the deck and stale
-//! checkpoints simply stop matching. Rules without a stable signature
-//! (user `ensures` predicates are host closures) are never journaled.
+//! signature, shard)` — the same content-addressed discipline as the
+//! result cache ([`crate::cache`]): edit the layout or the deck and
+//! stale checkpoints simply stop matching. Rules without a stable
+//! signature (user `ensures` predicates are host closures) are never
+//! journaled.
+//!
+//! Since format v3 the key carries a *shard* coordinate so out-of-core
+//! runs can checkpoint mid-rule: a sharded checker records each
+//! `(rule, shard)` unit as it finishes, and a whole-rule record (the
+//! sentinel shard id [`WHOLE_RULE_SHARD`]) supersedes them when the
+//! rule completes. A v2 file is healed on open to whole-rule v3
+//! records, so old checkpoints still resume at rule granularity.
 //!
 //! The file format is append-oriented so a kill at any byte offset is
 //! survivable: the framing (magic header, per-record checksum, lenient
@@ -40,11 +48,22 @@ use crate::violation::Violation;
 /// File name of the journal inside a checkpoint directory.
 pub const JOURNAL_FILE: &str = "odrc-journal.bin";
 
-/// Format version 2: v1 carried hand-rolled framing with a trailing
-/// checksum per record; v2 frames payloads through [`RecordLog`]. A
-/// leftover v1 file fails the magic check and heals to an empty
-/// journal — the resumed run simply re-checks everything.
-const MAGIC: &[u8; 8] = b"ODRCJNL2";
+/// Format version 3: v1 carried hand-rolled framing with a trailing
+/// checksum per record; v2 frames payloads through [`RecordLog`]; v3
+/// inserts a `(shard id, shard count)` pair after the rule signature
+/// so out-of-core runs checkpoint per `(rule, shard)`. A leftover v1
+/// file fails the magic check and heals to an empty journal; a v2
+/// file is converted in place to whole-rule v3 records on open.
+const MAGIC: &[u8; 8] = b"ODRCJNL3";
+
+/// The previous format's magic, recognised by [`CheckpointJournal::open_dir`]
+/// for in-place conversion.
+const V2_MAGIC: &[u8; 8] = b"ODRCJNL2";
+
+/// Sentinel shard id of a whole-rule record. A record carrying this id
+/// (with shard count 0) means the rule's *complete* canonical set was
+/// journaled, superseding any per-shard records of the same rule.
+pub const WHOLE_RULE_SHARD: u32 = u32::MAX;
 
 /// Bytes per serialized violation: kind (1) + 4 coordinates (4×4) +
 /// measured (8). Used to bound pre-allocation on load.
@@ -88,6 +107,10 @@ impl RunKey {
     }
 }
 
+/// A journaled unit's payload: the rule name it was recorded under and
+/// its canonical violations.
+type JournalEntry = (String, Arc<Vec<Violation>>);
+
 /// An append-oriented journal of completed rules for one run.
 ///
 /// See the [module docs](self) for the format and recovery story.
@@ -95,9 +118,13 @@ impl RunKey {
 pub struct CheckpointJournal {
     log: RecordLog,
     run: RunKey,
-    /// Completed rules of *this* run: rule signature → (rule name,
-    /// canonical violations).
-    entries: HashMap<u64, (String, Arc<Vec<Violation>>)>,
+    /// Completed rules of *this* run: rule signature → entry.
+    entries: HashMap<u64, JournalEntry>,
+    /// Completed `(rule, shard)` units of this run: (rule signature,
+    /// shard count, shard id) → canonical shard-local violations. Only
+    /// meaningful while the whole rule has not completed; a whole-rule
+    /// record supersedes these on restore.
+    shards: HashMap<(u64, u32, u32), JournalEntry>,
 }
 
 impl CheckpointJournal {
@@ -107,22 +134,47 @@ impl CheckpointJournal {
     /// leniently ([`RecordLog`] drops and heals a torn or corrupt
     /// tail), so one bad tail never poisons future appends. Valid
     /// records from *other* runs are preserved on disk but not loaded.
+    /// A v2-format file is converted in place: every v2 record becomes
+    /// a whole-rule v3 record, so pre-v3 checkpoints keep resuming at
+    /// rule granularity.
     pub fn open_dir(dir: &Path, run: RunKey) -> io::Result<CheckpointJournal> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(JOURNAL_FILE);
-        let (log, records) = RecordLog::open(&path, MAGIC)?;
+        let (log, records) = match read_magic(&path)?.as_deref() {
+            Some(v2) if v2 == V2_MAGIC => {
+                let (mut log, old) = RecordLog::open(&path, V2_MAGIC)?;
+                let upgraded: Vec<Vec<u8>> = old.iter().filter_map(|r| upgrade_v2(r)).collect();
+                log.rewrite(MAGIC, upgraded.iter().map(Vec::as_slice))?;
+                (log, upgraded)
+            }
+            _ => RecordLog::open(&path, MAGIC)?,
+        };
         let mut entries = HashMap::new();
+        let mut shards = HashMap::new();
         for rec in &records {
             // A record with an intact checksum but an undecodable
             // payload (a future format extension, say) is skipped, not
             // fatal — a checkpoint is an accelerator, never a veto.
-            if let Ok((key, rule_sig, name, violations)) = parse_record(rec) {
-                if key == run {
-                    entries.insert(rule_sig, (name, Arc::new(violations)));
+            if let Ok(parsed) = parse_record(rec) {
+                if parsed.key != run {
+                    continue;
+                }
+                if parsed.shard_id == WHOLE_RULE_SHARD {
+                    entries.insert(parsed.rule_sig, (parsed.name, Arc::new(parsed.violations)));
+                } else {
+                    shards.insert(
+                        (parsed.rule_sig, parsed.shard_count, parsed.shard_id),
+                        (parsed.name, Arc::new(parsed.violations)),
+                    );
                 }
             }
         }
-        Ok(CheckpointJournal { log, run, entries })
+        Ok(CheckpointJournal {
+            log,
+            run,
+            entries,
+            shards,
+        })
     }
 
     /// Path of the journal file.
@@ -151,6 +203,30 @@ impl CheckpointJournal {
         self.entries.get(&rule_sig).map(|(_, v)| v)
     }
 
+    /// The journaled violations of one `(rule, shard)` unit, if that
+    /// shard already completed under this run key *with the same shard
+    /// count*. A run that re-plans to a different shard count sees
+    /// nothing — shard ids are only meaningful within one plan.
+    pub fn completed_shard(
+        &self,
+        rule_sig: u64,
+        shard_count: u32,
+        shard_id: u32,
+    ) -> Option<&Arc<Vec<Violation>>> {
+        self.shards
+            .get(&(rule_sig, shard_count, shard_id))
+            .map(|(_, v)| v)
+    }
+
+    /// How many shards of `rule_sig` (under `shard_count`-way
+    /// sharding) have completed so far.
+    pub fn shard_progress(&self, rule_sig: u64, shard_count: u32) -> usize {
+        self.shards
+            .keys()
+            .filter(|(sig, count, _)| *sig == rule_sig && *count == shard_count)
+            .count()
+    }
+
     /// Names of the completed rules restored or recorded so far.
     pub fn completed_names(&self) -> Vec<&str> {
         let mut names: Vec<&str> = self.entries.values().map(|(n, _)| n.as_str()).collect();
@@ -167,10 +243,91 @@ impl CheckpointJournal {
         rule_sig: u64,
         violations: &[Violation],
     ) -> io::Result<()> {
-        let mut rec = Vec::with_capacity(36 + rule_name.len() + violations.len() * ENTRY_BYTES);
+        let rec = self.encode(rule_name, rule_sig, WHOLE_RULE_SHARD, 0, violations);
+        self.log.append(&rec)?;
+        let restored = violations
+            .iter()
+            .map(|v| Violation {
+                rule: rule_name.to_string(),
+                ..v.clone()
+            })
+            .collect();
+        self.entries
+            .insert(rule_sig, (rule_name.to_string(), Arc::new(restored)));
+        Ok(())
+    }
+
+    /// Appends one completed `(rule, shard)` unit's violations and
+    /// flushes them, so a kill mid-rule loses at most the in-flight
+    /// shard. `shard_id` must be a real shard (`< shard_count`), never
+    /// the whole-rule sentinel.
+    pub fn record_shard(
+        &mut self,
+        rule_name: &str,
+        rule_sig: u64,
+        shard_count: u32,
+        shard_id: u32,
+        violations: &[Violation],
+    ) -> io::Result<()> {
+        debug_assert!(shard_id < shard_count);
+        let rec = self.encode(rule_name, rule_sig, shard_id, shard_count, violations);
+        self.log.append(&rec)?;
+        let restored = violations
+            .iter()
+            .map(|v| Violation {
+                rule: rule_name.to_string(),
+                ..v.clone()
+            })
+            .collect();
+        self.shards.insert(
+            (rule_sig, shard_count, shard_id),
+            (rule_name.to_string(), Arc::new(restored)),
+        );
+        Ok(())
+    }
+
+    /// Merges another journal directory's records *for this run key*
+    /// into this journal: every whole-rule and `(rule, shard)` record
+    /// held by `dir` and missing here is re-recorded (and flushed).
+    /// Records are absorbed in sorted key order, so the merged file is
+    /// deterministic regardless of worker completion order. This is
+    /// the parent side of the multi-process out-of-core mode: workers
+    /// journal into private directories (one writer per file), and the
+    /// parent absorbs them before its final restore pass.
+    pub fn absorb_dir(&mut self, dir: &Path) -> io::Result<()> {
+        let other = CheckpointJournal::open_dir(dir, self.run)?;
+        let mut entries: Vec<_> = other.entries.iter().collect();
+        entries.sort_by_key(|(sig, _)| **sig);
+        for (sig, (name, vs)) in entries {
+            if !self.entries.contains_key(sig) {
+                self.record(name, *sig, vs)?;
+            }
+        }
+        let mut shards: Vec<_> = other.shards.iter().collect();
+        shards.sort_by_key(|(key, _)| **key);
+        for (&(sig, count, id), (name, vs)) in shards {
+            if !self.shards.contains_key(&(sig, count, id)) {
+                self.record_shard(name, sig, count, id, vs)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes one record payload (v3 layout).
+    fn encode(
+        &self,
+        rule_name: &str,
+        rule_sig: u64,
+        shard_id: u32,
+        shard_count: u32,
+        violations: &[Violation],
+    ) -> Vec<u8> {
+        let mut rec = Vec::with_capacity(44 + rule_name.len() + violations.len() * ENTRY_BYTES);
         rec.extend_from_slice(&self.run.deck_sig.to_le_bytes());
         rec.extend_from_slice(&self.run.layout_hash.to_le_bytes());
         rec.extend_from_slice(&rule_sig.to_le_bytes());
+        rec.extend_from_slice(&shard_id.to_le_bytes());
+        rec.extend_from_slice(&shard_count.to_le_bytes());
         rec.extend_from_slice(&(rule_name.len() as u32).to_le_bytes());
         rec.extend_from_slice(rule_name.as_bytes());
         rec.extend_from_slice(&(violations.len() as u32).to_le_bytes());
@@ -186,24 +343,68 @@ impl CheckpointJournal {
             }
             rec.extend_from_slice(&v.measured.to_le_bytes());
         }
-        self.log.append(&rec)?;
-        let restored = violations
-            .iter()
-            .map(|v| Violation {
-                rule: rule_name.to_string(),
-                ..v.clone()
-            })
-            .collect();
-        self.entries
-            .insert(rule_sig, (rule_name.to_string(), Arc::new(restored)));
-        Ok(())
+        rec
     }
+}
+
+/// The first 8 bytes of `path`, or `None` if the file is missing or
+/// shorter than a magic.
+fn read_magic(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    match std::fs::File::open(path) {
+        Ok(mut f) => {
+            let mut magic = [0u8; 8];
+            match io::Read::read_exact(&mut f, &mut magic) {
+                Ok(()) => Ok(Some(magic.to_vec())),
+                Err(_) => Ok(None),
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Converts one v2 record payload to a whole-rule v3 payload by
+/// splicing the `(shard id, shard count)` pair in after the rule
+/// signature. Undecodable payloads convert to `None` and are dropped —
+/// same leniency as the parse path.
+fn upgrade_v2(payload: &[u8]) -> Option<Vec<u8>> {
+    // v2 layout: deck u64 | layout u64 | rule_sig u64 | name_len u32 |
+    // name | count u32 | entries. Validate the shape before splicing.
+    let mut r = ByteReader {
+        buf: payload,
+        pos: 0,
+    };
+    for _ in 0..3 {
+        r.u64().ok()?;
+    }
+    let name_len = r.u32().ok()? as usize;
+    std::str::from_utf8(r.take(name_len).ok()?).ok()?;
+    let count = r.u32().ok()? as usize;
+    if r.remaining() != count.checked_mul(ENTRY_BYTES)? {
+        return None;
+    }
+    let mut rec = Vec::with_capacity(payload.len() + 8);
+    rec.extend_from_slice(&payload[..24]);
+    rec.extend_from_slice(&WHOLE_RULE_SHARD.to_le_bytes());
+    rec.extend_from_slice(&0u32.to_le_bytes());
+    rec.extend_from_slice(&payload[24..]);
+    Some(rec)
+}
+
+/// One decoded journal record.
+struct ParsedRecord {
+    key: RunKey,
+    rule_sig: u64,
+    shard_id: u32,
+    shard_count: u32,
+    name: String,
+    violations: Vec<Violation>,
 }
 
 /// Decodes one record payload (framing and checksum already verified
 /// by [`RecordLog`]). Trailing or missing bytes are a decode error —
 /// the payload must be consumed exactly.
-fn parse_record(payload: &[u8]) -> io::Result<(RunKey, u64, String, Vec<Violation>)> {
+fn parse_record(payload: &[u8]) -> io::Result<ParsedRecord> {
     let mut r = ByteReader {
         buf: payload,
         pos: 0,
@@ -213,6 +414,14 @@ fn parse_record(payload: &[u8]) -> io::Result<(RunKey, u64, String, Vec<Violatio
         layout_hash: r.u64()?,
     };
     let rule_sig = r.u64()?;
+    let shard_id = r.u32()?;
+    let shard_count = r.u32()?;
+    if (shard_id == WHOLE_RULE_SHARD) != (shard_count == 0) {
+        return Err(bad_data());
+    }
+    if shard_id != WHOLE_RULE_SHARD && shard_id >= shard_count {
+        return Err(bad_data());
+    }
     let name_len = r.u32()? as usize;
     let name = std::str::from_utf8(r.take(name_len)?)
         .map_err(|_| bad_data())?
@@ -236,7 +445,14 @@ fn parse_record(payload: &[u8]) -> io::Result<(RunKey, u64, String, Vec<Violatio
     if r.remaining() != 0 {
         return Err(bad_data());
     }
-    Ok((key, rule_sig, name, violations))
+    Ok(ParsedRecord {
+        key,
+        rule_sig,
+        shard_id,
+        shard_count,
+        name,
+        violations,
+    })
 }
 
 #[cfg(test)]
@@ -405,6 +621,114 @@ mod tests {
             RunKey::compute(&layout, &deck3),
             "unsignable rules still shape deck identity"
         );
+    }
+
+    #[test]
+    fn shard_records_roundtrip_and_track_shard_count() {
+        let dir = tempdir("jnl-shards");
+        let key = run_key(9, 9);
+        {
+            let mut j = CheckpointJournal::open_dir(&dir, key).expect("open");
+            j.record_shard("M1.S", 101, 4, 0, &[violation("M1.S", 1)])
+                .expect("record shard 0");
+            j.record_shard("M1.S", 101, 4, 2, &[])
+                .expect("record shard 2");
+            assert_eq!(j.shard_progress(101, 4), 2);
+            // Shard records do not make the rule "completed".
+            assert_eq!(j.completed(101), None);
+        }
+        let j = CheckpointJournal::open_dir(&dir, key).expect("reopen");
+        assert_eq!(
+            j.completed_shard(101, 4, 0).expect("shard 0").as_slice(),
+            &[violation("M1.S", 1)]
+        );
+        assert!(j.completed_shard(101, 4, 2).expect("shard 2").is_empty());
+        assert_eq!(j.completed_shard(101, 4, 1), None);
+        // A different shard count is a different plan: invisible.
+        assert_eq!(j.completed_shard(101, 8, 0), None);
+        assert_eq!(j.shard_progress(101, 4), 2);
+        assert_eq!(j.shard_progress(101, 8), 0);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn whole_rule_record_supersedes_shards() {
+        let dir = tempdir("jnl-supersede");
+        let key = run_key(10, 10);
+        {
+            let mut j = CheckpointJournal::open_dir(&dir, key).expect("open");
+            j.record_shard("A", 1, 2, 0, &[violation("A", 1)])
+                .expect("shard");
+            j.record("A", 1, &[violation("A", 1), violation("A", 5)])
+                .expect("whole");
+        }
+        let j = CheckpointJournal::open_dir(&dir, key).expect("reopen");
+        assert_eq!(
+            j.completed(1).expect("whole rule").as_slice(),
+            &[violation("A", 1), violation("A", 5)]
+        );
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn v2_journal_heals_to_whole_rule_v3_records() {
+        let dir = tempdir("jnl-v2heal");
+        let key = run_key(21, 22);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(JOURNAL_FILE);
+        // Hand-write a v2 file: magic + one framed v2 record.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&key.deck_sig.to_le_bytes());
+        payload.extend_from_slice(&key.layout_hash.to_le_bytes());
+        payload.extend_from_slice(&77u64.to_le_bytes());
+        payload.extend_from_slice(&(3u32).to_le_bytes());
+        payload.extend_from_slice(b"OLD");
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        let v = violation("OLD", 4);
+        payload.push(super::kind_to_u8(v.kind));
+        for c in [
+            v.location.lo().x,
+            v.location.lo().y,
+            v.location.hi().x,
+            v.location.hi().y,
+        ] {
+            payload.extend_from_slice(&c.to_le_bytes());
+        }
+        payload.extend_from_slice(&v.measured.to_le_bytes());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(V2_MAGIC);
+        bytes.extend_from_slice(&odrc_infra::RecordLog::frame(&payload));
+        std::fs::write(&path, &bytes).expect("write v2");
+
+        let mut j = CheckpointJournal::open_dir(&dir, key).expect("open heals v2");
+        assert_eq!(
+            j.completed(77).expect("v2 record restored").as_slice(),
+            &[violation("OLD", 4)]
+        );
+        // The file is now v3 on disk and accepts v3 appends.
+        assert_eq!(&std::fs::read(&path).expect("read")[..8], MAGIC);
+        j.record_shard("NEW", 88, 2, 1, &[]).expect("v3 append");
+        drop(j);
+        let j = CheckpointJournal::open_dir(&dir, key).expect("reopen");
+        assert!(j.completed(77).is_some());
+        assert!(j.completed_shard(88, 2, 1).is_some());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn v2_heal_drops_undecodable_records() {
+        let dir = tempdir("jnl-v2garbled");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(JOURNAL_FILE);
+        // A v2 file whose record has a valid frame checksum but an
+        // undecodable payload: converted to nothing, not an error.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(V2_MAGIC);
+        bytes.extend_from_slice(&odrc_infra::RecordLog::frame(b"short"));
+        std::fs::write(&path, &bytes).expect("write");
+        let j = CheckpointJournal::open_dir(&dir, run_key(1, 1)).expect("open");
+        assert!(j.is_empty());
+        cleanup(&dir);
     }
 
     fn tempdir(tag: &str) -> PathBuf {

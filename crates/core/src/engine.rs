@@ -91,6 +91,38 @@ pub struct EngineOptions {
     ///
     /// [`ThreadGate`]: odrc_infra::ThreadGate
     pub shared_gate: Option<std::sync::Arc<odrc_infra::ThreadGate>>,
+    /// Hard byte budget for out-of-core shard residency. `Some` routes
+    /// inter-object rules (space, enclosure, overlap) through the
+    /// sharded host pipeline: per-shard scenes are built lazily behind
+    /// an LRU pool charged against this budget, evicted scenes rebuild
+    /// on demand, and a scene that alone exceeds the budget degrades to
+    /// build-check-drop processing instead of aborting. `None` (the
+    /// default) keeps the in-core pipeline.
+    pub memory_budget: Option<u64>,
+    /// Force out-of-core sharded checking even without a memory budget
+    /// or explicit shard geometry (the `--out-of-core` CLI flag).
+    /// Redundant when [`EngineOptions::memory_budget`],
+    /// [`EngineOptions::shard_rows`], or
+    /// [`EngineOptions::shard_slice`] is set — each implies it.
+    pub out_of_core: bool,
+    /// Partition rows per shard in out-of-core mode. `None` sizes
+    /// shards to roughly [`crate::shard::DEFAULT_SHARDS`] per rule.
+    /// `Some(_)` also *enables* out-of-core sharding by itself (with an
+    /// unlimited residency budget), which is how the equivalence tests
+    /// sweep shard geometry without memory pressure.
+    pub shard_rows: Option<usize>,
+    /// Worker slice `(worker, of)` of the multi-process out-of-core
+    /// mode: this process checks only shards with `id % of == worker`
+    /// (and whole rules with `index % of == worker`), journaling each
+    /// completed unit. Sliced-away rules finish as
+    /// [`RuleStatus::Interrupted`] — the parent process merges worker
+    /// journals and restores everything, so a worker's own report is
+    /// scaffolding, not a result.
+    pub shard_slice: Option<(usize, usize)>,
+    /// Deterministic chaos switch: abort the process (as if SIGKILLed)
+    /// right after the Nth shard of the run is journaled. Drives the
+    /// kill/resume coverage of the out-of-core path.
+    pub chaos_kill_at_shard: Option<u64>,
 }
 
 impl Default for EngineOptions {
@@ -107,6 +139,11 @@ impl Default for EngineOptions {
             launch_graph: true,
             host_threads: None,
             shared_gate: None,
+            memory_budget: None,
+            out_of_core: false,
+            shard_rows: None,
+            shard_slice: None,
+            chaos_kill_at_shard: None,
         }
     }
 }
@@ -197,6 +234,19 @@ pub struct EngineStats {
     /// Times a persistent pool worker woke to take dispatch chunks
     /// (device-counter delta over this run).
     pub worker_wakeups: u64,
+    /// `(rule, shard)` units checked by the out-of-core path this run.
+    pub shards_checked: usize,
+    /// Shard scenes built (cache misses of the shard pool).
+    pub shards_built: usize,
+    /// Resident shard scenes evicted LRU-first to respect the memory
+    /// budget.
+    pub shards_evicted: usize,
+    /// `(rule, shard)` units restored from the checkpoint journal
+    /// instead of re-checked.
+    pub shards_resumed: usize,
+    /// Shard loads degraded to build-check-drop (oversized for the
+    /// budget, or a seeded allocation failure) instead of aborting.
+    pub shards_degraded: usize,
 }
 
 impl EngineStats {
@@ -490,22 +540,79 @@ impl Engine {
                         if status[ri] == RuleStatus::Resumed {
                             continue;
                         }
+                        let sharded = crate::shard::sharded_rule(&self.options, rule);
+                        if !sharded && !crate::shard::whole_rule_assigned(&self.options, ri) {
+                            // Another worker's rule: leave Interrupted.
+                            continue;
+                        }
                         poll_cancel(&self.cancel, &mut interrupted);
                         if interrupted.is_some() {
                             continue;
                         }
-                        self.run_sequential(&mut ctx, rule, &mut per_rule[ri]);
-                        finalize_rule(
-                            &mut ctx,
-                            &mut journal,
-                            &self.progress,
-                            rule,
-                            &mut per_rule[ri],
-                            &mut status[ri],
-                        );
+                        let run = if sharded {
+                            crate::shard::check_rule_sharded(
+                                &mut ctx,
+                                &self.device,
+                                rule,
+                                &mut journal,
+                                self.cancel.as_ref(),
+                                &mut per_rule[ri],
+                            )
+                        } else {
+                            self.run_sequential(&mut ctx, rule, &mut per_rule[ri]);
+                            crate::shard::ShardRun::Done
+                        };
+                        if run == crate::shard::ShardRun::Done {
+                            finalize_rule(
+                                &mut ctx,
+                                &mut journal,
+                                &self.progress,
+                                rule,
+                                &mut per_rule[ri],
+                                &mut status[ri],
+                            );
+                        }
+                        // Partial (worker slice, or cancelled mid-rule):
+                        // the rule stays Interrupted; its completed
+                        // shards live in the journal, not the report.
                     }
                 }
                 Mode::Parallel => {
+                    // Out-of-core sharded rules run the host-side shard
+                    // pipeline in this mode too — the device row path
+                    // assumes whole-layer resident scenes, which is the
+                    // working set the budget exists to bound.
+                    if crate::shard::out_of_core(&self.options) {
+                        for (ri, rule) in rules.iter().enumerate() {
+                            if status[ri] == RuleStatus::Resumed
+                                || !crate::shard::sharded_rule(&self.options, rule)
+                            {
+                                continue;
+                            }
+                            poll_cancel(&self.cancel, &mut interrupted);
+                            if interrupted.is_some() {
+                                continue;
+                            }
+                            let run = crate::shard::check_rule_sharded(
+                                &mut ctx,
+                                &self.device,
+                                rule,
+                                &mut journal,
+                                self.cancel.as_ref(),
+                                &mut per_rule[ri],
+                            );
+                            if run == crate::shard::ShardRun::Done {
+                                finalize_rule(
+                                    &mut ctx,
+                                    &mut journal,
+                                    &self.progress,
+                                    rule,
+                                    &mut per_rule[ri],
+                                    &mut status[ri],
+                                );
+                            }
+                        }
+                    }
                     // One stream per rule: stream errors are sticky, so
                     // a fault during one rule must not poison the rest
                     // of the deck (failed work is recovered per row
@@ -530,7 +637,12 @@ impl Engine {
                             parallel::InFlightRule,
                         )> = std::collections::VecDeque::with_capacity(window);
                         for &ri in &plan.order {
-                            if status[ri] == RuleStatus::Resumed {
+                            // Resumed, or already completed host-side by
+                            // the out-of-core pre-pass.
+                            if status[ri] != RuleStatus::Interrupted
+                                || crate::shard::sharded_rule(&self.options, &rules[ri])
+                                || !crate::shard::whole_rule_assigned(&self.options, ri)
+                            {
                                 continue;
                             }
                             // Cancellation stops *issuing*; whatever is
@@ -578,7 +690,10 @@ impl Engine {
                         // per-rule loop with a synchronize between
                         // rules.
                         for (ri, rule) in rules.iter().enumerate() {
-                            if status[ri] == RuleStatus::Resumed {
+                            if status[ri] != RuleStatus::Interrupted
+                                || crate::shard::sharded_rule(&self.options, rule)
+                                || !crate::shard::whole_rule_assigned(&self.options, ri)
+                            {
                                 continue;
                             }
                             poll_cancel(&self.cancel, &mut interrupted);

@@ -57,6 +57,7 @@ pub mod plan;
 pub mod rules;
 pub mod scene;
 pub mod sequential;
+pub mod shard;
 pub mod violation;
 
 pub use cache::{rule_signature, CacheKeys, ResultCache, CACHE_FILE};

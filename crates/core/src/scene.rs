@@ -119,29 +119,7 @@ impl LayerScene {
         window: Option<DirtyWindow<'_>>,
         host: &odrc_infra::HostExecutor,
     ) -> LayerScene {
-        // Pass 1: object MBRs only, no flattening.
-        let mut protos: Vec<SceneObject> = Vec::new();
-        for placement in layout.top_placements() {
-            let cell = layout.cell(placement.cell);
-            let Some(local_mbr) = cell.layer_mbr(layer) else {
-                continue;
-            };
-            protos.push(SceneObject {
-                mbr: placement.transform.apply_rect(local_mbr),
-                source: SceneSource::Cell {
-                    cell: placement.cell,
-                    transform: placement.transform,
-                },
-            });
-        }
-        let top_cell = layout.cell(layout.top());
-        for p in top_cell.polygons_on(layer) {
-            protos.push(SceneObject {
-                mbr: p.polygon.mbr(),
-                source: SceneSource::TopPolygon { index: 0 }, // assigned below
-            });
-        }
-
+        let protos = enumerate_protos(layout, layer);
         let keep: Vec<bool> = match window {
             None => vec![true; protos.len()],
             Some(w) => {
@@ -164,70 +142,44 @@ impl LayerScene {
                     .collect()
             }
         };
+        assemble(layout, layer, protos, keep, host)
+    }
 
-        // Pass 2: flatten the surviving objects. Top polygons stream
-        // straight from the cell again (pass 1 enumerated them in the
-        // same order), so only the kept ones are ever copied.
-        //
-        // On a parallel executor the expensive step — flattening each
-        // unique kept cell's subtree — fans out first; the assembly
-        // below then finds every cell pre-flattened.
-        let mut local: HashMap<CellId, Vec<Polygon>> = HashMap::new();
-        if !host.is_serial() {
-            let mut uniq: Vec<CellId> = Vec::new();
-            let mut seen: std::collections::HashSet<CellId> = std::collections::HashSet::new();
-            for (proto, kept) in protos.iter().zip(&keep) {
-                if let SceneSource::Cell { cell, .. } = proto.source {
-                    if *kept && seen.insert(cell) {
-                        uniq.push(cell);
-                    }
-                }
-            }
-            let uniq_ref = &uniq;
-            let flats = host.run("scene", uniq.len(), |i| {
-                let mut flat = Vec::new();
-                layout.collect_layer_polygons(uniq_ref[i], Transform::IDENTITY, layer, &mut flat);
-                flat.into_iter().map(|f| f.polygon).collect::<Vec<_>>()
-            });
-            local.extend(uniq.into_iter().zip(flats));
+    /// Builds the scene restricted to an explicit *member subset* of the
+    /// layer's objects: `members` holds sorted indices into the pass-1
+    /// proto order ([`layer_object_mbrs`] enumerates the same order).
+    /// Only the member objects survive, only their cells are flattened,
+    /// and only their top polygons are copied — this is the residency
+    /// unit of the out-of-core [`ShardPool`](crate::shard::ShardPool).
+    pub(crate) fn build_members_on(
+        layout: &Layout,
+        layer: Layer,
+        members: &[usize],
+        host: &odrc_infra::HostExecutor,
+    ) -> LayerScene {
+        let protos = enumerate_protos(layout, layer);
+        let mut keep = vec![false; protos.len()];
+        for &m in members {
+            keep[m] = true;
         }
-        let mut objects = Vec::new();
-        let mut top_polys = Vec::new();
-        let mut top_iter = top_cell.polygons_on(layer);
-        for (proto, kept) in protos.into_iter().zip(keep) {
-            match proto.source {
-                SceneSource::Cell { cell, .. } => {
-                    if !kept {
-                        continue;
-                    }
-                    local.entry(cell).or_insert_with(|| {
-                        let mut flat = Vec::new();
-                        layout.collect_layer_polygons(cell, Transform::IDENTITY, layer, &mut flat);
-                        flat.into_iter().map(|f| f.polygon).collect()
-                    });
-                    objects.push(proto);
-                }
-                SceneSource::TopPolygon { .. } => {
-                    let poly = top_iter.next().expect("pass 1 and 2 agree on top polygons");
-                    if !kept {
-                        continue;
-                    }
-                    objects.push(SceneObject {
-                        mbr: proto.mbr,
-                        source: SceneSource::TopPolygon {
-                            index: top_polys.len(),
-                        },
-                    });
-                    top_polys.push(poly.polygon.clone());
-                }
-            }
-        }
-        LayerScene {
-            layer,
-            objects,
-            local,
-            top_polys,
-        }
+        assemble(layout, layer, protos, keep, host)
+    }
+
+    /// Builds the scene restricted to the objects overlapping one
+    /// window rectangle — the outer side of an out-of-core enclosure
+    /// shard, whose members all live in a contiguous row band. A single
+    /// rect test per object keeps the filter linear in the layer
+    /// population (the two-ring [`DirtyWindow`] filter is quadratic in
+    /// dense scenes and only needed for scattered diff rects).
+    pub(crate) fn build_window_on(
+        layout: &Layout,
+        layer: Layer,
+        window: Rect,
+        host: &odrc_infra::HostExecutor,
+    ) -> LayerScene {
+        let protos = enumerate_protos(layout, layer);
+        let keep: Vec<bool> = protos.iter().map(|o| window.overlaps(o.mbr)).collect();
+        assemble(layout, layer, protos, keep, host)
     }
 
     /// The flattened local polygons of a placed cell.
@@ -312,6 +264,140 @@ impl LayerScene {
                 SceneSource::TopPolygon { .. } => 1,
             })
             .sum()
+    }
+
+    /// Approximate resident size of the scene in bytes: object records
+    /// plus every cached polygon's vertex storage (with a fixed
+    /// per-polygon overhead for the `Vec` headers). This is the byte
+    /// cost the out-of-core [`ShardPool`](crate::shard::ShardPool)
+    /// charges against its budget — an accounting estimate, not an
+    /// allocator measurement.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        const POLY_OVERHEAD: u64 = 48;
+        let vertex = std::mem::size_of::<odrc_geometry::Point>() as u64;
+        let mut bytes = (self.objects.len() * std::mem::size_of::<SceneObject>()) as u64;
+        for polys in self.local.values() {
+            for p in polys {
+                bytes += POLY_OVERHEAD + p.vertices().len() as u64 * vertex;
+            }
+        }
+        for p in &self.top_polys {
+            bytes += POLY_OVERHEAD + p.vertices().len() as u64 * vertex;
+        }
+        bytes
+    }
+}
+
+/// Pass 1 of a scene build: every object of `layer` (the direct
+/// placements under the top cell, then the top cell's own polygons)
+/// with its layer MBR in top coordinates — no flattening. This order is
+/// the *proto order* every keep filter and shard member list indexes.
+fn enumerate_protos(layout: &Layout, layer: Layer) -> Vec<SceneObject> {
+    let mut protos: Vec<SceneObject> = Vec::new();
+    for placement in layout.top_placements() {
+        let cell = layout.cell(placement.cell);
+        let Some(local_mbr) = cell.layer_mbr(layer) else {
+            continue;
+        };
+        protos.push(SceneObject {
+            mbr: placement.transform.apply_rect(local_mbr),
+            source: SceneSource::Cell {
+                cell: placement.cell,
+                transform: placement.transform,
+            },
+        });
+    }
+    let top_cell = layout.cell(layout.top());
+    for p in top_cell.polygons_on(layer) {
+        protos.push(SceneObject {
+            mbr: p.polygon.mbr(),
+            source: SceneSource::TopPolygon { index: 0 }, // assigned in assemble
+        });
+    }
+    protos
+}
+
+/// The object MBRs of `layer` in proto order — the shard planner's
+/// cheap (flattening-free) view of the scene. Index `i` here is object
+/// `i` of an unwindowed [`LayerScene::build_on`] and the member index
+/// [`LayerScene::build_members_on`] selects by.
+pub(crate) fn layer_object_mbrs(layout: &Layout, layer: Layer) -> Vec<Rect> {
+    enumerate_protos(layout, layer)
+        .into_iter()
+        .map(|o| o.mbr)
+        .collect()
+}
+
+/// Pass 2 of a scene build: flatten the kept objects. Top polygons
+/// stream straight from the cell again (pass 1 enumerated them in the
+/// same order), so only the kept ones are ever copied.
+///
+/// On a parallel executor the expensive step — flattening each unique
+/// kept cell's subtree — fans out first; the assembly below then finds
+/// every cell pre-flattened.
+fn assemble(
+    layout: &Layout,
+    layer: Layer,
+    protos: Vec<SceneObject>,
+    keep: Vec<bool>,
+    host: &odrc_infra::HostExecutor,
+) -> LayerScene {
+    let top_cell = layout.cell(layout.top());
+    let mut local: HashMap<CellId, Vec<Polygon>> = HashMap::new();
+    if !host.is_serial() {
+        let mut uniq: Vec<CellId> = Vec::new();
+        let mut seen: std::collections::HashSet<CellId> = std::collections::HashSet::new();
+        for (proto, kept) in protos.iter().zip(&keep) {
+            if let SceneSource::Cell { cell, .. } = proto.source {
+                if *kept && seen.insert(cell) {
+                    uniq.push(cell);
+                }
+            }
+        }
+        let uniq_ref = &uniq;
+        let flats = host.run("scene", uniq.len(), |i| {
+            let mut flat = Vec::new();
+            layout.collect_layer_polygons(uniq_ref[i], Transform::IDENTITY, layer, &mut flat);
+            flat.into_iter().map(|f| f.polygon).collect::<Vec<_>>()
+        });
+        local.extend(uniq.into_iter().zip(flats));
+    }
+    let mut objects = Vec::new();
+    let mut top_polys = Vec::new();
+    let mut top_iter = top_cell.polygons_on(layer);
+    for (proto, kept) in protos.into_iter().zip(keep) {
+        match proto.source {
+            SceneSource::Cell { cell, .. } => {
+                if !kept {
+                    continue;
+                }
+                local.entry(cell).or_insert_with(|| {
+                    let mut flat = Vec::new();
+                    layout.collect_layer_polygons(cell, Transform::IDENTITY, layer, &mut flat);
+                    flat.into_iter().map(|f| f.polygon).collect()
+                });
+                objects.push(proto);
+            }
+            SceneSource::TopPolygon { .. } => {
+                let poly = top_iter.next().expect("pass 1 and 2 agree on top polygons");
+                if !kept {
+                    continue;
+                }
+                objects.push(SceneObject {
+                    mbr: proto.mbr,
+                    source: SceneSource::TopPolygon {
+                        index: top_polys.len(),
+                    },
+                });
+                top_polys.push(poly.polygon.clone());
+            }
+        }
+    }
+    LayerScene {
+        layer,
+        objects,
+        local,
+        top_polys,
     }
 }
 

@@ -65,6 +65,10 @@ pub(crate) struct RunContext<'a> {
     /// pipelined waits cover the same physical seconds, so the union is
     /// reported alongside it as `device-wait-wall`.
     pub wait_spans: Vec<(std::time::Instant, std::time::Instant)>,
+    /// The out-of-core shard residency pool, budgeted by
+    /// `options.memory_budget`. Idle (and empty) unless the run routes
+    /// rules through the sharded path.
+    pub shard_pool: crate::shard::ShardPool,
 }
 
 impl<'a> RunContext<'a> {
@@ -91,6 +95,7 @@ impl<'a> RunContext<'a> {
             }),
             recovery: Vec::new(),
             wait_spans: Vec::new(),
+            shard_pool: crate::shard::ShardPool::new(options.memory_budget),
         }
     }
 
@@ -760,7 +765,7 @@ pub(crate) fn cell_internal_space(
 /// `buf_a` / `buf_b` are caller-owned scratch buffers reused across
 /// pairs (this runs once per candidate pair in every row — a fresh
 /// `Vec<Polygon>` per call used to dominate the allocator here).
-fn cross_space(
+pub(crate) fn cross_space(
     scene: &LayerScene,
     a: &SceneObject,
     b: &SceneObject,

@@ -1,0 +1,638 @@
+//! Out-of-core sharded checking.
+//!
+//! A full-chip layout does not fit the engine's working set: the
+//! in-core pipeline materializes a whole layer scene (every placement's
+//! flattened subtree plus every top polygon) per touched layer, and the
+//! failure mode under memory pressure is an OOM abort. This module
+//! trades that cliff for graceful degradation:
+//!
+//! * the existing adaptive row partition (§IV-B) is the **shard key** —
+//!   rows inflated by half the rule distance cannot interact, so a
+//!   *shard* (a contiguous group of partition rows) can be checked
+//!   against a scene holding only its member objects, and the union of
+//!   per-shard violation sets canonicalizes to exactly the in-core
+//!   result;
+//! * shard scenes are built lazily behind a [`ShardPool`] with a hard
+//!   byte budget and LRU eviction — evicted shards rebuild on demand,
+//!   an oversized shard (or a seeded [`Fault::AllocFail`]) degrades to
+//!   build-check-drop processing, and nothing ever aborts;
+//! * each completed `(rule, shard)` unit is appended to the v3
+//!   [`CheckpointJournal`], so a killed run — including a SIGKILL'd
+//!   shard worker process — resumes *mid-rule*, re-running only the
+//!   shards the journal is missing;
+//! * a worker slice (`shard id % workers == worker`) lets the CLI fan
+//!   shards out over separate processes whose only shared state is the
+//!   journal directory: a crashed worker loses its in-flight shard and
+//!   nothing else.
+//!
+//! [`Fault::AllocFail`]: odrc_xpu::Fault::AllocFail
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use odrc_db::{CellId, Layer};
+use odrc_geometry::{Coord, Polygon, Rect};
+use odrc_infra::partition::{partition_rows, partition_rows_on, Row, RowPartition};
+use odrc_infra::sweep::sweep_overlaps;
+use odrc_infra::CancelToken;
+use odrc_xpu::Device;
+
+use crate::cache::rule_signature;
+use crate::checkpoint::CheckpointJournal;
+use crate::checks::poly::{notch_space_violations, LocalViolation};
+use crate::checks::{enclosure_margin, SpaceSpec};
+use crate::engine::{EngineOptions, EngineStats, PairIndex};
+use crate::rules::{Rule, RuleKind};
+use crate::scene::{layer_object_mbrs, LayerScene, SceneSource};
+use crate::sequential::{cell_internal_space, cross_space, RunContext};
+use crate::violation::{canonicalize, Violation, ViolationKind};
+
+/// Target shard count when [`EngineOptions::shard_rows`] is unset: the
+/// partition's rows are grouped into at most this many shards.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Whether the engine is running in out-of-core mode at all.
+pub(crate) fn out_of_core(options: &EngineOptions) -> bool {
+    options.out_of_core
+        || options.memory_budget.is_some()
+        || options.shard_rows.is_some()
+        || options.shard_slice.is_some()
+}
+
+/// Whether `rule` takes the sharded host path under these options.
+/// Inter-object rules shard by partition row; intra-polygon rules
+/// (width, area, rectilinear, ensures) are per-cell already and run
+/// whole, journaled at rule granularity.
+pub(crate) fn sharded_rule(options: &EngineOptions, rule: &Rule) -> bool {
+    out_of_core(options)
+        && matches!(
+            rule.kind,
+            RuleKind::Space { .. } | RuleKind::Enclosure { .. } | RuleKind::OverlapArea { .. }
+        )
+}
+
+/// Whether whole (non-sharded) rule `ri` belongs to this process under
+/// the worker slice. Without a slice every rule is ours.
+pub(crate) fn whole_rule_assigned(options: &EngineOptions, ri: usize) -> bool {
+    match options.shard_slice {
+        Some((worker, of)) if of > 0 => ri % of == worker,
+        _ => true,
+    }
+}
+
+/// How a sharded rule run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShardRun {
+    /// Every shard of the rule is accounted for (checked or restored):
+    /// the rule is complete and may be finalized.
+    Done,
+    /// Some shards were skipped (worker slice) or the run was cancelled
+    /// mid-rule: the rule must *not* be finalized. Completed shards are
+    /// already in the journal; the partial in-memory buffer is
+    /// discarded by the engine's interrupted-rule sweep.
+    Partial,
+}
+
+/// The deterministic shard decomposition of one rule: the global object
+/// MBRs (proto order) and the contiguous row groups.
+pub(crate) struct ShardPlan {
+    /// Object MBRs of the rule's primary layer, in proto order.
+    pub mbrs: Vec<Rect>,
+    /// The shards, in row order.
+    pub shards: Vec<ShardSpec>,
+}
+
+/// One shard: a contiguous group of partition rows.
+pub(crate) struct ShardSpec {
+    /// The member lists of the shard's rows (global object indices).
+    pub rows: Vec<Vec<usize>>,
+    /// Sorted union of the row members. Rows partition the object set,
+    /// so shard member lists are disjoint across shards.
+    pub members: Vec<usize>,
+}
+
+/// Builds the shard plan for `(layer, min)`. The plan is a pure
+/// function of the layout, the rule distance, and the partition/shard
+/// options — two processes (or two runs) with the same inputs agree on
+/// shard identities, which is what makes `(rule, shard)` journal
+/// records portable across crashes and workers.
+pub(crate) fn plan_shards(ctx: &mut RunContext<'_>, layer: Layer, min: i64) -> ShardPlan {
+    let mbrs = layer_object_mbrs(ctx.layout, layer);
+    let half = ((min + 1) / 2) as Coord;
+    let host = Arc::clone(&ctx.host);
+    let enabled = ctx.options.partition;
+    let partition = ctx.profiler.time("partition", || {
+        if enabled {
+            partition_rows_on(&mbrs, half, &host)
+        } else {
+            // Ablation: a single row holding everything (one shard).
+            let members: Vec<usize> = (0..mbrs.len()).collect();
+            if members.is_empty() {
+                partition_rows(&[], half)
+            } else {
+                let all = mbrs
+                    .iter()
+                    .copied()
+                    .reduce(|a, b| a.hull(b))
+                    .expect("non-empty");
+                RowPartition::from_rows(vec![Row {
+                    y: all.y_range(),
+                    members,
+                }])
+            }
+        }
+    });
+    ctx.stats.rows += partition.len();
+    let rows = partition.rows();
+    let per_shard = ctx
+        .options
+        .shard_rows
+        .unwrap_or_else(|| rows.len().div_ceil(DEFAULT_SHARDS))
+        .max(1);
+    let shards = rows
+        .chunks(per_shard)
+        .map(|chunk| {
+            let rows: Vec<Vec<usize>> = chunk.iter().map(|r| r.members.clone()).collect();
+            let mut members: Vec<usize> = rows.iter().flatten().copied().collect();
+            members.sort_unstable();
+            ShardSpec { rows, members }
+        })
+        .collect();
+    ShardPlan { mbrs, shards }
+}
+
+/// Identity of one cached shard scene. The member set behind a key is a
+/// pure function of `(layer, min, shard)` via [`plan_shards`], so two
+/// rules sharing the key share the resident scene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum SceneKey {
+    /// The member-subset scene of a shard's own objects.
+    Subset { layer: Layer, min: i64, shard: u32 },
+    /// The outer-layer scene windowed to a shard's member extents (the
+    /// enclosure/overlap candidate side).
+    Window {
+        inner: Layer,
+        outer: Layer,
+        min: i64,
+        shard: u32,
+    },
+}
+
+#[derive(Debug)]
+struct Resident {
+    scene: Arc<LayerScene>,
+    bytes: u64,
+    stamp: u64,
+}
+
+/// The shard residency cache: scenes built on demand, held under a hard
+/// byte budget, evicted LRU-first when an insert would overflow it.
+///
+/// Budget exhaustion never aborts: a scene that alone exceeds the
+/// budget (and a scene whose load trips a seeded
+/// [`odrc_xpu::Fault::AllocFail`]) is still built and checked, just
+/// never cached — the degrade-to-sequential path, counted in
+/// [`EngineStats::shards_degraded`].
+#[derive(Debug, Default)]
+pub(crate) struct ShardPool {
+    budget: Option<u64>,
+    resident: HashMap<SceneKey, Resident>,
+    bytes: u64,
+    clock: u64,
+}
+
+impl ShardPool {
+    pub fn new(budget: Option<u64>) -> ShardPool {
+        ShardPool {
+            budget,
+            ..ShardPool::default()
+        }
+    }
+
+    /// The scene for `key`: resident (LRU-touched), or built via
+    /// `build` and cached if it fits the budget.
+    pub fn get(
+        &mut self,
+        key: SceneKey,
+        device: &Device,
+        stats: &mut EngineStats,
+        build: impl FnOnce() -> LayerScene,
+    ) -> Arc<LayerScene> {
+        self.clock += 1;
+        if let Some(r) = self.resident.get_mut(&key) {
+            r.stamp = self.clock;
+            return Arc::clone(&r.scene);
+        }
+        // Every shard *load* (cache miss) ticks the device's seeded
+        // allocation-failure schedule; a hit degrades this load to
+        // build-check-drop instead of failing it.
+        let alloc_failed = device.fault_shard_load();
+        let scene = Arc::new(build());
+        stats.shards_built += 1;
+        let cost = scene.approx_bytes();
+        let oversized = self.budget.is_some_and(|b| cost > b);
+        if alloc_failed || oversized {
+            stats.shards_degraded += 1;
+            return scene;
+        }
+        if let Some(budget) = self.budget {
+            while self.bytes + cost > budget && !self.resident.is_empty() {
+                let lru = self
+                    .resident
+                    .iter()
+                    .min_by_key(|(_, r)| r.stamp)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty");
+                let evicted = self.resident.remove(&lru).expect("present");
+                self.bytes -= evicted.bytes;
+                stats.shards_evicted += 1;
+            }
+        }
+        self.bytes += cost;
+        self.resident.insert(
+            key,
+            Resident {
+                scene: Arc::clone(&scene),
+                bytes: cost,
+                stamp: self.clock,
+            },
+        );
+        scene
+    }
+}
+
+/// Runs one sharded rule: plan, restore journaled shards, check the
+/// missing ones (recording each as it completes), and extend `out` with
+/// the union. Returns [`ShardRun::Partial`] when the worker slice
+/// skipped shards or the run was cancelled mid-rule.
+pub(crate) fn check_rule_sharded(
+    ctx: &mut RunContext<'_>,
+    device: &Device,
+    rule: &Rule,
+    journal: &mut Option<&mut CheckpointJournal>,
+    cancel: Option<&CancelToken>,
+    out: &mut Vec<Violation>,
+) -> ShardRun {
+    let (layer, plan_min) = match &rule.kind {
+        RuleKind::Space { layer, min, .. } => (*layer, *min),
+        RuleKind::Enclosure { inner, min, .. } => (*inner, *min),
+        RuleKind::OverlapArea { inner, .. } => (*inner, 0),
+        _ => unreachable!("only inter-object rules shard"),
+    };
+    let plan = plan_shards(ctx, layer, plan_min);
+    if plan.shards.is_empty() {
+        return ShardRun::Done;
+    }
+    let mut pool = std::mem::take(&mut ctx.shard_pool);
+    let run = run_shards(ctx, &mut pool, device, rule, &plan, journal, cancel, out);
+    ctx.shard_pool = pool;
+    run
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shards(
+    ctx: &mut RunContext<'_>,
+    pool: &mut ShardPool,
+    device: &Device,
+    rule: &Rule,
+    plan: &ShardPlan,
+    journal: &mut Option<&mut CheckpointJournal>,
+    cancel: Option<&CancelToken>,
+    out: &mut Vec<Violation>,
+) -> ShardRun {
+    let shard_count = plan.shards.len() as u32;
+    let sig = rule_signature(rule);
+    let layout = ctx.layout;
+    let host = Arc::clone(&ctx.host);
+    let mut partial = false;
+    for (sid, shard) in plan.shards.iter().enumerate() {
+        let shard_id = sid as u32;
+        if let Some((worker, of)) = ctx.options.shard_slice {
+            if of > 0 && sid % of != worker {
+                partial = true;
+                continue;
+            }
+        }
+        // Restore before polling: restores are free and a cancel must
+        // not forfeit them.
+        if let (Some(sig), Some(j)) = (sig, journal.as_deref_mut()) {
+            if let Some(done) = j.completed_shard(sig, shard_count, shard_id) {
+                out.extend(done.iter().cloned());
+                ctx.stats.shards_resumed += 1;
+                continue;
+            }
+        }
+        if let Some(tok) = cancel {
+            if tok.cancelled().is_some() {
+                return ShardRun::Partial;
+            }
+        }
+        let mut buf: Vec<Violation> = Vec::new();
+        match &rule.kind {
+            RuleKind::Space {
+                layer,
+                min,
+                min_projection,
+            } => {
+                let spec = SpaceSpec {
+                    min: *min,
+                    min_projection: *min_projection,
+                };
+                let key = SceneKey::Subset {
+                    layer: *layer,
+                    min: *min,
+                    shard: shard_id,
+                };
+                let (layer, members) = (*layer, &shard.members);
+                let scene = pool.get(key, device, ctx.stats, || {
+                    LayerScene::build_members_on(layout, layer, members, &host)
+                });
+                let mut hits: Vec<LocalViolation> = Vec::new();
+                check_space_shard(
+                    ctx,
+                    &scene,
+                    members,
+                    &shard.rows,
+                    &plan.mbrs,
+                    spec,
+                    &mut hits,
+                );
+                buf.extend(hits.into_iter().map(|v| Violation {
+                    rule: rule.name.clone(),
+                    kind: v.kind,
+                    location: v.location,
+                    measured: v.measured,
+                }));
+            }
+            RuleKind::Enclosure { inner, outer, min } => {
+                let (inner_scene, outer_scene) = shard_scene_pair(
+                    pool, device, ctx.stats, &host, layout, plan, shard, shard_id, *inner, *outer,
+                    *min,
+                );
+                let work = enclosure_work_scenes(ctx, &inner_scene, &outer_scene, *min);
+                ctx.stats.checks_computed += work.len();
+                let min = *min;
+                ctx.profiler.time("enclosure-check", || {
+                    for (poly, candidates) in &work {
+                        let refs: Vec<&Polygon> = candidates.iter().collect();
+                        let margin = enclosure_margin(poly.mbr(), &refs, min);
+                        if margin < min {
+                            buf.push(Violation {
+                                rule: rule.name.clone(),
+                                kind: ViolationKind::Enclosure,
+                                location: poly.mbr(),
+                                measured: margin,
+                            });
+                        }
+                    }
+                });
+            }
+            RuleKind::OverlapArea {
+                inner,
+                outer,
+                min_area,
+            } => {
+                use odrc_infra::Region;
+                let (inner_scene, outer_scene) = shard_scene_pair(
+                    pool, device, ctx.stats, &host, layout, plan, shard, shard_id, *inner, *outer,
+                    0,
+                );
+                let work = enclosure_work_scenes(ctx, &inner_scene, &outer_scene, 0);
+                ctx.stats.checks_computed += work.len();
+                let min_area = *min_area;
+                ctx.profiler.time("overlap-check", || {
+                    for (poly, candidates) in &work {
+                        let inner_region = Region::from_polygons([poly]);
+                        let outer_region = Region::from_polygons(candidates.iter());
+                        let shared = inner_region.intersection(&outer_region).area();
+                        if shared < min_area {
+                            buf.push(Violation {
+                                rule: rule.name.clone(),
+                                kind: ViolationKind::OverlapArea,
+                                location: poly.mbr(),
+                                measured: shared,
+                            });
+                        }
+                    }
+                });
+            }
+            _ => unreachable!("only inter-object rules shard"),
+        }
+        // Canonicalize per shard so the journaled record (and therefore
+        // a resumed run) is byte-stable; the rule-level finalize
+        // re-canonicalizes the union.
+        let vs = canonicalize(buf);
+        ctx.stats.shards_checked += 1;
+        if let (Some(sig), Some(j)) = (sig, journal.as_deref_mut()) {
+            if let Err(e) = j.record_shard(&rule.name, sig, shard_count, shard_id, &vs) {
+                eprintln!(
+                    "odrc: warning: checkpoint journal write failed ({e}); checkpointing disabled"
+                );
+                *journal = None;
+            }
+        }
+        // Deterministic chaos: die *after* the record hits the journal,
+        // exactly like a SIGKILL between shards — the resume path must
+        // pick up every shard completed so far and nothing else.
+        if let Some(n) = ctx.options.chaos_kill_at_shard {
+            if ctx.stats.shards_checked as u64 >= n {
+                std::process::abort();
+            }
+        }
+        out.extend(vs);
+    }
+    if partial {
+        ShardRun::Partial
+    } else {
+        ShardRun::Done
+    }
+}
+
+/// The (inner subset, outer windowed) scene pair of an enclosure-style
+/// shard, both through the pool.
+#[allow(clippy::too_many_arguments)]
+fn shard_scene_pair(
+    pool: &mut ShardPool,
+    device: &Device,
+    stats: &mut EngineStats,
+    host: &Arc<odrc_infra::HostExecutor>,
+    layout: &odrc_db::Layout,
+    plan: &ShardPlan,
+    shard: &ShardSpec,
+    shard_id: u32,
+    inner: Layer,
+    outer: Layer,
+    min: i64,
+) -> (Arc<LayerScene>, Arc<LayerScene>) {
+    let inner_scene = pool.get(
+        SceneKey::Subset {
+            layer: inner,
+            min,
+            shard: shard_id,
+        },
+        device,
+        stats,
+        || LayerScene::build_members_on(layout, inner, &shard.members, host),
+    );
+    // The outer side is windowed to the shard's row band plus the rule
+    // margin. Members are a contiguous row group, so one hull rect
+    // covers them; every outer object within the margin of any member
+    // overlaps the inflated hull and survives the window — each inner
+    // shape sees a superset of the candidates the per-poly gather
+    // keeps, and the gather itself filters to the exact in-core set.
+    let band = shard
+        .members
+        .iter()
+        .map(|&g| plan.mbrs[g])
+        .reduce(Rect::hull);
+    let outer_scene = pool.get(
+        SceneKey::Window {
+            inner,
+            outer,
+            min,
+            shard: shard_id,
+        },
+        device,
+        stats,
+        || match band {
+            Some(b) => {
+                let window = b.inflate((min as Coord).saturating_add(1));
+                LayerScene::build_window_on(layout, outer, window, host)
+            }
+            None => LayerScene::build_members_on(layout, outer, &[], host),
+        },
+    );
+    (inner_scene, outer_scene)
+}
+
+/// The serial spacing pipeline over one shard: the shard's global rows
+/// replayed against its member-subset scene. Geometry, sweepline pairs,
+/// and edge checks are exactly the in-core serial loop's — only the
+/// object indices are translated from global (proto) to subset order —
+/// so the shard's violation multiset equals the in-core multiset of the
+/// same rows.
+fn check_space_shard(
+    ctx: &mut RunContext<'_>,
+    scene: &LayerScene,
+    members: &[usize],
+    rows: &[Vec<usize>],
+    mbrs: &[Rect],
+    spec: SpaceSpec,
+    out: &mut Vec<LocalViolation>,
+) {
+    let half = ((spec.min + 1) / 2) as Coord;
+    let pruning = ctx.options.pruning;
+    let pair_index = ctx.options.pair_index;
+    let mut memo: HashMap<CellId, Arc<Vec<LocalViolation>>> = HashMap::new();
+    let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
+    let subset = |g: usize| {
+        members
+            .binary_search(&g)
+            .expect("row member is a shard member")
+    };
+    for row in rows {
+        let inflated: Vec<Rect> = row.iter().map(|&m| mbrs[m].inflate(half)).collect();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        match pair_index {
+            PairIndex::Sweepline => ctx.profiler.time("sweepline", || {
+                sweep_overlaps(&inflated, |a, b| pairs.push((row[a], row[b])));
+            }),
+            PairIndex::RTree => ctx.profiler.time("sweepline", || {
+                let tree = odrc_infra::RTree::bulk_load(&inflated);
+                for (a, &ra) in inflated.iter().enumerate() {
+                    tree.query_into(ra, &mut |b| {
+                        if a < b {
+                            pairs.push((row[a], row[b]));
+                        }
+                    });
+                }
+            }),
+        }
+        ctx.stats.candidate_pairs += pairs.len();
+        ctx.profiler.time("edge-check", || {
+            for &g in row {
+                let obj = &scene.objects[subset(g)];
+                match obj.source {
+                    SceneSource::Cell { cell, transform } => {
+                        let arc = if pruning {
+                            if let Some(hit) = memo.get(&cell) {
+                                ctx.stats.checks_reused += 1;
+                                Arc::clone(hit)
+                            } else {
+                                ctx.stats.checks_computed += 1;
+                                let arc = Arc::new(cell_internal_space(scene, cell, spec, half));
+                                memo.insert(cell, Arc::clone(&arc));
+                                arc
+                            }
+                        } else {
+                            ctx.stats.checks_computed += 1;
+                            Arc::new(cell_internal_space(scene, cell, spec, half))
+                        };
+                        out.extend(arc.iter().map(|v| v.instantiate(&transform)));
+                    }
+                    SceneSource::TopPolygon { index } => {
+                        notch_space_violations(scene.top_polygon(index), spec, out);
+                    }
+                }
+            }
+            for &(a, b) in &pairs {
+                cross_space(
+                    scene,
+                    &scene.objects[subset(a)],
+                    &scene.objects[subset(b)],
+                    spec,
+                    &mut buf_a,
+                    &mut buf_b,
+                    out,
+                );
+            }
+        });
+    }
+}
+
+/// The enclosure work list over provided scenes — the serial gather of
+/// [`crate::sequential::enclosure_work`] with the shard's subset inner
+/// scene and windowed outer scene supplied instead of pulled from the
+/// run memo. The per-poly candidate predicate (MBR overlap with the
+/// margin-inflated inner extent) is identical, so candidate sets match
+/// the in-core gather exactly.
+fn enclosure_work_scenes(
+    ctx: &mut RunContext<'_>,
+    inner_scene: &LayerScene,
+    outer_scene: &LayerScene,
+    min: i64,
+) -> Vec<(Polygon, Vec<Polygon>)> {
+    let m = min as Coord;
+    let mut inner_polys: Vec<Polygon> = Vec::new();
+    for obj in &inner_scene.objects {
+        inner_scene.object_polygons_into(obj, &mut inner_polys);
+    }
+    let n_inner = inner_polys.len();
+    let mut rects: Vec<Rect> = inner_polys.iter().map(|p| p.mbr().inflate(m)).collect();
+    rects.extend(outer_scene.objects.iter().map(|o| o.mbr));
+    let mut object_hits: Vec<Vec<usize>> = vec![Vec::new(); n_inner];
+    ctx.profiler.time("sweepline", || {
+        sweep_overlaps(&rects, |a, b| {
+            let (lo, hi) = (a.min(b), a.max(b));
+            if lo < n_inner && hi >= n_inner {
+                object_hits[lo].push(hi - n_inner);
+            }
+        });
+    });
+    inner_polys
+        .into_iter()
+        .zip(object_hits)
+        .map(|(poly, objs)| {
+            let window = poly.mbr().inflate(m);
+            let mut candidates = Vec::new();
+            for oi in objs {
+                outer_scene.object_polygons_in_into(
+                    &outer_scene.objects[oi],
+                    window,
+                    &mut candidates,
+                );
+            }
+            (poly, candidates)
+        })
+        .collect()
+}

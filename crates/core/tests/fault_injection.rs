@@ -180,6 +180,13 @@ fn sequential_mode_ignores_device_faults() {
 /// violation set byte-identical to the fault-free parallel run, and
 /// the stats report retries/fallbacks exactly when faults actually
 /// fired.
+///
+/// Every schedule is also replayed through the out-of-core sharded
+/// path, where shard loads tick the device's [`Fault::AllocFail`]
+/// schedule: a fired fault degrades that load to build-check-drop, and
+/// the violation set must still match byte for byte. The sweep asserts
+/// at least one schedule per design actually degraded a shard load, so
+/// the `AllocFail` arm of [`FaultPlan::from_seed`] cannot go dormant.
 #[test]
 fn property_seeded_fault_schedules_preserve_results() {
     // `uart` is cheap, `aes` is the big design: split the 100 seeds to
@@ -197,6 +204,7 @@ fn property_seeded_fault_schedules_preserve_results() {
         );
         assert!(!baseline.stats.degraded());
         let mut seeds_fired = 0usize;
+        let mut shards_degraded = 0usize;
         let total_seeds = seeds.clone().count();
         for seed in seeds {
             let device = Device::new(3);
@@ -217,12 +225,34 @@ fn property_seeded_fault_schedules_preserve_results() {
                 report.stats.device_retries,
                 report.stats.device_fallbacks
             );
+
+            // The same schedule through the out-of-core sharded path:
+            // cache-missing shard loads consume the AllocFail faults.
+            let ooc_device = Device::new(3);
+            ooc_device.set_fault_plan(Some(FaultPlan::from_seed(seed, 6)));
+            let ooc = Engine::parallel_on(ooc_device)
+                .with_options(EngineOptions {
+                    retry_backoff_ms: 0,
+                    out_of_core: true,
+                    shard_rows: Some(2),
+                    ..EngineOptions::default()
+                })
+                .check(&layout, &deck);
+            assert_eq!(
+                ooc.violations, baseline.violations,
+                "{name} seed {seed}: out-of-core fault injection changed the results"
+            );
+            shards_degraded += ooc.stats.shards_degraded;
         }
         // The property must not hold vacuously: the seeded schedules
         // target small ordinal ranges precisely so most of them hit.
         assert!(
             seeds_fired * 2 > total_seeds,
             "{name}: only {seeds_fired}/{total_seeds} schedules fired any fault"
+        );
+        assert!(
+            shards_degraded > 0,
+            "{name}: no seeded AllocFail ever degraded a shard load"
         );
     }
 }

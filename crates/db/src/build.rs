@@ -3,10 +3,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
-use odrc_gdsii::{Element, Library, PathElement, TransformError};
+use odrc_gdsii::{Element, Library, PathElement, Structure, TransformError};
 #[cfg(test)]
 use odrc_geometry::Point;
-use odrc_geometry::{Polygon, PolygonError, Rect};
+use odrc_geometry::{Polygon, PolygonError, Rect, Transform};
 
 use crate::{Cell, CellId, CellRef, Layer, LayerPolygon, Layout};
 
@@ -125,190 +125,11 @@ impl Layout {
         if lib.structures.is_empty() {
             return Err(DbError::EmptyLibrary);
         }
-        // Name -> id map.
-        let mut ids: HashMap<&str, CellId> = HashMap::with_capacity(lib.structures.len());
-        for (i, s) in lib.structures.iter().enumerate() {
-            if ids.insert(s.name.as_str(), CellId(i as u32)).is_some() {
-                return Err(DbError::DuplicateStructure {
-                    name: s.name.clone(),
-                });
-            }
-        }
-
-        // Convert cells.
-        let mut cells = Vec::with_capacity(lib.structures.len());
+        let mut builder = LayoutBuilder::new();
         for s in &lib.structures {
-            let mut polygons = Vec::new();
-            let mut refs = Vec::new();
-            for (ei, e) in s.elements.iter().enumerate() {
-                match e {
-                    Element::Boundary(b) => {
-                        let polygon = Polygon::new(b.points.clone()).map_err(|source| {
-                            DbError::InvalidPolygon {
-                                cell: s.name.clone(),
-                                index: ei,
-                                source,
-                            }
-                        })?;
-                        let name = b
-                            .properties
-                            .iter()
-                            .find(|(attr, _)| *attr == 1)
-                            .map(|(_, v)| v.clone());
-                        polygons.push(LayerPolygon {
-                            layer: b.layer,
-                            datatype: b.datatype,
-                            polygon,
-                            name,
-                        });
-                    }
-                    Element::Path(p) => {
-                        for polygon in path_to_polygons(p).ok_or(DbError::UnsupportedPath {
-                            cell: s.name.clone(),
-                            index: ei,
-                        })? {
-                            polygons.push(LayerPolygon {
-                                layer: p.layer,
-                                datatype: p.datatype,
-                                polygon,
-                                name: None,
-                            });
-                        }
-                    }
-                    Element::Text(_) => {}
-                    Element::Ref(r) => {
-                        let cell = *ids.get(r.sname.as_str()).ok_or_else(|| {
-                            DbError::UnknownStructure {
-                                referrer: s.name.clone(),
-                                name: r.sname.clone(),
-                            }
-                        })?;
-                        let transforms = r.instance_transforms().map_err(|source| {
-                            DbError::UnsupportedTransform {
-                                cell: s.name.clone(),
-                                source,
-                            }
-                        })?;
-                        // Magnification breaks the isometry invariant
-                        // that hierarchical check-result reuse (§IV-C)
-                        // depends on: a cell's cached verdicts are only
-                        // valid for distance- and area-preserving
-                        // placements. Standard-cell layouts never
-                        // magnify; reject rather than silently
-                        // mis-check.
-                        if let Some(t) = transforms.iter().find(|t| !t.is_isometry()) {
-                            return Err(DbError::UnsupportedTransform {
-                                cell: s.name.clone(),
-                                source: odrc_gdsii::TransformError::UnsupportedMag {
-                                    mag: f64::from(t.mag()),
-                                },
-                            });
-                        }
-                        refs.extend(
-                            transforms
-                                .into_iter()
-                                .map(|transform| CellRef { cell, transform }),
-                        );
-                    }
-                }
-            }
-            cells.push(Cell {
-                name: s.name.clone(),
-                polygons,
-                refs,
-                layer_mbr: BTreeMap::new(),
-                mbr: None,
-            });
+            builder.add_structure(s)?;
         }
-
-        // Topological order (children before parents) + cycle check.
-        let order = topo_order(&cells)?;
-
-        // Bottom-up layer MBRs.
-        for &ci in &order {
-            let mut layer_mbr: BTreeMap<Layer, Rect> = BTreeMap::new();
-            for p in &cells[ci].polygons {
-                let mbr = p.polygon.mbr();
-                layer_mbr
-                    .entry(p.layer)
-                    .and_modify(|r| *r = r.hull(mbr))
-                    .or_insert(mbr);
-            }
-            // Children are already computed thanks to topological order.
-            let child_boxes: Vec<(Layer, Rect)> = cells[ci]
-                .refs
-                .iter()
-                .flat_map(|r| {
-                    let child = &cells[r.cell.index()];
-                    child
-                        .layer_mbr
-                        .iter()
-                        .map(|(&l, &m)| (l, r.transform.apply_rect(m)))
-                        .collect::<Vec<_>>()
-                })
-                .collect();
-            for (l, m) in child_boxes {
-                layer_mbr
-                    .entry(l)
-                    .and_modify(|r| *r = r.hull(m))
-                    .or_insert(m);
-            }
-            let mbr = layer_mbr.values().copied().reduce(|a, b| a.hull(b));
-            cells[ci].layer_mbr = layer_mbr;
-            cells[ci].mbr = mbr;
-        }
-
-        // Pick the top: among unreferenced structures, the one with the
-        // largest expanded subtree (libraries often carry unused spare
-        // cells which must not shadow the real design root); ties go to
-        // stream order.
-        let mut referenced = vec![false; cells.len()];
-        for c in &cells {
-            for r in &c.refs {
-                referenced[r.cell.index()] = true;
-            }
-        }
-        let mut subtree_size = vec![0usize; cells.len()];
-        for &ci in &order {
-            // Children precede parents in `order`.
-            subtree_size[ci] = cells[ci].polygons.len()
-                + cells[ci]
-                    .refs
-                    .iter()
-                    .map(|r| subtree_size[r.cell.index()])
-                    .sum::<usize>();
-        }
-        let top = (0..cells.len())
-            .filter(|&i| !referenced[i])
-            .max_by(|&a, &b| {
-                subtree_size[a].cmp(&subtree_size[b]).then(b.cmp(&a)) // prefer earlier stream order on ties
-            })
-            .map(|i| CellId(i as u32))
-            .ok_or(DbError::NoTopStructure)?;
-
-        // Layer indices.
-        let mut inverted: BTreeMap<Layer, Vec<(CellId, usize)>> = BTreeMap::new();
-        for (ci, c) in cells.iter().enumerate() {
-            for (pi, p) in c.polygons.iter().enumerate() {
-                inverted
-                    .entry(p.layer)
-                    .or_default()
-                    .push((CellId(ci as u32), pi));
-            }
-        }
-        let mut layer_cells: BTreeMap<Layer, Vec<CellId>> = BTreeMap::new();
-        for (ci, c) in cells.iter().enumerate() {
-            for &l in c.layer_mbr.keys() {
-                layer_cells.entry(l).or_default().push(CellId(ci as u32));
-            }
-        }
-
-        Ok(Layout {
-            cells,
-            top,
-            inverted,
-            layer_cells,
-        })
+        builder.finish()
     }
 
     /// Imports a GDSII library with an explicitly chosen top structure
@@ -327,6 +148,272 @@ impl Layout {
         layout.top = id;
         Ok(layout)
     }
+}
+
+/// Incremental [`Layout`] construction for streaming import.
+///
+/// Unlike [`Layout::from_library`], which needs the whole
+/// [`Library`] in memory, the builder accepts one [`Structure`] at a
+/// time — each is converted to a [`Cell`] immediately and can be
+/// dropped by the caller — so the peak footprint of an out-of-core
+/// load is one structure plus the growing layout, never the full
+/// element model. References are recorded by name and resolved in
+/// [`LayoutBuilder::finish`], so forward references work in any feed
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use odrc_db::{Layout, LayoutBuilder};
+/// use odrc_gdsii::{Element, Structure};
+/// use odrc_geometry::Point;
+///
+/// let mut b = LayoutBuilder::new();
+/// let mut s = Structure::new("TOP");
+/// s.elements.push(Element::boundary(
+///     1,
+///     vec![
+///         Point::new(0, 0),
+///         Point::new(0, 4),
+///         Point::new(4, 4),
+///         Point::new(4, 0),
+///     ],
+/// ));
+/// b.add_structure(&s)?;
+/// drop(s); // the structure is no longer needed
+/// let layout = b.finish()?;
+/// assert_eq!(layout.cell(layout.top()).name(), "TOP");
+/// # Ok::<(), odrc_db::DbError>(())
+/// ```
+#[derive(Default)]
+pub struct LayoutBuilder {
+    ids: HashMap<String, CellId>,
+    cells: Vec<Cell>,
+    /// Per-cell references awaiting name resolution, in element order.
+    pending: Vec<Vec<(String, Vec<Transform>)>>,
+}
+
+impl LayoutBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        LayoutBuilder::default()
+    }
+
+    /// Converts one structure into a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError`] for a duplicate structure name, an invalid
+    /// polygon, an unsupported transform, or an unsupported path —
+    /// the same element-level validations as [`Layout::from_library`].
+    pub fn add_structure(&mut self, s: &Structure) -> Result<(), DbError> {
+        if self.ids.contains_key(&s.name) {
+            return Err(DbError::DuplicateStructure {
+                name: s.name.clone(),
+            });
+        }
+        let mut polygons = Vec::new();
+        let mut pending: Vec<(String, Vec<Transform>)> = Vec::new();
+        for (ei, e) in s.elements.iter().enumerate() {
+            match e {
+                Element::Boundary(b) => {
+                    let polygon = Polygon::new(b.points.clone()).map_err(|source| {
+                        DbError::InvalidPolygon {
+                            cell: s.name.clone(),
+                            index: ei,
+                            source,
+                        }
+                    })?;
+                    let name = b
+                        .properties
+                        .iter()
+                        .find(|(attr, _)| *attr == 1)
+                        .map(|(_, v)| v.clone());
+                    polygons.push(LayerPolygon {
+                        layer: b.layer,
+                        datatype: b.datatype,
+                        polygon,
+                        name,
+                    });
+                }
+                Element::Path(p) => {
+                    for polygon in path_to_polygons(p).ok_or(DbError::UnsupportedPath {
+                        cell: s.name.clone(),
+                        index: ei,
+                    })? {
+                        polygons.push(LayerPolygon {
+                            layer: p.layer,
+                            datatype: p.datatype,
+                            polygon,
+                            name: None,
+                        });
+                    }
+                }
+                Element::Text(_) => {}
+                Element::Ref(r) => {
+                    let transforms = r.instance_transforms().map_err(|source| {
+                        DbError::UnsupportedTransform {
+                            cell: s.name.clone(),
+                            source,
+                        }
+                    })?;
+                    // Magnification breaks the isometry invariant that
+                    // hierarchical check-result reuse (§IV-C) depends
+                    // on: a cell's cached verdicts are only valid for
+                    // distance- and area-preserving placements.
+                    // Standard-cell layouts never magnify; reject
+                    // rather than silently mis-check.
+                    if let Some(t) = transforms.iter().find(|t| !t.is_isometry()) {
+                        return Err(DbError::UnsupportedTransform {
+                            cell: s.name.clone(),
+                            source: odrc_gdsii::TransformError::UnsupportedMag {
+                                mag: f64::from(t.mag()),
+                            },
+                        });
+                    }
+                    pending.push((r.sname.clone(), transforms));
+                }
+            }
+        }
+        self.ids
+            .insert(s.name.clone(), CellId(self.cells.len() as u32));
+        self.pending.push(pending);
+        self.cells.push(Cell {
+            name: s.name.clone(),
+            polygons,
+            refs: Vec::new(),
+            layer_mbr: BTreeMap::new(),
+            mbr: None,
+        });
+        Ok(())
+    }
+
+    /// Resolves references and finishes the layout: topological order,
+    /// bottom-up subtree MBRs, top-cell selection, and layer indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError`] when no structure was added, a reference
+    /// names an unknown structure, the reference graph has a cycle, or
+    /// no structure is unreferenced.
+    pub fn finish(self) -> Result<Layout, DbError> {
+        let LayoutBuilder {
+            ids,
+            mut cells,
+            pending,
+        } = self;
+        if cells.is_empty() {
+            return Err(DbError::EmptyLibrary);
+        }
+        for (ci, refs_by_name) in pending.into_iter().enumerate() {
+            let mut refs = Vec::new();
+            for (name, transforms) in refs_by_name {
+                let cell = *ids.get(&name).ok_or_else(|| DbError::UnknownStructure {
+                    referrer: cells[ci].name.clone(),
+                    name,
+                })?;
+                refs.extend(
+                    transforms
+                        .into_iter()
+                        .map(|transform| CellRef { cell, transform }),
+                );
+            }
+            cells[ci].refs = refs;
+        }
+        finish_cells(cells)
+    }
+}
+
+/// Shared tail of layout construction over fully-resolved cells.
+fn finish_cells(mut cells: Vec<Cell>) -> Result<Layout, DbError> {
+    // Topological order (children before parents) + cycle check.
+    let order = topo_order(&cells)?;
+
+    // Bottom-up layer MBRs.
+    for &ci in &order {
+        let mut layer_mbr: BTreeMap<Layer, Rect> = BTreeMap::new();
+        for p in &cells[ci].polygons {
+            let mbr = p.polygon.mbr();
+            layer_mbr
+                .entry(p.layer)
+                .and_modify(|r| *r = r.hull(mbr))
+                .or_insert(mbr);
+        }
+        // Children are already computed thanks to topological order.
+        let child_boxes: Vec<(Layer, Rect)> = cells[ci]
+            .refs
+            .iter()
+            .flat_map(|r| {
+                let child = &cells[r.cell.index()];
+                child
+                    .layer_mbr
+                    .iter()
+                    .map(|(&l, &m)| (l, r.transform.apply_rect(m)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (l, m) in child_boxes {
+            layer_mbr
+                .entry(l)
+                .and_modify(|r| *r = r.hull(m))
+                .or_insert(m);
+        }
+        let mbr = layer_mbr.values().copied().reduce(|a, b| a.hull(b));
+        cells[ci].layer_mbr = layer_mbr;
+        cells[ci].mbr = mbr;
+    }
+
+    // Pick the top: among unreferenced structures, the one with the
+    // largest expanded subtree (libraries often carry unused spare
+    // cells which must not shadow the real design root); ties go to
+    // stream order.
+    let mut referenced = vec![false; cells.len()];
+    for c in &cells {
+        for r in &c.refs {
+            referenced[r.cell.index()] = true;
+        }
+    }
+    let mut subtree_size = vec![0usize; cells.len()];
+    for &ci in &order {
+        // Children precede parents in `order`.
+        subtree_size[ci] = cells[ci].polygons.len()
+            + cells[ci]
+                .refs
+                .iter()
+                .map(|r| subtree_size[r.cell.index()])
+                .sum::<usize>();
+    }
+    let top = (0..cells.len())
+        .filter(|&i| !referenced[i])
+        .max_by(|&a, &b| {
+            subtree_size[a].cmp(&subtree_size[b]).then(b.cmp(&a)) // prefer earlier stream order on ties
+        })
+        .map(|i| CellId(i as u32))
+        .ok_or(DbError::NoTopStructure)?;
+
+    // Layer indices.
+    let mut inverted: BTreeMap<Layer, Vec<(CellId, usize)>> = BTreeMap::new();
+    for (ci, c) in cells.iter().enumerate() {
+        for (pi, p) in c.polygons.iter().enumerate() {
+            inverted
+                .entry(p.layer)
+                .or_default()
+                .push((CellId(ci as u32), pi));
+        }
+    }
+    let mut layer_cells: BTreeMap<Layer, Vec<CellId>> = BTreeMap::new();
+    for (ci, c) in cells.iter().enumerate() {
+        for &l in c.layer_mbr.keys() {
+            layer_cells.entry(l).or_default().push(CellId(ci as u32));
+        }
+    }
+
+    Ok(Layout {
+        cells,
+        top,
+        inverted,
+        layer_cells,
+    })
 }
 
 /// Children-before-parents order over the reference DAG.

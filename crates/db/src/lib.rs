@@ -45,7 +45,7 @@ mod export;
 mod hash;
 mod query;
 
-pub use build::DbError;
+pub use build::{DbError, LayoutBuilder};
 pub use edit::EditError;
 
 use std::collections::BTreeMap;

@@ -16,7 +16,10 @@
 //! * [`write()`] / [`write_file`] — a binary stream writer, the exact
 //!   inverse of the parser,
 //! * [`record`] — the low-level record codec (types, lengths, and the
-//!   excess-64 base-16 8-byte real number format).
+//!   excess-64 base-16 8-byte real number format),
+//! * [`stream`] — a two-pass out-of-core loader: a header-level
+//!   structure index (no geometry materialized) plus per-structure
+//!   lazy parsing for memory-budgeted runs.
 //!
 //! # Examples
 //!
@@ -46,6 +49,7 @@
 pub mod model;
 pub mod read;
 pub mod record;
+pub mod stream;
 pub mod write;
 
 pub use model::{

@@ -232,7 +232,7 @@ impl<'a> RawRecord<'a> {
     }
 }
 
-struct Parser<'a> {
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     offset: usize,
     peeked: Option<RawRecord<'a>>,
@@ -243,6 +243,16 @@ impl<'a> Parser<'a> {
         Parser {
             bytes,
             offset: 0,
+            peeked: None,
+        }
+    }
+
+    /// A parser positioned mid-stream, for re-parsing an indexed span
+    /// (see [`crate::stream`]). Error offsets are relative to `bytes`.
+    pub(crate) fn at(bytes: &'a [u8], offset: usize) -> Self {
+        Parser {
+            bytes,
+            offset,
             peeked: None,
         }
     }
@@ -360,7 +370,7 @@ pub fn read_file(path: impl AsRef<Path>) -> Result<Library, ReadError> {
     read(&bytes)
 }
 
-fn parse_structure(p: &mut Parser<'_>) -> Result<Structure, ReadError> {
+pub(crate) fn parse_structure(p: &mut Parser<'_>) -> Result<Structure, ReadError> {
     let name = p
         .expect(RecordType::StrName, "reading structure name")?
         .string()?;

@@ -50,6 +50,7 @@ pub mod partition;
 pub mod profile;
 pub mod quadtree;
 pub mod region;
+pub mod rss;
 pub mod rtree;
 pub mod sweep;
 
@@ -62,5 +63,6 @@ pub use partition::{partition_rows, Row, RowPartition};
 pub use profile::Profiler;
 pub use quadtree::QuadTree;
 pub use region::{BoolOp, Region};
+pub use rss::{peak_rss_bytes, reset_peak_rss};
 pub use rtree::RTree;
 pub use sweep::sweep_overlaps;

@@ -1,11 +1,15 @@
 //! Generates a benchmark layout as a GDSII file.
 //!
 //! ```text
-//! odrc-genlayout <design|tiny:SEED> <out.gds> [--violation-rate F]
+//! odrc-genlayout <design|tiny:SEED> <out.gds> [--violation-rate F] [--scale N]
 //! ```
 //!
 //! `design` is one of the paper's six (aes, ethmac, ibex, jpeg, sha3,
-//! uart), or `tiny:<seed>` for a small test design.
+//! uart), or `tiny:<seed>` for a small test design. `--scale N`
+//! multiplies the placement rows and vertical wires by N — e.g.
+//! `jpeg --scale 20` emits a multi-million-polygon chip for
+//! out-of-core runs. Scaled chips are meant to be generated on
+//! demand, not stored.
 
 use std::process::ExitCode;
 
@@ -14,7 +18,9 @@ use odrc_layoutgen::{generate, DesignSpec};
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.len() < 2 {
-        eprintln!("usage: odrc-genlayout <design|tiny:SEED> <out.gds> [--violation-rate F]");
+        eprintln!(
+            "usage: odrc-genlayout <design|tiny:SEED> <out.gds> [--violation-rate F] [--scale N]"
+        );
         return ExitCode::from(2);
     }
     let mut spec = if let Some(seed) = argv[0].strip_prefix("tiny:") {
@@ -40,6 +46,16 @@ fn main() -> ExitCode {
             Some(rate) => spec.violation_rate = rate,
             None => {
                 eprintln!("--violation-rate needs a number");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(pos) = argv.iter().position(|a| a == "--scale") {
+        match argv.get(pos + 1).and_then(|v| v.parse().ok()) {
+            Some(factor) if factor >= 1 => spec = spec.scaled(factor),
+            _ => {
+                eprintln!("--scale needs an integer factor >= 1");
                 return ExitCode::from(2);
             }
         }

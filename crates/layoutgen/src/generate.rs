@@ -72,6 +72,23 @@ impl DesignSpec {
             .collect()
     }
 
+    /// Scales the design by an integer factor: `factor`× the placement
+    /// rows and vertical M3 wires, holding row width constant, so
+    /// polygon count grows roughly linearly. `paper("jpeg").scaled(20)`
+    /// is a multi-million-polygon chip — the out-of-core workload.
+    /// Generation stays fully deterministic: the seed is untouched and
+    /// the scaled name records the factor.
+    #[must_use]
+    pub fn scaled(mut self, factor: usize) -> DesignSpec {
+        let factor = factor.max(1);
+        self.rows *= factor;
+        self.m3_wires *= factor;
+        if factor > 1 {
+            self.name = format!("{}x{factor}", self.name);
+        }
+        self
+    }
+
     /// A tiny design for unit and integration tests.
     pub fn tiny(seed: u64) -> DesignSpec {
         DesignSpec {

@@ -114,6 +114,15 @@ struct Args {
     watchdog_ms: Option<u64>,
     no_fusion: bool,
     no_launch_graph: bool,
+    memory_budget: Option<u64>,
+    shard_rows: Option<usize>,
+    out_of_core: bool,
+    shard_workers: Option<usize>,
+    /// Hidden: this process is shard worker `w` of `n` (spawned by the
+    /// parent's `--shard-workers`).
+    worker_slice: Option<(usize, usize)>,
+    /// Hidden chaos switch: abort after the Nth shard is journaled.
+    chaos_kill_at_shard: Option<u64>,
 }
 
 /// What a completed run reports back to `main` for the exit code.
@@ -129,7 +138,8 @@ fn usage() -> ! {
          [--cache dir] [--stats-json out.json] [--report out.csv] [--markers out.gds] \
          [--device-budget BYTES] [--fault-seed N] [--host-threads N] [--deadline SECS] \
          [--checkpoint-dir dir] [--resume dir] [--watchdog-ms N] \
-         [--no-fusion] [--no-launch-graph]\n\
+         [--no-fusion] [--no-launch-graph] \
+         [--out-of-core] [--memory-budget BYTES] [--shard-rows N] [--shard-workers N]\n\
          \u{20}      odrc diff <old.gds> <new.gds> --rules <deck.rules> [--parallel] \
          [--cache dir] [--max-print N] [--host-threads N]\n\
          \u{20}      odrc serve [--addr HOST:PORT] [--workers N] [--host-threads N] \
@@ -161,6 +171,12 @@ fn parse_args() -> Args {
     let mut watchdog_ms = None;
     let mut no_fusion = false;
     let mut no_launch_graph = false;
+    let mut memory_budget = None;
+    let mut shard_rows = None;
+    let mut out_of_core = false;
+    let mut shard_workers = None;
+    let mut worker_slice = None;
+    let mut chaos_kill_at_shard = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let diff_mode = argv.first().is_some_and(|a| a == "diff");
     let mut i = usize::from(diff_mode);
@@ -282,6 +298,61 @@ fn parse_args() -> Args {
                 watchdog_ms = Some(ms);
                 i += 2;
             }
+            "--memory-budget" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                memory_budget = Some(argv[i + 1].parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--shard-rows" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                let n: usize = argv[i + 1].parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                shard_rows = Some(n);
+                i += 2;
+            }
+            "--out-of-core" => {
+                out_of_core = true;
+                i += 1;
+            }
+            "--shard-workers" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                let n: usize = argv[i + 1].parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                shard_workers = Some(n);
+                i += 2;
+            }
+            // Hidden: set by the parent on spawned shard workers.
+            "--worker-slice" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                let (w, n) = argv[i + 1].split_once('/').unwrap_or_else(|| usage());
+                let w: usize = w.parse().unwrap_or_else(|_| usage());
+                let n: usize = n.parse().unwrap_or_else(|_| usage());
+                if n == 0 || w >= n {
+                    usage();
+                }
+                worker_slice = Some((w, n));
+                i += 2;
+            }
+            // Hidden chaos switch (testing): abort after the Nth shard.
+            "--chaos-kill-at-shard" => {
+                if i + 1 >= argv.len() {
+                    usage();
+                }
+                chaos_kill_at_shard = Some(argv[i + 1].parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => {
                 positional.push(other.to_owned());
@@ -318,6 +389,12 @@ fn parse_args() -> Args {
         watchdog_ms,
         no_fusion,
         no_launch_graph,
+        memory_budget,
+        shard_rows,
+        out_of_core,
+        shard_workers,
+        worker_slice,
+        chaos_kill_at_shard,
     }
 }
 
@@ -381,6 +458,19 @@ fn write_stats_json(path: &str, report: &CheckReport) -> std::io::Result<()> {
     let _ = writeln!(w, "  \"launches_fused\": {},", report.stats.launches_fused);
     let _ = writeln!(w, "  \"graph_replays\": {},", report.stats.graph_replays);
     let _ = writeln!(w, "  \"worker_wakeups\": {},", report.stats.worker_wakeups);
+    let _ = writeln!(w, "  \"shards_checked\": {},", report.stats.shards_checked);
+    let _ = writeln!(w, "  \"shards_built\": {},", report.stats.shards_built);
+    let _ = writeln!(w, "  \"shards_evicted\": {},", report.stats.shards_evicted);
+    let _ = writeln!(w, "  \"shards_resumed\": {},", report.stats.shards_resumed);
+    let _ = writeln!(
+        w,
+        "  \"shards_degraded\": {},",
+        report.stats.shards_degraded
+    );
+    let _ = match odrc_infra::peak_rss_bytes() {
+        Some(bytes) => writeln!(w, "  \"peak_rss_bytes\": {bytes},"),
+        None => writeln!(w, "  \"peak_rss_bytes\": null,"),
+    };
     let _ = match &report.interrupted {
         Some(reason) => writeln!(
             w,
@@ -454,6 +544,37 @@ fn load_layout(path: &str) -> Result<Layout, Box<dyn std::error::Error>> {
     Ok(layout)
 }
 
+/// Out-of-core load: index the stream, then parse and convert one
+/// structure at a time, so the full GDSII element model is never
+/// resident — peak load footprint is one structure plus the growing
+/// layout.
+fn load_layout_streamed(path: &str) -> Result<Layout, Box<dyn std::error::Error>> {
+    let index = odrc_gdsii::stream::index_file(path)?;
+    let mut file = std::fs::File::open(path)?;
+    let mut builder = odrc_db::LayoutBuilder::new();
+    for entry in &index.entries {
+        builder.add_structure(&odrc_gdsii::stream::read_structure(&mut file, entry)?)?;
+    }
+    let layout = builder.finish()?;
+    eprintln!(
+        "streamed '{}' from {path} ({} structures indexed):\n{}",
+        index.name,
+        index.entries.len(),
+        layout.stats()
+    );
+    Ok(layout)
+}
+
+/// Whether this run takes the out-of-core path (and hence the
+/// streaming loader).
+fn out_of_core_run(args: &Args) -> bool {
+    args.out_of_core
+        || args.memory_budget.is_some()
+        || args.shard_rows.is_some()
+        || args.worker_slice.is_some()
+        || args.shard_workers.is_some()
+}
+
 fn load_cache(dir: &str) -> ResultCache {
     let cache = ResultCache::load_or_cold(&Path::new(dir).join(CACHE_FILE));
     if !cache.is_empty() {
@@ -513,6 +634,16 @@ fn print_stats(stats: &odrc::EngineStats) {
             stats.device_retries, stats.device_fallbacks
         );
     }
+    if stats.shards_checked > 0 || stats.shards_resumed > 0 {
+        eprintln!(
+            "out-of-core: {} shard(s) checked, {} built, {} evicted, {} resumed, {} degraded",
+            stats.shards_checked,
+            stats.shards_built,
+            stats.shards_evicted,
+            stats.shards_resumed,
+            stats.shards_degraded
+        );
+    }
 }
 
 /// Opens the checkpoint journal for `--checkpoint-dir`/`--resume`. A
@@ -552,7 +683,16 @@ fn run_check(
     engine: &Engine,
     deck: &RuleDeck,
 ) -> Result<Outcome, Box<dyn std::error::Error>> {
-    let layout = load_layout(&args.layout)?;
+    let layout = if out_of_core_run(args) {
+        load_layout_streamed(&args.layout)?
+    } else {
+        load_layout(&args.layout)?
+    };
+    if let Some(workers) = args.shard_workers {
+        if workers > 1 && args.worker_slice.is_none() {
+            return run_shard_workers(args, engine, deck, &layout, workers);
+        }
+    }
     let mut journal = open_journal(args, &layout, deck)?;
     let report = match &args.cache {
         Some(dir) => {
@@ -563,7 +703,18 @@ fn run_check(
         }
         None => engine.check_resumable(&layout, deck, None, journal.as_mut()),
     };
-    print_summary(&report, deck, args.max_print);
+    finish_check(args, deck, &report, journal.as_ref())
+}
+
+/// Shared reporting tail of a check run: summary, artifacts, stats,
+/// and the outcome for the exit code.
+fn finish_check(
+    args: &Args,
+    deck: &RuleDeck,
+    report: &CheckReport,
+    journal: Option<&CheckpointJournal>,
+) -> Result<Outcome, Box<dyn std::error::Error>> {
+    print_summary(report, deck, args.max_print);
     if let Some(path) = &args.report {
         write_report(path, &report.violations)?;
         eprintln!("wrote {} violations to {path}", report.violations.len());
@@ -575,15 +726,15 @@ fn run_check(
         eprintln!("wrote marker GDSII to {path}");
     }
     if let Some(path) = &args.stats_json {
-        write_stats_json(path, &report)?;
+        write_stats_json(path, report)?;
         eprintln!("wrote stats to {path}");
     }
     eprintln!("\n{}", report.profile);
     print_stats(&report.stats);
-    if report.stats.rules_resumed > 0 {
+    if report.stats.rules_resumed > 0 || report.stats.shards_resumed > 0 {
         eprintln!(
-            "resumed {} rule(s) from the checkpoint journal",
-            report.stats.rules_resumed
+            "resumed {} rule(s) and {} shard(s) from the checkpoint journal",
+            report.stats.rules_resumed, report.stats.shards_resumed
         );
     }
     if let Some(reason) = &report.interrupted {
@@ -591,7 +742,7 @@ fn run_check(
         for (name, st) in &report.rule_status {
             eprintln!("  {name:<20} {st}");
         }
-        if let Some(j) = &journal {
+        if let Some(j) = journal {
             eprintln!(
                 "checkpoint saved: {} completed rule(s) in {}; \
                  rerun with --resume to finish",
@@ -607,6 +758,129 @@ fn run_check(
         degraded: report.stats.degraded(),
         interrupted: report.interrupted.is_some(),
     })
+}
+
+/// Multi-process out-of-core checking: spawn `workers` shard workers,
+/// each checking the slice `shard % workers == w` (and the whole
+/// rules with `index % workers == w`), journaling every completed
+/// `(rule, shard)` unit into its own journal directory. A crashed
+/// worker (SIGKILL, abort) loses only its un-journaled work: it is
+/// re-admitted with `--resume` and picks up where its journal ends.
+/// The parent then merges the worker journals under its own run key
+/// and runs a restore pass — which also re-checks anything still
+/// missing — so the final report is byte-identical to a
+/// single-process run.
+fn run_shard_workers(
+    args: &Args,
+    engine: &Engine,
+    deck: &RuleDeck,
+    layout: &Layout,
+    workers: usize,
+) -> Result<Outcome, Box<dyn std::error::Error>> {
+    /// First admission plus up to three crash re-admissions per
+    /// worker; a slice that cannot survive four attempts is a bug,
+    /// not bad luck.
+    const MAX_ADMITS: usize = 4;
+    let root = match &args.checkpoint_dir {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("odrc-shard-workers-{}", std::process::id())),
+    };
+    if !args.resume {
+        match std::fs::remove_dir_all(&root) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    std::fs::create_dir_all(&root)?;
+    let exe = std::env::current_exe()?;
+
+    let spawn = |w: usize, first: bool| -> std::io::Result<std::process::Child> {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg(&args.layout)
+            .arg("--rules")
+            .arg(&args.rules)
+            .arg("--worker-slice")
+            .arg(format!("{w}/{workers}"))
+            .arg("--resume")
+            .arg(root.join(format!("worker-{w}")))
+            .arg("--max-print")
+            .arg("0");
+        if args.parallel {
+            cmd.arg("--parallel");
+        }
+        if let Some(bytes) = args.memory_budget {
+            cmd.arg("--memory-budget").arg(bytes.to_string());
+        }
+        if let Some(n) = args.shard_rows {
+            cmd.arg("--shard-rows").arg(n.to_string());
+        }
+        if args.out_of_core {
+            cmd.arg("--out-of-core");
+        }
+        if let Some(n) = args.host_threads {
+            cmd.arg("--host-threads").arg(n.to_string());
+        }
+        if let Some(bytes) = args.device_budget {
+            cmd.arg("--device-budget").arg(bytes.to_string());
+        }
+        if let Some(seed) = args.fault_seed {
+            cmd.arg("--fault-seed").arg(seed.to_string());
+        }
+        // The chaos kill fires once, on worker 0's first admission —
+        // its re-admission must find a healthy process.
+        if first && w == 0 {
+            if let Some(nth) = args.chaos_kill_at_shard {
+                cmd.arg("--chaos-kill-at-shard").arg(nth.to_string());
+            }
+        }
+        cmd.stdout(std::process::Stdio::null());
+        cmd.spawn()
+    };
+
+    let mut children: Vec<(usize, std::process::Child, usize)> = Vec::new();
+    for w in 0..workers {
+        children.push((w, spawn(w, true)?, 1));
+    }
+    eprintln!(
+        "spawned {workers} shard worker(s); journals under {}",
+        root.display()
+    );
+    while let Some((w, mut child, admits)) = children.pop() {
+        let status = child.wait()?;
+        // A coded exit (0/1/3/4) means the worker's slice is fully
+        // journaled; no exit code means a crash (signal) — re-admit.
+        match status.code() {
+            None => {
+                if admits >= MAX_ADMITS {
+                    return Err(
+                        format!("shard worker {w} crashed {admits} time(s); giving up").into(),
+                    );
+                }
+                eprintln!(
+                    "shard worker {w} crashed ({status}); re-admitting (attempt {})",
+                    admits + 1
+                );
+                children.push((w, spawn(w, false)?, admits + 1));
+            }
+            Some(2) => return Err(format!("shard worker {w} failed hard (exit 2)").into()),
+            Some(_) => {}
+        }
+    }
+
+    // Merge the worker journals under the parent's run key, then run
+    // a restore pass for the real report.
+    let run_key = RunKey::compute(layout, deck);
+    let mut journal = CheckpointJournal::open_dir(&root, run_key)?;
+    for w in 0..workers {
+        journal.absorb_dir(&root.join(format!("worker-{w}")))?;
+    }
+    let report = engine.check_resumable(layout, deck, None, Some(&mut journal));
+    let outcome = finish_check(args, deck, &report, Some(&journal))?;
+    if args.checkpoint_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    Ok(outcome)
 }
 
 /// The diff mode: check `old`, delta-check `new` against it, print
@@ -682,6 +956,11 @@ fn run(args: &Args) -> Result<Outcome, Box<dyn std::error::Error>> {
         host_threads: args.host_threads,
         fusion: !args.no_fusion,
         launch_graph: !args.no_launch_graph,
+        memory_budget: args.memory_budget,
+        out_of_core: args.out_of_core,
+        shard_rows: args.shard_rows,
+        shard_slice: args.worker_slice,
+        chaos_kill_at_shard: args.chaos_kill_at_shard,
         ..odrc::EngineOptions::default()
     };
     let mut engine = if args.parallel {

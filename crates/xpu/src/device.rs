@@ -163,6 +163,7 @@ pub(crate) struct DeviceInner {
     transfer_ordinal: AtomicU64,
     launch_ordinal: AtomicU64,
     stream_op_ordinal: AtomicU64,
+    shard_load_ordinal: AtomicU64,
     /// Installed fault schedule; `None` (the default) injects nothing.
     faults: Mutex<Option<FaultState>>,
     /// Fast-path flag mirroring `faults.is_some()` so the common
@@ -482,6 +483,7 @@ impl Device {
                 transfer_ordinal: AtomicU64::new(0),
                 launch_ordinal: AtomicU64::new(0),
                 stream_op_ordinal: AtomicU64::new(0),
+                shard_load_ordinal: AtomicU64::new(0),
                 faults: Mutex::new(None),
                 faults_enabled: AtomicU64::new(0),
                 host_gate: Mutex::new(None),
@@ -623,6 +625,30 @@ impl Device {
             in_use: self.mem_in_use(),
             budget: self.inner.budget.unwrap_or(usize::MAX),
         })
+    }
+
+    /// Ticks the shard-load ordinal and reports whether the plan
+    /// schedules an injected allocation failure for this load.
+    ///
+    /// Shard loads are host-side scene builds, not device allocations,
+    /// but they are addressed by the same deterministic-schedule
+    /// machinery ([`Fault::AllocFail`](crate::Fault::AllocFail)) so the
+    /// out-of-core evict/degrade path is exercised by the seeded fault
+    /// sweeps. Like every fault consult this is one relaxed load when
+    /// no plan is installed.
+    pub fn fault_shard_load(&self) -> bool {
+        let n = self
+            .inner
+            .shard_load_ordinal
+            .fetch_add(1, Ordering::Relaxed);
+        if !self.faults_on() {
+            return false;
+        }
+        self.inner
+            .faults
+            .lock()
+            .as_mut()
+            .is_some_and(|s| s.take_shard_load(n))
     }
 
     /// Ticks the transfer ordinal and reports an injected transfer

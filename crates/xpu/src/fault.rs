@@ -49,6 +49,18 @@ pub enum Fault {
         /// Which stream operation to stall.
         nth: u64,
     },
+    /// Fail the `nth` *shard-load* allocation (0-based, device-wide).
+    /// Shard loads are the host-side scene builds of the out-of-core
+    /// checker, consulted via [`Device::fault_shard_load`]; a fired
+    /// fault makes the shard pool treat the build as an allocation
+    /// failure and exercise its evict/degrade path without real memory
+    /// pressure.
+    ///
+    /// [`Device::fault_shard_load`]: crate::Device::fault_shard_load
+    AllocFail {
+        /// Which shard load to fail.
+        nth: u64,
+    },
     /// Genuinely hang the `nth` stream data operation (0-based,
     /// device-wide) for `millis` of real wall-clock time before letting
     /// it proceed. Unlike [`Fault::StreamStall`] — which *reports* a
@@ -119,15 +131,15 @@ impl FaultPlan {
     /// schedule, making failures reproducible by quoting the seed.
     ///
     /// Counters are drawn from small ranges (allocations/transfers/
-    /// stream ops in `0..64`, kernels in `0..32`, threads in `0..2048`)
-    /// so schedules are likely to actually fire on realistic workloads;
-    /// faults addressing operations a run never reaches simply stay
-    /// dormant.
+    /// stream ops in `0..64`, kernels in `0..32`, threads in `0..2048`,
+    /// shard loads in `0..16`) so schedules are likely to actually fire
+    /// on realistic workloads; faults addressing operations a run never
+    /// reaches simply stay dormant.
     pub fn from_seed(seed: u64, n_faults: usize) -> FaultPlan {
         let mut state = seed_state(seed);
         let mut faults = Vec::with_capacity(n_faults);
         for _ in 0..n_faults {
-            let kind = splitmix64(&mut state) % 4;
+            let kind = splitmix64(&mut state) % 5;
             let fault = match kind {
                 0 => Fault::AllocOom {
                     nth: splitmix64(&mut state) % 64,
@@ -139,8 +151,11 @@ impl FaultPlan {
                     kernel: splitmix64(&mut state) % 32,
                     thread: (splitmix64(&mut state) % 2048) as usize,
                 },
-                _ => Fault::StreamStall {
+                3 => Fault::StreamStall {
                     nth: splitmix64(&mut state) % 64,
+                },
+                _ => Fault::AllocFail {
+                    nth: splitmix64(&mut state) % 16,
                 },
             };
             faults.push(fault);
@@ -198,6 +213,11 @@ impl FaultState {
     /// Consumes a matching stream-stall fault for op ordinal `n`.
     pub(crate) fn take_stream_op(&mut self, n: u64) -> bool {
         self.take(|f| matches!(f, Fault::StreamStall { nth } if *nth == n))
+    }
+
+    /// Consumes a matching shard-load fault for load ordinal `n`.
+    pub(crate) fn take_shard_load(&mut self, n: u64) -> bool {
+        self.take(|f| matches!(f, Fault::AllocFail { nth } if *nth == n))
     }
 
     /// Consumes a matching stream-hang fault for op ordinal `n`,
@@ -315,5 +335,32 @@ mod tests {
     #[test]
     fn seed_state_salts_zero() {
         assert_ne!(seed_state(0), 0);
+    }
+
+    #[test]
+    fn shard_load_faults_fire_once() {
+        let plan = FaultPlan::new().with(Fault::AllocFail { nth: 1 });
+        let mut state = FaultState::new(plan);
+        assert!(!state.take_shard_load(0));
+        assert!(state.take_shard_load(1));
+        assert!(!state.take_shard_load(1), "consumed, never refires");
+        assert_eq!(state.injected(), 1);
+        // Shard loads and device allocations use separate matchers.
+        let mut state = FaultState::new(FaultPlan::new().with(Fault::AllocOom { nth: 0 }));
+        assert!(!state.take_shard_load(0));
+    }
+
+    #[test]
+    fn seeded_schedules_draw_shard_load_faults() {
+        // With five kinds in the draw, a modest sweep of seeds must
+        // produce at least one AllocFail (probabilistic only in the
+        // sense that the fixed seeds below are known to cover it).
+        let any = (0..32).any(|seed| {
+            FaultPlan::from_seed(seed, 8)
+                .faults
+                .iter()
+                .any(|f| matches!(f, Fault::AllocFail { .. }))
+        });
+        assert!(any, "seeded sweeps must exercise the shard-load fault");
     }
 }
